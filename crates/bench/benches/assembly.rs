@@ -1,0 +1,56 @@
+//! Kernel bench: FIT system assembly — one-shot COO stamping vs the
+//! pattern-cached reassembly used inside the Picard loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etherm_fit::{CachedStamper, DofMap, Stamper};
+use etherm_grid::{Axis, Grid3};
+use std::hint::black_box;
+
+fn bench_assembly(c: &mut Criterion) {
+    let g = Grid3::new(
+        Axis::uniform(0.0, 1.0, 24).unwrap(),
+        Axis::uniform(0.0, 1.0, 24).unwrap(),
+        Axis::uniform(0.0, 1.0, 8).unwrap(),
+    );
+    let m: Vec<f64> = (0..g.n_edges())
+        .map(|e| g.dual_area(e) / g.edge_length(e))
+        .collect();
+    let map = DofMap::new(g.n_nodes(), &[(0, 1.0)]);
+
+    let mut group = c.benchmark_group("assembly");
+    group.sample_size(20);
+    group.bench_function("one-shot stamper (sorts every time)", |b| {
+        b.iter(|| {
+            let mut st = Stamper::new(&map);
+            for e in 0..g.n_edges() {
+                let (na, nb) = g.edge_endpoints(e);
+                st.add_conductance(na, nb, m[e]);
+            }
+            let (a, rhs) = st.finish();
+            black_box((a.nnz(), rhs.len()));
+        })
+    });
+    group.bench_function("cached stamper (pattern reuse)", |b| {
+        let mut cache = CachedStamper::new(&map);
+        // Warm-up round records the pattern.
+        cache.begin();
+        for e in 0..g.n_edges() {
+            let (na, nb) = g.edge_endpoints(e);
+            cache.add_conductance(na, nb, m[e]);
+        }
+        let _ = cache.finish();
+        b.iter(|| {
+            cache.begin();
+            for e in 0..g.n_edges() {
+                let (na, nb) = g.edge_endpoints(e);
+                cache.add_conductance(na, nb, m[e]);
+            }
+            let (a, rhs) = cache.finish();
+            black_box((a.nnz(), rhs.len()));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assembly);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! End-to-end bench: Monte Carlo sample throughput (one full 50-step
+//! transient per sample, as in the Fig. 7 study) on a reduced mesh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etherm_core::{Simulator, SolverOptions};
+use etherm_package::{build_model, paper_elongation_distribution, BuildOptions, PackageGeometry};
+use etherm_uq::dist::Distribution;
+use std::hint::black_box;
+
+fn bench_mc_sample(c: &mut Criterion) {
+    let geometry = PackageGeometry::paper();
+    let opts = BuildOptions {
+        // Reduced mesh so the bench completes quickly; the production mesh
+        // is benchmarked by `step.rs`.
+        target_spacing_xy: 0.6e-3,
+        target_spacing_z: 0.3e-3,
+        ..BuildOptions::paper_fig7()
+    };
+    let mut built = build_model(&geometry, &opts).expect("package builds");
+    let delta = paper_elongation_distribution();
+
+    let mut group = c.benchmark_group("monte-carlo");
+    group.sample_size(10);
+    group.bench_function("one MC sample (25-step transient)", |b| {
+        let mut counter = 0usize;
+        b.iter(|| {
+            counter += 1;
+            let deltas: Vec<f64> = (0..12)
+                .map(|j| delta.quantile(((counter * 13 + j * 7) % 97 + 1) as f64 / 98.0))
+                .collect();
+            built.apply_elongations(&deltas).unwrap();
+            let sim = Simulator::new(&built.model, SolverOptions::fast()).unwrap();
+            let sol = sim.run_transient(50.0, 25, &[]).unwrap();
+            black_box(sol.max_wire_series()[25]);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mc_sample);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Kernel bench: CSR sparse matrix-vector products on package-sized
+//! FIT matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etherm_grid::{operators, Axis, Grid3};
+use std::hint::black_box;
+
+fn grid(n: usize) -> Grid3 {
+    Grid3::new(
+        Axis::uniform(0.0, 1.0, n).unwrap(),
+        Axis::uniform(0.0, 1.0, n).unwrap(),
+        Axis::uniform(0.0, 1.0, n / 4 + 1).unwrap(),
+    )
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    group.sample_size(20);
+    for n in [16usize, 32] {
+        let g = grid(n);
+        let m: Vec<f64> = (0..g.n_edges())
+            .map(|e| g.dual_area(e) / g.edge_length(e))
+            .collect();
+        let k = operators::assemble_stiffness(&g, &m);
+        let x: Vec<f64> = (0..k.n_rows()).map(|i| (i as f64).sin()).collect();
+        let mut y = vec![0.0; k.n_rows()];
+        group.bench_with_input(
+            BenchmarkId::new("laplacian", format!("{} nodes", g.n_nodes())),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    k.spmv(black_box(&x), &mut y);
+                    black_box(&y);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end bench: one coupled implicit-Euler step of the paper package
+//! (electrical solve + Picard thermal iterations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etherm_core::{Simulator, SolverOptions};
+use etherm_package::{build_model, BuildOptions, PackageGeometry};
+use std::hint::black_box;
+
+fn bench_step(c: &mut Criterion) {
+    let geometry = PackageGeometry::paper();
+    let opts = BuildOptions {
+        target_spacing_xy: 0.42e-3,
+        target_spacing_z: 0.22e-3,
+        ..BuildOptions::paper_fig7()
+    };
+    let built = build_model(&geometry, &opts).expect("package builds");
+    let sim = Simulator::new(&built.model, SolverOptions::fast()).expect("simulator");
+    let t0 = sim.initial_temperature();
+    let n = sim.layout().n_total();
+
+    let mut group = c.benchmark_group("coupled-step");
+    group.sample_size(10);
+    group.bench_function("first step (cold caches/guesses)", |b| {
+        b.iter(|| {
+            let mut phi = vec![0.0; n];
+            let r = sim.step(&t0, 1.0, &mut phi, 1).unwrap();
+            black_box(r.linear_iterations);
+        })
+    });
+    // Warm configuration: state after a few steps, warm potential.
+    let mut phi = vec![0.0; n];
+    let mut state = t0.clone();
+    for s in 1..=3 {
+        state = sim.step(&state, 1.0, &mut phi, s).unwrap().temperature;
+    }
+    group.bench_function("warm step (mid-transient)", |b| {
+        b.iter(|| {
+            let mut phi_local = phi.clone();
+            let r = sim.step(&state, 1.0, &mut phi_local, 4).unwrap();
+            black_box(r.linear_iterations);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

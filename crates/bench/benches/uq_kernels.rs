@@ -1,0 +1,94 @@
+//! Kernel bench: UQ machinery — quadrature construction, chaos fitting,
+//! sparse grids and Sobol' estimation on a cheap analytic model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use etherm_uq::special::normal_quantile;
+use etherm_uq::{fit_regression, sobol_saltelli, MultiIndexSet, SparseGrid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_quadrature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadrature");
+    for n in [8usize, 32, 128] {
+        group.bench_with_input(BenchmarkId::new("gauss_hermite", n), &n, |b, &n| {
+            b.iter(|| {
+                etherm_numerics::quadrature::QuadratureRule::gauss_hermite(black_box(n)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gauss_legendre", n), &n, |b, &n| {
+            b.iter(|| {
+                etherm_numerics::quadrature::QuadratureRule::gauss_legendre(black_box(n)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pce_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pce_regression");
+    group.sample_size(20);
+    // The paper's shape: 12 germ dimensions.
+    let dim = 12;
+    for degree in [1usize, 2] {
+        let basis = MultiIndexSet::total_degree(dim, degree).unwrap().len();
+        let n = 3 * basis;
+        let mut rng = StdRng::seed_from_u64(1);
+        let xi: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                (0..dim)
+                    .map(|_| normal_quantile(rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12)))
+                    .collect()
+            })
+            .collect();
+        let y: Vec<f64> = xi
+            .iter()
+            .map(|x| 500.0 + x.iter().enumerate().map(|(j, v)| (j as f64 + 1.0) * v).sum::<f64>())
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new(format!("d12_degree{degree}"), n),
+            &n,
+            |b, _| b.iter(|| fit_regression(black_box(&xi), black_box(&y), dim, degree).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sparse_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_grid");
+    group.sample_size(20);
+    for (dim, level) in [(4usize, 4usize), (8, 3), (12, 2)] {
+        group.bench_with_input(
+            BenchmarkId::new("gauss_hermite", format!("d{dim}_l{level}")),
+            &(dim, level),
+            |b, &(d, l)| b.iter(|| SparseGrid::gauss_hermite(black_box(d), black_box(l)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_saltelli(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sobol_saltelli");
+    group.sample_size(10);
+    group.bench_function("d12_n256_analytic", |b| {
+        b.iter(|| {
+            sobol_saltelli(
+                |u| u.iter().enumerate().map(|(j, v)| (j as f64 + 1.0) * v).sum::<f64>(),
+                black_box(12),
+                256,
+                7,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_quadrature,
+    bench_pce_regression,
+    bench_sparse_grid,
+    bench_saltelli
+);
+criterion_main!(benches);

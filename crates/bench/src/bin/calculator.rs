@@ -1,0 +1,73 @@
+//! **A8** — the "bonding wire calculator" baseline.
+//!
+//! The paper's introduction motivates wire design via simple calculators
+//! (refs. [3], [6]): given material and thickness, estimate the maximum
+//! temperature and the allowable current. This binary runs the closed-form
+//! fin baseline for a sweep of diameters/materials and compares against the
+//! Preece fusing rule and the full field-circuit model's operating point.
+
+use etherm_bench::{build_paper_package, run_paper_transient};
+use etherm_bondwire::analytic::{allowable_current, preece_fusing_current, FinModel};
+use etherm_bondwire::{BondWire, T_CRITICAL};
+use etherm_materials::library;
+use etherm_report::TextTable;
+
+fn main() {
+    println!("A8: bonding-wire calculator (1D fin baseline, T_pads = 300 K, insulated mantle)\n");
+
+    let mut t = TextTable::new(&[
+        "material",
+        "d [um]",
+        "R(300K) [mOhm]",
+        "I_allow(T_crit) [A]",
+        "I_preece [A]",
+    ]);
+    for (mat_name, mat) in [
+        ("copper", library::copper()),
+        ("gold", library::gold()),
+        ("aluminum", library::aluminum()),
+    ] {
+        for d_um in [15.0, 25.4, 50.0] {
+            let d = d_um * 1e-6;
+            let wire = BondWire::new("calc", 1.55e-3, d, mat.clone()).expect("valid wire");
+            let i_allow = allowable_current(&wire, 300.0, 300.0, 0.0, T_CRITICAL, 20.0);
+            t.add_row_owned(vec![
+                mat_name.into(),
+                format!("{d_um}"),
+                format!("{:.1}", wire.resistance(300.0) * 1e3),
+                format!("{i_allow:.3}"),
+                format!("{:.3}", preece_fusing_current(d)),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("sanity: I_allow grows ~d^2 (area); Preece grows d^1.5; thicker wire of a better");
+    println!("conductor carries more current — the designer tradeoff from the paper's intro.\n");
+
+    // Compare the calculator against the coupled field simulation at the
+    // paper's operating point.
+    println!("cross-check vs the coupled field-circuit model (paper operating point):");
+    let built = build_paper_package();
+    let sol = run_paper_transient(&built, &[]);
+    let steps = sol.times.len() - 1;
+    let hottest = sol.hottest_wire().expect("wires");
+    let wire = &built.model.wires()[hottest.0].wire;
+    // Current through the hottest wire from its dissipated power P = I²R.
+    let p = sol.wire_powers[hottest.0][steps];
+    let r = wire.resistance(hottest.1);
+    let i_field = (p / r).sqrt();
+    println!("  field model: hottest wire #{} at {:.1} K carries {:.3} A", hottest.0, hottest.1, i_field);
+
+    let mut fin = FinModel::new(
+        wire.clone(),
+        hottest.1, // pad-side boundary ≈ reported endpoint temperature
+        hottest.1,
+        300.0,
+        0.0,
+        i_field,
+    );
+    let (_, t_max) = fin.solve_self_consistent(1e-9, 100);
+    println!("  fin baseline with those endpoint temperatures: mid-span T = {t_max:.1} K");
+    println!("  interior excess over the endpoints: {:.2} K — what the paper's two-terminal", t_max - hottest.1);
+    println!("  element (and therefore Fig. 7) does not resolve; cf. ablation A1.");
+}

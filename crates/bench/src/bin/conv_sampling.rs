@@ -1,0 +1,70 @@
+//! **A6** — sampling-method comparison: Monte Carlo vs Latin Hypercube vs
+//! Halton QMC (paper §IV-C: "the application of other methods is
+//! straightforward").
+//!
+//! Compares the replication scatter of the mean hottest-wire temperature
+//! across the three designs at equal sample budgets.
+
+use etherm_bench::{arg_usize, build_paper_package, iid_inputs};
+use etherm_package::paper_elongation_distribution;
+use etherm_report::TextTable;
+use etherm_uq::{
+    run_monte_carlo, Halton, LatinHypercube, McOptions, MonteCarloSampler, SampleGenerator, Sobol,
+};
+
+fn main() {
+    let m = arg_usize("samples", 16);
+    let reps = arg_usize("reps", 3);
+    let steps = arg_usize("steps", 25);
+    let mut built = build_paper_package();
+    let delta = paper_elongation_distribution();
+    let dists = iid_inputs(&delta, 12);
+
+    println!("A6: sampling designs at M = {m}, {reps} replications each\n");
+    let mut t = TextTable::new(&["design", "mean of means [K]", "scatter of means [K]"]);
+    for design in ["monte-carlo", "latin-hypercube", "halton", "sobol"] {
+        let mut means = Vec::new();
+        for rep in 0..reps {
+            let mut gen: Box<dyn SampleGenerator> = match design {
+                "monte-carlo" => Box::new(MonteCarloSampler::new(100 + rep as u64)),
+                "latin-hypercube" => Box::new(LatinHypercube::new(100 + rep as u64)),
+                "halton" => Box::new(Halton::new(20 + rep * m)),
+                _ => Box::new(Sobol::new(1 + rep * m)),
+            };
+            let result = run_monte_carlo(
+                gen.as_mut(),
+                &dists,
+                m,
+                McOptions::default(),
+                |_, deltas| -> Result<Vec<f64>, String> {
+                    built.apply_elongations(deltas).map_err(|e| e.to_string())?;
+                    let sim = etherm_core::Simulator::new(
+                        &built.model,
+                        etherm_core::SolverOptions::fast(),
+                    )
+                    .map_err(|e| e.to_string())?;
+                    let sol = sim
+                        .run_transient(50.0, steps, &[])
+                        .map_err(|e| e.to_string())?;
+                    Ok(vec![sol.max_wire_series()[steps]])
+                },
+            )
+            .expect("run");
+            means.push(result.means()[0]);
+            eprintln!("  {design} rep {rep} done");
+        }
+        let mean: f64 = means.iter().sum::<f64>() / means.len() as f64;
+        let scatter = (means.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / (means.len().max(2) - 1) as f64)
+            .sqrt();
+        t.add_row_owned(vec![
+            design.into(),
+            format!("{mean:.3}"),
+            format!("{scatter:.4}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("stratified designs (LHS, Halton) should show noticeably smaller scatter of the");
+    println!("estimated mean than iid MC at the same budget — the QoI is nearly linear in the");
+    println!("12 elongations, the friendliest case for variance-reduction methods.");
+}

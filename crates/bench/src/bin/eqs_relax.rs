@@ -1,0 +1,96 @@
+//! **A12** — electroquasistatic charge relaxation (paper §II-A).
+//!
+//! The paper solves the *stationary* current problem and remarks that "a
+//! generalization to electroquasistatics is straightforward". This
+//! experiment quantifies why the stationary assumption is valid for the
+//! package: the mold compound's charge-relaxation time `τ = ε/σ` is tens of
+//! microseconds, six orders of magnitude below the 50 s thermal transient.
+//! A two-layer copper/epoxy bar is stepped through its Maxwell–Wagner
+//! relaxation and compared with the analytic RC solution.
+//!
+//! Usage: `cargo run --release -p etherm-bench --bin eqs_relax`
+
+use etherm_fit::eqs::{charge_relaxation_time, EqsSolver, EPSILON_0};
+use etherm_fit::DofMap;
+use etherm_grid::{Axis, Grid3};
+use etherm_report::TextTable;
+
+fn main() {
+    println!("A12: electroquasistatic relaxation times (paper §II-A)\n");
+
+    // Table I materials with standard relative permittivities.
+    let mut t = TextTable::new(&["material", "σ [S/m]", "ε_r", "τ = ε/σ [s]"]);
+    for (name, sigma, eps_r) in [
+        ("epoxy resin (mold)", 1e-6, 4.0),
+        ("copper", 5.80e7, 1.0),
+    ] {
+        let tau = charge_relaxation_time(eps_r * EPSILON_0, sigma);
+        t.add_row_owned(vec![
+            name.into(),
+            format!("{sigma:.2e}"),
+            format!("{eps_r:.1}"),
+            format!("{tau:.3e}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("thermal transient timescale: 5e1 s  →  τ_mold/τ_thermal ≈ 7e-7");
+    println!("⇒ displacement currents decay ~10⁶× faster than the heat front moves;");
+    println!("  the paper's stationary-current model is justified.\n");
+
+    // Maxwell–Wagner demo: epoxy/epoxy bar with contrasting σ, ε.
+    println!("two-layer Maxwell–Wagner relaxation (FIT implicit Euler vs analytic):");
+    let n = 16;
+    let grid = Grid3::new(
+        Axis::uniform(0.0, 1.0, n).unwrap(),
+        Axis::uniform(0.0, 1.0, 1).unwrap(),
+        Axis::uniform(0.0, 1.0, 1).unwrap(),
+    );
+    let (s1, s2, e1, e2) = (1.0, 4.0, 3.0, 1.0);
+    let sigma: Vec<f64> = (0..grid.n_cells())
+        .map(|c| if grid.cell_center(c).0 < 0.5 { s1 } else { s2 })
+        .collect();
+    let eps: Vec<f64> = (0..grid.n_cells())
+        .map(|c| if grid.cell_center(c).0 < 0.5 { e1 } else { e2 })
+        .collect();
+    let solver = EqsSolver::new(&grid, &sigma, &eps);
+    let v = 1.0;
+    let (nx, _, _) = grid.node_dims();
+    let fixed: Vec<(usize, f64)> = (0..grid.n_nodes())
+        .filter_map(|node| match grid.node_coords_of(node).0 {
+            0 => Some((node, 0.0)),
+            i if i == nx - 1 => Some((node, v)),
+            _ => None,
+        })
+        .collect();
+    let map = DofMap::new(grid.n_nodes(), &fixed);
+
+    let (g1, g2) = (s1 / 0.5, s2 / 0.5);
+    let (c1, c2) = (e1 / 0.5, e2 / 0.5);
+    let u0 = v * c2 / (c1 + c2);
+    let u_inf = v * g2 / (g1 + g2);
+    let tau = (c1 + c2) / (g1 + g2);
+    let interface = grid.nearest_node(0.5, 0.0, 0.0);
+
+    let dt = tau / 200.0;
+    let mut phi = vec![0.0; grid.n_nodes()];
+    let mut time = 0.0;
+    let mut rows = TextTable::new(&["t/τ", "FIT u(t)", "analytic", "error"]);
+    for step in 1..=600 {
+        let (next, _) = solver.step(&map, &phi, dt).expect("EQS step");
+        phi = next;
+        time += dt;
+        if step % 100 == 0 {
+            let exact = u_inf + (u0 - u_inf) * (-time / tau).exp();
+            rows.add_row_owned(vec![
+                format!("{:.2}", time / tau),
+                format!("{:.5}", phi[interface]),
+                format!("{exact:.5}"),
+                format!("{:.2e}", (phi[interface] - exact).abs()),
+            ]);
+        }
+    }
+    println!("{}", rows.render());
+    println!("u0 (capacitive divider) = {u0:.4}, u∞ (resistive divider) = {u_inf:.4}, τ = {tau:.4}");
+    println!("Expectation: the FIT interface potential tracks the analytic exponential to");
+    println!("O(Δt); the stationary solver reproduces u∞ exactly.");
+}

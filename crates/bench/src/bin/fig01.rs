@@ -1,0 +1,87 @@
+//! **Fig. 1** — the discrete electrothermal house.
+//!
+//! The figure is structural: it asserts the exact dualities the FIT
+//! discretization must satisfy. This binary *verifies* them numerically on
+//! a representative non-uniform grid and prints the house with the checked
+//! properties annotated.
+
+use etherm_grid::{operators, Axis, Grid3};
+use etherm_numerics::vector;
+
+fn main() {
+    let grid = Grid3::new(
+        Axis::from_coords(vec![0.0, 0.4e-3, 1.0e-3, 1.3e-3]).unwrap(),
+        Axis::from_coords(vec![0.0, 0.5e-3, 0.8e-3]).unwrap(),
+        Axis::from_coords(vec![0.0, 0.2e-3, 0.7e-3]).unwrap(),
+    );
+    let g = operators::gradient(&grid);
+    let s = operators::divergence(&grid);
+
+    // Duality S̃ = −Gᵀ.
+    let mut gt = g.transpose();
+    gt.scale(-1.0);
+    let duality_ok = gt == s;
+
+    // Stiffness K = Gᵀ M G: symmetric, zero row sums, M-matrix signs.
+    let m: Vec<f64> = (0..grid.n_edges())
+        .map(|e| grid.dual_area(e) / grid.edge_length(e))
+        .collect();
+    let k = operators::assemble_stiffness(&grid, &m);
+    let sym_ok = k.is_symmetric(1e-14);
+    let row_sum_max = k
+        .row_sums()
+        .iter()
+        .fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    let signs_ok = k
+        .iter()
+        .all(|(i, j, v)| if i == j { v >= 0.0 } else { v <= 0.0 });
+
+    // Gradient of a linear potential gives exact edge voltages.
+    let phi: Vec<f64> = (0..grid.n_nodes())
+        .map(|n| {
+            let (x, y, z) = grid.node_position(n);
+            2.0 * x - 3.0 * y + 0.5 * z
+        })
+        .collect();
+    let e = g.matvec(&phi);
+    let mut grad_err = 0.0f64;
+    for edge in 0..grid.n_edges() {
+        let (a, b) = grid.edge_endpoints(edge);
+        let exact = phi[b] - phi[a];
+        grad_err = grad_err.max((e[edge] - exact).abs());
+    }
+
+    // Dual geometry partitions the domain.
+    let vol: f64 = (0..grid.n_nodes()).map(|n| grid.dual_volume(n)).sum();
+    let domain = grid.x().extent() * grid.y().extent() * grid.z().extent();
+    let volume_ok = (vol - domain).abs() < 1e-18;
+
+    println!("Fig. 1: the discrete electrothermal house (verified properties)");
+    println!();
+    println!("   Maxwell house (stationary current)     thermal house");
+    println!("   Phi --(-G)--> _e                       T --(-G)--> _t");
+    println!("    |            |                        |            |");
+    println!("    |        [M_sigma]                    |        [M_lambda]   [M_rho_c]");
+    println!("    |            v                        |            v            |");
+    println!("    +--(S~)--- _j                         +--(S~)--- _q        dT/dt");
+    println!();
+    println!("   coupling: Q_el = _e . _j   (Joule), sigma = sigma(T), lambda = lambda(T)");
+    println!();
+    println!("checked on a non-uniform {:?} grid:", grid.node_dims());
+    println!("  S~ == -G^T (exact duality)                   : {duality_ok}");
+    println!("  K = G^T M G symmetric                        : {sym_ok}");
+    println!("  K row sums (max |.|)                         : {row_sum_max:.3e}");
+    println!("  K M-matrix sign pattern                      : {signs_ok}");
+    println!("  gradient exact on linear potentials (max err): {grad_err:.3e}");
+    println!("  dual volumes tile the domain                 : {volume_ok}");
+    println!(
+        "  entity counts: {} nodes, {} edges, {} cells",
+        grid.n_nodes(),
+        grid.n_edges(),
+        grid.n_cells()
+    );
+    let ok = duality_ok && sym_ok && signs_ok && row_sum_max < 1e-12 && grad_err < 1e-12;
+    println!("\nALL HOUSE PROPERTIES {}", if ok { "VERIFIED" } else { "VIOLATED" });
+    let _ = vector::norm2(&e);
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,101 @@
+//! **Fig. 2** — bonding-wire modeling by a lumped element.
+//!
+//! Shows the two-terminal stamp `G_bw(T)` of the paper and validates the
+//! lumped approach against a fully grid-resolved wire on a micro example:
+//! a thin conducting bar either meshed explicitly or replaced by the lumped
+//! element between its end nodes must produce the same end-to-end current.
+
+use etherm_bondwire::stamp::{stamp_wire, wire_current, WirePhysics};
+use etherm_bondwire::{BondWire, WireTopology};
+use etherm_fit::{DofMap, Stamper};
+use etherm_grid::{Axis, Grid3};
+use etherm_materials::library;
+
+fn main() {
+    let wire = BondWire::new("fig2", 1.0e-3, 25.4e-6, library::copper()).unwrap();
+    let t = 300.0;
+    let g_el = wire.electrical_conductance(t);
+    let g_th = wire.thermal_conductance(t);
+
+    println!("Fig. 2: lumped bonding-wire element");
+    println!();
+    println!("   o--[ G_bw(T) ]--o        G_bw stamped as  [[ g, -g],");
+    println!("                                              [-g,  g]]");
+    println!();
+    println!("wire: L = 1 mm, d = 25.4 um, copper at {t} K");
+    println!("  G_el = sigma A / L = {g_el:.4e} S   (R = {:.2} mOhm)", 1e3 / g_el);
+    println!("  G_th = lambda A / L = {g_th:.4e} W/K");
+
+    // --- validation against a grid-resolved wire --------------------------
+    // Resolve a 1 mm × 25.4 µm × 25.4 µm copper bar with 20 cells along its
+    // axis and compare its end-to-end conductance with the lumped value.
+    let d = 25.4e-6;
+    let grid = Grid3::new(
+        Axis::uniform(0.0, 1.0e-3, 20).unwrap(),
+        Axis::uniform(0.0, d, 1).unwrap(),
+        Axis::uniform(0.0, d, 1).unwrap(),
+    );
+    let sigma = library::copper().sigma(t);
+    let m: Vec<f64> = (0..grid.n_edges())
+        .map(|e| sigma * grid.dual_area(e) / grid.edge_length(e))
+        .collect();
+    // Dirichlet: x = 0 plane at 1 mV, x = 1 mm plane at 0.
+    let v = 1e-3;
+    let fixed: Vec<(usize, f64)> = (0..grid.n_nodes())
+        .filter_map(|n| {
+            let x = grid.node_position(n).0;
+            if x == 0.0 {
+                Some((n, v))
+            } else if (x - 1.0e-3).abs() < 1e-12 {
+                Some((n, 0.0))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let map = DofMap::new(grid.n_nodes(), &fixed);
+    let mut st = Stamper::new(&map);
+    for e in 0..grid.n_edges() {
+        let (a, b) = grid.edge_endpoints(e);
+        st.add_conductance(a, b, m[e]);
+    }
+    let (a, b) = st.finish();
+    let x = a.to_dense().solve(&b).unwrap();
+    let phi = map.expand(&x);
+    // Current through the first x-layer of edges.
+    let mut current = 0.0;
+    for e in 0..grid.n_edges() {
+        let (na, nb) = grid.edge_endpoints(e);
+        if grid.node_position(na).0 == 0.0 && grid.node_position(nb).0 > 0.0 {
+            current += m[e] * (phi[na] - phi[nb]);
+        }
+    }
+    let g_resolved = current / v;
+
+    // The grid bar has a square cross-section d²; the lumped wire a circular
+    // πd²/4 — compare conductance per cross-section area.
+    let g_resolved_circ = g_resolved * (std::f64::consts::PI / 4.0);
+    let rel = (g_resolved_circ - g_el).abs() / g_el;
+    println!();
+    println!("validation vs grid-resolved wire (20 cells along the axis):");
+    println!("  resolved G (square cross-section)    = {g_resolved:.4e} S");
+    println!("  resolved G (scaled to circular area) = {g_resolved_circ:.4e} S");
+    println!("  lumped   G_el                        = {g_el:.4e} S");
+    println!("  relative difference                  = {rel:.2e}");
+
+    // --- lumped stamp demo --------------------------------------------------
+    let map2 = DofMap::new(2, &[(0, v), (1, 0.0)]);
+    let mut st2 = Stamper::new(&map2);
+    let topo = WireTopology::two_terminal(0, 1);
+    stamp_wire(&wire, &topo, &[t, t], WirePhysics::Electrical, &mut st2);
+    let phi2 = [v, 0.0];
+    let i_lumped = wire_current(&wire, &topo, &[t, t], &phi2);
+    println!();
+    println!("lumped element driven at {v} V: I = {:.3} mA", i_lumped * 1e3);
+    println!("grid cost avoided: resolving one wire at d/2 resolution needs ~{} cells;",
+        ((1.0e-3 / (d / 2.0)) as usize) * 2 * 2);
+    println!("the lumped element costs one 2x2 stamp (the paper's multiscale argument).");
+
+    assert!(rel < 0.01, "lumped vs resolved mismatch");
+    println!("\nLUMPED MODEL VERIFIED (< 1% vs resolved wire)");
+}

@@ -1,0 +1,170 @@
+//! **Fig. 7** — expected temperature of the hottest bonding wire over time
+//! with 6σ_MC error bars against the critical temperature `T_crit = 523 K`.
+//!
+//! Monte Carlo over the 12 wires' relative elongations
+//! `δ ~ N(0.17, 0.048)` (paper §IV), `M = 1000` samples by default
+//! (`--samples M` to override; the paper's M = 1000 takes ~45 min on one
+//! core), implicit Euler with 50 steps to 50 s. Also reports σ_MC,
+//! `error_MC = σ_MC/√M` (Eq. 6) and the first crossing of `E + 6σ` with the
+//! critical temperature (paper: t ≈ 26 s).
+
+use etherm_bench::{arg_f64, arg_usize, arg_value, build_paper_package, iid_inputs};
+use etherm_bondwire::degradation::first_crossing;
+use etherm_bondwire::T_CRITICAL;
+use etherm_package::paper_elongation_distribution;
+use etherm_report::svg::{SvgChart, SvgOptions};
+use etherm_report::{ChartOptions, CsvWriter, LineChart};
+use etherm_uq::{run_monte_carlo, run_monte_carlo_parallel, McOptions, MonteCarloSampler};
+use std::time::Instant;
+
+fn main() {
+    let m = arg_usize("samples", 1000);
+    let steps = arg_usize("steps", 50);
+    let seed = arg_usize("seed", 2016) as u64;
+    let threads = arg_usize("threads", 1);
+    let t_end = 50.0;
+    let n_times = steps + 1;
+    let n_wires = 12;
+
+    eprintln!("fig07: M = {m} samples, {steps} steps, seed {seed}, {threads} thread(s)");
+    let mut built = build_paper_package();
+    eprintln!(
+        "package grid: {} nodes, {} wires",
+        built.model.grid().n_nodes(),
+        built.model.wires().len()
+    );
+
+    let delta = paper_elongation_distribution();
+    let dists = iid_inputs(&delta, n_wires);
+    let mut gen = MonteCarloSampler::new(seed);
+    let started = Instant::now();
+    let sample_model = |built: &mut etherm_package::BuiltPackage,
+                        deltas: &[f64]|
+     -> Result<Vec<f64>, String> {
+        built.apply_elongations(deltas).map_err(|e| e.to_string())?;
+        let sim = etherm_core::Simulator::new(&built.model, etherm_core::SolverOptions::fast())
+            .map_err(|e| e.to_string())?;
+        let sol = sim
+            .run_transient(t_end, steps, &[])
+            .map_err(|e| e.to_string())?;
+        let mut out = Vec::with_capacity(n_wires * n_times);
+        for j in 0..n_wires {
+            out.extend_from_slice(sol.wire_series(j));
+        }
+        Ok(out)
+    };
+    let result = if threads > 1 {
+        // One package instance per worker; the design is drawn once, so the
+        // statistics are identical to the serial run with the same seed.
+        run_monte_carlo_parallel(&mut gen, &dists, m, McOptions::default(), threads, || {
+            let mut local = build_paper_package();
+            move |i: usize, deltas: &[f64]| {
+                if i % 25 == 0 {
+                    eprintln!("  sample {i}/{m}");
+                }
+                sample_model(&mut local, deltas)
+            }
+        })
+    } else {
+        run_monte_carlo(&mut gen, &dists, m, McOptions::default(), |i, deltas| {
+            if i % 25 == 0 {
+                eprintln!(
+                    "  sample {i}/{m} ({:.1} s elapsed)",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            sample_model(&mut built, deltas)
+        })
+    }
+    .expect("monte carlo run");
+    eprintln!("MC finished in {:.1} s", started.elapsed().as_secs_f64());
+
+    // Output index (j, i) = j*n_times + i.
+    let means = result.means();
+    let stds = result.std_devs();
+    let times: Vec<f64> = (0..n_times).map(|i| t_end * i as f64 / steps as f64).collect();
+
+    // E_j(t) per wire; E_max(t) = max_j E_j(t) (paper Eq. 7).
+    let e_max: Vec<f64> = (0..n_times)
+        .map(|i| {
+            (0..n_wires)
+                .map(|j| means[j * n_times + i])
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    // Hottest wire at the end time.
+    let j_hot = (0..n_wires)
+        .max_by(|&a, &b| {
+            means[a * n_times + steps]
+                .partial_cmp(&means[b * n_times + steps])
+                .expect("finite")
+        })
+        .expect("wires exist");
+    let e_hot: Vec<f64> = (0..n_times).map(|i| means[j_hot * n_times + i]).collect();
+    let s_hot: Vec<f64> = (0..n_times).map(|i| stds[j_hot * n_times + i]).collect();
+    let sigma_mc = s_hot[steps];
+    let error_mc = sigma_mc / (m as f64).sqrt();
+
+    // Crossing of E + 6σ with the critical temperature.
+    let upper: Vec<f64> = e_hot.iter().zip(&s_hot).map(|(e, s)| e + 6.0 * s).collect();
+    let crossing = first_crossing(&times, &upper, T_CRITICAL);
+
+    // ---- render -----------------------------------------------------------
+    let mut chart = LineChart::new(ChartOptions {
+        width: 70,
+        height: 24,
+        x_label: "time (s)".into(),
+        y_label: "temperature (K), hottest wire, ±6σ_MC".into(),
+    });
+    let bars: Vec<f64> = s_hot.iter().map(|s| 6.0 * s).collect();
+    chart.add_series_with_bars(&times, &e_hot, &bars, '*');
+    chart.add_threshold(T_CRITICAL, "T_crit = 523 K");
+    println!("{}", chart.render());
+
+    println!("Fig. 7 reproduction (M = {m}, {steps} implicit-Euler steps to {t_end} s)");
+    println!("  hottest wire: #{j_hot} (E_max at t = {t_end} s)");
+    println!("  E_max(50 s)          = {:.2} K   (paper: just below 523 K)", e_max[steps]);
+    println!("  sigma_MC(50 s)       = {sigma_mc:.3} K   (paper: 4.65 K)");
+    println!("  error_MC = s/sqrt(M) = {error_mc:.3} K   (paper: 0.147 K)");
+    match crossing {
+        Some(t) => println!("  E+6sigma crosses T_crit at t = {t:.1} s  (paper: t > 26 s)"),
+        None => println!("  E+6sigma never crosses T_crit  (paper: crossing for t > 26 s)"),
+    }
+    println!("  (shape check) E settles: E(30)/E(50) rel. rise = {:.3}",
+        (e_hot[(30 * steps) / 50] - 300.0) / (e_hot[steps] - 300.0));
+
+    // Per-wire summary: shortest wires must be the hottest.
+    println!("\n  wire  L_nominal[mm]  E(50s)[K]  sigma[K]");
+    for j in 0..n_wires {
+        println!(
+            "  {:4}  {:12.3}  {:9.2}  {:7.3}",
+            j,
+            built.nominal_lengths[j] * 1e3,
+            means[j * n_times + steps],
+            stds[j * n_times + steps]
+        );
+    }
+
+    if let Some(path) = arg_value("csv") {
+        let mut csv = CsvWriter::new();
+        csv.add_column("t", &times);
+        csv.add_column("E_hottest", &e_hot);
+        csv.add_column("sigma_hottest", &s_hot);
+        csv.add_column("E_max", &e_max);
+        csv.write_to(std::path::Path::new(&path)).expect("write csv");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = arg_value("svg") {
+        let mut svg = SvgChart::new(SvgOptions {
+            x_label: "time (s)".into(),
+            y_label: "temperature (K)".into(),
+            title: format!("Fig. 7: hottest-wire E(t) ± 6σ_MC (M = {m})"),
+            ..SvgOptions::default()
+        });
+        svg.add_series_with_bars(&times, &e_hot, &bars, "#0057b8", "E(t) hottest wire");
+        svg.add_threshold(T_CRITICAL, "#d62728", "T_crit = 523 K");
+        std::fs::write(&path, svg.render()).expect("write svg");
+        eprintln!("wrote {path}");
+    }
+    let _ = arg_f64("unused", 0.0);
+}

@@ -1,0 +1,92 @@
+//! **Fig. 8** — spatial temperature distribution at `t = 50 s`.
+//!
+//! One nominal transient (mean elongations), full-field snapshot at the end
+//! time, rendered as an ASCII heat map of the wire-bond plane. The paper's
+//! observation to verify: the region where the contacts are closest and
+//! connected by the shortest wires runs hottest, and the hottest wire of
+//! Fig. 7 lives there.
+
+use etherm_bench::{arg_value, build_paper_package, run_paper_transient};
+use etherm_core::qoi::field_slice_at_z;
+use etherm_package::PackageGeometry;
+
+fn main() {
+    let built = build_paper_package();
+    let geometry = PackageGeometry::paper();
+    let sol = run_paper_transient(&built, &[50.0]);
+    let (t_snap, state) = &sol.snapshots[0];
+
+    // Slice through the wire-bond plane (chip top surface).
+    let (_, chi) = geometry.chip_box();
+    let slice = field_slice_at_z(built.model.grid(), state, chi.2);
+    println!(
+        "Fig. 8: temperature field at t = {t_snap} s, z = {:.3} mm (wire-bond plane)\n",
+        chi.2 * 1e3
+    );
+    println!("{}", slice.render_heatmap());
+
+    let (lo, hi) = slice.range();
+    let (ix, iy, tmax) = slice.argmax();
+    println!("range: {lo:.1} K .. {hi:.1} K");
+    println!(
+        "hottest grid point: ({:.3}, {:.3}) mm at {tmax:.1} K",
+        slice.xs[ix] * 1e3,
+        slice.ys[iy] * 1e3
+    );
+
+    // Verify the paper's qualitative claim: the hottest wire is (one of)
+    // the shortest.
+    let hottest = sol.hottest_wire().expect("wires exist");
+    let lengths: Vec<f64> = built.nominal_lengths.clone();
+    let mut sorted = lengths.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = sorted
+        .iter()
+        .position(|&l| l == lengths[hottest.0])
+        .expect("present");
+    println!(
+        "\nhottest wire: #{} at {:.1} K, nominal length {:.3} mm (rank {} of 12 by length)",
+        hottest.0,
+        hottest.1,
+        lengths[hottest.0] * 1e3,
+        rank + 1
+    );
+    println!(
+        "paper's claim — shortest wires between closest contacts run hottest: {}",
+        if rank < 4 { "CONFIRMED" } else { "NOT REPRODUCED" }
+    );
+
+    // Wire-end temperatures as an overlay list.
+    println!("\nwire-end temperatures at t = 50 s:");
+    for (j, att) in built.model.wires().iter().enumerate() {
+        let (xa, ya, _) = built.model.grid().node_position(att.node_a);
+        println!(
+            "  wire {j:2}: chip bond ({:.2}, {:.2}) mm  T_bw = {:.1} K  (L = {:.3} mm)",
+            xa * 1e3,
+            ya * 1e3,
+            sol.wire_series(j).last().expect("nonempty"),
+            att.wire.length() * 1e3
+        );
+    }
+
+    if let Some(path) = arg_value("svg") {
+        let svg = etherm_report::SvgHeatMap::new(slice.nx, slice.ny, slice.values.clone())
+            .expect("consistent slice")
+            .render();
+        std::fs::write(&path, svg).expect("write svg");
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Local extension: render a `FieldSlice` as a heat map.
+trait RenderHeatmap {
+    fn render_heatmap(&self) -> String;
+}
+
+impl RenderHeatmap for etherm_core::qoi::FieldSlice {
+    fn render_heatmap(&self) -> String {
+        etherm_report::HeatMap::new(self.nx, self.ny, self.values.clone())
+            .expect("consistent slice")
+            .render()
+    }
+}

@@ -1,0 +1,71 @@
+//! **A9** — global sensitivity of the hottest wire's temperature to the
+//! 12 elongations.
+//!
+//! Reuses a Monte Carlo sample set to estimate Pearson correlations and
+//! standardized regression coefficients (SRC) between each wire's `δ_j`
+//! and the hottest wire's end temperature — quantifying the paper's
+//! "global sensitivity of the bonding wires' temperatures w.r.t. their
+//! geometric parameters".
+
+use etherm_bench::{arg_usize, build_paper_package, iid_inputs};
+use etherm_package::paper_elongation_distribution;
+use etherm_report::TextTable;
+use etherm_uq::sensitivity::{pearson, standardized_regression_coefficients};
+use etherm_uq::{run_monte_carlo, McOptions, MonteCarloSampler};
+
+fn main() {
+    let m = arg_usize("samples", 48);
+    let steps = arg_usize("steps", 25);
+    let mut built = build_paper_package();
+    let delta = paper_elongation_distribution();
+    let dists = iid_inputs(&delta, 12);
+
+    eprintln!("sensitivity: M = {m} samples");
+    let mut gen = MonteCarloSampler::new(31);
+    let result = run_monte_carlo(
+        &mut gen,
+        &dists,
+        m,
+        McOptions { keep_samples: true },
+        |i, deltas| -> Result<Vec<f64>, String> {
+            if i % 10 == 0 {
+                eprintln!("  sample {i}/{m}");
+            }
+            built.apply_elongations(deltas).map_err(|e| e.to_string())?;
+            let sim = etherm_core::Simulator::new(&built.model, etherm_core::SolverOptions::fast())
+                .map_err(|e| e.to_string())?;
+            let sol = sim.run_transient(50.0, steps, &[]).map_err(|e| e.to_string())?;
+            // Outputs: all 12 wire end temperatures.
+            Ok((0..12).map(|j| sol.wire_series(j)[steps]).collect())
+        },
+    )
+    .expect("mc run");
+
+    // Hottest wire by mean end temperature.
+    let means = result.means();
+    let j_hot = (0..12)
+        .max_by(|&a, &b| means[a].partial_cmp(&means[b]).expect("finite"))
+        .expect("wires");
+    let samples = result.samples.as_ref().expect("kept");
+    let y: Vec<f64> = samples.iter().map(|s| s[j_hot]).collect();
+
+    let src = standardized_regression_coefficients(&result.inputs, &y);
+    println!("A9: sensitivity of wire #{j_hot}'s end temperature to the 12 elongations (M = {m})\n");
+    let mut t = TextTable::new(&["input delta_j", "pearson r", "SRC"]);
+    for j in 0..12 {
+        let xj: Vec<f64> = result.inputs.iter().map(|x| x[j]).collect();
+        let r = pearson(&xj, &y);
+        t.add_row_owned(vec![
+            format!("wire {j}{}", if j == j_hot { "  <- hottest" } else { "" }),
+            format!("{r:+.3}"),
+            format!("{:+.3}", src[j]),
+        ]);
+    }
+    println!("{}", t.render());
+    let r2: f64 = src.iter().map(|s| s * s).sum();
+    println!("sum of SRC^2 (≈ R^2 of the linear surrogate): {r2:.3}");
+    println!("expected pattern: the hottest wire's own elongation dominates with a NEGATIVE");
+    println!("coefficient (longer wire → higher resistance → less current/power at fixed");
+    println!("voltage → cooler), while the package-level coupling gives every other wire a");
+    println!("similar-signed, smaller contribution through the shared thermal bath.");
+}

@@ -1,0 +1,42 @@
+//! **Table I** — material properties at `T = 300 K`.
+//!
+//! Prints the paper's table from the material library (the library is the
+//! single source of truth used by every simulation) plus the
+//! temperature-dependence metadata the solver relies on.
+
+use etherm_materials::{library, T_REFERENCE};
+use etherm_report::TextTable;
+
+fn main() {
+    let mut table = TextTable::new(&["Region", "Material", "lambda [W/K/m]", "sigma [S/m]"]);
+    let epoxy = library::epoxy_resin();
+    let copper = library::copper();
+    for (region, material) in [
+        ("Compound", &epoxy),
+        ("Contact pad", &copper),
+        ("Chip", &copper),
+        ("Bonding wire", &copper),
+    ] {
+        table.add_row_owned(vec![
+            region.into(),
+            material.name().into(),
+            format!("{:.3}", material.lambda(T_REFERENCE)),
+            format!("{:.3e}", material.sigma(T_REFERENCE)),
+        ]);
+    }
+    println!("Table I: material properties @ T = 300 K");
+    println!("{}", table.render());
+
+    println!("temperature dependence used by the solver:");
+    let mut dep = TextTable::new(&["Material", "nonlinear", "sigma(400K)/sigma(300K)", "rho_c [J/K/m^3]"]);
+    for m in [&epoxy, &copper] {
+        dep.add_row_owned(vec![
+            m.name().into(),
+            format!("{}", m.is_nonlinear()),
+            format!("{:.4}", m.sigma(400.0) / m.sigma(300.0)),
+            format!("{:.3e}", m.rho_c()),
+        ]);
+    }
+    println!("{}", dep.render());
+    println!("paper values: epoxy lambda 0.87, sigma 1e-6; copper lambda 398, sigma 5.80e7.");
+}

@@ -1,0 +1,134 @@
+//! Shared helpers for the experiment regeneration binaries.
+//!
+//! One binary per table/figure of the paper lives in `src/bin/`; see
+//! DESIGN.md §5 for the experiment index. This library provides the tiny
+//! argument parser (no CLI dependencies) and the package/Monte Carlo
+//! plumbing every experiment shares.
+
+use etherm_core::{Simulator, SolverOptions, TransientSolution};
+use etherm_package::{build_model, BuildOptions, BuiltPackage, PackageGeometry};
+use etherm_uq::dist::Distribution;
+
+/// Returns the value following `--name` parsed as `f64`, or `default`.
+///
+/// # Panics
+///
+/// Panics with a clear message when the value is present but unparsable.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    arg_value(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{name} expects a number, got '{v}'"))
+        })
+        .unwrap_or(default)
+}
+
+/// Returns the value following `--name` parsed as `usize`, or `default`.
+///
+/// # Panics
+///
+/// Panics when the value is present but unparsable.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_value(name)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--{name} expects an integer, got '{v}'"))
+        })
+        .unwrap_or(default)
+}
+
+/// Returns the string following `--name`, if present.
+pub fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == &flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether the bare flag `--name` is present.
+pub fn arg_flag(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
+}
+
+/// Standard experiment mesh for Monte Carlo sweeps (validated against the
+/// fine mesh in `conv_mesh`; the hottest-wire error is ≲ 0.1 K).
+pub fn mc_build_options() -> BuildOptions {
+    BuildOptions {
+        target_spacing_xy: arg_f64("mesh-xy", 0.42e-3),
+        target_spacing_z: arg_f64("mesh-z", 0.22e-3),
+        ..BuildOptions::paper_fig7()
+    }
+}
+
+/// Builds the calibrated paper package on the MC mesh.
+///
+/// # Panics
+///
+/// Panics if the model cannot be built (programmer error in the presets).
+pub fn build_paper_package() -> BuiltPackage {
+    let geometry = PackageGeometry::paper();
+    build_model(&geometry, &mc_build_options()).expect("paper package builds")
+}
+
+/// Runs one transient of the paper scenario (50 s, 50 steps unless
+/// overridden by `--steps`) and returns the solution.
+///
+/// # Panics
+///
+/// Panics on solver failure — experiments should fail loudly.
+pub fn run_paper_transient(built: &BuiltPackage, snapshots: &[f64]) -> TransientSolution {
+    let steps = arg_usize("steps", 50);
+    let sim = Simulator::new(&built.model, SolverOptions::fast()).expect("simulator");
+    sim.run_transient(50.0, steps, snapshots).expect("transient solve")
+}
+
+/// Evaluates one Monte Carlo sample: applies the elongations and runs the
+/// transient, returning the flattened `wire × time` temperature matrix.
+///
+/// # Panics
+///
+/// Panics on solver failure.
+pub fn mc_sample_outputs(built: &mut BuiltPackage, deltas: &[f64], steps: usize) -> Vec<f64> {
+    built
+        .apply_elongations(deltas)
+        .expect("sampled elongations are < 1");
+    let sim = Simulator::new(&built.model, SolverOptions::fast()).expect("simulator");
+    let sol = sim
+        .run_transient(50.0, steps, &[])
+        .expect("transient solve");
+    let mut out = Vec::with_capacity(sol.n_wires() * sol.n_times());
+    for j in 0..sol.n_wires() {
+        out.extend_from_slice(sol.wire_series(j));
+    }
+    out
+}
+
+/// Twelve references to the same distribution (the wires' iid elongations).
+pub fn iid_inputs<D: Distribution>(dist: &D, n: usize) -> Vec<&dyn Distribution> {
+    (0..n).map(|_| dist as &dyn Distribution).collect()
+}
+
+/// Formats a Kelvin value with one decimal.
+pub fn fmt_k(v: f64) -> String {
+    format!("{v:.1} K")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_helpers_fall_back_to_defaults() {
+        assert_eq!(arg_f64("definitely-not-passed", 2.5), 2.5);
+        assert_eq!(arg_usize("definitely-not-passed", 7), 7);
+        assert!(!arg_flag("definitely-not-passed"));
+        assert!(arg_value("definitely-not-passed").is_none());
+    }
+
+    #[test]
+    fn fmt_kelvin() {
+        assert_eq!(fmt_k(333.456), "333.5 K");
+    }
+}

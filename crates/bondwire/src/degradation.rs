@@ -1,0 +1,230 @@
+//! Wire degradation and failure criteria.
+//!
+//! The paper defines failure through the degradation of the surrounding mold
+//! compound at `T_critical = 523 K ≈ 250 °C` and asks whether the (6σ band
+//! of the) wire temperature crosses that threshold during operation. This
+//! module provides the crossing analysis used by the Fig. 7 reproduction and
+//! an Arrhenius damage-accumulation extension (the paper's "future research"
+//! direction of more sophisticated degradation models).
+
+use crate::T_CRITICAL;
+
+/// Result of assessing a temperature time series against a threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailureAssessment {
+    /// Threshold used (K).
+    pub threshold: f64,
+    /// Peak temperature reached (K).
+    pub peak_temperature: f64,
+    /// Time of the peak (s).
+    pub peak_time: f64,
+    /// First threshold crossing (linear interpolation between samples), if
+    /// any.
+    pub first_crossing: Option<f64>,
+    /// Margin `threshold − peak` (negative when the threshold is violated).
+    pub margin: f64,
+}
+
+impl FailureAssessment {
+    /// Whether the series stays strictly below the threshold.
+    pub fn passes(&self) -> bool {
+        self.first_crossing.is_none()
+    }
+}
+
+/// Assesses a sampled temperature series `(times, temps)` against
+/// `threshold`.
+///
+/// # Panics
+///
+/// Panics if the series is empty or lengths differ.
+pub fn assess_series(times: &[f64], temps: &[f64], threshold: f64) -> FailureAssessment {
+    assert_eq!(times.len(), temps.len(), "assess_series: length mismatch");
+    assert!(!times.is_empty(), "assess_series: empty series");
+    let mut peak = f64::NEG_INFINITY;
+    let mut peak_time = times[0];
+    for (&t, &temp) in times.iter().zip(temps) {
+        if temp > peak {
+            peak = temp;
+            peak_time = t;
+        }
+    }
+    FailureAssessment {
+        threshold,
+        peak_temperature: peak,
+        peak_time,
+        first_crossing: first_crossing(times, temps, threshold),
+        margin: threshold - peak,
+    }
+}
+
+/// First time the series reaches `threshold`, linearly interpolated between
+/// samples; `None` if it never does.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn first_crossing(times: &[f64], temps: &[f64], threshold: f64) -> Option<f64> {
+    assert_eq!(times.len(), temps.len(), "first_crossing: length mismatch");
+    if temps.first().is_some_and(|&t| t >= threshold) {
+        return times.first().copied();
+    }
+    for i in 1..temps.len() {
+        if temps[i] >= threshold && temps[i - 1] < threshold {
+            let f = (threshold - temps[i - 1]) / (temps[i] - temps[i - 1]);
+            return Some(times[i - 1] + f * (times[i] - times[i - 1]));
+        }
+    }
+    None
+}
+
+/// Convenience: assessment against the paper's `T_critical = 523 K`.
+pub fn assess_against_critical(times: &[f64], temps: &[f64]) -> FailureAssessment {
+    assess_series(times, temps, T_CRITICAL)
+}
+
+/// Arrhenius damage-accumulation model: damage rate
+/// `ṙ(T) = A·exp(−E_a / (k_B·T))`, failure when the integral reaches 1.
+///
+/// This is the standard thermally-activated wear-out form (mold-compound
+/// decomposition, intermetallic growth). The default parameters are
+/// *illustrative*, normalized so that continuous operation exactly at
+/// `T_critical` consumes the lifetime in 1000 h.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrheniusDamage {
+    /// Pre-exponential factor `A` (1/s).
+    pub prefactor: f64,
+    /// Activation energy `E_a` (eV).
+    pub activation_energy_ev: f64,
+}
+
+/// Boltzmann constant in eV/K.
+pub const K_BOLTZMANN_EV: f64 = 8.617333262e-5;
+
+impl Default for ArrheniusDamage {
+    fn default() -> Self {
+        // Mold-compound-like activation energy.
+        let ea = 0.8;
+        // Normalize: rate(T_CRITICAL) · (1000 h) = 1.
+        let rate_target = 1.0 / (1000.0 * 3600.0);
+        let prefactor = rate_target / (-ea / (K_BOLTZMANN_EV * T_CRITICAL)).exp();
+        ArrheniusDamage {
+            prefactor,
+            activation_energy_ev: ea,
+        }
+    }
+}
+
+impl ArrheniusDamage {
+    /// Instantaneous damage rate at temperature `t` (1/s).
+    pub fn rate(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        self.prefactor * (-self.activation_energy_ev / (K_BOLTZMANN_EV * t)).exp()
+    }
+
+    /// Accumulated damage over a sampled series (trapezoidal rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or fewer than two samples are given.
+    pub fn accumulate(&self, times: &[f64], temps: &[f64]) -> f64 {
+        assert_eq!(times.len(), temps.len(), "accumulate: length mismatch");
+        assert!(times.len() >= 2, "accumulate: need at least 2 samples");
+        let mut d = 0.0;
+        for i in 1..times.len() {
+            let dt = times[i] - times[i - 1];
+            d += 0.5 * (self.rate(temps[i]) + self.rate(temps[i - 1])) * dt;
+        }
+        d
+    }
+
+    /// Lifetime (s) under constant temperature `t`; `None` when the rate is
+    /// zero.
+    pub fn lifetime_at(&self, t: f64) -> Option<f64> {
+        let r = self.rate(t);
+        if r > 0.0 {
+            Some(1.0 / r)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_is_interpolated() {
+        let times = [0.0, 1.0, 2.0];
+        let temps = [500.0, 520.0, 540.0];
+        // 523 K is reached 3/20 of the way through the second interval.
+        let c = first_crossing(&times, &temps, 523.0).unwrap();
+        assert!((c - (1.0 + 3.0 / 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossing_at_start_and_never() {
+        assert_eq!(first_crossing(&[0.0, 1.0], &[600.0, 700.0], 523.0), Some(0.0));
+        assert_eq!(first_crossing(&[0.0, 1.0], &[300.0, 400.0], 523.0), None);
+    }
+
+    #[test]
+    fn assessment_summary() {
+        let times = [0.0, 10.0, 20.0, 30.0];
+        let temps = [300.0, 450.0, 530.0, 525.0];
+        let a = assess_against_critical(&times, &temps);
+        assert_eq!(a.threshold, 523.0);
+        assert_eq!(a.peak_temperature, 530.0);
+        assert_eq!(a.peak_time, 20.0);
+        assert!(!a.passes());
+        assert!(a.margin < 0.0);
+        assert!(a.first_crossing.unwrap() > 10.0 && a.first_crossing.unwrap() < 20.0);
+    }
+
+    #[test]
+    fn passing_series() {
+        let a = assess_against_critical(&[0.0, 50.0], &[300.0, 500.0]);
+        assert!(a.passes());
+        assert!((a.margin - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arrhenius_default_normalization() {
+        let d = ArrheniusDamage::default();
+        let life = d.lifetime_at(T_CRITICAL).unwrap();
+        assert!((life - 1000.0 * 3600.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn arrhenius_rate_monotone_in_temperature() {
+        let d = ArrheniusDamage::default();
+        assert!(d.rate(400.0) < d.rate(500.0));
+        assert!(d.rate(500.0) < d.rate(600.0));
+        assert_eq!(d.rate(-5.0), 0.0);
+        assert!(d.lifetime_at(-5.0).is_none());
+    }
+
+    #[test]
+    fn accumulation_matches_constant_rate() {
+        let d = ArrheniusDamage::default();
+        let times: Vec<f64> = (0..=10).map(|i| i as f64 * 100.0).collect();
+        let temps = vec![500.0; 11];
+        let acc = d.accumulate(&times, &temps);
+        assert!((acc - d.rate(500.0) * 1000.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn hotter_excursions_accumulate_more_damage() {
+        let d = ArrheniusDamage::default();
+        let times: Vec<f64> = (0..=50).map(|i| i as f64).collect();
+        let cool = vec![450.0; 51];
+        let mut spike = cool.clone();
+        for t in spike.iter_mut().take(30).skip(20) {
+            *t = 520.0;
+        }
+        assert!(d.accumulate(&times, &spike) > d.accumulate(&times, &cool));
+    }
+}

@@ -1,0 +1,31 @@
+//! Lumped electrothermal bonding-wire models (paper §III-B).
+//!
+//! Bonding wires are orders of magnitude thinner (25.4 µm) than every other
+//! package feature, so resolving them in the computational grid would force
+//! a prohibitive multiscale mesh. Instead each wire becomes a *lumped
+//! element*: a temperature-dependent electrothermal conductance
+//! `G_bw(T) = [σ|λ](T_bw) · A / L` stamped between two mesh nodes, with its
+//! Joule heat `Q_bw = G_el·(Δφ)²` fed back to the thermal system.
+//!
+//! * [`BondWire`] — wire geometry + material, single- or multi-segment
+//!   (piecewise-linear wire temperature, paper §III-B last paragraph),
+//! * [`stamp`] — stamping wires into the reduced FIT systems and computing
+//!   their Joule heat and currents,
+//! * [`analytic`] — a closed-form 1D fin baseline (the "bonding wire
+//!   calculator" family of refs. [3], [6]) incl. allowable-current search,
+//! * [`degradation`] — critical-temperature failure criterion
+//!   (`T_crit = 523 K`), threshold-crossing detection and an Arrhenius
+//!   damage-accumulation extension.
+
+pub mod analytic;
+pub mod degradation;
+pub mod stamp;
+mod wire;
+
+pub use stamp::WireTopology;
+pub use wire::{BondWire, BondWireError};
+
+/// The critical (failure) temperature used throughout the paper:
+/// `T_critical = 523 K ≈ 250 °C`, the degradation threshold of the
+/// surrounding mold compound.
+pub const T_CRITICAL: f64 = 523.0;

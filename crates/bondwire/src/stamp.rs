@@ -1,0 +1,326 @@
+//! Stamping lumped wires into the reduced FIT systems.
+//!
+//! A wire with `n` segments couples its two grid attachment nodes through a
+//! chain of `n` two-terminal conductances with `n − 1` internal DoFs. The
+//! internal DoFs are appended after the grid nodes in the *shared* DoF
+//! layout used by both the electrical and the thermal system, so one
+//! [`WireTopology`] describes the wire's incidence (`P_j` in the paper) for
+//! both physics.
+
+use crate::wire::BondWire;
+use etherm_fit::Assembler;
+
+/// Incidence information of one wire in the global DoF numbering.
+///
+/// Local wire nodes are numbered `0 ..= n_segments`: local `0` is grid node
+/// `end_a`, local `n_segments` is grid node `end_b`, and locals
+/// `1 .. n_segments` map to `internal_offset .. internal_offset + n − 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTopology {
+    /// Global DoF of the first attachment (chip-side) node.
+    pub end_a: usize,
+    /// Global DoF of the second attachment (pad-side) node.
+    pub end_b: usize,
+    /// First global DoF of the wire's internal nodes.
+    pub internal_offset: usize,
+    /// Number of lumped segments (≥ 1).
+    pub n_segments: usize,
+}
+
+impl WireTopology {
+    /// A single-segment wire directly between two grid nodes.
+    pub fn two_terminal(end_a: usize, end_b: usize) -> Self {
+        WireTopology {
+            end_a,
+            end_b,
+            internal_offset: usize::MAX,
+            n_segments: 1,
+        }
+    }
+
+    /// Global DoF of local wire node `i ∈ 0..=n_segments`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > n_segments`.
+    pub fn local_dof(&self, i: usize) -> usize {
+        assert!(i <= self.n_segments, "local wire node out of range");
+        if i == 0 {
+            self.end_a
+        } else if i == self.n_segments {
+            self.end_b
+        } else {
+            self.internal_offset + i - 1
+        }
+    }
+
+    /// Number of internal DoFs.
+    pub fn n_internal(&self) -> usize {
+        self.n_segments - 1
+    }
+
+    /// Average wire temperature `T_bw = XᵀT` over the two *attachment*
+    /// nodes (paper Eq. 5) — independent of the segment count, this is the
+    /// quantity of interest reported in Fig. 7.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DoFs are out of bounds of `t`.
+    pub fn average_temperature(&self, t: &[f64]) -> f64 {
+        0.5 * (t[self.end_a] + t[self.end_b])
+    }
+
+    /// Maximum temperature over all wire nodes (attachments + internal).
+    /// For multi-segment wires this resolves the interior hot spot.
+    pub fn max_temperature(&self, t: &[f64]) -> f64 {
+        (0..=self.n_segments)
+            .map(|i| t[self.local_dof(i)])
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Temperatures of each segment (mean of its two endpoint DoFs).
+    pub fn segment_temperatures(&self, t: &[f64]) -> Vec<f64> {
+        (0..self.n_segments)
+            .map(|s| 0.5 * (t[self.local_dof(s)] + t[self.local_dof(s + 1)]))
+            .collect()
+    }
+}
+
+/// Which lumped conductance to stamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WirePhysics {
+    /// Electrical conductance `G_el(T)`.
+    Electrical,
+    /// Thermal conductance `G_th(T)`.
+    Thermal,
+}
+
+/// Stamps the wire's segment conductances into a reduced system.
+///
+/// `t_full` is the lagged full temperature vector (grid + wire internal
+/// DoFs) used to evaluate the temperature-dependent conductances.
+///
+/// # Panics
+///
+/// Panics if the topology's segment count differs from the wire's, or DoFs
+/// exceed the stamper's map.
+pub fn stamp_wire<A: Assembler>(
+    wire: &BondWire,
+    topo: &WireTopology,
+    t_full: &[f64],
+    physics: WirePhysics,
+    stamper: &mut A,
+) {
+    assert_eq!(
+        topo.n_segments,
+        wire.segments(),
+        "topology/wire segment mismatch"
+    );
+    for (s, &t_seg) in topo.segment_temperatures(t_full).iter().enumerate() {
+        let g = match physics {
+            WirePhysics::Electrical => wire.segment_electrical_conductance(t_seg),
+            WirePhysics::Thermal => wire.segment_thermal_conductance(t_seg),
+        };
+        stamper.add_conductance(topo.local_dof(s), topo.local_dof(s + 1), g);
+    }
+}
+
+/// Joule heat of the wire: per-segment power
+/// `Q_s = G_el,s(T_s)·(Δφ_s)²`, accumulated half/half onto the segment
+/// endpoint DoFs of `q`. Returns the wire's total dissipated power (W).
+///
+/// For the single-segment wire this reduces to the paper's
+/// `Q_bw,j = Φᵀ P_j G_el P_jᵀ Φ` distributed by `X_j` (half to each
+/// attachment node).
+///
+/// # Panics
+///
+/// Panics on inconsistent topology or vector lengths.
+pub fn wire_joule_heat(
+    wire: &BondWire,
+    topo: &WireTopology,
+    t_full: &[f64],
+    phi_full: &[f64],
+    q: &mut [f64],
+) -> f64 {
+    assert_eq!(
+        topo.n_segments,
+        wire.segments(),
+        "topology/wire segment mismatch"
+    );
+    let mut total = 0.0;
+    for (s, &t_seg) in topo.segment_temperatures(t_full).iter().enumerate() {
+        let a = topo.local_dof(s);
+        let b = topo.local_dof(s + 1);
+        let g = wire.segment_electrical_conductance(t_seg);
+        let dphi = phi_full[a] - phi_full[b];
+        let p = g * dphi * dphi;
+        q[a] += 0.5 * p;
+        q[b] += 0.5 * p;
+        total += p;
+    }
+    total
+}
+
+/// Current flowing through the wire (A), evaluated on the first segment
+/// (all segments carry the same current once the electrical system is
+/// solved; small discrepancies indicate an unconverged solve).
+///
+/// # Panics
+///
+/// Panics on inconsistent topology.
+pub fn wire_current(
+    wire: &BondWire,
+    topo: &WireTopology,
+    t_full: &[f64],
+    phi_full: &[f64],
+) -> f64 {
+    assert_eq!(
+        topo.n_segments,
+        wire.segments(),
+        "topology/wire segment mismatch"
+    );
+    let temps = topo.segment_temperatures(t_full);
+    let g = wire.segment_electrical_conductance(temps[0]);
+    g * (phi_full[topo.local_dof(0)] - phi_full[topo.local_dof(1)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etherm_fit::{DofMap, Stamper};
+    use etherm_materials::library;
+
+    fn wire(n: usize) -> BondWire {
+        BondWire::new("w", 1.0e-3, 25.4e-6, library::copper())
+            .unwrap()
+            .with_segments(n)
+            .unwrap()
+    }
+
+    #[test]
+    fn topology_local_dofs() {
+        let topo = WireTopology {
+            end_a: 3,
+            end_b: 7,
+            internal_offset: 100,
+            n_segments: 3,
+        };
+        assert_eq!(topo.local_dof(0), 3);
+        assert_eq!(topo.local_dof(1), 100);
+        assert_eq!(topo.local_dof(2), 101);
+        assert_eq!(topo.local_dof(3), 7);
+        assert_eq!(topo.n_internal(), 2);
+    }
+
+    #[test]
+    fn two_terminal_constructor() {
+        let topo = WireTopology::two_terminal(1, 5);
+        assert_eq!(topo.n_segments, 1);
+        assert_eq!(topo.local_dof(0), 1);
+        assert_eq!(topo.local_dof(1), 5);
+        assert_eq!(topo.n_internal(), 0);
+    }
+
+    #[test]
+    fn average_temperature_is_endpoint_mean() {
+        let topo = WireTopology {
+            end_a: 0,
+            end_b: 2,
+            internal_offset: 3,
+            n_segments: 2,
+        };
+        let t = [300.0, 0.0, 400.0, 999.0];
+        assert_eq!(topo.average_temperature(&t), 350.0);
+        assert_eq!(topo.max_temperature(&t), 999.0);
+        assert_eq!(topo.segment_temperatures(&t), vec![649.5, 699.5]);
+    }
+
+    #[test]
+    fn single_segment_stamp_matches_paper_block() {
+        // System: two free DoFs, one wire between them. The reduced matrix
+        // must be [[g, -g], [-g, g]] + structural zeros.
+        let w = wire(1);
+        let topo = WireTopology::two_terminal(0, 1);
+        let map = DofMap::new(2, &[]);
+        let mut st = Stamper::new(&map);
+        let t = [300.0, 300.0];
+        stamp_wire(&w, &topo, &t, WirePhysics::Electrical, &mut st);
+        let (a, _) = st.finish();
+        let g = w.electrical_conductance(300.0);
+        assert!((a.get(0, 0) - g).abs() < 1e-12 * g);
+        assert!((a.get(0, 1) + g).abs() < 1e-12 * g);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn chain_of_segments_recovers_whole_wire_resistance() {
+        // Wire with 4 segments between Dirichlet potentials: solve the
+        // internal nodes and verify the current equals V·G_whole.
+        let w = wire(4);
+        let v = 0.04;
+        let map = DofMap::new(5, &[(0, v), (4, 0.0)]);
+        let topo = WireTopology {
+            end_a: 0,
+            end_b: 4,
+            internal_offset: 1,
+            n_segments: 4,
+        };
+        let t = [300.0; 5];
+        let mut st = Stamper::new(&map);
+        stamp_wire(&w, &topo, &t, WirePhysics::Electrical, &mut st);
+        let (a, b) = st.finish();
+        let x = a.to_dense().solve(&b).unwrap();
+        let phi = map.expand(&x);
+        // Linear potential drop across the chain.
+        for i in 0..=4 {
+            let expect = v * (1.0 - i as f64 / 4.0);
+            assert!((phi[i] - expect).abs() < 1e-12, "{phi:?}");
+        }
+        let i_wire = wire_current(&w, &topo, &t, &phi);
+        let expect = v * w.electrical_conductance(300.0);
+        assert!((i_wire - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn joule_heat_conserves_total_power() {
+        let w = wire(3);
+        let topo = WireTopology {
+            end_a: 0,
+            end_b: 4,
+            internal_offset: 1,
+            n_segments: 3,
+        };
+        // Linear potential profile over local nodes 0,1,2,3 → dofs 0,1,2,4.
+        let phi = [0.03, 0.02, 0.01, 0.0, 0.0];
+        let t = [300.0; 5];
+        let mut q = vec![0.0; 5];
+        let total = wire_joule_heat(&w, &topo, &t, &phi, &mut q);
+        let sum: f64 = q.iter().sum();
+        assert!((sum - total).abs() < 1e-15 * total.max(1e-30));
+        // P = V²·G with V = 0.03 (uniform temperature → uniform G).
+        let expect = 0.03f64.powi(2) * w.electrical_conductance(300.0);
+        assert!((total - expect).abs() < 1e-9 * expect, "{total} vs {expect}");
+    }
+
+    #[test]
+    fn hot_wire_conducts_less() {
+        let w = wire(1);
+        let topo = WireTopology::two_terminal(0, 1);
+        let phi = [0.04, 0.0];
+        let cold = [300.0, 300.0];
+        let hot = [500.0, 500.0];
+        let i_cold = wire_current(&w, &topo, &cold, &phi);
+        let i_hot = wire_current(&w, &topo, &hot, &phi);
+        assert!(i_hot < i_cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment mismatch")]
+    fn topology_mismatch_panics() {
+        let w = wire(2);
+        let topo = WireTopology::two_terminal(0, 1);
+        let mut q = vec![0.0; 2];
+        let _ = wire_joule_heat(&w, &topo, &[300.0; 2], &[0.0; 2], &mut q);
+    }
+}

@@ -1,0 +1,299 @@
+//! Bond wire geometry and lumped conductances.
+
+use etherm_materials::Material;
+use std::fmt;
+
+/// Errors validating a [`BondWire`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BondWireError {
+    /// Length must be positive and finite.
+    InvalidLength(f64),
+    /// Diameter must be positive, finite and much smaller than the length.
+    InvalidDiameter(f64),
+    /// At least one segment is required.
+    ZeroSegments,
+}
+
+impl fmt::Display for BondWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BondWireError::InvalidLength(l) => write!(f, "invalid wire length {l} m"),
+            BondWireError::InvalidDiameter(d) => write!(f, "invalid wire diameter {d} m"),
+            BondWireError::ZeroSegments => write!(f, "wire needs at least one segment"),
+        }
+    }
+}
+
+impl std::error::Error for BondWireError {}
+
+/// A cylindrical bonding wire modeled as a chain of lumped electrothermal
+/// conductances.
+///
+/// With one segment this is exactly the paper's two-terminal element
+/// `G_bw(T_bw)` with the average temperature `T_bw = XᵀT` (Eq. 5); with
+/// `n > 1` segments the wire gains `n − 1` internal DoFs and resolves a
+/// piecewise-linear temperature profile along its length.
+///
+/// # Example
+///
+/// ```
+/// use etherm_bondwire::BondWire;
+/// use etherm_materials::library;
+///
+/// // Table II: d = 25.4 µm, average length 1.55 mm, copper.
+/// let wire = BondWire::new("w1", 1.55e-3, 25.4e-6, library::copper()).unwrap();
+/// let r300 = wire.resistance(300.0);
+/// // R = L/(σA) ≈ 52.7 mΩ… for this geometry ≈ 52.7e-3 Ω.
+/// assert!((r300 - 52.7e-3).abs() / 52.7e-3 < 0.01);
+/// // Heating the wire raises its resistance.
+/// assert!(wire.resistance(400.0) > r300);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BondWire {
+    label: String,
+    length: f64,
+    diameter: f64,
+    material: Material,
+    segments: usize,
+}
+
+impl BondWire {
+    /// Creates a single-segment wire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BondWireError`] for non-positive/non-finite length or
+    /// diameter, or a diameter not smaller than the length (the lumped model
+    /// assumes a thin wire).
+    pub fn new(
+        label: impl Into<String>,
+        length: f64,
+        diameter: f64,
+        material: Material,
+    ) -> Result<Self, BondWireError> {
+        if !(length.is_finite() && length > 0.0) {
+            return Err(BondWireError::InvalidLength(length));
+        }
+        if !(diameter.is_finite() && diameter > 0.0) || diameter >= length {
+            return Err(BondWireError::InvalidDiameter(diameter));
+        }
+        Ok(BondWire {
+            label: label.into(),
+            length,
+            diameter,
+            material,
+            segments: 1,
+        })
+    }
+
+    /// Sets the number of lumped segments (piecewise-linear temperature).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BondWireError::ZeroSegments`] if `n == 0`.
+    pub fn with_segments(mut self, n: usize) -> Result<Self, BondWireError> {
+        if n == 0 {
+            return Err(BondWireError::ZeroSegments);
+        }
+        self.segments = n;
+        Ok(self)
+    }
+
+    /// Returns a copy with a different length (used by the Monte Carlo
+    /// sampling of uncertain elongations).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`BondWire::new`].
+    pub fn with_length(&self, length: f64) -> Result<Self, BondWireError> {
+        if !(length.is_finite() && length > 0.0) || self.diameter >= length {
+            return Err(BondWireError::InvalidLength(length));
+        }
+        let mut w = self.clone();
+        w.length = length;
+        Ok(w)
+    }
+
+    /// Wire label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Total length `L` (m).
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Diameter `d` (m).
+    pub fn diameter(&self) -> f64 {
+        self.diameter
+    }
+
+    /// Wire material.
+    pub fn material(&self) -> &Material {
+        &self.material
+    }
+
+    /// Number of lumped segments.
+    pub fn segments(&self) -> usize {
+        self.segments
+    }
+
+    /// Number of internal DoFs (`segments − 1`).
+    pub fn n_internal(&self) -> usize {
+        self.segments - 1
+    }
+
+    /// Cross-section area `A = πd²/4` (m²).
+    pub fn cross_section(&self) -> f64 {
+        std::f64::consts::PI * self.diameter * self.diameter / 4.0
+    }
+
+    /// Lateral (mantle) surface area `πdL` (m²).
+    pub fn surface_area(&self) -> f64 {
+        std::f64::consts::PI * self.diameter * self.length
+    }
+
+    /// Electrical conductance of the *whole* wire at uniform temperature
+    /// `t`: `G_el = σ(T)·A/L` (S).
+    pub fn electrical_conductance(&self, t: f64) -> f64 {
+        self.material.sigma(t) * self.cross_section() / self.length
+    }
+
+    /// Thermal conductance of the whole wire at uniform temperature `t`:
+    /// `G_th = λ(T)·A/L` (W/K).
+    pub fn thermal_conductance(&self, t: f64) -> f64 {
+        self.material.lambda(t) * self.cross_section() / self.length
+    }
+
+    /// Electrical conductance of one segment at temperature `t`
+    /// (`segments ×` the whole-wire conductance).
+    pub fn segment_electrical_conductance(&self, t: f64) -> f64 {
+        self.electrical_conductance(t) * self.segments as f64
+    }
+
+    /// Thermal conductance of one segment at temperature `t`.
+    pub fn segment_thermal_conductance(&self, t: f64) -> f64 {
+        self.thermal_conductance(t) * self.segments as f64
+    }
+
+    /// Electrical resistance `R(T) = 1/G_el(T)` (Ω).
+    pub fn resistance(&self, t: f64) -> f64 {
+        1.0 / self.electrical_conductance(t)
+    }
+
+    /// Total heat capacity `ρc·A·L` (J/K). The paper's lumped model neglects
+    /// wire heat capacity (conduction-dominated); exposed for extensions.
+    pub fn heat_capacity(&self) -> f64 {
+        self.material.rho_c() * self.cross_section() * self.length
+    }
+}
+
+impl fmt::Display for BondWire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: L = {:.4} mm, d = {:.1} µm, {} segment(s), {}",
+            self.label,
+            self.length * 1e3,
+            self.diameter * 1e6,
+            self.segments,
+            self.material.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etherm_materials::library;
+
+    fn paper_wire() -> BondWire {
+        BondWire::new("w", 1.55e-3, 25.4e-6, library::copper()).unwrap()
+    }
+
+    #[test]
+    fn geometry_values() {
+        let w = paper_wire();
+        let a = w.cross_section();
+        assert!((a - std::f64::consts::PI * (25.4e-6f64).powi(2) / 4.0).abs() < 1e-20);
+        assert!((w.surface_area() - std::f64::consts::PI * 25.4e-6 * 1.55e-3).abs() < 1e-15);
+        assert_eq!(w.segments(), 1);
+        assert_eq!(w.n_internal(), 0);
+    }
+
+    #[test]
+    fn conductances_scale_with_segments() {
+        let w = paper_wire().with_segments(4).unwrap();
+        let g_whole = w.electrical_conductance(300.0);
+        assert!((w.segment_electrical_conductance(300.0) - 4.0 * g_whole).abs() < 1e-12 * g_whole);
+        // n segments in series recover the whole-wire conductance.
+        let g_series = 1.0 / (4.0 / w.segment_electrical_conductance(300.0));
+        assert!((g_series - g_whole).abs() < 1e-12 * g_whole);
+        assert_eq!(w.n_internal(), 3);
+    }
+
+    #[test]
+    fn temperature_dependence() {
+        let w = paper_wire();
+        assert!(w.electrical_conductance(500.0) < w.electrical_conductance(300.0));
+        assert!(w.thermal_conductance(500.0) < w.thermal_conductance(300.0));
+        assert!(w.resistance(500.0) > w.resistance(300.0));
+    }
+
+    #[test]
+    fn paper_wire_resistance_magnitude() {
+        // R = L/(σA): 1.55e-3 / (5.8e7 · 5.067e-10) ≈ 52.7 mΩ.
+        let w = paper_wire();
+        let r = w.resistance(300.0);
+        assert!(r > 0.04 && r < 0.06, "R = {r}");
+    }
+
+    #[test]
+    fn with_length_preserves_everything_else() {
+        let w = paper_wire().with_segments(3).unwrap();
+        let w2 = w.with_length(2.0e-3).unwrap();
+        assert_eq!(w2.length(), 2.0e-3);
+        assert_eq!(w2.segments(), 3);
+        assert_eq!(w2.diameter(), w.diameter());
+        assert!(w2.electrical_conductance(300.0) < w.electrical_conductance(300.0));
+    }
+
+    #[test]
+    fn validation() {
+        let cu = library::copper;
+        assert!(matches!(
+            BondWire::new("x", 0.0, 1e-6, cu()),
+            Err(BondWireError::InvalidLength(_))
+        ));
+        assert!(matches!(
+            BondWire::new("x", 1e-3, -1.0, cu()),
+            Err(BondWireError::InvalidDiameter(_))
+        ));
+        // Diameter ≥ length violates the thin-wire assumption.
+        assert!(matches!(
+            BondWire::new("x", 1e-6, 1e-3, cu()),
+            Err(BondWireError::InvalidDiameter(_))
+        ));
+        assert!(matches!(
+            BondWire::new("x", 1e-3, 1e-6, cu()).unwrap().with_segments(0),
+            Err(BondWireError::ZeroSegments)
+        ));
+        assert!(paper_wire().with_length(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(BondWireError::InvalidLength(0.0).to_string().contains("length"));
+        assert!(BondWireError::InvalidDiameter(0.0)
+            .to_string()
+            .contains("diameter"));
+        assert!(BondWireError::ZeroSegments.to_string().contains("segment"));
+    }
+
+    #[test]
+    fn display_format() {
+        let s = paper_wire().to_string();
+        assert!(s.contains("1.55") && s.contains("25.4") && s.contains("copper"));
+    }
+}

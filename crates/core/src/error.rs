@@ -1,0 +1,91 @@
+//! Error type of the coupled solver.
+
+use etherm_numerics::NumericsError;
+use std::fmt;
+
+/// Errors from model construction or the coupled solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying linear algebra failed (breakdown, dimension bug).
+    Numerics(NumericsError),
+    /// A linear solve hit its iteration cap.
+    LinearSolveFailed {
+        /// Which subsystem failed ("electrical" or "thermal").
+        system: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual.
+        residual: f64,
+    },
+    /// The Picard iteration of a time step did not converge.
+    PicardNotConverged {
+        /// Time step index.
+        step: usize,
+        /// Final relative update.
+        update: f64,
+    },
+    /// The model is inconsistent (bad wire attachment, missing material...).
+    InvalidModel(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Numerics(e) => write!(f, "numerics error: {e}"),
+            CoreError::LinearSolveFailed {
+                system,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{system} solve failed after {iterations} iterations (residual {residual:.3e})"
+            ),
+            CoreError::PicardNotConverged { step, update } => write!(
+                f,
+                "picard iteration of step {step} stalled (relative update {update:.3e})"
+            ),
+            CoreError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Numerics(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericsError> for CoreError {
+    fn from(e: NumericsError) -> Self {
+        CoreError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(NumericsError::InvalidArgument("x".into()));
+        assert!(e.to_string().contains("numerics"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::LinearSolveFailed {
+            system: "thermal",
+            iterations: 9,
+            residual: 1.0,
+        };
+        assert!(e.to_string().contains("thermal"));
+        let e = CoreError::PicardNotConverged {
+            step: 3,
+            update: 0.5,
+        };
+        assert!(e.to_string().contains('3'));
+        let e = CoreError::InvalidModel("no wires".into());
+        assert!(e.to_string().contains("no wires"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,189 @@
+//! Legacy-VTK export of nodal fields for visualization in ParaView/VisIt.
+//!
+//! The FIT primary grid is a rectilinear grid, which maps directly onto the
+//! legacy `DATASET RECTILINEAR_GRID` format — the Fig. 8 temperature field
+//! (and any potential field) can be inspected in 3D instead of the ASCII
+//! heat map.
+
+use etherm_grid::Grid3;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Writer collecting named nodal fields over one grid.
+///
+/// # Example
+///
+/// ```
+/// use etherm_core::export::VtkExporter;
+/// use etherm_grid::{Axis, Grid3};
+///
+/// let grid = Grid3::new(
+///     Axis::uniform(0.0, 1.0, 2).unwrap(),
+///     Axis::uniform(0.0, 1.0, 2).unwrap(),
+///     Axis::uniform(0.0, 1.0, 1).unwrap(),
+/// );
+/// let temperatures = vec![300.0; grid.n_nodes()];
+/// let mut vtk = VtkExporter::new(&grid, "etherm solution");
+/// vtk.add_field("temperature", &temperatures).unwrap();
+/// let text = vtk.to_vtk_string();
+/// assert!(text.contains("RECTILINEAR_GRID"));
+/// assert!(text.contains("temperature"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct VtkExporter<'g> {
+    grid: &'g Grid3,
+    title: String,
+    fields: Vec<(String, Vec<f64>)>,
+}
+
+impl<'g> VtkExporter<'g> {
+    /// Creates an exporter for the grid with a dataset title.
+    pub fn new(grid: &'g Grid3, title: impl Into<String>) -> Self {
+        VtkExporter {
+            grid,
+            title: title.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds a nodal scalar field. Longer vectors (e.g. full DoF states
+    /// including wire-internal nodes) are truncated to the grid nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the field is shorter than the node count
+    /// or the name is empty/contains whitespace.
+    pub fn add_field(&mut self, name: &str, values: &[f64]) -> Result<(), String> {
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err(format!("invalid VTK field name '{name}'"));
+        }
+        let n = self.grid.n_nodes();
+        if values.len() < n {
+            return Err(format!(
+                "field '{name}' has {} values but the grid has {n} nodes",
+                values.len()
+            ));
+        }
+        self.fields.push((name.to_string(), values[..n].to_vec()));
+        Ok(())
+    }
+
+    /// Serializes to legacy-VTK ASCII.
+    pub fn to_vtk_string(&self) -> String {
+        let (nx, ny, nz) = self.grid.node_dims();
+        let mut out = String::new();
+        out.push_str("# vtk DataFile Version 3.0\n");
+        let _ = writeln!(out, "{}", self.title);
+        out.push_str("ASCII\nDATASET RECTILINEAR_GRID\n");
+        let _ = writeln!(out, "DIMENSIONS {nx} {ny} {nz}");
+        for (label, coords) in [
+            ("X_COORDINATES", self.grid.x().coords()),
+            ("Y_COORDINATES", self.grid.y().coords()),
+            ("Z_COORDINATES", self.grid.z().coords()),
+        ] {
+            let _ = writeln!(out, "{label} {} double", coords.len());
+            for (i, c) in coords.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{c}");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "POINT_DATA {}", self.grid.n_nodes());
+        for (name, values) in &self.fields {
+            let _ = writeln!(out, "SCALARS {name} double 1");
+            out.push_str("LOOKUP_TABLE default\n");
+            // VTK expects x fastest, then y, then z — our node ordering.
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    out.push(if i % 6 == 0 { '\n' } else { ' ' });
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the dataset to a `.vtk` file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_vtk_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etherm_grid::Axis;
+
+    fn grid() -> Grid3 {
+        Grid3::new(
+            Axis::uniform(0.0, 2.0, 2).unwrap(),
+            Axis::from_coords(vec![0.0, 0.5, 2.0]).unwrap(),
+            Axis::uniform(0.0, 1.0, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn header_and_dimensions() {
+        let g = grid();
+        let vtk = VtkExporter::new(&g, "test");
+        let s = vtk.to_vtk_string();
+        assert!(s.starts_with("# vtk DataFile Version 3.0\n"));
+        assert!(s.contains("DIMENSIONS 3 3 2"));
+        assert!(s.contains("X_COORDINATES 3 double"));
+        assert!(s.contains("Y_COORDINATES 3 double"));
+        assert!(s.contains("0 0.5 2"));
+        assert!(s.contains("POINT_DATA 18"));
+    }
+
+    #[test]
+    fn fields_serialize_in_node_order() {
+        let g = grid();
+        let mut vtk = VtkExporter::new(&g, "test");
+        let values: Vec<f64> = (0..g.n_nodes()).map(|i| i as f64).collect();
+        vtk.add_field("t", &values).unwrap();
+        let s = vtk.to_vtk_string();
+        assert!(s.contains("SCALARS t double 1"));
+        // First values appear right after the lookup table line.
+        let after = s.split("LOOKUP_TABLE default\n").nth(1).unwrap();
+        assert!(after.starts_with("0 1 2 3 4 5\n6 7"));
+    }
+
+    #[test]
+    fn full_state_vectors_are_truncated() {
+        let g = grid();
+        let mut vtk = VtkExporter::new(&g, "test");
+        let mut values = vec![1.0; g.n_nodes()];
+        values.push(999.0); // wire-internal DoF
+        vtk.add_field("t", &values).unwrap();
+        assert!(!vtk.to_vtk_string().contains("999"));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = grid();
+        let mut vtk = VtkExporter::new(&g, "test");
+        assert!(vtk.add_field("bad name", &vec![0.0; g.n_nodes()]).is_err());
+        assert!(vtk.add_field("", &vec![0.0; g.n_nodes()]).is_err());
+        assert!(vtk.add_field("short", &[0.0]).is_err());
+    }
+
+    #[test]
+    fn writes_file() {
+        let g = grid();
+        let mut vtk = VtkExporter::new(&g, "test");
+        vtk.add_field("t", &vec![300.0; g.n_nodes()]).unwrap();
+        let path = std::env::temp_dir().join("etherm_vtk_test.vtk");
+        vtk.write_to(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert!(read.contains("RECTILINEAR_GRID"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

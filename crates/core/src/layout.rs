@@ -1,0 +1,166 @@
+//! Global DoF layout: grid nodes followed by wire-internal nodes.
+//!
+//! Both the electrical and the thermal system share one numbering: DoFs
+//! `0 .. n_grid` are the primary grid nodes, followed by one block of
+//! `segments − 1` internal DoFs per multi-segment wire, in wire order. The
+//! shared layout keeps the wire incidence (`P_j` of the paper) identical on
+//! both sides of the coupling.
+
+use etherm_bondwire::{BondWire, WireTopology};
+
+/// DoF layout of a model with `n_grid` grid nodes and the given wires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DofLayout {
+    n_grid: usize,
+    /// `(end_a, end_b, internal_offset, n_segments)` per wire.
+    topologies: Vec<WireTopology>,
+    n_total: usize,
+}
+
+impl DofLayout {
+    /// Builds the layout from wire attachments `(wire, grid_node_a,
+    /// grid_node_b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attachment node is out of grid range or a wire attaches
+    /// a node to itself.
+    pub fn new(n_grid: usize, wires: &[(&BondWire, usize, usize)]) -> Self {
+        let mut topologies = Vec::with_capacity(wires.len());
+        let mut offset = n_grid;
+        for (wire, a, b) in wires {
+            assert!(*a < n_grid && *b < n_grid, "wire attachment out of range");
+            assert_ne!(a, b, "wire cannot attach a node to itself");
+            let topo = WireTopology {
+                end_a: *a,
+                end_b: *b,
+                internal_offset: offset,
+                n_segments: wire.segments(),
+            };
+            offset += topo.n_internal();
+            topologies.push(topo);
+        }
+        DofLayout {
+            n_grid,
+            topologies,
+            n_total: offset,
+        }
+    }
+
+    /// Number of grid-node DoFs.
+    pub fn n_grid(&self) -> usize {
+        self.n_grid
+    }
+
+    /// Total number of DoFs (grid + wire internal).
+    pub fn n_total(&self) -> usize {
+        self.n_total
+    }
+
+    /// Number of wires.
+    pub fn n_wires(&self) -> usize {
+        self.topologies.len()
+    }
+
+    /// Topology of wire `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn topology(&self, j: usize) -> &WireTopology {
+        &self.topologies[j]
+    }
+
+    /// All wire topologies.
+    pub fn topologies(&self) -> &[WireTopology] {
+        &self.topologies
+    }
+
+    /// Extends a grid-sized vector to the full layout, filling wire-internal
+    /// DoFs with `fill`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_values.len() != n_grid`.
+    pub fn extend_grid_vector(&self, grid_values: &[f64], fill: f64) -> Vec<f64> {
+        assert_eq!(grid_values.len(), self.n_grid, "extend_grid_vector: length");
+        let mut v = Vec::with_capacity(self.n_total);
+        v.extend_from_slice(grid_values);
+        v.resize(self.n_total, fill);
+        v
+    }
+
+    /// Initializes wire-internal temperatures by linear interpolation
+    /// between the attachment-node values (in place on a full vector).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != n_total`.
+    pub fn interpolate_wire_internals(&self, full: &mut [f64]) {
+        assert_eq!(full.len(), self.n_total, "interpolate_wire_internals: length");
+        for topo in &self.topologies {
+            let ta = full[topo.end_a];
+            let tb = full[topo.end_b];
+            let n = topo.n_segments as f64;
+            for i in 1..topo.n_segments {
+                full[topo.internal_offset + i - 1] = ta + (tb - ta) * i as f64 / n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etherm_materials::library;
+
+    fn wire(n: usize) -> BondWire {
+        BondWire::new("w", 1e-3, 2e-5, library::copper())
+            .unwrap()
+            .with_segments(n)
+            .unwrap()
+    }
+
+    #[test]
+    fn layout_offsets() {
+        let w1 = wire(1);
+        let w3 = wire(3);
+        let w2 = wire(2);
+        let layout = DofLayout::new(100, &[(&w1, 0, 1), (&w3, 2, 3), (&w2, 4, 5)]);
+        assert_eq!(layout.n_grid(), 100);
+        assert_eq!(layout.n_wires(), 3);
+        // w1: no internal; w3: 2 internal at 100, 101; w2: 1 internal at 102.
+        assert_eq!(layout.n_total(), 103);
+        assert_eq!(layout.topology(0).n_internal(), 0);
+        assert_eq!(layout.topology(1).internal_offset, 100);
+        assert_eq!(layout.topology(1).local_dof(1), 100);
+        assert_eq!(layout.topology(1).local_dof(2), 101);
+        assert_eq!(layout.topology(2).internal_offset, 102);
+    }
+
+    #[test]
+    fn extend_and_interpolate() {
+        let w = wire(4);
+        let layout = DofLayout::new(2, &[(&w, 0, 1)]);
+        assert_eq!(layout.n_total(), 5);
+        let mut full = layout.extend_grid_vector(&[300.0, 340.0], 0.0);
+        assert_eq!(full.len(), 5);
+        layout.interpolate_wire_internals(&mut full);
+        // Internal nodes at 1/4, 2/4, 3/4 between 300 and 340.
+        assert_eq!(&full[2..], &[310.0, 320.0, 330.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_attachment() {
+        let w = wire(1);
+        let _ = DofLayout::new(3, &[(&w, 0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "attach a node to itself")]
+    fn rejects_self_loop() {
+        let w = wire(1);
+        let _ = DofLayout::new(3, &[(&w, 1, 1)]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Coupled transient electrothermal field–circuit solver with embedded
+//! lumped bonding wires — the primary contribution of Casper et al.
+//! (DATE 2016).
+//!
+//! The discrete system (paper Eqs. 3–4 extended by the wire stamps) is
+//!
+//! ```text
+//! S̃ Mσ(T) S̃ᵀ Φ  +  Σⱼ Pⱼ G_el,j(T_bw,j) Pⱼᵀ Φ = 0
+//! Mρc Ṫ + S̃ Mλ(T) S̃ᵀ T + Σⱼ Pⱼ G_th,j(T_bw,j) Pⱼᵀ T = Q(T, Φ)
+//! ```
+//!
+//! with `Q = Q_el + Q_bnd + Q_bw`. Time is discretized by the implicit
+//! Euler method; each step is solved by Picard (fixed-point) iteration with
+//! all temperature-dependent coefficients lagged, which keeps every linear
+//! system symmetric positive definite.
+//!
+//! Entry points:
+//!
+//! * [`ElectrothermalModel`] — geometry + materials + wires + boundary
+//!   conditions,
+//! * [`Simulator`] — assembles and solves; [`Simulator::run_transient`]
+//!   produces a [`TransientSolution`], [`Simulator::solve_stationary`] the
+//!   steady state,
+//! * [`qoi`] — quantities of interest: per-wire temperatures `T_bw = XᵀT`,
+//!   the hottest-wire envelope of Fig. 7, field slices for Fig. 8.
+
+mod adaptive;
+mod error;
+pub mod export;
+mod layout;
+mod model;
+pub mod options;
+pub mod qoi;
+mod simulator;
+mod solution;
+
+pub use adaptive::AdaptiveOptions;
+pub use error::CoreError;
+pub use layout::DofLayout;
+pub use model::{ElectrothermalModel, WireAttachment};
+pub use options::{JouleScheme, PrecondKind, SolverOptions};
+pub use simulator::{Simulator, SolveCounters, StationaryResult, StepResult};
+pub use solution::TransientSolution;

@@ -1,0 +1,155 @@
+//! Quantities of interest extracted from solutions.
+//!
+//! The paper's QoI is the wire temperature `T_bw,j = Xⱼᵀ T` (Eq. 5); across
+//! Monte Carlo samples the expectation `E_j(t)` is formed per wire and the
+//! envelope `E_max(t) = maxⱼ E_j(t)` (Eq. 7) is reported in Fig. 7. The
+//! expectation lives in the UQ layer; this module provides the
+//! deterministic extractors plus the spatial-field slicing used by Fig. 8.
+
+use etherm_grid::Grid3;
+
+/// A 2D temperature slice through the grid at fixed `z = z(k)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSlice {
+    /// Number of samples in x.
+    pub nx: usize,
+    /// Number of samples in y.
+    pub ny: usize,
+    /// x coordinates (length `nx`).
+    pub xs: Vec<f64>,
+    /// y coordinates (length `ny`).
+    pub ys: Vec<f64>,
+    /// Values in row-major order (`iy * nx + ix`).
+    pub values: Vec<f64>,
+}
+
+impl FieldSlice {
+    /// Value at `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "FieldSlice::at out of range");
+        self.values[iy * self.nx + ix]
+    }
+
+    /// Minimum and maximum value.
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Index `(ix, iy)` and value of the maximum entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn argmax(&self) -> (usize, usize, f64) {
+        let (mut bi, mut bv) = (0usize, f64::NEG_INFINITY);
+        for (i, &v) in self.values.iter().enumerate() {
+            if v > bv {
+                bi = i;
+                bv = v;
+            }
+        }
+        (bi % self.nx, bi / self.nx, bv)
+    }
+}
+
+/// Extracts the nodal-field slice at z-layer `k` from a full state vector
+/// (grid part only; wire-internal DoFs are ignored).
+///
+/// # Panics
+///
+/// Panics if `k` exceeds the z node count or the state is shorter than the
+/// grid.
+pub fn field_slice_z(grid: &Grid3, state: &[f64], k: usize) -> FieldSlice {
+    let (nx, ny, nz) = grid.node_dims();
+    assert!(k < nz, "slice layer {k} out of range ({nz} layers)");
+    assert!(state.len() >= grid.n_nodes(), "state shorter than grid");
+    let mut values = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            values.push(state[grid.node_index(i, j, k)]);
+        }
+    }
+    FieldSlice {
+        nx,
+        ny,
+        xs: grid.x().coords().to_vec(),
+        ys: grid.y().coords().to_vec(),
+        values,
+    }
+}
+
+/// Slice at the z coordinate nearest to `z`.
+pub fn field_slice_at_z(grid: &Grid3, state: &[f64], z: f64) -> FieldSlice {
+    field_slice_z(grid, state, grid.z().nearest_node(z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etherm_grid::Axis;
+
+    fn grid() -> Grid3 {
+        Grid3::new(
+            Axis::uniform(0.0, 2.0, 2).unwrap(),
+            Axis::uniform(0.0, 3.0, 3).unwrap(),
+            Axis::uniform(0.0, 1.0, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn slice_extracts_layer() {
+        let g = grid();
+        // State = node z value + node x value.
+        let state: Vec<f64> = (0..g.n_nodes())
+            .map(|n| {
+                let (x, _, z) = g.node_position(n);
+                x + 100.0 * z
+            })
+            .collect();
+        let s0 = field_slice_z(&g, &state, 0);
+        assert_eq!((s0.nx, s0.ny), (3, 4));
+        assert_eq!(s0.at(0, 0), 0.0);
+        assert_eq!(s0.at(2, 0), 2.0);
+        let s1 = field_slice_z(&g, &state, 1);
+        assert_eq!(s1.at(0, 0), 100.0);
+        assert_eq!(s1.range(), (100.0, 102.0));
+        assert_eq!(s1.argmax().2, 102.0);
+    }
+
+    #[test]
+    fn slice_by_coordinate() {
+        let g = grid();
+        let state: Vec<f64> = (0..g.n_nodes())
+            .map(|n| g.node_position(n).2)
+            .collect();
+        let s = field_slice_at_z(&g, &state, 0.9);
+        assert!(s.values.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn slice_ignores_wire_dofs() {
+        let g = grid();
+        let mut state: Vec<f64> = vec![1.0; g.n_nodes()];
+        state.push(999.0); // wire internal DoF appended
+        let s = field_slice_z(&g, &state, 0);
+        assert!(s.values.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_layer_panics() {
+        let g = grid();
+        let state = vec![0.0; g.n_nodes()];
+        let _ = field_slice_z(&g, &state, 5);
+    }
+}

@@ -1,0 +1,522 @@
+//! Dirichlet elimination: mapping between full and reduced unknown vectors
+//! and stamping into the reduced system.
+
+use etherm_numerics::sparse::{Coo, Csr};
+
+/// A partition of the full DoF vector into *free* unknowns and *fixed*
+/// (Dirichlet) values, e.g. the PEC contact nodes held at `±V_dc`.
+///
+/// # Example
+///
+/// ```
+/// use etherm_fit::DofMap;
+///
+/// // 4 DoFs, DoF 0 fixed at 1.0 and DoF 3 at -1.0.
+/// let map = DofMap::new(4, &[(0, 1.0), (3, -1.0)]);
+/// assert_eq!(map.n_reduced(), 2);
+/// let full = map.expand(&[7.0, 8.0]);
+/// assert_eq!(full, vec![1.0, 7.0, 8.0, -1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DofMap {
+    n_full: usize,
+    /// `full_to_reduced[i] = Some(r)` for free DoFs, `None` for fixed.
+    full_to_reduced: Vec<Option<usize>>,
+    /// Reduced index → full index.
+    reduced_to_full: Vec<usize>,
+    /// Dirichlet value for fixed DoFs (0 for free, by convention).
+    fixed_values: Vec<f64>,
+}
+
+impl DofMap {
+    /// Creates a map over `n_full` DoFs with the given `(index, value)`
+    /// Dirichlet constraints. Duplicate indices keep the last value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a constraint index is out of bounds.
+    pub fn new(n_full: usize, fixed: &[(usize, f64)]) -> Self {
+        let mut is_fixed = vec![false; n_full];
+        let mut fixed_values = vec![0.0; n_full];
+        for &(i, v) in fixed {
+            assert!(i < n_full, "DofMap: fixed index {i} out of bounds");
+            is_fixed[i] = true;
+            fixed_values[i] = v;
+        }
+        let mut full_to_reduced = vec![None; n_full];
+        let mut reduced_to_full = Vec::with_capacity(n_full);
+        for i in 0..n_full {
+            if !is_fixed[i] {
+                full_to_reduced[i] = Some(reduced_to_full.len());
+                reduced_to_full.push(i);
+            }
+        }
+        DofMap {
+            n_full,
+            full_to_reduced,
+            reduced_to_full,
+            fixed_values,
+        }
+    }
+
+    /// A map with no constraints (identity).
+    pub fn unconstrained(n_full: usize) -> Self {
+        DofMap::new(n_full, &[])
+    }
+
+    /// Number of full DoFs.
+    pub fn n_full(&self) -> usize {
+        self.n_full
+    }
+
+    /// Number of free (reduced) DoFs.
+    pub fn n_reduced(&self) -> usize {
+        self.reduced_to_full.len()
+    }
+
+    /// Whether full DoF `i` is fixed.
+    pub fn is_fixed(&self, i: usize) -> bool {
+        self.full_to_reduced[i].is_none()
+    }
+
+    /// Reduced index of full DoF `i`, `None` when fixed.
+    pub fn reduced_index(&self, i: usize) -> Option<usize> {
+        self.full_to_reduced[i]
+    }
+
+    /// Full index of reduced DoF `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r ≥ n_reduced()`.
+    pub fn full_index(&self, r: usize) -> usize {
+        self.reduced_to_full[r]
+    }
+
+    /// Dirichlet value of full DoF `i` (0 for free DoFs).
+    pub fn fixed_value(&self, i: usize) -> f64 {
+        self.fixed_values[i]
+    }
+
+    /// Expands a reduced vector to the full numbering, inserting the fixed
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced.len() != n_reduced()`.
+    pub fn expand(&self, reduced: &[f64]) -> Vec<f64> {
+        assert_eq!(reduced.len(), self.n_reduced(), "expand: length mismatch");
+        let mut full = self.fixed_values.clone();
+        for (r, &i) in self.reduced_to_full.iter().enumerate() {
+            full[i] = reduced[r];
+        }
+        full
+    }
+
+    /// In-place variant of [`DofMap::expand`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn expand_into(&self, reduced: &[f64], full: &mut [f64]) {
+        assert_eq!(reduced.len(), self.n_reduced(), "expand_into: reduced length");
+        assert_eq!(full.len(), self.n_full, "expand_into: full length");
+        full.copy_from_slice(&self.fixed_values);
+        for (r, &i) in self.reduced_to_full.iter().enumerate() {
+            full[i] = reduced[r];
+        }
+    }
+
+    /// Restricts a full vector to the free DoFs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != n_full()`.
+    pub fn restrict(&self, full: &[f64]) -> Vec<f64> {
+        assert_eq!(full.len(), self.n_full, "restrict: length mismatch");
+        self.reduced_to_full.iter().map(|&i| full[i]).collect()
+    }
+}
+
+/// Assembles a symmetric reduced system `A x_f = b` by stamping
+/// contributions in *full* DoF numbering; Dirichlet couplings are moved to
+/// the right-hand side on the fly (static condensation of the constraint).
+///
+/// For a conductance `g` between full DoFs `a` (free) and `b` (fixed at
+/// `v_b`): the reduced row of `a` gains `+g` on the diagonal and the RHS
+/// gains `+g·v_b` — which is exactly the elimination
+/// `A_ff x_f = b_f − A_fc x_c`.
+#[derive(Debug, Clone)]
+pub struct Stamper<'a> {
+    map: &'a DofMap,
+    coo: Coo,
+    rhs: Vec<f64>,
+}
+
+impl<'a> Stamper<'a> {
+    /// Creates an empty stamper for the given DoF map.
+    pub fn new(map: &'a DofMap) -> Self {
+        let n = map.n_reduced();
+        let mut coo = Coo::with_capacity(n, n, 8 * n);
+        // Structural diagonal so `add_diag`-style updates always land.
+        for i in 0..n {
+            coo.push_structural(i, i, 0.0);
+        }
+        Stamper {
+            map,
+            coo,
+            rhs: vec![0.0; n],
+        }
+    }
+
+    /// The DoF map this stamper condenses against.
+    pub fn map(&self) -> &DofMap {
+        self.map
+    }
+
+    /// Stamps a two-terminal conductance `g` between full DoFs `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`/`b` are out of bounds.
+    pub fn add_conductance(&mut self, a: usize, b: usize, g: f64) {
+        if g == 0.0 {
+            return;
+        }
+        let ra = self.map.reduced_index(a);
+        let rb = self.map.reduced_index(b);
+        match (ra, rb) {
+            (Some(ia), Some(ib)) => {
+                self.coo.stamp_conductance(ia, ib, g);
+            }
+            (Some(ia), None) => {
+                self.coo.push(ia, ia, g);
+                self.rhs[ia] += g * self.map.fixed_value(b);
+            }
+            (None, Some(ib)) => {
+                self.coo.push(ib, ib, g);
+                self.rhs[ib] += g * self.map.fixed_value(a);
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// Adds `v` to the diagonal of full DoF `i` (ignored when fixed).
+    pub fn add_diag(&mut self, i: usize, v: f64) {
+        if let Some(r) = self.map.reduced_index(i) {
+            self.coo.push(r, r, v);
+        }
+    }
+
+    /// Adds `q` to the right-hand side of full DoF `i` (ignored when fixed).
+    pub fn add_rhs(&mut self, i: usize, q: f64) {
+        if let Some(r) = self.map.reduced_index(i) {
+            self.rhs[r] += q;
+        }
+    }
+
+    /// Finishes assembly, returning the reduced CSR matrix and RHS.
+    pub fn finish(self) -> (Csr, Vec<f64>) {
+        (Csr::from_coo(&self.coo), self.rhs)
+    }
+}
+
+/// A sink for FIT stamping operations, implemented by both the one-shot
+/// [`Stamper`] and the pattern-reusing [`CachedStamper`]. Boundary and wire
+/// stamps are written against this trait so both assembly paths share one
+/// implementation.
+pub trait Assembler {
+    /// Stamps a two-terminal conductance between full DoFs `a` and `b`.
+    fn add_conductance(&mut self, a: usize, b: usize, g: f64);
+    /// Adds `v` to the diagonal of full DoF `i` (ignored when fixed).
+    fn add_diag(&mut self, i: usize, v: f64);
+    /// Adds `q` to the right-hand side of full DoF `i` (ignored when fixed).
+    fn add_rhs(&mut self, i: usize, q: f64);
+}
+
+impl<'a> Assembler for Stamper<'a> {
+    fn add_conductance(&mut self, a: usize, b: usize, g: f64) {
+        Stamper::add_conductance(self, a, b, g);
+    }
+    fn add_diag(&mut self, i: usize, v: f64) {
+        Stamper::add_diag(self, i, v);
+    }
+    fn add_rhs(&mut self, i: usize, q: f64) {
+        Stamper::add_rhs(self, i, q);
+    }
+}
+
+impl Assembler for CachedStamper {
+    fn add_conductance(&mut self, a: usize, b: usize, g: f64) {
+        CachedStamper::add_conductance(self, a, b, g);
+    }
+    fn add_diag(&mut self, i: usize, v: f64) {
+        CachedStamper::add_diag(self, i, v);
+    }
+    fn add_rhs(&mut self, i: usize, q: f64) {
+        CachedStamper::add_rhs(self, i, q);
+    }
+}
+
+/// A reusable assembly: records the CSR sparsity pattern and the triplet →
+/// value-slot mapping on the first round, then re-fills values in place on
+/// every later round without sorting.
+///
+/// The FIT Picard loop reassembles structurally identical systems dozens of
+/// times per time step (only the *values* of the temperature-dependent
+/// coefficients change), and a Monte Carlo sweep repeats that for every
+/// sample. Recording the stamping order once and scattering values directly
+/// into the cached CSR turns each reassembly from `O(nnz log nnz)` sorting
+/// into a linear sweep — the dominant cost of the coupled solver on
+/// package-sized grids.
+///
+/// # Usage contract
+///
+/// Every round must issue the *same sequence* of stamping calls (same
+/// entities in the same order); only the numeric values may change. The
+/// solver guarantees this because its assembly loops are deterministic.
+/// Violations are detected (slot-count mismatch) and panic.
+#[derive(Debug, Clone)]
+pub struct CachedStamper {
+    n_reduced: usize,
+    /// Dirichlet metadata copied from the map (owned, so the cache can be
+    /// stored inside long-lived solvers without borrowing).
+    reduced_index: Vec<Option<usize>>,
+    fixed_values: Vec<f64>,
+    /// Pattern + values once recorded.
+    csr: Option<Csr>,
+    /// Per emitted triplet: destination slot in `csr.values`.
+    slots: Vec<usize>,
+    /// First-round recording buffer.
+    recording: Option<Coo>,
+    recorded_triplets: Vec<(usize, usize)>,
+    cursor: usize,
+    rhs: Vec<f64>,
+}
+
+impl CachedStamper {
+    /// Creates a cache for the given DoF map.
+    pub fn new(map: &DofMap) -> Self {
+        let n = map.n_reduced();
+        CachedStamper {
+            n_reduced: n,
+            reduced_index: (0..map.n_full()).map(|i| map.reduced_index(i)).collect(),
+            fixed_values: (0..map.n_full()).map(|i| map.fixed_value(i)).collect(),
+            csr: None,
+            slots: Vec::new(),
+            recording: None,
+            recorded_triplets: Vec::new(),
+            cursor: 0,
+            rhs: vec![0.0; n],
+        }
+    }
+
+    /// Starts a new assembly round (zeroing values and RHS).
+    pub fn begin(&mut self) {
+        self.cursor = 0;
+        for r in self.rhs.iter_mut() {
+            *r = 0.0;
+        }
+        match self.csr.as_mut() {
+            Some(csr) => csr.zero_values(),
+            None => {
+                let mut coo = Coo::with_capacity(self.n_reduced, self.n_reduced, 8 * self.n_reduced);
+                for i in 0..self.n_reduced {
+                    coo.push_structural(i, i, 0.0);
+                }
+                self.recording = Some(coo);
+                self.recorded_triplets.clear();
+            }
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, r: usize, c: usize, v: f64) {
+        if let Some(coo) = self.recording.as_mut() {
+            coo.push_structural(r, c, v);
+            self.recorded_triplets.push((r, c));
+        } else {
+            let csr = self.csr.as_mut().expect("begin() not called");
+            assert!(
+                self.cursor < self.slots.len(),
+                "CachedStamper: more stamps than in the recorded round — \
+                 use one CachedStamper per structurally distinct assembly"
+            );
+            let slot = self.slots[self.cursor];
+            csr.values_mut()[slot] += v;
+            self.cursor += 1;
+        }
+    }
+
+    /// Stamps a two-terminal conductance `g` between full DoFs `a` and `b`.
+    ///
+    /// Unlike [`Stamper::add_conductance`], zero conductances are *not*
+    /// skipped — the call sequence must stay structurally identical across
+    /// rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`/`b` are out of bounds of the DoF map.
+    pub fn add_conductance(&mut self, a: usize, b: usize, g: f64) {
+        let ra = self.reduced_index[a];
+        let rb = self.reduced_index[b];
+        match (ra, rb) {
+            (Some(ia), Some(ib)) => {
+                self.emit(ia, ia, g);
+                self.emit(ib, ib, g);
+                self.emit(ia, ib, -g);
+                self.emit(ib, ia, -g);
+            }
+            (Some(ia), None) => {
+                self.emit(ia, ia, g);
+                self.rhs[ia] += g * self.fixed_values[b];
+            }
+            (None, Some(ib)) => {
+                self.emit(ib, ib, g);
+                self.rhs[ib] += g * self.fixed_values[a];
+            }
+            (None, None) => {}
+        }
+    }
+
+    /// Adds `v` to the diagonal of full DoF `i` (ignored when fixed).
+    pub fn add_diag(&mut self, i: usize, v: f64) {
+        if let Some(r) = self.reduced_index[i] {
+            self.emit(r, r, v);
+        }
+    }
+
+    /// Adds `q` to the right-hand side of full DoF `i` (ignored when fixed).
+    pub fn add_rhs(&mut self, i: usize, q: f64) {
+        if let Some(r) = self.reduced_index[i] {
+            self.rhs[r] += q;
+        }
+    }
+
+    /// Finishes the round, returning the assembled matrix and RHS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stamping sequence deviated from the recorded one.
+    pub fn finish(&mut self) -> (&Csr, &[f64]) {
+        if let Some(coo) = self.recording.take() {
+            let csr = Csr::from_coo(&coo);
+            // Map every recorded triplet to its value slot.
+            self.slots = self
+                .recorded_triplets
+                .iter()
+                .map(|&(r, c)| csr.slot(r, c).expect("triplet present in pattern"))
+                .collect();
+            self.recorded_triplets = Vec::new();
+            self.cursor = self.slots.len();
+            self.csr = Some(csr);
+        }
+        assert_eq!(
+            self.cursor,
+            self.slots.len(),
+            "CachedStamper: stamping sequence changed between rounds"
+        );
+        (self.csr.as_ref().expect("assembled"), &self.rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexing_roundtrip() {
+        let map = DofMap::new(5, &[(1, 2.0), (4, -3.0)]);
+        assert_eq!(map.n_full(), 5);
+        assert_eq!(map.n_reduced(), 3);
+        assert!(map.is_fixed(1) && map.is_fixed(4));
+        assert!(!map.is_fixed(0));
+        for r in 0..map.n_reduced() {
+            assert_eq!(map.reduced_index(map.full_index(r)), Some(r));
+        }
+        assert_eq!(map.fixed_value(1), 2.0);
+        assert_eq!(map.fixed_value(4), -3.0);
+        assert_eq!(map.fixed_value(0), 0.0);
+    }
+
+    #[test]
+    fn expand_restrict_roundtrip() {
+        let map = DofMap::new(4, &[(2, 9.0)]);
+        let reduced = vec![1.0, 2.0, 3.0];
+        let full = map.expand(&reduced);
+        assert_eq!(full, vec![1.0, 2.0, 9.0, 3.0]);
+        assert_eq!(map.restrict(&full), reduced);
+        let mut buf = vec![0.0; 4];
+        map.expand_into(&reduced, &mut buf);
+        assert_eq!(buf, full);
+    }
+
+    #[test]
+    fn duplicate_constraints_keep_last() {
+        let map = DofMap::new(3, &[(0, 1.0), (0, 5.0)]);
+        assert_eq!(map.fixed_value(0), 5.0);
+        assert_eq!(map.n_reduced(), 2);
+    }
+
+    #[test]
+    fn unconstrained_is_identity() {
+        let map = DofMap::unconstrained(3);
+        assert_eq!(map.n_reduced(), 3);
+        assert_eq!(map.expand(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn stamper_matches_manual_elimination() {
+        // 3-resistor chain 0-1-2-3 with g = 2, ends fixed: φ0 = 1, φ3 = 0.
+        // Unknowns φ1, φ2: exact solution is the linear drop 2/3, 1/3.
+        let map = DofMap::new(4, &[(0, 1.0), (3, 0.0)]);
+        let mut st = Stamper::new(&map);
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            st.add_conductance(a, b, 2.0);
+        }
+        let (a, b) = st.finish();
+        assert!(a.is_symmetric(0.0));
+        let x = a.to_dense().solve(&b).unwrap();
+        assert!((x[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((x[1] - 1.0 / 3.0).abs() < 1e-12);
+        let full = map.expand(&x);
+        assert_eq!(full[0], 1.0);
+        assert_eq!(full[3], 0.0);
+    }
+
+    #[test]
+    fn stamps_between_fixed_nodes_are_dropped() {
+        let map = DofMap::new(3, &[(0, 1.0), (1, 2.0)]);
+        let mut st = Stamper::new(&map);
+        st.add_conductance(0, 1, 5.0);
+        st.add_diag(0, 7.0);
+        st.add_rhs(1, 3.0);
+        let (a, b) = st.finish();
+        assert_eq!(a.n_rows(), 1);
+        assert_eq!(a.get(0, 0), 0.0); // only the structural zero diagonal
+        assert_eq!(b, vec![0.0]);
+    }
+
+    #[test]
+    fn rhs_and_diag_stamping() {
+        let map = DofMap::new(2, &[]);
+        let mut st = Stamper::new(&map);
+        st.add_diag(0, 4.0);
+        st.add_diag(1, 5.0);
+        st.add_rhs(0, 8.0);
+        st.add_rhs(1, 10.0);
+        let (a, b) = st.finish();
+        let x = a.to_dense().solve(&b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_conductance_is_ignored() {
+        let map = DofMap::new(2, &[]);
+        let mut st = Stamper::new(&map);
+        st.add_conductance(0, 1, 0.0);
+        let (a, _) = st.finish();
+        assert_eq!(a.nnz(), 2); // structural diagonal only
+    }
+}

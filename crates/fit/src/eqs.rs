@@ -1,0 +1,438 @@
+//! Electroquasistatic (EQS) field problem.
+//!
+//! The paper treats the *stationary* current problem `−∇·σ(T)∇φ = 0` and
+//! notes that "a generalization to electroquasistatics is straightforward"
+//! (§II-A). This module is that generalization: capacitive displacement
+//! currents are retained,
+//!
+//! ```text
+//! −∇·( σ ∇φ  +  ∂/∂t ε ∇φ ) = 0,
+//! ```
+//!
+//! which after FIT discretization becomes
+//! `S̃ Mσ S̃ᵀ Φ + d/dt (S̃ Mε S̃ᵀ Φ) = 0` with the permittivity matrix `Mε`
+//! built by exactly the same edge/dual-facet averaging as `Mσ` (paper
+//! §III-A). Time is discretized by the implicit Euler method, consistent
+//! with the thermal transient.
+//!
+//! The EQS problem matters for packages whenever the mold compound's charge
+//! relaxation time `ε/σ` is *not* negligible — for epoxy
+//! (`σ = 1e−6 S/m`, `ε_r ≈ 4`) it is ~35 µs, far below the 50 s thermal
+//! transient, which *justifies* the paper's stationary-current assumption.
+//! The [`charge_relaxation_time`] helper and the `eqs_validation`
+//! integration test quantify that argument.
+
+use crate::dofmap::{DofMap, Stamper};
+use crate::matrices::edge_material_diagonal;
+use etherm_grid::{CellPaint, Grid3};
+use etherm_numerics::solvers::{pcg, CgOptions, JacobiPrecond, SolveReport};
+use etherm_numerics::NumericsError;
+
+/// Vacuum permittivity `ε₀` in F/m.
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;
+
+/// Per-cell absolute permittivity `ε = ε₀ ε_r` from a relative-permittivity
+/// table indexed by material id.
+///
+/// # Panics
+///
+/// Panics if the paint size mismatches the grid or a material id exceeds
+/// the table.
+pub fn cell_permittivity(grid: &Grid3, paint: &CellPaint, eps_r: &[f64]) -> Vec<f64> {
+    assert_eq!(paint.n_cells(), grid.n_cells(), "cell_permittivity: paint");
+    (0..grid.n_cells())
+        .map(|c| {
+            let id = paint.material(c).0 as usize;
+            assert!(
+                id < eps_r.len(),
+                "cell_permittivity: material id {id} has no ε_r entry"
+            );
+            EPSILON_0 * eps_r[id]
+        })
+        .collect()
+}
+
+/// Charge relaxation time `τ = ε/σ` of a homogeneous medium in seconds.
+///
+/// When `τ` is small against the timescale of interest, the EQS problem
+/// collapses to the stationary current problem the paper uses.
+pub fn charge_relaxation_time(eps: f64, sigma: f64) -> f64 {
+    eps / sigma
+}
+
+/// An implicit-Euler electroquasistatic field solver on a fixed grid with
+/// frozen material coefficients.
+///
+/// The conductivity may come from the current temperature field (the EQS
+/// problem is usually stepped inside a thermal transient where `σ(T)` is
+/// lagged); rebuild the solver when the coefficients change.
+#[derive(Debug, Clone)]
+pub struct EqsSolver {
+    /// Edge conductances `Mσ,ii = σᵢ Ãᵢ/ℓᵢ` (S).
+    g_sigma: Vec<f64>,
+    /// Edge capacitances `Mε,ii = εᵢ Ãᵢ/ℓᵢ` (F).
+    c_eps: Vec<f64>,
+    /// Edge endpoints (full node numbering).
+    endpoints: Vec<(usize, usize)>,
+    n_nodes: usize,
+}
+
+impl EqsSolver {
+    /// Builds the solver from per-cell conductivity and permittivity fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the property vectors do not have one entry per grid cell.
+    pub fn new(grid: &Grid3, sigma_cell: &[f64], eps_cell: &[f64]) -> Self {
+        assert_eq!(sigma_cell.len(), grid.n_cells(), "EqsSolver: sigma length");
+        assert_eq!(eps_cell.len(), grid.n_cells(), "EqsSolver: eps length");
+        let g_sigma = edge_material_diagonal(grid, sigma_cell);
+        let c_eps = edge_material_diagonal(grid, eps_cell);
+        let endpoints = (0..grid.n_edges()).map(|e| grid.edge_endpoints(e)).collect();
+        EqsSolver {
+            g_sigma,
+            c_eps,
+            endpoints,
+            n_nodes: grid.n_nodes(),
+        }
+    }
+
+    /// Number of grid nodes (full DoFs).
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Advances one implicit-Euler step of length `dt`:
+    /// `(Kσ + Kε/Δt) Φⁿ⁺¹ = (Kε/Δt) Φⁿ` with the Dirichlet constraints of
+    /// `map` imposed at the *new* time level.
+    ///
+    /// Returns the full potential vector at the new time and the linear
+    /// solve report.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the PCG solve fails (the system is SPD, so this
+    /// indicates a degenerate grid or non-positive coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi_old.len() != n_nodes()` / map size mismatch, or if
+    /// `dt` is not positive.
+    pub fn step(
+        &self,
+        map: &DofMap,
+        phi_old: &[f64],
+        dt: f64,
+    ) -> Result<(Vec<f64>, SolveReport), NumericsError> {
+        assert_eq!(phi_old.len(), self.n_nodes, "EqsSolver::step: phi length");
+        assert_eq!(map.n_full(), self.n_nodes, "EqsSolver::step: map size");
+        assert!(dt > 0.0 && dt.is_finite(), "EqsSolver::step: dt must be > 0");
+
+        let mut st = Stamper::new(map);
+        for (e, &(a, b)) in self.endpoints.iter().enumerate() {
+            let g_eff = self.g_sigma[e] + self.c_eps[e] / dt;
+            st.add_conductance(a, b, g_eff);
+            // RHS: (Kε/Δt) Φⁿ, stamped edge by edge:
+            // (K Φ)_a = Σ g (Φ_a − Φ_b), (K Φ)_b = −(K Φ)_a.
+            let i_cap = self.c_eps[e] / dt * (phi_old[a] - phi_old[b]);
+            st.add_rhs(a, i_cap);
+            st.add_rhs(b, -i_cap);
+        }
+        let (a_mat, rhs) = st.finish();
+        let precond = JacobiPrecond::new(&a_mat)?;
+        // Warm start from the restricted previous potential.
+        let mut x = map.restrict(phi_old);
+        let report = pcg(&a_mat, &rhs, &mut x, &precond, &CgOptions::default())?;
+        Ok((map.expand(&x), report))
+    }
+
+    /// Solves the stationary limit `Kσ Φ = 0` with the given Dirichlet
+    /// constraints (the paper's §II-A problem; the `t → ∞` state of the EQS
+    /// transient).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the PCG solve fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map size mismatches the grid.
+    pub fn stationary(&self, map: &DofMap) -> Result<(Vec<f64>, SolveReport), NumericsError> {
+        assert_eq!(map.n_full(), self.n_nodes, "EqsSolver::stationary: map");
+        let mut st = Stamper::new(map);
+        for (e, &(a, b)) in self.endpoints.iter().enumerate() {
+            st.add_conductance(a, b, self.g_sigma[e]);
+        }
+        let (a_mat, rhs) = st.finish();
+        let precond = JacobiPrecond::new(&a_mat)?;
+        let mut x = vec![0.0; map.n_reduced()];
+        let report = pcg(&a_mat, &rhs, &mut x, &precond, &CgOptions::default())?;
+        Ok((map.expand(&x), report))
+    }
+
+    /// Instantaneous capacitive response: the `Δt → 0` limit
+    /// `Kε Φ = Kε Φⁿ`, i.e. the potential right after a voltage step, before
+    /// any conduction current has flowed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the PCG solve fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics on size mismatches.
+    pub fn capacitive_snapshot(
+        &self,
+        map: &DofMap,
+        phi_old: &[f64],
+    ) -> Result<(Vec<f64>, SolveReport), NumericsError> {
+        assert_eq!(phi_old.len(), self.n_nodes, "capacitive_snapshot: phi");
+        assert_eq!(map.n_full(), self.n_nodes, "capacitive_snapshot: map");
+        let mut st = Stamper::new(map);
+        for (e, &(a, b)) in self.endpoints.iter().enumerate() {
+            st.add_conductance(a, b, self.c_eps[e]);
+            let q = self.c_eps[e] * (phi_old[a] - phi_old[b]);
+            st.add_rhs(a, q);
+            st.add_rhs(b, -q);
+        }
+        let (a_mat, rhs) = st.finish();
+        let precond = JacobiPrecond::new(&a_mat)?;
+        let mut x = map.restrict(phi_old);
+        let report = pcg(&a_mat, &rhs, &mut x, &precond, &CgOptions::default())?;
+        Ok((map.expand(&x), report))
+    }
+
+    /// Total conduction current (A) flowing out of the node set `nodes`
+    /// for potential `phi` — the discrete `∮ σ∇φ · dA` over the set's dual
+    /// surface. Used to audit terminal currents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi.len() != n_nodes()` or a node index is out of bounds.
+    pub fn terminal_current(&self, nodes: &[usize], phi: &[f64]) -> f64 {
+        assert_eq!(phi.len(), self.n_nodes, "terminal_current: phi length");
+        let mut inset = vec![false; self.n_nodes];
+        for &n in nodes {
+            assert!(n < self.n_nodes, "terminal_current: node {n} out of range");
+            inset[n] = true;
+        }
+        let mut current = 0.0;
+        for (e, &(a, b)) in self.endpoints.iter().enumerate() {
+            match (inset[a], inset[b]) {
+                (true, false) => current += self.g_sigma[e] * (phi[a] - phi[b]),
+                (false, true) => current += self.g_sigma[e] * (phi[b] - phi[a]),
+                _ => {}
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etherm_grid::Axis;
+
+    /// 1D bar of `n` cells along x (one cell in y and z).
+    fn bar_grid(n: usize) -> Grid3 {
+        Grid3::new(
+            Axis::uniform(0.0, 1.0, n).unwrap(),
+            Axis::uniform(0.0, 1.0, 1).unwrap(),
+            Axis::uniform(0.0, 1.0, 1).unwrap(),
+        )
+    }
+
+    /// Dirichlet map fixing the x=0 plane to `v0` and the x=1 plane to `v1`.
+    fn end_plane_map(grid: &Grid3, v0: f64, v1: f64) -> DofMap {
+        let (nx, _, _) = grid.node_dims();
+        let mut fixed = Vec::new();
+        for n in 0..grid.n_nodes() {
+            let (i, _, _) = grid.node_coords_of(n);
+            if i == 0 {
+                fixed.push((n, v0));
+            } else if i == nx - 1 {
+                fixed.push((n, v1));
+            }
+        }
+        DofMap::new(grid.n_nodes(), &fixed)
+    }
+
+    #[test]
+    fn stationary_limit_is_linear_potential() {
+        let grid = bar_grid(8);
+        let sigma = vec![3.0; grid.n_cells()];
+        let eps = vec![1.0; grid.n_cells()];
+        let solver = EqsSolver::new(&grid, &sigma, &eps);
+        let map = end_plane_map(&grid, 0.0, 1.0);
+        let (phi, rep) = solver.stationary(&map).unwrap();
+        assert!(rep.converged);
+        for n in 0..grid.n_nodes() {
+            let (x, _, _) = grid.node_position(n);
+            assert!((phi[n] - x).abs() < 1e-8, "node {n}: {} vs {x}", phi[n]);
+        }
+    }
+
+    #[test]
+    fn homogeneous_medium_has_no_transient() {
+        // With σ and ε proportional, Kσ and Kε share eigenvectors and the
+        // potential is stationary from the first step.
+        let grid = bar_grid(6);
+        let sigma = vec![2.0; grid.n_cells()];
+        let eps = vec![5.0; grid.n_cells()];
+        let solver = EqsSolver::new(&grid, &sigma, &eps);
+        let map = end_plane_map(&grid, 0.0, 2.0);
+        let phi0 = vec![0.0; grid.n_nodes()];
+        let (phi1, _) = solver.step(&map, &phi0, 1e-3).unwrap();
+        let (phi2, _) = solver.step(&map, &phi1, 1e-3).unwrap();
+        for n in 0..grid.n_nodes() {
+            assert!((phi1[n] - phi2[n]).abs() < 1e-8, "node {n}");
+        }
+    }
+
+    #[test]
+    fn two_layer_bar_relaxes_with_maxwell_wagner_time() {
+        // Layer 1 on [0, 0.5]: σ1, ε1; layer 2 on [0.5, 1]: σ2, ε2.
+        // Interface potential: u(t) = u∞ + (u0 − u∞) e^{−t/τ},
+        // u0 = V·C2/(C1+C2), u∞ = V·G2/(G1+G2), τ = (C1+C2)/(G1+G2).
+        let n = 8; // even → interface at a node plane
+        let grid = bar_grid(n);
+        let (s1, s2) = (1.0, 4.0);
+        let (e1, e2) = (3.0, 1.0);
+        let sigma: Vec<f64> = (0..grid.n_cells())
+            .map(|c| if grid.cell_center(c).0 < 0.5 { s1 } else { s2 })
+            .collect();
+        let eps: Vec<f64> = (0..grid.n_cells())
+            .map(|c| if grid.cell_center(c).0 < 0.5 { e1 } else { e2 })
+            .collect();
+        let solver = EqsSolver::new(&grid, &sigma, &eps);
+        let v = 1.0;
+        let map = end_plane_map(&grid, 0.0, v);
+
+        // Per-layer lumped parameters (unit area, lengths 0.5).
+        let (g1, g2) = (s1 / 0.5, s2 / 0.5);
+        let (c1, c2) = (e1 / 0.5, e2 / 0.5);
+        let u0 = v * c2 / (c1 + c2);
+        let u_inf = v * g2 / (g1 + g2);
+        let tau = (c1 + c2) / (g1 + g2);
+
+        // Interface node on the centerline.
+        let interface = grid.nearest_node(0.5, 0.0, 0.0);
+        assert!((grid.node_position(interface).0 - 0.5).abs() < 1e-12);
+
+        // Step with dt << τ; compare against the analytic relaxation.
+        let dt = tau / 400.0;
+        let mut phi = vec![0.0; grid.n_nodes()];
+        let mut t = 0.0;
+        // Skip the very first instants (the discrete capacitive jump needs
+        // a few steps), then track the decay over ~2τ.
+        let mut checked = 0;
+        for step in 1..=800 {
+            let (next, rep) = solver.step(&map, &phi, dt).unwrap();
+            assert!(rep.converged);
+            phi = next;
+            t += dt;
+            if step % 100 == 0 {
+                let exact = u_inf + (u0 - u_inf) * (-t / tau).exp();
+                let got = phi[interface];
+                assert!(
+                    (got - exact).abs() < 0.01 * v,
+                    "t/τ = {:.2}: got {got:.5}, exact {exact:.5}",
+                    t / tau
+                );
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 8);
+        // At t = 2τ the decay retains e⁻² ≈ 13.5 % of the initial offset.
+        let exact_end = u_inf + (u0 - u_inf) * (-t / tau).exp();
+        assert!((phi[interface] - exact_end).abs() < 0.01 * v);
+    }
+
+    #[test]
+    fn capacitive_snapshot_matches_divider() {
+        let n = 8;
+        let grid = bar_grid(n);
+        let (e1, e2) = (3.0, 1.0);
+        let sigma = vec![1.0; grid.n_cells()];
+        let eps: Vec<f64> = (0..grid.n_cells())
+            .map(|c| if grid.cell_center(c).0 < 0.5 { e1 } else { e2 })
+            .collect();
+        let solver = EqsSolver::new(&grid, &sigma, &eps);
+        let v = 2.0;
+        let map = end_plane_map(&grid, 0.0, v);
+        let phi0 = vec![0.0; grid.n_nodes()];
+        let (phi, rep) = solver.capacitive_snapshot(&map, &phi0).unwrap();
+        assert!(rep.converged);
+        let interface = grid.nearest_node(0.5, 0.0, 0.0);
+        let (c1, c2) = (e1 / 0.5, e2 / 0.5);
+        let u0 = v * c2 / (c1 + c2);
+        assert!(
+            (phi[interface] - u0).abs() < 1e-6,
+            "{} vs {u0}",
+            phi[interface]
+        );
+    }
+
+    #[test]
+    fn terminal_current_matches_ohms_law() {
+        let grid = bar_grid(10);
+        let sigma = vec![2.0; grid.n_cells()];
+        let eps = vec![1.0; grid.n_cells()];
+        let solver = EqsSolver::new(&grid, &sigma, &eps);
+        let map = end_plane_map(&grid, 0.0, 1.0);
+        let (phi, _) = solver.stationary(&map).unwrap();
+        // Left terminal: x=0 plane nodes. Bar: R = L/(σA) = 1/2 → I = 2.
+        let left: Vec<usize> = (0..grid.n_nodes())
+            .filter(|&n| grid.node_coords_of(n).0 == 0)
+            .collect();
+        let i = solver.terminal_current(&left, &phi);
+        assert!((i + 2.0).abs() < 1e-8, "current {i}"); // flows *into* x=0
+        let right: Vec<usize> = (0..grid.n_nodes())
+            .filter(|&n| grid.node_coords_of(n).0 == grid.node_dims().0 - 1)
+            .collect();
+        let i = solver.terminal_current(&right, &phi);
+        assert!((i - 2.0).abs() < 1e-8, "current {i}");
+    }
+
+    #[test]
+    fn relaxation_time_helper() {
+        // Epoxy: τ = ε0·4 / 1e-6 ≈ 35 µs.
+        let tau = charge_relaxation_time(4.0 * EPSILON_0, 1e-6);
+        assert!(tau > 3e-5 && tau < 4e-5, "τ = {tau}");
+    }
+
+    #[test]
+    fn cell_permittivity_maps_material_ids() {
+        use etherm_grid::{BoxRegion, CellPaint, MaterialId};
+        let grid = bar_grid(2);
+        let mut paint = CellPaint::new(&grid, MaterialId(0));
+        paint.paint(
+            &grid,
+            &BoxRegion::new((0.5, 0.0, 0.0), (1.0, 1.0, 1.0)),
+            MaterialId(1),
+        );
+        let eps = cell_permittivity(&grid, &paint, &[1.0, 4.0]);
+        let lo = grid
+            .cell_center(0)
+            .0
+            .min(grid.cell_center(1).0);
+        for c in 0..grid.n_cells() {
+            let want = if (grid.cell_center(c).0 - lo).abs() < 1e-12 {
+                EPSILON_0
+            } else {
+                4.0 * EPSILON_0
+            };
+            assert!((eps[c] - want).abs() < 1e-24);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be > 0")]
+    fn step_rejects_bad_dt() {
+        let grid = bar_grid(2);
+        let solver = EqsSolver::new(&grid, &vec![1.0; 2], &vec![1.0; 2]);
+        let map = DofMap::unconstrained(grid.n_nodes());
+        let phi = vec![0.0; grid.n_nodes()];
+        let _ = solver.step(&map, &phi, 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Joule heating `Q_el` of the field model.
+//!
+//! The paper (§III-A) evaluates the Joule loss per primary cell: the edge
+//! voltages are interpolated to the cell midpoints giving a cell E-field
+//! `~E_k`, the power density is `Q_el,k = σ_k ~E_k · ~E_k`, and the cell
+//! powers are averaged onto the primary nodes (each dual cell collects one
+//! octant of each touching cell). An edge-based variant
+//! (`P_e = Mσ,e · u_e²`, split between the edge endpoints) is provided for
+//! the A2 ablation bench; both conserve total power exactly on uniform
+//! fields but distribute it differently near material jumps.
+
+use etherm_grid::{Direction, Grid3};
+
+/// Total Joule power per primary cell (W), cell-based scheme.
+///
+/// `cell_sigma` holds the electrical conductivity per cell (already at the
+/// lagged temperature), `phi` the full nodal potential vector.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn cell_joule_powers(grid: &Grid3, cell_sigma: &[f64], phi: &[f64]) -> Vec<f64> {
+    assert_eq!(cell_sigma.len(), grid.n_cells(), "cell_joule_powers: sigma");
+    assert_eq!(phi.len(), grid.n_nodes(), "cell_joule_powers: phi");
+    let mut powers = vec![0.0; grid.n_cells()];
+    for c in 0..grid.n_cells() {
+        let edges = grid.cell_edges(c);
+        // Average E-component over the four parallel edges per direction.
+        let mut e2 = 0.0;
+        for (block, _dir) in [(0usize, Direction::X), (4, Direction::Y), (8, Direction::Z)] {
+            let mut comp = 0.0;
+            for &e in &edges[block..block + 4] {
+                let (a, b) = grid.edge_endpoints(e);
+                comp += (phi[a] - phi[b]) / grid.edge_length(e);
+            }
+            comp *= 0.25;
+            e2 += comp * comp;
+        }
+        powers[c] = cell_sigma[c] * e2 * grid.cell_volume(c);
+    }
+    powers
+}
+
+/// Scatters cell powers onto nodes: each of the 8 corner nodes receives
+/// 1/8 of the cell power. Returns nodal heat (W).
+///
+/// # Panics
+///
+/// Panics if `cell_powers.len() != grid.n_cells()`.
+pub fn scatter_cell_powers(grid: &Grid3, cell_powers: &[f64]) -> Vec<f64> {
+    assert_eq!(cell_powers.len(), grid.n_cells(), "scatter: length");
+    let mut q = vec![0.0; grid.n_nodes()];
+    for c in 0..grid.n_cells() {
+        let p8 = cell_powers[c] / 8.0;
+        if p8 == 0.0 {
+            continue;
+        }
+        for &n in &grid.cell_nodes(c) {
+            q[n] += p8;
+        }
+    }
+    q
+}
+
+/// Cell-based nodal Joule heat (W): [`cell_joule_powers`] followed by
+/// [`scatter_cell_powers`].
+pub fn joule_heat_cell_based(grid: &Grid3, cell_sigma: &[f64], phi: &[f64]) -> Vec<f64> {
+    scatter_cell_powers(grid, &cell_joule_powers(grid, cell_sigma, phi))
+}
+
+/// Edge-based nodal Joule heat (W): each edge dissipates
+/// `P_e = Mσ,e · (φ_a − φ_b)²`, split half/half onto its endpoints.
+///
+/// `m_sigma` is the diagonal of the edge conductance matrix
+/// (see [`crate::matrices::edge_material_diagonal`]).
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn joule_heat_edge_based(grid: &Grid3, m_sigma: &[f64], phi: &[f64]) -> Vec<f64> {
+    assert_eq!(m_sigma.len(), grid.n_edges(), "edge joule: m_sigma");
+    assert_eq!(phi.len(), grid.n_nodes(), "edge joule: phi");
+    let mut q = vec![0.0; grid.n_nodes()];
+    for e in 0..grid.n_edges() {
+        if m_sigma[e] == 0.0 {
+            continue;
+        }
+        let (a, b) = grid.edge_endpoints(e);
+        let u = phi[a] - phi[b];
+        let p = m_sigma[e] * u * u;
+        q[a] += 0.5 * p;
+        q[b] += 0.5 * p;
+    }
+    q
+}
+
+/// Total electrical power dissipated according to the edge-based quadrature
+/// `Σ_e Mσ,e u_e²` — identical to `Φᵀ K Φ` with the assembled stiffness, so
+/// it is the discretely exact dissipation of the FIT system.
+pub fn total_edge_power(grid: &Grid3, m_sigma: &[f64], phi: &[f64]) -> f64 {
+    assert_eq!(m_sigma.len(), grid.n_edges(), "total_edge_power: m_sigma");
+    let mut p = 0.0;
+    for e in 0..grid.n_edges() {
+        let (a, b) = grid.edge_endpoints(e);
+        let u = phi[a] - phi[b];
+        p += m_sigma[e] * u * u;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrices::edge_material_diagonal;
+    use etherm_grid::Axis;
+
+    /// Bar 1 m × 0.5 m × 0.25 m with σ = 4, linear potential along x.
+    fn bar() -> (Grid3, Vec<f64>, Vec<f64>) {
+        let g = Grid3::new(
+            Axis::uniform(0.0, 1.0, 4).unwrap(),
+            Axis::uniform(0.0, 0.5, 2).unwrap(),
+            Axis::uniform(0.0, 0.25, 2).unwrap(),
+        );
+        let sigma = vec![4.0; g.n_cells()];
+        let phi: Vec<f64> = (0..g.n_nodes())
+            .map(|n| 10.0 * (1.0 - g.node_position(n).0))
+            .collect();
+        (g, sigma, phi)
+    }
+
+    #[test]
+    fn uniform_field_power_matches_v2_over_r() {
+        let (g, sigma, phi) = bar();
+        // R = L/(σ·A) = 1/(4·0.125) = 2 Ω, V = 10 V → P = 50 W.
+        let cell_p = cell_joule_powers(&g, &sigma, &phi);
+        let total: f64 = cell_p.iter().sum();
+        assert!((total - 50.0).abs() < 1e-9, "total {total}");
+        // Edge-based agrees.
+        let m = edge_material_diagonal(&g, &sigma);
+        assert!((total_edge_power(&g, &m, &phi) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scatter_conserves_power() {
+        let (g, sigma, phi) = bar();
+        let cell_p = cell_joule_powers(&g, &sigma, &phi);
+        let nodal = scatter_cell_powers(&g, &cell_p);
+        let sum_cells: f64 = cell_p.iter().sum();
+        let sum_nodes: f64 = nodal.iter().sum();
+        assert!((sum_cells - sum_nodes).abs() < 1e-9 * sum_cells);
+    }
+
+    #[test]
+    fn cell_and_edge_based_agree_on_uniform_field() {
+        let (g, sigma, phi) = bar();
+        let qc = joule_heat_cell_based(&g, &sigma, &phi);
+        let m = edge_material_diagonal(&g, &sigma);
+        let qe = joule_heat_edge_based(&g, &m, &phi);
+        let tc: f64 = qc.iter().sum();
+        let te: f64 = qe.iter().sum();
+        assert!((tc - te).abs() < 1e-9 * tc);
+        // Interior nodes get identical heat in both schemes for a uniform
+        // x-field; compare an interior node.
+        let n = g.node_index(2, 1, 1);
+        assert!((qc[n] - qe[n]).abs() < 1e-9 * qc[n].max(1e-12), "{} {}", qc[n], qe[n]);
+    }
+
+    #[test]
+    fn zero_potential_means_zero_heat() {
+        let (g, sigma, _) = bar();
+        let phi = vec![0.0; g.n_nodes()];
+        assert!(cell_joule_powers(&g, &sigma, &phi).iter().all(|&p| p == 0.0));
+        let m = edge_material_diagonal(&g, &sigma);
+        assert!(joule_heat_edge_based(&g, &m, &phi).iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn constant_potential_means_zero_heat() {
+        let (g, sigma, _) = bar();
+        let phi = vec![42.0; g.n_nodes()];
+        let q = joule_heat_cell_based(&g, &sigma, &phi);
+        assert!(q.iter().all(|&p| p.abs() < 1e-18));
+    }
+
+    #[test]
+    fn transverse_components_add() {
+        // Potential varying along y only: power from Ey.
+        let g = Grid3::new(
+            Axis::uniform(0.0, 1.0, 2).unwrap(),
+            Axis::uniform(0.0, 1.0, 2).unwrap(),
+            Axis::uniform(0.0, 1.0, 2).unwrap(),
+        );
+        let sigma = vec![1.0; g.n_cells()];
+        let phi: Vec<f64> = (0..g.n_nodes()).map(|n| g.node_position(n).1).collect();
+        let total: f64 = cell_joule_powers(&g, &sigma, &phi).iter().sum();
+        // |E| = 1, σ = 1, V = 1 → P = 1 W.
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

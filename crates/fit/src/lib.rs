@@ -1,0 +1,30 @@
+//! Finite Integration Technique (FIT) discretization of the coupled
+//! electrothermal problem (paper §III-A).
+//!
+//! Discrete unknowns live on the primary grid nodes: potentials `Φ` and
+//! temperatures `T`. This crate turns a painted grid plus a material table
+//! into the diagonal FIT material matrices and the operators of the discrete
+//! electrothermal "house" (paper Fig. 1):
+//!
+//! * [`matrices`] — `Mσ`, `Mλ` (edge diagonal, `σᵢÃᵢ/ℓᵢ`) with volumetric
+//!   averaging of cell properties, and `Mρc` (node diagonal, `ρcⱼṼⱼ`),
+//! * [`dofmap`] — Dirichlet (PEC) elimination and the reduced-system
+//!   [`Stamper`],
+//! * [`boundary`] — convective (Robin) and radiative boundary operators with
+//!   the exact algebraic linearization
+//!   `T⁴ − T∞⁴ = (T² + T∞²)(T + T∞)(T − T∞)`,
+//! * [`joule`] — the cell-based Joule power `Q_el` of the paper (voltages
+//!   interpolated to cell centers, powers scattered to nodes) and an
+//!   edge-based variant for the ablation study,
+//! * [`eqs`] — the electroquasistatic generalization (paper §II-A:
+//!   "straightforward"): displacement currents via `Mε`, implicit-Euler
+//!   charge-relaxation transients, and the stationary limit.
+
+pub mod boundary;
+pub mod dofmap;
+pub mod eqs;
+pub mod joule;
+pub mod matrices;
+
+pub use dofmap::{Assembler, CachedStamper, DofMap, Stamper};
+pub use eqs::{charge_relaxation_time, EqsSolver, EPSILON_0};

@@ -1,0 +1,61 @@
+//! Tests of the effective cooled-area fraction (`area_scale`).
+
+use etherm_fit::boundary::ThermalBoundary;
+use etherm_fit::{DofMap, Stamper};
+use etherm_grid::{Axis, Grid3};
+
+fn unit_grid() -> Grid3 {
+    Grid3::new(
+        Axis::uniform(0.0, 1.0, 2).unwrap(),
+        Axis::uniform(0.0, 1.0, 2).unwrap(),
+        Axis::uniform(0.0, 1.0, 2).unwrap(),
+    )
+}
+
+#[test]
+fn area_scale_scales_stamped_coefficients_linearly() {
+    let g = unit_grid();
+    let t = vec![300.0; g.n_nodes()];
+    let total_diag = |scale: f64| -> f64 {
+        let mut b = ThermalBoundary::convective(25.0, 300.0);
+        b.area_scale = scale;
+        let map = DofMap::unconstrained(g.n_nodes());
+        let mut st = Stamper::new(&map);
+        b.stamp(&g, &t, &mut st);
+        let (a, _) = st.finish();
+        a.diag().iter().sum()
+    };
+    let full = total_diag(1.0);
+    let half = total_diag(0.5);
+    let tenth = total_diag(0.1);
+    assert!((full - 25.0 * 6.0).abs() < 1e-9); // unit cube surface
+    assert!((half - 0.5 * full).abs() < 1e-9);
+    assert!((tenth - 0.1 * full).abs() < 1e-9);
+}
+
+#[test]
+fn area_scale_scales_outgoing_power() {
+    let g = unit_grid();
+    let hot = vec![400.0; g.n_nodes()];
+    let mut b = ThermalBoundary::paper_default();
+    let p_full = b.outgoing_power(&g, &hot);
+    b.area_scale = 0.25;
+    let p_quarter = b.outgoing_power(&g, &hot);
+    assert!((p_quarter - 0.25 * p_full).abs() < 1e-9 * p_full);
+}
+
+#[test]
+fn zero_scale_is_adiabatic() {
+    let g = unit_grid();
+    let mut b = ThermalBoundary::paper_default();
+    b.area_scale = 0.0;
+    let hot = vec![450.0; g.n_nodes()];
+    assert_eq!(b.outgoing_power(&g, &hot), 0.0);
+    // Stamping adds nothing.
+    let map = DofMap::unconstrained(g.n_nodes());
+    let mut st = Stamper::new(&map);
+    b.stamp(&g, &hot, &mut st);
+    let (a, rhs) = st.finish();
+    assert!(a.diag().iter().all(|&d| d == 0.0));
+    assert!(rhs.iter().all(|&r| r == 0.0));
+}

@@ -1,0 +1,311 @@
+//! A monotone 1D coordinate axis with primary and dual spacings.
+
+use std::fmt;
+
+/// A strictly increasing sequence of node coordinates along one axis.
+///
+/// The *primary* spacing `dx[i] = x[i+1] − x[i]` is the length of primary
+/// edge `i`; the *dual* spacing around node `i` is
+/// `d̃x[i] = (dx[i−1] + dx[i]) / 2` with the one-sided halves at the two
+/// boundary nodes, so that `Σᵢ d̃x[i] = x[n−1] − x[0]`.
+///
+/// # Example
+///
+/// ```
+/// use etherm_grid::Axis;
+///
+/// let ax = Axis::uniform(0.0, 1.0, 4).unwrap(); // 5 nodes, h = 0.25
+/// assert_eq!(ax.n_nodes(), 5);
+/// assert!((ax.spacing(0) - 0.25).abs() < 1e-15);
+/// assert!((ax.dual_spacing(0) - 0.125).abs() < 1e-15);
+/// assert!((ax.dual_spacing(2) - 0.25).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Axis {
+    coords: Vec<f64>,
+}
+
+/// Error building an [`Axis`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum AxisError {
+    /// Fewer than two coordinates were supplied.
+    TooFewNodes(usize),
+    /// Coordinates not strictly increasing at the given position.
+    NotIncreasing(usize),
+    /// A coordinate was NaN or infinite.
+    NotFinite(usize),
+    /// Requested zero cells or non-positive extent.
+    InvalidExtent,
+}
+
+impl fmt::Display for AxisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AxisError::TooFewNodes(n) => write!(f, "axis needs at least 2 nodes, got {n}"),
+            AxisError::NotIncreasing(i) => {
+                write!(f, "axis coordinates not strictly increasing at index {i}")
+            }
+            AxisError::NotFinite(i) => write!(f, "axis coordinate {i} is not finite"),
+            AxisError::InvalidExtent => write!(f, "axis extent must be positive with ≥1 cell"),
+        }
+    }
+}
+
+impl std::error::Error for AxisError {}
+
+impl Axis {
+    /// Builds an axis from explicit node coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxisError`] if fewer than two coordinates are given, any is
+    /// non-finite, or they are not strictly increasing.
+    pub fn from_coords(coords: Vec<f64>) -> Result<Self, AxisError> {
+        if coords.len() < 2 {
+            return Err(AxisError::TooFewNodes(coords.len()));
+        }
+        for (i, &c) in coords.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(AxisError::NotFinite(i));
+            }
+        }
+        for i in 1..coords.len() {
+            if coords[i] <= coords[i - 1] {
+                return Err(AxisError::NotIncreasing(i));
+            }
+        }
+        Ok(Axis { coords })
+    }
+
+    /// Builds a uniform axis over `[start, end]` with `n_cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxisError::InvalidExtent`] if `end <= start` or
+    /// `n_cells == 0`.
+    pub fn uniform(start: f64, end: f64, n_cells: usize) -> Result<Self, AxisError> {
+        if end <= start || n_cells == 0 || !start.is_finite() || !end.is_finite() {
+            return Err(AxisError::InvalidExtent);
+        }
+        let h = (end - start) / n_cells as f64;
+        let coords = (0..=n_cells)
+            .map(|i| {
+                if i == n_cells {
+                    end
+                } else {
+                    start + i as f64 * h
+                }
+            })
+            .collect();
+        Ok(Axis { coords })
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Number of cells (`n_nodes − 1`).
+    pub fn n_cells(&self) -> usize {
+        self.coords.len() - 1
+    }
+
+    /// Coordinate of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// All node coordinates.
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Primary spacing `dx[i] = x[i+1] − x[i]` of cell `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n_cells`.
+    #[inline]
+    pub fn spacing(&self, i: usize) -> f64 {
+        self.coords[i + 1] - self.coords[i]
+    }
+
+    /// Dual spacing around node `i` (half-cell widths at the boundary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ n_nodes`.
+    #[inline]
+    pub fn dual_spacing(&self, i: usize) -> f64 {
+        let n = self.n_nodes();
+        let left = if i == 0 { 0.0 } else { self.spacing(i - 1) };
+        let right = if i == n - 1 { 0.0 } else { self.spacing(i) };
+        0.5 * (left + right)
+    }
+
+    /// Total extent `x[n−1] − x[0]`.
+    pub fn extent(&self) -> f64 {
+        self.coords[self.coords.len() - 1] - self.coords[0]
+    }
+
+    /// Smallest primary spacing.
+    pub fn min_spacing(&self) -> f64 {
+        (0..self.n_cells())
+            .map(|i| self.spacing(i))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest primary spacing.
+    pub fn max_spacing(&self) -> f64 {
+        (0..self.n_cells()).map(|i| self.spacing(i)).fold(0.0, f64::max)
+    }
+
+    /// Index of the cell containing `x` (clamped to the axis range).
+    ///
+    /// Points exactly on an interior node belong to the cell on their right;
+    /// points at or beyond the last node belong to the last cell.
+    pub fn cell_containing(&self, x: f64) -> usize {
+        if x <= self.coords[0] {
+            return 0;
+        }
+        let last = self.n_cells() - 1;
+        if x >= self.coords[self.n_nodes() - 1] {
+            return last;
+        }
+        // Binary search: find rightmost node ≤ x.
+        match self
+            .coords
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite coords"))
+        {
+            Ok(i) => i.min(last),
+            Err(i) => (i - 1).min(last),
+        }
+    }
+
+    /// Index of the node closest to `x` (ties resolve to the lower index).
+    pub fn nearest_node(&self, x: f64) -> usize {
+        let c = self.cell_containing(x);
+        let left = self.coords[c];
+        let right = self.coords[c + 1];
+        if (x - left).abs() <= (right - x).abs() {
+            c
+        } else {
+            c + 1
+        }
+    }
+
+    /// Refines the axis by splitting every cell into `factor` equal parts.
+    ///
+    /// Existing node coordinates (e.g. material interfaces) are preserved
+    /// exactly, which keeps staircase material assignments intact across
+    /// refinement levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn refine(&self, factor: usize) -> Axis {
+        assert!(factor > 0, "refine factor must be positive");
+        let mut coords = Vec::with_capacity(self.n_cells() * factor + 1);
+        for i in 0..self.n_cells() {
+            let a = self.coords[i];
+            let h = self.spacing(i) / factor as f64;
+            for s in 0..factor {
+                coords.push(a + s as f64 * h);
+            }
+        }
+        coords.push(self.coords[self.n_nodes() - 1]);
+        Axis { coords }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_axis_properties() {
+        let ax = Axis::uniform(1.0, 3.0, 4).unwrap();
+        assert_eq!(ax.n_nodes(), 5);
+        assert_eq!(ax.n_cells(), 4);
+        assert!((ax.extent() - 2.0).abs() < 1e-15);
+        assert!((ax.spacing(0) - 0.5).abs() < 1e-15);
+        assert!((ax.min_spacing() - ax.max_spacing()).abs() < 1e-12);
+        assert_eq!(ax.coord(4), 3.0);
+    }
+
+    #[test]
+    fn dual_spacings_sum_to_extent() {
+        let ax = Axis::from_coords(vec![0.0, 0.1, 0.5, 0.6, 2.0]).unwrap();
+        let total: f64 = (0..ax.n_nodes()).map(|i| ax.dual_spacing(i)).sum();
+        assert!((total - ax.extent()).abs() < 1e-12);
+        // Boundary duals are half cells.
+        assert!((ax.dual_spacing(0) - 0.05).abs() < 1e-15);
+        assert!((ax.dual_spacing(4) - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            Axis::from_coords(vec![1.0]),
+            Err(AxisError::TooFewNodes(1))
+        );
+        assert_eq!(
+            Axis::from_coords(vec![0.0, 0.0]),
+            Err(AxisError::NotIncreasing(1))
+        );
+        assert_eq!(
+            Axis::from_coords(vec![0.0, f64::NAN]),
+            Err(AxisError::NotFinite(1))
+        );
+        assert_eq!(Axis::uniform(1.0, 1.0, 3), Err(AxisError::InvalidExtent));
+        assert_eq!(Axis::uniform(0.0, 1.0, 0), Err(AxisError::InvalidExtent));
+    }
+
+    #[test]
+    fn cell_containing_lookup() {
+        let ax = Axis::from_coords(vec![0.0, 1.0, 3.0, 6.0]).unwrap();
+        assert_eq!(ax.cell_containing(-1.0), 0);
+        assert_eq!(ax.cell_containing(0.5), 0);
+        assert_eq!(ax.cell_containing(1.0), 1); // boundary goes right
+        assert_eq!(ax.cell_containing(2.9), 1);
+        assert_eq!(ax.cell_containing(5.9), 2);
+        assert_eq!(ax.cell_containing(6.0), 2);
+        assert_eq!(ax.cell_containing(99.0), 2);
+    }
+
+    #[test]
+    fn nearest_node_lookup() {
+        let ax = Axis::from_coords(vec![0.0, 1.0, 3.0]).unwrap();
+        assert_eq!(ax.nearest_node(0.4), 0);
+        assert_eq!(ax.nearest_node(0.6), 1);
+        assert_eq!(ax.nearest_node(1.9), 1);
+        assert_eq!(ax.nearest_node(2.1), 2);
+        assert_eq!(ax.nearest_node(-5.0), 0);
+        assert_eq!(ax.nearest_node(50.0), 2);
+    }
+
+    #[test]
+    fn refine_preserves_nodes() {
+        let ax = Axis::from_coords(vec![0.0, 0.3, 1.0]).unwrap();
+        let r = ax.refine(3);
+        assert_eq!(r.n_cells(), 6);
+        // Original coordinates must appear exactly.
+        for &c in ax.coords() {
+            assert!(r.coords().iter().any(|&rc| rc == c));
+        }
+        assert!((r.extent() - ax.extent()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(AxisError::TooFewNodes(1).to_string().contains('2'));
+        assert!(AxisError::NotIncreasing(3).to_string().contains('3'));
+        assert!(AxisError::NotFinite(0).to_string().contains("finite"));
+        assert!(AxisError::InvalidExtent.to_string().contains("positive"));
+    }
+}

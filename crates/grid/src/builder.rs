@@ -1,0 +1,224 @@
+//! Mesh generation from key planes.
+//!
+//! Package geometry consists of axis-aligned boxes (mold, chip, pads). A
+//! mesh that *conforms* to those boxes must contain every box face
+//! coordinate as a grid plane; between key planes the builder inserts
+//! equidistant nodes so no cell exceeds the requested target spacing. This
+//! keeps the staircase material approximation exact for box geometry while
+//! letting the caller trade accuracy for speed with a single knob.
+
+use crate::axis::{Axis, AxisError};
+use crate::grid::Grid3;
+use crate::paint::BoxRegion;
+
+/// Incremental builder for a [`Grid3`] that conforms to key planes.
+///
+/// # Example
+///
+/// ```
+/// use etherm_grid::{BoxRegion, GridBuilder};
+///
+/// let grid = GridBuilder::new()
+///     .with_box(&BoxRegion::new((0.0, 0.0, 0.0), (1.0, 1.0, 0.2)))
+///     .with_key_plane_x(0.5)
+///     .with_target_spacing(0.25)
+///     .build()
+///     .unwrap();
+/// // The plane x = 0.5 exists exactly.
+/// assert!(grid.x().coords().iter().any(|&c| c == 0.5));
+/// // No cell is wider than 0.25 (plus rounding).
+/// assert!(grid.x().max_spacing() <= 0.25 + 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GridBuilder {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
+    target: Option<(f64, f64, f64)>,
+}
+
+impl GridBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GridBuilder::default()
+    }
+
+    /// Adds the six face planes of `region` as key planes.
+    pub fn with_box(mut self, region: &BoxRegion) -> Self {
+        let (xs, ys, zs) = region.key_planes();
+        self.xs.extend_from_slice(&xs);
+        self.ys.extend_from_slice(&ys);
+        self.zs.extend_from_slice(&zs);
+        self
+    }
+
+    /// Adds a single key plane `x = c`.
+    pub fn with_key_plane_x(mut self, c: f64) -> Self {
+        self.xs.push(c);
+        self
+    }
+
+    /// Adds a single key plane `y = c`.
+    pub fn with_key_plane_y(mut self, c: f64) -> Self {
+        self.ys.push(c);
+        self
+    }
+
+    /// Adds a single key plane `z = c`.
+    pub fn with_key_plane_z(mut self, c: f64) -> Self {
+        self.zs.push(c);
+        self
+    }
+
+    /// Sets the same maximum cell size for all three directions.
+    pub fn with_target_spacing(mut self, h: f64) -> Self {
+        self.target = Some((h, h, h));
+        self
+    }
+
+    /// Sets per-direction maximum cell sizes.
+    pub fn with_target_spacings(mut self, hx: f64, hy: f64, hz: f64) -> Self {
+        self.target = Some((hx, hy, hz));
+        self
+    }
+
+    /// Builds the grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AxisError`] if any direction has fewer than two distinct
+    /// key planes, a non-finite coordinate, or a non-positive target
+    /// spacing was set.
+    pub fn build(&self) -> Result<Grid3, AxisError> {
+        let (hx, hy, hz) = self.target.unwrap_or((f64::INFINITY, f64::INFINITY, f64::INFINITY));
+        Ok(Grid3::new(
+            axis_from_planes(&self.xs, hx)?,
+            axis_from_planes(&self.ys, hy)?,
+            axis_from_planes(&self.zs, hz)?,
+        ))
+    }
+}
+
+/// Builds an axis containing every distinct plane in `planes`, subdivided so
+/// that no spacing exceeds `target`.
+///
+/// # Errors
+///
+/// Returns [`AxisError`] on fewer than two distinct planes, non-finite
+/// values, or a non-positive target.
+pub fn axis_from_planes(planes: &[f64], target: f64) -> Result<Axis, AxisError> {
+    if target <= 0.0 || target.is_nan() {
+        return Err(AxisError::InvalidExtent);
+    }
+    let mut p: Vec<f64> = planes.to_vec();
+    for (i, v) in p.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(AxisError::NotFinite(i));
+        }
+    }
+    p.sort_by(|a, b| a.partial_cmp(b).expect("finite planes"));
+    // Merge planes closer than a relative tolerance (avoids sliver cells).
+    let span = match (p.first(), p.last()) {
+        (Some(a), Some(b)) => b - a,
+        _ => return Err(AxisError::TooFewNodes(p.len())),
+    };
+    let tol = 1e-9 * span.max(1e-300);
+    let mut merged: Vec<f64> = Vec::with_capacity(p.len());
+    for v in p {
+        match merged.last() {
+            Some(&last) if (v - last) <= tol => {}
+            _ => merged.push(v),
+        }
+    }
+    if merged.len() < 2 {
+        return Err(AxisError::TooFewNodes(merged.len()));
+    }
+    // Subdivide each key interval equidistantly to meet the target.
+    let mut coords = Vec::new();
+    for w in merged.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let len = b - a;
+        let n_sub = if target.is_infinite() {
+            1
+        } else {
+            (len / target).ceil().max(1.0) as usize
+        };
+        let h = len / n_sub as f64;
+        for s in 0..n_sub {
+            coords.push(a + s as f64 * h);
+        }
+    }
+    coords.push(*merged.last().expect("nonempty"));
+    Axis::from_coords(coords)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_contains_all_planes() {
+        let ax = axis_from_planes(&[0.0, 1.0, 0.3, 0.3, 0.7], 0.1).unwrap();
+        for &p in &[0.0, 0.3, 0.7, 1.0] {
+            assert!(
+                ax.coords().iter().any(|&c| (c - p).abs() < 1e-12),
+                "missing plane {p}"
+            );
+        }
+        assert!(ax.max_spacing() <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn no_target_keeps_planes_only() {
+        let ax = axis_from_planes(&[0.0, 2.0, 1.0], f64::INFINITY).unwrap();
+        assert_eq!(ax.coords(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn near_duplicate_planes_merge() {
+        let ax = axis_from_planes(&[0.0, 1.0, 1.0 + 1e-15], f64::INFINITY).unwrap();
+        assert_eq!(ax.n_nodes(), 2);
+    }
+
+    #[test]
+    fn errors_on_degenerate_input() {
+        assert!(axis_from_planes(&[], 1.0).is_err());
+        assert!(axis_from_planes(&[1.0], 1.0).is_err());
+        assert!(axis_from_planes(&[1.0, 1.0], 1.0).is_err());
+        assert!(axis_from_planes(&[0.0, 1.0], 0.0).is_err());
+        assert!(axis_from_planes(&[0.0, f64::NAN], 1.0).is_err());
+    }
+
+    #[test]
+    fn builder_produces_conforming_grid() {
+        let chip = BoxRegion::new((1.0, 1.0, 0.0), (3.0, 3.0, 0.5));
+        let mold = BoxRegion::new((0.0, 0.0, 0.0), (4.0, 4.0, 1.0));
+        let g = GridBuilder::new()
+            .with_box(&mold)
+            .with_box(&chip)
+            .with_target_spacing(0.5)
+            .build()
+            .unwrap();
+        for &p in &[0.0, 1.0, 3.0, 4.0] {
+            assert!(g.x().coords().iter().any(|&c| (c - p).abs() < 1e-12));
+        }
+        for &p in &[0.0, 0.5, 1.0] {
+            assert!(g.z().coords().iter().any(|&c| (c - p).abs() < 1e-12));
+        }
+        assert!(g.x().max_spacing() <= 0.5 + 1e-12);
+    }
+
+    #[test]
+    fn builder_key_planes_api() {
+        let g = GridBuilder::new()
+            .with_box(&BoxRegion::new((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)))
+            .with_key_plane_x(0.25)
+            .with_key_plane_y(0.5)
+            .with_key_plane_z(0.75)
+            .build()
+            .unwrap();
+        assert!(g.x().coords().contains(&0.25));
+        assert!(g.y().coords().contains(&0.5));
+        assert!(g.z().coords().contains(&0.75));
+    }
+}

@@ -1,0 +1,766 @@
+//! The 3D tensor-product grid with primal/dual geometry and entity indexing.
+
+use crate::axis::Axis;
+
+/// Coordinate direction of an edge or axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// x direction.
+    X,
+    /// y direction.
+    Y,
+    /// z direction.
+    Z,
+}
+
+impl Direction {
+    /// All three directions in order.
+    pub const ALL: [Direction; 3] = [Direction::X, Direction::Y, Direction::Z];
+}
+
+/// One of the six outer boundary faces of the grid box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Face {
+    /// `x = x_min` face.
+    XMin,
+    /// `x = x_max` face.
+    XMax,
+    /// `y = y_min` face.
+    YMin,
+    /// `y = y_max` face.
+    YMax,
+    /// `z = z_min` face.
+    ZMin,
+    /// `z = z_max` face.
+    ZMax,
+}
+
+impl Face {
+    /// All six faces in order.
+    pub const ALL: [Face; 6] = [
+        Face::XMin,
+        Face::XMax,
+        Face::YMin,
+        Face::YMax,
+        Face::ZMin,
+        Face::ZMax,
+    ];
+}
+
+/// A 3D tensor-product hexahedral grid (the FIT primary grid) together with
+/// its implied dual grid geometry.
+///
+/// Linear index conventions (all row-major in `(i, j, k)` with `i` fastest):
+///
+/// * **nodes** `(i, j, k)`, `i < nx`, `j < ny`, `k < nz` — potentials `Φ` and
+///   temperatures `T` live here;
+/// * **edges** stored as three consecutive blocks: x-edges (count
+///   `(nx−1)·ny·nz`), then y-edges, then z-edges — voltages and temperature
+///   drops live here;
+/// * **cells** `(i, j, k)` with `i < nx−1`, ... — homogeneous (staircase)
+///   material regions.
+///
+/// # Example
+///
+/// ```
+/// use etherm_grid::{Axis, Grid3};
+///
+/// let g = Grid3::new(
+///     Axis::uniform(0.0, 1.0, 2).unwrap(),
+///     Axis::uniform(0.0, 1.0, 2).unwrap(),
+///     Axis::uniform(0.0, 1.0, 1).unwrap(),
+/// );
+/// assert_eq!(g.n_nodes(), 3 * 3 * 2);
+/// assert_eq!(g.n_cells(), 2 * 2 * 1);
+/// // Total dual volume tiles the domain exactly.
+/// let v: f64 = (0..g.n_nodes()).map(|n| g.dual_volume(n)).sum();
+/// assert!((v - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    x: Axis,
+    y: Axis,
+    z: Axis,
+}
+
+impl Grid3 {
+    /// Creates a grid from three axes.
+    pub fn new(x: Axis, y: Axis, z: Axis) -> Self {
+        Grid3 { x, y, z }
+    }
+
+    /// The x axis.
+    pub fn x(&self) -> &Axis {
+        &self.x
+    }
+
+    /// The y axis.
+    pub fn y(&self) -> &Axis {
+        &self.y
+    }
+
+    /// The z axis.
+    pub fn z(&self) -> &Axis {
+        &self.z
+    }
+
+    /// Node counts `(nx, ny, nz)`.
+    pub fn node_dims(&self) -> (usize, usize, usize) {
+        (self.x.n_nodes(), self.y.n_nodes(), self.z.n_nodes())
+    }
+
+    /// Cell counts `(nx−1, ny−1, nz−1)`.
+    pub fn cell_dims(&self) -> (usize, usize, usize) {
+        (self.x.n_cells(), self.y.n_cells(), self.z.n_cells())
+    }
+
+    /// Total number of primary nodes.
+    pub fn n_nodes(&self) -> usize {
+        let (nx, ny, nz) = self.node_dims();
+        nx * ny * nz
+    }
+
+    /// Total number of primary cells.
+    pub fn n_cells(&self) -> usize {
+        let (cx, cy, cz) = self.cell_dims();
+        cx * cy * cz
+    }
+
+    /// Number of edges in the given direction.
+    pub fn n_edges_dir(&self, dir: Direction) -> usize {
+        let (nx, ny, nz) = self.node_dims();
+        match dir {
+            Direction::X => (nx - 1) * ny * nz,
+            Direction::Y => nx * (ny - 1) * nz,
+            Direction::Z => nx * ny * (nz - 1),
+        }
+    }
+
+    /// Total number of primary edges.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges_dir(Direction::X)
+            + self.n_edges_dir(Direction::Y)
+            + self.n_edges_dir(Direction::Z)
+    }
+
+    // ----- node indexing ---------------------------------------------------
+
+    /// Linear node index of `(i, j, k)`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics on out-of-range indices.
+    #[inline]
+    pub fn node_index(&self, i: usize, j: usize, k: usize) -> usize {
+        let (nx, ny, _nz) = self.node_dims();
+        debug_assert!(i < nx && j < self.y.n_nodes() && k < self.z.n_nodes());
+        i + nx * (j + ny * k)
+    }
+
+    /// Inverse of [`Grid3::node_index`].
+    #[inline]
+    pub fn node_coords_of(&self, n: usize) -> (usize, usize, usize) {
+        let (nx, ny, _) = self.node_dims();
+        let i = n % nx;
+        let j = (n / nx) % ny;
+        let k = n / (nx * ny);
+        (i, j, k)
+    }
+
+    /// Physical position `(x, y, z)` of node `n`.
+    pub fn node_position(&self, n: usize) -> (f64, f64, f64) {
+        let (i, j, k) = self.node_coords_of(n);
+        (self.x.coord(i), self.y.coord(j), self.z.coord(k))
+    }
+
+    /// Node nearest to the physical point `(px, py, pz)`.
+    pub fn nearest_node(&self, px: f64, py: f64, pz: f64) -> usize {
+        self.node_index(
+            self.x.nearest_node(px),
+            self.y.nearest_node(py),
+            self.z.nearest_node(pz),
+        )
+    }
+
+    /// Whether node `n` lies on the outer boundary, and on which faces.
+    pub fn boundary_faces(&self, n: usize) -> Vec<Face> {
+        let (nx, ny, nz) = self.node_dims();
+        let (i, j, k) = self.node_coords_of(n);
+        let mut faces = Vec::new();
+        if i == 0 {
+            faces.push(Face::XMin);
+        }
+        if i == nx - 1 {
+            faces.push(Face::XMax);
+        }
+        if j == 0 {
+            faces.push(Face::YMin);
+        }
+        if j == ny - 1 {
+            faces.push(Face::YMax);
+        }
+        if k == 0 {
+            faces.push(Face::ZMin);
+        }
+        if k == nz - 1 {
+            faces.push(Face::ZMax);
+        }
+        faces
+    }
+
+    /// Whether node `n` lies on the outer boundary.
+    pub fn is_boundary_node(&self, n: usize) -> bool {
+        let (nx, ny, nz) = self.node_dims();
+        let (i, j, k) = self.node_coords_of(n);
+        i == 0 || i == nx - 1 || j == 0 || j == ny - 1 || k == 0 || k == nz - 1
+    }
+
+    // ----- edge indexing ---------------------------------------------------
+
+    /// Linear edge index of the x-directed edge starting at node `(i, j, k)`.
+    #[inline]
+    pub fn x_edge_index(&self, i: usize, j: usize, k: usize) -> usize {
+        let (nx, ny, _) = self.node_dims();
+        debug_assert!(i < nx - 1);
+        i + (nx - 1) * (j + ny * k)
+    }
+
+    /// Linear edge index of the y-directed edge starting at node `(i, j, k)`.
+    #[inline]
+    pub fn y_edge_index(&self, i: usize, j: usize, k: usize) -> usize {
+        let (nx, ny, _) = self.node_dims();
+        debug_assert!(j < ny - 1);
+        self.n_edges_dir(Direction::X) + i + nx * (j + (ny - 1) * k)
+    }
+
+    /// Linear edge index of the z-directed edge starting at node `(i, j, k)`.
+    #[inline]
+    pub fn z_edge_index(&self, i: usize, j: usize, k: usize) -> usize {
+        let (nx, ny, nz) = self.node_dims();
+        debug_assert!(k < nz - 1, "z edge k={k} out of range nz={nz}");
+        self.n_edges_dir(Direction::X) + self.n_edges_dir(Direction::Y) + i + nx * (j + ny * k)
+    }
+
+    /// Direction and lattice coordinates `(i, j, k)` of edge `e`.
+    pub fn edge_decompose(&self, e: usize) -> (Direction, usize, usize, usize) {
+        let nex = self.n_edges_dir(Direction::X);
+        let ney = self.n_edges_dir(Direction::Y);
+        let (nx, ny, _) = self.node_dims();
+        if e < nex {
+            let i = e % (nx - 1);
+            let j = (e / (nx - 1)) % ny;
+            let k = e / ((nx - 1) * ny);
+            (Direction::X, i, j, k)
+        } else if e < nex + ney {
+            let r = e - nex;
+            let i = r % nx;
+            let j = (r / nx) % (ny - 1);
+            let k = r / (nx * (ny - 1));
+            (Direction::Y, i, j, k)
+        } else {
+            let r = e - nex - ney;
+            let i = r % nx;
+            let j = (r / nx) % ny;
+            let k = r / (nx * ny);
+            (Direction::Z, i, j, k)
+        }
+    }
+
+    /// The two endpoint nodes `(tail, head)` of edge `e`; the edge points
+    /// from `tail` to `head` in the positive axis direction.
+    pub fn edge_endpoints(&self, e: usize) -> (usize, usize) {
+        let (dir, i, j, k) = self.edge_decompose(e);
+        let a = self.node_index(i, j, k);
+        let b = match dir {
+            Direction::X => self.node_index(i + 1, j, k),
+            Direction::Y => self.node_index(i, j + 1, k),
+            Direction::Z => self.node_index(i, j, k + 1),
+        };
+        (a, b)
+    }
+
+    /// Length `ℓ` of primary edge `e`.
+    pub fn edge_length(&self, e: usize) -> f64 {
+        let (dir, i, j, k) = self.edge_decompose(e);
+        match dir {
+            Direction::X => self.x.spacing(i),
+            Direction::Y => self.y.spacing(j),
+            Direction::Z => self.z.spacing(k),
+        }
+    }
+
+    /// Area `Ã` of the dual facet crossed by primary edge `e`.
+    pub fn dual_area(&self, e: usize) -> f64 {
+        let (dir, i, j, k) = self.edge_decompose(e);
+        match dir {
+            Direction::X => self.y.dual_spacing(j) * self.z.dual_spacing(k),
+            Direction::Y => self.x.dual_spacing(i) * self.z.dual_spacing(k),
+            Direction::Z => self.x.dual_spacing(i) * self.y.dual_spacing(j),
+        }
+    }
+
+    // ----- cell indexing ---------------------------------------------------
+
+    /// Linear cell index of `(i, j, k)`.
+    #[inline]
+    pub fn cell_index(&self, i: usize, j: usize, k: usize) -> usize {
+        let (cx, cy, _) = self.cell_dims();
+        debug_assert!(i < cx && j < cy && k < self.z.n_cells());
+        i + cx * (j + cy * k)
+    }
+
+    /// Inverse of [`Grid3::cell_index`].
+    #[inline]
+    pub fn cell_coords_of(&self, c: usize) -> (usize, usize, usize) {
+        let (cx, cy, _) = self.cell_dims();
+        let i = c % cx;
+        let j = (c / cx) % cy;
+        let k = c / (cx * cy);
+        (i, j, k)
+    }
+
+    /// Volume of primary cell `c`.
+    pub fn cell_volume(&self, c: usize) -> f64 {
+        let (i, j, k) = self.cell_coords_of(c);
+        self.x.spacing(i) * self.y.spacing(j) * self.z.spacing(k)
+    }
+
+    /// Center point of primary cell `c`.
+    pub fn cell_center(&self, c: usize) -> (f64, f64, f64) {
+        let (i, j, k) = self.cell_coords_of(c);
+        (
+            0.5 * (self.x.coord(i) + self.x.coord(i + 1)),
+            0.5 * (self.y.coord(j) + self.y.coord(j + 1)),
+            0.5 * (self.z.coord(k) + self.z.coord(k + 1)),
+        )
+    }
+
+    /// The eight corner nodes of cell `c`, ordered `(i,j,k)`-lexicographic.
+    pub fn cell_nodes(&self, c: usize) -> [usize; 8] {
+        let (i, j, k) = self.cell_coords_of(c);
+        [
+            self.node_index(i, j, k),
+            self.node_index(i + 1, j, k),
+            self.node_index(i, j + 1, k),
+            self.node_index(i + 1, j + 1, k),
+            self.node_index(i, j, k + 1),
+            self.node_index(i + 1, j, k + 1),
+            self.node_index(i, j + 1, k + 1),
+            self.node_index(i + 1, j + 1, k + 1),
+        ]
+    }
+
+    /// The twelve edges of cell `c`, grouped as `[x-edges; 4]`, `[y; 4]`,
+    /// `[z; 4]`.
+    pub fn cell_edges(&self, c: usize) -> [usize; 12] {
+        let (i, j, k) = self.cell_coords_of(c);
+        [
+            self.x_edge_index(i, j, k),
+            self.x_edge_index(i, j + 1, k),
+            self.x_edge_index(i, j, k + 1),
+            self.x_edge_index(i, j + 1, k + 1),
+            self.y_edge_index(i, j, k),
+            self.y_edge_index(i + 1, j, k),
+            self.y_edge_index(i, j, k + 1),
+            self.y_edge_index(i + 1, j, k + 1),
+            self.z_edge_index(i, j, k),
+            self.z_edge_index(i + 1, j, k),
+            self.z_edge_index(i, j + 1, k),
+            self.z_edge_index(i + 1, j + 1, k),
+        ]
+    }
+
+    // ----- dual geometry ---------------------------------------------------
+
+    /// Volume `Ṽ` of the dual cell around node `n`.
+    pub fn dual_volume(&self, n: usize) -> f64 {
+        let (i, j, k) = self.node_coords_of(n);
+        self.x.dual_spacing(i) * self.y.dual_spacing(j) * self.z.dual_spacing(k)
+    }
+
+    /// Cells touching node `n` with their overlap volumes
+    /// (up to 8 quadrant volumes; used for `ρc` volumetric averaging).
+    pub fn cells_touching_node(&self, n: usize) -> Vec<(usize, f64)> {
+        let (i, j, k) = self.node_coords_of(n);
+        let (cx, cy, cz) = self.cell_dims();
+        let mut out = Vec::with_capacity(8);
+        for dk in 0..2usize {
+            let kk = match k.checked_sub(dk) {
+                Some(v) if v < cz => v,
+                _ => continue,
+            };
+            for dj in 0..2usize {
+                let jj = match j.checked_sub(dj) {
+                    Some(v) if v < cy => v,
+                    _ => continue,
+                };
+                for di in 0..2usize {
+                    let ii = match i.checked_sub(di) {
+                        Some(v) if v < cx => v,
+                        _ => continue,
+                    };
+                    // Octant volume (dx/2)(dy/2)(dz/2) of the touching cell.
+                    let w = 0.125 * self.x.spacing(ii) * self.y.spacing(jj) * self.z.spacing(kk);
+                    out.push((self.cell_index(ii, jj, kk), w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cells touching edge `e` with their overlap cross-section weights
+    /// (up to 4; used for `σ`/`λ` volumetric averaging onto edges).
+    ///
+    /// The weight of each touching cell is the quarter cross-section area it
+    /// contributes to the dual facet of the edge.
+    pub fn cells_touching_edge(&self, e: usize) -> Vec<(usize, f64)> {
+        let (dir, i, j, k) = self.edge_decompose(e);
+        let (cx, cy, cz) = self.cell_dims();
+        let mut out = Vec::with_capacity(4);
+        match dir {
+            Direction::X => {
+                for dk in 0..2usize {
+                    let kk = match k.checked_sub(dk) {
+                        Some(v) if v < cz => v,
+                        _ => continue,
+                    };
+                    for dj in 0..2usize {
+                        let jj = match j.checked_sub(dj) {
+                            Some(v) if v < cy => v,
+                            _ => continue,
+                        };
+                        let w = 0.25 * self.y.spacing(jj) * self.z.spacing(kk);
+                        out.push((self.cell_index(i, jj, kk), w));
+                    }
+                }
+            }
+            Direction::Y => {
+                for dk in 0..2usize {
+                    let kk = match k.checked_sub(dk) {
+                        Some(v) if v < cz => v,
+                        _ => continue,
+                    };
+                    for di in 0..2usize {
+                        let ii = match i.checked_sub(di) {
+                            Some(v) if v < cx => v,
+                            _ => continue,
+                        };
+                        let w = 0.25 * self.x.spacing(ii) * self.z.spacing(kk);
+                        out.push((self.cell_index(ii, j, kk), w));
+                    }
+                }
+            }
+            Direction::Z => {
+                for dj in 0..2usize {
+                    let jj = match j.checked_sub(dj) {
+                        Some(v) if v < cy => v,
+                        _ => continue,
+                    };
+                    for di in 0..2usize {
+                        let ii = match i.checked_sub(di) {
+                            Some(v) if v < cx => v,
+                            _ => continue,
+                        };
+                        let w = 0.25 * self.x.spacing(ii) * self.y.spacing(jj);
+                        out.push((self.cell_index(ii, jj, k), w));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Outer-boundary facet area assigned to node `n` on face `face`
+    /// (zero if the node does not lie on that face).
+    ///
+    /// This is the portion of the boundary surface covered by the node's
+    /// dual cell — the area through which convection/radiation exchange heat
+    /// with the environment.
+    pub fn boundary_area(&self, n: usize, face: Face) -> f64 {
+        let (nx, ny, nz) = self.node_dims();
+        let (i, j, k) = self.node_coords_of(n);
+        let on_face = match face {
+            Face::XMin => i == 0,
+            Face::XMax => i == nx - 1,
+            Face::YMin => j == 0,
+            Face::YMax => j == ny - 1,
+            Face::ZMin => k == 0,
+            Face::ZMax => k == nz - 1,
+        };
+        if !on_face {
+            return 0.0;
+        }
+        match face {
+            Face::XMin | Face::XMax => self.y.dual_spacing(j) * self.z.dual_spacing(k),
+            Face::YMin | Face::YMax => self.x.dual_spacing(i) * self.z.dual_spacing(k),
+            Face::ZMin | Face::ZMax => self.x.dual_spacing(i) * self.y.dual_spacing(j),
+        }
+    }
+
+    /// Total boundary area of node `n` over all faces it belongs to.
+    pub fn total_boundary_area(&self, n: usize) -> f64 {
+        Face::ALL.iter().map(|&f| self.boundary_area(n, f)).sum()
+    }
+
+    /// Uniformly refines all three axes by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn refine(&self, factor: usize) -> Grid3 {
+        Grid3 {
+            x: self.x.refine(factor),
+            y: self.y.refine(factor),
+            z: self.z.refine(factor),
+        }
+    }
+
+    /// Nodes within the closed axis-aligned box `[lo, hi]` (inclusive,
+    /// with a small relative tolerance on the box faces).
+    pub fn nodes_in_box(&self, lo: (f64, f64, f64), hi: (f64, f64, f64)) -> Vec<usize> {
+        let eps = 1e-12
+            * (self.x.extent().abs() + self.y.extent().abs() + self.z.extent().abs()).max(1.0);
+        let mut out = Vec::new();
+        for n in 0..self.n_nodes() {
+            let (px, py, pz) = self.node_position(n);
+            if px >= lo.0 - eps
+                && px <= hi.0 + eps
+                && py >= lo.1 - eps
+                && py <= hi.1 + eps
+                && pz >= lo.2 - eps
+                && pz <= hi.2 + eps
+            {
+                out.push(n);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_2x2x1() -> Grid3 {
+        Grid3::new(
+            Axis::uniform(0.0, 2.0, 2).unwrap(),
+            Axis::uniform(0.0, 2.0, 2).unwrap(),
+            Axis::uniform(0.0, 1.0, 1).unwrap(),
+        )
+    }
+
+    fn grid_nonuniform() -> Grid3 {
+        Grid3::new(
+            Axis::from_coords(vec![0.0, 0.5, 2.0, 2.5]).unwrap(),
+            Axis::from_coords(vec![0.0, 1.0, 1.5]).unwrap(),
+            Axis::from_coords(vec![0.0, 0.25, 1.0]).unwrap(),
+        )
+    }
+
+    #[test]
+    fn entity_counts() {
+        let g = grid_2x2x1();
+        assert_eq!(g.n_nodes(), 18);
+        assert_eq!(g.n_cells(), 4);
+        assert_eq!(g.n_edges_dir(Direction::X), 2 * 3 * 2);
+        assert_eq!(g.n_edges_dir(Direction::Y), 3 * 2 * 2);
+        assert_eq!(g.n_edges_dir(Direction::Z), 3 * 3);
+        assert_eq!(g.n_edges(), 12 + 12 + 9);
+    }
+
+    #[test]
+    fn node_index_roundtrip() {
+        let g = grid_nonuniform();
+        for n in 0..g.n_nodes() {
+            let (i, j, k) = g.node_coords_of(n);
+            assert_eq!(g.node_index(i, j, k), n);
+        }
+    }
+
+    #[test]
+    fn cell_index_roundtrip() {
+        let g = grid_nonuniform();
+        for c in 0..g.n_cells() {
+            let (i, j, k) = g.cell_coords_of(c);
+            assert_eq!(g.cell_index(i, j, k), c);
+        }
+    }
+
+    #[test]
+    fn edge_decompose_roundtrip() {
+        let g = grid_nonuniform();
+        for e in 0..g.n_edges() {
+            let (dir, i, j, k) = g.edge_decompose(e);
+            let back = match dir {
+                Direction::X => g.x_edge_index(i, j, k),
+                Direction::Y => g.y_edge_index(i, j, k),
+                Direction::Z => g.z_edge_index(i, j, k),
+            };
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn edge_endpoints_differ_by_one_step() {
+        let g = grid_nonuniform();
+        for e in 0..g.n_edges() {
+            let (a, b) = g.edge_endpoints(e);
+            let (ai, aj, ak) = g.node_coords_of(a);
+            let (bi, bj, bk) = g.node_coords_of(b);
+            let diff = (bi - ai) + (bj - aj) + (bk - ak);
+            assert_eq!(diff, 1, "edge {e} endpoints not adjacent");
+            // Length equals coordinate distance.
+            let (pa, pb) = (g.node_position(a), g.node_position(b));
+            let d = ((pb.0 - pa.0).powi(2) + (pb.1 - pa.1).powi(2) + (pb.2 - pa.2).powi(2)).sqrt();
+            assert!((d - g.edge_length(e)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dual_volumes_tile_domain() {
+        let g = grid_nonuniform();
+        let total: f64 = (0..g.n_nodes()).map(|n| g.dual_volume(n)).sum();
+        let domain = g.x().extent() * g.y().extent() * g.z().extent();
+        assert!((total - domain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_volumes_tile_domain() {
+        let g = grid_nonuniform();
+        let total: f64 = (0..g.n_cells()).map(|c| g.cell_volume(c)).sum();
+        let domain = g.x().extent() * g.y().extent() * g.z().extent();
+        assert!((total - domain).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dual_areas_tile_cross_sections() {
+        // Sum of dual areas of all x-edges with the same i equals the full
+        // y-z cross section.
+        let g = grid_nonuniform();
+        let (nx, ny, nz) = g.node_dims();
+        let cross = g.y().extent() * g.z().extent();
+        for i in 0..nx - 1 {
+            let mut s = 0.0;
+            for j in 0..ny {
+                for k in 0..nz {
+                    s += g.dual_area(g.x_edge_index(i, j, k));
+                }
+            }
+            assert!((s - cross).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cells_touching_node_weights_sum_to_dual_volume() {
+        let g = grid_nonuniform();
+        for n in 0..g.n_nodes() {
+            let parts = g.cells_touching_node(n);
+            assert!(!parts.is_empty() && parts.len() <= 8);
+            let s: f64 = parts.iter().map(|&(_, w)| w).sum();
+            assert!(
+                (s - g.dual_volume(n)).abs() < 1e-12,
+                "node {n}: {s} vs {}",
+                g.dual_volume(n)
+            );
+        }
+    }
+
+    #[test]
+    fn cells_touching_edge_weights_sum_to_dual_area() {
+        let g = grid_nonuniform();
+        for e in 0..g.n_edges() {
+            let parts = g.cells_touching_edge(e);
+            assert!(!parts.is_empty() && parts.len() <= 4);
+            let s: f64 = parts.iter().map(|&(_, w)| w).sum();
+            assert!(
+                (s - g.dual_area(e)).abs() < 1e-12,
+                "edge {e}: {s} vs {}",
+                g.dual_area(e)
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_detection_and_areas() {
+        let g = grid_2x2x1();
+        // Corner node lies on three faces.
+        let corner = g.node_index(0, 0, 0);
+        assert_eq!(g.boundary_faces(corner).len(), 3);
+        assert!(g.is_boundary_node(corner));
+        // With nz = 2 every node is on ZMin or ZMax: all nodes are boundary.
+        assert!((0..g.n_nodes()).all(|n| g.is_boundary_node(n)));
+        // Total area of face ZMin equals the x-y cross-section.
+        let a: f64 = (0..g.n_nodes())
+            .map(|n| g.boundary_area(n, Face::ZMin))
+            .sum();
+        assert!((a - 4.0).abs() < 1e-12);
+        // A node not on XMin contributes zero area there.
+        let inner_x = g.node_index(1, 1, 0);
+        assert_eq!(g.boundary_area(inner_x, Face::XMin), 0.0);
+    }
+
+    #[test]
+    fn total_boundary_area_matches_surface() {
+        let g = grid_nonuniform();
+        let total: f64 = (0..g.n_nodes()).map(|n| g.total_boundary_area(n)).sum();
+        let (lx, ly, lz) = (g.x().extent(), g.y().extent(), g.z().extent());
+        let surface = 2.0 * (lx * ly + ly * lz + lx * lz);
+        assert!((total - surface).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cell_nodes_are_corners() {
+        let g = grid_nonuniform();
+        for c in 0..g.n_cells() {
+            let nodes = g.cell_nodes(c);
+            let (cx, cy, cz) = g.cell_center(c);
+            // All corners are at distance (dx/2, dy/2, dz/2) from the center.
+            for &n in &nodes {
+                let (px, py, pz) = g.node_position(n);
+                let (i, j, k) = g.cell_coords_of(c);
+                assert!((px - cx).abs() <= 0.5 * g.x().spacing(i) + 1e-12);
+                assert!((py - cy).abs() <= 0.5 * g.y().spacing(j) + 1e-12);
+                assert!((pz - cz).abs() <= 0.5 * g.z().spacing(k) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cell_edges_belong_to_cell() {
+        let g = grid_nonuniform();
+        for c in 0..g.n_cells() {
+            let nodes = g.cell_nodes(c);
+            for &e in &g.cell_edges(c) {
+                let (a, b) = g.edge_endpoints(e);
+                assert!(nodes.contains(&a) && nodes.contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_node_lookup() {
+        let g = grid_nonuniform();
+        let n = g.nearest_node(0.4, 0.9, 0.2);
+        let (px, py, pz) = g.node_position(n);
+        assert_eq!((px, py, pz), (0.5, 1.0, 0.25));
+    }
+
+    #[test]
+    fn nodes_in_box_selects_plane() {
+        let g = grid_2x2x1();
+        let plane = g.nodes_in_box((0.0, 0.0, 0.0), (2.0, 2.0, 0.0));
+        assert_eq!(plane.len(), 9);
+        for n in plane {
+            assert_eq!(g.node_position(n).2, 0.0);
+        }
+    }
+
+    #[test]
+    fn refine_multiplies_cells() {
+        let g = grid_2x2x1();
+        let r = g.refine(2);
+        assert_eq!(r.n_cells(), 4 * 8); // 4 cells × 2³ = 32
+        assert_eq!(r.n_cells(), 32);
+        assert_eq!(r.cell_dims(), (4, 4, 2));
+    }
+}

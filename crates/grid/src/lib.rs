@@ -1,0 +1,32 @@
+//! 3D tensor-product hexahedral grid pair for the Finite Integration
+//! Technique (FIT).
+//!
+//! FIT operates on a *staggered grid pair*: the primary grid carries the
+//! degrees of freedom (electric potentials and temperatures at primary
+//! nodes, voltages and temperature drops on primary edges) while the dual
+//! grid carries the fluxes (currents and heat fluxes through dual facets,
+//! charges/energies in dual cells). For a tensor-product (mutually
+//! orthogonal) grid pair every primary edge crosses exactly one dual facet
+//! perpendicularly, which renders all material matrices diagonal — the key
+//! structural property this crate exposes.
+//!
+//! * [`axis::Axis`] — a monotone 1D coordinate axis with primary and dual
+//!   spacings,
+//! * [`grid::Grid3`] — the 3D grid with node/edge/cell indexing and all dual
+//!   geometry (lengths `ℓ`, areas `Ã`, volumes `Ṽ`),
+//! * [`operators`] — the discrete gradient `G` and divergence `S̃ = −Gᵀ`
+//!   incidence matrices,
+//! * [`paint`] — axis-aligned-box material painting onto primary cells,
+//! * [`builder::GridBuilder`] — mesh generation from "key planes" (material
+//!   interfaces) plus a target spacing.
+
+pub mod axis;
+pub mod builder;
+pub mod grid;
+pub mod operators;
+pub mod paint;
+
+pub use axis::Axis;
+pub use builder::GridBuilder;
+pub use grid::{Direction, Face, Grid3};
+pub use paint::{BoxRegion, CellPaint, MaterialId};

@@ -1,0 +1,181 @@
+//! Discrete FIT topology operators: gradient `G` and dual divergence `S̃`.
+//!
+//! With potentials `Φ` on primary nodes, the voltages on primary edges are
+//! `_e = −G Φ`, where row `e` of `G` holds `−1` at the edge tail and `+1` at
+//! the head. The dual divergence satisfies the exact duality `S̃ = −Gᵀ`
+//! (paper §III-A), so the stiffness ("curl-curl-free Laplacian") of the
+//! stationary current / heat conduction problems is
+//! `K = S̃ M G·(−1) = Gᵀ M G` — symmetric positive semidefinite with zero row
+//! sums, becoming SPD after Dirichlet elimination.
+//!
+//! The module offers both the explicit sparse operators (for tests and
+//! generic code) and a fused 7-point-stencil assembly of `Gᵀ M G` that skips
+//! the triple product (used by the hot reassembly path).
+
+use crate::grid::Grid3;
+use etherm_numerics::sparse::{Coo, Csr};
+
+/// Builds the discrete gradient `G` (edges × nodes incidence matrix).
+///
+/// Row `e` has `−1` at the tail node and `+1` at the head node of edge `e`.
+pub fn gradient(grid: &Grid3) -> Csr {
+    let mut coo = Coo::with_capacity(grid.n_edges(), grid.n_nodes(), 2 * grid.n_edges());
+    for e in 0..grid.n_edges() {
+        let (a, b) = grid.edge_endpoints(e);
+        coo.push(e, a, -1.0);
+        coo.push(e, b, 1.0);
+    }
+    Csr::from_coo(&coo)
+}
+
+/// Builds the dual divergence `S̃ = −Gᵀ` (nodes × edges).
+pub fn divergence(grid: &Grid3) -> Csr {
+    let mut g = gradient(grid).transpose();
+    g.scale(-1.0);
+    g
+}
+
+/// Assembles the stiffness matrix `K = Gᵀ diag(m) G` into `coo`, where
+/// `m[e]` is the diagonal material-matrix entry of edge `e` (e.g.
+/// `σ_e Ã_e / ℓ_e`).
+///
+/// The stamp of edge `e = (a, b)` is the 2×2 conductance block
+/// `[[m, −m], [−m, m]]`, so the result is symmetric with zero row sums —
+/// the 7-point stencil of the FIT Laplacian on a tensor grid.
+///
+/// # Panics
+///
+/// Panics if `m.len() != grid.n_edges()` or `coo` is not
+/// `n_nodes × n_nodes`.
+pub fn assemble_stiffness_into(grid: &Grid3, m: &[f64], coo: &mut Coo) {
+    assert_eq!(m.len(), grid.n_edges(), "stiffness: edge weight count");
+    assert_eq!(coo.n_rows(), grid.n_nodes(), "stiffness: coo rows");
+    assert_eq!(coo.n_cols(), grid.n_nodes(), "stiffness: coo cols");
+    for e in 0..grid.n_edges() {
+        let me = m[e];
+        if me == 0.0 {
+            continue;
+        }
+        let (a, b) = grid.edge_endpoints(e);
+        coo.stamp_conductance(a, b, me);
+    }
+}
+
+/// Convenience wrapper around [`assemble_stiffness_into`] returning a CSR.
+pub fn assemble_stiffness(grid: &Grid3, m: &[f64]) -> Csr {
+    let n = grid.n_nodes();
+    let mut coo = Coo::with_capacity(n, n, 4 * grid.n_edges() + n);
+    // Stamp an explicit zero-capable diagonal so downstream `add_diag`
+    // (mass/Robin terms) always finds stored entries.
+    for i in 0..n {
+        coo.push_structural(i, i, 0.0);
+    }
+    assemble_stiffness_into(grid, m, &mut coo);
+    Csr::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    fn grid() -> Grid3 {
+        Grid3::new(
+            Axis::uniform(0.0, 1.0, 2).unwrap(),
+            Axis::uniform(0.0, 2.0, 2).unwrap(),
+            Axis::uniform(0.0, 1.0, 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn gradient_shape_and_rows() {
+        let g = grid();
+        let grad = gradient(&g);
+        assert_eq!(grad.n_rows(), g.n_edges());
+        assert_eq!(grad.n_cols(), g.n_nodes());
+        // Every row has exactly one −1 and one +1.
+        for e in 0..g.n_edges() {
+            let (cols, vals) = grad.row(e);
+            assert_eq!(cols.len(), 2);
+            let mut sorted = vals.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(sorted, vec![-1.0, 1.0]);
+        }
+    }
+
+    #[test]
+    fn duality_s_equals_minus_g_transpose() {
+        let g = grid();
+        let grad = gradient(&g);
+        let div = divergence(&g);
+        let mut gt = grad.transpose();
+        gt.scale(-1.0);
+        assert_eq!(div, gt);
+    }
+
+    #[test]
+    fn gradient_of_constant_is_zero() {
+        let g = grid();
+        let grad = gradient(&g);
+        let ones = vec![3.0; g.n_nodes()];
+        let e = grad.matvec(&ones);
+        assert!(e.iter().all(|&v| v.abs() < 1e-14));
+    }
+
+    #[test]
+    fn gradient_of_linear_field_is_spacing() {
+        // Φ(x,y,z) = x ⇒ voltage along x-edges = Δx, along y/z-edges = 0.
+        let g = grid();
+        let grad = gradient(&g);
+        let phi: Vec<f64> = (0..g.n_nodes()).map(|n| g.node_position(n).0).collect();
+        let e = grad.matvec(&phi);
+        for edge in 0..g.n_edges() {
+            let (dir, ..) = g.edge_decompose(edge);
+            let expect = match dir {
+                crate::grid::Direction::X => g.edge_length(edge),
+                _ => 0.0,
+            };
+            assert!((e[edge] - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn stiffness_matches_triple_product() {
+        let g = grid();
+        let m: Vec<f64> = (0..g.n_edges()).map(|e| 1.0 + (e % 5) as f64).collect();
+        let k = assemble_stiffness(&g, &m);
+        // Reference: K = Gᵀ diag(m) G via dense arithmetic.
+        let grad = gradient(&g).to_dense();
+        let md = etherm_numerics::dense::DenseMatrix::from_diag(&m);
+        let gt = grad.transpose();
+        let k_ref = gt.matmul(&md.matmul(&grad).unwrap()).unwrap();
+        assert!(k.to_dense().max_abs_diff(&k_ref) < 1e-12);
+    }
+
+    #[test]
+    fn stiffness_has_zero_row_sums_and_symmetry() {
+        let g = grid();
+        let m = vec![2.5; g.n_edges()];
+        let k = assemble_stiffness(&g, &m);
+        for s in k.row_sums() {
+            assert!(s.abs() < 1e-12);
+        }
+        assert!(k.is_symmetric(1e-14));
+        // Diagonal entries positive, off-diagonal non-positive (M-matrix).
+        for (i, j, v) in k.iter() {
+            if i == j {
+                assert!(v > 0.0);
+            } else {
+                assert!(v <= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn stiffness_skips_zero_edges_but_keeps_diag() {
+        let g = grid();
+        let m = vec![0.0; g.n_edges()];
+        let k = assemble_stiffness(&g, &m);
+        assert_eq!(k.nnz(), g.n_nodes()); // only the explicit zero diagonal
+    }
+}

@@ -1,0 +1,234 @@
+//! Staircase material assignment: painting axis-aligned boxes onto primary
+//! cells.
+//!
+//! The paper assumes a *staircase material approximation at the primary
+//! grid*: each primary cell consists of one homogeneous material. Package
+//! geometry (mold compound, chip, contact pads) is described as a stack of
+//! axis-aligned [`BoxRegion`]s painted in order onto a [`CellPaint`]; later
+//! paints overwrite earlier ones, exactly like layered lithography masks.
+
+use crate::grid::Grid3;
+
+/// Identifier of a material region (index into a material table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MaterialId(pub u16);
+
+/// An axis-aligned box `[lo, hi]` in physical coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxRegion {
+    /// Lower corner `(x, y, z)`.
+    pub lo: (f64, f64, f64),
+    /// Upper corner `(x, y, z)`.
+    pub hi: (f64, f64, f64),
+}
+
+impl BoxRegion {
+    /// Creates a box from two corners (components are sorted).
+    pub fn new(a: (f64, f64, f64), b: (f64, f64, f64)) -> Self {
+        BoxRegion {
+            lo: (a.0.min(b.0), a.1.min(b.1), a.2.min(b.2)),
+            hi: (a.0.max(b.0), a.1.max(b.1), a.2.max(b.2)),
+        }
+    }
+
+    /// Whether the box contains point `p` (closed box, tolerance `eps`).
+    pub fn contains(&self, p: (f64, f64, f64), eps: f64) -> bool {
+        p.0 >= self.lo.0 - eps
+            && p.0 <= self.hi.0 + eps
+            && p.1 >= self.lo.1 - eps
+            && p.1 <= self.hi.1 + eps
+            && p.2 >= self.lo.2 - eps
+            && p.2 <= self.hi.2 + eps
+    }
+
+    /// Volume of the box.
+    pub fn volume(&self) -> f64 {
+        (self.hi.0 - self.lo.0) * (self.hi.1 - self.lo.1) * (self.hi.2 - self.lo.2)
+    }
+
+    /// The six box face coordinates as `(xs, ys, zs)` — the "key planes"
+    /// a conforming mesh should include.
+    pub fn key_planes(&self) -> ([f64; 2], [f64; 2], [f64; 2]) {
+        (
+            [self.lo.0, self.hi.0],
+            [self.lo.1, self.hi.1],
+            [self.lo.2, self.hi.2],
+        )
+    }
+}
+
+/// Per-primary-cell material assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellPaint {
+    materials: Vec<MaterialId>,
+}
+
+impl CellPaint {
+    /// Creates a paint with every cell set to `background`.
+    pub fn new(grid: &Grid3, background: MaterialId) -> Self {
+        CellPaint {
+            materials: vec![background; grid.n_cells()],
+        }
+    }
+
+    /// Number of painted cells.
+    pub fn n_cells(&self) -> usize {
+        self.materials.len()
+    }
+
+    /// Material of cell `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[inline]
+    pub fn material(&self, c: usize) -> MaterialId {
+        self.materials[c]
+    }
+
+    /// Slice of all cell materials.
+    pub fn materials(&self) -> &[MaterialId] {
+        &self.materials
+    }
+
+    /// Paints `material` onto every cell whose *center* lies inside `region`.
+    ///
+    /// Returns the number of cells painted. Using cell centers makes the
+    /// assignment unambiguous when box faces coincide with grid planes (the
+    /// recommended, conforming configuration — see
+    /// [`crate::builder::GridBuilder`]).
+    pub fn paint(&mut self, grid: &Grid3, region: &BoxRegion, material: MaterialId) -> usize {
+        assert_eq!(
+            grid.n_cells(),
+            self.materials.len(),
+            "paint: grid does not match paint size"
+        );
+        let eps = 1e-12 * region.volume().abs().cbrt().max(1.0);
+        let mut painted = 0;
+        for c in 0..grid.n_cells() {
+            if region.contains(grid.cell_center(c), eps) {
+                self.materials[c] = material;
+                painted += 1;
+            }
+        }
+        painted
+    }
+
+    /// Total volume of all cells currently painted with `material`.
+    pub fn material_volume(&self, grid: &Grid3, material: MaterialId) -> f64 {
+        (0..grid.n_cells())
+            .filter(|&c| self.materials[c] == material)
+            .map(|c| grid.cell_volume(c))
+            .sum()
+    }
+
+    /// Count of cells painted with `material`.
+    pub fn material_cells(&self, material: MaterialId) -> usize {
+        self.materials.iter().filter(|&&m| m == material).count()
+    }
+
+    /// Re-paints this assignment onto a refined grid (each refined cell
+    /// inherits its parent's material).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fine` is not a `factor`-refinement of `coarse`.
+    pub fn refine(&self, coarse: &Grid3, fine: &Grid3, factor: usize) -> CellPaint {
+        let (cx, cy, cz) = coarse.cell_dims();
+        let (fx, fy, fz) = fine.cell_dims();
+        assert_eq!((fx, fy, fz), (cx * factor, cy * factor, cz * factor));
+        let mut materials = vec![MaterialId::default(); fine.n_cells()];
+        for c in 0..fine.n_cells() {
+            let (i, j, k) = fine.cell_coords_of(c);
+            let parent = coarse.cell_index(i / factor, j / factor, k / factor);
+            materials[c] = self.materials[parent];
+        }
+        CellPaint { materials }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axis::Axis;
+
+    fn grid() -> Grid3 {
+        Grid3::new(
+            Axis::uniform(0.0, 4.0, 4).unwrap(),
+            Axis::uniform(0.0, 4.0, 4).unwrap(),
+            Axis::uniform(0.0, 2.0, 2).unwrap(),
+        )
+    }
+
+    const BG: MaterialId = MaterialId(0);
+    const CU: MaterialId = MaterialId(1);
+
+    #[test]
+    fn box_normalizes_corners() {
+        let b = BoxRegion::new((1.0, 0.0, 5.0), (0.0, 2.0, 4.0));
+        assert_eq!(b.lo, (0.0, 0.0, 4.0));
+        assert_eq!(b.hi, (1.0, 2.0, 5.0));
+        assert!((b.volume() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn contains_with_tolerance() {
+        let b = BoxRegion::new((0.0, 0.0, 0.0), (1.0, 1.0, 1.0));
+        assert!(b.contains((0.5, 0.5, 0.5), 0.0));
+        assert!(b.contains((1.0, 1.0, 1.0), 0.0));
+        assert!(!b.contains((1.1, 0.5, 0.5), 0.0));
+        assert!(b.contains((1.05, 0.5, 0.5), 0.1));
+    }
+
+    #[test]
+    fn paint_covers_expected_cells() {
+        let g = grid();
+        let mut paint = CellPaint::new(&g, BG);
+        // Paint a 2×2×1 sub-box aligned to grid planes.
+        let n = paint.paint(&g, &BoxRegion::new((0.0, 0.0, 0.0), (2.0, 2.0, 1.0)), CU);
+        assert_eq!(n, 4);
+        assert_eq!(paint.material_cells(CU), 4);
+        assert!((paint.material_volume(&g, CU) - 4.0).abs() < 1e-12);
+        assert!((paint.material_volume(&g, BG) - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_paint_overwrites() {
+        let g = grid();
+        let mut paint = CellPaint::new(&g, BG);
+        paint.paint(&g, &BoxRegion::new((0.0, 0.0, 0.0), (4.0, 4.0, 2.0)), CU);
+        assert_eq!(paint.material_cells(CU), g.n_cells());
+        let m2 = MaterialId(2);
+        paint.paint(&g, &BoxRegion::new((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)), m2);
+        assert_eq!(paint.material_cells(m2), 1);
+        assert_eq!(paint.material_cells(CU), g.n_cells() - 1);
+    }
+
+    #[test]
+    fn zero_volume_box_paints_nothing() {
+        let g = grid();
+        let mut paint = CellPaint::new(&g, BG);
+        let n = paint.paint(&g, &BoxRegion::new((0.0, 0.0, 0.0), (0.0, 4.0, 2.0)), CU);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn refine_inherits_materials() {
+        let g = grid();
+        let mut paint = CellPaint::new(&g, BG);
+        paint.paint(&g, &BoxRegion::new((0.0, 0.0, 0.0), (2.0, 2.0, 1.0)), CU);
+        let fine = g.refine(2);
+        let fp = paint.refine(&g, &fine, 2);
+        assert_eq!(fp.material_cells(CU), 4 * 8);
+        assert!((fp.material_volume(&fine, CU) - paint.material_volume(&g, CU)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_planes_roundtrip() {
+        let b = BoxRegion::new((0.0, 1.0, 2.0), (3.0, 4.0, 5.0));
+        let (xs, ys, zs) = b.key_planes();
+        assert_eq!(xs, [0.0, 3.0]);
+        assert_eq!(ys, [1.0, 4.0]);
+        assert_eq!(zs, [2.0, 5.0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the grid crate.
+
+use etherm_grid::{axis::AxisError, Axis, BoxRegion, CellPaint, Grid3, MaterialId};
+use proptest::prelude::*;
+
+/// Strategy for a small valid axis with 2..=8 nodes and positive spacings.
+fn axis_strategy() -> impl Strategy<Value = Axis> {
+    (
+        -10.0f64..10.0,
+        proptest::collection::vec(0.05f64..3.0, 1..8),
+    )
+        .prop_map(|(start, steps)| {
+            let mut coords = vec![start];
+            for s in steps {
+                coords.push(coords.last().unwrap() + s);
+            }
+            Axis::from_coords(coords).expect("strictly increasing by construction")
+        })
+}
+
+fn grid_strategy() -> impl Strategy<Value = Grid3> {
+    (axis_strategy(), axis_strategy(), axis_strategy()).prop_map(|(x, y, z)| Grid3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dual_spacings_partition_extent(ax in axis_strategy()) {
+        let total: f64 = (0..ax.n_nodes()).map(|i| ax.dual_spacing(i)).sum();
+        prop_assert!((total - ax.extent()).abs() < 1e-10 * ax.extent().max(1.0));
+    }
+
+    #[test]
+    fn cell_containing_is_consistent(ax in axis_strategy(), t in 0.0f64..1.0) {
+        let x = ax.coord(0) + t * ax.extent();
+        let c = ax.cell_containing(x);
+        prop_assert!(c < ax.n_cells());
+        prop_assert!(ax.coord(c) <= x + 1e-12);
+        prop_assert!(x <= ax.coord(c + 1) + 1e-12);
+    }
+
+    #[test]
+    fn nearest_node_minimizes_distance(ax in axis_strategy(), t in -0.2f64..1.2) {
+        let x = ax.coord(0) + t * ax.extent();
+        let n = ax.nearest_node(x);
+        let dn = (ax.coord(n) - x).abs();
+        for i in 0..ax.n_nodes() {
+            prop_assert!(dn <= (ax.coord(i) - x).abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn refine_preserves_extent_and_nodes(ax in axis_strategy(), factor in 1usize..5) {
+        let r = ax.refine(factor);
+        prop_assert_eq!(r.n_cells(), ax.n_cells() * factor);
+        prop_assert!((r.extent() - ax.extent()).abs() < 1e-12);
+        for &c in ax.coords() {
+            prop_assert!(r.coords().iter().any(|&rc| (rc - c).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn node_index_bijection(g in grid_strategy()) {
+        let mut seen = vec![false; g.n_nodes()];
+        let (nx, ny, nz) = g.node_dims();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let n = g.node_index(i, j, k);
+                    prop_assert!(!seen[n]);
+                    seen[n] = true;
+                    prop_assert_eq!(g.node_coords_of(n), (i, j, k));
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn edge_index_bijection(g in grid_strategy()) {
+        let mut seen = vec![false; g.n_edges()];
+        for e in 0..g.n_edges() {
+            prop_assert!(!seen[e]);
+            seen[e] = true;
+            let (a, b) = g.edge_endpoints(e);
+            prop_assert!(a < b, "edges point in positive direction");
+        }
+    }
+
+    #[test]
+    fn dual_volumes_tile(g in grid_strategy()) {
+        let total: f64 = (0..g.n_nodes()).map(|n| g.dual_volume(n)).sum();
+        let domain = g.x().extent() * g.y().extent() * g.z().extent();
+        prop_assert!((total - domain).abs() < 1e-9 * domain.max(1.0));
+    }
+
+    #[test]
+    fn edge_weights_consistent(g in grid_strategy()) {
+        for e in 0..g.n_edges() {
+            let parts = g.cells_touching_edge(e);
+            let s: f64 = parts.iter().map(|&(_, w)| w).sum();
+            prop_assert!((s - g.dual_area(e)).abs() < 1e-10 * s.max(1e-10));
+            for &(c, w) in &parts {
+                prop_assert!(c < g.n_cells());
+                prop_assert!(w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn painted_volume_never_exceeds_box(g in grid_strategy()) {
+        let bg = MaterialId(0);
+        let m = MaterialId(7);
+        let mut paint = CellPaint::new(&g, bg);
+        // Paint the lower octant of the domain bounding box.
+        let (x0, y0, z0) = (g.x().coord(0), g.y().coord(0), g.z().coord(0));
+        let b = BoxRegion::new(
+            (x0, y0, z0),
+            (
+                x0 + 0.5 * g.x().extent(),
+                y0 + 0.5 * g.y().extent(),
+                z0 + 0.5 * g.z().extent(),
+            ),
+        );
+        paint.paint(&g, &b, m);
+        // Cell-center rule: a painted cell's center is inside the box, hence
+        // at least half of each painted cell's extent overlaps the box per
+        // axis — total painted volume is bounded by the box volume × 8.
+        let painted = paint.material_volume(&g, m);
+        prop_assert!(painted <= b.volume() * 8.0 + 1e-9);
+    }
+
+    #[test]
+    fn axis_rejects_non_monotone(perm in proptest::collection::vec(-5.0f64..5.0, 2..6)) {
+        let mut v = perm.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.reverse();
+        if v.windows(2).all(|w| w[0] > w[1]) {
+            // strictly decreasing must fail
+            prop_assert!(matches!(
+                Axis::from_coords(v),
+                Err(AxisError::NotIncreasing(_))
+            ));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Temperature-dependent electrothermal material models.
+//!
+//! The electrothermal coupling of the paper is two-directional: Joule heat
+//! raises the temperature, and the temperature feeds back into the electrical
+//! conductivity `σ(T)` and thermal conductivity `λ(T)` (paper §II). The
+//! volumetric heat capacity `ρc` is treated as temperature-independent,
+//! exactly as the paper assumes.
+//!
+//! * [`TemperatureModel`] — scalar property laws `v(T)` (constant, linear,
+//!   rational metal-resistivity law),
+//! * [`Material`] — a named bundle of `σ(T)`, `λ(T)` and `ρc`,
+//! * [`library`] — literature values for copper, gold, aluminium, epoxy
+//!   resin, silicon and air, matching the paper's Table I at 300 K,
+//! * [`MaterialTable`] — an indexed collection used by the FIT assembly.
+
+pub mod library;
+mod material;
+mod model;
+mod table;
+
+pub use material::Material;
+pub use model::{PropertyTable, TemperatureModel};
+pub use table::MaterialTable;
+
+/// Reference temperature (K) at which the paper's Table I properties hold.
+pub const T_REFERENCE: f64 = 300.0;
+
+/// Stefan–Boltzmann constant `σ_SB` in W/(m²·K⁴).
+pub const STEFAN_BOLTZMANN: f64 = 5.670374419e-8;

@@ -1,0 +1,166 @@
+//! A named electrothermal material.
+
+use crate::model::TemperatureModel;
+
+/// An electrothermal material: electrical conductivity `σ(T)` (S/m), thermal
+/// conductivity `λ(T)` (W/(K·m)) and volumetric heat capacity `ρc`
+/// (J/(K·m³)).
+///
+/// # Example
+///
+/// ```
+/// use etherm_materials::{library, T_REFERENCE};
+///
+/// let cu = library::copper();
+/// // Paper Table I values at 300 K.
+/// assert_eq!(cu.sigma(T_REFERENCE), 5.80e7);
+/// assert_eq!(cu.lambda(T_REFERENCE), 398.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    name: String,
+    electrical: TemperatureModel,
+    thermal: TemperatureModel,
+    rho_c: f64,
+}
+
+impl Material {
+    /// Creates a material from its property models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho_c` is not positive and finite, or if either
+    /// conductivity has a non-positive reference value.
+    pub fn new(
+        name: impl Into<String>,
+        electrical: TemperatureModel,
+        thermal: TemperatureModel,
+        rho_c: f64,
+    ) -> Self {
+        assert!(
+            rho_c > 0.0 && rho_c.is_finite(),
+            "volumetric heat capacity must be positive"
+        );
+        assert!(
+            electrical.reference_value() > 0.0,
+            "electrical conductivity must be positive"
+        );
+        assert!(
+            thermal.reference_value() > 0.0,
+            "thermal conductivity must be positive"
+        );
+        Material {
+            name: name.into(),
+            electrical,
+            thermal,
+            rho_c,
+        }
+    }
+
+    /// Material name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Electrical conductivity `σ(T)` in S/m.
+    pub fn sigma(&self, t: f64) -> f64 {
+        self.electrical.eval(t)
+    }
+
+    /// Thermal conductivity `λ(T)` in W/(K·m).
+    pub fn lambda(&self, t: f64) -> f64 {
+        self.thermal.eval(t)
+    }
+
+    /// Volumetric heat capacity `ρc` in J/(K·m³).
+    pub fn rho_c(&self) -> f64 {
+        self.rho_c
+    }
+
+    /// The electrical conductivity model.
+    pub fn electrical_model(&self) -> &TemperatureModel {
+        &self.electrical
+    }
+
+    /// The thermal conductivity model.
+    pub fn thermal_model(&self) -> &TemperatureModel {
+        &self.thermal
+    }
+
+    /// Whether any property depends on temperature (drives whether the
+    /// solver must reassemble material matrices inside the Picard loop).
+    pub fn is_nonlinear(&self) -> bool {
+        self.electrical.is_temperature_dependent() || self.thermal.is_temperature_dependent()
+    }
+}
+
+impl std::fmt::Display for Material {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (σ₀ = {:.3e} S/m, λ₀ = {:.3e} W/K/m, ρc = {:.3e} J/K/m³)",
+            self.name,
+            self.electrical.reference_value(),
+            self.thermal.reference_value(),
+            self.rho_c
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_and_getters() {
+        let m = Material::new(
+            "test",
+            TemperatureModel::Constant(1.0),
+            TemperatureModel::Constant(2.0),
+            3.0,
+        );
+        assert_eq!(m.name(), "test");
+        assert_eq!(m.sigma(300.0), 1.0);
+        assert_eq!(m.lambda(300.0), 2.0);
+        assert_eq!(m.rho_c(), 3.0);
+        assert!(!m.is_nonlinear());
+        assert!(m.to_string().contains("test"));
+    }
+
+    #[test]
+    fn nonlinearity_detection() {
+        let m = Material::new(
+            "metal",
+            TemperatureModel::InverseLinear {
+                v0: 1.0,
+                t_ref: 300.0,
+                alpha: 1e-3,
+            },
+            TemperatureModel::Constant(2.0),
+            3.0,
+        );
+        assert!(m.is_nonlinear());
+    }
+
+    #[test]
+    #[should_panic(expected = "heat capacity")]
+    fn rejects_bad_rho_c() {
+        let _ = Material::new(
+            "bad",
+            TemperatureModel::Constant(1.0),
+            TemperatureModel::Constant(1.0),
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "electrical conductivity")]
+    fn rejects_bad_sigma() {
+        let _ = Material::new(
+            "bad",
+            TemperatureModel::Constant(-1.0),
+            TemperatureModel::Constant(1.0),
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,359 @@
+//! Scalar temperature-dependent property laws.
+
+use etherm_numerics::interp::{Extrapolate, PchipInterp};
+
+/// A scalar material property `v(T)`.
+///
+/// Four laws cover the materials of the paper and its extensions:
+///
+/// * [`TemperatureModel::Constant`] — `v(T) = v₀` (epoxy resin, and any
+///   property whose drift is negligible over the operating range),
+/// * [`TemperatureModel::Linear`] — `v(T) = v₀·(1 + α(T − T₀))` (weak
+///   drifts, e.g. the slight decrease of copper's thermal conductivity with
+///   `α < 0`),
+/// * [`TemperatureModel::InverseLinear`] — `v(T) = v₀ / (1 + α(T − T₀))`
+///   (the standard metal conductivity law: resistivity grows linearly in
+///   temperature, so conductivity decays rationally; copper has
+///   `α ≈ 3.93·10⁻³ /K`),
+/// * [`TemperatureModel::Table`] — monotone-cubic interpolation through
+///   measured `(T, v)` pairs, for the "more sophisticated bonding wire
+///   models" the paper's conclusion calls for.
+///
+/// Evaluation clamps the result to stay positive (a conductivity of zero or
+/// below would make the FIT system singular or indefinite), saturating at
+/// `v₀·10⁻⁶`.
+///
+/// # Example
+///
+/// ```
+/// use etherm_materials::TemperatureModel;
+///
+/// let sigma = TemperatureModel::InverseLinear {
+///     v0: 5.8e7,
+///     t_ref: 300.0,
+///     alpha: 3.93e-3,
+/// };
+/// assert_eq!(sigma.eval(300.0), 5.8e7);
+/// // 100 K hotter: conductivity drops by ~28 %.
+/// assert!(sigma.eval(400.0) < 0.75 * 5.8e7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemperatureModel {
+    /// Temperature-independent value.
+    Constant(f64),
+    /// `v(T) = v₀ · (1 + α (T − T₀))`.
+    Linear {
+        /// Value at the reference temperature.
+        v0: f64,
+        /// Reference temperature `T₀` (K).
+        t_ref: f64,
+        /// Linear coefficient `α` (1/K).
+        alpha: f64,
+    },
+    /// `v(T) = v₀ / (1 + α (T − T₀))` — the metal conductivity law.
+    InverseLinear {
+        /// Value at the reference temperature.
+        v0: f64,
+        /// Reference temperature `T₀` (K).
+        t_ref: f64,
+        /// Resistivity temperature coefficient `α` (1/K).
+        alpha: f64,
+    },
+    /// Tabulated property curve (monotone-cubic through measured points,
+    /// clamped outside the data range).
+    Table(PropertyTable),
+}
+
+/// A tabulated property curve `v(T)` built from measured data points.
+///
+/// Interpolation is monotone-cubic (no overshoot between samples);
+/// evaluation outside the tabulated range clamps to the boundary values,
+/// which is the physically safe choice for conductivities.
+///
+/// # Example
+///
+/// ```
+/// use etherm_materials::{PropertyTable, TemperatureModel};
+///
+/// # fn main() -> Result<(), String> {
+/// // Copper thermal conductivity samples (K → W/K/m).
+/// let lambda = PropertyTable::new(
+///     vec![300.0, 400.0, 500.0, 600.0],
+///     vec![398.0, 392.0, 388.0, 383.0],
+///     300.0,
+/// )?;
+/// let model = TemperatureModel::Table(lambda);
+/// assert_eq!(model.eval(300.0), 398.0);
+/// assert!(model.eval(450.0) < 392.0 && model.eval(450.0) > 388.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyTable {
+    interp: PchipInterp,
+    t_ref: f64,
+    v_ref: f64,
+    t_min: f64,
+    t_max: f64,
+}
+
+impl PropertyTable {
+    /// Builds the curve from strictly increasing temperatures and positive
+    /// values; `t_ref` is the reference temperature whose value
+    /// [`TemperatureModel::reference_value`] reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the table is shorter than 2 points, not
+    /// strictly increasing in `T`, contains non-positive values, or `t_ref`
+    /// lies outside the tabulated range.
+    pub fn new(temps: Vec<f64>, values: Vec<f64>, t_ref: f64) -> Result<Self, String> {
+        if values.iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+            return Err("property table values must be positive and finite".into());
+        }
+        let (t_min, t_max) = match (temps.first(), temps.last()) {
+            (Some(&lo), Some(&hi)) if temps.len() >= 2 => (lo, hi),
+            _ => return Err("property table needs at least 2 points".into()),
+        };
+        if !(t_ref >= t_min && t_ref <= t_max) {
+            return Err(format!(
+                "reference temperature {t_ref} outside table range [{t_min}, {t_max}]"
+            ));
+        }
+        let interp =
+            PchipInterp::new(temps, values, Extrapolate::Clamp).map_err(|e| e.to_string())?;
+        let v_ref = interp.eval(t_ref);
+        Ok(PropertyTable {
+            interp,
+            t_ref,
+            v_ref,
+            t_min,
+            t_max,
+        })
+    }
+
+    /// The interpolated value at temperature `t` (clamped outside range).
+    pub fn eval(&self, t: f64) -> f64 {
+        self.interp.eval(t)
+    }
+
+    /// Reference temperature supplied at construction.
+    pub fn t_ref(&self) -> f64 {
+        self.t_ref
+    }
+
+    /// Value at the reference temperature.
+    pub fn v_ref(&self) -> f64 {
+        self.v_ref
+    }
+
+    /// Central finite-difference slope `dv/dT` (zero in the clamped region).
+    pub fn derivative(&self, t: f64) -> f64 {
+        if t <= self.t_min || t >= self.t_max {
+            return 0.0;
+        }
+        let h = 1e-3 * (self.t_max - self.t_min);
+        let lo = (t - h).max(self.t_min);
+        let hi = (t + h).min(self.t_max);
+        (self.interp.eval(hi) - self.interp.eval(lo)) / (hi - lo)
+    }
+}
+
+impl TemperatureModel {
+    /// Relative floor applied to evaluations to keep properties positive.
+    pub const FLOOR_FACTOR: f64 = 1e-6;
+
+    /// Evaluates the property at temperature `t` (K).
+    ///
+    /// The result is clamped to `v₀·10⁻⁶` from below so that pathological
+    /// temperatures can never produce non-positive conductivities.
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            TemperatureModel::Constant(v0) => *v0,
+            TemperatureModel::Linear { v0, t_ref, alpha } => {
+                let v = v0 * (1.0 + alpha * (t - t_ref));
+                v.max(v0.abs() * Self::FLOOR_FACTOR)
+            }
+            TemperatureModel::InverseLinear { v0, t_ref, alpha } => {
+                let denom = 1.0 + alpha * (t - t_ref);
+                if denom <= Self::FLOOR_FACTOR {
+                    v0 / Self::FLOOR_FACTOR
+                } else {
+                    v0 / denom
+                }
+            }
+            TemperatureModel::Table(table) => table.eval(t),
+        }
+    }
+
+    /// Value at the model's own reference temperature (`v₀`).
+    pub fn reference_value(&self) -> f64 {
+        match self {
+            TemperatureModel::Constant(v0) => *v0,
+            TemperatureModel::Linear { v0, .. } => *v0,
+            TemperatureModel::InverseLinear { v0, .. } => *v0,
+            TemperatureModel::Table(table) => table.v_ref(),
+        }
+    }
+
+    /// Derivative `dv/dT` at temperature `t`, for Newton linearizations.
+    pub fn derivative(&self, t: f64) -> f64 {
+        match self {
+            TemperatureModel::Constant(_) => 0.0,
+            TemperatureModel::Linear { v0, t_ref, alpha } => {
+                // Zero once the clamp is active.
+                let raw = v0 * (1.0 + alpha * (t - t_ref));
+                if raw <= v0.abs() * Self::FLOOR_FACTOR {
+                    0.0
+                } else {
+                    v0 * alpha
+                }
+            }
+            TemperatureModel::InverseLinear { v0, t_ref, alpha } => {
+                let denom = 1.0 + alpha * (t - t_ref);
+                if denom <= Self::FLOOR_FACTOR {
+                    0.0
+                } else {
+                    -v0 * alpha / (denom * denom)
+                }
+            }
+            TemperatureModel::Table(table) => table.derivative(t),
+        }
+    }
+
+    /// Whether the property actually varies with temperature.
+    pub fn is_temperature_dependent(&self) -> bool {
+        match self {
+            TemperatureModel::Constant(_) => false,
+            TemperatureModel::Linear { alpha, .. } => *alpha != 0.0,
+            TemperatureModel::InverseLinear { alpha, .. } => *alpha != 0.0,
+            TemperatureModel::Table(_) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = TemperatureModel::Constant(42.0);
+        assert_eq!(m.eval(0.0), 42.0);
+        assert_eq!(m.eval(1e4), 42.0);
+        assert_eq!(m.derivative(500.0), 0.0);
+        assert!(!m.is_temperature_dependent());
+        assert_eq!(m.reference_value(), 42.0);
+    }
+
+    #[test]
+    fn linear_law() {
+        let m = TemperatureModel::Linear {
+            v0: 100.0,
+            t_ref: 300.0,
+            alpha: -1e-3,
+        };
+        assert_eq!(m.eval(300.0), 100.0);
+        assert!((m.eval(400.0) - 90.0).abs() < 1e-12);
+        assert!((m.derivative(350.0) + 0.1).abs() < 1e-12);
+        assert!(m.is_temperature_dependent());
+    }
+
+    #[test]
+    fn linear_clamps_to_positive() {
+        let m = TemperatureModel::Linear {
+            v0: 1.0,
+            t_ref: 0.0,
+            alpha: -1.0,
+        };
+        // At T = 2 the raw value would be −1; clamped to 1e-6.
+        assert_eq!(m.eval(2.0), TemperatureModel::FLOOR_FACTOR);
+        assert_eq!(m.derivative(2.0), 0.0);
+    }
+
+    #[test]
+    fn inverse_linear_matches_resistivity_law() {
+        let m = TemperatureModel::InverseLinear {
+            v0: 5.8e7,
+            t_ref: 300.0,
+            alpha: 3.93e-3,
+        };
+        assert_eq!(m.eval(300.0), 5.8e7);
+        let v400 = m.eval(400.0);
+        assert!((v400 - 5.8e7 / (1.0 + 0.393)).abs() < 1.0);
+        // Monotonically decreasing for alpha > 0.
+        assert!(m.eval(500.0) < v400);
+        // Derivative negative and matches finite differences.
+        let h = 1e-3;
+        let fd = (m.eval(400.0 + h) - m.eval(400.0 - h)) / (2.0 * h);
+        assert!((m.derivative(400.0) - fd).abs() < 1e-3 * fd.abs());
+    }
+
+    #[test]
+    fn inverse_linear_denominator_guard() {
+        let m = TemperatureModel::InverseLinear {
+            v0: 10.0,
+            t_ref: 300.0,
+            alpha: -1e-2,
+        };
+        // Denominator would hit zero at T = 400; guard keeps a huge but
+        // finite value and a zero derivative.
+        let v = m.eval(450.0);
+        assert!(v.is_finite() && v > 0.0);
+        assert_eq!(m.derivative(450.0), 0.0);
+    }
+
+    #[test]
+    fn table_hits_knots_and_clamps() {
+        let table = PropertyTable::new(
+            vec![300.0, 400.0, 500.0],
+            vec![398.0, 392.0, 388.0],
+            300.0,
+        )
+        .unwrap();
+        let m = TemperatureModel::Table(table);
+        assert_eq!(m.eval(300.0), 398.0);
+        assert_eq!(m.eval(400.0), 392.0);
+        assert_eq!(m.eval(500.0), 388.0);
+        // Clamped outside the range, with zero slope there.
+        assert_eq!(m.eval(200.0), 398.0);
+        assert_eq!(m.eval(900.0), 388.0);
+        assert_eq!(m.derivative(200.0), 0.0);
+        assert_eq!(m.derivative(900.0), 0.0);
+        assert!(m.is_temperature_dependent());
+        assert_eq!(m.reference_value(), 398.0);
+    }
+
+    #[test]
+    fn table_tracks_inverse_linear_law_closely() {
+        // Tabulate the copper law on a dense grid: the table model must
+        // reproduce it to ~0.1 % between knots.
+        let law = TemperatureModel::InverseLinear {
+            v0: 5.8e7,
+            t_ref: 300.0,
+            alpha: 3.93e-3,
+        };
+        let temps: Vec<f64> = (0..=20).map(|i| 300.0 + 25.0 * i as f64).collect();
+        let values: Vec<f64> = temps.iter().map(|&t| law.eval(t)).collect();
+        let table = TemperatureModel::Table(PropertyTable::new(temps, values, 300.0).unwrap());
+        for i in 0..200 {
+            let t = 300.0 + 2.5 * i as f64;
+            let rel = (table.eval(t) - law.eval(t)).abs() / law.eval(t);
+            // One-sided boundary slopes dominate the first knot interval.
+            let tol = if t < 325.0 { 3e-3 } else { 1e-3 };
+            assert!(rel < tol, "T = {t}: rel err {rel}");
+        }
+        // Derivatives agree in sign and magnitude in the interior.
+        let fd = table.derivative(450.0);
+        let exact = law.derivative(450.0);
+        assert!((fd - exact).abs() / exact.abs() < 0.05, "{fd} vs {exact}");
+    }
+
+    #[test]
+    fn table_validation() {
+        assert!(PropertyTable::new(vec![300.0], vec![1.0], 300.0).is_err());
+        assert!(PropertyTable::new(vec![300.0, 400.0], vec![1.0, -1.0], 300.0).is_err());
+        assert!(PropertyTable::new(vec![400.0, 300.0], vec![1.0, 1.0], 350.0).is_err());
+        assert!(PropertyTable::new(vec![300.0, 400.0], vec![1.0, 2.0], 500.0).is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Indexed material collection used by the FIT assembly.
+
+use crate::material::Material;
+
+/// A table of materials addressed by a small integer index.
+///
+/// The grid crate paints `MaterialId(u16)` onto cells; the FIT assembly uses
+/// that id as an index into this table. Index 0 conventionally holds the
+/// background material (the mold compound in the paper's package).
+///
+/// # Example
+///
+/// ```
+/// use etherm_materials::{library, MaterialTable};
+///
+/// let mut table = MaterialTable::new();
+/// let epoxy = table.add(library::epoxy_resin());
+/// let copper = table.add(library::copper());
+/// assert_eq!(epoxy, 0);
+/// assert_eq!(copper, 1);
+/// assert_eq!(table.get(copper).name(), "copper");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MaterialTable {
+    materials: Vec<Material>,
+}
+
+impl MaterialTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MaterialTable::default()
+    }
+
+    /// Adds a material, returning its index.
+    pub fn add(&mut self, material: Material) -> usize {
+        self.materials.push(material);
+        self.materials.len() - 1
+    }
+
+    /// Number of materials.
+    pub fn len(&self) -> usize {
+        self.materials.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.materials.is_empty()
+    }
+
+    /// Material at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn get(&self, index: usize) -> &Material {
+        &self.materials[index]
+    }
+
+    /// Material at `index`, if present.
+    pub fn try_get(&self, index: usize) -> Option<&Material> {
+        self.materials.get(index)
+    }
+
+    /// Iterates over `(index, material)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Material)> {
+        self.materials.iter().enumerate()
+    }
+
+    /// Whether any material in the table is temperature-dependent.
+    pub fn any_nonlinear(&self) -> bool {
+        self.materials.iter().any(Material::is_nonlinear)
+    }
+
+    /// Finds a material index by name.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.materials.iter().position(|m| m.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut t = MaterialTable::new();
+        assert!(t.is_empty());
+        let a = t.add(library::epoxy_resin());
+        let b = t.add(library::copper());
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1).name(), "copper");
+        assert!(t.try_get(2).is_none());
+        assert_eq!(t.find("epoxy resin"), Some(0));
+        assert_eq!(t.find("unobtanium"), None);
+    }
+
+    #[test]
+    fn nonlinearity_aggregation() {
+        let mut t = MaterialTable::new();
+        t.add(library::epoxy_resin());
+        assert!(!t.any_nonlinear());
+        t.add(library::copper());
+        assert!(t.any_nonlinear());
+    }
+
+    #[test]
+    fn iteration_order_is_insertion_order() {
+        let mut t = MaterialTable::new();
+        t.add(library::air());
+        t.add(library::gold());
+        let names: Vec<_> = t.iter().map(|(_, m)| m.name().to_string()).collect();
+        assert_eq!(names, vec!["air", "gold"]);
+    }
+}

@@ -1,0 +1,541 @@
+//! Small dense matrices with LU and Cholesky factorizations.
+//!
+//! Dense routines are used for reference solutions in tests, for the analytic
+//! multi-segment bonding-wire chains (a handful of unknowns), and as a
+//! fallback direct solver for tiny systems. They are *not* intended for the
+//! discretized field problems — use [`crate::sparse`] + [`crate::solvers`]
+//! there.
+
+use crate::error::NumericsError;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use etherm_numerics::dense::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]).unwrap();
+/// let x = a.solve(&[1.0, 2.0]).unwrap();
+/// // Verify A x = b.
+/// let r = a.matvec(&x);
+/// assert!((r[0] - 1.0).abs() < 1e-12 && (r[1] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if the rows have differing
+    /// lengths or `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NumericsError> {
+        if rows.is_empty() {
+            return Err(NumericsError::InvalidArgument(
+                "from_rows: no rows given".into(),
+            ));
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(NumericsError::InvalidArgument(
+                "from_rows: ragged rows".into(),
+            ));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(DenseMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = DenseMatrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the backing row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = crate::vector::dot(row, x);
+        }
+        y
+    }
+
+    /// Matrix-matrix product `A B`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `self.cols() != b.rows()`.
+    pub fn matmul(&self, b: &DenseMatrix) -> Result<DenseMatrix, NumericsError> {
+        if self.cols != b.rows {
+            return Err(NumericsError::DimensionMismatch {
+                context: "matmul",
+                expected: self.cols,
+                found: b.rows,
+            });
+        }
+        let mut c = DenseMatrix::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    c[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Maximum absolute entry difference to another matrix of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "max_abs_diff: shape mismatch"
+        );
+        crate::vector::max_abs_diff(&self.data, &other.data)
+    }
+
+    /// LU factorization with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::FactorizationFailed`] if the matrix is
+    /// (numerically) singular, and [`NumericsError::InvalidArgument`] if it is
+    /// not square.
+    pub fn lu(&self) -> Result<LuFactors, NumericsError> {
+        if self.rows != self.cols {
+            return Err(NumericsError::InvalidArgument(
+                "lu: matrix must be square".into(),
+            ));
+        }
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0f64;
+        for k in 0..n {
+            // Partial pivoting: pick the largest |entry| in column k at/below row k.
+            let mut p = k;
+            let mut pmax = lu[k * n + k].abs();
+            for i in k + 1..n {
+                let v = lu[i * n + k].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax == 0.0 || !pmax.is_finite() {
+                return Err(NumericsError::FactorizationFailed {
+                    kind: "lu",
+                    index: k,
+                });
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in k + 1..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in k + 1..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+        Ok(LuFactors {
+            n,
+            lu,
+            perm,
+            sign,
+        })
+    }
+
+    /// Cholesky factorization `A = L Lᵀ` for symmetric positive definite `A`.
+    ///
+    /// Only the lower triangle of `self` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::FactorizationFailed`] if a non-positive pivot
+    /// is encountered (matrix not SPD) and [`NumericsError::InvalidArgument`]
+    /// for non-square input.
+    pub fn cholesky(&self) -> Result<CholeskyFactor, NumericsError> {
+        if self.rows != self.cols {
+            return Err(NumericsError::InvalidArgument(
+                "cholesky: matrix must be square".into(),
+            ));
+        }
+        let n = self.rows;
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(NumericsError::FactorizationFailed {
+                            kind: "cholesky",
+                            index: i,
+                        });
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        Ok(CholeskyFactor { n, l })
+    }
+
+    /// Solves `A x = b` via LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates factorization failures; see [`DenseMatrix::lu`].
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        Ok(self.lu()?.solve(b))
+    }
+
+    /// Determinant via LU.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-square matrices. Singular matrices yield
+    /// `Ok(0.0)` only when the zero pivot occurs on the last column; earlier
+    /// breakdowns are reported as factorization failures.
+    pub fn det(&self) -> Result<f64, NumericsError> {
+        match self.lu() {
+            Ok(f) => Ok(f.det()),
+            Err(NumericsError::FactorizationFailed { .. }) => Ok(0.0),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Packed LU factors with the row permutation, produced by [`DenseMatrix::lu`].
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    /// Combined L (strict lower, unit diagonal implied) and U (upper) factors.
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "LuFactors::solve: dimension mismatch");
+        let n = self.n;
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 1..n {
+            let mut s = x[i];
+            for k in 0..i {
+                s -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in i + 1..n {
+                s -= self.lu[i * n + k] * x[k];
+            }
+            x[i] = s / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
+    }
+}
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`, produced by
+/// [`DenseMatrix::cholesky`].
+#[derive(Debug, Clone)]
+pub struct CholeskyFactor {
+    n: usize,
+    l: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `L[i][j]` of the factor (zero above the diagonal).
+    pub fn l(&self, i: usize, j: usize) -> f64 {
+        if j > i {
+            0.0
+        } else {
+            self.l[i * self.n + j]
+        }
+    }
+
+    /// Solves `A x = b` via two triangular solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "CholeskyFactor::solve: dimension mismatch");
+        let n = self.n;
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.l[i * n + k] * y[k];
+            }
+            y[i] = s / self.l[i * n + i];
+        }
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in i + 1..n {
+                s -= self.l[k * n + i] * y[k];
+            }
+            y[i] = s / self.l[i * n + i];
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_spd() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            &[4.0, 1.0, 0.5],
+            &[1.0, 3.0, 0.25],
+            &[0.5, 0.25, 2.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = DenseMatrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = a.solve(&b).unwrap();
+        for i in 0..4 {
+            assert!((x[i] - b[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn lu_solves_random_system() {
+        let a = DenseMatrix::from_rows(&[
+            &[2.0, -1.0, 3.0],
+            &[4.0, 2.0, 1.0],
+            &[-6.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let x_true = [1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x[i] - x_true[i]).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            a.lu(),
+            Err(NumericsError::FactorizationFailed { kind: "lu", .. })
+        ));
+        assert_eq!(a.det().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn lu_requires_square() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(a.lu(), Err(NumericsError::InvalidArgument(_))));
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert!((a.det().unwrap() - (-2.0)).abs() < 1e-14);
+        // Permutation handling: swapping rows flips the sign.
+        let b = DenseMatrix::from_rows(&[&[3.0, 4.0], &[1.0, 2.0]]).unwrap();
+        assert!((b.det().unwrap() - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = example_spd();
+        let f = a.cholesky().unwrap();
+        let n = a.rows();
+        for i in 0..n {
+            for j in 0..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += f.l(i, k) * f.l(j, k);
+                }
+                assert!((s - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu_solve() {
+        let a = example_spd();
+        let b = [1.0, 0.0, -1.0];
+        let x1 = a.cholesky().unwrap().solve(&b);
+        let x2 = a.solve(&b).unwrap();
+        for i in 0..3 {
+            assert!((x1[i] - x2[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert!(matches!(
+            a.cholesky(),
+            Err(NumericsError::FactorizationFailed {
+                kind: "cholesky",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let at = a.transpose();
+        assert_eq!(at[(0, 1)], 3.0);
+        let aat = a.matmul(&at).unwrap();
+        // First entry: [1,2]·[1,2] = 5.
+        assert_eq!(aat[(0, 0)], 5.0);
+        assert!(a.matmul(&DenseMatrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn from_rows_validates() {
+        assert!(DenseMatrix::from_rows(&[]).is_err());
+        assert!(DenseMatrix::from_rows(&[&[1.0][..], &[1.0, 2.0][..]]).is_err());
+    }
+
+    #[test]
+    fn from_diag_builds_diagonal() {
+        let d = DenseMatrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d.rows(), 3);
+        assert_eq!(d.cols(), 3);
+    }
+}

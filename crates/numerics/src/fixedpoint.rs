@@ -1,0 +1,254 @@
+//! Damped fixed-point (Picard) iteration driver.
+//!
+//! The nonlinear electrothermal step solves `x = Φ(x)` where `Φ` lags the
+//! temperature-dependent material coefficients. This module provides the
+//! generic iteration loop with damping and convergence bookkeeping so the
+//! core solver can focus on physics.
+
+use crate::error::NumericsError;
+use crate::vector;
+
+/// Options for [`fixed_point`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedPointOptions {
+    /// Convergence tolerance on the relative ℓ₂ update `‖xₖ₊₁ − xₖ‖/‖xₖ‖`.
+    pub tol: f64,
+    /// Maximum number of iterations.
+    pub max_iter: usize,
+    /// Damping factor `θ ∈ (0, 1]`: `xₖ₊₁ = (1−θ)xₖ + θΦ(xₖ)`.
+    pub damping: f64,
+    /// Floor for the relative-update denominator (see
+    /// [`crate::vector::rel_diff2`]).
+    pub denom_floor: f64,
+}
+
+impl Default for FixedPointOptions {
+    fn default() -> Self {
+        FixedPointOptions {
+            tol: 1e-8,
+            max_iter: 50,
+            damping: 1.0,
+            denom_floor: 1e-12,
+        }
+    }
+}
+
+/// Result of a fixed-point iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedPointReport {
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative update size.
+    pub update: f64,
+    /// History of relative update sizes (one per iteration).
+    pub history: Vec<f64>,
+}
+
+/// Iterates `x ← (1−θ)x + θΦ(x)` until the relative update drops below
+/// `options.tol`.
+///
+/// The map `phi` writes its output into the provided buffer; `x` is updated
+/// in place and holds the fixed point on success.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] for a non-positive damping
+/// factor or zero `max_iter`, and propagates any error returned by `phi`.
+/// Reaching `max_iter` is reported via `converged == false`, not an error.
+///
+/// # Example
+///
+/// ```
+/// use etherm_numerics::fixedpoint::{fixed_point, FixedPointOptions};
+///
+/// // Solve x = cos(x) component-wise.
+/// let mut x = vec![0.0_f64; 3];
+/// let report = fixed_point(
+///     &mut x,
+///     |x, out| {
+///         for (o, xi) in out.iter_mut().zip(x) {
+///             *o = xi.cos();
+///         }
+///         Ok(())
+///     },
+///     &FixedPointOptions { tol: 1e-12, max_iter: 200, ..Default::default() },
+/// )
+/// .unwrap();
+/// assert!(report.converged);
+/// assert!((x[0] - 0.7390851332151607).abs() < 1e-10);
+/// ```
+pub fn fixed_point<F>(
+    x: &mut [f64],
+    mut phi: F,
+    options: &FixedPointOptions,
+) -> Result<FixedPointReport, NumericsError>
+where
+    F: FnMut(&[f64], &mut [f64]) -> Result<(), NumericsError>,
+{
+    if options.damping <= 0.0 || options.damping > 1.0 {
+        return Err(NumericsError::InvalidArgument(format!(
+            "fixed_point: damping must be in (0, 1], got {}",
+            options.damping
+        )));
+    }
+    if options.max_iter == 0 {
+        return Err(NumericsError::InvalidArgument(
+            "fixed_point: max_iter must be positive".into(),
+        ));
+    }
+    let n = x.len();
+    let mut next = vec![0.0; n];
+    let mut history = Vec::new();
+    let theta = options.damping;
+
+    for iter in 1..=options.max_iter {
+        phi(x, &mut next)?;
+        if !vector::all_finite(&next) {
+            return Err(NumericsError::Breakdown {
+                solver: "fixed_point",
+                detail: "iterate became non-finite",
+            });
+        }
+        // Damped update, measuring the *undamped* step for convergence.
+        let update = vector::rel_diff2(&next, x, options.denom_floor);
+        history.push(update);
+        for i in 0..n {
+            x[i] = (1.0 - theta) * x[i] + theta * next[i];
+        }
+        if update <= options.tol {
+            return Ok(FixedPointReport {
+                converged: true,
+                iterations: iter,
+                update,
+                history,
+            });
+        }
+    }
+    let update = *history.last().unwrap_or(&f64::INFINITY);
+    Ok(FixedPointReport {
+        converged: false,
+        iterations: options.max_iter,
+        update,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_contraction() {
+        let mut x = vec![1.0; 4];
+        let rep = fixed_point(
+            &mut x,
+            |x, out| {
+                for (o, xi) in out.iter_mut().zip(x) {
+                    *o = 0.5 * xi + 1.0; // fixed point at 2
+                }
+                Ok(())
+            },
+            &FixedPointOptions {
+                tol: 1e-12,
+                max_iter: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(rep.converged);
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        // Updates must be monotonically decreasing for a linear contraction.
+        for w in rep.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15);
+        }
+    }
+
+    #[test]
+    fn damping_stabilizes_divergent_map() {
+        // Φ(x) = −1.5x + 5 diverges undamped (|Φ'| > 1) but converges with
+        // θ = 0.5 since the damped map has slope (1−θ) + θ(−1.5) = −0.25.
+        let opts = FixedPointOptions {
+            tol: 1e-10,
+            max_iter: 200,
+            damping: 0.5,
+            ..Default::default()
+        };
+        let mut x = vec![0.0];
+        let rep = fixed_point(
+            &mut x,
+            |x, out| {
+                out[0] = -1.5 * x[0] + 5.0;
+                Ok(())
+            },
+            &opts,
+        )
+        .unwrap();
+        assert!(rep.converged, "{rep:?}");
+        assert!((x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reports_non_convergence() {
+        let mut x = vec![1.0];
+        let rep = fixed_point(
+            &mut x,
+            |x, out| {
+                out[0] = x[0] + 1.0; // no fixed point
+                Ok(())
+            },
+            &FixedPointOptions {
+                tol: 1e-10,
+                max_iter: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 5);
+        assert_eq!(rep.history.len(), 5);
+    }
+
+    #[test]
+    fn propagates_inner_error() {
+        let mut x = vec![1.0];
+        let e = fixed_point(
+            &mut x,
+            |_, _| {
+                Err(NumericsError::InvalidArgument("inner".into()))
+            },
+            &FixedPointOptions::default(),
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn detects_nan() {
+        let mut x = vec![1.0];
+        let e = fixed_point(
+            &mut x,
+            |_, out| {
+                out[0] = f64::NAN;
+                Ok(())
+            },
+            &FixedPointOptions::default(),
+        );
+        assert!(matches!(e, Err(NumericsError::Breakdown { .. })));
+    }
+
+    #[test]
+    fn validates_options() {
+        let mut x = vec![1.0];
+        let bad_damping = FixedPointOptions {
+            damping: 0.0,
+            ..Default::default()
+        };
+        assert!(fixed_point(&mut x, |_, _| Ok(()), &bad_damping).is_err());
+        let bad_iter = FixedPointOptions {
+            max_iter: 0,
+            ..Default::default()
+        };
+        assert!(fixed_point(&mut x, |_, _| Ok(()), &bad_iter).is_err());
+    }
+}

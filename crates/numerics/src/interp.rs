@@ -1,0 +1,334 @@
+//! One-dimensional interpolation: piecewise linear and monotone cubic
+//! (Fritsch–Carlson) interpolants.
+//!
+//! Used for tabulated temperature-dependent material curves (σ(T), λ(T) from
+//! data tables rather than first-order laws) and for resampling time series
+//! when comparing transients computed with different step sizes.
+
+use crate::error::NumericsError;
+
+/// Extrapolation behaviour outside the abscissa range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Extrapolate {
+    /// Clamp to the boundary value (default; physical for material tables).
+    #[default]
+    Clamp,
+    /// Extend the boundary segment/tangent linearly.
+    Linear,
+}
+
+/// Piecewise-linear interpolant through `(x_k, y_k)` with strictly
+/// increasing `x_k`.
+///
+/// # Example
+///
+/// ```
+/// use etherm_numerics::interp::{Extrapolate, LinearInterp};
+///
+/// # fn main() -> Result<(), etherm_numerics::NumericsError> {
+/// let f = LinearInterp::new(vec![0.0, 1.0, 3.0], vec![0.0, 2.0, 2.0], Extrapolate::Clamp)?;
+/// assert_eq!(f.eval(0.5), 1.0);
+/// assert_eq!(f.eval(10.0), 2.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterp {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    extrapolate: Extrapolate,
+}
+
+impl LinearInterp {
+    /// Builds the interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if fewer than two points
+    /// are supplied, lengths differ, any value is non-finite, or the
+    /// abscissae are not strictly increasing.
+    pub fn new(x: Vec<f64>, y: Vec<f64>, extrapolate: Extrapolate) -> Result<Self, NumericsError> {
+        validate_table(&x, &y)?;
+        Ok(LinearInterp { x, y, extrapolate })
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the table is empty (never true for constructed interpolants).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Evaluates the interpolant at `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        let n = self.x.len();
+        if t <= self.x[0] {
+            return match self.extrapolate {
+                Extrapolate::Clamp => self.y[0],
+                Extrapolate::Linear => {
+                    let s = (self.y[1] - self.y[0]) / (self.x[1] - self.x[0]);
+                    self.y[0] + s * (t - self.x[0])
+                }
+            };
+        }
+        if t >= self.x[n - 1] {
+            return match self.extrapolate {
+                Extrapolate::Clamp => self.y[n - 1],
+                Extrapolate::Linear => {
+                    let s = (self.y[n - 1] - self.y[n - 2]) / (self.x[n - 1] - self.x[n - 2]);
+                    self.y[n - 1] + s * (t - self.x[n - 1])
+                }
+            };
+        }
+        let k = segment_index(&self.x, t);
+        let u = (t - self.x[k]) / (self.x[k + 1] - self.x[k]);
+        self.y[k] + u * (self.y[k + 1] - self.y[k])
+    }
+}
+
+/// Monotone cubic Hermite interpolant (Fritsch–Carlson slope limiting).
+///
+/// Preserves monotonicity of the data: if the `y_k` are non-decreasing on a
+/// segment, so is the interpolant — important for physical material curves
+/// where a plain cubic spline would overshoot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PchipInterp {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    slope: Vec<f64>,
+    extrapolate: Extrapolate,
+}
+
+impl PchipInterp {
+    /// Builds the interpolant.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`LinearInterp::new`].
+    pub fn new(x: Vec<f64>, y: Vec<f64>, extrapolate: Extrapolate) -> Result<Self, NumericsError> {
+        validate_table(&x, &y)?;
+        let n = x.len();
+        let mut delta = vec![0.0; n - 1];
+        for k in 0..n - 1 {
+            delta[k] = (y[k + 1] - y[k]) / (x[k + 1] - x[k]);
+        }
+        let mut slope = vec![0.0; n];
+        slope[0] = delta[0];
+        slope[n - 1] = delta[n - 2];
+        for k in 1..n - 1 {
+            if delta[k - 1] * delta[k] <= 0.0 {
+                slope[k] = 0.0;
+            } else {
+                // Weighted harmonic mean (Fritsch–Butland variant), which
+                // automatically satisfies the Fritsch–Carlson region.
+                let h0 = x[k] - x[k - 1];
+                let h1 = x[k + 1] - x[k];
+                let w1 = 2.0 * h1 + h0;
+                let w2 = h1 + 2.0 * h0;
+                slope[k] = (w1 + w2) / (w1 / delta[k - 1] + w2 / delta[k]);
+            }
+        }
+        Ok(PchipInterp {
+            x,
+            y,
+            slope,
+            extrapolate,
+        })
+    }
+
+    /// Number of data points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the table is empty (never true for constructed interpolants).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Evaluates the interpolant at `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        let n = self.x.len();
+        if t <= self.x[0] {
+            return match self.extrapolate {
+                Extrapolate::Clamp => self.y[0],
+                Extrapolate::Linear => self.y[0] + self.slope[0] * (t - self.x[0]),
+            };
+        }
+        if t >= self.x[n - 1] {
+            return match self.extrapolate {
+                Extrapolate::Clamp => self.y[n - 1],
+                Extrapolate::Linear => self.y[n - 1] + self.slope[n - 1] * (t - self.x[n - 1]),
+            };
+        }
+        let k = segment_index(&self.x, t);
+        let h = self.x[k + 1] - self.x[k];
+        let u = (t - self.x[k]) / h;
+        let (h00, h10, h01, h11) = hermite_basis(u);
+        h00 * self.y[k] + h10 * h * self.slope[k] + h01 * self.y[k + 1] + h11 * h * self.slope[k + 1]
+    }
+}
+
+fn hermite_basis(u: f64) -> (f64, f64, f64, f64) {
+    let u2 = u * u;
+    let u3 = u2 * u;
+    (
+        2.0 * u3 - 3.0 * u2 + 1.0,
+        u3 - 2.0 * u2 + u,
+        -2.0 * u3 + 3.0 * u2,
+        u3 - u2,
+    )
+}
+
+fn segment_index(x: &[f64], t: f64) -> usize {
+    // Binary search for the segment with x[k] <= t < x[k+1].
+    match x.partition_point(|&v| v <= t) {
+        0 => 0,
+        p => (p - 1).min(x.len() - 2),
+    }
+}
+
+fn validate_table(x: &[f64], y: &[f64]) -> Result<(), NumericsError> {
+    if x.len() < 2 || x.len() != y.len() {
+        return Err(NumericsError::InvalidArgument(format!(
+            "interpolation table needs ≥ 2 matching points (got {}/{})",
+            x.len(),
+            y.len()
+        )));
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(NumericsError::InvalidArgument(
+            "interpolation table must be finite".into(),
+        ));
+    }
+    if x.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(NumericsError::InvalidArgument(
+            "interpolation abscissae must be strictly increasing".into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_knots_and_midpoints() {
+        let f = LinearInterp::new(
+            vec![0.0, 1.0, 2.0, 4.0],
+            vec![1.0, 3.0, 2.0, 2.0],
+            Extrapolate::Clamp,
+        )
+        .unwrap();
+        assert_eq!(f.len(), 4);
+        assert!(!f.is_empty());
+        for (x, y) in [(0.0, 1.0), (1.0, 3.0), (2.0, 2.0), (4.0, 2.0)] {
+            assert_eq!(f.eval(x), y);
+        }
+        assert_eq!(f.eval(0.5), 2.0);
+        assert_eq!(f.eval(3.0), 2.0);
+    }
+
+    #[test]
+    fn linear_extrapolation_modes() {
+        let clamp =
+            LinearInterp::new(vec![0.0, 1.0], vec![0.0, 2.0], Extrapolate::Clamp).unwrap();
+        assert_eq!(clamp.eval(-1.0), 0.0);
+        assert_eq!(clamp.eval(5.0), 2.0);
+        let lin = LinearInterp::new(vec![0.0, 1.0], vec![0.0, 2.0], Extrapolate::Linear).unwrap();
+        assert_eq!(lin.eval(-1.0), -2.0);
+        assert_eq!(lin.eval(2.0), 4.0);
+    }
+
+    #[test]
+    fn pchip_reproduces_linear_data_exactly() {
+        let f = PchipInterp::new(
+            vec![0.0, 0.5, 2.0, 3.0],
+            vec![1.0, 2.0, 5.0, 7.0],
+            Extrapolate::Linear,
+        )
+        .unwrap();
+        for t in [0.1, 0.25, 1.0, 2.5, 2.9] {
+            assert!((f.eval(t) - (1.0 + 2.0 * t)).abs() < 1e-12, "t={t}");
+        }
+        assert!((f.eval(-1.0) - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pchip_is_monotone_on_monotone_data() {
+        // Data with a sharp knee where a natural cubic spline would overshoot.
+        let f = PchipInterp::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 0.1, 0.2, 5.0, 5.1],
+            Extrapolate::Clamp,
+        )
+        .unwrap();
+        let mut prev = f.eval(0.0);
+        for i in 1..=400 {
+            let t = i as f64 * 0.01;
+            let v = f.eval(t);
+            assert!(v >= prev - 1e-12, "not monotone at t={t}: {v} < {prev}");
+            prev = v;
+        }
+        // Never overshoots the data range.
+        assert!(prev <= 5.1 + 1e-12);
+    }
+
+    #[test]
+    fn pchip_flat_at_local_extrema() {
+        let f = PchipInterp::new(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 1.0, 0.0],
+            Extrapolate::Clamp,
+        )
+        .unwrap();
+        // The peak knot must be hit exactly and not exceeded nearby.
+        assert_eq!(f.eval(1.0), 1.0);
+        assert!(f.eval(0.95) <= 1.0 + 1e-12);
+        assert!(f.eval(1.05) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn pchip_interpolates_smooth_function_accurately() {
+        let n = 33;
+        let x: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64 * 3.0).collect();
+        let y: Vec<f64> = x.iter().map(|&t| (t).exp()).collect();
+        let f = PchipInterp::new(x, y, Extrapolate::Clamp).unwrap();
+        // One-sided boundary slopes limit the edge accuracy to ~1e-3.
+        for i in 0..300 {
+            let t = i as f64 * 0.01;
+            let err = (f.eval(t) - t.exp()).abs() / t.exp();
+            assert!(err < 2e-3, "t={t}: rel err {err}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_tables() {
+        assert!(LinearInterp::new(vec![0.0], vec![1.0], Extrapolate::Clamp).is_err());
+        assert!(LinearInterp::new(vec![0.0, 1.0], vec![1.0], Extrapolate::Clamp).is_err());
+        assert!(LinearInterp::new(vec![0.0, 0.0], vec![1.0, 2.0], Extrapolate::Clamp).is_err());
+        assert!(LinearInterp::new(vec![1.0, 0.0], vec![1.0, 2.0], Extrapolate::Clamp).is_err());
+        assert!(
+            LinearInterp::new(vec![0.0, f64::NAN], vec![1.0, 2.0], Extrapolate::Clamp).is_err()
+        );
+        assert!(PchipInterp::new(vec![0.0], vec![1.0], Extrapolate::Clamp).is_err());
+    }
+
+    #[test]
+    fn segment_lookup_edges() {
+        let f = LinearInterp::new(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 1.0, 4.0],
+            Extrapolate::Clamp,
+        )
+        .unwrap();
+        // Exactly at an interior knot: continuous from both sides.
+        assert_eq!(f.eval(1.0), 1.0);
+        assert!((f.eval(1.0 - 1e-12) - 1.0).abs() < 1e-9);
+        assert!((f.eval(1.0 + 1e-12) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,51 @@
+//! Dense and sparse linear algebra plus linear/nonlinear solver kernels for the
+//! `etherm` electrothermal simulator.
+//!
+//! The Rust PDE/FEM ecosystem offers no lightweight, dependency-free sparse
+//! solver stack, so everything here is handwritten:
+//!
+//! * [`vector`] — BLAS-1 style operations on `&[f64]` slices,
+//! * [`dense`] — small dense matrices with LU and Cholesky factorizations,
+//! * [`sparse`] — COO assembly and CSR storage with matrix-vector kernels,
+//! * [`solvers`] — CG/PCG (Jacobi, IC(0), SSOR preconditioners), BiCGStab,
+//!   and a Thomas tridiagonal solver,
+//! * [`fixedpoint`] — a damped fixed-point (Picard) driver used by the
+//!   nonlinear electrothermal coupling.
+//!
+//! # Example
+//!
+//! Solve a small SPD system with preconditioned CG:
+//!
+//! ```
+//! use etherm_numerics::sparse::{Coo, Csr};
+//! use etherm_numerics::solvers::{pcg, IncompleteCholesky, CgOptions};
+//!
+//! // 1D Laplacian with Dirichlet ends: tridiag(-1, 2, -1).
+//! let n = 16;
+//! let mut coo = Coo::new(n, n);
+//! for i in 0..n {
+//!     coo.push(i, i, 2.0);
+//!     if i + 1 < n {
+//!         coo.push(i, i + 1, -1.0);
+//!         coo.push(i + 1, i, -1.0);
+//!     }
+//! }
+//! let a = Csr::from_coo(&coo);
+//! let b = vec![1.0; n];
+//! let precond = IncompleteCholesky::new(&a).unwrap();
+//! let mut x = vec![0.0; n];
+//! let report = pcg(&a, &b, &mut x, &precond, &CgOptions::default()).unwrap();
+//! assert!(report.converged);
+//! ```
+
+pub mod dense;
+pub mod error;
+pub mod fixedpoint;
+pub mod interp;
+pub mod quadrature;
+pub mod solvers;
+pub mod sparse;
+pub mod vector;
+
+pub use error::NumericsError;
+pub use sparse::{Coo, Csr, LinOp};

@@ -1,0 +1,448 @@
+//! Gaussian and composite quadrature rules.
+//!
+//! These rules back the non-intrusive polynomial-chaos machinery in
+//! `etherm-uq`: Gauss–Hermite nodes evaluate expectations against the normal
+//! elongation distribution `δ ~ N(µ, σ)` identified by the paper (Fig. 5),
+//! and Gauss–Legendre covers uniform parameters. Composite trapezoid /
+//! Simpson rules are used for self-checks and for integrating tabulated
+//! material curves.
+//!
+//! All rules are computed from scratch (Newton iteration on the classical
+//! orthogonal-polynomial recurrences); there is no external special-function
+//! dependency.
+
+use crate::error::NumericsError;
+
+/// A one-dimensional quadrature rule: nodes `x_k` and weights `w_k` such that
+/// `∫ f dµ ≈ Σ_k w_k f(x_k)` for the rule's measure `µ`.
+///
+/// # Example
+///
+/// ```
+/// use etherm_numerics::quadrature::QuadratureRule;
+///
+/// # fn main() -> Result<(), etherm_numerics::NumericsError> {
+/// // E[X²] = 1 for X ~ N(0,1), integrated exactly by 2 Hermite points.
+/// let rule = QuadratureRule::gauss_hermite(2)?;
+/// let second_moment = rule.integrate(|x| x * x);
+/// assert!((second_moment - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadratureRule {
+    nodes: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl QuadratureRule {
+    /// Builds a rule from explicit nodes and weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if the lengths differ, the
+    /// rule is empty, or any entry is non-finite.
+    pub fn from_nodes_weights(nodes: Vec<f64>, weights: Vec<f64>) -> Result<Self, NumericsError> {
+        if nodes.is_empty() || nodes.len() != weights.len() {
+            return Err(NumericsError::InvalidArgument(format!(
+                "quadrature rule needs equal, nonzero node/weight counts (got {}/{})",
+                nodes.len(),
+                weights.len()
+            )));
+        }
+        if nodes.iter().chain(weights.iter()).any(|v| !v.is_finite()) {
+            return Err(NumericsError::InvalidArgument(
+                "quadrature nodes/weights must be finite".into(),
+            ));
+        }
+        Ok(QuadratureRule { nodes, weights })
+    }
+
+    /// `n`-point Gauss–Legendre rule on `[-1, 1]` (measure `dx`).
+    ///
+    /// Exact for polynomials of degree `≤ 2n − 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if `n == 0` and
+    /// [`NumericsError::NotConverged`] if a Newton root search stalls
+    /// (does not happen for practical `n ≤ 512`).
+    pub fn gauss_legendre(n: usize) -> Result<Self, NumericsError> {
+        if n == 0 {
+            return Err(NumericsError::InvalidArgument(
+                "gauss_legendre: n must be positive".into(),
+            ));
+        }
+        let mut nodes = vec![0.0; n];
+        let mut weights = vec![0.0; n];
+        let m = n.div_ceil(2);
+        for i in 0..m {
+            // Chebyshev-based initial guess for the i-th positive root.
+            let mut z = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            let mut pp = 0.0;
+            let mut converged = false;
+            for _ in 0..100 {
+                // Legendre recurrence: (j+1) P_{j+1} = (2j+1) x P_j − j P_{j−1}.
+                let mut p1 = 1.0;
+                let mut p2 = 0.0;
+                for j in 0..n {
+                    let p3 = p2;
+                    p2 = p1;
+                    let jf = j as f64;
+                    p1 = ((2.0 * jf + 1.0) * z * p2 - jf * p3) / (jf + 1.0);
+                }
+                pp = n as f64 * (z * p1 - p2) / (z * z - 1.0);
+                let dz = p1 / pp;
+                z -= dz;
+                if dz.abs() < 1e-15 {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(NumericsError::NotConverged {
+                    solver: "gauss_legendre newton",
+                    iterations: 100,
+                    residual: f64::NAN,
+                });
+            }
+            nodes[i] = -z;
+            nodes[n - 1 - i] = z;
+            let w = 2.0 / ((1.0 - z * z) * pp * pp);
+            weights[i] = w;
+            weights[n - 1 - i] = w;
+        }
+        Ok(QuadratureRule { nodes, weights })
+    }
+
+    /// `n`-point Gauss–Hermite rule for the *probabilists'* weight
+    /// `exp(−x²/2)/√(2π)`, i.e. the standard normal density.
+    ///
+    /// `Σ w_k f(x_k) ≈ E[f(X)]` for `X ~ N(0, 1)`; exact for polynomials of
+    /// degree `≤ 2n − 1`. Shift/scale the nodes by `µ + σ x_k` to integrate
+    /// against `N(µ, σ²)` — this is what the PCE layer does for the paper's
+    /// elongation distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if `n == 0` and
+    /// [`NumericsError::NotConverged`] if the Newton search stalls.
+    pub fn gauss_hermite(n: usize) -> Result<Self, NumericsError> {
+        if n == 0 {
+            return Err(NumericsError::InvalidArgument(
+                "gauss_hermite: n must be positive".into(),
+            ));
+        }
+        // Physicists' convention (weight exp(−x²)) via the Numerical-Recipes
+        // style Newton iteration, then rescale to the probabilists' measure:
+        // ξ = √2 x, w̃ = w / √π.
+        let mut x_phys = vec![0.0; n];
+        let mut w_phys = vec![0.0; n];
+        let m = n.div_ceil(2);
+        let nf = n as f64;
+        let mut z = 0.0;
+        let mut roots: Vec<f64> = Vec::with_capacity(m);
+        for i in 0..m {
+            // Initial guesses per Numerical Recipes `gauher`: each guess is a
+            // linear extrapolation from the previously located roots.
+            z = match i {
+                0 => (2.0 * nf + 1.0).sqrt() - 1.85575 * (2.0 * nf + 1.0).powf(-1.0 / 6.0),
+                1 => z - 1.14 * nf.powf(0.426) / z,
+                2 => 1.86 * z - 0.86 * roots[0],
+                3 => 1.91 * z - 0.91 * roots[1],
+                _ => 2.0 * z - roots[i - 2],
+            };
+            let mut pp = 0.0;
+            let mut converged = false;
+            for _ in 0..200 {
+                // Orthonormal Hermite recurrence (physicists'):
+                // h_{j+1} = x √(2/(j+1)) h_j − √(j/(j+1)) h_{j−1}.
+                let mut p1 = std::f64::consts::PI.powf(-0.25);
+                let mut p2 = 0.0;
+                for j in 1..=n {
+                    let p3 = p2;
+                    p2 = p1;
+                    let jf = j as f64;
+                    p1 = z * (2.0 / jf).sqrt() * p2 - ((jf - 1.0) / jf).sqrt() * p3;
+                }
+                pp = (2.0 * nf).sqrt() * p2;
+                let dz = p1 / pp;
+                z -= dz;
+                if dz.abs() < 1e-14 {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(NumericsError::NotConverged {
+                    solver: "gauss_hermite newton",
+                    iterations: 200,
+                    residual: f64::NAN,
+                });
+            }
+            x_phys[i] = z;
+            x_phys[n - 1 - i] = -z;
+            let w = 2.0 / (pp * pp);
+            w_phys[i] = w;
+            w_phys[n - 1 - i] = w;
+            roots.push(z);
+        }
+        let sqrt2 = std::f64::consts::SQRT_2;
+        let inv_sqrt_pi = 1.0 / std::f64::consts::PI.sqrt();
+        // Emit in ascending order (x_phys is stored descending on the left half).
+        let mut nodes: Vec<f64> = x_phys.iter().map(|&x| sqrt2 * x).collect();
+        let mut weights: Vec<f64> = w_phys.iter().map(|&w| w * inv_sqrt_pi).collect();
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| nodes[a].total_cmp(&nodes[b]));
+        nodes = idx.iter().map(|&k| nodes[k]).collect();
+        weights = idx.iter().map(|&k| weights[k]).collect();
+        Ok(QuadratureRule { nodes, weights })
+    }
+
+    /// Quadrature nodes, ascending.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Quadrature weights, aligned with [`QuadratureRule::nodes`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of points in the rule.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the rule has no points (never true for constructed rules).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Applies the rule: `Σ_k w_k f(x_k)`.
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, mut f: F) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// Returns the rule affinely mapped from `[-1, 1]` to `[a, b]`
+    /// (for Gauss–Legendre rules; weights are scaled by `(b − a)/2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] if `b ≤ a` or either bound
+    /// is non-finite.
+    pub fn mapped_to(&self, a: f64, b: f64) -> Result<Self, NumericsError> {
+        if !(a.is_finite() && b.is_finite() && b > a) {
+            return Err(NumericsError::InvalidArgument(format!(
+                "mapped_to: invalid interval [{a}, {b}]"
+            )));
+        }
+        let half = 0.5 * (b - a);
+        let mid = 0.5 * (a + b);
+        Ok(QuadratureRule {
+            nodes: self.nodes.iter().map(|&x| mid + half * x).collect(),
+            weights: self.weights.iter().map(|&w| w * half).collect(),
+        })
+    }
+}
+
+/// Composite trapezoid rule for `∫_a^b f dx` with `n ≥ 1` panels.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] for an empty panel count or a
+/// degenerate interval.
+pub fn trapezoid<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    n: usize,
+) -> Result<f64, NumericsError> {
+    if n == 0 || !(a.is_finite() && b.is_finite() && b > a) {
+        return Err(NumericsError::InvalidArgument(format!(
+            "trapezoid: need n ≥ 1 panels on a finite interval (n={n}, [{a}, {b}])"
+        )));
+    }
+    let h = (b - a) / n as f64;
+    let mut sum = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        sum += f(a + i as f64 * h);
+    }
+    Ok(sum * h)
+}
+
+/// Composite Simpson rule for `∫_a^b f dx` with `n` panels (`n` even, `≥ 2`).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::InvalidArgument`] if `n` is odd or zero, or the
+/// interval is degenerate.
+pub fn simpson<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    n: usize,
+) -> Result<f64, NumericsError> {
+    if n == 0 || n % 2 != 0 || !(a.is_finite() && b.is_finite() && b > a) {
+        return Err(NumericsError::InvalidArgument(format!(
+            "simpson: need an even panel count ≥ 2 on a finite interval (n={n}, [{a}, {b}])"
+        )));
+    }
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let c = if i % 2 == 1 { 4.0 } else { 2.0 };
+        sum += c * f(a + i as f64 * h);
+    }
+    Ok(sum * h / 3.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factorial2(n: u32) -> f64 {
+        // Double factorial (2k-1)!! for normal moments.
+        let mut p = 1.0;
+        let mut k = n as i64;
+        while k > 1 {
+            p *= k as f64;
+            k -= 2;
+        }
+        p
+    }
+
+    #[test]
+    fn legendre_weights_sum_to_interval_length() {
+        for n in 1..=32 {
+            let rule = QuadratureRule::gauss_legendre(n).unwrap();
+            let total: f64 = rule.weights().iter().sum();
+            assert!((total - 2.0).abs() < 1e-12, "n={n}: Σw = {total}");
+        }
+    }
+
+    #[test]
+    fn legendre_exact_for_polynomials() {
+        // ∫_{-1}^{1} x^k dx = 0 (odd) or 2/(k+1) (even); n points exact to 2n-1.
+        for n in 1..=10usize {
+            let rule = QuadratureRule::gauss_legendre(n).unwrap();
+            for k in 0..(2 * n) {
+                let got = rule.integrate(|x| x.powi(k as i32));
+                let want = if k % 2 == 1 { 0.0 } else { 2.0 / (k as f64 + 1.0) };
+                assert!(
+                    (got - want).abs() < 1e-10,
+                    "n={n} k={k}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legendre_nodes_sorted_and_symmetric() {
+        let rule = QuadratureRule::gauss_legendre(9).unwrap();
+        let x = rule.nodes();
+        assert!(x.windows(2).all(|w| w[0] < w[1]));
+        for i in 0..x.len() {
+            assert!((x[i] + x[x.len() - 1 - i]).abs() < 1e-13);
+        }
+        // Odd rule contains the midpoint.
+        assert!(x[4].abs() < 1e-13);
+    }
+
+    #[test]
+    fn hermite_weights_sum_to_one() {
+        for n in 1..=40 {
+            let rule = QuadratureRule::gauss_hermite(n).unwrap();
+            let total: f64 = rule.weights().iter().sum();
+            assert!((total - 1.0).abs() < 1e-11, "n={n}: Σw = {total}");
+        }
+    }
+
+    #[test]
+    fn hermite_matches_normal_moments() {
+        // E[X^{2k}] = (2k−1)!! for X ~ N(0,1); a rule with n points is exact
+        // through degree 2n−1.
+        let rule = QuadratureRule::gauss_hermite(8).unwrap();
+        for k in 0..8u32 {
+            let got = rule.integrate(|x| x.powi(2 * k as i32));
+            let want = if k == 0 { 1.0 } else { factorial2(2 * k - 1) };
+            assert!(
+                (got - want).abs() / want.max(1.0) < 1e-10,
+                "k={k}: got {got}, want {want}"
+            );
+        }
+        // Odd moments vanish by symmetry.
+        for k in [1, 3, 5, 7] {
+            assert!(rule.integrate(|x| x.powi(k)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn hermite_large_rule_is_stable() {
+        let rule = QuadratureRule::gauss_hermite(64).unwrap();
+        assert_eq!(rule.len(), 64);
+        assert!(rule.nodes().windows(2).all(|w| w[0] < w[1]));
+        let total: f64 = rule.weights().iter().sum();
+        assert!((total - 1.0).abs() < 1e-10);
+        // E[exp(X)] = e^{1/2} is integrated to near machine precision.
+        let got = rule.integrate(f64::exp);
+        assert!((got - (0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mapped_rule_integrates_on_shifted_interval() {
+        let rule = QuadratureRule::gauss_legendre(6)
+            .unwrap()
+            .mapped_to(2.0, 5.0)
+            .unwrap();
+        // ∫_2^5 x² dx = (125 − 8)/3 = 39.
+        let got = rule.integrate(|x| x * x);
+        assert!((got - 39.0).abs() < 1e-10);
+        assert!(QuadratureRule::gauss_legendre(4)
+            .unwrap()
+            .mapped_to(1.0, 1.0)
+            .is_err());
+    }
+
+    #[test]
+    fn composite_rules_converge_on_smooth_integrand() {
+        // ∫_0^π sin = 2.
+        let t = trapezoid(f64::sin, 0.0, std::f64::consts::PI, 2000).unwrap();
+        assert!((t - 2.0).abs() < 1e-6);
+        let s = simpson(f64::sin, 0.0, std::f64::consts::PI, 64).unwrap();
+        assert!((s - 2.0).abs() < 1e-6, "simpson error {}", (s - 2.0).abs());
+        // Fourth-order: quadrupling the panel count shrinks the error ~256×.
+        let s2 = simpson(f64::sin, 0.0, std::f64::consts::PI, 256).unwrap();
+        assert!((s2 - 2.0).abs() < (s - 2.0).abs() / 100.0);
+    }
+
+    #[test]
+    fn simpson_exact_for_cubics() {
+        let s = simpson(|x| x * x * x - 2.0 * x + 1.0, -1.0, 3.0, 2).unwrap();
+        // ∫_{-1}^{3} (x³ − 2x + 1) dx = [x⁴/4 − x² + x] = (81/4 − 9 + 3) − (1/4 − 1 − 1) = 16.
+        assert!((s - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_arguments_are_rejected() {
+        assert!(QuadratureRule::gauss_legendre(0).is_err());
+        assert!(QuadratureRule::gauss_hermite(0).is_err());
+        assert!(trapezoid(|x| x, 0.0, 1.0, 0).is_err());
+        assert!(simpson(|x| x, 0.0, 1.0, 3).is_err());
+        assert!(simpson(|x| x, 1.0, 0.0, 2).is_err());
+        assert!(QuadratureRule::from_nodes_weights(vec![0.0], vec![]).is_err());
+        assert!(QuadratureRule::from_nodes_weights(vec![f64::NAN], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn explicit_rule_roundtrip() {
+        let rule = QuadratureRule::from_nodes_weights(vec![-1.0, 1.0], vec![0.5, 0.5]).unwrap();
+        assert_eq!(rule.len(), 2);
+        assert!(!rule.is_empty());
+        assert_eq!(rule.integrate(|x| x * x), 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Stabilized bi-conjugate gradient method for general square systems.
+
+use super::cg::CgOptions;
+use super::precond::Preconditioner;
+use super::SolveReport;
+use crate::error::NumericsError;
+use crate::sparse::LinOp;
+use crate::vector;
+
+/// Solves the (possibly non-symmetric) system `A x = b` with right-
+/// preconditioned BiCGStab.
+///
+/// `x` holds the initial guess on entry and the solution on exit.
+/// The electrothermal systems of this project stay symmetric, so BiCGStab is
+/// mainly a cross-check and a safety net for experimental non-symmetric
+/// couplings (e.g. upwinded convective terms).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::Breakdown`] when an inner product vanishes and
+/// [`NumericsError::DimensionMismatch`] on inconsistent sizes. Hitting the
+/// iteration cap yields `Ok` with `converged == false`.
+pub fn bicgstab<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &P,
+    options: &CgOptions,
+) -> Result<SolveReport, NumericsError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: "bicgstab rhs",
+            expected: n,
+            found: b.len(),
+        });
+    }
+    if x.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: "bicgstab initial guess",
+            expected: n,
+            found: x.len(),
+        });
+    }
+    if n == 0 {
+        return Ok(SolveReport::trivial());
+    }
+
+    let norm_b = vector::norm2(b);
+    let target = (options.tol_rel * norm_b).max(options.tol_abs);
+    let max_iter = if options.max_iter == 0 {
+        10 * n + 100
+    } else {
+        options.max_iter
+    };
+
+    let mut r = vec![0.0; n];
+    a.apply(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut res_norm = vector::norm2(&r);
+    if res_norm <= target {
+        return Ok(SolveReport {
+            converged: true,
+            iterations: 0,
+            residual: res_norm,
+        });
+    }
+
+    let r0 = r.clone(); // shadow residual
+    let mut rho = 1.0;
+    let mut alpha = 1.0;
+    let mut omega = 1.0;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ph = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut sh = vec![0.0; n];
+    let mut t = vec![0.0; n];
+
+    for iter in 1..=max_iter {
+        let rho_new = vector::dot(&r0, &r);
+        if rho_new.abs() < f64::MIN_POSITIVE * 1e10 {
+            return Err(NumericsError::Breakdown {
+                solver: "bicgstab",
+                detail: "rho vanished",
+            });
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + beta (p − omega v)
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        precond.apply(&p, &mut ph);
+        a.apply(&ph, &mut v);
+        let r0v = vector::dot(&r0, &v);
+        if r0v.abs() < f64::MIN_POSITIVE * 1e10 {
+            return Err(NumericsError::Breakdown {
+                solver: "bicgstab",
+                detail: "r0ᵀv vanished",
+            });
+        }
+        alpha = rho / r0v;
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        if vector::norm2(&s) <= target {
+            vector::axpy(alpha, &ph, x);
+            let mut rr = vec![0.0; n];
+            a.apply(x, &mut rr);
+            for i in 0..n {
+                rr[i] = b[i] - rr[i];
+            }
+            return Ok(SolveReport {
+                converged: true,
+                iterations: iter,
+                residual: vector::norm2(&rr),
+            });
+        }
+        precond.apply(&s, &mut sh);
+        a.apply(&sh, &mut t);
+        let tt = vector::dot(&t, &t);
+        if tt == 0.0 {
+            return Err(NumericsError::Breakdown {
+                solver: "bicgstab",
+                detail: "tᵀt vanished",
+            });
+        }
+        omega = vector::dot(&t, &s) / tt;
+        if omega == 0.0 || !omega.is_finite() {
+            return Err(NumericsError::Breakdown {
+                solver: "bicgstab",
+                detail: "omega vanished",
+            });
+        }
+        for i in 0..n {
+            x[i] += alpha * ph[i] + omega * sh[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        res_norm = vector::norm2(&r);
+        if !res_norm.is_finite() {
+            return Err(NumericsError::Breakdown {
+                solver: "bicgstab",
+                detail: "residual became non-finite",
+            });
+        }
+        if res_norm <= target {
+            return Ok(SolveReport {
+                converged: true,
+                iterations: iter,
+                residual: res_norm,
+            });
+        }
+    }
+
+    Ok(SolveReport {
+        converged: false,
+        iterations: max_iter,
+        residual: res_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::{IdentityPrecond, JacobiPrecond};
+    use crate::sparse::{Coo, Csr};
+
+    fn nonsym(n: usize) -> Csr {
+        // Convection-diffusion-like: diag 3, sub −2, super −0.5.
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 3.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.5);
+                coo.push(i + 1, i, -2.0);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let n = 60;
+        let a = nonsym(n);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let b = a.matvec(&x_true);
+        let mut x = vec![0.0; n];
+        let p = IdentityPrecond::new(n);
+        let rep = bicgstab(&a, &b, &mut x, &p, &CgOptions::with_tol(1e-12)).unwrap();
+        assert!(rep.converged, "{rep}");
+        assert!(vector::max_abs_diff(&x, &x_true) < 1e-8);
+    }
+
+    #[test]
+    fn preconditioned_is_not_worse() {
+        let n = 120;
+        let a = nonsym(n);
+        let b = vec![1.0; n];
+        let p0 = IdentityPrecond::new(n);
+        let pj = JacobiPrecond::new(&a).unwrap();
+        let mut x0 = vec![0.0; n];
+        let mut xj = vec![0.0; n];
+        let r0 = bicgstab(&a, &b, &mut x0, &p0, &CgOptions::default()).unwrap();
+        let rj = bicgstab(&a, &b, &mut xj, &pj, &CgOptions::default()).unwrap();
+        assert!(r0.converged && rj.converged);
+        assert!(rj.iterations <= r0.iterations + 5);
+    }
+
+    #[test]
+    fn zero_rhs_trivial() {
+        let a = nonsym(4);
+        let mut x = vec![0.0; 4];
+        let p = IdentityPrecond::new(4);
+        let rep = bicgstab(&a, &[0.0; 4], &mut x, &p, &CgOptions::default()).unwrap();
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn mismatch_errors() {
+        let a = nonsym(4);
+        let p = IdentityPrecond::new(4);
+        let mut x = vec![0.0; 4];
+        assert!(bicgstab(&a, &[1.0; 3], &mut x, &p, &CgOptions::default()).is_err());
+    }
+}

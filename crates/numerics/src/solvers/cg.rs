@@ -1,0 +1,312 @@
+//! (Preconditioned) conjugate gradient method.
+
+use super::precond::{IdentityPrecond, Preconditioner};
+use super::SolveReport;
+use crate::error::NumericsError;
+use crate::sparse::LinOp;
+use crate::vector;
+
+/// Options controlling the conjugate gradient iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Relative tolerance on `‖r‖₂ / ‖b‖₂`.
+    pub tol_rel: f64,
+    /// Absolute tolerance on `‖r‖₂` (guards the `b = 0` case).
+    pub tol_abs: f64,
+    /// Iteration cap; `0` means `10·n + 100`.
+    pub max_iter: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tol_rel: 1e-10,
+            tol_abs: 1e-30,
+            max_iter: 0,
+        }
+    }
+}
+
+impl CgOptions {
+    /// Options with a custom relative tolerance.
+    pub fn with_tol(tol_rel: f64) -> Self {
+        CgOptions {
+            tol_rel,
+            ..CgOptions::default()
+        }
+    }
+
+    fn cap(&self, n: usize) -> usize {
+        if self.max_iter == 0 {
+            10 * n + 100
+        } else {
+            self.max_iter
+        }
+    }
+}
+
+/// Solves the SPD system `A x = b` with plain conjugate gradients.
+///
+/// `x` holds the initial guess on entry (warm starting) and the solution on
+/// exit.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::Breakdown`] if the operator is detected to be
+/// non-SPD (`pᵀAp ≤ 0`) or produces non-finite values, and
+/// [`NumericsError::DimensionMismatch`] on inconsistent sizes. Hitting the
+/// iteration cap is *not* an error: the report has `converged == false`.
+pub fn cg<A: LinOp + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    options: &CgOptions,
+) -> Result<SolveReport, NumericsError> {
+    let id = IdentityPrecond::new(a.dim());
+    pcg(a, b, x, &id, options)
+}
+
+/// Solves the SPD system `A x = b` with preconditioned conjugate gradients.
+///
+/// `x` holds the initial guess on entry (warm starting) and the solution on
+/// exit. Convergence is declared when
+/// `‖r‖₂ ≤ max(tol_rel · ‖b‖₂, tol_abs)`.
+///
+/// # Errors
+///
+/// See [`cg`].
+pub fn pcg<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &P,
+    options: &CgOptions,
+) -> Result<SolveReport, NumericsError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: "pcg rhs",
+            expected: n,
+            found: b.len(),
+        });
+    }
+    if x.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: "pcg initial guess",
+            expected: n,
+            found: x.len(),
+        });
+    }
+    if precond.dim() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: "pcg preconditioner",
+            expected: n,
+            found: precond.dim(),
+        });
+    }
+    if n == 0 {
+        return Ok(SolveReport::trivial());
+    }
+
+    let norm_b = vector::norm2(b);
+    let target = (options.tol_rel * norm_b).max(options.tol_abs);
+
+    let mut r = vec![0.0; n];
+    a.apply(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let mut res_norm = vector::norm2(&r);
+    if res_norm <= target {
+        return Ok(SolveReport {
+            converged: true,
+            iterations: 0,
+            residual: res_norm,
+        });
+    }
+
+    let mut z = vec![0.0; n];
+    precond.apply(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = vector::dot(&r, &z);
+    let mut ap = vec![0.0; n];
+
+    let max_iter = options.cap(n);
+    for iter in 1..=max_iter {
+        a.apply(&p, &mut ap);
+        let pap = vector::dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            return Err(NumericsError::Breakdown {
+                solver: "pcg",
+                detail: "pᵀAp not positive: operator is not SPD",
+            });
+        }
+        let alpha = rz / pap;
+        vector::axpy(alpha, &p, x);
+        vector::axpy(-alpha, &ap, &mut r);
+        res_norm = vector::norm2(&r);
+        if !res_norm.is_finite() {
+            return Err(NumericsError::Breakdown {
+                solver: "pcg",
+                detail: "residual became non-finite",
+            });
+        }
+        if res_norm <= target {
+            return Ok(SolveReport {
+                converged: true,
+                iterations: iter,
+                residual: res_norm,
+            });
+        }
+        precond.apply(&r, &mut z);
+        let rz_new = vector::dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        vector::xpby(&z, beta, &mut p);
+    }
+
+    Ok(SolveReport {
+        converged: false,
+        iterations: max_iter,
+        residual: res_norm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::{IncompleteCholesky, JacobiPrecond, Ssor};
+    use crate::sparse::{Coo, Csr};
+
+    fn lap1d(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn check_solution(a: &Csr, b: &[f64], x: &[f64], tol: f64) {
+        let mut r = vec![0.0; b.len()];
+        a.residual(b, x, &mut r);
+        assert!(
+            vector::norm2(&r) <= tol * vector::norm2(b).max(1.0),
+            "residual too large: {}",
+            vector::norm2(&r)
+        );
+    }
+
+    #[test]
+    fn cg_solves_laplacian() {
+        let n = 50;
+        let a = lap1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let rep = cg(&a, &b, &mut x, &CgOptions::default()).unwrap();
+        assert!(rep.converged, "{rep}");
+        check_solution(&a, &b, &x, 1e-8);
+    }
+
+    #[test]
+    fn pcg_with_all_preconditioners() {
+        let n = 80;
+        let a = lap1d(n);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let opts = CgOptions::default();
+
+        let mut x = vec![0.0; n];
+        let jac = JacobiPrecond::new(&a).unwrap();
+        let r1 = pcg(&a, &b, &mut x, &jac, &opts).unwrap();
+        assert!(r1.converged);
+        check_solution(&a, &b, &x, 1e-8);
+
+        let mut x = vec![0.0; n];
+        let ic = IncompleteCholesky::new(&a).unwrap();
+        let r2 = pcg(&a, &b, &mut x, &ic, &opts).unwrap();
+        assert!(r2.converged);
+        check_solution(&a, &b, &x, 1e-8);
+        // IC(0) is exact Cholesky for a tridiagonal matrix: 1-2 iterations.
+        assert!(r2.iterations <= 2, "ic0 iterations: {}", r2.iterations);
+
+        let mut x = vec![0.0; n];
+        let ssor = Ssor::new(&a, 1.2).unwrap();
+        let r3 = pcg(&a, &b, &mut x, &ssor, &opts).unwrap();
+        assert!(r3.converged);
+        check_solution(&a, &b, &x, 1e-8);
+        // Preconditioning should beat plain CG in iteration count.
+        let mut x = vec![0.0; n];
+        let r0 = cg(&a, &b, &mut x, &opts).unwrap();
+        assert!(r2.iterations < r0.iterations);
+    }
+
+    #[test]
+    fn warm_start_converges_immediately() {
+        let n = 20;
+        let a = lap1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        cg(&a, &b, &mut x, &CgOptions::default()).unwrap();
+        let x_exact = x.clone();
+        let rep = cg(&a, &b, &mut x, &CgOptions::with_tol(1e-8)).unwrap();
+        assert!(rep.converged);
+        assert!(rep.iterations <= 1);
+        assert!(vector::max_abs_diff(&x, &x_exact) < 1e-8);
+    }
+
+    #[test]
+    fn zero_rhs_returns_immediately_with_zero_guess() {
+        let a = lap1d(5);
+        let b = vec![0.0; 5];
+        let mut x = vec![0.0; 5];
+        let rep = cg(&a, &b, &mut x, &CgOptions::default()).unwrap();
+        assert!(rep.converged);
+        assert_eq!(rep.iterations, 0);
+    }
+
+    #[test]
+    fn non_spd_is_detected() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, -1.0);
+        coo.push(1, 1, -1.0);
+        let a = Csr::from_coo(&coo);
+        let mut x = vec![0.0; 2];
+        let e = cg(&a, &[1.0, 1.0], &mut x, &CgOptions::default());
+        assert!(matches!(e, Err(NumericsError::Breakdown { .. })));
+    }
+
+    #[test]
+    fn iteration_cap_reports_not_converged() {
+        let n = 200;
+        let a = lap1d(n);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = CgOptions {
+            max_iter: 3,
+            ..CgOptions::default()
+        };
+        let rep = cg(&a, &b, &mut x, &opts).unwrap();
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 3);
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = lap1d(4);
+        let mut x = vec![0.0; 4];
+        assert!(cg(&a, &[1.0; 3], &mut x, &CgOptions::default()).is_err());
+        let mut x_bad = vec![0.0; 3];
+        assert!(cg(&a, &[1.0; 4], &mut x_bad, &CgOptions::default()).is_err());
+    }
+
+    #[test]
+    fn empty_system_is_trivial() {
+        let a = Csr::identity(0);
+        let mut x: Vec<f64> = vec![];
+        let rep = cg(&a, &[], &mut x, &CgOptions::default()).unwrap();
+        assert!(rep.converged);
+    }
+}

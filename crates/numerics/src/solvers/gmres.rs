@@ -1,0 +1,418 @@
+//! Restarted GMRES for general (non-symmetric) systems.
+//!
+//! The coupled FIT systems are SPD after Dirichlet elimination, so CG is the
+//! workhorse — but the electroquasistatic extension (paper §II-A: "a
+//! generalization to electroquasistatics is straightforward") and
+//! Newton-linearized radiation produce mildly non-symmetric operators, for
+//! which `gmres` is the robust choice alongside BiCGStab.
+
+use crate::error::NumericsError;
+use crate::solvers::{Preconditioner, SolveReport};
+use crate::sparse::LinOp;
+use crate::vector;
+
+/// Options for [`gmres`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmresOptions {
+    /// Relative residual tolerance `‖r‖/‖b‖`.
+    pub rel_tol: f64,
+    /// Absolute residual tolerance (used when `b = 0`).
+    pub abs_tol: f64,
+    /// Krylov subspace dimension before a restart.
+    pub restart: usize,
+    /// Maximum number of outer (restart) cycles.
+    pub max_restarts: usize,
+}
+
+impl Default for GmresOptions {
+    fn default() -> Self {
+        GmresOptions {
+            rel_tol: 1e-10,
+            abs_tol: 1e-14,
+            restart: 50,
+            max_restarts: 200,
+        }
+    }
+}
+
+/// Solves `A x = b` by restarted GMRES(m) with right preconditioning.
+///
+/// `x` holds the initial guess on entry and the solution on return. The
+/// residual reported is the true residual `‖b − A x‖₂` recomputed at exit.
+///
+/// # Errors
+///
+/// * [`NumericsError::DimensionMismatch`] if `b`/`x` do not match `a.dim()`.
+/// * [`NumericsError::InvalidArgument`] if `restart == 0`.
+/// * [`NumericsError::NotConverged`] if the tolerance is not met within
+///   `max_restarts` cycles (the best iterate found is left in `x`).
+///
+/// # Example
+///
+/// ```
+/// use etherm_numerics::sparse::{Coo, Csr};
+/// use etherm_numerics::solvers::{gmres, GmresOptions, IdentityPrecond};
+///
+/// # fn main() -> Result<(), etherm_numerics::NumericsError> {
+/// // Non-symmetric convection-diffusion-like tridiagonal system.
+/// let n = 32;
+/// let mut coo = Coo::new(n, n);
+/// for i in 0..n {
+///     coo.push(i, i, 2.5);
+///     if i + 1 < n {
+///         coo.push(i, i + 1, -1.5);
+///         coo.push(i + 1, i, -0.5);
+///     }
+/// }
+/// let a = Csr::from_coo(&coo);
+/// let b = vec![1.0; n];
+/// let mut x = vec![0.0; n];
+/// let report = gmres(&a, &b, &mut x, &IdentityPrecond::new(n), &GmresOptions::default())?;
+/// assert!(report.converged);
+/// # Ok(())
+/// # }
+/// ```
+pub fn gmres<A: LinOp, P: Preconditioner>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &P,
+    opts: &GmresOptions,
+) -> Result<SolveReport, NumericsError> {
+    let n = a.dim();
+    if b.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: "gmres rhs",
+            expected: n,
+            found: b.len(),
+        });
+    }
+    if x.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: "gmres solution",
+            expected: n,
+            found: x.len(),
+        });
+    }
+    if opts.restart == 0 {
+        return Err(NumericsError::InvalidArgument(
+            "gmres: restart dimension must be positive".into(),
+        ));
+    }
+    let m = opts.restart.min(n.max(1));
+    let b_norm = vector::norm2(b);
+    let target = (opts.rel_tol * b_norm).max(opts.abs_tol);
+
+    let mut total_iters = 0usize;
+    let mut r = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    // Krylov basis (m+1 vectors) and Hessenberg in column-major (m+1) x m.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+    let mut hess = vec![0.0; (m + 1) * m];
+    let mut cs = vec![0.0; m];
+    let mut sn = vec![0.0; m];
+    let mut g = vec![0.0; m + 1];
+
+    for _cycle in 0..opts.max_restarts {
+        // r = b − A x
+        a.apply(x, &mut r);
+        for i in 0..n {
+            r[i] = b[i] - r[i];
+        }
+        let beta = vector::norm2(&r);
+        if beta <= target {
+            return Ok(SolveReport {
+                converged: true,
+                iterations: total_iters,
+                residual: beta,
+            });
+        }
+        basis.clear();
+        let mut v0 = r.clone();
+        vector::scale(1.0 / beta, &mut v0);
+        basis.push(v0);
+        g.iter_mut().for_each(|v| *v = 0.0);
+        g[0] = beta;
+        hess.iter_mut().for_each(|v| *v = 0.0);
+
+        let mut k_used = 0usize;
+        let mut inner_converged = false;
+        for k in 0..m {
+            // w = A M⁻¹ v_k  (right preconditioning).
+            precond.apply(&basis[k], &mut z);
+            a.apply(&z, &mut w);
+            total_iters += 1;
+            // Modified Gram–Schmidt.
+            for j in 0..=k {
+                let h = vector::dot(&w, &basis[j]);
+                hess[j * m + k] = h;
+                vector::axpy(-h, &basis[j], &mut w);
+            }
+            let h_next = vector::norm2(&w);
+            hess[(k + 1) * m + k] = h_next;
+            // Apply accumulated Givens rotations to the new column.
+            for j in 0..k {
+                let temp = cs[j] * hess[j * m + k] + sn[j] * hess[(j + 1) * m + k];
+                hess[(j + 1) * m + k] = -sn[j] * hess[j * m + k] + cs[j] * hess[(j + 1) * m + k];
+                hess[j * m + k] = temp;
+            }
+            // New rotation annihilating h_{k+1,k}.
+            let (c, s) = givens(hess[k * m + k], hess[(k + 1) * m + k]);
+            cs[k] = c;
+            sn[k] = s;
+            hess[k * m + k] = c * hess[k * m + k] + s * hess[(k + 1) * m + k];
+            hess[(k + 1) * m + k] = 0.0;
+            g[k + 1] = -s * g[k];
+            g[k] *= c;
+            k_used = k + 1;
+            let res_est = g[k + 1].abs();
+            if res_est <= target || h_next == 0.0 {
+                inner_converged = true;
+                break;
+            }
+            let mut v_next = w.clone();
+            vector::scale(1.0 / h_next, &mut v_next);
+            basis.push(v_next);
+        }
+
+        // Back-substitute y from the triangularized Hessenberg, then
+        // x += M⁻¹ (V_k y).
+        let mut y = vec![0.0; k_used];
+        for i in (0..k_used).rev() {
+            let mut sum = g[i];
+            for j in (i + 1)..k_used {
+                sum -= hess[i * m + j] * y[j];
+            }
+            let diag = hess[i * m + i];
+            if diag == 0.0 {
+                return Err(NumericsError::Breakdown {
+                    solver: "gmres",
+                    detail: "singular Hessenberg diagonal",
+                });
+            }
+            y[i] = sum / diag;
+        }
+        let mut update = vec![0.0; n];
+        for (j, yj) in y.iter().enumerate() {
+            vector::axpy(*yj, &basis[j], &mut update);
+        }
+        precond.apply(&update, &mut z);
+        for i in 0..n {
+            x[i] += z[i];
+        }
+
+        if inner_converged {
+            a.apply(x, &mut r);
+            for i in 0..n {
+                r[i] = b[i] - r[i];
+            }
+            let res = vector::norm2(&r);
+            if res <= target * 10.0 {
+                return Ok(SolveReport {
+                    converged: true,
+                    iterations: total_iters,
+                    residual: res,
+                });
+            }
+        }
+    }
+
+    a.apply(x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    Err(NumericsError::NotConverged {
+        solver: "gmres",
+        iterations: total_iters,
+        residual: vector::norm2(&r),
+    })
+}
+
+/// Stable Givens rotation coefficients `(c, s)` zeroing `b` in `[a; b]`.
+fn givens(a: f64, b: f64) -> (f64, f64) {
+    if b == 0.0 {
+        (1.0, 0.0)
+    } else if a.abs() < b.abs() {
+        let t = a / b;
+        let s = 1.0 / (1.0 + t * t).sqrt();
+        (s * t, s)
+    } else {
+        let t = b / a;
+        let c = 1.0 / (1.0 + t * t).sqrt();
+        (c, c * t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::{IdentityPrecond, JacobiPrecond};
+    use crate::sparse::{Coo, Csr};
+
+    fn convection_diffusion(n: usize, peclet: f64) -> Csr {
+        // -u'' + p u' on a 1D grid: non-symmetric tridiagonal.
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0 + 0.5 * peclet);
+                coo.push(i + 1, i, -1.0 - 0.5 * peclet);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn solves_identity_trivially() {
+        let mut coo = Coo::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 1.0);
+        }
+        let a = Csr::from_coo(&coo);
+        let b = [3.0, -1.0, 2.0];
+        let mut x = [0.0; 3];
+        let r = gmres(&a, &b, &mut x, &IdentityPrecond::new(3), &GmresOptions::default()).unwrap();
+        assert!(r.converged);
+        for i in 0..3 {
+            assert!((x[i] - b[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solves_nonsymmetric_system() {
+        let n = 64;
+        let a = convection_diffusion(n, 0.8);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.apply(&x_true, &mut b);
+        let mut x = vec![0.0; n];
+        let r = gmres(&a, &b, &mut x, &IdentityPrecond::new(n), &GmresOptions::default()).unwrap();
+        assert!(r.converged, "{r}");
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-7, "i={i}");
+        }
+    }
+
+    #[test]
+    fn restart_smaller_than_dimension_still_converges() {
+        let n = 80;
+        let a = convection_diffusion(n, 0.4);
+        let b = vec![1.0; n];
+        let mut x = vec![0.0; n];
+        let opts = GmresOptions {
+            restart: 10,
+            max_restarts: 500,
+            ..GmresOptions::default()
+        };
+        let r = gmres(&a, &b, &mut x, &IdentityPrecond::new(n), &opts).unwrap();
+        assert!(r.converged);
+        // Check the true residual independently.
+        let mut ax = vec![0.0; n];
+        a.apply(&x, &mut ax);
+        let res: f64 = ax
+            .iter()
+            .zip(&b)
+            .map(|(ai, bi)| (bi - ai) * (bi - ai))
+            .sum::<f64>()
+            .sqrt();
+        assert!(res < 1e-8, "true residual {res}");
+    }
+
+    #[test]
+    fn jacobi_preconditioning_reduces_iterations() {
+        let n = 128;
+        // Badly scaled diagonal.
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            let s = 1.0 + (i % 7) as f64 * 100.0;
+            coo.push(i, i, 2.0 * s);
+            if i + 1 < n {
+                coo.push(i, i + 1, -0.9 * s);
+                coo.push(i + 1, i, -1.1 * s);
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        let b = vec![1.0; n];
+        let opts = GmresOptions {
+            restart: 20,
+            ..GmresOptions::default()
+        };
+        let mut x0 = vec![0.0; n];
+        let plain = gmres(&a, &b, &mut x0, &IdentityPrecond::new(n), &opts).unwrap();
+        let jac = JacobiPrecond::new(&a).unwrap();
+        let mut x1 = vec![0.0; n];
+        let pre = gmres(&a, &b, &mut x1, &jac, &opts).unwrap();
+        assert!(pre.converged && plain.converged);
+        assert!(
+            pre.iterations <= plain.iterations,
+            "jacobi {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn agrees_with_spd_reference() {
+        // On an SPD matrix GMRES must match the CG answer.
+        let n = 40;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 4.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut xg = vec![0.0; n];
+        gmres(&a, &b, &mut xg, &IdentityPrecond::new(n), &GmresOptions::default()).unwrap();
+        let mut xc = vec![0.0; n];
+        crate::solvers::cg(&a, &b, &mut xc, &crate::solvers::CgOptions::default()).unwrap();
+        for i in 0..n {
+            assert!((xg[i] - xc[i]).abs() < 1e-7, "i={i}");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let a = Csr::from_coo(&coo);
+        let mut x = [0.0; 2];
+        assert!(matches!(
+            gmres(&a, &[1.0], &mut x, &IdentityPrecond::new(2), &GmresOptions::default()),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        let mut x1 = [0.0; 1];
+        assert!(gmres(
+            &a,
+            &[1.0, 1.0],
+            &mut x1,
+            &IdentityPrecond::new(2),
+            &GmresOptions::default()
+        )
+        .is_err());
+        let opts = GmresOptions {
+            restart: 0,
+            ..GmresOptions::default()
+        };
+        let mut x2 = [0.0; 2];
+        assert!(gmres(&a, &[1.0, 1.0], &mut x2, &IdentityPrecond::new(2), &opts).is_err());
+    }
+
+    #[test]
+    fn warm_start_converges_immediately() {
+        let n = 16;
+        let a = convection_diffusion(n, 0.3);
+        let b = vec![2.0; n];
+        let mut x = vec![0.0; n];
+        gmres(&a, &b, &mut x, &IdentityPrecond::new(n), &GmresOptions::default()).unwrap();
+        let mut x2 = x.clone();
+        let r = gmres(&a, &b, &mut x2, &IdentityPrecond::new(n), &GmresOptions::default()).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0, "warm start should need no iterations");
+    }
+}

@@ -1,0 +1,78 @@
+//! Linear solvers: preconditioned Krylov methods and a tridiagonal direct
+//! solver.
+//!
+//! All discretized FIT systems in this project are symmetric positive
+//! definite after Dirichlet elimination (Laplacian + diagonal Robin terms +
+//! symmetric two-terminal wire stamps), so preconditioned conjugate gradients
+//! ([`pcg`]) is the workhorse. [`bicgstab`] is provided for general
+//! (non-symmetric) systems and for cross-checks, [`solve_tridiagonal`] for
+//! the 1D analytic wire chains.
+
+mod bicgstab;
+mod cg;
+mod gmres;
+mod precond;
+mod skyline;
+mod tridiag;
+
+pub use bicgstab::bicgstab;
+pub use cg::{cg, pcg, CgOptions};
+pub use gmres::{gmres, GmresOptions};
+pub use precond::{IdentityPrecond, IncompleteCholesky, JacobiPrecond, Preconditioner, Ssor};
+pub use skyline::SkylineCholesky;
+pub use tridiag::solve_tridiagonal;
+
+/// Outcome of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveReport {
+    /// Whether the requested tolerance was reached.
+    pub converged: bool,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final true residual norm `‖b − A x‖₂`.
+    pub residual: f64,
+}
+
+impl SolveReport {
+    /// A zero-iteration report for trivially satisfied systems.
+    pub fn trivial() -> Self {
+        SolveReport {
+            converged: true,
+            iterations: 0,
+            residual: 0.0,
+        }
+    }
+}
+
+impl std::fmt::Display for SolveReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} in {} iterations (residual {:.3e})",
+            if self.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
+            self.iterations,
+            self.residual
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_display() {
+        let r = SolveReport {
+            converged: true,
+            iterations: 7,
+            residual: 1e-11,
+        };
+        let s = r.to_string();
+        assert!(s.contains("converged") && s.contains('7'));
+        assert!(SolveReport::trivial().converged);
+    }
+}

@@ -1,0 +1,443 @@
+//! Preconditioners for the Krylov solvers.
+
+use crate::error::NumericsError;
+use crate::sparse::Csr;
+
+/// Application of an (approximate) inverse: `z ← M⁻¹ r`.
+pub trait Preconditioner {
+    /// Dimension of the preconditioner.
+    fn dim(&self) -> usize;
+
+    /// Applies the preconditioner: `z ← M⁻¹ r`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if slice lengths differ from [`Preconditioner::dim`].
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+}
+
+/// The identity preconditioner (plain CG).
+#[derive(Debug, Clone, Copy)]
+pub struct IdentityPrecond {
+    n: usize,
+}
+
+impl IdentityPrecond {
+    /// Identity preconditioner of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        IdentityPrecond { n }
+    }
+}
+
+impl Preconditioner for IdentityPrecond {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Jacobi (diagonal) preconditioner `M = diag(A)`.
+#[derive(Debug, Clone)]
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Builds the Jacobi preconditioner from the diagonal of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::FactorizationFailed`] if any diagonal entry
+    /// is zero or not finite.
+    pub fn new(a: &Csr) -> Result<Self, NumericsError> {
+        let diag = a.diag();
+        let mut inv_diag = Vec::with_capacity(diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            if d == 0.0 || !d.is_finite() {
+                return Err(NumericsError::FactorizationFailed {
+                    kind: "jacobi",
+                    index: i,
+                });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(JacobiPrecond { inv_diag })
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn dim(&self) -> usize {
+        self.inv_diag.len()
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for i in 0..r.len() {
+            z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+}
+
+/// Zero-fill incomplete Cholesky factorization IC(0).
+///
+/// Computes a lower-triangular `L` with the sparsity pattern of the lower
+/// triangle of `A` such that `L Lᵀ ≈ A`, and applies `M⁻¹ = L⁻ᵀ L⁻¹`.
+/// If the factorization breaks down (matrix only weakly diagonally
+/// dominant), it is retried with a diagonal shift `A + α·diag(A)` with
+/// geometrically increasing `α` — the standard Manteuffel remedy.
+#[derive(Debug, Clone)]
+pub struct IncompleteCholesky {
+    n: usize,
+    /// CSR arrays of L, lower triangle including the diagonal (sorted cols).
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+    /// Shift that was actually used (0.0 when none was needed).
+    shift: f64,
+}
+
+impl IncompleteCholesky {
+    /// Factorizes the lower triangle of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::FactorizationFailed`] if the factorization
+    /// breaks down even with the largest diagonal shift attempted, or if `a`
+    /// is not square / lacks a positive diagonal.
+    pub fn new(a: &Csr) -> Result<Self, NumericsError> {
+        const SHIFTS: [f64; 6] = [0.0, 1e-3, 1e-2, 1e-1, 0.5, 2.0];
+        let mut last = Err(NumericsError::FactorizationFailed {
+            kind: "ic0",
+            index: 0,
+        });
+        for &s in &SHIFTS {
+            match Self::with_shift(a, s) {
+                Ok(f) => return Ok(f),
+                Err(e) => last = Err(e),
+            }
+        }
+        last
+    }
+
+    /// Factorizes `A + shift·diag(A)` with the IC(0) pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::FactorizationFailed`] on a non-positive pivot.
+    pub fn with_shift(a: &Csr, shift: f64) -> Result<Self, NumericsError> {
+        if a.n_rows() != a.n_cols() {
+            return Err(NumericsError::InvalidArgument(
+                "ic0: matrix must be square".into(),
+            ));
+        }
+        let n = a.n_rows();
+        // Extract lower triangle (cols ≤ row), pattern sorted by construction.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        let mut diag_pos = vec![usize::MAX; n];
+        row_ptr.push(0);
+        for i in 0..n {
+            let (cols, vals) = a.row(i);
+            let mut has_diag = false;
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j > i {
+                    break;
+                }
+                if j == i {
+                    diag_pos[i] = col_idx.len();
+                    values.push(v * (1.0 + shift));
+                    has_diag = true;
+                } else {
+                    values.push(v);
+                }
+                col_idx.push(j);
+            }
+            if !has_diag {
+                return Err(NumericsError::FactorizationFailed {
+                    kind: "ic0",
+                    index: i,
+                });
+            }
+            row_ptr.push(col_idx.len());
+        }
+        // In-place IK-variant IC(0):
+        // for each row i, for each k < i in pattern:
+        //   L[i,k] = (A[i,k] − Σ_{j<k} L[i,j]·L[k,j]) / L[k,k]
+        // L[i,i] = sqrt(A[i,i] − Σ_{j<i} L[i,j]²)
+        for i in 0..n {
+            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+            for kk in lo..hi {
+                let k = col_idx[kk];
+                if k == i {
+                    // Diagonal entry.
+                    let mut s = values[kk];
+                    for jj in lo..kk {
+                        s -= values[jj] * values[jj];
+                    }
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(NumericsError::FactorizationFailed {
+                            kind: "ic0",
+                            index: i,
+                        });
+                    }
+                    values[kk] = s.sqrt();
+                } else {
+                    // Off-diagonal: sparse dot of row i and row k (both < k part).
+                    let mut s = values[kk];
+                    let (klo, khi) = (row_ptr[k], row_ptr[k + 1]);
+                    let mut p = lo;
+                    let mut q = klo;
+                    while p < kk && q < khi {
+                        let cp = col_idx[p];
+                        let cq = col_idx[q];
+                        if cq >= k {
+                            break;
+                        }
+                        match cp.cmp(&cq) {
+                            std::cmp::Ordering::Less => p += 1,
+                            std::cmp::Ordering::Greater => q += 1,
+                            std::cmp::Ordering::Equal => {
+                                s -= values[p] * values[q];
+                                p += 1;
+                                q += 1;
+                            }
+                        }
+                    }
+                    let dkk = values[diag_pos[k]];
+                    values[kk] = s / dkk;
+                }
+            }
+        }
+        Ok(IncompleteCholesky {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+            shift,
+        })
+    }
+
+    /// Diagonal shift that was applied (0.0 if the plain factorization
+    /// succeeded).
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+}
+
+impl Preconditioner for IncompleteCholesky {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let n = self.n;
+        debug_assert_eq!(r.len(), n);
+        debug_assert_eq!(z.len(), n);
+        // Forward solve L w = r (w stored in z).
+        for i in 0..n {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let mut s = r[i];
+            for k in lo..hi - 1 {
+                s -= self.values[k] * z[self.col_idx[k]];
+            }
+            z[i] = s / self.values[hi - 1]; // diagonal is last in the row
+        }
+        // Backward solve Lᵀ z = w, scattering updates column-wise.
+        for i in (0..n).rev() {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let zi = z[i] / self.values[hi - 1];
+            z[i] = zi;
+            for k in lo..hi - 1 {
+                z[self.col_idx[k]] -= self.values[k] * zi;
+            }
+        }
+    }
+}
+
+/// Symmetric successive over-relaxation preconditioner.
+///
+/// `M = ω/(2−ω) · (D/ω + L) D⁻¹ (D/ω + U)` applied via one forward and one
+/// backward triangular sweep over the CSR rows of `A` (which is borrowed, so
+/// SSOR costs no extra memory beyond the inverse diagonal).
+#[derive(Debug, Clone)]
+pub struct Ssor<'a> {
+    a: &'a Csr,
+    inv_diag: Vec<f64>,
+    omega: f64,
+}
+
+impl<'a> Ssor<'a> {
+    /// Builds an SSOR preconditioner with relaxation factor `omega ∈ (0, 2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] for `omega` outside `(0,2)`
+    /// and [`NumericsError::FactorizationFailed`] for zero diagonal entries.
+    pub fn new(a: &'a Csr, omega: f64) -> Result<Self, NumericsError> {
+        if !(0.0..2.0).contains(&omega) || omega == 0.0 {
+            return Err(NumericsError::InvalidArgument(format!(
+                "ssor: omega must be in (0, 2), got {omega}"
+            )));
+        }
+        let diag = a.diag();
+        let mut inv_diag = Vec::with_capacity(diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            if d == 0.0 || !d.is_finite() {
+                return Err(NumericsError::FactorizationFailed {
+                    kind: "ssor",
+                    index: i,
+                });
+            }
+            inv_diag.push(1.0 / d);
+        }
+        Ok(Ssor {
+            a,
+            inv_diag,
+            omega,
+        })
+    }
+}
+
+impl<'a> Preconditioner for Ssor<'a> {
+    fn dim(&self) -> usize {
+        self.a.n_rows()
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        // M⁻¹ = (2−ω)/ω · (D/ω + U)⁻¹ · D · (D/ω + L)⁻¹
+        let n = self.a.n_rows();
+        let w = self.omega;
+        // Forward sweep: t = (D/ω + L)⁻¹ r, stored in z.
+        for i in 0..n {
+            let (cols, vals) = self.a.row(i);
+            let mut s = r[i];
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j < i {
+                    s -= v * z[j];
+                }
+            }
+            z[i] = s * self.inv_diag[i] * w;
+        }
+        // Scale: u = D t.
+        for i in 0..n {
+            z[i] /= self.inv_diag[i];
+        }
+        // Backward sweep: z = (D/ω + U)⁻¹ u.
+        for i in (0..n).rev() {
+            let (cols, vals) = self.a.row(i);
+            let mut s = z[i];
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j > i {
+                    s -= v * z[j];
+                }
+            }
+            z[i] = s * self.inv_diag[i] * w;
+        }
+        let scale = (2.0 - w) / w;
+        for zi in z.iter_mut() {
+            *zi *= scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Coo;
+
+    fn lap1d(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn jacobi_inverts_diagonal() {
+        let a = lap1d(4);
+        let p = JacobiPrecond::new(&a).unwrap();
+        let mut z = [0.0; 4];
+        p.apply(&[2.0, 4.0, 6.0, 8.0], &mut z);
+        assert_eq!(z, [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(p.dim(), 4);
+    }
+
+    #[test]
+    fn jacobi_rejects_zero_diag() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = Csr::from_coo(&coo);
+        assert!(JacobiPrecond::new(&a).is_err());
+    }
+
+    #[test]
+    fn ic0_is_exact_for_tridiagonal() {
+        // For tridiagonal SPD matrices IC(0) = complete Cholesky, so
+        // M⁻¹ r must equal A⁻¹ r exactly.
+        let a = lap1d(6);
+        let f = IncompleteCholesky::new(&a).unwrap();
+        assert_eq!(f.shift(), 0.0);
+        let b = [1.0, -1.0, 2.0, 0.0, 1.0, 3.0];
+        let mut z = [0.0; 6];
+        f.apply(&b, &mut z);
+        let x = a.to_dense().solve(&b).unwrap();
+        for i in 0..6 {
+            assert!((z[i] - x[i]).abs() < 1e-12, "{z:?} vs {x:?}");
+        }
+    }
+
+    #[test]
+    fn ic0_requires_diagonal() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let a = Csr::from_coo(&coo);
+        assert!(IncompleteCholesky::with_shift(&a, 0.0).is_err());
+    }
+
+    #[test]
+    fn identity_copies() {
+        let p = IdentityPrecond::new(3);
+        let mut z = [0.0; 3];
+        p.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, [1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+    }
+
+    #[test]
+    fn ssor_validates_omega() {
+        let a = lap1d(3);
+        assert!(Ssor::new(&a, 0.0).is_err());
+        assert!(Ssor::new(&a, 2.0).is_err());
+        assert!(Ssor::new(&a, 1.0).is_ok());
+    }
+
+    #[test]
+    fn ssor_apply_is_spd_like() {
+        // M⁻¹ should be symmetric positive definite; check zᵀr > 0 for
+        // a few directions (necessary condition) and symmetry via dot
+        // products: r1ᵀ M⁻¹ r2 == r2ᵀ M⁻¹ r1.
+        let a = lap1d(5);
+        let p = Ssor::new(&a, 1.3).unwrap();
+        let r1 = [1.0, 0.0, -2.0, 0.5, 1.0];
+        let r2 = [0.0, 1.0, 1.0, -1.0, 2.0];
+        let mut z1 = [0.0; 5];
+        let mut z2 = [0.0; 5];
+        p.apply(&r1, &mut z1);
+        p.apply(&r2, &mut z2);
+        let d11 = crate::vector::dot(&r1, &z1);
+        assert!(d11 > 0.0);
+        let d12 = crate::vector::dot(&r1, &z2);
+        let d21 = crate::vector::dot(&r2, &z1);
+        assert!((d12 - d21).abs() < 1e-10 * d12.abs().max(1.0), "{d12} {d21}");
+    }
+}

@@ -1,0 +1,276 @@
+//! Skyline (envelope) Cholesky — a sparse direct solver for SPD systems.
+//!
+//! Stores, per row, the contiguous span from the first nonzero column to
+//! the diagonal ("the skyline"); Cholesky factors fill in only inside the
+//! envelope, so no symbolic analysis is required. For the FIT grids the
+//! envelope is `O(n·nx·ny)`, which makes this the method of choice for
+//! *small* systems (reference solutions, wire chains, coarse models) and a
+//! deterministic fallback when an iterative solve is not wanted.
+
+use crate::error::NumericsError;
+use crate::sparse::Csr;
+
+/// Skyline Cholesky factorization `A = L Lᵀ` of an SPD matrix.
+///
+/// # Example
+///
+/// ```
+/// use etherm_numerics::sparse::{Coo, Csr};
+/// use etherm_numerics::solvers::SkylineCholesky;
+///
+/// let mut coo = Coo::new(3, 3);
+/// for i in 0..3 {
+///     coo.push(i, i, 2.0);
+/// }
+/// coo.push(0, 1, -1.0);
+/// coo.push(1, 0, -1.0);
+/// coo.push(1, 2, -1.0);
+/// coo.push(2, 1, -1.0);
+/// let a = Csr::from_coo(&coo);
+/// let f = SkylineCholesky::factor(&a).unwrap();
+/// let x = f.solve(&[1.0, 0.0, 1.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkylineCholesky {
+    n: usize,
+    /// First (leftmost) column of each row's envelope.
+    first: Vec<usize>,
+    /// Offset of each row's packed storage in `vals`.
+    row_start: Vec<usize>,
+    /// Packed rows `first[i] ..= i`.
+    vals: Vec<f64>,
+}
+
+impl SkylineCholesky {
+    /// Factorizes the lower triangle of `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] for non-square input and
+    /// [`NumericsError::FactorizationFailed`] when a pivot is non-positive
+    /// (matrix not SPD).
+    pub fn factor(a: &Csr) -> Result<Self, NumericsError> {
+        if a.n_rows() != a.n_cols() {
+            return Err(NumericsError::InvalidArgument(
+                "skyline: matrix must be square".into(),
+            ));
+        }
+        let n = a.n_rows();
+        // Envelope: first nonzero column per row (capped at the diagonal).
+        let mut first = vec![0usize; n];
+        for i in 0..n {
+            let (cols, _) = a.row(i);
+            first[i] = cols.first().map_or(i, |&c| c.min(i));
+        }
+        // Packed layout.
+        let mut row_start = vec![0usize; n + 1];
+        for i in 0..n {
+            row_start[i + 1] = row_start[i] + (i - first[i] + 1);
+        }
+        let mut vals = vec![0.0f64; row_start[n]];
+        // Scatter A's lower triangle into the envelope.
+        for i in 0..n {
+            let (cols, a_vals) = a.row(i);
+            for (&j, &v) in cols.iter().zip(a_vals) {
+                if j > i {
+                    break;
+                }
+                vals[row_start[i] + (j - first[i])] = v;
+            }
+        }
+        // Row-oriented factorization. `at(i, j)` indexes the packed rows.
+        for i in 0..n {
+            let fi = first[i];
+            for j in fi..i {
+                // L[i][j] = (A[i][j] − Σ L[i][k]·L[j][k]) / L[j][j]
+                let fj = first[j];
+                let k0 = fi.max(fj);
+                let mut s = vals[row_start[i] + (j - fi)];
+                for k in k0..j {
+                    s -= vals[row_start[i] + (k - fi)] * vals[row_start[j] + (k - fj)];
+                }
+                let djj = vals[row_start[j] + (j - fj)];
+                vals[row_start[i] + (j - fi)] = s / djj;
+            }
+            // Diagonal.
+            let mut s = vals[row_start[i] + (i - fi)];
+            for k in fi..i {
+                let l = vals[row_start[i] + (k - fi)];
+                s -= l * l;
+            }
+            if s <= 0.0 || !s.is_finite() {
+                return Err(NumericsError::FactorizationFailed {
+                    kind: "skyline-cholesky",
+                    index: i,
+                });
+            }
+            vals[row_start[i] + (i - fi)] = s.sqrt();
+        }
+        Ok(SkylineCholesky {
+            n,
+            first,
+            row_start,
+            vals,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (envelope) entries.
+    pub fn envelope_size(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "skyline solve: length mismatch");
+        let mut x = b.to_vec();
+        // Forward: L y = b.
+        for i in 0..self.n {
+            let fi = self.first[i];
+            let mut s = x[i];
+            for k in fi..i {
+                s -= self.vals[self.row_start[i] + (k - fi)] * x[k];
+            }
+            x[i] = s / self.vals[self.row_start[i] + (i - fi)];
+        }
+        // Backward: Lᵀ x = y (column sweep over rows below).
+        for i in (0..self.n).rev() {
+            let fi = self.first[i];
+            let xi = x[i] / self.vals[self.row_start[i] + (i - fi)];
+            x[i] = xi;
+            for k in fi..i {
+                x[k] -= self.vals[self.row_start[i] + (k - fi)] * xi;
+            }
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::Coo;
+
+    fn lap1d(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 2.0);
+            if i + 1 < n {
+                coo.push(i, i + 1, -1.0);
+                coo.push(i + 1, i, -1.0);
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn solves_tridiagonal_exactly() {
+        let n = 40;
+        let a = lap1d(n);
+        let f = SkylineCholesky::factor(&a).unwrap();
+        assert_eq!(f.dim(), n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+        let b = a.matvec(&x_true);
+        let x = f.solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_true[i]).abs() < 1e-10, "{i}: {} vs {}", x[i], x_true[i]);
+        }
+        // Envelope of a tridiagonal matrix: 2n − 1 entries.
+        assert_eq!(f.envelope_size(), 2 * n - 1);
+    }
+
+    #[test]
+    fn matches_dense_cholesky_with_fill_in() {
+        // Arrow-ish SPD matrix: dense first column → full envelope rows.
+        let n = 8;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 10.0 + i as f64);
+            if i > 0 {
+                coo.push(i, 0, 1.0);
+                coo.push(0, i, 1.0);
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        let f = SkylineCholesky::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        let x = f.solve(&b);
+        let x_ref = a.to_dense().cholesky().unwrap().solve(&b);
+        for i in 0..n {
+            assert!((x[i] - x_ref[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, -1.0);
+        let a = Csr::from_coo(&coo);
+        assert!(matches!(
+            SkylineCholesky::factor(&a),
+            Err(NumericsError::FactorizationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let coo = Coo::new(2, 3);
+        let a = Csr::from_coo(&coo);
+        assert!(SkylineCholesky::factor(&a).is_err());
+    }
+
+    #[test]
+    fn solves_3d_fit_like_system() {
+        // 7-point stencil on a 4×4×3 grid with Dirichlet-like diagonal shift.
+        let (nx, ny, nz) = (4usize, 4, 3);
+        let n = nx * ny * nz;
+        let idx = |i: usize, j: usize, k: usize| i + nx * (j + ny * k);
+        let mut coo = Coo::new(n, n);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let c = idx(i, j, k);
+                    coo.push(c, c, 6.5);
+                    let mut link = |other: usize| {
+                        coo.push(c, other, -1.0);
+                    };
+                    if i > 0 {
+                        link(idx(i - 1, j, k));
+                    }
+                    if i + 1 < nx {
+                        link(idx(i + 1, j, k));
+                    }
+                    if j > 0 {
+                        link(idx(i, j - 1, k));
+                    }
+                    if j + 1 < ny {
+                        link(idx(i, j + 1, k));
+                    }
+                    if k > 0 {
+                        link(idx(i, j, k - 1));
+                    }
+                    if k + 1 < nz {
+                        link(idx(i, j, k + 1));
+                    }
+                }
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        let f = SkylineCholesky::factor(&a).unwrap();
+        let b = vec![1.0; n];
+        let x = f.solve(&b);
+        let mut r = vec![0.0; n];
+        a.residual(&b, &x, &mut r);
+        assert!(crate::vector::norm2(&r) < 1e-10);
+    }
+}

@@ -1,0 +1,152 @@
+//! Thomas algorithm for tridiagonal systems.
+
+use crate::error::NumericsError;
+
+/// Solves the tridiagonal system with sub-diagonal `lower`, diagonal `diag`
+/// and super-diagonal `upper` using the Thomas algorithm.
+///
+/// `lower.len()` and `upper.len()` must equal `diag.len() − 1`. The system is
+/// overwritten nowhere; a fresh solution vector is returned. Used by the 1D
+/// analytic bonding-wire (fin) baseline where the discretized wire is a chain
+/// of lumped segments.
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] for inconsistent lengths and
+/// [`NumericsError::FactorizationFailed`] if a pivot vanishes (the Thomas
+/// algorithm assumes diagonal dominance or positive definiteness).
+///
+/// # Example
+///
+/// ```
+/// use etherm_numerics::solvers::solve_tridiagonal;
+///
+/// // [2 -1 0; -1 2 -1; 0 -1 2] x = [1, 0, 1] → x = [1, 1, 1]
+/// let x = solve_tridiagonal(&[-1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0], &[1.0, 0.0, 1.0])
+///     .unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-14);
+/// assert!((x[1] - 1.0).abs() < 1e-14);
+/// ```
+pub fn solve_tridiagonal(
+    lower: &[f64],
+    diag: &[f64],
+    upper: &[f64],
+    rhs: &[f64],
+) -> Result<Vec<f64>, NumericsError> {
+    let n = diag.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if lower.len() != n - 1 {
+        return Err(NumericsError::DimensionMismatch {
+            context: "tridiagonal lower band",
+            expected: n - 1,
+            found: lower.len(),
+        });
+    }
+    if upper.len() != n - 1 {
+        return Err(NumericsError::DimensionMismatch {
+            context: "tridiagonal upper band",
+            expected: n - 1,
+            found: upper.len(),
+        });
+    }
+    if rhs.len() != n {
+        return Err(NumericsError::DimensionMismatch {
+            context: "tridiagonal rhs",
+            expected: n,
+            found: rhs.len(),
+        });
+    }
+
+    let mut c = vec![0.0; n.saturating_sub(1)]; // scratch super-diagonal
+    let mut d = vec![0.0; n];
+
+    let mut pivot = diag[0];
+    if pivot == 0.0 || !pivot.is_finite() {
+        return Err(NumericsError::FactorizationFailed {
+            kind: "thomas",
+            index: 0,
+        });
+    }
+    if n > 1 {
+        c[0] = upper[0] / pivot;
+    }
+    d[0] = rhs[0] / pivot;
+    for i in 1..n {
+        pivot = diag[i] - lower[i - 1] * c[i - 1];
+        if pivot == 0.0 || !pivot.is_finite() {
+            return Err(NumericsError::FactorizationFailed {
+                kind: "thomas",
+                index: i,
+            });
+        }
+        if i < n - 1 {
+            c[i] = upper[i] / pivot;
+        }
+        d[i] = (rhs[i] - lower[i - 1] * d[i - 1]) / pivot;
+    }
+    // Back substitution.
+    let mut x = d;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= c[i] * next;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseMatrix;
+
+    #[test]
+    fn matches_dense_solve() {
+        let lower = [-1.0, -2.0, 0.5];
+        let diag = [4.0, 5.0, 6.0, 3.0];
+        let upper = [1.0, -1.0, 2.0];
+        let rhs = [1.0, 2.0, 3.0, 4.0];
+        let x = solve_tridiagonal(&lower, &diag, &upper, &rhs).unwrap();
+
+        let mut a = DenseMatrix::zeros(4, 4);
+        for i in 0..4 {
+            a[(i, i)] = diag[i];
+        }
+        for i in 0..3 {
+            a[(i, i + 1)] = upper[i];
+            a[(i + 1, i)] = lower[i];
+        }
+        let xd = a.solve(&rhs).unwrap();
+        for i in 0..4 {
+            assert!((x[i] - xd[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_unknown() {
+        let x = solve_tridiagonal(&[], &[5.0], &[], &[10.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn empty_system() {
+        let x = solve_tridiagonal(&[], &[], &[], &[]).unwrap();
+        assert!(x.is_empty());
+    }
+
+    #[test]
+    fn zero_pivot_detected() {
+        let e = solve_tridiagonal(&[1.0], &[0.0, 1.0], &[1.0], &[1.0, 1.0]);
+        assert!(matches!(
+            e,
+            Err(NumericsError::FactorizationFailed { kind: "thomas", .. })
+        ));
+    }
+
+    #[test]
+    fn length_validation() {
+        assert!(solve_tridiagonal(&[1.0], &[1.0, 1.0], &[], &[1.0, 1.0]).is_err());
+        assert!(solve_tridiagonal(&[], &[1.0, 1.0], &[1.0], &[1.0]).is_err());
+        assert!(solve_tridiagonal(&[1.0], &[1.0, 1.0], &[1.0], &[1.0]).is_err());
+    }
+}

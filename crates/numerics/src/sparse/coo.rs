@@ -1,0 +1,215 @@
+//! Coordinate (triplet) format used during matrix assembly.
+
+/// A sparse matrix in coordinate (COO/triplet) format.
+///
+/// Duplicate entries are allowed and are summed when compressing to CSR,
+/// which is exactly the semantics of finite-integration "stamping": every
+/// edge/boundary/wire contribution pushes its triplets independently.
+///
+/// # Example
+///
+/// ```
+/// use etherm_numerics::sparse::{Coo, Csr};
+///
+/// let mut coo = Coo::new(2, 2);
+/// coo.push(0, 0, 1.0);
+/// coo.push(0, 0, 2.0); // duplicates accumulate
+/// let csr = Csr::from_coo(&coo);
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Coo {
+    n_rows: usize,
+    n_cols: usize,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Coo {
+    /// Creates an empty `n_rows × n_cols` COO matrix.
+    pub fn new(n_rows: usize, n_cols: usize) -> Self {
+        Coo {
+            n_rows,
+            n_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty COO with pre-allocated capacity for `nnz` triplets.
+    pub fn with_capacity(n_rows: usize, n_cols: usize, nnz: usize) -> Self {
+        Coo {
+            n_rows,
+            n_cols,
+            rows: Vec::with_capacity(nnz),
+            cols: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored triplets (including duplicates and explicit zeros).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Appends the triplet `(row, col, value)`.
+    ///
+    /// Zero values are skipped — they would only bloat the pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of bounds.
+    #[inline]
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows, "Coo::push: row {row} out of bounds");
+        assert!(col < self.n_cols, "Coo::push: col {col} out of bounds");
+        if value == 0.0 {
+            return;
+        }
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Appends the triplet `(row, col, value)` even when `value` is zero,
+    /// forcing the position into the sparsity pattern.
+    ///
+    /// Use this for structural entries (e.g. diagonals that later receive
+    /// mass/Robin contributions via `Csr::add_diag`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row`/`col` are out of bounds.
+    #[inline]
+    pub fn push_structural(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.n_rows, "Coo::push_structural: row {row} out of bounds");
+        assert!(col < self.n_cols, "Coo::push_structural: col {col} out of bounds");
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(value);
+    }
+
+    /// Stamps a symmetric 2×2 conductance block
+    /// `[[g, -g], [-g, g]]` between DoFs `a` and `b`.
+    ///
+    /// This is the lumped-element stamp of the paper's Eq. for `G_bw`
+    /// (two-terminal conductance between two mesh nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`/`b` are out of bounds or if the matrix is not square.
+    pub fn stamp_conductance(&mut self, a: usize, b: usize, g: f64) {
+        assert_eq!(
+            self.n_rows, self.n_cols,
+            "stamp_conductance requires a square matrix"
+        );
+        self.push(a, a, g);
+        self.push(b, b, g);
+        self.push(a, b, -g);
+        self.push(b, a, -g);
+    }
+
+    /// Iterates over the stored triplets as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Removes all triplets, keeping allocations (for reassembly loops).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.cols.clear();
+        self.vals.clear();
+    }
+
+    /// Appends all triplets of `other`, optionally scaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn extend_scaled(&mut self, other: &Coo, scale: f64) {
+        assert_eq!(self.n_rows, other.n_rows, "extend_scaled: row mismatch");
+        assert_eq!(self.n_cols, other.n_cols, "extend_scaled: col mismatch");
+        for (r, c, v) in other.iter() {
+            self.push(r, c, scale * v);
+        }
+    }
+
+    /// Internal accessor used by CSR compression.
+    pub(crate) fn triplets(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_skips_zeros_and_counts() {
+        let mut c = Coo::new(3, 3);
+        c.push(0, 0, 0.0);
+        assert_eq!(c.nnz(), 0);
+        c.push(1, 2, 5.0);
+        assert_eq!(c.nnz(), 1);
+        assert_eq!(c.n_rows(), 3);
+        assert_eq!(c.n_cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_bounds_checked() {
+        let mut c = Coo::new(2, 2);
+        c.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn conductance_stamp_pattern() {
+        let mut c = Coo::new(4, 4);
+        c.stamp_conductance(1, 3, 2.0);
+        let t: Vec<_> = c.iter().collect();
+        assert_eq!(t.len(), 4);
+        assert!(t.contains(&(1, 1, 2.0)));
+        assert!(t.contains(&(3, 3, 2.0)));
+        assert!(t.contains(&(1, 3, -2.0)));
+        assert!(t.contains(&(3, 1, -2.0)));
+    }
+
+    #[test]
+    fn clear_keeps_shape() {
+        let mut c = Coo::with_capacity(2, 2, 8);
+        c.push(0, 1, 1.0);
+        c.clear();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.n_rows(), 2);
+    }
+
+    #[test]
+    fn extend_scaled_accumulates() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 0, 1.0);
+        let mut b = Coo::new(2, 2);
+        b.push(0, 0, 2.0);
+        b.push(1, 1, 3.0);
+        a.extend_scaled(&b, 10.0);
+        let t: Vec<_> = a.iter().collect();
+        assert!(t.contains(&(0, 0, 1.0)));
+        assert!(t.contains(&(0, 0, 20.0)));
+        assert!(t.contains(&(1, 1, 30.0)));
+    }
+}

@@ -1,0 +1,485 @@
+//! Compressed sparse row storage and kernels.
+
+use super::{Coo, LinOp};
+use crate::dense::DenseMatrix;
+
+/// A sparse matrix in compressed sparse row (CSR) format.
+///
+/// Column indices within each row are sorted and unique. Built from a
+/// [`Coo`] with [`Csr::from_coo`] (duplicates summed), this is the compute
+/// format for all matrix-vector products and preconditioners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Csr {
+    /// Compresses a COO matrix, summing duplicate entries.
+    ///
+    /// Entries whose duplicates sum exactly to zero are kept (with value 0)
+    /// so that stamping patterns remain stable across reassembly.
+    pub fn from_coo(coo: &Coo) -> Self {
+        let (rows, cols, vals) = coo.triplets();
+        let n_rows = coo.n_rows();
+        let n_cols = coo.n_cols();
+        // Counting sort by row.
+        let mut counts = vec![0usize; n_rows + 1];
+        for &r in rows {
+            counts[r + 1] += 1;
+        }
+        for i in 0..n_rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut sorted: Vec<(usize, f64)> = vec![(0, 0.0); vals.len()];
+        {
+            let mut next = counts.clone();
+            for k in 0..vals.len() {
+                let slot = next[rows[k]];
+                sorted[slot] = (cols[k], vals[k]);
+                next[rows[k]] += 1;
+            }
+        }
+        // Sort each row by column and merge duplicates.
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        let mut col_idx = Vec::with_capacity(vals.len());
+        let mut values = Vec::with_capacity(vals.len());
+        row_ptr.push(0);
+        for r in 0..n_rows {
+            let seg = &mut sorted[counts[r]..counts[r + 1]];
+            seg.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < seg.len() {
+                let c = seg[i].0;
+                let mut v = seg[i].1;
+                let mut j = i + 1;
+                while j < seg.len() && seg[j].0 == c {
+                    v += seg[j].1;
+                    j += 1;
+                }
+                col_idx.push(c);
+                values.push(v);
+                i = j;
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Csr {
+            n_rows: n,
+            n_cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Builds a diagonal matrix from `diag` (zeros kept as explicit entries).
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        Csr {
+            n_rows: n,
+            n_cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            values: diag.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column indices and values of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Value at `(i, j)`, zero if not stored.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let (cols, vals) = self.row(i);
+        match cols.binary_search(&j) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Mutable reference to a *stored* entry at `(i, j)`.
+    ///
+    /// Returns `None` if the entry is not part of the sparsity pattern.
+    pub fn get_mut(&mut self, i: usize, j: usize) -> Option<&mut f64> {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&j) {
+            Ok(k) => Some(&mut self.values[lo + k]),
+            Err(_) => None,
+        }
+    }
+
+    /// Sparse matrix-vector product `y ← A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "spmv: x length");
+        assert_eq!(y.len(), self.n_rows, "spmv: y length");
+        for i in 0..self.n_rows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut s = 0.0;
+            for k in lo..hi {
+                s += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = s;
+        }
+    }
+
+    /// Allocating variant of [`Csr::spmv`].
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.spmv(x, &mut y);
+        y
+    }
+
+    /// Computes the residual `r ← b − A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn residual(&self, b: &[f64], x: &[f64], r: &mut [f64]) {
+        self.spmv(x, r);
+        for i in 0..r.len() {
+            r[i] = b[i] - r[i];
+        }
+    }
+
+    /// Extracts the diagonal (missing entries are zero).
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.n_rows.min(self.n_cols);
+        (0..n).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Adds `d[i]` to each stored diagonal entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d.len() != n_rows`, or if a row lacks a stored diagonal
+    /// entry while `d[i] != 0` (the FIT assembly always stamps diagonals).
+    pub fn add_diag(&mut self, d: &[f64]) {
+        assert_eq!(d.len(), self.n_rows, "add_diag: length mismatch");
+        for (i, &di) in d.iter().enumerate() {
+            if di == 0.0 {
+                continue;
+            }
+            match self.get_mut(i, i) {
+                Some(v) => *v += di,
+                None => panic!("add_diag: row {i} has no stored diagonal"),
+            }
+        }
+    }
+
+    /// Sets every stored value to zero, keeping the pattern (for cached
+    /// reassembly).
+    pub fn zero_values(&mut self) {
+        for v in &mut self.values {
+            *v = 0.0;
+        }
+    }
+
+    /// Mutable view of the stored values (pattern order).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Index into the value array of the stored entry `(i, j)`, if present.
+    pub fn slot(&self, i: usize, j: usize) -> Option<usize> {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi].binary_search(&j).ok().map(|k| lo + k)
+    }
+
+    /// Multiplies all stored values by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.values {
+            *v *= s;
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr {
+        let mut row_ptr = vec![0usize; self.n_cols + 1];
+        for &c in &self.col_idx {
+            row_ptr[c + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        // next[c] tracks the insertion slot within transposed row c.
+        let mut next = row_ptr.clone();
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            for (c, v) in cols.iter().zip(vals) {
+                let slot = next[*c];
+                col_idx[slot] = i;
+                values[slot] = *v;
+                next[*c] += 1;
+            }
+        }
+        Csr {
+            n_rows: self.n_cols,
+            n_cols: self.n_rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Checks symmetry up to absolute tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.n_rows != self.n_cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            // Patterns can differ while values still match symmetric.
+            for i in 0..self.n_rows {
+                let (cols, vals) = self.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    if (v - self.get(j, i)).abs() > tol {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        self.values
+            .iter()
+            .zip(&t.values)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+
+    /// Sum of each row (for Laplacian zero-row-sum checks).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.n_rows)
+            .map(|i| self.row(i).1.iter().sum())
+            .collect()
+    }
+
+    /// Converts to a dense matrix (tests and tiny systems only).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.n_rows, self.n_cols);
+        for i in 0..self.n_rows {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.n_rows)
+            .map(|i| self.row(i).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Iterates over all stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.n_rows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter()
+                .zip(vals)
+                .map(move |(&c, &v)| (i, c, v))
+                .collect::<Vec<_>>()
+        })
+    }
+}
+
+impl LinOp for Csr {
+    fn dim(&self) -> usize {
+        debug_assert_eq!(self.n_rows, self.n_cols, "LinOp requires square matrix");
+        self.n_rows
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        let mut coo = Coo::new(3, 3);
+        for i in 0..3 {
+            coo.push(i, i, 2.0);
+        }
+        coo.push(0, 1, -1.0);
+        coo.push(1, 0, -1.0);
+        coo.push(1, 2, -1.0);
+        coo.push(2, 1, -1.0);
+        Csr::from_coo(&coo)
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates_in_any_order() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(1, 0, 4.0);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(0, 0, 1.0);
+        let a = Csr::from_coo(&coo);
+        assert_eq!(a.get(0, 1), 3.0);
+        assert_eq!(a.get(1, 0), 4.0);
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(a.get(1, 1), 0.0);
+        assert_eq!(a.nnz(), 3);
+    }
+
+    #[test]
+    fn cancelling_duplicates_keep_pattern() {
+        let mut coo = Coo::new(1, 2);
+        coo.push(0, 1, 5.0);
+        coo.push(0, 1, -5.0);
+        let a = Csr::from_coo(&coo);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let y = a.matvec(&x);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+        let d = a.to_dense();
+        let yd = d.matvec(&x);
+        assert_eq!(y, yd);
+    }
+
+    #[test]
+    fn residual_computation() {
+        let a = small();
+        let x = [1.0, 1.0, 1.0];
+        let b = [1.0, 0.0, 1.0];
+        let mut r = [0.0; 3];
+        a.residual(&b, &x, &mut r);
+        assert_eq!(r, [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn diag_and_add_diag() {
+        let mut a = small();
+        assert_eq!(a.diag(), vec![2.0, 2.0, 2.0]);
+        a.add_diag(&[1.0, 0.0, -1.0]);
+        assert_eq!(a.diag(), vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stored diagonal")]
+    fn add_diag_missing_entry_panics() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        let mut a = Csr::from_coo(&coo);
+        a.add_diag(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut coo = Coo::new(2, 3);
+        coo.push(0, 2, 1.0);
+        coo.push(1, 0, -2.0);
+        coo.push(1, 1, 7.0);
+        let a = Csr::from_coo(&coo);
+        let t = a.transpose();
+        assert_eq!(t.n_rows(), 3);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.get(2, 0), 1.0);
+        assert_eq!(t.get(0, 1), -2.0);
+        let tt = t.transpose();
+        assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(small().is_symmetric(0.0));
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 2.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.5);
+        assert!(!Csr::from_coo(&coo).is_symmetric(1e-12));
+        assert!(Csr::from_coo(&coo).is_symmetric(0.6));
+    }
+
+    #[test]
+    fn identity_and_from_diag() {
+        let i3 = Csr::identity(3);
+        let x = [1.0, -2.0, 3.0];
+        assert_eq!(i3.matvec(&x), x.to_vec());
+        let d = Csr::from_diag(&[2.0, 0.0, -1.0]);
+        assert_eq!(d.matvec(&x), vec![2.0, 0.0, -3.0]);
+    }
+
+    #[test]
+    fn row_sums_and_norm() {
+        let a = small();
+        assert_eq!(a.row_sums(), vec![1.0, 0.0, 1.0]);
+        assert_eq!(a.norm_inf(), 4.0);
+    }
+
+    #[test]
+    fn get_mut_updates_values() {
+        let mut a = small();
+        *a.get_mut(1, 1).unwrap() = 10.0;
+        assert_eq!(a.get(1, 1), 10.0);
+        assert!(a.get_mut(0, 2).is_none());
+    }
+
+    #[test]
+    fn iter_yields_all_entries() {
+        let a = small();
+        let entries: Vec<_> = a.iter().collect();
+        assert_eq!(entries.len(), a.nnz());
+        assert!(entries.contains(&(1, 0, -1.0)));
+    }
+}

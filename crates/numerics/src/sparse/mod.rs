@@ -1,0 +1,84 @@
+//! Sparse matrix storage: COO assembly format and CSR compute format.
+//!
+//! The FIT assembly path is: stamp entries into a [`Coo`] (duplicates allowed,
+//! they are summed), compress once into a [`Csr`], then hand the CSR to the
+//! Krylov solvers in [`crate::solvers`]. The [`LinOp`] trait abstracts over
+//! "things that can be applied to a vector" so solvers also accept composite
+//! operators (e.g. matrix plus rank-one wire updates) without materializing
+//! them.
+
+mod coo;
+mod csr;
+
+pub use coo::Coo;
+pub use csr::Csr;
+
+/// An abstract linear operator `y = A x` on ℝⁿ.
+///
+/// Implemented by [`Csr`] and by composite operators in higher layers. All
+/// Krylov solvers in [`crate::solvers`] are written against this trait.
+pub trait LinOp {
+    /// Dimension `n` of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Computes `y ← A x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len()` or `y.len()` differ from
+    /// [`LinOp::dim`].
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+/// A [`LinOp`] that adds a diagonal to a base operator: `(A + diag(d)) x`.
+///
+/// Used for implicit-Euler systems `(M/Δt + K)` without copying `K`.
+#[derive(Debug, Clone)]
+pub struct DiagShifted<'a, A: LinOp> {
+    base: &'a A,
+    diag: &'a [f64],
+}
+
+impl<'a, A: LinOp> DiagShifted<'a, A> {
+    /// Wraps `base` with an additive diagonal `diag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diag.len() != base.dim()`.
+    pub fn new(base: &'a A, diag: &'a [f64]) -> Self {
+        assert_eq!(diag.len(), base.dim(), "DiagShifted: diagonal length");
+        DiagShifted { base, diag }
+    }
+}
+
+impl<'a, A: LinOp> LinOp for DiagShifted<'a, A> {
+    fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.base.apply(x, y);
+        for i in 0..x.len() {
+            y[i] += self.diag[i] * x[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diag_shifted_applies_shift() {
+        let mut coo = Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        let a = Csr::from_coo(&coo);
+        let d = [10.0, 20.0];
+        let op = DiagShifted::new(&a, &d);
+        assert_eq!(op.dim(), 2);
+        let mut y = [0.0; 2];
+        op.apply(&[1.0, 1.0], &mut y);
+        assert_eq!(y, [11.0, 21.0]);
+    }
+}

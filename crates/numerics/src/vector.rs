@@ -1,0 +1,302 @@
+//! BLAS-1 style vector operations on `&[f64]` slices.
+//!
+//! The simulator stores all field vectors (potentials, temperatures, heat
+//! sources) as plain `Vec<f64>`, so these free functions are the workhorse of
+//! every solver kernel.
+//!
+//! All functions panic on dimension mismatch — such mismatches are programmer
+//! errors inside the solver stack, not recoverable runtime conditions.
+
+/// Dot product `xᵀy`.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    // Accumulate in four independent lanes: meaningfully faster than a naive
+    // fold on long vectors and deterministic across runs.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let i = 4 * c;
+        acc[0] += x[i] * y[i];
+        acc[1] += x[i + 1] * y[i + 1];
+        acc[2] += x[i + 2] * y[i + 2];
+        acc[3] += x[i + 3] * y[i + 3];
+    }
+    let mut tail = 0.0;
+    for i in 4 * chunks..x.len() {
+        tail += x[i] * y[i];
+    }
+    acc[0] + acc[1] + acc[2] + acc[3] + tail
+}
+
+/// Euclidean norm `‖x‖₂`.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Maximum norm `‖x‖∞`.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max(v.abs()))
+}
+
+/// `y ← a·x + y`.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+#[inline]
+pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `y ← x + b·y` (the "xpby" update used by CG's direction recurrence).
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+#[inline]
+pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpby: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = xi + b * *yi;
+    }
+}
+
+/// `x ← a·x`.
+#[inline]
+pub fn scale(a: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Copies `src` into `dst`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn copy(src: &[f64], dst: &mut [f64]) {
+    assert_eq!(src.len(), dst.len(), "copy: length mismatch");
+    dst.copy_from_slice(src);
+}
+
+/// Sets every entry of `x` to `value`.
+#[inline]
+pub fn fill(x: &mut [f64], value: f64) {
+    for xi in x.iter_mut() {
+        *xi = value;
+    }
+}
+
+/// Component-wise product `z ← x ⊙ y`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn hadamard(x: &[f64], y: &[f64], z: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "hadamard: length mismatch");
+    assert_eq!(x.len(), z.len(), "hadamard: output length mismatch");
+    for i in 0..x.len() {
+        z[i] = x[i] * y[i];
+    }
+}
+
+/// Maximum absolute component-wise difference `‖x − y‖∞`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    x.iter()
+        .zip(y)
+        .fold(0.0f64, |m, (&a, &b)| m.max((a - b).abs()))
+}
+
+/// Relative ℓ₂ difference `‖x − y‖₂ / max(‖y‖₂, floor)`.
+///
+/// Useful as a Picard-iteration convergence measure that stays meaningful
+/// when the reference vector is (nearly) zero.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn rel_diff2(x: &[f64], y: &[f64], floor: f64) -> f64 {
+    assert_eq!(x.len(), y.len(), "rel_diff2: length mismatch");
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        num += (a - b) * (a - b);
+        den += b * b;
+    }
+    num.sqrt() / den.sqrt().max(floor)
+}
+
+/// Returns `true` if every entry is finite (no NaN/∞).
+#[inline]
+pub fn all_finite(x: &[f64]) -> bool {
+    x.iter().all(|v| v.is_finite())
+}
+
+/// Sum of all entries.
+#[inline]
+pub fn sum(x: &[f64]) -> f64 {
+    // Pairwise-ish summation for improved accuracy on long vectors.
+    if x.len() <= 32 {
+        return x.iter().sum();
+    }
+    let mid = x.len() / 2;
+    sum(&x[..mid]) + sum(&x[mid..])
+}
+
+/// Arithmetic mean; returns 0 for the empty slice.
+#[inline]
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        sum(x) / x.len() as f64
+    }
+}
+
+/// Index and value of the maximum entry; `None` for the empty slice.
+/// NaN entries are ignored (never selected) unless all entries are NaN.
+pub fn argmax(x: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        if v.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.or_else(|| x.first().map(|&v| (0, v)))
+}
+
+/// Linear interpolation between `a` and `b` with parameter `t ∈ [0, 1]`.
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + t * (b - a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let x: Vec<f64> = (0..101).map(|i| i as f64 * 0.25).collect();
+        let y: Vec<f64> = (0..101).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&x, &y) - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn norms_on_known_vector() {
+        let x = [3.0, -4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-15);
+        assert!((norm_inf(&x) - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn axpy_and_xpby() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [10.0, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        let mut p = [1.0, 1.0, 1.0];
+        xpby(&x, 0.5, &mut p); // p = x + 0.5 p
+        assert_eq!(p, [1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn scale_fill_copy() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+        fill(&mut x, 7.0);
+        assert_eq!(x, [7.0, 7.0]);
+        let src = [1.0, 2.0];
+        let mut dst = [0.0; 2];
+        copy(&src, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        let mut z = [0.0; 3];
+        hadamard(&x, &y, &mut z);
+        assert_eq!(z, [4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn diffs() {
+        let x = [1.0, 2.0];
+        let y = [1.5, 1.0];
+        assert!((max_abs_diff(&x, &y) - 1.0).abs() < 1e-15);
+        assert!(rel_diff2(&x, &x, 1e-30) == 0.0);
+        assert!(rel_diff2(&x, &y, 1e-30) > 0.0);
+    }
+
+    #[test]
+    fn rel_diff_uses_floor_for_zero_reference() {
+        let x = [1e-12, 0.0];
+        let y = [0.0, 0.0];
+        let d = rel_diff2(&x, &y, 1.0);
+        assert!((d - 1e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(all_finite(&[0.0, 1.0, -2.0]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+    }
+
+    #[test]
+    fn sum_is_accurate_on_long_vectors() {
+        let x = vec![0.1; 10_000];
+        assert!((sum(&x) - 1000.0).abs() < 1e-9);
+        assert!((mean(&x) - 0.1).abs() < 1e-13);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_basic_and_nan() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some((1, 3.0)));
+        // First maximal entry wins.
+        assert_eq!(argmax(&[5.0, 5.0]), Some((0, 5.0)));
+        // NaN is skipped.
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some((1, 2.0)));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        assert_eq!(lerp(2.0, 4.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 4.0, 1.0), 4.0);
+        assert_eq!(lerp(2.0, 4.0, 0.5), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dot: length mismatch")]
+    fn dot_panics_on_mismatch() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

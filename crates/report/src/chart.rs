@@ -1,0 +1,283 @@
+//! ASCII line charts with optional symmetric error bars and threshold
+//! lines.
+
+/// Rendering options for [`LineChart`].
+#[derive(Debug, Clone)]
+pub struct ChartOptions {
+    /// Plot area width in characters (excluding the axis labels).
+    pub width: usize,
+    /// Plot area height in rows.
+    pub height: usize,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Label of the y axis.
+    pub y_label: String,
+}
+
+impl Default for ChartOptions {
+    fn default() -> Self {
+        ChartOptions {
+            width: 70,
+            height: 20,
+            x_label: "x".into(),
+            y_label: "y".into(),
+        }
+    }
+}
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+struct Series {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Half-width of the error bar per point (empty = none).
+    bars: Vec<f64>,
+    marker: char,
+}
+
+/// A multi-series ASCII line chart, the renderer behind the Fig. 5/7
+/// reproductions.
+///
+/// # Example
+///
+/// ```
+/// use etherm_report::{ChartOptions, LineChart};
+///
+/// let mut chart = LineChart::new(ChartOptions::default());
+/// let xs: Vec<f64> = (0..=50).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|&t| 300.0 + 200.0 * (1.0 - (-t / 10.0_f64).exp())).collect();
+/// chart.add_series(&xs, &ys, '*');
+/// chart.add_threshold(523.0, "T_crit");
+/// let text = chart.render();
+/// assert!(text.contains("T_crit"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    options: ChartOptions,
+    series: Vec<Series>,
+    thresholds: Vec<(f64, String)>,
+}
+
+impl LineChart {
+    /// Creates an empty chart.
+    pub fn new(options: ChartOptions) -> Self {
+        LineChart {
+            options,
+            series: Vec::new(),
+            thresholds: Vec::new(),
+        }
+    }
+
+    /// Adds a series without error bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ or are empty.
+    pub fn add_series(&mut self, xs: &[f64], ys: &[f64], marker: char) {
+        assert_eq!(xs.len(), ys.len(), "series length mismatch");
+        assert!(!xs.is_empty(), "empty series");
+        self.series.push(Series {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            bars: Vec::new(),
+            marker,
+        });
+    }
+
+    /// Adds a series with symmetric error bars (`ys[i] ± bars[i]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn add_series_with_bars(&mut self, xs: &[f64], ys: &[f64], bars: &[f64], marker: char) {
+        assert_eq!(xs.len(), ys.len(), "series length mismatch");
+        assert_eq!(xs.len(), bars.len(), "bars length mismatch");
+        assert!(!xs.is_empty(), "empty series");
+        self.series.push(Series {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            bars: bars.to_vec(),
+            marker,
+        });
+    }
+
+    /// Adds a horizontal threshold line (e.g. the critical temperature).
+    pub fn add_threshold(&mut self, y: f64, label: impl Into<String>) {
+        self.thresholds.push((y, label.into()));
+    }
+
+    /// Renders the chart to a multi-line string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series was added.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "render: no series");
+        let w = self.options.width.max(10);
+        let h = self.options.height.max(5);
+
+        // Data ranges (include error bars and thresholds).
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for s in &self.series {
+            for (i, (&x, &y)) in s.xs.iter().zip(&s.ys).enumerate() {
+                let bar = s.bars.get(i).copied().unwrap_or(0.0);
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y - bar);
+                y_max = y_max.max(y + bar);
+            }
+        }
+        for &(y, _) in &self.thresholds {
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if (x_max - x_min).abs() < 1e-300 {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < 1e-300 {
+            y_max = y_min + 1.0;
+        }
+        // 5 % padding on y.
+        let pad = 0.05 * (y_max - y_min);
+        y_min -= pad;
+        y_max += pad;
+
+        let col_of = |x: f64| -> usize {
+            (((x - x_min) / (x_max - x_min)) * (w - 1) as f64).round() as usize
+        };
+        let row_of = |y: f64| -> usize {
+            let f = (y - y_min) / (y_max - y_min);
+            ((1.0 - f) * (h - 1) as f64).round() as usize
+        };
+
+        let mut canvas = vec![vec![' '; w]; h];
+
+        // Thresholds first (lowest z-order).
+        for &(y, _) in &self.thresholds {
+            if y >= y_min && y <= y_max {
+                let r = row_of(y);
+                for c in canvas[r].iter_mut() {
+                    *c = '-';
+                }
+            }
+        }
+        // Error bars.
+        for s in &self.series {
+            for (i, (&x, &y)) in s.xs.iter().zip(&s.ys).enumerate() {
+                let bar = s.bars.get(i).copied().unwrap_or(0.0);
+                if bar <= 0.0 {
+                    continue;
+                }
+                let col = col_of(x);
+                let r_top = row_of((y + bar).min(y_max));
+                let r_bot = row_of((y - bar).max(y_min));
+                for r in r_top..=r_bot {
+                    if canvas[r][col] == ' ' || canvas[r][col] == '-' {
+                        canvas[r][col] = '|';
+                    }
+                }
+            }
+        }
+        // Data points (highest z-order).
+        for s in &self.series {
+            for (&x, &y) in s.xs.iter().zip(&s.ys) {
+                canvas[row_of(y)][col_of(x)] = s.marker;
+            }
+        }
+
+        // Compose with y-axis labels.
+        let mut out = String::new();
+        out.push_str(&format!("  {}\n", self.options.y_label));
+        for (r, row) in canvas.iter().enumerate() {
+            let y_here = y_max - (y_max - y_min) * r as f64 / (h - 1) as f64;
+            let line: String = row.iter().collect();
+            // Annotate thresholds on the right margin.
+            let mut annot = String::new();
+            for (y, label) in &self.thresholds {
+                if row_of(*y) == r {
+                    annot = format!("  <- {label}");
+                }
+            }
+            out.push_str(&format!("{y_here:>10.2} |{line}{annot}\n"));
+        }
+        out.push_str(&format!("{:>10} +{}\n", "", "-".repeat(w)));
+        out.push_str(&format!(
+            "{:>10}  {:<w$}\n",
+            "",
+            format!("{:.3} .. {:.3} ({})", x_min, x_max, self.options.x_label),
+            w = w
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series() {
+        let mut chart = LineChart::new(ChartOptions {
+            width: 40,
+            height: 10,
+            x_label: "t (s)".into(),
+            y_label: "T (K)".into(),
+        });
+        let xs: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 300.0 + 10.0 * x).collect();
+        chart.add_series(&xs, &ys, '*');
+        let text = chart.render();
+        assert!(text.contains('*'));
+        assert!(text.contains("T (K)"));
+        assert!(text.contains("t (s)"));
+        // Rough shape: the first data row (max) contains a marker at the
+        // right side, the last at the left.
+        let rows: Vec<&str> = text.lines().collect();
+        assert!(rows.len() >= 12);
+    }
+
+    #[test]
+    fn error_bars_and_threshold_appear() {
+        let mut chart = LineChart::new(ChartOptions::default());
+        chart.add_series_with_bars(&[0.0, 1.0], &[1.0, 2.0], &[0.5, 0.5], 'o');
+        chart.add_threshold(2.4, "limit");
+        let text = chart.render();
+        assert!(text.contains('|'), "error bars missing:\n{text}");
+        assert!(text.contains("limit"));
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn constant_series_does_not_crash() {
+        let mut chart = LineChart::new(ChartOptions::default());
+        chart.add_series(&[0.0, 1.0], &[5.0, 5.0], 'x');
+        let text = chart.render();
+        assert!(text.contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_series_panics() {
+        let mut chart = LineChart::new(ChartOptions::default());
+        chart.add_series(&[0.0], &[1.0, 2.0], '*');
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn render_without_series_panics() {
+        let chart = LineChart::new(ChartOptions::default());
+        let _ = chart.render();
+    }
+
+    #[test]
+    fn multiple_series_distinct_markers() {
+        let mut chart = LineChart::new(ChartOptions::default());
+        chart.add_series(&[0.0, 1.0], &[0.0, 1.0], 'a');
+        chart.add_series(&[0.0, 1.0], &[1.0, 0.0], 'b');
+        let text = chart.render();
+        assert!(text.contains('a') && text.contains('b'));
+    }
+}

@@ -1,0 +1,129 @@
+//! Minimal CSV export for post-processing in external tools.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A column-oriented CSV writer.
+///
+/// # Example
+///
+/// ```
+/// use etherm_report::CsvWriter;
+///
+/// let mut csv = CsvWriter::new();
+/// csv.add_column("t", &[0.0, 1.0]);
+/// csv.add_column("T", &[300.0, 310.5]);
+/// let text = csv.to_string_lossy();
+/// assert!(text.starts_with("t,T\n"));
+/// assert!(text.contains("1,310.5"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CsvWriter {
+    names: Vec<String>,
+    columns: Vec<Vec<f64>>,
+}
+
+impl CsvWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        CsvWriter::default()
+    }
+
+    /// Adds a named column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column length differs from previously added columns,
+    /// or the name contains a comma/newline.
+    pub fn add_column(&mut self, name: &str, values: &[f64]) {
+        assert!(
+            !name.contains(',') && !name.contains('\n'),
+            "column name must not contain ',' or newlines"
+        );
+        if let Some(first) = self.columns.first() {
+            assert_eq!(first.len(), values.len(), "column length mismatch");
+        }
+        self.names.push(name.to_string());
+        self.columns.push(values.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Serializes to CSV text (shortest round-trip float formatting).
+    pub fn to_string_lossy(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.names.join(","));
+        out.push('\n');
+        for r in 0..self.n_rows() {
+            for (c, col) in self.columns.iter().enumerate() {
+                if c > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", col[r]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_string_lossy())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_format() {
+        let mut csv = CsvWriter::new();
+        csv.add_column("a", &[1.0, 2.5]);
+        csv.add_column("b", &[-3.0, 0.125]);
+        let s = csv.to_string_lossy();
+        assert_eq!(s, "a,b\n1,-3\n2.5,0.125\n");
+        assert_eq!(csv.n_rows(), 2);
+    }
+
+    #[test]
+    fn empty_writer() {
+        let csv = CsvWriter::new();
+        assert_eq!(csv.n_rows(), 0);
+        assert_eq!(csv.to_string_lossy(), "\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_columns_panic() {
+        let mut csv = CsvWriter::new();
+        csv.add_column("a", &[1.0]);
+        csv.add_column("b", &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain")]
+    fn bad_name_panics() {
+        let mut csv = CsvWriter::new();
+        csv.add_column("a,b", &[1.0]);
+    }
+
+    #[test]
+    fn writes_file() {
+        let mut csv = CsvWriter::new();
+        csv.add_column("x", &[42.0]);
+        let dir = std::env::temp_dir().join("etherm_csv_test.csv");
+        csv.write_to(&dir).unwrap();
+        let read = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(read, "x\n42\n");
+        let _ = std::fs::remove_file(&dir);
+    }
+}

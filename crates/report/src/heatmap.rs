@@ -1,0 +1,132 @@
+//! ASCII heat maps (the Fig. 8 spatial-temperature renderer).
+
+/// Renders a 2D scalar field as an ASCII intensity map.
+///
+/// Values are mapped onto a 10-step character ramp from coldest (` `) to
+/// hottest (`@`). Rows are printed with the *last* row first so that the
+/// y axis points up, matching the usual plot orientation.
+///
+/// # Example
+///
+/// ```
+/// use etherm_report::HeatMap;
+///
+/// let values = vec![0.0, 1.0, 2.0, 3.0]; // 2×2, row-major
+/// let map = HeatMap::new(2, 2, values).unwrap();
+/// let s = map.render();
+/// assert!(s.contains('@'));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatMap {
+    nx: usize,
+    ny: usize,
+    values: Vec<f64>,
+}
+
+/// Character ramp from cold to hot.
+const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+impl HeatMap {
+    /// Creates a heat map over an `nx × ny` row-major grid of values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `values.len() != nx·ny` or it is empty.
+    pub fn new(nx: usize, ny: usize, values: Vec<f64>) -> Result<Self, String> {
+        if nx == 0 || ny == 0 || values.len() != nx * ny {
+            return Err(format!(
+                "heat map needs nx·ny = {} values, got {}",
+                nx * ny,
+                values.len()
+            ));
+        }
+        Ok(HeatMap { nx, ny, values })
+    }
+
+    /// Minimum and maximum of the data.
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    /// Renders with the data range as the color scale.
+    pub fn render(&self) -> String {
+        let (lo, hi) = self.range();
+        self.render_scaled(lo, hi)
+    }
+
+    /// Renders with an explicit color scale `[lo, hi]` (values clamp).
+    pub fn render_scaled(&self, lo: f64, hi: f64) -> String {
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        let mut out = String::new();
+        for j in (0..self.ny).rev() {
+            for i in 0..self.nx {
+                let v = self.values[j * self.nx + i];
+                let f = ((v - lo) / span).clamp(0.0, 1.0);
+                let idx = ((f * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx]);
+                out.push(RAMP[idx]); // double width ≈ square aspect
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "scale: '{}' = {:.2} .. '{}' = {:.2}\n",
+            RAMP[0],
+            lo,
+            RAMP[RAMP.len() - 1],
+            hi
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_map_to_ramp_ends() {
+        let m = HeatMap::new(3, 1, vec![0.0, 0.5, 1.0]).unwrap();
+        let s = m.render();
+        let first_line = s.lines().next().unwrap();
+        assert!(first_line.starts_with("  ")); // cold = spaces
+        assert!(first_line.ends_with("@@"));
+        assert_eq!(m.range(), (0.0, 1.0));
+    }
+
+    #[test]
+    fn y_axis_points_up() {
+        // Row-major 1×2: values[0] is y=0 (bottom), values[1] is y=1 (top).
+        let m = HeatMap::new(1, 2, vec![0.0, 1.0]).unwrap();
+        let s = m.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "@@"); // top row printed first = hot
+        assert_eq!(lines[1], "  ");
+    }
+
+    #[test]
+    fn constant_field_renders() {
+        let m = HeatMap::new(2, 2, vec![5.0; 4]).unwrap();
+        let s = m.render();
+        assert!(s.contains("scale"));
+    }
+
+    #[test]
+    fn scaled_clamps() {
+        let m = HeatMap::new(2, 1, vec![-10.0, 10.0]).unwrap();
+        let s = m.render_scaled(0.0, 1.0);
+        let first = s.lines().next().unwrap();
+        assert_eq!(first, "  @@");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HeatMap::new(2, 2, vec![0.0; 3]).is_err());
+        assert!(HeatMap::new(0, 2, vec![]).is_err());
+    }
+}

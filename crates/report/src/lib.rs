@@ -1,0 +1,20 @@
+//! Terminal-friendly reporting: ASCII line charts with error bars,
+//! histograms, heat maps, aligned tables and CSV export — plus a
+//! dependency-free SVG renderer for publication figures.
+//!
+//! Every table and figure of the paper is regenerated as text by the bench
+//! binaries; this crate renders them. No plotting dependencies — the charts
+//! are deliberately plain ASCII so they survive CI logs and diffs, with
+//! [`svg`] as an optional vector output for the same data.
+
+mod chart;
+mod csv;
+mod heatmap;
+pub mod svg;
+mod table;
+
+pub use chart::{ChartOptions, LineChart};
+pub use csv::CsvWriter;
+pub use heatmap::HeatMap;
+pub use svg::{SvgChart, SvgHeatMap, SvgOptions};
+pub use table::TextTable;

@@ -1,0 +1,586 @@
+//! Self-contained SVG export: line charts with error bars and heat maps.
+//!
+//! The ASCII renderers in [`crate::chart`] and [`crate::heatmap`] cover the
+//! terminal; this module writes the same figures as standalone `.svg` files
+//! (no external plotting dependency), so the Fig. 7 transient and the
+//! Fig. 8 temperature field can be dropped into a paper or a README.
+
+use std::fmt::Write as _;
+
+/// Rendering options for [`SvgChart`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Total image width in pixels.
+    pub width: f64,
+    /// Total image height in pixels.
+    pub height: f64,
+    /// Margin around the plot area in pixels.
+    pub margin: f64,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// Chart title (empty = none).
+    pub title: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            width: 640.0,
+            height: 420.0,
+            margin: 56.0,
+            x_label: "x".into(),
+            y_label: "y".into(),
+            title: String::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SvgSeries {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    bars: Vec<f64>,
+    color: String,
+    label: String,
+}
+
+/// A multi-series SVG line chart with optional symmetric error bars and
+/// horizontal threshold lines (the Fig. 7 layout).
+///
+/// # Example
+///
+/// ```
+/// use etherm_report::svg::{SvgChart, SvgOptions};
+///
+/// let mut chart = SvgChart::new(SvgOptions::default());
+/// let xs: Vec<f64> = (0..=50).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|&t| 300.0 + 200.0 * (1.0 - (-t / 10.0_f64).exp())).collect();
+/// chart.add_series(&xs, &ys, "#0057b8", "E_max(t)");
+/// chart.add_threshold(523.0, "#d62728", "T_crit");
+/// let svg = chart.render();
+/// assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvgChart {
+    options: SvgOptions,
+    series: Vec<SvgSeries>,
+    thresholds: Vec<(f64, String, String)>,
+}
+
+impl SvgChart {
+    /// Creates an empty chart.
+    pub fn new(options: SvgOptions) -> Self {
+        SvgChart {
+            options,
+            series: Vec::new(),
+            thresholds: Vec::new(),
+        }
+    }
+
+    /// Adds a series without error bars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ or are empty.
+    pub fn add_series(&mut self, xs: &[f64], ys: &[f64], color: &str, label: &str) {
+        assert_eq!(xs.len(), ys.len(), "SvgChart: series length mismatch");
+        assert!(!xs.is_empty(), "SvgChart: empty series");
+        self.series.push(SvgSeries {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            bars: Vec::new(),
+            color: color.into(),
+            label: label.into(),
+        });
+    }
+
+    /// Adds a series with symmetric error bars of half-width `bars[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches or an empty series.
+    pub fn add_series_with_bars(
+        &mut self,
+        xs: &[f64],
+        ys: &[f64],
+        bars: &[f64],
+        color: &str,
+        label: &str,
+    ) {
+        assert_eq!(xs.len(), ys.len(), "SvgChart: series length mismatch");
+        assert_eq!(xs.len(), bars.len(), "SvgChart: error-bar length mismatch");
+        assert!(!xs.is_empty(), "SvgChart: empty series");
+        self.series.push(SvgSeries {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            bars: bars.to_vec(),
+            color: color.into(),
+            label: label.into(),
+        });
+    }
+
+    /// Adds a horizontal threshold line at `y` (e.g. the critical wire
+    /// temperature).
+    pub fn add_threshold(&mut self, y: f64, color: &str, label: &str) {
+        self.thresholds.push((y, color.into(), label.into()));
+    }
+
+    /// Renders the chart to an SVG document string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series was added.
+    pub fn render(&self) -> String {
+        assert!(!self.series.is_empty(), "SvgChart: no series to render");
+        let o = &self.options;
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for (i, (&x, &y)) in s.xs.iter().zip(&s.ys).enumerate() {
+                let bar = s.bars.get(i).copied().unwrap_or(0.0);
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y - bar);
+                y_max = y_max.max(y + bar);
+            }
+        }
+        for &(y, _, _) in &self.thresholds {
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+        // 5 % head-room.
+        let y_pad = 0.05 * (y_max - y_min);
+        y_min -= y_pad;
+        y_max += y_pad;
+
+        let plot_w = o.width - 2.0 * o.margin;
+        let plot_h = o.height - 2.0 * o.margin;
+        let px = |x: f64| o.margin + (x - x_min) / (x_max - x_min) * plot_w;
+        let py = |y: f64| o.height - o.margin - (y - y_min) / (y_max - y_min) * plot_h;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+            o.width, o.height, o.width, o.height
+        );
+        let _ = writeln!(
+            out,
+            r#"<rect width="100%" height="100%" fill="white"/>"#
+        );
+        // Axes.
+        let _ = writeln!(
+            out,
+            r#"<g stroke="black" stroke-width="1"><line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/><line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}"/></g>"#,
+            o.margin,
+            o.height - o.margin,
+            o.width - o.margin,
+            o.height - o.margin,
+            o.margin,
+            o.margin,
+            o.margin,
+            o.height - o.margin
+        );
+        // Ticks and grid (5 intervals).
+        for i in 0..=5 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 5.0;
+            let fy = y_min + (y_max - y_min) * i as f64 / 5.0;
+            let _ = writeln!(
+                out,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                px(fx),
+                o.margin,
+                px(fx),
+                o.height - o.margin
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="middle">{}</text>"#,
+                px(fx),
+                o.height - o.margin + 16.0,
+                format_tick(fx)
+            );
+            let _ = writeln!(
+                out,
+                r##"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#ddd"/>"##,
+                o.margin,
+                py(fy),
+                o.width - o.margin,
+                py(fy)
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" text-anchor="end">{}</text>"#,
+                o.margin - 6.0,
+                py(fy) + 4.0,
+                format_tick(fy)
+            );
+        }
+        // Axis labels and title.
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="13" text-anchor="middle">{}</text>"#,
+            o.width / 2.0,
+            o.height - 8.0,
+            xml_escape(&o.x_label)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="14" y="{:.1}" font-size="13" text-anchor="middle" transform="rotate(-90 14 {:.1})">{}</text>"#,
+            o.height / 2.0,
+            o.height / 2.0,
+            xml_escape(&o.y_label)
+        );
+        if !o.title.is_empty() {
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="20" font-size="15" text-anchor="middle" font-weight="bold">{}</text>"#,
+                o.width / 2.0,
+                xml_escape(&o.title)
+            );
+        }
+        // Thresholds.
+        for (y, color, label) in &self.thresholds {
+            let _ = writeln!(
+                out,
+                r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-dasharray="6 3" stroke-width="1.5"/>"#,
+                o.margin,
+                py(*y),
+                o.width - o.margin,
+                py(*y),
+                color
+            );
+            let _ = writeln!(
+                out,
+                r#"<text x="{:.1}" y="{:.1}" font-size="11" fill="{}" text-anchor="end">{}</text>"#,
+                o.width - o.margin - 4.0,
+                py(*y) - 4.0,
+                color,
+                xml_escape(label)
+            );
+        }
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            // Error bars first so the line draws on top.
+            for (i, (&x, &y)) in s.xs.iter().zip(&s.ys).enumerate() {
+                let bar = s.bars.get(i).copied().unwrap_or(0.0);
+                if bar > 0.0 {
+                    let _ = writeln!(
+                        out,
+                        r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="1" opacity="0.6"/>"#,
+                        px(x),
+                        py(y - bar),
+                        px(x),
+                        py(y + bar),
+                        s.color
+                    );
+                }
+            }
+            let points: Vec<String> = s
+                .xs
+                .iter()
+                .zip(&s.ys)
+                .map(|(&x, &y)| format!("{:.1},{:.1}", px(x), py(y)))
+                .collect();
+            let _ = writeln!(
+                out,
+                r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+                points.join(" "),
+                s.color
+            );
+            // Legend entry.
+            if !s.label.is_empty() {
+                let ly = o.margin + 16.0 * si as f64 + 8.0;
+                let _ = writeln!(
+                    out,
+                    r#"<line x1="{:.1}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="{}" stroke-width="2"/>"#,
+                    o.margin + 8.0,
+                    ly,
+                    o.margin + 32.0,
+                    ly,
+                    s.color
+                );
+                let _ = writeln!(
+                    out,
+                    r#"<text x="{:.1}" y="{:.1}" font-size="11">{}</text>"#,
+                    o.margin + 38.0,
+                    ly + 4.0,
+                    xml_escape(&s.label)
+                );
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// An `nx × ny` scalar field rendered as an SVG cell raster with a
+/// blue→red color ramp (the Fig. 8 layout).
+///
+/// # Example
+///
+/// ```
+/// use etherm_report::svg::SvgHeatMap;
+///
+/// # fn main() -> Result<(), String> {
+/// let values: Vec<f64> = (0..12).map(|i| i as f64).collect();
+/// let svg = SvgHeatMap::new(4, 3, values)?.render();
+/// assert!(svg.contains("<rect"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SvgHeatMap {
+    nx: usize,
+    ny: usize,
+    values: Vec<f64>,
+    /// Pixel size of one cell.
+    pub cell_px: f64,
+}
+
+impl SvgHeatMap {
+    /// Creates a heat map over an `nx × ny` row-major value grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the dimensions do not match the value
+    /// count or any value is non-finite.
+    pub fn new(nx: usize, ny: usize, values: Vec<f64>) -> Result<Self, String> {
+        if nx == 0 || ny == 0 || values.len() != nx * ny {
+            return Err(format!(
+                "SvgHeatMap: {nx}×{ny} grid needs {} values (got {})",
+                nx * ny,
+                values.len()
+            ));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err("SvgHeatMap: values must be finite".into());
+        }
+        Ok(SvgHeatMap {
+            nx,
+            ny,
+            values,
+            cell_px: 14.0,
+        })
+    }
+
+    /// Renders the raster with an auto-scaled color range.
+    pub fn render(&self) -> String {
+        let lo = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        self.render_scaled(lo, if hi > lo { hi } else { lo + 1.0 })
+    }
+
+    /// Renders with an explicit color range `[lo, hi]`.
+    pub fn render_scaled(&self, lo: f64, hi: f64) -> String {
+        let w = self.nx as f64 * self.cell_px;
+        let h = self.ny as f64 * self.cell_px;
+        // Extra band on the right for the color-bar.
+        let bar_w = 3.0 * self.cell_px;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
+            w + bar_w + 46.0,
+            h,
+            w + bar_w + 46.0,
+            h
+        );
+        for j in 0..self.ny {
+            for i in 0..self.nx {
+                let v = self.values[j * self.nx + i];
+                let t = ((v - lo) / (hi - lo)).clamp(0.0, 1.0);
+                let (r, g, b) = ramp(t);
+                // Row 0 at the bottom (physical y up).
+                let ypix = (self.ny - 1 - j) as f64 * self.cell_px;
+                let _ = writeln!(
+                    out,
+                    r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="rgb({r},{g},{b})"/>"#,
+                    i as f64 * self.cell_px,
+                    ypix,
+                    self.cell_px,
+                    self.cell_px
+                );
+            }
+        }
+        // Color bar (16 bands).
+        for s in 0..16 {
+            let t = s as f64 / 15.0;
+            let (r, g, b) = ramp(t);
+            let band_h = h / 16.0;
+            let _ = writeln!(
+                out,
+                r#"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="rgb({r},{g},{b})"/>"#,
+                w + self.cell_px,
+                h - (s + 1) as f64 * band_h,
+                self.cell_px,
+                band_h
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="12" font-size="10">{}</text>"#,
+            w + 2.2 * self.cell_px,
+            format_tick(hi)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{:.1}" y="{:.1}" font-size="10">{}</text>"#,
+            w + 2.2 * self.cell_px,
+            h - 2.0,
+            format_tick(lo)
+        );
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// Blue → cyan → yellow → red ramp on `t ∈ [0, 1]`.
+fn ramp(t: f64) -> (u8, u8, u8) {
+    let t = t.clamp(0.0, 1.0);
+    let (r, g, b) = if t < 1.0 / 3.0 {
+        let u = 3.0 * t;
+        (0.0, u, 1.0)
+    } else if t < 2.0 / 3.0 {
+        let u = 3.0 * t - 1.0;
+        (u, 1.0, 1.0 - u)
+    } else {
+        let u = 3.0 * t - 2.0;
+        (1.0, 1.0 - u, 0.0)
+    };
+    ((r * 255.0) as u8, (g * 255.0) as u8, (b * 255.0) as u8)
+}
+
+fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if (0.01..10_000.0).contains(&a) {
+        let s = format!("{v:.2}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_wellformed_svg() {
+        let mut chart = SvgChart::new(SvgOptions::default());
+        chart.add_series(&[0.0, 1.0, 2.0], &[1.0, 3.0, 2.0], "#0057b8", "series");
+        chart.add_threshold(2.5, "#d62728", "limit");
+        let svg = chart.render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 1);
+        assert!(svg.contains("stroke-dasharray"), "threshold missing");
+        assert!(svg.contains("limit"));
+        // Every opened rect/line/text is self-closed.
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn error_bars_are_emitted_per_point() {
+        let mut chart = SvgChart::new(SvgOptions::default());
+        chart.add_series_with_bars(
+            &[0.0, 1.0, 2.0],
+            &[1.0, 2.0, 3.0],
+            &[0.5, 0.5, 0.0],
+            "#000",
+            "",
+        );
+        let svg = chart.render();
+        // 2 nonzero bars → 2 opacity lines.
+        assert_eq!(svg.matches(r#"opacity="0.6""#).count(), 2);
+    }
+
+    #[test]
+    fn chart_scales_include_bar_extent() {
+        let mut chart = SvgChart::new(SvgOptions::default());
+        chart.add_series_with_bars(&[0.0, 1.0], &[10.0, 10.0], &[5.0, 5.0], "#000", "x");
+        let svg = chart.render();
+        // Axis labels should cover 5..15 after padding: the tick "15" or
+        // higher must appear somewhere.
+        assert!(svg.contains(">15"), "upper tick missing: {svg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chart_rejects_ragged_series() {
+        let mut chart = SvgChart::new(SvgOptions::default());
+        chart.add_series(&[0.0, 1.0], &[1.0], "#000", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn chart_requires_series() {
+        let chart = SvgChart::new(SvgOptions::default());
+        let _ = chart.render();
+    }
+
+    #[test]
+    fn heatmap_emits_one_rect_per_cell_plus_colorbar() {
+        let hm = SvgHeatMap::new(4, 3, (0..12).map(|i| i as f64).collect()).unwrap();
+        let svg = hm.render();
+        assert_eq!(svg.matches("<rect").count(), 12 + 16);
+        assert!(svg.contains("rgb("));
+    }
+
+    #[test]
+    fn heatmap_validation() {
+        assert!(SvgHeatMap::new(0, 3, vec![]).is_err());
+        assert!(SvgHeatMap::new(2, 2, vec![0.0; 3]).is_err());
+        assert!(SvgHeatMap::new(1, 1, vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn heatmap_constant_field_does_not_divide_by_zero() {
+        let hm = SvgHeatMap::new(2, 2, vec![5.0; 4]).unwrap();
+        let svg = hm.render();
+        assert!(svg.contains("rgb(0,0,255)"), "constant maps to ramp(0)");
+    }
+
+    #[test]
+    fn ramp_endpoints() {
+        assert_eq!(ramp(0.0), (0, 0, 255));
+        assert_eq!(ramp(1.0), (255, 0, 0));
+        let (r, g, _) = ramp(0.5);
+        assert!(g == 255 && r > 100, "midpoint is greenish-yellow");
+    }
+
+    #[test]
+    fn xml_escape_covers_specials() {
+        assert_eq!(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(523.0), "523");
+        assert_eq!(format_tick(0.25), "0.25");
+        assert!(format_tick(1e7).contains('e'));
+    }
+}

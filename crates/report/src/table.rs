@@ -1,0 +1,143 @@
+//! Aligned text tables (the Table I / Table II renderers).
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use etherm_report::TextTable;
+///
+/// let mut t = TextTable::new(&["Region", "Material", "λ [W/K/m]"]);
+/// t.add_row(&["Compound", "Epoxy resin", "0.87"]);
+/// t.add_row(&["Chip", "Copper", "398"]);
+/// let s = t.render();
+/// assert!(s.contains("Epoxy resin"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header.
+    pub fn add_row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of already-owned strings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header.
+    pub fn add_row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table with `|`-separated aligned columns.
+    pub fn render(&self) -> String {
+        let n_cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for c in 0..n_cols {
+                let cell = &cells[c];
+                let pad = widths[c] - cell.chars().count();
+                line.push(' ');
+                line.push_str(cell);
+                line.push_str(&" ".repeat(pad + 1));
+                line.push('|');
+            }
+            line
+        };
+        let sep = {
+            let mut s = String::from("+");
+            for wdt in &widths {
+                s.push_str(&"-".repeat(wdt + 2));
+                s.push('+');
+            }
+            s
+        };
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_content() {
+        let mut t = TextTable::new(&["a", "long header", "c"]);
+        t.add_row(&["1", "2", "3"]);
+        t.add_row_owned(vec!["x".into(), "yyyy".into(), "zzzzzz".into()]);
+        assert_eq!(t.n_rows(), 2);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // All rows share the same width.
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{s}");
+        assert!(s.contains("long header"));
+        assert!(s.contains("zzzzzz"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn wrong_column_count_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.add_row(&["1"]);
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = TextTable::new(&["only"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+        assert_eq!(s.lines().count(), 4); // sep, header, sep, sep
+    }
+
+    #[test]
+    fn unicode_width_uses_char_count() {
+        let mut t = TextTable::new(&["σ [S/m]"]);
+        t.add_row(&["5.8×10⁷"]);
+        let s = t.render();
+        assert!(s.contains("5.8×10⁷"));
+    }
+}

@@ -1,0 +1,370 @@
+//! Univariate probability distributions.
+
+use crate::special::{normal_cdf, normal_pdf, normal_quantile};
+use std::f64::consts::PI;
+
+/// A univariate distribution defined through its quantile function, so that
+/// any uniform design (iid Monte Carlo, Latin Hypercube, Halton) transforms
+/// into it by inversion sampling.
+pub trait Distribution {
+    /// Quantile (inverse CDF) at `u ∈ (0, 1)`.
+    fn quantile(&self, u: f64) -> f64;
+
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative probability at `x`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Standard deviation of the distribution.
+    fn std_dev(&self) -> f64;
+}
+
+/// Normal distribution `N(µ, σ²)`.
+///
+/// The paper identifies `δ ~ N(µ = 0.17, σ = 0.048)` for the relative wire
+/// elongation (Fig. 5).
+///
+/// # Example
+///
+/// ```
+/// use etherm_uq::{Distribution, Normal};
+///
+/// let delta = Normal::new(0.17, 0.048).unwrap();
+/// assert!((delta.cdf(0.17) - 0.5).abs() < 1e-12);
+/// assert!((delta.quantile(0.5) - 0.17).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Creates `N(mu, sigma²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `sigma` is not positive/finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, String> {
+        if !(sigma > 0.0 && sigma.is_finite() && mu.is_finite()) {
+            return Err(format!("invalid normal parameters mu={mu}, sigma={sigma}"));
+        }
+        Ok(Normal { mu, sigma })
+    }
+
+    /// Mean parameter.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Standard deviation parameter.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl Distribution for Normal {
+    fn quantile(&self, u: f64) -> f64 {
+        self.mu + self.sigma * normal_quantile(u)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        normal_pdf((x - self.mu) / self.sigma) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        normal_cdf((x - self.mu) / self.sigma)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn std_dev(&self) -> f64 {
+        self.sigma
+    }
+}
+
+/// Uniform distribution on `[a, b]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    a: f64,
+    b: f64,
+}
+
+impl Uniform {
+    /// Creates `U[a, b]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if `b ≤ a` or bounds are not finite.
+    pub fn new(a: f64, b: f64) -> Result<Self, String> {
+        if !(a.is_finite() && b.is_finite() && b > a) {
+            return Err(format!("invalid uniform bounds [{a}, {b}]"));
+        }
+        Ok(Uniform { a, b })
+    }
+}
+
+impl Distribution for Uniform {
+    fn quantile(&self, u: f64) -> f64 {
+        self.a + u * (self.b - self.a)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x >= self.a && x <= self.b {
+            1.0 / (self.b - self.a)
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        ((x - self.a) / (self.b - self.a)).clamp(0.0, 1.0)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.a + self.b)
+    }
+
+    fn std_dev(&self) -> f64 {
+        (self.b - self.a) / 12f64.sqrt()
+    }
+}
+
+/// Log-normal distribution: `ln X ~ N(µ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu_log: f64,
+    sigma_log: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal with log-space parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for invalid parameters.
+    pub fn new(mu_log: f64, sigma_log: f64) -> Result<Self, String> {
+        if !(sigma_log > 0.0 && sigma_log.is_finite() && mu_log.is_finite()) {
+            return Err(format!(
+                "invalid lognormal parameters mu={mu_log}, sigma={sigma_log}"
+            ));
+        }
+        Ok(LogNormal { mu_log, sigma_log })
+    }
+}
+
+impl Distribution for LogNormal {
+    fn quantile(&self, u: f64) -> f64 {
+        (self.mu_log + self.sigma_log * normal_quantile(u)).exp()
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu_log) / self.sigma_log;
+        (-0.5 * z * z).exp() / (x * self.sigma_log * (2.0 * PI).sqrt())
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        normal_cdf((x.ln() - self.mu_log) / self.sigma_log)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu_log + 0.5 * self.sigma_log * self.sigma_log).exp()
+    }
+
+    fn std_dev(&self) -> f64 {
+        let s2 = self.sigma_log * self.sigma_log;
+        ((s2.exp() - 1.0) * (2.0 * self.mu_log + s2).exp()).sqrt()
+    }
+}
+
+/// Normal distribution truncated to `[lo, hi]` (by CDF inversion).
+///
+/// Used to keep sampled relative elongations `δ` inside a physical range
+/// (`δ < 1` — a wire cannot be infinitely long).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedNormal {
+    base: Normal,
+    lo: f64,
+    hi: f64,
+    cdf_lo: f64,
+    cdf_hi: f64,
+}
+
+impl TruncatedNormal {
+    /// Truncates `N(mu, sigma²)` to `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string if the interval is empty or carries
+    /// (numerically) zero probability mass.
+    pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> Result<Self, String> {
+        let base = Normal::new(mu, sigma)?;
+        if !(hi > lo) {
+            return Err(format!("empty truncation interval [{lo}, {hi}]"));
+        }
+        let cdf_lo = base.cdf(lo);
+        let cdf_hi = base.cdf(hi);
+        if cdf_hi - cdf_lo < 1e-12 {
+            return Err("truncation interval carries no probability mass".into());
+        }
+        Ok(TruncatedNormal {
+            base,
+            lo,
+            hi,
+            cdf_lo,
+            cdf_hi,
+        })
+    }
+
+    /// Truncation bounds.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+impl Distribution for TruncatedNormal {
+    fn quantile(&self, u: f64) -> f64 {
+        let p = self.cdf_lo + u * (self.cdf_hi - self.cdf_lo);
+        self.base
+            .quantile(p.clamp(1e-16, 1.0 - 1e-16))
+            .clamp(self.lo, self.hi)
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            return 0.0;
+        }
+        self.base.pdf(x) / (self.cdf_hi - self.cdf_lo)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (self.base.cdf(x) - self.cdf_lo) / (self.cdf_hi - self.cdf_lo)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        // φ-based closed form.
+        let a = (self.lo - self.base.mu()) / self.base.sigma();
+        let b = (self.hi - self.base.mu()) / self.base.sigma();
+        let z = self.cdf_hi - self.cdf_lo;
+        self.base.mu() + self.base.sigma() * (normal_pdf(a) - normal_pdf(b)) / z
+    }
+
+    fn std_dev(&self) -> f64 {
+        let a = (self.lo - self.base.mu()) / self.base.sigma();
+        let b = (self.hi - self.base.mu()) / self.base.sigma();
+        let z = self.cdf_hi - self.cdf_lo;
+        let pa = normal_pdf(a);
+        let pb = normal_pdf(b);
+        let term1 = (a * pa - b * pb) / z;
+        let term2 = ((pa - pb) / z).powi(2);
+        (self.base.sigma().powi(2) * (1.0 + term1 - term2)).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_roundtrip_and_moments() {
+        let n = Normal::new(0.17, 0.048).unwrap();
+        assert_eq!(n.mean(), 0.17);
+        assert_eq!(n.std_dev(), 0.048);
+        for u in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let x = n.quantile(u);
+            assert!((n.cdf(x) - u).abs() < 1e-9);
+        }
+        // pdf integrates to ~1 over ±6σ.
+        let steps = 2000;
+        let (lo, hi) = (0.17 - 6.0 * 0.048, 0.17 + 6.0 * 0.048);
+        let h = (hi - lo) / steps as f64;
+        let integral: f64 = (0..steps)
+            .map(|i| n.pdf(lo + (i as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-6);
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_properties() {
+        let u = Uniform::new(2.0, 6.0).unwrap();
+        assert_eq!(u.mean(), 4.0);
+        assert!((u.std_dev() - 4.0 / 12f64.sqrt()).abs() < 1e-12);
+        assert_eq!(u.quantile(0.0), 2.0);
+        assert_eq!(u.quantile(1.0), 6.0);
+        assert_eq!(u.cdf(1.0), 0.0);
+        assert_eq!(u.cdf(7.0), 1.0);
+        assert_eq!(u.pdf(4.0), 0.25);
+        assert_eq!(u.pdf(7.0), 0.0);
+        assert!(Uniform::new(1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn lognormal_properties() {
+        let ln = LogNormal::new(0.0, 0.5).unwrap();
+        // Median is e^µ = 1.
+        assert!((ln.quantile(0.5) - 1.0).abs() < 1e-9);
+        assert!((ln.mean() - (0.125f64).exp()).abs() < 1e-12);
+        assert!(ln.pdf(-1.0) == 0.0 && ln.cdf(-1.0) == 0.0);
+        assert!(ln.std_dev() > 0.0);
+        for u in [0.1, 0.5, 0.9] {
+            let x = ln.quantile(u);
+            assert!((ln.cdf(x) - u).abs() < 1e-9);
+        }
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let t = TruncatedNormal::new(0.17, 0.048, 0.0, 0.5).unwrap();
+        for u in [1e-6, 0.1, 0.5, 0.9, 1.0 - 1e-6] {
+            let x = t.quantile(u);
+            assert!((0.0..=0.5).contains(&x), "quantile({u}) = {x}");
+        }
+        assert_eq!(t.cdf(-1.0), 0.0);
+        assert_eq!(t.cdf(1.0), 1.0);
+        assert_eq!(t.pdf(-0.1), 0.0);
+        // Mild truncation barely changes the moments.
+        assert!((t.mean() - 0.17).abs() < 1e-3);
+        assert!((t.std_dev() - 0.048).abs() < 1e-3);
+        assert_eq!(t.bounds(), (0.0, 0.5));
+    }
+
+    #[test]
+    fn truncated_normal_severe_truncation() {
+        // Keep only the right tail: mean must exceed µ.
+        let t = TruncatedNormal::new(0.0, 1.0, 1.0, 10.0).unwrap();
+        assert!(t.mean() > 1.0);
+        assert!(t.std_dev() < 1.0);
+        assert!(TruncatedNormal::new(0.0, 1.0, 2.0, 1.0).is_err());
+        assert!(TruncatedNormal::new(0.0, 1.0, 50.0, 60.0).is_err());
+    }
+
+    #[test]
+    fn truncated_cdf_quantile_roundtrip() {
+        let t = TruncatedNormal::new(0.17, 0.048, 0.05, 0.35).unwrap();
+        for u in [0.05, 0.3, 0.6, 0.95] {
+            let x = t.quantile(u);
+            assert!((t.cdf(x) - u).abs() < 1e-8);
+        }
+    }
+}

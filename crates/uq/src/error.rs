@@ -1,0 +1,57 @@
+//! Error type for the UQ crate.
+
+use std::fmt;
+
+/// Errors produced by UQ estimators and surrogate builders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UqError {
+    /// An argument was invalid (bad degree, sample/basis mismatch, ...).
+    InvalidArgument(String),
+    /// An underlying linear-algebra routine failed.
+    Numerics(etherm_numerics::NumericsError),
+}
+
+impl fmt::Display for UqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UqError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            UqError::Numerics(e) => write!(f, "numerics failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UqError::Numerics(e) => Some(e),
+            UqError::InvalidArgument(_) => None,
+        }
+    }
+}
+
+impl From<etherm_numerics::NumericsError> for UqError {
+    fn from(e: etherm_numerics::NumericsError) -> Self {
+        UqError::Numerics(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = UqError::InvalidArgument("bad degree".into());
+        assert!(e.to_string().contains("bad degree"));
+        let inner = etherm_numerics::NumericsError::InvalidArgument("x".into());
+        let e = UqError::from(inner);
+        assert!(e.to_string().contains("numerics"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UqError>();
+    }
+}

@@ -1,0 +1,453 @@
+//! The Monte Carlo driver (paper §IV-C).
+//!
+//! Repeatedly solves a user-supplied model for random input sets and
+//! accumulates per-output running statistics. Outputs are vectors (e.g. one
+//! wire-temperature time series per wire, flattened), so a single run
+//! yields every `E_j(t)`, `σ_j(t)` and the `σ/√M` error estimate of Eq. 6.
+
+use crate::dist::Distribution;
+use crate::sampling::SampleGenerator;
+use crate::stats::RunningStats;
+
+/// Options for [`run_monte_carlo`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McOptions {
+    /// Keep every per-sample output vector (needed for histograms /
+    /// quantiles; costs `M × n_outputs` doubles).
+    pub keep_samples: bool,
+}
+
+/// Accumulated results of a Monte Carlo study.
+#[derive(Debug, Clone)]
+pub struct McResult {
+    /// Per-output running statistics.
+    pub outputs: Vec<RunningStats>,
+    /// Number of samples evaluated.
+    pub n_samples: usize,
+    /// Raw inputs per sample (always kept; inputs are few).
+    pub inputs: Vec<Vec<f64>>,
+    /// Raw outputs per sample (only with [`McOptions::keep_samples`]).
+    pub samples: Option<Vec<Vec<f64>>>,
+}
+
+impl McResult {
+    /// Mean per output.
+    pub fn means(&self) -> Vec<f64> {
+        self.outputs.iter().map(RunningStats::mean).collect()
+    }
+
+    /// Sample standard deviation per output.
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.outputs.iter().map(RunningStats::sample_std).collect()
+    }
+
+    /// Monte Carlo error `σ/√M` per output (paper Eq. 6).
+    pub fn mc_errors(&self) -> Vec<f64> {
+        self.outputs.iter().map(RunningStats::mc_error).collect()
+    }
+
+    /// Statistics of output `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn output(&self, k: usize) -> &RunningStats {
+        &self.outputs[k]
+    }
+}
+
+/// Runs a Monte Carlo study: draws `n` points from `generator`, maps each
+/// through the `dists` quantiles (inversion sampling) and evaluates
+/// `model(sample_index, inputs) → outputs`.
+///
+/// The output length must be identical across samples.
+///
+/// # Errors
+///
+/// Propagates the first error returned by `model` (already-accumulated
+/// statistics are discarded).
+///
+/// # Panics
+///
+/// Panics if `model` returns inconsistent output lengths, or `dists` is
+/// empty.
+///
+/// # Example
+///
+/// ```
+/// use etherm_uq::{run_monte_carlo, McOptions, MonteCarloSampler, Normal};
+///
+/// let delta = Normal::new(0.17, 0.048).unwrap();
+/// let mut gen = MonteCarloSampler::new(7);
+/// let dists: Vec<&dyn etherm_uq::Distribution> = vec![&delta, &delta];
+/// let result = run_monte_carlo(
+///     &mut gen,
+///     &dists,
+///     1000,
+///     McOptions::default(),
+///     |_i, x| Ok::<_, std::convert::Infallible>(vec![x[0] + x[1]]),
+/// )
+/// .unwrap();
+/// assert!((result.means()[0] - 0.34).abs() < 0.01);
+/// ```
+pub fn run_monte_carlo<F, E>(
+    generator: &mut dyn SampleGenerator,
+    dists: &[&dyn Distribution],
+    n: usize,
+    options: McOptions,
+    mut model: F,
+) -> Result<McResult, E>
+where
+    F: FnMut(usize, &[f64]) -> Result<Vec<f64>, E>,
+{
+    assert!(!dists.is_empty(), "run_monte_carlo: no input distributions");
+    let d = dists.len();
+    let unit_points = generator.generate(n, d);
+    let mut outputs: Vec<RunningStats> = Vec::new();
+    let mut inputs = Vec::with_capacity(n);
+    let mut samples = if options.keep_samples {
+        Some(Vec::with_capacity(n))
+    } else {
+        None
+    };
+
+    for (i, u) in unit_points.into_iter().enumerate() {
+        let x: Vec<f64> = u
+            .iter()
+            .zip(dists)
+            .map(|(&ui, dist)| dist.quantile(ui.clamp(1e-15, 1.0 - 1e-15)))
+            .collect();
+        let y = model(i, &x)?;
+        if outputs.is_empty() {
+            outputs = vec![RunningStats::new(); y.len()];
+        }
+        assert_eq!(
+            y.len(),
+            outputs.len(),
+            "model output length changed between samples"
+        );
+        for (stat, &v) in outputs.iter_mut().zip(&y) {
+            stat.push(v);
+        }
+        inputs.push(x);
+        if let Some(s) = samples.as_mut() {
+            s.push(y);
+        }
+    }
+
+    Ok(McResult {
+        outputs,
+        n_samples: n,
+        inputs,
+        samples,
+    })
+}
+
+/// Parallel variant of [`run_monte_carlo`]: the design is drawn once (so
+/// results are *identical* to the serial driver for the same generator and
+/// seed, regardless of `n_threads`), then the model evaluations are split
+/// across `n_threads` OS threads. Each thread gets its own model instance
+/// from `model_factory` — the coupled electrothermal solver is stateful
+/// (cached matrices, warm starts), so sharing one instance is not an option.
+///
+/// # Errors
+///
+/// Propagates the first error (by sample index) returned by any model.
+///
+/// # Panics
+///
+/// Panics if `dists` is empty, `n_threads == 0`, or the models return
+/// inconsistent output lengths.
+///
+/// # Example
+///
+/// ```
+/// use etherm_uq::montecarlo::{run_monte_carlo_parallel, McOptions};
+/// use etherm_uq::{MonteCarloSampler, Normal};
+///
+/// let delta = Normal::new(0.17, 0.048).unwrap();
+/// let mut gen = MonteCarloSampler::new(7);
+/// let dists: Vec<&dyn etherm_uq::Distribution> = vec![&delta, &delta];
+/// let result = run_monte_carlo_parallel(
+///     &mut gen,
+///     &dists,
+///     1000,
+///     McOptions::default(),
+///     4,
+///     || |_i: usize, x: &[f64]| Ok::<_, std::convert::Infallible>(vec![x[0] + x[1]]),
+/// )
+/// .unwrap();
+/// assert!((result.means()[0] - 0.34).abs() < 0.01);
+/// ```
+pub fn run_monte_carlo_parallel<F, E, MF>(
+    generator: &mut dyn SampleGenerator,
+    dists: &[&dyn Distribution],
+    n: usize,
+    options: McOptions,
+    n_threads: usize,
+    model_factory: MF,
+) -> Result<McResult, E>
+where
+    F: FnMut(usize, &[f64]) -> Result<Vec<f64>, E>,
+    E: Send,
+    MF: Fn() -> F + Sync,
+{
+    assert!(!dists.is_empty(), "run_monte_carlo_parallel: no inputs");
+    assert!(n_threads > 0, "run_monte_carlo_parallel: need ≥ 1 thread");
+    let d = dists.len();
+    let unit_points = generator.generate(n, d);
+    let inputs: Vec<Vec<f64>> = unit_points
+        .into_iter()
+        .map(|u| {
+            u.iter()
+                .zip(dists)
+                .map(|(&ui, dist)| dist.quantile(ui.clamp(1e-15, 1.0 - 1e-15)))
+                .collect()
+        })
+        .collect();
+
+    // Evaluate in contiguous index chunks; collect per-chunk results and
+    // merge in sample order so the statistics are bit-identical to serial.
+    let chunk = n.div_ceil(n_threads).max(1);
+    let results: Vec<Result<Vec<(usize, Vec<f64>)>, E>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, block) in inputs.chunks(chunk).enumerate() {
+            let factory = &model_factory;
+            handles.push(scope.spawn(move || {
+                let mut model = factory();
+                let mut out = Vec::with_capacity(block.len());
+                for (k, x) in block.iter().enumerate() {
+                    let i = c * chunk + k;
+                    out.push((i, model(i, x)?));
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("MC worker thread panicked"))
+            .collect()
+    });
+
+    let mut ordered: Vec<Option<Vec<f64>>> = vec![None; n];
+    for r in results {
+        for (i, y) in r? {
+            ordered[i] = Some(y);
+        }
+    }
+    let mut outputs: Vec<RunningStats> = Vec::new();
+    let mut samples = if options.keep_samples {
+        Some(Vec::with_capacity(n))
+    } else {
+        None
+    };
+    for y in ordered.into_iter().map(|y| y.expect("all samples ran")) {
+        if outputs.is_empty() {
+            outputs = vec![RunningStats::new(); y.len()];
+        }
+        assert_eq!(
+            y.len(),
+            outputs.len(),
+            "model output length changed between samples"
+        );
+        for (stat, &v) in outputs.iter_mut().zip(&y) {
+            stat.push(v);
+        }
+        if let Some(s) = samples.as_mut() {
+            s.push(y);
+        }
+    }
+
+    Ok(McResult {
+        outputs,
+        n_samples: n,
+        inputs,
+        samples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Normal, Uniform};
+    use crate::sampling::{Halton, LatinHypercube, MonteCarloSampler};
+
+    #[test]
+    fn estimates_linear_functional() {
+        // E[3X + 2Y] with X ~ N(1, 0.5), Y ~ U[0, 2] → 3·1 + 2·1 = 5.
+        let x = Normal::new(1.0, 0.5).unwrap();
+        let y = Uniform::new(0.0, 2.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&x, &y];
+        let mut gen = MonteCarloSampler::new(3);
+        let r = run_monte_carlo(&mut gen, &dists, 4000, McOptions::default(), |_, v| {
+            Ok::<_, std::convert::Infallible>(vec![3.0 * v[0] + 2.0 * v[1]])
+        })
+        .unwrap();
+        assert_eq!(r.n_samples, 4000);
+        assert!((r.means()[0] - 5.0).abs() < 3.0 * r.mc_errors()[0] + 0.05);
+        // Known variance: 9·0.25 + 4·(4/12) = 2.25 + 4/3.
+        let want_std = (2.25f64 + 4.0 / 3.0).sqrt();
+        assert!((r.std_devs()[0] - want_std).abs() < 0.1);
+    }
+
+    #[test]
+    fn mc_error_shrinks_with_samples() {
+        let x = Normal::new(0.0, 1.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&x];
+        let run = |n: usize| {
+            let mut gen = MonteCarloSampler::new(11);
+            run_monte_carlo(&mut gen, &dists, n, McOptions::default(), |_, v| {
+                Ok::<_, std::convert::Infallible>(vec![v[0]])
+            })
+            .unwrap()
+            .mc_errors()[0]
+        };
+        let e100 = run(100);
+        let e10000 = run(10_000);
+        // σ/√M: factor ~10 reduction.
+        assert!(e10000 < e100 / 5.0, "{e100} vs {e10000}");
+    }
+
+    #[test]
+    fn lhs_beats_mc_on_smooth_functional() {
+        // Variance of the LHS estimate of E[sum of inputs] is far below MC.
+        let x = Normal::new(0.0, 1.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&x, &x, &x];
+        let estimate = |gen: &mut dyn SampleGenerator, seed_shift: u64| -> f64 {
+            let _ = seed_shift;
+            run_monte_carlo(gen, &dists, 200, McOptions::default(), |_, v| {
+                Ok::<_, std::convert::Infallible>(vec![v.iter().sum()])
+            })
+            .unwrap()
+            .means()[0]
+        };
+        let mut mc_errs = Vec::new();
+        let mut lhs_errs = Vec::new();
+        for seed in 0..20 {
+            let mut mc = MonteCarloSampler::new(seed);
+            let mut lhs = LatinHypercube::new(seed);
+            mc_errs.push(estimate(&mut mc, seed).abs());
+            lhs_errs.push(estimate(&mut lhs, seed).abs());
+        }
+        let mc_rms: f64 =
+            (mc_errs.iter().map(|e| e * e).sum::<f64>() / mc_errs.len() as f64).sqrt();
+        let lhs_rms: f64 =
+            (lhs_errs.iter().map(|e| e * e).sum::<f64>() / lhs_errs.len() as f64).sqrt();
+        assert!(
+            lhs_rms < 0.5 * mc_rms,
+            "LHS rms {lhs_rms} not better than MC rms {mc_rms}"
+        );
+    }
+
+    #[test]
+    fn halton_integrates_smooth_function_accurately() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&u, &u];
+        let mut h = Halton::default();
+        let r = run_monte_carlo(&mut h, &dists, 2000, McOptions::default(), |_, v| {
+            Ok::<_, std::convert::Infallible>(vec![v[0] * v[1]])
+        })
+        .unwrap();
+        // E[XY] = 1/4 for independent U(0,1).
+        assert!((r.means()[0] - 0.25).abs() < 1e-3);
+    }
+
+    #[test]
+    fn keeps_samples_when_requested() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&u];
+        let mut gen = MonteCarloSampler::new(1);
+        let r = run_monte_carlo(
+            &mut gen,
+            &dists,
+            10,
+            McOptions { keep_samples: true },
+            |i, v| Ok::<_, std::convert::Infallible>(vec![v[0], i as f64]),
+        )
+        .unwrap();
+        let samples = r.samples.as_ref().unwrap();
+        assert_eq!(samples.len(), 10);
+        assert_eq!(samples[3][1], 3.0);
+        assert_eq!(r.inputs.len(), 10);
+        assert_eq!(r.output(1).count(), 10);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let x = Normal::new(1.0, 0.5).unwrap();
+        let y = Uniform::new(0.0, 2.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&x, &y];
+        let model = |_i: usize, v: &[f64]| {
+            Ok::<_, std::convert::Infallible>(vec![3.0 * v[0] + 2.0 * v[1], v[0] * v[1]])
+        };
+        let mut gen_a = MonteCarloSampler::new(3);
+        let serial =
+            run_monte_carlo(&mut gen_a, &dists, 500, McOptions::default(), model).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let mut gen_b = MonteCarloSampler::new(3);
+            let par = run_monte_carlo_parallel(
+                &mut gen_b,
+                &dists,
+                500,
+                McOptions::default(),
+                threads,
+                || model,
+            )
+            .unwrap();
+            assert_eq!(par.n_samples, serial.n_samples);
+            for k in 0..2 {
+                assert_eq!(par.means()[k], serial.means()[k], "threads={threads}");
+                assert_eq!(par.std_devs()[k], serial.std_devs()[k]);
+            }
+            assert_eq!(par.inputs, serial.inputs);
+        }
+    }
+
+    #[test]
+    fn parallel_propagates_error_and_keeps_samples() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&u];
+        let mut gen = MonteCarloSampler::new(1);
+        let r = run_monte_carlo_parallel(
+            &mut gen,
+            &dists,
+            32,
+            McOptions::default(),
+            4,
+            || |i: usize, _: &[f64]| if i == 17 { Err("boom") } else { Ok(vec![0.0]) },
+        );
+        assert_eq!(r.unwrap_err(), "boom");
+
+        let mut gen = MonteCarloSampler::new(1);
+        let r = run_monte_carlo_parallel(
+            &mut gen,
+            &dists,
+            10,
+            McOptions { keep_samples: true },
+            3,
+            || |i: usize, v: &[f64]| Ok::<_, std::convert::Infallible>(vec![v[0], i as f64]),
+        )
+        .unwrap();
+        let samples = r.samples.as_ref().unwrap();
+        assert_eq!(samples.len(), 10);
+        // Sample order is preserved despite chunked parallel evaluation.
+        for (i, s) in samples.iter().enumerate() {
+            assert_eq!(s[1], i as f64);
+        }
+    }
+
+    #[test]
+    fn propagates_model_error() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&u];
+        let mut gen = MonteCarloSampler::new(1);
+        let r = run_monte_carlo(&mut gen, &dists, 10, McOptions::default(), |i, _| {
+            if i == 5 {
+                Err("boom")
+            } else {
+                Ok(vec![0.0])
+            }
+        });
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+}

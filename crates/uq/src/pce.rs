@@ -1,0 +1,676 @@
+//! Polynomial chaos expansion (PCE) for normally distributed inputs.
+//!
+//! The paper propagates the wire-elongation uncertainty by plain Monte Carlo
+//! and remarks that "the application of other methods is straightforward"
+//! (§IV-C). This module provides that alternative: a Wiener–Hermite
+//! expansion of the quantity of interest
+//!
+//! ```text
+//! f(ξ) ≈ Σ_α c_α Ψ_α(ξ),   ξ ~ N(0, I_d),
+//! ```
+//!
+//! where `Ψ_α` are products of *orthonormal probabilists' Hermite*
+//! polynomials. Because the germ is standard normal, the paper's elongation
+//! `δ_j ~ N(µ, σ)` maps in as `δ_j = µ + σ ξ_j`.
+//!
+//! Three estimation paths are provided:
+//!
+//! * [`fit_projection_1d`] — spectral projection with Gauss–Hermite
+//!   quadrature for a single random input (exponential convergence for
+//!   smooth quantities of interest),
+//! * [`fit_tensor_projection`] — tensor-grid projection for a few inputs,
+//! * [`fit_regression`] — least-squares regression from arbitrary
+//!   (sample, value) pairs, usable for the full 12-wire problem where a
+//!   tensor grid would be infeasible.
+//!
+//! Mean, variance and Sobol' sensitivity indices then follow *analytically*
+//! from the coefficients — no further sampling.
+
+use crate::UqError;
+use etherm_numerics::dense::DenseMatrix;
+use etherm_numerics::quadrature::QuadratureRule;
+
+/// Evaluates the orthonormal probabilists' Hermite polynomial `ψ_k(x)`,
+/// satisfying `E[ψ_j(ξ) ψ_k(ξ)] = δ_jk` for `ξ ~ N(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use etherm_uq::pce::hermite_orthonormal;
+///
+/// // ψ₂(x) = (x² − 1)/√2.
+/// let x = 1.7;
+/// assert!((hermite_orthonormal(2, x) - (x * x - 1.0) / 2f64.sqrt()).abs() < 1e-12);
+/// ```
+pub fn hermite_orthonormal(k: usize, x: f64) -> f64 {
+    // He_{j+1} = x He_j − j He_{j−1}; ψ_k = He_k / √(k!).
+    let mut h_prev = 1.0;
+    if k == 0 {
+        return 1.0;
+    }
+    let mut h = x;
+    for j in 1..k {
+        let h_next = x * h - j as f64 * h_prev;
+        h_prev = h;
+        h = h_next;
+    }
+    let mut norm = 1.0;
+    for j in 1..=k {
+        norm *= j as f64;
+    }
+    h / norm.sqrt()
+}
+
+/// The set of multi-indices `α ∈ ℕᵈ` with total degree `|α| ≤ p`, in graded
+/// lexicographic order (the zero index comes first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiIndexSet {
+    dim: usize,
+    degree: usize,
+    indices: Vec<Vec<usize>>,
+}
+
+impl MultiIndexSet {
+    /// Enumerates the total-degree set `{α : |α| ≤ p}` in `d` dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UqError::InvalidArgument`] if `d == 0`.
+    pub fn total_degree(dim: usize, degree: usize) -> Result<Self, UqError> {
+        if dim == 0 {
+            return Err(UqError::InvalidArgument(
+                "multi-index set needs dimension ≥ 1".into(),
+            ));
+        }
+        let mut indices = Vec::new();
+        for total in 0..=degree {
+            let mut current = vec![0usize; dim];
+            enumerate_compositions(total, 0, &mut current, &mut indices);
+        }
+        Ok(MultiIndexSet {
+            dim,
+            degree,
+            indices,
+        })
+    }
+
+    /// Input dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Maximal total degree `p`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Number of basis terms, `C(d + p, p)`.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether the set is empty (never true for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// The multi-indices in graded lexicographic order.
+    pub fn indices(&self) -> &[Vec<usize>] {
+        &self.indices
+    }
+}
+
+/// Writes all compositions of `total` into `current[pos..]` (graded order).
+fn enumerate_compositions(
+    total: usize,
+    pos: usize,
+    current: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if pos + 1 == current.len() {
+        current[pos] = total;
+        out.push(current.clone());
+        return;
+    }
+    for head in (0..=total).rev() {
+        current[pos] = head;
+        enumerate_compositions(total - head, pos + 1, current, out);
+    }
+    current[pos] = 0;
+}
+
+/// A fitted polynomial chaos surrogate `f(ξ) ≈ Σ_α c_α Ψ_α(ξ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PceModel {
+    basis: MultiIndexSet,
+    coeffs: Vec<f64>,
+}
+
+impl PceModel {
+    /// Builds a model from a basis and matching coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UqError::InvalidArgument`] on a length mismatch.
+    pub fn from_coefficients(basis: MultiIndexSet, coeffs: Vec<f64>) -> Result<Self, UqError> {
+        if coeffs.len() != basis.len() {
+            return Err(UqError::InvalidArgument(format!(
+                "coefficient count {} does not match basis size {}",
+                coeffs.len(),
+                basis.len()
+            )));
+        }
+        Ok(PceModel { basis, coeffs })
+    }
+
+    /// The multi-index basis of the expansion.
+    pub fn basis(&self) -> &MultiIndexSet {
+        &self.basis
+    }
+
+    /// Expansion coefficients, aligned with [`MultiIndexSet::indices`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluates the surrogate at germ coordinates `ξ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xi.len()` differs from the basis dimension.
+    pub fn eval(&self, xi: &[f64]) -> f64 {
+        assert_eq!(xi.len(), self.basis.dim, "PceModel::eval: dimension");
+        self.basis
+            .indices
+            .iter()
+            .zip(&self.coeffs)
+            .map(|(alpha, &c)| c * eval_multivariate(alpha, xi))
+            .sum()
+    }
+
+    /// Mean of the surrogate output: the zeroth coefficient.
+    pub fn mean(&self) -> f64 {
+        self.coeffs[0]
+    }
+
+    /// Variance of the surrogate output: `Σ_{α≠0} c_α²` (orthonormality).
+    pub fn variance(&self) -> f64 {
+        self.coeffs[1..].iter().map(|c| c * c).sum()
+    }
+
+    /// Standard deviation of the surrogate output.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// First-order Sobol' index of input `i`: the variance fraction carried
+    /// by terms involving *only* `ξ_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sobol_first(&self, i: usize) -> f64 {
+        assert!(i < self.basis.dim, "sobol_first: input index");
+        let var = self.variance();
+        if var == 0.0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (alpha, &c) in self.basis.indices.iter().zip(&self.coeffs) {
+            let only_i = alpha[i] > 0
+                && alpha
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &aj)| j == i || aj == 0);
+            if only_i {
+                sum += c * c;
+            }
+        }
+        sum / var
+    }
+
+    /// Total Sobol' index of input `i`: the variance fraction of all terms
+    /// in which `ξ_i` participates (including interactions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn sobol_total(&self, i: usize) -> f64 {
+        assert!(i < self.basis.dim, "sobol_total: input index");
+        let var = self.variance();
+        if var == 0.0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (alpha, &c) in self.basis.indices.iter().zip(&self.coeffs) {
+            if alpha[i] > 0 {
+                sum += c * c;
+            }
+        }
+        sum / var
+    }
+}
+
+fn eval_multivariate(alpha: &[usize], xi: &[f64]) -> f64 {
+    alpha
+        .iter()
+        .zip(xi)
+        .map(|(&k, &x)| hermite_orthonormal(k, x))
+        .product()
+}
+
+/// Fits a 1D PCE of degree `p` by spectral projection with an `n_quad`-point
+/// Gauss–Hermite rule: `c_k = Σ_q w_q f(ξ_q) ψ_k(ξ_q)`.
+///
+/// `n_quad ≥ p + 1` is required so each coefficient is integrated exactly
+/// for polynomial `f`.
+///
+/// # Errors
+///
+/// Returns [`UqError::InvalidArgument`] if `n_quad ≤ p` or the quadrature
+/// rule cannot be constructed.
+pub fn fit_projection_1d<F: FnMut(f64) -> f64>(
+    mut f: F,
+    degree: usize,
+    n_quad: usize,
+) -> Result<PceModel, UqError> {
+    if n_quad <= degree {
+        return Err(UqError::InvalidArgument(format!(
+            "fit_projection_1d: need n_quad > degree (got {n_quad} ≤ {degree})"
+        )));
+    }
+    let rule = QuadratureRule::gauss_hermite(n_quad)
+        .map_err(|e| UqError::InvalidArgument(format!("gauss_hermite failed: {e}")))?;
+    let basis = MultiIndexSet::total_degree(1, degree)?;
+    let values: Vec<f64> = rule.nodes().iter().map(|&x| f(x)).collect();
+    let mut coeffs = vec![0.0; basis.len()];
+    for (ci, alpha) in coeffs.iter_mut().zip(basis.indices()) {
+        let k = alpha[0];
+        *ci = rule
+            .nodes()
+            .iter()
+            .zip(rule.weights())
+            .zip(&values)
+            .map(|((&x, &w), &v)| w * v * hermite_orthonormal(k, x))
+            .sum();
+    }
+    PceModel::from_coefficients(basis, coeffs)
+}
+
+/// Fits a `d`-dimensional PCE of total degree `p` by projection on the
+/// tensor Gauss–Hermite grid with `n_quad` points per dimension.
+///
+/// The grid has `n_quad^d` points; the call is rejected above
+/// `max_points` to protect against accidental combinatorial explosions
+/// (use [`fit_regression`] for high-dimensional problems such as the
+/// paper's 12 independent wire elongations).
+///
+/// # Errors
+///
+/// Returns [`UqError::InvalidArgument`] if `n_quad ≤ p`, the grid exceeds
+/// `max_points`, or `d == 0`.
+pub fn fit_tensor_projection<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    dim: usize,
+    degree: usize,
+    n_quad: usize,
+    max_points: usize,
+) -> Result<PceModel, UqError> {
+    if n_quad <= degree {
+        return Err(UqError::InvalidArgument(format!(
+            "fit_tensor_projection: need n_quad > degree (got {n_quad} ≤ {degree})"
+        )));
+    }
+    let total_points = (n_quad as u128).checked_pow(dim as u32).ok_or_else(|| {
+        UqError::InvalidArgument("fit_tensor_projection: grid size overflow".into())
+    })?;
+    if total_points > max_points as u128 {
+        return Err(UqError::InvalidArgument(format!(
+            "fit_tensor_projection: tensor grid has {total_points} points (> {max_points}); \
+             use fit_regression instead"
+        )));
+    }
+    let rule = QuadratureRule::gauss_hermite(n_quad)
+        .map_err(|e| UqError::InvalidArgument(format!("gauss_hermite failed: {e}")))?;
+    let basis = MultiIndexSet::total_degree(dim, degree)?;
+    let mut coeffs = vec![0.0; basis.len()];
+    let mut point = vec![0.0; dim];
+    let mut counter = vec![0usize; dim];
+    loop {
+        let mut weight = 1.0;
+        for (j, &c) in counter.iter().enumerate() {
+            point[j] = rule.nodes()[c];
+            weight *= rule.weights()[c];
+        }
+        let value = f(&point);
+        for (ci, alpha) in coeffs.iter_mut().zip(basis.indices()) {
+            *ci += weight * value * eval_multivariate(alpha, &point);
+        }
+        // Odometer increment over the tensor grid.
+        let mut j = 0;
+        loop {
+            if j == dim {
+                return PceModel::from_coefficients(basis, coeffs);
+            }
+            counter[j] += 1;
+            if counter[j] < n_quad {
+                break;
+            }
+            counter[j] = 0;
+            j += 1;
+        }
+    }
+}
+
+/// Fits a `d`-dimensional PCE of total degree `p` by projection on a
+/// Smolyak sparse Gauss–Hermite grid of the given `level` (see
+/// [`crate::sparse_grid::SparseGrid`]) — the middle ground between the
+/// tensor grid (exact but exponential in `d`) and regression (cheap but
+/// sampling-noisy). Choose `level ≥ degree + 1` so the coefficient
+/// integrals of the retained basis are resolved.
+///
+/// # Errors
+///
+/// Returns [`UqError::InvalidArgument`] if `level ≤ degree` or the grid
+/// cannot be built.
+pub fn fit_sparse_projection<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    dim: usize,
+    degree: usize,
+    level: usize,
+) -> Result<PceModel, UqError> {
+    if level <= degree {
+        return Err(UqError::InvalidArgument(format!(
+            "fit_sparse_projection: need level > degree (got {level} ≤ {degree})"
+        )));
+    }
+    let grid = crate::sparse_grid::SparseGrid::gauss_hermite(dim, level)?;
+    let basis = MultiIndexSet::total_degree(dim, degree)?;
+    let values: Vec<f64> = grid.points().iter().map(|x| f(x)).collect();
+    let mut coeffs = vec![0.0; basis.len()];
+    for ((x, &w), &v) in grid.points().iter().zip(grid.weights()).zip(&values) {
+        for (ci, alpha) in coeffs.iter_mut().zip(basis.indices()) {
+            *ci += w * v * eval_multivariate(alpha, x);
+        }
+    }
+    PceModel::from_coefficients(basis, coeffs)
+}
+
+/// Fits a PCE of total degree `p` by least-squares regression from germ
+/// samples `xi` (each of dimension `d`, standard normal) and observed
+/// responses `y`.
+///
+/// Solves the normal equations `(AᵀA) c = Aᵀ y` with a dense Cholesky
+/// factorization; a mild Tikhonov term `λ = 1e-12·tr(AᵀA)/m` keeps the
+/// system positive definite for nearly collinear designs.
+///
+/// # Errors
+///
+/// Returns [`UqError::InvalidArgument`] if fewer samples than basis terms
+/// are supplied, lengths mismatch, or the normal equations cannot be
+/// factorized.
+pub fn fit_regression(
+    xi: &[Vec<f64>],
+    y: &[f64],
+    dim: usize,
+    degree: usize,
+) -> Result<PceModel, UqError> {
+    if xi.len() != y.len() {
+        return Err(UqError::InvalidArgument(format!(
+            "fit_regression: {} samples but {} responses",
+            xi.len(),
+            y.len()
+        )));
+    }
+    let basis = MultiIndexSet::total_degree(dim, degree)?;
+    let m = basis.len();
+    let n = xi.len();
+    if n < m {
+        return Err(UqError::InvalidArgument(format!(
+            "fit_regression: need at least {m} samples for {m} basis terms (got {n})"
+        )));
+    }
+    if let Some(bad) = xi.iter().find(|row| row.len() != dim) {
+        return Err(UqError::InvalidArgument(format!(
+            "fit_regression: sample of dimension {} (expected {dim})",
+            bad.len()
+        )));
+    }
+
+    // Accumulate AᵀA (m×m) and Aᵀy (m) row by row; A itself is never stored.
+    let mut ata = vec![0.0; m * m];
+    let mut aty = vec![0.0; m];
+    let mut row = vec![0.0; m];
+    for (sample, &yi) in xi.iter().zip(y) {
+        for (rj, alpha) in row.iter_mut().zip(basis.indices()) {
+            *rj = eval_multivariate(alpha, sample);
+        }
+        for j in 0..m {
+            aty[j] += row[j] * yi;
+            for k in j..m {
+                ata[j * m + k] += row[j] * row[k];
+            }
+        }
+    }
+    // Symmetrize and regularize.
+    let trace: f64 = (0..m).map(|j| ata[j * m + j]).sum();
+    let lambda = 1e-12 * trace / m as f64;
+    for j in 0..m {
+        ata[j * m + j] += lambda;
+        for k in 0..j {
+            ata[j * m + k] = ata[k * m + j];
+        }
+    }
+    let rows: Vec<&[f64]> = (0..m).map(|j| &ata[j * m..(j + 1) * m]).collect();
+    let gram = DenseMatrix::from_rows(&rows)
+        .map_err(|e| UqError::InvalidArgument(format!("normal-equation assembly failed: {e}")))?;
+    let chol = gram.cholesky().map_err(|e| {
+        UqError::InvalidArgument(format!("normal equations not positive definite: {e}"))
+    })?;
+    let coeffs = chol.solve(&aty);
+    PceModel::from_coefficients(basis, coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn hermite_first_polynomials_match_closed_forms() {
+        for &x in &[-2.3, -0.5, 0.0, 0.7, 1.9] {
+            assert_eq!(hermite_orthonormal(0, x), 1.0);
+            assert!((hermite_orthonormal(1, x) - x).abs() < 1e-14);
+            assert!((hermite_orthonormal(2, x) - (x * x - 1.0) / 2f64.sqrt()).abs() < 1e-13);
+            assert!(
+                (hermite_orthonormal(3, x) - (x.powi(3) - 3.0 * x) / 6f64.sqrt()).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn hermite_orthonormality_under_gauss_hermite() {
+        let rule = QuadratureRule::gauss_hermite(24).unwrap();
+        for j in 0..=6 {
+            for k in 0..=6 {
+                let ip = rule.integrate(|x| hermite_orthonormal(j, x) * hermite_orthonormal(k, x));
+                let want = if j == k { 1.0 } else { 0.0 };
+                assert!((ip - want).abs() < 1e-9, "<ψ{j}, ψ{k}> = {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_index_counts_match_binomial() {
+        // |{α : |α| ≤ p}| = C(d+p, p).
+        let cases = [(1, 4, 5), (2, 3, 10), (3, 2, 10), (12, 2, 91)];
+        for (d, p, want) in cases {
+            let set = MultiIndexSet::total_degree(d, p).unwrap();
+            assert_eq!(set.len(), want, "d={d}, p={p}");
+            assert_eq!(set.indices()[0], vec![0; d], "zero index first");
+            assert!(!set.is_empty());
+            assert_eq!(set.dim(), d);
+            assert_eq!(set.degree(), p);
+        }
+        assert!(MultiIndexSet::total_degree(0, 2).is_err());
+    }
+
+    #[test]
+    fn projection_recovers_cubic_exactly() {
+        // x³ = √6 ψ₃ + 3 ψ₁ → mean 0, variance 9 + 6 = 15.
+        let model = fit_projection_1d(|x| x.powi(3), 3, 6).unwrap();
+        let c = model.coefficients();
+        assert!(c[0].abs() < 1e-12);
+        assert!((c[1] - 3.0).abs() < 1e-12);
+        assert!(c[2].abs() < 1e-12);
+        assert!((c[3] - 6f64.sqrt()).abs() < 1e-12);
+        assert!((model.mean()).abs() < 1e-12);
+        assert!((model.variance() - 15.0).abs() < 1e-10);
+        // The surrogate reproduces the cubic pointwise.
+        for &x in &[-1.5, 0.0, 0.3, 2.0] {
+            assert!((model.eval(&[x]) - x.powi(3)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn projection_converges_exponentially_for_exp() {
+        // f(ξ) = exp(σξ): mean e^{σ²/2}, variance e^{σ²}(e^{σ²} − 1).
+        let sigma: f64 = 0.3;
+        let exact_mean = (sigma * sigma / 2.0).exp();
+        let exact_var = (sigma * sigma).exp() * ((sigma * sigma).exp() - 1.0);
+        let mut prev_err = f64::INFINITY;
+        for degree in [1, 3, 5, 7] {
+            let model = fit_projection_1d(|x| (sigma * x).exp(), degree, 32).unwrap();
+            let err = (model.mean() - exact_mean).abs() + (model.variance() - exact_var).abs();
+            assert!(err < prev_err || err < 1e-12, "degree {degree}: {err}");
+            prev_err = err;
+        }
+        assert!(prev_err < 1e-9, "final error {prev_err}");
+    }
+
+    #[test]
+    fn tensor_projection_recovers_bivariate_polynomial() {
+        // f = 2 + 3ξ₁ + ξ₂² = 2 + 3ψ₁⁽¹⁾ + √2 ψ₂⁽²⁾ + 1 → mean 3, var 9 + 2.
+        let model =
+            fit_tensor_projection(|xi| 2.0 + 3.0 * xi[0] + xi[1] * xi[1], 2, 2, 4, 10_000)
+                .unwrap();
+        assert!((model.mean() - 3.0).abs() < 1e-11);
+        assert!((model.variance() - 11.0).abs() < 1e-10);
+        // Sobol: ξ₁ carries 9/11, ξ₂ carries 2/11, no interactions.
+        assert!((model.sobol_first(0) - 9.0 / 11.0).abs() < 1e-10);
+        assert!((model.sobol_first(1) - 2.0 / 11.0).abs() < 1e-10);
+        assert!((model.sobol_total(0) - 9.0 / 11.0).abs() < 1e-10);
+        assert!((model.sobol_total(1) - 2.0 / 11.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tensor_projection_guards_grid_size() {
+        let err = fit_tensor_projection(|_| 0.0, 12, 2, 3, 100_000);
+        assert!(err.is_err(), "3^12 grid must be rejected");
+    }
+
+    #[test]
+    fn interaction_terms_show_in_total_indices() {
+        // f = ξ₁ ξ₂: variance 1, no first-order effects, all interaction.
+        let model = fit_tensor_projection(|xi| xi[0] * xi[1], 2, 2, 4, 10_000).unwrap();
+        assert!((model.variance() - 1.0).abs() < 1e-10);
+        assert!(model.sobol_first(0).abs() < 1e-10);
+        assert!(model.sobol_first(1).abs() < 1e-10);
+        assert!((model.sobol_total(0) - 1.0).abs() < 1e-10);
+        assert!((model.sobol_total(1) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_projection_matches_tensor_projection() {
+        // Smooth trivariate QoI: both projections must agree closely.
+        let f = |xi: &[f64]| (0.3 * xi[0] + 0.2 * xi[1] - 0.1 * xi[2]).exp();
+        let tensor = fit_tensor_projection(f, 3, 2, 6, 10_000).unwrap();
+        let sparse = fit_sparse_projection(f, 3, 2, 5).unwrap();
+        assert!(
+            (tensor.mean() - sparse.mean()).abs() < 1e-4,
+            "means {} vs {}",
+            tensor.mean(),
+            sparse.mean()
+        );
+        assert!(
+            (tensor.std_dev() - sparse.std_dev()).abs() < 1e-3,
+            "stds {} vs {}",
+            tensor.std_dev(),
+            sparse.std_dev()
+        );
+    }
+
+    #[test]
+    fn sparse_projection_recovers_quadratic_exactly() {
+        let f = |xi: &[f64]| 1.0 + 2.0 * xi[0] + xi[1] * xi[1];
+        let model = fit_sparse_projection(f, 2, 2, 3).unwrap();
+        assert!((model.mean() - 2.0).abs() < 1e-10, "mean {}", model.mean());
+        // Var = 4 + 2 (ψ₂ coefficient √2 squared).
+        assert!(
+            (model.variance() - 6.0).abs() < 1e-9,
+            "var {}",
+            model.variance()
+        );
+        assert!(fit_sparse_projection(|_: &[f64]| 0.0, 2, 3, 3).is_err());
+    }
+
+    #[test]
+    fn regression_recovers_polynomial_from_samples() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 400;
+        let dim = 3;
+        let xi: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| sample_normal(&mut rng)).collect())
+            .collect();
+        let truth = |x: &[f64]| 1.0 + 2.0 * x[0] - x[1] + 0.5 * x[2] * x[2];
+        let y: Vec<f64> = xi.iter().map(|x| truth(x)).collect();
+        let model = fit_regression(&xi, &y, dim, 2).unwrap();
+        // Exact representation: mean = 1 + 0.5, variance = 4 + 1 + 0.25·2.
+        assert!((model.mean() - 1.5).abs() < 1e-8, "mean {}", model.mean());
+        assert!(
+            (model.variance() - 5.5).abs() < 1e-7,
+            "var {}",
+            model.variance()
+        );
+        for x in xi.iter().take(10) {
+            assert!((model.eval(x) - truth(x)).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn regression_rejects_underdetermined_fits() {
+        let xi = vec![vec![0.0, 0.0]; 3];
+        let y = vec![0.0; 3];
+        assert!(fit_regression(&xi, &y, 2, 2).is_err());
+        // Mismatched lengths and dimensions.
+        assert!(fit_regression(&xi, &[0.0; 2], 2, 0).is_err());
+        let bad = vec![vec![0.0]; 5];
+        assert!(fit_regression(&bad, &[0.0; 5], 2, 1).is_err());
+    }
+
+    #[test]
+    fn model_validation() {
+        let basis = MultiIndexSet::total_degree(1, 1).unwrap();
+        assert!(PceModel::from_coefficients(basis.clone(), vec![1.0]).is_err());
+        let model = PceModel::from_coefficients(basis, vec![2.0, 0.0]).unwrap();
+        assert_eq!(model.mean(), 2.0);
+        assert_eq!(model.variance(), 0.0);
+        assert_eq!(model.sobol_first(0), 0.0);
+        assert_eq!(model.sobol_total(0), 0.0);
+        assert_eq!(model.basis().dim(), 1);
+    }
+
+    #[test]
+    fn projection_argument_validation() {
+        assert!(fit_projection_1d(|x| x, 3, 3).is_err());
+        assert!(fit_tensor_projection(|_: &[f64]| 0.0, 2, 3, 3, 10_000).is_err());
+    }
+
+    /// Box–Muller on a plain RNG (avoids depending on rand_distr in tests).
+    fn sample_normal(rng: &mut StdRng) -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(1e-12);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}

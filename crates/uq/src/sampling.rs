@@ -1,0 +1,246 @@
+//! Sampling designs on the unit hypercube.
+//!
+//! All designs emit points in `[0, 1)ᵈ`; the Monte Carlo driver pushes them
+//! through distribution quantile functions (inversion sampling), so the
+//! same simulation code runs under iid MC, Latin Hypercube or Halton QMC.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generator of `n × d` designs on the unit hypercube.
+pub trait SampleGenerator {
+    /// Generates `n` points of dimension `d`, each component in `[0, 1)`.
+    fn generate(&mut self, n: usize, d: usize) -> Vec<Vec<f64>>;
+
+    /// Short human-readable name of the design (for reports).
+    fn name(&self) -> &'static str;
+}
+
+/// Plain iid Monte Carlo sampling (the paper's method, §IV-C).
+#[derive(Debug)]
+pub struct MonteCarloSampler {
+    rng: StdRng,
+}
+
+impl MonteCarloSampler {
+    /// Creates a reproducible sampler from a seed.
+    pub fn new(seed: u64) -> Self {
+        MonteCarloSampler {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SampleGenerator for MonteCarloSampler {
+    fn generate(&mut self, n: usize, d: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| (0..d).map(|_| self.rng.gen::<f64>()).collect())
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "monte-carlo"
+    }
+}
+
+/// Latin Hypercube sampling: each of the `n` strata of each dimension is
+/// hit exactly once, with random placement inside the stratum and
+/// independent permutations per dimension.
+#[derive(Debug)]
+pub struct LatinHypercube {
+    rng: StdRng,
+}
+
+impl LatinHypercube {
+    /// Creates a reproducible LHS design generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        LatinHypercube {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SampleGenerator for LatinHypercube {
+    fn generate(&mut self, n: usize, d: usize) -> Vec<Vec<f64>> {
+        let mut points = vec![vec![0.0; d]; n];
+        for dim in 0..d {
+            // Random permutation of strata.
+            let mut perm: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = self.rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            for (i, point) in points.iter_mut().enumerate() {
+                let jitter: f64 = self.rng.gen();
+                point[dim] = (perm[i] as f64 + jitter) / n as f64;
+            }
+        }
+        points
+    }
+
+    fn name(&self) -> &'static str {
+        "latin-hypercube"
+    }
+}
+
+/// Halton low-discrepancy sequence (quasi-Monte Carlo) with one prime base
+/// per dimension and an index offset to skip the correlated start.
+#[derive(Debug, Clone)]
+pub struct Halton {
+    next_index: usize,
+}
+
+/// The first 16 primes — supports up to 16 input dimensions (the paper's
+/// package has 12 wires).
+const PRIMES: [usize; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
+
+impl Halton {
+    /// Creates a Halton generator starting at index 1 + `skip`.
+    pub fn new(skip: usize) -> Self {
+        Halton {
+            next_index: 1 + skip,
+        }
+    }
+
+    /// Radical inverse of `i` in base `b`.
+    fn radical_inverse(mut i: usize, b: usize) -> f64 {
+        let mut f = 1.0;
+        let mut r = 0.0;
+        let bf = b as f64;
+        while i > 0 {
+            f /= bf;
+            r += f * (i % b) as f64;
+            i /= b;
+        }
+        r
+    }
+}
+
+impl Default for Halton {
+    fn default() -> Self {
+        // Skipping ~20 points avoids the strongly correlated prefix.
+        Halton::new(20)
+    }
+}
+
+impl SampleGenerator for Halton {
+    fn generate(&mut self, n: usize, d: usize) -> Vec<Vec<f64>> {
+        assert!(
+            d <= PRIMES.len(),
+            "Halton supports up to {} dimensions, requested {d}",
+            PRIMES.len()
+        );
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let i = self.next_index;
+            self.next_index += 1;
+            out.push(
+                (0..d)
+                    .map(|dim| Self::radical_inverse(i, PRIMES[dim]))
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "halton"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_unit_cube(points: &[Vec<f64>], d: usize) {
+        for p in points {
+            assert_eq!(p.len(), d);
+            for &c in p {
+                assert!((0.0..1.0).contains(&c), "component {c} outside [0,1)");
+            }
+        }
+    }
+
+    #[test]
+    fn mc_reproducible_and_in_range() {
+        let mut a = MonteCarloSampler::new(42);
+        let mut b = MonteCarloSampler::new(42);
+        let pa = a.generate(100, 3);
+        let pb = b.generate(100, 3);
+        assert_eq!(pa, pb);
+        check_unit_cube(&pa, 3);
+        assert_eq!(a.name(), "monte-carlo");
+        // Different seed differs.
+        let mut c = MonteCarloSampler::new(43);
+        assert_ne!(pa, c.generate(100, 3));
+    }
+
+    #[test]
+    fn lhs_stratification() {
+        let mut lhs = LatinHypercube::new(7);
+        let n = 50;
+        let points = lhs.generate(n, 2);
+        check_unit_cube(&points, 2);
+        // Each stratum [k/n, (k+1)/n) contains exactly one sample per dim.
+        for dim in 0..2 {
+            let mut hits = vec![0usize; n];
+            for p in &points {
+                hits[(p[dim] * n as f64) as usize] += 1;
+            }
+            assert!(hits.iter().all(|&h| h == 1), "stratum hit counts {hits:?}");
+        }
+        assert_eq!(lhs.name(), "latin-hypercube");
+    }
+
+    #[test]
+    fn halton_first_elements_base2_and_3() {
+        let mut h = Halton::new(0); // start at index 1
+        let p = h.generate(4, 2);
+        // Base 2: 1/2, 1/4, 3/4, 1/8; base 3: 1/3, 2/3, 1/9, 4/9.
+        let want2 = [0.5, 0.25, 0.75, 0.125];
+        let want3 = [1.0 / 3.0, 2.0 / 3.0, 1.0 / 9.0, 4.0 / 9.0];
+        for i in 0..4 {
+            assert!((p[i][0] - want2[i]).abs() < 1e-15);
+            assert!((p[i][1] - want3[i]).abs() < 1e-15);
+        }
+        assert_eq!(h.name(), "halton");
+    }
+
+    #[test]
+    fn halton_is_sequential_across_calls() {
+        let mut h1 = Halton::new(0);
+        let a = h1.generate(3, 1);
+        let b = h1.generate(3, 1);
+        let mut h2 = Halton::new(0);
+        let all = h2.generate(6, 1);
+        assert_eq!(a[2][0], all[2][0]);
+        assert_eq!(b[0][0], all[3][0]);
+    }
+
+    #[test]
+    fn halton_low_discrepancy_beats_random_on_mean() {
+        // The mean of f(u) = u over Halton points converges ~1/n, much
+        // faster than 1/√n for MC.
+        let n = 1000;
+        let mut h = Halton::default();
+        let hp = h.generate(n, 1);
+        let h_mean: f64 = hp.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        assert!((h_mean - 0.5).abs() < 2e-3, "halton mean {h_mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn halton_rejects_too_many_dims() {
+        let mut h = Halton::default();
+        let _ = h.generate(1, 17);
+    }
+
+    #[test]
+    fn mc_mean_converges() {
+        let mut mc = MonteCarloSampler::new(1);
+        let n = 20_000;
+        let pts = mc.generate(n, 1);
+        let mean: f64 = pts.iter().map(|p| p[0]).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01);
+    }
+}

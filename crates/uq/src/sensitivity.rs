@@ -1,0 +1,312 @@
+//! Global sensitivity measures: correlation/SRC screening and
+//! variance-based Sobol' indices.
+//!
+//! The paper motivates the study as a *global sensitivity* analysis of the
+//! wire temperatures w.r.t. the geometric parameters. For the (nearly
+//! linear) length→temperature map, Pearson correlation coefficients and
+//! standardized regression coefficients (SRC) between the sampled inputs
+//! and outputs are the appropriate cheap estimators on top of the existing
+//! Monte Carlo sample set. For nonlinear responses, [`sobol_saltelli`]
+//! estimates first-order and total Sobol' indices by the Saltelli
+//! pick-freeze design, and [`crate::pce::PceModel`] yields the same indices
+//! analytically from a chaos surrogate.
+
+/// Pearson correlation coefficient between two equally long samples.
+///
+/// Returns 0 for degenerate (constant) inputs.
+///
+/// # Panics
+///
+/// Panics if lengths differ or fewer than two samples are given.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    assert!(x.len() >= 2, "pearson: need at least two samples");
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxx += dx * dx;
+        syy += dy * dy;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    (sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0)
+}
+
+/// Standardized regression coefficients of a linear surrogate
+/// `y ≈ β₀ + Σ βᵢ xᵢ`, rescaled by `std(xᵢ)/std(y)`.
+///
+/// `inputs[k]` is the k-th sample's input vector. Solved via the normal
+/// equations (inputs are few — the paper has 12).
+///
+/// Returns one SRC per input dimension; their squares approximately sum to
+/// the coefficient of determination `R²` for independent inputs.
+///
+/// # Panics
+///
+/// Panics on inconsistent dimensions, on a singular normal matrix (e.g.
+/// perfectly collinear inputs), or when there are fewer samples than
+/// regression unknowns (`n ≤ d + 1`), which would make the surrogate
+/// underdetermined and the coefficients meaningless.
+pub fn standardized_regression_coefficients(inputs: &[Vec<f64>], y: &[f64]) -> Vec<f64> {
+    assert_eq!(inputs.len(), y.len(), "src: sample count mismatch");
+    assert!(inputs.len() >= 2, "src: need at least two samples");
+    let d = inputs[0].len();
+    assert!(inputs.iter().all(|x| x.len() == d), "src: ragged inputs");
+    assert!(
+        inputs.len() > d + 1,
+        "src: need more than {} samples for {} inputs (got {})",
+        d + 1,
+        d,
+        inputs.len()
+    );
+    let n = inputs.len();
+
+    // Build the (d+1)×(d+1) normal equations for [1, x].
+    let mut ata = vec![vec![0.0f64; d + 1]; d + 1];
+    let mut atb = vec![0.0f64; d + 1];
+    for (x, &yi) in inputs.iter().zip(y) {
+        let mut row = Vec::with_capacity(d + 1);
+        row.push(1.0);
+        row.extend_from_slice(x);
+        for i in 0..=d {
+            for j in 0..=d {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * yi;
+        }
+    }
+    let rows: Vec<&[f64]> = ata.iter().map(|r| r.as_slice()).collect();
+    let a = etherm_numerics::dense::DenseMatrix::from_rows(&rows).expect("square system");
+    let beta = a.solve(&atb).expect("normal equations solvable");
+
+    // Standardize.
+    let my = y.iter().sum::<f64>() / n as f64;
+    let sy = (y.iter().map(|v| (v - my).powi(2)).sum::<f64>() / (n - 1) as f64).sqrt();
+    (0..d)
+        .map(|i| {
+            let mx = inputs.iter().map(|x| x[i]).sum::<f64>() / n as f64;
+            let sx = (inputs.iter().map(|x| (x[i] - mx).powi(2)).sum::<f64>()
+                / (n - 1) as f64)
+                .sqrt();
+            if sy == 0.0 {
+                0.0
+            } else {
+                beta[i + 1] * sx / sy
+            }
+        })
+        .collect()
+}
+
+/// First-order (`s_first`) and total (`s_total`) Sobol' indices per input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SobolIndices {
+    /// First-order indices `S_i = Var(E[Y|X_i]) / Var(Y)`.
+    pub s_first: Vec<f64>,
+    /// Total indices `S_Ti = 1 − Var(E[Y|X_∼i]) / Var(Y)`.
+    pub s_total: Vec<f64>,
+    /// Sample variance of the response over the combined design.
+    pub variance: f64,
+    /// Number of model evaluations spent: `n (d + 2)`.
+    pub evaluations: usize,
+}
+
+/// Estimates Sobol' sensitivity indices by the Saltelli pick-freeze scheme.
+///
+/// `f` maps a point of the unit hypercube `[0,1)ᵈ` to the scalar quantity of
+/// interest (quantile transforms to physical inputs happen inside `f`, like
+/// in [`crate::montecarlo`]). Two independent `n × d` designs `A` and `B`
+/// are drawn; for each input `i` the hybrid matrix `AB_i` (columns of `A`
+/// with column `i` from `B`) is evaluated, giving the Jansen estimators
+///
+/// ```text
+/// S_i  = 1 − Σ (f(B) − f(AB_i))² / (2n V̂),
+/// S_Ti =     Σ (f(A) − f(AB_i))² / (2n V̂).
+/// ```
+///
+/// Cost: `n (d + 2)` model evaluations.
+///
+/// # Errors
+///
+/// Returns [`crate::UqError::InvalidArgument`] if `n < 8`, `dim == 0`, or the
+/// response is (numerically) constant.
+pub fn sobol_saltelli<F: FnMut(&[f64]) -> f64>(
+    mut f: F,
+    dim: usize,
+    n: usize,
+    seed: u64,
+) -> Result<SobolIndices, crate::UqError> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    if dim == 0 || n < 8 {
+        return Err(crate::UqError::InvalidArgument(format!(
+            "sobol_saltelli: need dim ≥ 1 and n ≥ 8 (got {dim}, {n})"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let draw = |rng: &mut StdRng| -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+            .collect()
+    };
+    let a = draw(&mut rng);
+    let b = draw(&mut rng);
+    let fa: Vec<f64> = a.iter().map(|x| f(x)).collect();
+    let fb: Vec<f64> = b.iter().map(|x| f(x)).collect();
+
+    // Total variance over the pooled A ∪ B evaluations.
+    let pooled: Vec<f64> = fa.iter().chain(&fb).copied().collect();
+    let mean = pooled.iter().sum::<f64>() / pooled.len() as f64;
+    let variance =
+        pooled.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (pooled.len() - 1) as f64;
+    if variance <= f64::EPSILON * mean.abs().max(1.0) {
+        return Err(crate::UqError::InvalidArgument(
+            "sobol_saltelli: response variance is zero".into(),
+        ));
+    }
+
+    let mut s_first = vec![0.0; dim];
+    let mut s_total = vec![0.0; dim];
+    let mut hybrid = vec![0.0; dim];
+    for i in 0..dim {
+        let mut num_first = 0.0;
+        let mut num_total = 0.0;
+        for k in 0..n {
+            hybrid.copy_from_slice(&a[k]);
+            hybrid[i] = b[k][i];
+            let fab = f(&hybrid);
+            num_first += (fb[k] - fab) * (fb[k] - fab);
+            num_total += (fa[k] - fab) * (fa[k] - fab);
+        }
+        s_first[i] = 1.0 - num_first / (2.0 * n as f64 * variance);
+        s_total[i] = num_total / (2.0 * n as f64 * variance);
+    }
+    Ok(SobolIndices {
+        s_first,
+        s_total,
+        variance,
+        evaluations: n * (dim + 2),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let yneg = [-2.0, -4.0, -6.0, -8.0];
+        assert!((pearson(&x, &yneg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated() {
+        // x symmetric, y = x²: Pearson correlation is zero by symmetry.
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        assert!(pearson(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn src_recovers_linear_model() {
+        // y = 3x₀ − 2x₁ + 5 with deterministic inputs.
+        let inputs: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, ((i * 3) % 5) as f64])
+            .collect();
+        let y: Vec<f64> = inputs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
+        let src = standardized_regression_coefficients(&inputs, &y);
+        // Exact linear model: SRC² sums to 1 (R² = 1) and signs match.
+        assert!(src[0] > 0.0 && src[1] < 0.0);
+        let r2: f64 = src.iter().map(|s| s * s).sum();
+        // Inputs are slightly correlated so allow tolerance.
+        assert!((r2 - 1.0).abs() < 0.2, "R² from SRC = {r2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need more than")]
+    fn src_rejects_underdetermined_regression() {
+        let inputs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64; 8]).collect();
+        let y = vec![0.0; 5];
+        let _ = standardized_regression_coefficients(&inputs, &y);
+    }
+
+    #[test]
+    fn saltelli_recovers_additive_model_indices() {
+        // Y = 4 U₁ + 2 U₂ (uniform inputs): Var = 16/12 + 4/12,
+        // S₁ = 0.8, S₂ = 0.2, no interactions so S_T = S.
+        let f = |u: &[f64]| 4.0 * u[0] + 2.0 * u[1];
+        let ind = sobol_saltelli(f, 2, 4096, 42).unwrap();
+        assert!((ind.s_first[0] - 0.8).abs() < 0.05, "{:?}", ind.s_first);
+        assert!((ind.s_first[1] - 0.2).abs() < 0.05, "{:?}", ind.s_first);
+        assert!((ind.s_total[0] - 0.8).abs() < 0.05, "{:?}", ind.s_total);
+        assert!((ind.s_total[1] - 0.2).abs() < 0.05, "{:?}", ind.s_total);
+        assert!((ind.variance - 20.0 / 12.0).abs() < 0.1);
+        assert_eq!(ind.evaluations, 4096 * 4);
+    }
+
+    #[test]
+    fn saltelli_detects_pure_interaction() {
+        // Y = (U₁ − ½)(U₂ − ½): all variance is interaction, so first-order
+        // indices ≈ 0 while totals ≈ 1.
+        let f = |u: &[f64]| (u[0] - 0.5) * (u[1] - 0.5);
+        let ind = sobol_saltelli(f, 2, 8192, 7).unwrap();
+        assert!(ind.s_first[0].abs() < 0.05, "{:?}", ind.s_first);
+        assert!(ind.s_first[1].abs() < 0.05, "{:?}", ind.s_first);
+        assert!((ind.s_total[0] - 1.0).abs() < 0.1, "{:?}", ind.s_total);
+        assert!((ind.s_total[1] - 1.0).abs() < 0.1, "{:?}", ind.s_total);
+    }
+
+    #[test]
+    fn saltelli_inert_input_has_zero_indices() {
+        let f = |u: &[f64]| u[0].powi(2);
+        let ind = sobol_saltelli(f, 3, 4096, 3).unwrap();
+        assert!((ind.s_total[1]).abs() < 0.02);
+        assert!((ind.s_total[2]).abs() < 0.02);
+        assert!(ind.s_total[0] > 0.9);
+    }
+
+    #[test]
+    fn saltelli_validation() {
+        assert!(sobol_saltelli(|_| 0.0, 0, 100, 1).is_err());
+        assert!(sobol_saltelli(|_| 0.0, 2, 4, 1).is_err());
+        // Constant response.
+        assert!(sobol_saltelli(|_| 5.0, 2, 64, 1).is_err());
+    }
+
+    #[test]
+    fn src_larger_influence_larger_coefficient() {
+        let inputs: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                vec![
+                    ((i * 13) % 17) as f64 / 17.0,
+                    ((i * 7) % 19) as f64 / 19.0,
+                    ((i * 11) % 23) as f64 / 23.0,
+                ]
+            })
+            .collect();
+        let y: Vec<f64> = inputs
+            .iter()
+            .map(|x| 10.0 * x[0] + 1.0 * x[1] + 0.1 * x[2])
+            .collect();
+        let src = standardized_regression_coefficients(&inputs, &y);
+        assert!(src[0].abs() > src[1].abs());
+        assert!(src[1].abs() > src[2].abs());
+    }
+}

@@ -1,0 +1,244 @@
+//! Sobol' low-discrepancy sequence (digital (t, s)-sequence in base 2).
+//!
+//! Gray-code implementation with embedded direction numbers for up to 16
+//! dimensions (enough for the paper's 12 wires). The per-dimension
+//! initial numbers `m_i` are odd and satisfy `m_i < 2^i`, which guarantees
+//! each one-dimensional projection is a (0,1)-sequence: every prefix of
+//! `2^k` points hits each dyadic interval of length `2^{−k}` exactly once —
+//! a property the tests verify directly.
+
+use crate::sampling::SampleGenerator;
+
+/// Primitive-polynomial data per dimension: `(degree s, encoded
+/// coefficients a, initial direction numbers m)` (Joe & Kuo style).
+/// Dimension 0 is the van-der-Corput sequence (all m = 1).
+const POLY: [(u32, u32, [u32; 6]); 16] = [
+    (0, 0, [1, 1, 1, 1, 1, 1]), // dim 0: special-cased
+    (1, 0, [1, 0, 0, 0, 0, 0]),
+    (2, 1, [1, 3, 0, 0, 0, 0]),
+    (3, 1, [1, 3, 1, 0, 0, 0]),
+    (3, 2, [1, 1, 1, 0, 0, 0]),
+    (4, 1, [1, 1, 3, 3, 0, 0]),
+    (4, 4, [1, 3, 5, 13, 0, 0]),
+    (5, 2, [1, 1, 5, 5, 17, 0]),
+    (5, 4, [1, 1, 5, 5, 5, 0]),
+    (5, 7, [1, 1, 7, 11, 19, 0]),
+    (5, 11, [1, 1, 5, 1, 1, 0]),
+    (5, 13, [1, 1, 1, 3, 11, 0]),
+    (5, 14, [1, 3, 5, 5, 31, 0]),
+    (6, 1, [1, 3, 3, 9, 7, 49]),
+    (6, 13, [1, 1, 1, 15, 21, 21]),
+    (6, 16, [1, 3, 1, 13, 27, 49]),
+];
+
+/// Number of bits of the generated integers.
+const BITS: usize = 52;
+
+/// The Sobol' sequence generator.
+///
+/// # Example
+///
+/// ```
+/// use etherm_uq::sampling::SampleGenerator;
+/// use etherm_uq::sobol::Sobol;
+///
+/// let mut s = Sobol::new(1); // skip the origin point
+/// let pts = s.generate(4, 2);
+/// // First dimension is the van-der-Corput sequence 1/2, 3/4, 1/4, ...
+/// assert!((pts[0][0] - 0.5).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sobol {
+    /// Index of the next point (Gray-code recursion state per dimension).
+    index: u64,
+    /// Current integer state per dimension (lazily initialized).
+    state: Vec<u64>,
+    /// Direction numbers per dimension (computed on first use).
+    directions: Vec<[u64; BITS]>,
+    /// Points to skip at the start (burn-in).
+    skip: usize,
+}
+
+impl Sobol {
+    /// Creates a Sobol generator skipping the first `skip` points.
+    pub fn new(skip: usize) -> Self {
+        Sobol {
+            index: 0,
+            state: Vec::new(),
+            directions: Vec::new(),
+            skip,
+        }
+    }
+
+    /// Maximum supported dimension.
+    pub const MAX_DIM: usize = POLY.len();
+
+    fn ensure_dims(&mut self, d: usize) {
+        assert!(
+            d <= Self::MAX_DIM,
+            "Sobol supports up to {} dimensions, requested {d}",
+            Self::MAX_DIM
+        );
+        while self.directions.len() < d {
+            let dim = self.directions.len();
+            self.directions.push(Self::direction_numbers(dim));
+            self.state.push(0);
+        }
+    }
+
+    /// Computes the 52 direction numbers of dimension `dim`.
+    fn direction_numbers(dim: usize) -> [u64; BITS] {
+        let mut v = [0u64; BITS];
+        if dim == 0 {
+            for (i, vi) in v.iter_mut().enumerate() {
+                *vi = 1u64 << (BITS - 1 - i);
+            }
+            return v;
+        }
+        let (s, a, m) = POLY[dim];
+        let s = s as usize;
+        // Seed with the initial m values.
+        let mut mm = [0u64; BITS];
+        for i in 0..s {
+            mm[i] = m[i] as u64;
+        }
+        // Recurrence: m_k = 2·a₁·m_{k−1} ⊕ 2²·a₂·m_{k−2} ⊕ … ⊕ 2^s·m_{k−s} ⊕ m_{k−s}.
+        for k in s..BITS {
+            let mut val = mm[k - s] ^ (mm[k - s] << s);
+            for j in 1..s {
+                let bit = (a >> (s - 1 - j)) & 1;
+                if bit == 1 {
+                    val ^= mm[k - j] << j;
+                }
+            }
+            mm[k] = val;
+        }
+        for (i, vi) in v.iter_mut().enumerate() {
+            *vi = mm[i] << (BITS - 1 - i);
+        }
+        v
+    }
+
+    /// Next raw point of dimension `d`. Point 0 is the origin, as in the
+    /// standard Sobol' construction — required for the dyadic
+    /// stratification property of every `2^k` prefix.
+    fn next_point(&mut self, d: usize) -> Vec<f64> {
+        self.ensure_dims(d);
+        let scale = 1.0 / (1u64 << BITS) as f64;
+        let point: Vec<f64> = (0..d).map(|dim| self.state[dim] as f64 * scale).collect();
+        // Gray-code update towards the next point: flip the direction of
+        // the lowest zero bit of the current index.
+        let c = (self.index).trailing_ones() as usize;
+        self.index += 1;
+        for dim in 0..self.state.len() {
+            self.state[dim] ^= self.directions[dim][c.min(BITS - 1)];
+        }
+        point
+    }
+}
+
+impl Default for Sobol {
+    fn default() -> Self {
+        Sobol::new(0)
+    }
+}
+
+impl SampleGenerator for Sobol {
+    fn generate(&mut self, n: usize, d: usize) -> Vec<Vec<f64>> {
+        self.ensure_dims(d);
+        while self.skip > 0 {
+            let _ = self.next_point(d);
+            self.skip -= 1;
+        }
+        (0..n).map(|_| self.next_point(d)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "sobol"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_dimension_is_van_der_corput() {
+        let mut s = Sobol::new(0);
+        let pts = s.generate(8, 1);
+        let want = [0.0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125];
+        for (p, w) in pts.iter().zip(want) {
+            assert!((p[0] - w).abs() < 1e-15, "{} vs {w}", p[0]);
+        }
+    }
+
+    #[test]
+    fn one_dimensional_projections_are_stratified() {
+        // Every dimension: the first 2^k points hit each dyadic bin once.
+        for d in 1..=Sobol::MAX_DIM {
+            let mut s = Sobol::new(0);
+            let n = 64;
+            let pts = s.generate(n, d);
+            for dim in 0..d {
+                let mut hits = vec![0usize; n];
+                for p in &pts {
+                    let bin = (p[dim] * n as f64) as usize;
+                    hits[bin.min(n - 1)] += 1;
+                }
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "dim {dim} of {d} not stratified: {hits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_mean_converges_fast() {
+        // E[u_i] = 1/2 per dimension with O(log n / n) error.
+        let mut s = Sobol::new(0);
+        let n = 1024;
+        let d = 12;
+        let pts = s.generate(n, d);
+        for dim in 0..d {
+            let mean: f64 = pts.iter().map(|p| p[dim]).sum::<f64>() / n as f64;
+            assert!((mean - 0.5).abs() < 0.01, "dim {dim}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn skip_advances_the_sequence() {
+        let mut a = Sobol::new(3);
+        let mut b = Sobol::new(0);
+        let _ = b.generate(3, 2);
+        assert_eq!(a.generate(2, 2), b.generate(2, 2));
+    }
+
+    #[test]
+    fn sequence_continues_across_calls() {
+        let mut a = Sobol::new(0);
+        let first = a.generate(4, 3);
+        let second = a.generate(4, 3);
+        let mut b = Sobol::new(0);
+        let all = b.generate(8, 3);
+        assert_eq!(first[3], all[3]);
+        assert_eq!(second[0], all[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions")]
+    fn too_many_dimensions_panics() {
+        let mut s = Sobol::new(0);
+        let _ = s.generate(1, 17);
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let mut s = Sobol::new(0);
+        for p in s.generate(500, 8) {
+            for &c in &p {
+                assert!((0.0..1.0).contains(&c));
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Special functions for Gaussian statistics, implemented from scratch.
+
+use std::f64::consts::{FRAC_1_SQRT_2, PI};
+
+/// Error function `erf(x)` to near machine precision.
+///
+/// Uses the Maclaurin series `erf(x) = 2/√π · Σ (−1)ⁿ x^{2n+1}/(n!(2n+1))`
+/// for `|x| < 3` (converges quickly there) and the Legendre continued
+/// fraction of `erfc` for larger arguments, giving ≲ 10⁻¹⁴ relative error
+/// across the real line.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x >= 3.0 {
+        return 1.0 - erfc_large(x);
+    }
+    // Series: term_{n} = (−1)ⁿ x^{2n+1}/(n!(2n+1)).
+    let x2 = x * x;
+    let mut term = x; // n = 0: x
+    let mut sum = x;
+    for n in 1..200 {
+        term *= -x2 / n as f64;
+        let contrib = term / (2 * n + 1) as f64;
+        sum += contrib;
+        if contrib.abs() < 1e-17 * sum.abs() {
+            break;
+        }
+    }
+    (2.0 / PI.sqrt() * sum).clamp(-1.0, 1.0)
+}
+
+/// `erfc(x)` for `x ≥ 3` via the Legendre continued fraction
+/// `erfc(x) = e^{−x²}/√π · 1/(x + ½/(x + 1/(x + 3⁄2/(x + 2/(x + …)))))`,
+/// evaluated by backward recurrence.
+fn erfc_large(x: f64) -> f64 {
+    if x > 27.0 {
+        return 0.0; // e^{−729} underflows f64 anyway
+    }
+    let mut cf = 0.0f64;
+    for k in (1..=80).rev() {
+        cf = 0.5 * k as f64 / (x + cf);
+    }
+    (-x * x).exp() / PI.sqrt() / (x + cf)
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Standard normal probability density `φ(x)`.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * PI).sqrt()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x * FRAC_1_SQRT_2)
+}
+
+/// Inverse standard normal CDF `Φ⁻¹(p)` (Acklam's algorithm, |ε| < 1.2e-9,
+/// plus one Newton polish step → close to machine precision).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile: p = {p} outside (0, 1)");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Newton polish: x ← x − (Φ(x) − p)/φ(x).
+    let e = normal_cdf(x) - p;
+    x - e / normal_pdf(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values (Abramowitz & Stegun tables).
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (3.0, 0.9999779095),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {}", erf(x));
+            assert!((erf(-x) + want).abs() < 2e-7);
+        }
+        assert_eq!(erf(10.0), 1.0);
+    }
+
+    #[test]
+    fn erfc_complement() {
+        for x in [-2.0, -0.5, 0.0, 0.7, 3.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn cdf_symmetry_and_known_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-12);
+        assert!((normal_cdf(1.0) - 0.8413447461).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.1586552539).abs() < 1e-6);
+        assert!((normal_cdf(1.959963985) - 0.975).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999] {
+            let x = normal_quantile(p);
+            assert!(
+                (normal_cdf(x) - p).abs() < 1e-9,
+                "Φ(Φ⁻¹({p})) = {}",
+                normal_cdf(x)
+            );
+        }
+        assert!((normal_quantile(0.975) - 1.959963985).abs() < 1e-6);
+        assert!(normal_quantile(0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn quantile_rejects_bad_p() {
+        let _ = normal_quantile(1.0);
+    }
+
+    #[test]
+    fn pdf_properties() {
+        assert!((normal_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!((normal_pdf(1.0) - normal_pdf(-1.0)).abs() < 1e-15);
+        // Coarse quadrature of the pdf ≈ 1.
+        let n = 4000;
+        let mut s = 0.0;
+        for i in 0..n {
+            let x = -8.0 + 16.0 * (i as f64 + 0.5) / n as f64;
+            s += normal_pdf(x) * 16.0 / n as f64;
+        }
+        assert!((s - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the UQ crate: chaos expansions, sparse grids
+//! and variance-reduction estimators.
+
+use etherm_uq::pce::hermite_orthonormal;
+use etherm_uq::{antithetic, fit_projection_1d, MultiIndexSet, SparseGrid};
+use proptest::prelude::*;
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 0..k {
+        acc = acc * (n - i) / (i + 1);
+    }
+    acc
+}
+
+proptest! {
+    #[test]
+    fn hermite_three_term_recurrence(k in 1usize..12, x in -4.0f64..4.0) {
+        // √(k+1)·ψ_{k+1}(x) = x·ψ_k(x) − √k·ψ_{k−1}(x).
+        let lhs = ((k + 1) as f64).sqrt() * hermite_orthonormal(k + 1, x);
+        let rhs = x * hermite_orthonormal(k, x) - (k as f64).sqrt() * hermite_orthonormal(k - 1, x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "k={k}, x={x}");
+    }
+
+    #[test]
+    fn multi_index_count_is_binomial(d in 1usize..8, p in 0usize..5) {
+        let set = MultiIndexSet::total_degree(d, p).unwrap();
+        let want = binomial((d + p) as u64, p as u64) as usize;
+        prop_assert_eq!(set.len(), want);
+        // All indices respect the degree bound and are unique.
+        let mut seen = std::collections::HashSet::new();
+        for alpha in set.indices() {
+            prop_assert!(alpha.iter().sum::<usize>() <= p);
+            prop_assert!(seen.insert(alpha.clone()));
+        }
+    }
+
+    #[test]
+    fn projection_recovers_random_quadratics(
+        a in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        c in -5.0f64..5.0,
+    ) {
+        // f(ξ) = a + bξ + cξ²: mean a + c, variance b² + 2c².
+        let model = fit_projection_1d(|x| a + b * x + c * x * x, 2, 5).unwrap();
+        prop_assert!((model.mean() - (a + c)).abs() < 1e-9);
+        prop_assert!((model.variance() - (b * b + 2.0 * c * c)).abs() < 1e-8);
+        // Surrogate reproduces the polynomial pointwise.
+        for &x in &[-1.5, 0.0, 2.0] {
+            prop_assert!((model.eval(&[x]) - (a + b * x + c * x * x)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn sparse_grid_normalized_for_any_shape(d in 1usize..6, level in 1usize..5) {
+        let g = SparseGrid::gauss_hermite(d, level).unwrap();
+        let total: f64 = g.weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // First and second moments are exact from level 2 on.
+        if level >= 2 {
+            for i in 0..d {
+                prop_assert!(g.integrate(|x| x[i]).abs() < 1e-9);
+            }
+        }
+        if level >= 3 {
+            for i in 0..d {
+                prop_assert!((g.integrate(|x| x[i] * x[i]) - 1.0).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn antithetic_exact_for_random_affine_functions(
+        coeffs in proptest::collection::vec(-10.0f64..10.0, 1..5),
+        offset in -10.0f64..10.0,
+        seed in 0u64..1000,
+    ) {
+        let d = coeffs.len();
+        let est = antithetic(
+            |u| offset + u.iter().zip(&coeffs).map(|(ui, ci)| ci * ui).sum::<f64>(),
+            d,
+            20,
+            seed,
+        )
+        .unwrap();
+        // E[f] = offset + Σ cᵢ/2, reproduced with zero variance.
+        let want = offset + coeffs.iter().sum::<f64>() / 2.0;
+        prop_assert!((est.mean - want).abs() < 1e-9, "{} vs {want}", est.mean);
+        prop_assert!(est.std_error < 1e-9);
+    }
+}

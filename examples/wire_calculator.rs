@@ -1,0 +1,51 @@
+//! Bonding-wire calculator: closed-form design estimates for wire
+//! temperature and allowable current (the paper's introduction motivates
+//! exactly this workflow — choose material and thickness).
+//!
+//! Run with `cargo run --release --example wire_calculator -- [current_A]`.
+
+use etherm::bondwire::analytic::{allowable_current, preece_fusing_current, FinModel};
+use etherm::bondwire::{BondWire, T_CRITICAL};
+use etherm::materials::library;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let current: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(0.5);
+
+    println!("wire calculator @ I = {current} A, pads at 300 K, L = 1.55 mm\n");
+    println!("material   d[um]   R[mOhm]   T_max[K]   I_allow[A]   I_preece[A]");
+    for (name, material) in [
+        ("copper", library::copper()),
+        ("gold", library::gold()),
+        ("aluminum", library::aluminum()),
+    ] {
+        for d_um in [15.0, 25.4, 38.0, 50.0] {
+            let wire = BondWire::new(name, 1.55e-3, d_um * 1e-6, material.clone())?;
+            let mut fin = FinModel::new(wire.clone(), 300.0, 300.0, 300.0, 0.0, current);
+            let (_, t_max) = fin.solve_self_consistent(1e-9, 200);
+            let i_allow = allowable_current(&wire, 300.0, 300.0, 0.0, T_CRITICAL, 20.0);
+            let marker = if t_max > T_CRITICAL { "  <-- EXCEEDS T_crit!" } else { "" };
+            println!(
+                "{name:9} {d_um:6.1}   {:7.2}   {t_max:8.1}   {i_allow:10.3}   {:10.3}{marker}",
+                wire.resistance(300.0) * 1e3,
+                preece_fusing_current(d_um * 1e-6),
+            );
+        }
+        println!();
+    }
+
+    // Show a full temperature profile for the paper's wire at the requested
+    // current.
+    let wire = BondWire::new("paper wire", 1.55e-3, 25.4e-6, library::copper())?;
+    let mut fin = FinModel::new(wire, 300.0, 300.0, 300.0, 0.0, current);
+    fin.solve_self_consistent(1e-9, 200);
+    println!("temperature profile of the 25.4 um copper wire at {current} A:");
+    for (x, t) in fin.profile(10) {
+        let bar_len = ((t - 300.0) / 5.0).clamp(0.0, 60.0) as usize;
+        println!("  x = {:5.3} mm  {:7.1} K  {}", x * 1e3, t, "#".repeat(bar_len));
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! End-to-end smoke test of the full paper pipeline on reduced budgets:
+//! package → synthetic X-ray → distribution fit → Monte Carlo → Fig. 7
+//! statistics.
+
+use etherm::core::{Simulator, SolverOptions};
+use etherm::package::{
+    build_model, paper_elongation_distribution, BuildOptions, PackageGeometry, XrayMetrology,
+};
+use etherm::uq::dist::Distribution;
+use etherm::uq::{run_monte_carlo, McOptions, MonteCarloSampler};
+
+fn coarse_options() -> BuildOptions {
+    BuildOptions {
+        target_spacing_xy: 0.6e-3,
+        target_spacing_z: 0.3e-3,
+        ..BuildOptions::paper_fig7()
+    }
+}
+
+#[test]
+fn xray_to_fit_pipeline() {
+    let geometry = PackageGeometry::paper();
+    let measurements = XrayMetrology::default().measure(&geometry);
+    assert_eq!(measurements.len(), 12);
+    let fit = XrayMetrology::fit(&measurements);
+    // One virtual chip lands near the paper's N(0.17, 0.048).
+    assert!((fit.mu() - 0.17).abs() < 0.06, "mu = {}", fit.mu());
+    assert!((fit.sigma() - 0.048).abs() < 0.05, "sigma = {}", fit.sigma());
+}
+
+#[test]
+fn nominal_paper_transient_reaches_plausible_temperatures() {
+    let geometry = PackageGeometry::paper();
+    let built = build_model(&geometry, &coarse_options()).unwrap();
+    let sim = Simulator::new(&built.model, SolverOptions::fast()).unwrap();
+    let sol = sim.run_transient(50.0, 25, &[]).unwrap();
+    let series = sol.max_wire_series();
+    // Starts at ambient, rises monotonically (to solver tolerance), ends in
+    // the paper's regime (well above 400 K, below the runaway range).
+    assert_eq!(series[0], 300.0);
+    for w in series.windows(2) {
+        assert!(w[1] >= w[0] - 1e-6, "non-monotone rise: {w:?}");
+    }
+    let end = *series.last().unwrap();
+    assert!((420.0..560.0).contains(&end), "E_max(50 s) = {end} K");
+    // The hottest wire is among the shortest (paper §V-D).
+    let (j_hot, _) = sol.hottest_wire().unwrap();
+    let mut lengths = built.nominal_lengths.clone();
+    lengths.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = lengths[6];
+    assert!(
+        built.nominal_lengths[j_hot] <= median,
+        "hottest wire #{j_hot} is not among the shorter half"
+    );
+}
+
+#[test]
+fn mini_monte_carlo_statistics_are_sane() {
+    let geometry = PackageGeometry::paper();
+    let mut built = build_model(&geometry, &coarse_options()).unwrap();
+    let delta = paper_elongation_distribution();
+    let dists: Vec<&dyn Distribution> = (0..12).map(|_| &delta as &dyn Distribution).collect();
+    let steps = 10;
+    let mut gen = MonteCarloSampler::new(5);
+    let result = run_monte_carlo(
+        &mut gen,
+        &dists,
+        8,
+        McOptions::default(),
+        |_, deltas| -> Result<Vec<f64>, String> {
+            built.apply_elongations(deltas).map_err(|e| e.to_string())?;
+            let sim = Simulator::new(&built.model, SolverOptions::fast()).map_err(|e| e.to_string())?;
+            let sol = sim.run_transient(50.0, steps, &[]).map_err(|e| e.to_string())?;
+            Ok(vec![sol.max_wire_series()[steps]])
+        },
+    )
+    .unwrap();
+    let stats = result.output(0);
+    assert_eq!(stats.count(), 8);
+    // Spread from the elongation uncertainty is nonzero but far below the
+    // temperature rise itself.
+    assert!(stats.sample_std() > 0.05, "sigma = {}", stats.sample_std());
+    assert!(stats.sample_std() < 0.3 * (stats.mean() - 300.0));
+    // Eq. (6): error = sigma/sqrt(M).
+    let expect = stats.sample_std() / (8f64).sqrt();
+    assert!((stats.mc_error() - expect).abs() < 1e-12);
+}
+
+#[test]
+fn elongation_increases_resistance_decreases_power() {
+    // Single deterministic check of the core MC mechanism: longer wires →
+    // larger resistance → less dissipated power at fixed voltage.
+    let geometry = PackageGeometry::paper();
+    let mut built = build_model(&geometry, &coarse_options()).unwrap();
+
+    built.apply_elongations(&vec![0.05; 12]).unwrap();
+    let sim = Simulator::new(&built.model, SolverOptions::fast()).unwrap();
+    let sol_short = sim.run_transient(10.0, 5, &[]).unwrap();
+    let p_short: f64 = sol_short.wire_powers.iter().map(|w| *w.last().unwrap()).sum();
+
+    built.apply_elongations(&vec![0.30; 12]).unwrap();
+    let sim = Simulator::new(&built.model, SolverOptions::fast()).unwrap();
+    let sol_long = sim.run_transient(10.0, 5, &[]).unwrap();
+    let p_long: f64 = sol_long.wire_powers.iter().map(|w| *w.last().unwrap()).sum();
+
+    assert!(
+        p_short > p_long * 1.1,
+        "short wires {p_short} W vs long wires {p_long} W"
+    );
+}

@@ -1,0 +1,171 @@
+//! Cross-validation of the UQ method family on the bonding-wire problem:
+//! plain Monte Carlo (the paper's estimator), polynomial chaos, Saltelli
+//! Sobol' indices, and the variance-reduction estimators must all agree on
+//! the same quantity of interest.
+//!
+//! The QoI is the analytic fin model's peak temperature as a function of
+//! the uncertain wire length — cheap enough to run thousands of times, yet
+//! exercising the same σ(T)-nonlinear physics as the full field model.
+
+use etherm::bondwire::analytic::FinModel;
+use etherm::bondwire::BondWire;
+use etherm::materials::library;
+use etherm::package::paper_elongation_distribution;
+use etherm::uq::special::normal_quantile;
+use etherm::uq::{
+    antithetic, fit_projection_1d, fit_regression, sobol_saltelli, Distribution, RunningStats,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const D_DIRECT: f64 = 1.3e-3;
+
+/// Peak fin temperature for relative elongation `delta`.
+fn peak_temp(delta: f64) -> f64 {
+    let l = D_DIRECT / (1.0 - delta.clamp(-0.5, 0.9));
+    let wire = BondWire::new("w", l, 25.4e-6, library::copper()).expect("wire");
+    let mut fin = FinModel::new(wire, 300.0, 300.0, 300.0, 25.0, 0.45);
+    fin.solve_self_consistent(1e-10, 200).1
+}
+
+#[test]
+fn pce_and_monte_carlo_agree_on_mean_and_std() {
+    let dist = paper_elongation_distribution();
+    let (mu, sd) = (dist.mean(), dist.std_dev());
+
+    // Spectral reference.
+    let pce = fit_projection_1d(|xi| peak_temp(mu + sd * xi), 6, 16).expect("projection");
+
+    // MC with M = 4000 → error_MC ≈ σ/63.
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut mc = RunningStats::new();
+    for _ in 0..4000 {
+        let xi = normal_quantile(rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12));
+        mc.push(peak_temp(mu + sd * xi));
+    }
+    let tol = 4.0 * mc.mc_error();
+    assert!(
+        (pce.mean() - mc.mean()).abs() < tol,
+        "PCE mean {} vs MC mean {} (tol {tol})",
+        pce.mean(),
+        mc.mean()
+    );
+    assert!(
+        (pce.std_dev() - mc.sample_std()).abs() / mc.sample_std() < 0.1,
+        "PCE std {} vs MC std {}",
+        pce.std_dev(),
+        mc.sample_std()
+    );
+}
+
+#[test]
+fn regression_pce_matches_projection_pce() {
+    let dist = paper_elongation_distribution();
+    let (mu, sd) = (dist.mean(), dist.std_dev());
+    let projection = fit_projection_1d(|xi| peak_temp(mu + sd * xi), 3, 10).expect("projection");
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let xi: Vec<Vec<f64>> = (0..200)
+        .map(|_| vec![normal_quantile(rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12))])
+        .collect();
+    let y: Vec<f64> = xi.iter().map(|x| peak_temp(mu + sd * x[0])).collect();
+    let regression = fit_regression(&xi, &y, 1, 3).expect("regression");
+
+    assert!(
+        (projection.mean() - regression.mean()).abs() < 0.05,
+        "means: projection {} vs regression {}",
+        projection.mean(),
+        regression.mean()
+    );
+    assert!(
+        (projection.std_dev() - regression.std_dev()).abs() / projection.std_dev() < 0.15,
+        "stds: projection {} vs regression {}",
+        projection.std_dev(),
+        regression.std_dev()
+    );
+}
+
+#[test]
+fn antithetic_mean_matches_mc_with_smaller_error() {
+    let dist = paper_elongation_distribution();
+    let qoi = |u: &[f64]| peak_temp(dist.quantile(u[0].clamp(1e-12, 1.0 - 1e-12)));
+
+    let anti = antithetic(qoi, 1, 500, 4).expect("antithetic");
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut plain = RunningStats::new();
+    for _ in 0..1000 {
+        plain.push(qoi(&[rng.gen::<f64>()]));
+    }
+    assert!(
+        (anti.mean - plain.mean()).abs() < 4.0 * (anti.std_error + plain.mc_error()),
+        "antithetic {} vs plain {}",
+        anti.mean,
+        plain.mean()
+    );
+    // The QoI is monotone in δ: antithetic must not be worse.
+    assert!(anti.std_error <= plain.mc_error() * 1.05);
+}
+
+#[test]
+fn saltelli_and_pce_sobol_agree_for_two_wires() {
+    // Two *independent* wires; QoI = max of both peak temperatures. With
+    // iid inputs both wires should carry comparable sensitivity and the
+    // Saltelli estimates should match the chaos-based indices.
+    let dist = paper_elongation_distribution();
+    let (mu, sd) = (dist.mean(), dist.std_dev());
+    // Wire 2 is 15 % longer → hotter → dominates the max.
+    let qoi_xi = |xi: &[f64]| -> f64 {
+        let t1 = peak_temp(mu + sd * xi[0]);
+        let t2 = peak_temp(0.15 + mu + sd * xi[1]);
+        t1.max(t2)
+    };
+
+    // Chaos surrogate via regression on 300 germ samples.
+    let mut rng = StdRng::seed_from_u64(13);
+    let xi: Vec<Vec<f64>> = (0..300)
+        .map(|_| {
+            (0..2)
+                .map(|_| normal_quantile(rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12)))
+                .collect()
+        })
+        .collect();
+    let y: Vec<f64> = xi.iter().map(|x| qoi_xi(x)).collect();
+    let pce = fit_regression(&xi, &y, 2, 2).expect("regression");
+
+    // Saltelli on the uniform-cube parameterization of the same QoI.
+    let qoi_u = |u: &[f64]| -> f64 {
+        let x0 = normal_quantile(u[0].clamp(1e-12, 1.0 - 1e-12));
+        let x1 = normal_quantile(u[1].clamp(1e-12, 1.0 - 1e-12));
+        qoi_xi(&[x0, x1])
+    };
+    let saltelli = sobol_saltelli(qoi_u, 2, 4096, 21).expect("saltelli");
+
+    for i in 0..2 {
+        assert!(
+            (pce.sobol_total(i) - saltelli.s_total[i]).abs() < 0.1,
+            "input {i}: PCE {} vs Saltelli {}",
+            pce.sobol_total(i),
+            saltelli.s_total[i]
+        );
+    }
+    // The longer wire dominates.
+    assert!(saltelli.s_total[1] > saltelli.s_total[0]);
+    assert!(pce.sobol_total(1) > pce.sobol_total(0));
+}
+
+#[test]
+fn pce_surrogate_predicts_out_of_sample() {
+    let dist = paper_elongation_distribution();
+    let (mu, sd) = (dist.mean(), dist.std_dev());
+    let pce = fit_projection_1d(|xi| peak_temp(mu + sd * xi), 5, 12).expect("projection");
+    // Evaluate the surrogate where it was *not* fitted and compare with the
+    // true model inside ±2σ.
+    for &xi in &[-2.0, -1.3, -0.4, 0.0, 0.7, 1.6, 2.0] {
+        let truth = peak_temp(mu + sd * xi);
+        let pred = pce.eval(&[xi]);
+        assert!(
+            (pred - truth).abs() < 0.02,
+            "xi = {xi}: surrogate {pred} vs truth {truth}"
+        );
+    }
+}
