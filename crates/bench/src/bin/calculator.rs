@@ -1,7 +1,7 @@
 //! **A8** — the "bonding wire calculator" baseline.
 //!
 //! The paper's introduction motivates wire design via simple calculators
-//! (refs. [3], [6]): given material and thickness, estimate the maximum
+//! (refs. \[3\], \[6\]): given material and thickness, estimate the maximum
 //! temperature and the allowable current. This binary runs the closed-form
 //! fin baseline for a sweep of diameters/materials and compares against the
 //! Preece fusing rule and the full field-circuit model's operating point.

@@ -59,7 +59,7 @@ fn main() {
         run_monte_carlo_parallel(&mut gen, &dists, m, McOptions::default(), threads, || {
             let mut local = build_paper_package();
             move |i: usize, deltas: &[f64]| {
-                if i % 25 == 0 {
+                if i.is_multiple_of(25) {
                     eprintln!("  sample {i}/{m}");
                 }
                 sample_model(&mut local, deltas)

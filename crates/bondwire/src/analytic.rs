@@ -1,6 +1,6 @@
 //! Closed-form 1D bonding-wire temperature baseline.
 //!
-//! The "bonding wire calculator" literature the paper cites ([3], [6])
+//! The "bonding wire calculator" literature the paper cites (refs. \[3\], \[6\])
 //! evaluates wire temperatures from the steady 1D fin equation along the
 //! wire axis:
 //!

@@ -12,7 +12,7 @@
 //! * [`stamp`] — stamping wires into the reduced FIT systems and computing
 //!   their Joule heat and currents,
 //! * [`analytic`] — a closed-form 1D fin baseline (the "bonding wire
-//!   calculator" family of refs. [3], [6]) incl. allowable-current search,
+//!   calculator" family of refs. \[3\], \[6\]) incl. allowable-current search,
 //! * [`degradation`] — critical-temperature failure criterion
 //!   (`T_crit = 523 K`), threshold-crossing detection and an Arrhenius
 //!   damage-accumulation extension.

@@ -58,13 +58,16 @@ impl<'m> Simulator<'m> {
         t_end: f64,
         options: &AdaptiveOptions,
     ) -> Result<TransientSolution, CoreError> {
-        if !(t_end > 0.0)
-            || !(options.tol > 0.0)
-            || !(options.dt_init > 0.0)
-            || options.dt_min <= 0.0
-            || options.dt_max < options.dt_min
-            || !(0.0 < options.safety && options.safety < 1.0)
-        {
+        // All comparisons are false for NaN inputs, so NaN anywhere fails
+        // validation.
+        let valid = t_end > 0.0
+            && options.tol > 0.0
+            && options.dt_init > 0.0
+            && options.dt_min > 0.0
+            && options.dt_max >= options.dt_min
+            && options.safety > 0.0
+            && options.safety < 1.0;
+        if !valid {
             return Err(CoreError::InvalidModel(
                 "inconsistent adaptive time-stepping options".into(),
             ));

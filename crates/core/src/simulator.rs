@@ -250,7 +250,7 @@ impl<'m> Simulator<'m> {
     fn solve_electrical(
         &self,
         t_full: &[f64],
-        phi_warm: &mut Vec<f64>,
+        phi_warm: &mut [f64],
     ) -> Result<ElectricalSolve, CoreError> {
         let grid = self.model.grid();
         let t_grid = &t_full[..grid.n_nodes()];
@@ -294,7 +294,7 @@ impl<'m> Simulator<'m> {
         let iterations = self.solve_reduced("electrical", a, b, &mut x)?;
         self.elec_map.expand_into(&x, phi_warm);
         Ok(ElectricalSolve {
-            phi: phi_warm.clone(),
+            phi: phi_warm.to_vec(),
             cell_sigma,
             m_sigma,
             iterations,
@@ -345,7 +345,7 @@ impl<'m> Simulator<'m> {
         t_prev: &[f64],
         q: &[f64],
         dt: Option<f64>,
-        t_out: &mut Vec<f64>,
+        t_out: &mut [f64],
     ) -> Result<usize, CoreError> {
         let grid = self.model.grid();
         let t_grid = &t_star[..grid.n_nodes()];
@@ -413,7 +413,7 @@ impl<'m> Simulator<'m> {
         &self,
         t_prev: &[f64],
         dt: f64,
-        phi_warm: &mut Vec<f64>,
+        phi_warm: &mut [f64],
         step_index: usize,
     ) -> Result<StepResult, CoreError> {
         if !(dt > 0.0 && dt.is_finite()) {
@@ -453,7 +453,7 @@ impl<'m> Simulator<'m> {
         &self,
         t_prev: &[f64],
         dt: Option<f64>,
-        phi_warm: &mut Vec<f64>,
+        phi_warm: &mut [f64],
         step_index: usize,
     ) -> Result<StepResult, CoreError> {
         assert_eq!(t_prev.len(), self.layout.n_total(), "state length");
@@ -494,7 +494,7 @@ impl<'m> Simulator<'m> {
         }
         Ok(StepResult {
             temperature: t_star,
-            potential: phi_warm.clone(),
+            potential: phi_warm.to_vec(),
             picard_iterations: iterations,
             linear_iterations: linear_total,
             converged,

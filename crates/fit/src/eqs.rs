@@ -430,7 +430,7 @@ mod tests {
     #[should_panic(expected = "dt must be > 0")]
     fn step_rejects_bad_dt() {
         let grid = bar_grid(2);
-        let solver = EqsSolver::new(&grid, &vec![1.0; 2], &vec![1.0; 2]);
+        let solver = EqsSolver::new(&grid, &[1.0; 2], &[1.0; 2]);
         let map = DofMap::unconstrained(grid.n_nodes());
         let phi = vec![0.0; grid.n_nodes()];
         let _ = solver.step(&map, &phi, 0.0);

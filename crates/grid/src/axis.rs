@@ -296,7 +296,7 @@ mod tests {
         assert_eq!(r.n_cells(), 6);
         // Original coordinates must appear exactly.
         for &c in ax.coords() {
-            assert!(r.coords().iter().any(|&rc| rc == c));
+            assert!(r.coords().contains(&c));
         }
         assert!((r.extent() - ax.extent()).abs() < 1e-15);
     }

@@ -108,7 +108,7 @@ impl PropertyTable {
     /// strictly increasing in `T`, contains non-positive values, or `t_ref`
     /// lies outside the tabulated range.
     pub fn new(temps: Vec<f64>, values: Vec<f64>, t_ref: f64) -> Result<Self, String> {
-        if values.iter().any(|&v| !(v > 0.0) || !v.is_finite()) {
+        if values.iter().any(|&v| !v.is_finite() || v <= 0.0) {
             return Err("property table values must be positive and finite".into());
         }
         let (t_min, t_max) = match (temps.first(), temps.last()) {

@@ -287,7 +287,7 @@ pub fn simpson<F: FnMut(f64) -> f64>(
     b: f64,
     n: usize,
 ) -> Result<f64, NumericsError> {
-    if n == 0 || n % 2 != 0 || !(a.is_finite() && b.is_finite() && b > a) {
+    if n == 0 || !n.is_multiple_of(2) || !(a.is_finite() && b.is_finite() && b > a) {
         return Err(NumericsError::InvalidArgument(format!(
             "simpson: need an even panel count ≥ 2 on a finite interval (n={n}, [{a}, {b}])"
         )));

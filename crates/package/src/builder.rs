@@ -106,7 +106,7 @@ impl BuiltPackage {
             "one delta per wire required"
         );
         for (j, &delta) in deltas.iter().enumerate() {
-            if !(delta < 1.0) {
+            if delta.is_nan() || delta >= 1.0 {
                 return Err(CoreError::InvalidModel(format!(
                     "relative elongation δ = {delta} must be < 1"
                 )));
@@ -337,7 +337,7 @@ mod tests {
             assert!((l - expect).abs() < 1e-12);
         }
         // δ ≥ 1 rejected.
-        assert!(built.apply_elongations(&vec![1.0; 12]).is_err());
+        assert!(built.apply_elongations(&[1.0; 12]).is_err());
     }
 
     #[test]

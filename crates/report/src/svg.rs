@@ -1,6 +1,6 @@
 //! Self-contained SVG export: line charts with error bars and heat maps.
 //!
-//! The ASCII renderers in [`crate::chart`] and [`crate::heatmap`] cover the
+//! The ASCII renderers ([`crate::LineChart`] and [`crate::HeatMap`]) cover the
 //! terminal; this module writes the same figures as standalone `.svg` files
 //! (no external plotting dependency), so the Fig. 7 transient and the
 //! Fig. 8 temperature field can be dropped into a paper or a README.

@@ -211,7 +211,7 @@ impl TruncatedNormal {
     /// (numerically) zero probability mass.
     pub fn new(mu: f64, sigma: f64, lo: f64, hi: f64) -> Result<Self, String> {
         let base = Normal::new(mu, sigma)?;
-        if !(hi > lo) {
+        if hi.is_nan() || lo.is_nan() || hi <= lo {
             return Err(format!("empty truncation interval [{lo}, {hi}]"));
         }
         let cdf_lo = base.cdf(lo);

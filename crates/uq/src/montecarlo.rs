@@ -209,7 +209,9 @@ where
     // Evaluate in contiguous index chunks; collect per-chunk results and
     // merge in sample order so the statistics are bit-identical to serial.
     let chunk = n.div_ceil(n_threads).max(1);
-    let results: Vec<Result<Vec<(usize, Vec<f64>)>, E>> = std::thread::scope(|scope| {
+    // Per-chunk evaluation outcome: (sample index, QoI vector) pairs.
+    type ChunkResult<E> = Result<Vec<(usize, Vec<f64>)>, E>;
+    let results: Vec<ChunkResult<E>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (c, block) in inputs.chunks(chunk).enumerate() {
             let factory = &model_factory;

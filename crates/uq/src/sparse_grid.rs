@@ -73,7 +73,7 @@ impl SparseGrid {
             if l1 <= q && q - l1 < dim {
                 // Combination coefficient (−1)^{q−|ℓ|} C(d−1, q−|ℓ|).
                 let k = q - l1;
-                let coeff = if k % 2 == 0 { 1.0 } else { -1.0 } * binomial(dim - 1, k);
+                let coeff = if k.is_multiple_of(2) { 1.0 } else { -1.0 } * binomial(dim - 1, k);
                 tensor_accumulate(&rules, &ml, coeff, &mut merged);
             }
             // Odometer over [1, level]^d.

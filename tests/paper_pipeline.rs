@@ -93,12 +93,12 @@ fn elongation_increases_resistance_decreases_power() {
     let geometry = PackageGeometry::paper();
     let mut built = build_model(&geometry, &coarse_options()).unwrap();
 
-    built.apply_elongations(&vec![0.05; 12]).unwrap();
+    built.apply_elongations(&[0.05; 12]).unwrap();
     let sim = Simulator::new(&built.model, SolverOptions::fast()).unwrap();
     let sol_short = sim.run_transient(10.0, 5, &[]).unwrap();
     let p_short: f64 = sol_short.wire_powers.iter().map(|w| *w.last().unwrap()).sum();
 
-    built.apply_elongations(&vec![0.30; 12]).unwrap();
+    built.apply_elongations(&[0.30; 12]).unwrap();
     let sim = Simulator::new(&built.model, SolverOptions::fast()).unwrap();
     let sol_long = sim.run_transient(10.0, 5, &[]).unwrap();
     let p_long: f64 = sol_long.wire_powers.iter().map(|w| *w.last().unwrap()).sum();
