@@ -83,11 +83,22 @@ impl DofLayout {
     ///
     /// Panics if `grid_values.len() != n_grid`.
     pub fn extend_grid_vector(&self, grid_values: &[f64], fill: f64) -> Vec<f64> {
-        assert_eq!(grid_values.len(), self.n_grid, "extend_grid_vector: length");
-        let mut v = Vec::with_capacity(self.n_total);
-        v.extend_from_slice(grid_values);
-        v.resize(self.n_total, fill);
+        let mut v = Vec::new();
+        self.extend_grid_vector_into(grid_values, fill, &mut v);
         v
+    }
+
+    /// In-place variant of [`DofLayout::extend_grid_vector`]; `out` is
+    /// resized (reusing its capacity) and overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grid_values.len() != n_grid`.
+    pub fn extend_grid_vector_into(&self, grid_values: &[f64], fill: f64, out: &mut Vec<f64>) {
+        assert_eq!(grid_values.len(), self.n_grid, "extend_grid_vector: length");
+        out.clear();
+        out.extend_from_slice(grid_values);
+        out.resize(self.n_total, fill);
     }
 
     /// Initializes wire-internal temperatures by linear interpolation

@@ -7,27 +7,140 @@ use crate::options::{JouleScheme, PrecondKind, SolverOptions};
 use crate::solution::TransientSolution;
 use etherm_bondwire::stamp::{stamp_wire, wire_joule_heat, WirePhysics};
 use etherm_fit::matrices::{
-    cell_property, cell_temperatures, edge_material_diagonal, node_capacitance_diagonal, Property,
+    cell_property_into, cell_temperatures_into, node_capacitance_diagonal,
+    edge_material_diagonal_into, Property,
 };
 use etherm_fit::{CachedStamper, DofMap};
 use etherm_numerics::solvers::{
-    pcg, CgOptions, IdentityPrecond, IncompleteCholesky, JacobiPrecond, Ssor,
+    pcg_with, CgOptions, IdentityPrecond, IncompleteCholesky, JacobiPrecond, KrylovWorkspace,
+    Preconditioner, SolveReport, Ssor,
 };
-use etherm_numerics::sparse::Csr;
-use etherm_numerics::vector;
+use etherm_numerics::sparse::{Csr, ParSpmv};
+use etherm_numerics::{vector, NumericsError};
 use std::cell::RefCell;
 
-/// Result of solving the electrical subsystem at a lagged temperature.
-#[derive(Debug, Clone)]
-struct ElectricalSolve {
-    /// Full nodal/wire potential vector (V).
-    phi: Vec<f64>,
+/// A cached preconditioner of the kind selected in
+/// [`SolverOptions::preconditioner`], refreshable in place over the frozen
+/// assembly pattern.
+#[derive(Debug)]
+enum CachedPrecond {
+    Identity(IdentityPrecond),
+    Jacobi(JacobiPrecond),
+    Ic(IncompleteCholesky),
+    Ssor(Ssor),
+}
+
+impl CachedPrecond {
+    fn build(kind: PrecondKind, droptol: f64, a: &Csr) -> Result<Self, NumericsError> {
+        Ok(match kind {
+            PrecondKind::None => CachedPrecond::Identity(IdentityPrecond::new(a.n_rows())),
+            PrecondKind::Jacobi => CachedPrecond::Jacobi(JacobiPrecond::new(a)?),
+            PrecondKind::Ic(level) => {
+                CachedPrecond::Ic(IncompleteCholesky::with_fill_drop(a, level, droptol)?)
+            }
+            PrecondKind::Ssor(omega) => CachedPrecond::Ssor(Ssor::new(a, omega)?),
+        })
+    }
+
+    fn refresh(&mut self, a: &Csr) -> Result<(), NumericsError> {
+        match self {
+            CachedPrecond::Identity(_) => Ok(()),
+            CachedPrecond::Jacobi(p) => p.refresh(a),
+            CachedPrecond::Ic(p) => p.refresh(a),
+            CachedPrecond::Ssor(p) => p.refresh(a),
+        }
+    }
+}
+
+impl Preconditioner for CachedPrecond {
+    fn dim(&self) -> usize {
+        match self {
+            CachedPrecond::Identity(p) => p.dim(),
+            CachedPrecond::Jacobi(p) => p.dim(),
+            CachedPrecond::Ic(p) => p.dim(),
+            CachedPrecond::Ssor(p) => p.dim(),
+        }
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            CachedPrecond::Identity(p) => p.apply(r, z),
+            CachedPrecond::Jacobi(p) => p.apply(r, z),
+            CachedPrecond::Ic(p) => p.apply(r, z),
+            CachedPrecond::Ssor(p) => p.apply(r, z),
+        }
+    }
+}
+
+/// Per-subsystem solver state: the cached preconditioner, the Krylov
+/// workspace, and the bookkeeping driving the lazy refresh policy.
+#[derive(Debug, Default)]
+struct SubsystemCache {
+    precond: Option<CachedPrecond>,
+    ws: KrylovWorkspace,
+    /// CG iterations of the first solve after the last (re)build — the
+    /// reference for the degradation trigger.
+    baseline_iters: Option<usize>,
+    /// Solves since the last (re)build.
+    reuses: usize,
+}
+
+impl SubsystemCache {
+    fn mark_rebuilt(&mut self) {
+        self.baseline_iters = None;
+        self.reuses = 0;
+    }
+}
+
+/// Scratch buffers reused across Picard iterates and time steps: the
+/// per-iterate material averaging, heat sources and reduced unknowns run
+/// allocation-free after the first iterate.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Per-cell mean temperature.
+    cell_t: Vec<f64>,
     /// Per-cell electrical conductivity at the lagged temperature.
     cell_sigma: Vec<f64>,
-    /// Edge conductance diagonal `Mσ` at the lagged temperature.
+    /// Edge conductance diagonal `Mσ`.
     m_sigma: Vec<f64>,
-    /// CG iterations used.
-    iterations: usize,
+    /// Per-cell thermal conductivity at the lagged temperature.
+    cell_lambda: Vec<f64>,
+    /// Edge conductance diagonal `Mλ`.
+    m_lambda: Vec<f64>,
+    /// Heat sources, full numbering (W per DoF).
+    q: Vec<f64>,
+    /// Reduced unknowns of the current linear solve.
+    x_red: Vec<f64>,
+    /// Joule power per wire (W), refreshed every heat-source evaluation.
+    wire_powers: Vec<f64>,
+    /// Lagged Picard temperature (full numbering).
+    t_star: Vec<f64>,
+    /// Next Picard temperature (full numbering).
+    t_new: Vec<f64>,
+    /// Start state of the previous transient step (for the extrapolated CG
+    /// initial guess of the first thermal solve of a step).
+    t_hist: Vec<f64>,
+    /// Extrapolated CG initial guess `2·t_prev − t_hist`.
+    t_guess: Vec<f64>,
+    /// Step size of the previous transient step (predictor validity check).
+    last_dt: f64,
+}
+
+/// The three independently cached linear subsystems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Subsystem {
+    Electrical,
+    ThermalTransient,
+    ThermalStationary,
+}
+
+impl Subsystem {
+    fn name(self) -> &'static str {
+        match self {
+            Subsystem::Electrical => "electrical",
+            Subsystem::ThermalTransient | Subsystem::ThermalStationary => "thermal",
+        }
+    }
 }
 
 /// Result of one implicit-Euler step.
@@ -77,6 +190,10 @@ pub struct SolveCounters {
     pub thermal_iterations: usize,
     /// Number of thermal solves.
     pub thermal_solves: usize,
+    /// Preconditioner (re)builds and in-place refreshes, all subsystems.
+    pub precond_rebuilds: usize,
+    /// Solves that reused a cached preconditioner unchanged.
+    pub precond_reuses: usize,
 }
 
 /// Assembles and solves the coupled electrothermal system for one model.
@@ -104,6 +221,14 @@ pub struct Simulator<'m> {
     /// Stationary thermal assembly (no mass stamps — different pattern
     /// sequence, hence its own cache).
     therm_cache_stationary: RefCell<CachedStamper>,
+    /// Per-subsystem cached preconditioner + Krylov workspace; the patterns
+    /// of the three reduced systems are frozen, so each cache refreshes in
+    /// place and the solves are allocation-free after warm-up.
+    elec_solver: RefCell<SubsystemCache>,
+    therm_solver: RefCell<SubsystemCache>,
+    therm_solver_stationary: RefCell<SubsystemCache>,
+    /// Reusable per-Picard-iterate buffers.
+    scratch: RefCell<Scratch>,
 }
 
 impl<'m> Simulator<'m> {
@@ -169,6 +294,10 @@ impl<'m> Simulator<'m> {
             elec_cache,
             therm_cache,
             therm_cache_stationary,
+            elec_solver: RefCell::new(SubsystemCache::default()),
+            therm_solver: RefCell::new(SubsystemCache::default()),
+            therm_solver_stationary: RefCell::new(SubsystemCache::default()),
+            scratch: RefCell::new(Scratch::default()),
         })
     }
 
@@ -198,42 +327,103 @@ impl<'m> Simulator<'m> {
         t
     }
 
+    /// Refreshes `cache`'s preconditioner in place from `a`, falling back to
+    /// a full rebuild when the refresh fails (pattern change or numeric
+    /// breakdown with every shift).
+    fn refresh_or_rebuild(
+        &self,
+        cache: &mut SubsystemCache,
+        a: &Csr,
+    ) -> Result<(), NumericsError> {
+        let p = cache.precond.as_mut().expect("preconditioner present");
+        if p.refresh(a).is_err() {
+            *p = CachedPrecond::build(
+                self.options.preconditioner,
+                self.options.precond_droptol,
+                a,
+            )?;
+        }
+        cache.mark_rebuilt();
+        self.counters.borrow_mut().precond_rebuilds += 1;
+        Ok(())
+    }
+
+    /// Solves one reduced SPD system with the subsystem's cached
+    /// preconditioner and workspace.
+    ///
+    /// Lazy-refresh policy: the factorization is reused until either (a) it
+    /// has served [`SolverOptions::precond_max_reuses`] solves, or (b) a
+    /// converged solve needs more than [`SolverOptions::precond_refresh_factor`]
+    /// times the iterations of the first solve after the last (re)build —
+    /// then it is refreshed in place over the frozen pattern. A
+    /// non-converged solve with a stale factorization triggers an immediate
+    /// refresh and one retry before the failure is reported.
     fn solve_reduced(
         &self,
-        system: &'static str,
+        system: Subsystem,
         a: &Csr,
         b: &[f64],
         x: &mut [f64],
     ) -> Result<usize, CoreError> {
+        let cell = match system {
+            Subsystem::Electrical => &self.elec_solver,
+            Subsystem::ThermalTransient => &self.therm_solver,
+            Subsystem::ThermalStationary => &self.therm_solver_stationary,
+        };
+        let cache = &mut *cell.borrow_mut();
         let opts: CgOptions = self.options.linear;
-        let report = match self.options.preconditioner {
-            PrecondKind::None => {
-                let p = IdentityPrecond::new(a.n_rows());
-                pcg(a, b, x, &p, &opts)?
+
+        let mut fresh = match &mut cache.precond {
+            slot @ None => {
+                *slot = Some(CachedPrecond::build(
+                    self.options.preconditioner,
+                    self.options.precond_droptol,
+                    a,
+                )?);
+                cache.mark_rebuilt();
+                self.counters.borrow_mut().precond_rebuilds += 1;
+                true
             }
-            PrecondKind::Jacobi => {
-                let p = JacobiPrecond::new(a)?;
-                pcg(a, b, x, &p, &opts)?
+            Some(_) if cache.reuses >= self.options.precond_max_reuses => {
+                self.refresh_or_rebuild(cache, a)?;
+                true
             }
-            PrecondKind::Ic0 => {
-                let p = IncompleteCholesky::new(a)?;
-                pcg(a, b, x, &p, &opts)?
-            }
-            PrecondKind::Ssor(omega) => {
-                let p = Ssor::new(a, omega)?;
-                pcg(a, b, x, &p, &opts)?
+            Some(_) => false,
+        };
+        if !fresh {
+            cache.reuses += 1;
+            self.counters.borrow_mut().precond_reuses += 1;
+        }
+
+        let run = |cache: &mut SubsystemCache, x: &mut [f64]| -> Result<SolveReport, NumericsError> {
+            let p = cache.precond.as_ref().expect("preconditioner present");
+            if self.options.n_threads > 1 {
+                let op = ParSpmv::new(a, self.options.n_threads);
+                pcg_with(&op, b, x, p, &opts, &mut cache.ws)
+            } else {
+                pcg_with(a, b, x, p, &opts, &mut cache.ws)
             }
         };
+
+        let mut report = run(cache, x)?;
+        if !report.converged && !fresh {
+            // A stale factorization can genuinely stall CG; retry once with
+            // current values before declaring failure.
+            self.refresh_or_rebuild(cache, a)?;
+            fresh = true;
+            report = run(cache, x)?;
+        }
         if !report.converged {
             return Err(CoreError::LinearSolveFailed {
-                system,
+                system: system.name(),
                 iterations: report.iterations,
                 residual: report.residual,
             });
         }
+
         {
             let mut c = self.counters.borrow_mut();
-            if system == "electrical" {
+            if system == Subsystem::Electrical {
                 c.electrical_iterations += report.iterations;
                 c.electrical_solves += 1;
             } else {
@@ -241,146 +431,163 @@ impl<'m> Simulator<'m> {
                 c.thermal_solves += 1;
             }
         }
+
+        match cache.baseline_iters {
+            None => cache.baseline_iters = Some(report.iterations.max(1)),
+            Some(base) => {
+                let degraded = report.iterations as f64
+                    > self.options.precond_refresh_factor * base as f64;
+                if degraded && !fresh {
+                    // Refresh eagerly so the *next* solve starts from
+                    // current values.
+                    self.refresh_or_rebuild(cache, a)?;
+                }
+            }
+        }
         Ok(report.iterations)
     }
 
-    /// Solves the electrical subsystem at the lagged temperature `t_full`.
-    /// `phi_warm` (full numbering) is used as the initial guess and updated
-    /// with the solution.
+    /// Solves the electrical subsystem at the lagged temperature
+    /// `scratch.t_star`. `phi_warm` (full numbering) is used as the initial
+    /// guess and updated in place with the solution — no per-iterate clone.
+    /// The lagged conductivities stay behind in `scratch.cell_sigma` /
+    /// `scratch.m_sigma` for the heat-source evaluation.
     fn solve_electrical(
         &self,
-        t_full: &[f64],
         phi_warm: &mut [f64],
-    ) -> Result<ElectricalSolve, CoreError> {
+        s: &mut Scratch,
+    ) -> Result<usize, CoreError> {
         let grid = self.model.grid();
-        let t_grid = &t_full[..grid.n_nodes()];
-        let cell_t = cell_temperatures(grid, t_grid);
-        let cell_sigma = cell_property(
+        let t_grid = &s.t_star[..grid.n_nodes()];
+        cell_temperatures_into(grid, t_grid, &mut s.cell_t);
+        cell_property_into(
             grid,
             self.model.paint(),
             self.model.materials(),
-            &cell_t,
+            &s.cell_t,
             Property::Electrical,
+            &mut s.cell_sigma,
         );
-        let m_sigma = edge_material_diagonal(grid, &cell_sigma);
+        edge_material_diagonal_into(grid, &s.cell_sigma, &mut s.m_sigma);
 
         if self.model.electric_dirichlet().is_empty() {
             // No drive: the potential is identically zero.
-            return Ok(ElectricalSolve {
-                phi: vec![0.0; self.layout.n_total()],
-                cell_sigma,
-                m_sigma,
-                iterations: 0,
-            });
+            phi_warm.fill(0.0);
+            return Ok(0);
         }
 
         let mut stamper = self.elec_cache.borrow_mut();
         stamper.begin();
         for e in 0..grid.n_edges() {
             let (a, b) = grid.edge_endpoints(e);
-            stamper.add_conductance(a, b, m_sigma[e]);
+            stamper.add_conductance(a, b, s.m_sigma[e]);
         }
         for (j, att) in self.model.wires().iter().enumerate() {
             stamp_wire(
                 &att.wire,
                 self.layout.topology(j),
-                t_full,
+                &s.t_star,
                 WirePhysics::Electrical,
                 &mut *stamper,
             );
         }
         let (a, b) = stamper.finish();
-        let mut x = self.elec_map.restrict(phi_warm);
-        let iterations = self.solve_reduced("electrical", a, b, &mut x)?;
-        self.elec_map.expand_into(&x, phi_warm);
-        Ok(ElectricalSolve {
-            phi: phi_warm.to_vec(),
-            cell_sigma,
-            m_sigma,
-            iterations,
-        })
+        self.elec_map.restrict_into(phi_warm, &mut s.x_red);
+        let iterations = self.solve_reduced(Subsystem::Electrical, a, b, &mut s.x_red)?;
+        self.elec_map.expand_into(&s.x_red, phi_warm);
+        Ok(iterations)
     }
 
-    /// Heat source vector (W per DoF) from field Joule heating and wire
-    /// self-heating; returns `(q_full, wire_powers, field_power)`.
-    fn heat_sources(
-        &self,
-        t_full: &[f64],
-        elec: &ElectricalSolve,
-    ) -> (Vec<f64>, Vec<f64>, f64) {
+    /// Heat sources (W per DoF) from field Joule heating and wire
+    /// self-heating into `scratch.q` / `scratch.wire_powers`; returns the
+    /// total field Joule power. Uses the conductivities left in scratch by
+    /// the last electrical solve and the potential in `phi`.
+    fn heat_sources(&self, phi: &[f64], s: &mut Scratch) -> f64 {
         let grid = self.model.grid();
-        let phi_grid = &elec.phi[..grid.n_nodes()];
-        let q_grid = match self.options.joule {
-            JouleScheme::CellBased => {
-                etherm_fit::joule::joule_heat_cell_based(grid, &elec.cell_sigma, phi_grid)
-            }
-            JouleScheme::EdgeBased => {
-                etherm_fit::joule::joule_heat_edge_based(grid, &elec.m_sigma, phi_grid)
-            }
-        };
-        let field_power: f64 = vector::sum(&q_grid);
-        let mut q = self.layout.extend_grid_vector(&q_grid, 0.0);
-        let mut wire_powers = Vec::with_capacity(self.model.wires().len());
+        let phi_grid = &phi[..grid.n_nodes()];
+        // Nodal field heat into the grid prefix of q, then extend with zeros
+        // for the wire-internal DoFs.
+        match self.options.joule {
+            JouleScheme::CellBased => etherm_fit::joule::joule_heat_cell_based_into(
+                grid,
+                &s.cell_sigma,
+                phi_grid,
+                &mut s.q,
+            ),
+            JouleScheme::EdgeBased => etherm_fit::joule::joule_heat_edge_based_into(
+                grid,
+                &s.m_sigma,
+                phi_grid,
+                &mut s.q,
+            ),
+        }
+        let field_power: f64 = vector::sum(&s.q);
+        s.q.resize(self.layout.n_total(), 0.0);
+        s.wire_powers.clear();
         for (j, att) in self.model.wires().iter().enumerate() {
             let p = wire_joule_heat(
                 &att.wire,
                 self.layout.topology(j),
-                t_full,
-                &elec.phi,
-                &mut q,
+                &s.t_star,
+                phi,
+                &mut s.q,
             );
-            wire_powers.push(p);
+            s.wire_powers.push(p);
         }
-        (q, wire_powers, field_power)
+        field_power
     }
 
-    /// Assembles and solves the thermal system for one Picard iterate.
+    /// Assembles and solves the thermal system for one Picard iterate at the
+    /// lagged temperature `scratch.t_star`, writing the new temperature to
+    /// `scratch.t_new`.
     ///
-    /// `dt = None` means stationary (no mass term). `t_star` is the lagged
-    /// temperature, `t_prev` the previous time level (ignored when
-    /// stationary), `q` the heat sources.
+    /// `dt = None` means stationary (no mass term); `t_prev` is the previous
+    /// time level (ignored when stationary).
     fn solve_thermal(
         &self,
-        t_star: &[f64],
         t_prev: &[f64],
-        q: &[f64],
         dt: Option<f64>,
-        t_out: &mut [f64],
+        use_predictor: bool,
+        s: &mut Scratch,
     ) -> Result<usize, CoreError> {
         let grid = self.model.grid();
-        let t_grid = &t_star[..grid.n_nodes()];
-        let cell_t = cell_temperatures(grid, t_grid);
-        let cell_lambda = cell_property(
+        let t_grid = &s.t_star[..grid.n_nodes()];
+        cell_temperatures_into(grid, t_grid, &mut s.cell_t);
+        cell_property_into(
             grid,
             self.model.paint(),
             self.model.materials(),
-            &cell_t,
+            &s.cell_t,
             Property::Thermal,
+            &mut s.cell_lambda,
         );
-        let m_lambda = edge_material_diagonal(grid, &cell_lambda);
+        edge_material_diagonal_into(grid, &s.cell_lambda, &mut s.m_lambda);
 
-        let mut stamper = if dt.is_some() {
-            self.therm_cache.borrow_mut()
+        let (mut stamper, system) = if dt.is_some() {
+            (self.therm_cache.borrow_mut(), Subsystem::ThermalTransient)
         } else {
-            self.therm_cache_stationary.borrow_mut()
+            (
+                self.therm_cache_stationary.borrow_mut(),
+                Subsystem::ThermalStationary,
+            )
         };
         stamper.begin();
         for e in 0..grid.n_edges() {
             let (a, b) = grid.edge_endpoints(e);
-            stamper.add_conductance(a, b, m_lambda[e]);
+            stamper.add_conductance(a, b, s.m_lambda[e]);
         }
         for (j, att) in self.model.wires().iter().enumerate() {
             stamp_wire(
                 &att.wire,
                 self.layout.topology(j),
-                t_star,
+                &s.t_star,
                 WirePhysics::Thermal,
                 &mut *stamper,
             );
         }
         self.model
             .thermal_boundary()
-            .stamp(grid, t_grid, &mut *stamper);
+            .stamp(grid, &s.t_star[..grid.n_nodes()], &mut *stamper);
         if let Some(dt) = dt {
             for i in 0..self.layout.n_total() {
                 let m = self.mass_diag[i] / dt;
@@ -390,15 +597,24 @@ impl<'m> Simulator<'m> {
                 }
             }
         }
-        for (i, &qi) in q.iter().enumerate() {
+        for (i, &qi) in s.q.iter().enumerate() {
             if qi != 0.0 {
                 stamper.add_rhs(i, qi);
             }
         }
         let (a, b) = stamper.finish();
-        let mut x = self.therm_map.restrict(t_star);
-        let iterations = self.solve_reduced("thermal", a, b, &mut x)?;
-        self.therm_map.expand_into(&x, t_out);
+        // CG initial guess: the lagged temperature, or — for the first
+        // Picard iterate of a continuation step — the linear extrapolation
+        // from the previous step (a guess only affects iteration counts,
+        // never the converged solution).
+        if use_predictor {
+            self.therm_map.restrict_into(&s.t_guess, &mut s.x_red);
+        } else {
+            self.therm_map.restrict_into(&s.t_star, &mut s.x_red);
+        }
+        let iterations = self.solve_reduced(system, a, b, &mut s.x_red)?;
+        s.t_new.resize(self.layout.n_total(), 0.0);
+        self.therm_map.expand_into(&s.x_red, &mut s.t_new);
         Ok(iterations)
     }
 
@@ -457,30 +673,37 @@ impl<'m> Simulator<'m> {
         step_index: usize,
     ) -> Result<StepResult, CoreError> {
         assert_eq!(t_prev.len(), self.layout.n_total(), "state length");
-        let mut t_star = t_prev.to_vec();
-        let mut t_new = t_prev.to_vec();
+        let s = &mut *self.scratch.borrow_mut();
+        s.t_star.clear();
+        s.t_star.extend_from_slice(t_prev);
+        // Extrapolated thermal guess for the first Picard iterate when this
+        // step continues the previous one with the same step size.
+        let predict = match dt {
+            Some(d) => s.t_hist.len() == t_prev.len() && s.last_dt == d,
+            None => false,
+        };
+        if predict {
+            s.t_guess.clear();
+            s.t_guess
+                .extend(t_prev.iter().zip(&s.t_hist).map(|(&a, &b)| 2.0 * a - b));
+        }
         let mut linear_total = 0usize;
-        let mut wire_powers = Vec::new();
         let mut field_power = 0.0;
         let mut converged = false;
         let mut iterations = 0usize;
         let mut update = f64::INFINITY;
 
-        let mut elec_cached: Option<ElectricalSolve> = None;
+        let mut elec_solved = false;
         for k in 1..=self.options.picard_max_iter {
             iterations = k;
-            if elec_cached.is_none() || self.options.resolve_electrical_every_picard {
-                let e = self.solve_electrical(&t_star, phi_warm)?;
-                linear_total += e.iterations;
-                elec_cached = Some(e);
+            if !elec_solved || self.options.resolve_electrical_every_picard {
+                linear_total += self.solve_electrical(phi_warm, s)?;
+                elec_solved = true;
             }
-            let elec = elec_cached.as_ref().expect("electrical solve available");
-            let (q, wp, fp) = self.heat_sources(&t_star, elec);
-            wire_powers = wp;
-            field_power = fp;
-            linear_total += self.solve_thermal(&t_star, t_prev, &q, dt, &mut t_new)?;
-            update = vector::rel_diff2(&t_new, &t_star, 1e-9);
-            std::mem::swap(&mut t_star, &mut t_new);
+            field_power = self.heat_sources(phi_warm, s);
+            linear_total += self.solve_thermal(t_prev, dt, predict && k == 1, s)?;
+            update = vector::rel_diff2(&s.t_new, &s.t_star, 1e-9);
+            std::mem::swap(&mut s.t_star, &mut s.t_new);
             if update <= self.options.picard_tol {
                 converged = true;
                 break;
@@ -492,13 +715,18 @@ impl<'m> Simulator<'m> {
                 update,
             });
         }
+        if let Some(d) = dt {
+            s.t_hist.clear();
+            s.t_hist.extend_from_slice(t_prev);
+            s.last_dt = d;
+        }
         Ok(StepResult {
-            temperature: t_star,
+            temperature: s.t_star.clone(),
             potential: phi_warm.to_vec(),
             picard_iterations: iterations,
             linear_iterations: linear_total,
             converged,
-            wire_powers,
+            wire_powers: s.wire_powers.clone(),
             field_power,
         })
     }
@@ -532,6 +760,13 @@ impl<'m> Simulator<'m> {
             .map(|&t| ((t / dt).round() as usize).min(n_steps))
             .collect();
 
+        // Invalidate the extrapolation history of any previous transient:
+        // the first step of this run must not extrapolate across runs.
+        {
+            let mut s = self.scratch.borrow_mut();
+            s.t_hist.clear();
+            s.last_dt = 0.0;
+        }
         let mut t_state = self.initial_temperature();
         let mut phi = vec![0.0; self.layout.n_total()];
         let mut solution = TransientSolution {
@@ -637,15 +872,18 @@ mod tests {
         let sim = Simulator::new(&model, SolverOptions::default()).unwrap();
         let t0 = sim.initial_temperature();
         let mut phi = vec![0.0; sim.layout().n_total()];
-        let elec = sim.solve_electrical(&t0, &mut phi).unwrap();
+        let s = &mut *sim.scratch.borrow_mut();
+        s.t_star.clear();
+        s.t_star.extend_from_slice(&t0);
+        sim.solve_electrical(&mut phi, s).unwrap();
         // Potential is linear in x.
         let grid = model.grid();
         for n in 0..grid.n_nodes() {
             let x = grid.node_position(n).0;
             let expect = 1e-3 * (1.0 - x / 1e-3);
-            assert!((elec.phi[n] - expect).abs() < 1e-9, "node {n}");
+            assert!((phi[n] - expect).abs() < 1e-9, "node {n}");
         }
-        let (_, _, fp) = sim.heat_sources(&t0, &elec);
+        let fp = sim.heat_sources(&phi, s);
         let r = 1e-3 / (5.8e7 * 1e-8);
         let expect_p = 1e-6 / r;
         assert!((fp - expect_p).abs() < 1e-6 * expect_p, "{fp} vs {expect_p}");

@@ -133,8 +133,21 @@ impl DofMap {
     ///
     /// Panics if `full.len() != n_full()`.
     pub fn restrict(&self, full: &[f64]) -> Vec<f64> {
+        let mut reduced = Vec::new();
+        self.restrict_into(full, &mut reduced);
+        reduced
+    }
+
+    /// In-place variant of [`DofMap::restrict`]; `reduced` is resized
+    /// (reusing its capacity) and overwritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len() != n_full()`.
+    pub fn restrict_into(&self, full: &[f64], reduced: &mut Vec<f64>) {
         assert_eq!(full.len(), self.n_full, "restrict: length mismatch");
-        self.reduced_to_full.iter().map(|&i| full[i]).collect()
+        reduced.clear();
+        reduced.extend(self.reduced_to_full.iter().map(|&i| full[i]));
     }
 }
 

@@ -65,7 +65,43 @@ pub fn scatter_cell_powers(grid: &Grid3, cell_powers: &[f64]) -> Vec<f64> {
 /// Cell-based nodal Joule heat (W): [`cell_joule_powers`] followed by
 /// [`scatter_cell_powers`].
 pub fn joule_heat_cell_based(grid: &Grid3, cell_sigma: &[f64], phi: &[f64]) -> Vec<f64> {
-    scatter_cell_powers(grid, &cell_joule_powers(grid, cell_sigma, phi))
+    let mut q = Vec::new();
+    joule_heat_cell_based_into(grid, cell_sigma, phi, &mut q);
+    q
+}
+
+/// In-place variant of [`joule_heat_cell_based`] that fuses the cell-power
+/// evaluation with the nodal scatter (no intermediate cell vector); `q` is
+/// resized (reusing its capacity) and overwritten.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn joule_heat_cell_based_into(grid: &Grid3, cell_sigma: &[f64], phi: &[f64], q: &mut Vec<f64>) {
+    assert_eq!(cell_sigma.len(), grid.n_cells(), "cell_joule_powers: sigma");
+    assert_eq!(phi.len(), grid.n_nodes(), "cell_joule_powers: phi");
+    q.clear();
+    q.resize(grid.n_nodes(), 0.0);
+    for c in 0..grid.n_cells() {
+        let edges = grid.cell_edges(c);
+        let mut e2 = 0.0;
+        for block in [0usize, 4, 8] {
+            let mut comp = 0.0;
+            for &e in &edges[block..block + 4] {
+                let (a, b) = grid.edge_endpoints(e);
+                comp += (phi[a] - phi[b]) / grid.edge_length(e);
+            }
+            comp *= 0.25;
+            e2 += comp * comp;
+        }
+        let p8 = cell_sigma[c] * e2 * grid.cell_volume(c) / 8.0;
+        if p8 == 0.0 {
+            continue;
+        }
+        for &n in &grid.cell_nodes(c) {
+            q[n] += p8;
+        }
+    }
 }
 
 /// Edge-based nodal Joule heat (W): each edge dissipates
@@ -78,9 +114,22 @@ pub fn joule_heat_cell_based(grid: &Grid3, cell_sigma: &[f64], phi: &[f64]) -> V
 ///
 /// Panics on length mismatches.
 pub fn joule_heat_edge_based(grid: &Grid3, m_sigma: &[f64], phi: &[f64]) -> Vec<f64> {
+    let mut q = Vec::new();
+    joule_heat_edge_based_into(grid, m_sigma, phi, &mut q);
+    q
+}
+
+/// In-place variant of [`joule_heat_edge_based`]; `q` is resized (reusing
+/// its capacity) and overwritten.
+///
+/// # Panics
+///
+/// Panics on length mismatches.
+pub fn joule_heat_edge_based_into(grid: &Grid3, m_sigma: &[f64], phi: &[f64], q: &mut Vec<f64>) {
     assert_eq!(m_sigma.len(), grid.n_edges(), "edge joule: m_sigma");
     assert_eq!(phi.len(), grid.n_nodes(), "edge joule: phi");
-    let mut q = vec![0.0; grid.n_nodes()];
+    q.clear();
+    q.resize(grid.n_nodes(), 0.0);
     for e in 0..grid.n_edges() {
         if m_sigma[e] == 0.0 {
             continue;
@@ -91,7 +140,6 @@ pub fn joule_heat_edge_based(grid: &Grid3, m_sigma: &[f64], phi: &[f64]) -> Vec<
         q[a] += 0.5 * p;
         q[b] += 0.5 * p;
     }
-    q
 }
 
 /// Total electrical power dissipated according to the edge-based quadrature

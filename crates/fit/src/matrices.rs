@@ -26,13 +26,24 @@ pub enum Property {
 ///
 /// Panics if `t_nodes.len() != grid.n_nodes()`.
 pub fn cell_temperatures(grid: &Grid3, t_nodes: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    cell_temperatures_into(grid, t_nodes, &mut out);
+    out
+}
+
+/// In-place variant of [`cell_temperatures`] for the per-Picard-iterate hot
+/// path; `out` is resized (reusing its capacity) and overwritten.
+///
+/// # Panics
+///
+/// Panics if `t_nodes.len() != grid.n_nodes()`.
+pub fn cell_temperatures_into(grid: &Grid3, t_nodes: &[f64], out: &mut Vec<f64>) {
     assert_eq!(t_nodes.len(), grid.n_nodes(), "cell_temperatures: length");
-    (0..grid.n_cells())
-        .map(|c| {
-            let nodes = grid.cell_nodes(c);
-            nodes.iter().map(|&n| t_nodes[n]).sum::<f64>() / 8.0
-        })
-        .collect()
+    out.clear();
+    out.extend((0..grid.n_cells()).map(|c| {
+        let nodes = grid.cell_nodes(c);
+        nodes.iter().map(|&n| t_nodes[n]).sum::<f64>() / 8.0
+    }));
 }
 
 /// Evaluates the chosen conductivity per cell at the given cell
@@ -48,17 +59,35 @@ pub fn cell_property(
     cell_temps: &[f64],
     property: Property,
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    cell_property_into(grid, paint, table, cell_temps, property, &mut out);
+    out
+}
+
+/// In-place variant of [`cell_property`]; `out` is resized (reusing its
+/// capacity) and overwritten.
+///
+/// # Panics
+///
+/// Panics on length mismatch or an unknown material id.
+pub fn cell_property_into(
+    grid: &Grid3,
+    paint: &CellPaint,
+    table: &MaterialTable,
+    cell_temps: &[f64],
+    property: Property,
+    out: &mut Vec<f64>,
+) {
     assert_eq!(cell_temps.len(), grid.n_cells(), "cell_property: length");
     assert_eq!(paint.n_cells(), grid.n_cells(), "cell_property: paint size");
-    (0..grid.n_cells())
-        .map(|c| {
-            let mat = table.get(paint.material(c).0 as usize);
-            match property {
-                Property::Electrical => mat.sigma(cell_temps[c]),
-                Property::Thermal => mat.lambda(cell_temps[c]),
-            }
-        })
-        .collect()
+    out.clear();
+    out.extend((0..grid.n_cells()).map(|c| {
+        let mat = table.get(paint.material(c).0 as usize);
+        match property {
+            Property::Electrical => mat.sigma(cell_temps[c]),
+            Property::Thermal => mat.lambda(cell_temps[c]),
+        }
+    }));
 }
 
 /// Builds the diagonal of the edge material matrix `M = diag(vᵢ Ãᵢ / ℓᵢ)`
@@ -68,24 +97,36 @@ pub fn cell_property(
 ///
 /// Panics if `cell_values.len() != grid.n_cells()`.
 pub fn edge_material_diagonal(grid: &Grid3, cell_values: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    edge_material_diagonal_into(grid, cell_values, &mut out);
+    out
+}
+
+/// In-place variant of [`edge_material_diagonal`]; `out` is resized (reusing
+/// its capacity) and overwritten. Uses the grid's allocation-free
+/// cell-touching visitor, so the whole averaging pass performs no heap
+/// allocation once `out` has warmed up.
+///
+/// # Panics
+///
+/// Panics if `cell_values.len() != grid.n_cells()`.
+pub fn edge_material_diagonal_into(grid: &Grid3, cell_values: &[f64], out: &mut Vec<f64>) {
     assert_eq!(
         cell_values.len(),
         grid.n_cells(),
         "edge_material_diagonal: length"
     );
-    (0..grid.n_edges())
-        .map(|e| {
-            let parts = grid.cells_touching_edge(e);
-            let mut num = 0.0;
-            let mut den = 0.0;
-            for &(c, w) in &parts {
-                num += w * cell_values[c];
-                den += w;
-            }
-            let avg = num / den;
-            avg * grid.dual_area(e) / grid.edge_length(e)
-        })
-        .collect()
+    out.clear();
+    out.extend((0..grid.n_edges()).map(|e| {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        grid.for_each_cell_touching_edge(e, |c, w| {
+            num += w * cell_values[c];
+            den += w;
+        });
+        let avg = num / den;
+        avg * grid.dual_area(e) / grid.edge_length(e)
+    }));
 }
 
 /// Builds the diagonal of the thermal capacitance matrix

@@ -412,11 +412,21 @@ impl Grid3 {
     /// (up to 4; used for `σ`/`λ` volumetric averaging onto edges).
     ///
     /// The weight of each touching cell is the quarter cross-section area it
-    /// contributes to the dual facet of the edge.
+    /// contributes to the dual facet of the edge. Allocates; the assembly
+    /// hot path uses the visitor variant
+    /// [`Grid3::for_each_cell_touching_edge`] instead.
     pub fn cells_touching_edge(&self, e: usize) -> Vec<(usize, f64)> {
+        let mut out = Vec::with_capacity(4);
+        self.for_each_cell_touching_edge(e, |c, w| out.push((c, w)));
+        out
+    }
+
+    /// Calls `visit(cell, weight)` for every cell touching edge `e` —
+    /// allocation-free variant of [`Grid3::cells_touching_edge`] for the
+    /// per-Picard-iterate material averaging.
+    pub fn for_each_cell_touching_edge(&self, e: usize, mut visit: impl FnMut(usize, f64)) {
         let (dir, i, j, k) = self.edge_decompose(e);
         let (cx, cy, cz) = self.cell_dims();
-        let mut out = Vec::with_capacity(4);
         match dir {
             Direction::X => {
                 for dk in 0..2usize {
@@ -430,7 +440,7 @@ impl Grid3 {
                             _ => continue,
                         };
                         let w = 0.25 * self.y.spacing(jj) * self.z.spacing(kk);
-                        out.push((self.cell_index(i, jj, kk), w));
+                        visit(self.cell_index(i, jj, kk), w);
                     }
                 }
             }
@@ -446,7 +456,7 @@ impl Grid3 {
                             _ => continue,
                         };
                         let w = 0.25 * self.x.spacing(ii) * self.z.spacing(kk);
-                        out.push((self.cell_index(ii, j, kk), w));
+                        visit(self.cell_index(ii, j, kk), w);
                     }
                 }
             }
@@ -462,12 +472,11 @@ impl Grid3 {
                             _ => continue,
                         };
                         let w = 0.25 * self.x.spacing(ii) * self.y.spacing(jj);
-                        out.push((self.cell_index(ii, jj, k), w));
+                        visit(self.cell_index(ii, jj, k), w);
                     }
                 }
             }
         }
-        out
     }
 
     /// Outer-boundary facet area assigned to node `n` on face `face`

@@ -48,4 +48,4 @@ pub mod sparse;
 pub mod vector;
 
 pub use error::NumericsError;
-pub use sparse::{Coo, Csr, LinOp};
+pub use sparse::{Coo, Csr, LinOp, ParSpmv};

@@ -2,6 +2,7 @@
 
 use super::cg::CgOptions;
 use super::precond::Preconditioner;
+use super::workspace::KrylovWorkspace;
 use super::SolveReport;
 use crate::error::NumericsError;
 use crate::sparse::LinOp;
@@ -26,6 +27,25 @@ pub fn bicgstab<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
     x: &mut [f64],
     precond: &P,
     options: &CgOptions,
+) -> Result<SolveReport, NumericsError> {
+    bicgstab_with(a, b, x, precond, options, &mut KrylovWorkspace::new())
+}
+
+/// [`bicgstab`] with caller-owned scratch buffers.
+///
+/// Reusing the same [`KrylovWorkspace`] across solves makes the iteration
+/// heap-allocation-free after the first call.
+///
+/// # Errors
+///
+/// See [`bicgstab`].
+pub fn bicgstab_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &P,
+    options: &CgOptions,
+    ws: &mut KrylovWorkspace,
 ) -> Result<SolveReport, NumericsError> {
     let n = a.dim();
     if b.len() != n {
@@ -54,12 +74,13 @@ pub fn bicgstab<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         options.max_iter
     };
 
-    let mut r = vec![0.0; n];
-    a.apply(x, &mut r);
+    ws.ensure(n);
+    let r = &mut ws.r[..n];
+    a.apply_into(x, r);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    let mut res_norm = vector::norm2(&r);
+    let mut res_norm = vector::norm2(r);
     if res_norm <= target {
         return Ok(SolveReport {
             converged: true,
@@ -68,19 +89,22 @@ pub fn bicgstab<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         });
     }
 
-    let r0 = r.clone(); // shadow residual
+    let r0 = &mut ws.r0[..n]; // shadow residual
+    r0.copy_from_slice(r);
     let mut rho = 1.0;
     let mut alpha = 1.0;
     let mut omega = 1.0;
-    let mut v = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut ph = vec![0.0; n];
-    let mut s = vec![0.0; n];
-    let mut sh = vec![0.0; n];
-    let mut t = vec![0.0; n];
+    let v = &mut ws.ap[..n];
+    v.fill(0.0);
+    let p = &mut ws.p[..n];
+    p.fill(0.0);
+    let ph = &mut ws.z[..n];
+    let s = &mut ws.s[..n];
+    let sh = &mut ws.sh[..n];
+    let t = &mut ws.t[..n];
 
     for iter in 1..=max_iter {
-        let rho_new = vector::dot(&r0, &r);
+        let rho_new = vector::dot(r0, r);
         if rho_new.abs() < f64::MIN_POSITIVE * 1e10 {
             return Err(NumericsError::Breakdown {
                 solver: "bicgstab",
@@ -93,9 +117,9 @@ pub fn bicgstab<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         for i in 0..n {
             p[i] = r[i] + beta * (p[i] - omega * v[i]);
         }
-        precond.apply(&p, &mut ph);
-        a.apply(&ph, &mut v);
-        let r0v = vector::dot(&r0, &v);
+        precond.apply(p, ph);
+        a.apply_into(ph, v);
+        let r0v = vector::dot(r0, v);
         if r0v.abs() < f64::MIN_POSITIVE * 1e10 {
             return Err(NumericsError::Breakdown {
                 solver: "bicgstab",
@@ -106,29 +130,29 @@ pub fn bicgstab<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         for i in 0..n {
             s[i] = r[i] - alpha * v[i];
         }
-        if vector::norm2(&s) <= target {
-            vector::axpy(alpha, &ph, x);
-            let mut rr = vec![0.0; n];
-            a.apply(x, &mut rr);
+        if vector::norm2(s) <= target {
+            vector::axpy(alpha, ph, x);
+            // True residual; `t` is free to reuse as scratch here.
+            a.apply_into(x, t);
             for i in 0..n {
-                rr[i] = b[i] - rr[i];
+                t[i] = b[i] - t[i];
             }
             return Ok(SolveReport {
                 converged: true,
                 iterations: iter,
-                residual: vector::norm2(&rr),
+                residual: vector::norm2(t),
             });
         }
-        precond.apply(&s, &mut sh);
-        a.apply(&sh, &mut t);
-        let tt = vector::dot(&t, &t);
+        precond.apply(s, sh);
+        a.apply_into(sh, t);
+        let tt = vector::dot(t, t);
         if tt == 0.0 {
             return Err(NumericsError::Breakdown {
                 solver: "bicgstab",
                 detail: "tᵀt vanished",
             });
         }
-        omega = vector::dot(&t, &s) / tt;
+        omega = vector::dot(t, s) / tt;
         if omega == 0.0 || !omega.is_finite() {
             return Err(NumericsError::Breakdown {
                 solver: "bicgstab",
@@ -139,7 +163,7 @@ pub fn bicgstab<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
             x[i] += alpha * ph[i] + omega * sh[i];
             r[i] = s[i] - omega * t[i];
         }
-        res_norm = vector::norm2(&r);
+        res_norm = vector::norm2(r);
         if !res_norm.is_finite() {
             return Err(NumericsError::Breakdown {
                 solver: "bicgstab",

@@ -1,6 +1,7 @@
 //! (Preconditioned) conjugate gradient method.
 
 use super::precond::{IdentityPrecond, Preconditioner};
+use super::workspace::KrylovWorkspace;
 use super::SolveReport;
 use crate::error::NumericsError;
 use crate::sparse::LinOp;
@@ -82,6 +83,26 @@ pub fn pcg<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
     precond: &P,
     options: &CgOptions,
 ) -> Result<SolveReport, NumericsError> {
+    pcg_with(a, b, x, precond, options, &mut KrylovWorkspace::new())
+}
+
+/// [`pcg`] with caller-owned scratch buffers.
+///
+/// Reusing the same [`KrylovWorkspace`] across solves makes the iteration
+/// heap-allocation-free after the first call — the workhorse mode of the
+/// transient simulator, which performs thousands of same-sized solves.
+///
+/// # Errors
+///
+/// See [`cg`].
+pub fn pcg_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &P,
+    options: &CgOptions,
+    ws: &mut KrylovWorkspace,
+) -> Result<SolveReport, NumericsError> {
     let n = a.dim();
     if b.len() != n {
         return Err(NumericsError::DimensionMismatch {
@@ -111,12 +132,13 @@ pub fn pcg<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
     let norm_b = vector::norm2(b);
     let target = (options.tol_rel * norm_b).max(options.tol_abs);
 
-    let mut r = vec![0.0; n];
-    a.apply(x, &mut r);
+    ws.ensure(n);
+    let r = &mut ws.r[..n];
+    a.apply_into(x, r);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
-    let mut res_norm = vector::norm2(&r);
+    let mut res_norm = vector::norm2(r);
     if res_norm <= target {
         return Ok(SolveReport {
             converged: true,
@@ -125,16 +147,17 @@ pub fn pcg<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         });
     }
 
-    let mut z = vec![0.0; n];
-    precond.apply(&r, &mut z);
-    let mut p = z.clone();
-    let mut rz = vector::dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    let z = &mut ws.z[..n];
+    precond.apply(r, z);
+    let p = &mut ws.p[..n];
+    p.copy_from_slice(z);
+    let mut rz = vector::dot(r, z);
+    let ap = &mut ws.ap[..n];
 
     let max_iter = options.cap(n);
     for iter in 1..=max_iter {
-        a.apply(&p, &mut ap);
-        let pap = vector::dot(&p, &ap);
+        a.apply_into(p, ap);
+        let pap = vector::dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             return Err(NumericsError::Breakdown {
                 solver: "pcg",
@@ -142,9 +165,8 @@ pub fn pcg<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
             });
         }
         let alpha = rz / pap;
-        vector::axpy(alpha, &p, x);
-        vector::axpy(-alpha, &ap, &mut r);
-        res_norm = vector::norm2(&r);
+        vector::axpy(alpha, p, x);
+        res_norm = vector::axpy_norm2(-alpha, ap, r);
         if !res_norm.is_finite() {
             return Err(NumericsError::Breakdown {
                 solver: "pcg",
@@ -158,11 +180,11 @@ pub fn pcg<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
                 residual: res_norm,
             });
         }
-        precond.apply(&r, &mut z);
-        let rz_new = vector::dot(&r, &z);
+        precond.apply(r, z);
+        let rz_new = vector::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        vector::xpby(&z, beta, &mut p);
+        vector::xpby(z, beta, p);
     }
 
     Ok(SolveReport {

@@ -14,13 +14,15 @@ mod gmres;
 mod precond;
 mod skyline;
 mod tridiag;
+mod workspace;
 
-pub use bicgstab::bicgstab;
-pub use cg::{cg, pcg, CgOptions};
+pub use bicgstab::{bicgstab, bicgstab_with};
+pub use cg::{cg, pcg, pcg_with, CgOptions};
 pub use gmres::{gmres, GmresOptions};
 pub use precond::{IdentityPrecond, IncompleteCholesky, JacobiPrecond, Preconditioner, Ssor};
 pub use skyline::SkylineCholesky;
 pub use tridiag::solve_tridiagonal;
+pub use workspace::KrylovWorkspace;
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone, Copy, PartialEq)]

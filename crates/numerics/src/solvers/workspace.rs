@@ -1,0 +1,88 @@
+//! Reusable scratch buffers for the Krylov solvers.
+
+/// Scratch vectors for [`pcg`](crate::solvers::pcg) /
+/// [`bicgstab`](crate::solvers::bicgstab), reusable across solves.
+///
+/// The Picard/implicit-Euler hot path performs thousands of linear solves on
+/// systems of identical size; handing the same workspace to every solve makes
+/// the Krylov iterations allocation-free after the first call ([`pcg`] needs
+/// the first four buffers, [`bicgstab`] all eight). Buffers are grown on
+/// demand and never shrunk, so alternating between subsystems of different
+/// sizes also settles into a steady state without reallocation.
+///
+/// [`pcg`]: crate::solvers::pcg
+/// [`bicgstab`]: crate::solvers::bicgstab
+#[derive(Debug, Clone, Default)]
+pub struct KrylovWorkspace {
+    /// Residual `r`.
+    pub(super) r: Vec<f64>,
+    /// Preconditioned residual `z` (BiCGStab: preconditioned direction).
+    pub(super) z: Vec<f64>,
+    /// Search direction `p`.
+    pub(super) p: Vec<f64>,
+    /// Operator product `A·p`.
+    pub(super) ap: Vec<f64>,
+    /// BiCGStab shadow residual `r₀`.
+    pub(super) r0: Vec<f64>,
+    /// BiCGStab intermediate residual `s`.
+    pub(super) s: Vec<f64>,
+    /// BiCGStab preconditioned `s`.
+    pub(super) sh: Vec<f64>,
+    /// BiCGStab product `A·ŝ`.
+    pub(super) t: Vec<f64>,
+}
+
+impl KrylovWorkspace {
+    /// An empty workspace; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        KrylovWorkspace::default()
+    }
+
+    /// A workspace pre-sized for `n`-dimensional solves (both solvers run
+    /// allocation-free from the very first call).
+    pub fn with_dim(n: usize) -> Self {
+        let mut ws = KrylovWorkspace::default();
+        ws.ensure(n);
+        ws
+    }
+
+    /// Current buffer dimension.
+    pub fn dim(&self) -> usize {
+        self.r.len()
+    }
+
+    /// Grows (never shrinks) every buffer to length `n`.
+    pub(super) fn ensure(&mut self, n: usize) {
+        for buf in [
+            &mut self.r,
+            &mut self.z,
+            &mut self.p,
+            &mut self.ap,
+            &mut self.r0,
+            &mut self.s,
+            &mut self.sh,
+            &mut self.t,
+        ] {
+            if buf.len() < n {
+                buf.resize(n, 0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_grows_and_never_shrinks() {
+        let mut ws = KrylovWorkspace::new();
+        assert_eq!(ws.dim(), 0);
+        ws.ensure(10);
+        assert_eq!(ws.dim(), 10);
+        ws.ensure(4);
+        assert_eq!(ws.dim(), 10);
+        let ws2 = KrylovWorkspace::with_dim(7);
+        assert_eq!(ws2.dim(), 7);
+    }
+}

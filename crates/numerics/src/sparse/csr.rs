@@ -154,15 +154,69 @@ impl Csr {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "spmv: x length");
         assert_eq!(y.len(), self.n_rows, "spmv: y length");
-        for i in 0..self.n_rows {
-            let lo = self.row_ptr[i];
-            let hi = self.row_ptr[i + 1];
+        self.spmv_rows(0, x, y);
+    }
+
+    /// Computes rows `[first_row, first_row + y.len())` of `A x` into `y`.
+    ///
+    /// This is the kernel behind both [`Csr::spmv`] and the row-partitioned
+    /// [`Csr::spmv_threaded`]; the slice-based inner loop lets the compiler
+    /// hoist the bounds checks on the index/value arrays out of the hot loop.
+    fn spmv_rows(&self, first_row: usize, x: &[f64], y: &mut [f64]) {
+        let mut lo = self.row_ptr[first_row];
+        for (i, yi) in y.iter_mut().enumerate() {
+            let hi = self.row_ptr[first_row + i + 1];
             let mut s = 0.0;
-            for k in lo..hi {
-                s += self.values[k] * x[self.col_idx[k]];
+            for (&c, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                s += v * x[c];
             }
-            y[i] = s;
+            *yi = s;
+            lo = hi;
         }
+    }
+
+    /// Row-partitioned threaded SpMV `y ← A x` on `n_threads` OS threads.
+    ///
+    /// The rows are split into contiguous, nnz-balanced chunks; each thread
+    /// writes a disjoint slice of `y`, so the result is bit-identical to the
+    /// serial [`Csr::spmv`] (no reductions, no atomics, no extra memory).
+    /// `n_threads <= 1` falls back to the serial kernel. Built on
+    /// [`std::thread::scope`] — no dependencies beyond the standard library.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn spmv_threaded(&self, x: &[f64], y: &mut [f64], n_threads: usize) {
+        assert_eq!(x.len(), self.n_cols, "spmv: x length");
+        assert_eq!(y.len(), self.n_rows, "spmv: y length");
+        let nt = n_threads.min(self.n_rows);
+        if nt <= 1 {
+            self.spmv_rows(0, x, y);
+            return;
+        }
+        // nnz-balanced contiguous row ranges: chunk t ends at the first row
+        // whose cumulative nnz reaches (t+1)/nt of the total.
+        let nnz = self.nnz();
+        std::thread::scope(|scope| {
+            let mut rest = y;
+            let mut row = 0usize;
+            for t in 0..nt {
+                let target = nnz * (t + 1) / nt;
+                let end = if t + 1 == nt {
+                    self.n_rows
+                } else {
+                    self.row_ptr[row..].partition_point(|&p| p < target) + row
+                };
+                let end = end.clamp(row, self.n_rows);
+                let (chunk, tail) = rest.split_at_mut(end - row);
+                let first_row = row;
+                if !chunk.is_empty() {
+                    scope.spawn(move || self.spmv_rows(first_row, x, chunk));
+                }
+                rest = tail;
+                row = end;
+            }
+        });
     }
 
     /// Allocating variant of [`Csr::spmv`].
@@ -170,6 +224,17 @@ impl Csr {
         let mut y = vec![0.0; self.n_rows];
         self.spmv(x, &mut y);
         y
+    }
+
+    /// In-place matrix-vector product `y ← A x` (alias of [`Csr::spmv`],
+    /// named to mirror [`Csr::matvec`] at call sites on the hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    #[inline]
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv(x, y);
     }
 
     /// Computes the residual `r ← b − A x`.
@@ -217,9 +282,36 @@ impl Csr {
         }
     }
 
+    /// View of the stored values (pattern order).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Mutable view of the stored values (pattern order).
     pub fn values_mut(&mut self) -> &mut [f64] {
         &mut self.values
+    }
+
+    /// Whether `other` has exactly the same sparsity pattern (dimensions,
+    /// row pointers and column indices). Values are ignored.
+    pub fn same_pattern(&self, other: &Csr) -> bool {
+        self.n_rows == other.n_rows
+            && self.n_cols == other.n_cols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+    }
+
+    /// Copies the values of `other` into this matrix (pattern frozen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sparsity patterns differ.
+    pub fn copy_values_from(&mut self, other: &Csr) {
+        assert!(
+            self.same_pattern(other),
+            "copy_values_from: sparsity patterns differ"
+        );
+        self.values.copy_from_slice(&other.values);
     }
 
     /// Index into the value array of the stored entry `(i, j)`, if present.
@@ -473,6 +565,59 @@ mod tests {
         *a.get_mut(1, 1).unwrap() = 10.0;
         assert_eq!(a.get(1, 1), 10.0);
         assert!(a.get_mut(0, 2).is_none());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = small();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.matvec_into(&x, &mut y);
+        assert_eq!(y.to_vec(), a.matvec(&x));
+    }
+
+    #[test]
+    fn spmv_threaded_is_bit_identical_to_serial() {
+        // Irregular pattern + irrational values: any reassociation or row
+        // mis-assignment would show up as a bit difference.
+        let n = 103;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 3.0 + (i as f64).sqrt());
+            for d in [1usize, 7, 31] {
+                if i + d < n {
+                    coo.push(i, i + d, -1.0 / (1.0 + d as f64 + i as f64).sqrt());
+                    coo.push(i + d, i, -0.5 / (2.0 + d as f64 * i as f64).sqrt());
+                }
+            }
+        }
+        let a = Csr::from_coo(&coo);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64).sin()).collect();
+        let mut y_serial = vec![0.0; n];
+        a.spmv(&x, &mut y_serial);
+        for nt in [1, 2, 3, 4, 8, 64, 200] {
+            let mut y = vec![f64::NAN; n];
+            a.spmv_threaded(&x, &mut y, nt);
+            assert_eq!(y, y_serial, "n_threads = {nt}");
+        }
+    }
+
+    #[test]
+    fn pattern_comparison_and_value_copy() {
+        let a = small();
+        let mut b = small();
+        b.scale(2.0);
+        assert!(a.same_pattern(&b));
+        b.copy_values_from(&a);
+        assert_eq!(a, b);
+        assert!(!a.same_pattern(&Csr::identity(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "patterns differ")]
+    fn copy_values_rejects_pattern_mismatch() {
+        let mut a = small();
+        a.copy_values_from(&Csr::identity(3));
     }
 
     #[test]

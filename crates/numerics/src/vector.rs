@@ -58,6 +58,37 @@ pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// Fused `y ← a·x + y` returning `‖y‖₂` of the updated vector.
+///
+/// One memory pass instead of two for CG's residual update + norm check.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+#[inline]
+pub fn axpy_norm2(a: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy_norm2: length mismatch");
+    // Same four-lane accumulation as [`dot`]: deterministic and keeps the
+    // floating-point dependency chain short.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let i = 4 * c;
+        for l in 0..4 {
+            let v = y[i + l] + a * x[i + l];
+            y[i + l] = v;
+            acc[l] += v * v;
+        }
+    }
+    let mut tail = 0.0;
+    for i in 4 * chunks..x.len() {
+        let v = y[i] + a * x[i];
+        y[i] = v;
+        tail += v * v;
+    }
+    (acc[0] + acc[1] + acc[2] + acc[3] + tail).sqrt()
+}
+
 /// `y ← x + b·y` (the "xpby" update used by CG's direction recurrence).
 ///
 /// # Panics
@@ -203,6 +234,17 @@ mod tests {
         let y: Vec<f64> = (0..101).map(|i| (i as f64).sin()).collect();
         let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
         assert!((dot(&x, &y) - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_norm2_matches_separate_ops() {
+        let x: Vec<f64> = (0..57).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut y: Vec<f64> = (0..57).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut y2 = y.clone();
+        let n = axpy_norm2(-0.35, &x, &mut y);
+        axpy(-0.35, &x, &mut y2);
+        assert_eq!(y, y2);
+        assert_eq!(n, norm2(&y2));
     }
 
     #[test]

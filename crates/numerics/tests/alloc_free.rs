@@ -1,0 +1,159 @@
+//! Proves the Krylov hot path is allocation-free after warm-up.
+//!
+//! A counting global allocator tracks per-thread heap allocations; after a
+//! first (warming) solve populated the [`KrylovWorkspace`] and the
+//! preconditioner, subsequent `pcg_with` / `bicgstab_with` calls on the same
+//! workspace must not touch the heap at all.
+
+use etherm_numerics::solvers::{
+    bicgstab_with, pcg_with, CgOptions, IncompleteCholesky, JacobiPrecond, KrylovWorkspace, Ssor,
+};
+use etherm_numerics::sparse::{Coo, Csr};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_COUNT.with(|c| c.get())
+}
+
+/// 3D 7-point Laplacian plus a mass term — the shape of the transient
+/// thermal systems.
+fn lap3d(nx: usize) -> Csr {
+    let n = nx * nx * nx;
+    let idx = |i: usize, j: usize, k: usize| (i * nx + j) * nx + k;
+    let mut coo = Coo::new(n, n);
+    for i in 0..nx {
+        for j in 0..nx {
+            for k in 0..nx {
+                let p = idx(i, j, k);
+                coo.push(p, p, 6.5);
+                if i + 1 < nx {
+                    coo.push(p, idx(i + 1, j, k), -1.0);
+                    coo.push(idx(i + 1, j, k), p, -1.0);
+                }
+                if j + 1 < nx {
+                    coo.push(p, idx(i, j + 1, k), -1.0);
+                    coo.push(idx(i, j + 1, k), p, -1.0);
+                }
+                if k + 1 < nx {
+                    coo.push(p, idx(i, j, k + 1), -1.0);
+                    coo.push(idx(i, j, k + 1), p, -1.0);
+                }
+            }
+        }
+    }
+    Csr::from_coo(&coo)
+}
+
+#[test]
+fn pcg_is_allocation_free_after_warmup() {
+    let a = lap3d(8);
+    let n = a.n_rows();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+    let opts = CgOptions::with_tol(1e-10);
+    let mut ws = KrylovWorkspace::new();
+
+    for precond_name in ["ic1", "jacobi", "ssor"] {
+        // Build preconditioners outside the counted region (construction may
+        // allocate; refresh and apply must not).
+        let ic = IncompleteCholesky::with_fill(&a, 1).unwrap();
+        let jac = JacobiPrecond::new(&a).unwrap();
+        let ssor = Ssor::new(&a, 1.2).unwrap();
+
+        // Warm-up solve sizes the workspace.
+        let mut x = vec![0.0; n];
+        pcg_with(&a, &b, &mut x, &ic, &opts, &mut ws).unwrap();
+
+        let before = allocations();
+        let mut solved = 0;
+        for _ in 0..3 {
+            x.fill(0.0);
+            let rep = match precond_name {
+                "ic1" => pcg_with(&a, &b, &mut x, &ic, &opts, &mut ws).unwrap(),
+                "jacobi" => pcg_with(&a, &b, &mut x, &jac, &opts, &mut ws).unwrap(),
+                _ => pcg_with(&a, &b, &mut x, &ssor, &opts, &mut ws).unwrap(),
+            };
+            assert!(rep.converged);
+            solved += rep.iterations;
+        }
+        assert!(solved > 0);
+        assert_eq!(
+            allocations() - before,
+            0,
+            "pcg with {precond_name} allocated on the warm path"
+        );
+    }
+}
+
+#[test]
+fn preconditioner_refresh_is_allocation_free() {
+    let a = lap3d(6);
+    let mut a2 = a.clone();
+    a2.scale(1.5);
+    let mut ic = IncompleteCholesky::with_fill(&a, 1).unwrap();
+    let mut jac = JacobiPrecond::new(&a).unwrap();
+    let mut ssor = Ssor::new(&a, 1.1).unwrap();
+
+    let before = allocations();
+    ic.refresh(&a2).unwrap();
+    jac.refresh(&a2).unwrap();
+    ssor.refresh(&a2).unwrap();
+    assert_eq!(allocations() - before, 0, "refresh allocated");
+}
+
+#[test]
+fn bicgstab_is_allocation_free_after_warmup() {
+    // Mildly non-symmetric system.
+    let n = 150;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 3.0);
+        if i + 1 < n {
+            coo.push(i, i + 1, -0.5);
+            coo.push(i + 1, i, -2.0);
+        }
+    }
+    let a = Csr::from_coo(&coo);
+    let b = vec![1.0; n];
+    let jac = JacobiPrecond::new(&a).unwrap();
+    let opts = CgOptions::with_tol(1e-10);
+    let mut ws = KrylovWorkspace::new();
+    let mut x = vec![0.0; n];
+    bicgstab_with(&a, &b, &mut x, &jac, &opts, &mut ws).unwrap();
+
+    let before = allocations();
+    x.fill(0.0);
+    let rep = bicgstab_with(&a, &b, &mut x, &jac, &opts, &mut ws).unwrap();
+    assert!(rep.converged && rep.iterations > 0);
+    assert_eq!(allocations() - before, 0, "bicgstab allocated on warm path");
+}
