@@ -6,7 +6,8 @@
 //! with the default lazily-refreshed cache — verifies both produce the same
 //! physics within solver tolerance, and writes wall time, step/Picard/CG
 //! counts and preconditioner rebuild statistics to `BENCH_transient.json` so
-//! every future PR can compare against the committed numbers.
+//! every future PR can compare against the committed numbers. Run records
+//! use the same schema as `BENCH_scaling.json` (see `bench_scaling`).
 //!
 //! Flags:
 //! - `--steps N` / `--t-end S` / `--mesh-xy M` / `--mesh-z M`: problem size
@@ -14,66 +15,15 @@
 //! - `--quick`: small grid + 5 steps for CI smoke runs
 //! - `--fill K` / `--droptol T` / `--reuses N` / `--refresh-factor F`:
 //!   solver knobs of the lazy configuration
+//! - `--amg`: use the AMG preconditioner in the lazy configuration instead
+//!   of IC
 //! - `--reference-wall-s W` / `--reference-label L`: embed an externally
 //!   measured reference run (e.g. the pre-change seed) in the report
 //! - `--out PATH`: output path (default `BENCH_transient.json`)
 
-use etherm_bench::{arg_f64, arg_flag, arg_usize, arg_value};
-use etherm_core::{PrecondKind, Simulator, SolverOptions, TransientSolution};
-use etherm_package::{build_model, BuildOptions, PackageGeometry, BuiltPackage};
-use std::time::Instant;
-
-struct RunStats {
-    config: &'static str,
-    wall_s: f64,
-    picard_iterations: usize,
-    cg_iterations: usize,
-    solves: usize,
-    precond_rebuilds: usize,
-    precond_reuses: usize,
-    solution: TransientSolution,
-}
-
-fn run(
-    built: &BuiltPackage,
-    solver: SolverOptions,
-    config: &'static str,
-    t_end: f64,
-    steps: usize,
-) -> RunStats {
-    let sim = Simulator::new(&built.model, solver).expect("simulator");
-    let start = Instant::now();
-    let solution = sim
-        .run_transient(t_end, steps, &[t_end])
-        .expect("transient run");
-    let wall_s = start.elapsed().as_secs_f64();
-    let c = sim.counters();
-    RunStats {
-        config,
-        wall_s,
-        picard_iterations: solution.picard_iterations.iter().sum(),
-        cg_iterations: c.electrical_iterations + c.thermal_iterations,
-        solves: c.electrical_solves + c.thermal_solves,
-        precond_rebuilds: c.precond_rebuilds,
-        precond_reuses: c.precond_reuses,
-        solution,
-    }
-}
-
-fn json_run(s: &RunStats) -> String {
-    format!(
-        "    {{\"config\": \"{}\", \"wall_s\": {:.3}, \"picard_iterations\": {}, \
-         \"cg_iterations\": {}, \"solves\": {}, \"precond_rebuilds\": {}, \
-         \"precond_reuses\": {}}}",
-        s.config,
-        s.wall_s,
-        s.picard_iterations,
-        s.cg_iterations,
-        s.solves,
-        s.precond_rebuilds,
-        s.precond_reuses,
-    )
-}
+use etherm_bench::{arg_f64, arg_flag, arg_usize, arg_value, escape_json, timed_transient_run};
+use etherm_core::{PrecondKind, Simulator, SolverOptions};
+use etherm_package::{build_model, BuildOptions, PackageGeometry};
 
 fn main() {
     let quick = arg_flag("quick");
@@ -95,7 +45,11 @@ fn main() {
     let built = build_model(&geometry, &opts).expect("package builds");
 
     let mut lazy = SolverOptions::default();
-    lazy.preconditioner = PrecondKind::Ic(arg_usize("fill", 1));
+    lazy.preconditioner = if arg_flag("amg") {
+        PrecondKind::amg()
+    } else {
+        PrecondKind::Ic(arg_usize("fill", 1))
+    };
     lazy.precond_droptol = arg_f64("droptol", lazy.precond_droptol);
     lazy.precond_max_reuses = arg_usize("reuses", lazy.precond_max_reuses);
     lazy.precond_refresh_factor = arg_f64("refresh-factor", lazy.precond_refresh_factor);
@@ -113,25 +67,40 @@ fn main() {
     drop(sim_probe);
     eprintln!("paper package: {dofs} DoFs, {steps} steps over {t_end} s");
 
-    let r_ref = run(&built, reference, "rebuild-every-solve ic0 (pre-cache behavior)", t_end, steps);
+    let (rec_ref, sol_ref) = timed_transient_run(
+        &built,
+        reference,
+        "rebuild-every-solve ic0 (pre-cache behavior)",
+        t_end,
+        steps,
+    );
     eprintln!(
         "reference: {:.3} s wall | picard {} | cg {} | rebuilds {}",
-        r_ref.wall_s, r_ref.picard_iterations, r_ref.cg_iterations, r_ref.precond_rebuilds
+        rec_ref.wall_s,
+        rec_ref.picard_iterations,
+        rec_ref.cg_iterations,
+        rec_ref.precond_rebuilds
     );
-    let r_lazy = run(&built, lazy, "lazy cached preconditioner (default options)", t_end, steps);
+    let (rec_lazy, sol_lazy) = timed_transient_run(
+        &built,
+        lazy,
+        "lazy cached preconditioner (default options)",
+        t_end,
+        steps,
+    );
     eprintln!(
         "lazy:      {:.3} s wall | picard {} | cg {} | rebuilds {} reuses {}",
-        r_lazy.wall_s,
-        r_lazy.picard_iterations,
-        r_lazy.cg_iterations,
-        r_lazy.precond_rebuilds,
-        r_lazy.precond_reuses
+        rec_lazy.wall_s,
+        rec_lazy.picard_iterations,
+        rec_lazy.cg_iterations,
+        rec_lazy.precond_rebuilds,
+        rec_lazy.precond_reuses
     );
 
     // Identical physics: the lazily-refreshed preconditioner must reproduce
     // the rebuild-every-solve temperatures within solver tolerance.
-    let (_, t_ref) = &r_ref.solution.snapshots[r_ref.solution.snapshots.len() - 1];
-    let (_, t_lazy) = &r_lazy.solution.snapshots[r_lazy.solution.snapshots.len() - 1];
+    let (_, t_ref) = &sol_ref.snapshots[sol_ref.snapshots.len() - 1];
+    let (_, t_lazy) = &sol_lazy.snapshots[sol_lazy.snapshots.len() - 1];
     let max_diff_k = t_ref
         .iter()
         .zip(t_lazy)
@@ -146,20 +115,17 @@ fn main() {
     let mut runs = Vec::new();
     let seed_wall = arg_value("reference-wall-s").and_then(|v| v.parse::<f64>().ok());
     if let Some(w) = seed_wall {
-        let label = arg_value("reference-label")
-            .unwrap_or_else(|| "seed (measured before this change)".into())
-            .replace('\\', "\\\\")
-            .replace('"', "\\\"");
-        runs.push(format!(
-            "    {{\"config\": \"{label}\", \"wall_s\": {w:.3}}}"
-        ));
+        let label = escape_json(
+            &arg_value("reference-label").unwrap_or_else(|| "seed (measured before this change)".into()),
+        );
+        runs.push(format!("    {{\"config\": \"{label}\", \"wall_s\": {w:.3}}}"));
     }
-    runs.push(json_run(&r_ref));
-    runs.push(json_run(&r_lazy));
+    runs.push(rec_ref.to_json("    "));
+    runs.push(rec_lazy.to_json("    "));
 
-    let speedup = r_ref.wall_s / r_lazy.wall_s;
+    let speedup = rec_ref.wall_s / rec_lazy.wall_s;
     let speedup_vs_seed = seed_wall
-        .map(|w| format!("\n  \"speedup_vs_seed\": {:.3},", w / r_lazy.wall_s))
+        .map(|w| format!("\n  \"speedup_vs_seed\": {:.3},", w / rec_lazy.wall_s))
         .unwrap_or_default();
     let json = format!(
         "{{\n  \"bench\": \"transient\",\n  \"package\": \"paper 28-pad / 12-wire\",\n  \

@@ -5,9 +5,125 @@
 //! argument parser (no CLI dependencies) and the package/Monte Carlo
 //! plumbing every experiment shares.
 
-use etherm_core::{Simulator, SolverOptions, TransientSolution};
+use etherm_core::{Simulator, SolveCounters, SolverOptions, TransientSolution};
 use etherm_package::{build_model, BuildOptions, BuiltPackage, PackageGeometry};
 use etherm_uq::dist::Distribution;
+
+/// One benchmark run in the record schema shared by `BENCH_transient.json`
+/// and `BENCH_scaling.json`: configuration label, preconditioner name, wall
+/// time and the simulator's cumulative solve/preconditioner counters.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Human-readable configuration label.
+    pub config: String,
+    /// Preconditioner name (`PrecondKind::describe`).
+    pub precond: String,
+    /// Wall time of the transient (s).
+    pub wall_s: f64,
+    /// Total Picard iterations.
+    pub picard_iterations: usize,
+    /// Total CG iterations (electrical + thermal).
+    pub cg_iterations: usize,
+    /// Number of linear solves.
+    pub solves: usize,
+    /// Preconditioner (re)builds and refreshes.
+    pub precond_rebuilds: usize,
+    /// Solves that reused a cached preconditioner unchanged.
+    pub precond_reuses: usize,
+    /// Largest AMG coarsest-level dimension (0 for single-level
+    /// preconditioners).
+    pub peak_coarse_dim: usize,
+}
+
+impl RunRecord {
+    /// Builds a record from a timed transient run.
+    pub fn new(
+        config: impl Into<String>,
+        options: &SolverOptions,
+        wall_s: f64,
+        solution: &TransientSolution,
+        counters: SolveCounters,
+    ) -> Self {
+        RunRecord {
+            config: config.into(),
+            precond: options.preconditioner.describe(),
+            wall_s,
+            picard_iterations: solution.picard_iterations.iter().sum(),
+            cg_iterations: counters.electrical_iterations + counters.thermal_iterations,
+            solves: counters.electrical_solves + counters.thermal_solves,
+            precond_rebuilds: counters.precond_rebuilds,
+            precond_reuses: counters.precond_reuses,
+            peak_coarse_dim: counters.peak_coarse_dim,
+        }
+    }
+
+    /// Mean CG iterations per solve (the mesh-scaling quality metric).
+    pub fn iters_per_solve(&self) -> f64 {
+        self.cg_iterations as f64 / self.solves.max(1) as f64
+    }
+
+    /// Renders the record as one JSON object, prefixed by `indent`.
+    pub fn to_json(&self, indent: &str) -> String {
+        format!(
+            "{indent}{{\"config\": \"{}\", \"precond\": \"{}\", \"wall_s\": {:.3}, \
+             \"picard_iterations\": {}, \"cg_iterations\": {}, \"solves\": {}, \
+             \"precond_rebuilds\": {}, \"precond_reuses\": {}, \"peak_coarse_dim\": {}}}",
+            escape_json(&self.config),
+            escape_json(&self.precond),
+            self.wall_s,
+            self.picard_iterations,
+            self.cg_iterations,
+            self.solves,
+            self.precond_rebuilds,
+            self.precond_reuses,
+            self.peak_coarse_dim,
+        )
+    }
+}
+
+/// Escapes backslashes, quotes and control characters for embedding in a
+/// JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Runs one timed transient (snapshot at `t_end`) and returns the
+/// shared-schema [`RunRecord`] plus the solution — the common core of
+/// `bench_transient` and `bench_scaling`.
+///
+/// # Panics
+///
+/// Panics on solver failure — benchmarks should fail loudly.
+pub fn timed_transient_run(
+    built: &BuiltPackage,
+    solver: SolverOptions,
+    config: impl Into<String>,
+    t_end: f64,
+    steps: usize,
+) -> (RunRecord, TransientSolution) {
+    let sim = Simulator::new(&built.model, solver.clone()).expect("simulator");
+    let start = std::time::Instant::now();
+    let solution = sim
+        .run_transient(t_end, steps, &[t_end])
+        .expect("transient run");
+    let wall_s = start.elapsed().as_secs_f64();
+    let record = RunRecord::new(config, &solver, wall_s, &solution, sim.counters());
+    (record, solution)
+}
 
 /// Returns the value following `--name` parsed as `f64`, or `default`.
 ///
@@ -130,5 +246,43 @@ mod tests {
     #[test]
     fn fmt_kelvin() {
         assert_eq!(fmt_k(333.456), "333.5 K");
+    }
+
+    #[test]
+    fn run_record_serializes_shared_schema() {
+        let rec = RunRecord {
+            config: "lazy \"cache\"".into(),
+            precond: "ic(1)".into(),
+            wall_s: 1.25,
+            picard_iterations: 10,
+            cg_iterations: 100,
+            solves: 20,
+            precond_rebuilds: 2,
+            precond_reuses: 18,
+            peak_coarse_dim: 0,
+        };
+        let json = rec.to_json("  ");
+        for key in [
+            "\"config\"",
+            "\"precond\"",
+            "\"wall_s\"",
+            "\"picard_iterations\"",
+            "\"cg_iterations\"",
+            "\"solves\"",
+            "\"precond_rebuilds\"",
+            "\"precond_reuses\"",
+            "\"peak_coarse_dim\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("lazy \\\"cache\\\""), "quote not escaped");
+        assert!((rec.iters_per_solve() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escape_json_handles_control_characters() {
+        assert_eq!(escape_json(r#"a\b"c"#), r#"a\\b\"c"#);
+        assert_eq!(escape_json("line1\nline2\tend\r"), "line1\\nline2\\tend\\r");
+        assert_eq!(escape_json("bell\u{7}"), "bell\\u0007");
     }
 }

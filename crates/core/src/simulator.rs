@@ -12,8 +12,8 @@ use etherm_fit::matrices::{
 };
 use etherm_fit::{CachedStamper, DofMap};
 use etherm_numerics::solvers::{
-    pcg_with, CgOptions, IdentityPrecond, IncompleteCholesky, JacobiPrecond, KrylovWorkspace,
-    Preconditioner, SolveReport, Ssor,
+    pcg_with, AmgOptions, AmgPrecond, AmgSmoother, CgOptions, IdentityPrecond,
+    IncompleteCholesky, JacobiPrecond, KrylovWorkspace, Preconditioner, SolveReport, Ssor,
 };
 use etherm_numerics::sparse::{Csr, ParSpmv};
 use etherm_numerics::{vector, NumericsError};
@@ -28,17 +28,29 @@ enum CachedPrecond {
     Jacobi(JacobiPrecond),
     Ic(IncompleteCholesky),
     Ssor(Ssor),
+    Amg(Box<AmgPrecond>),
 }
 
 impl CachedPrecond {
-    fn build(kind: PrecondKind, droptol: f64, a: &Csr) -> Result<Self, NumericsError> {
-        Ok(match kind {
+    fn build(options: &SolverOptions, a: &Csr) -> Result<Self, NumericsError> {
+        Ok(match options.preconditioner {
             PrecondKind::None => CachedPrecond::Identity(IdentityPrecond::new(a.n_rows())),
             PrecondKind::Jacobi => CachedPrecond::Jacobi(JacobiPrecond::new(a)?),
-            PrecondKind::Ic(level) => {
-                CachedPrecond::Ic(IncompleteCholesky::with_fill_drop(a, level, droptol)?)
-            }
+            PrecondKind::Ic(level) => CachedPrecond::Ic(IncompleteCholesky::with_fill_drop(
+                a,
+                level,
+                options.precond_droptol,
+            )?),
             PrecondKind::Ssor(omega) => CachedPrecond::Ssor(Ssor::new(a, omega)?),
+            PrecondKind::Amg { theta, omega } => CachedPrecond::Amg(Box::new(AmgPrecond::new(
+                a,
+                AmgOptions {
+                    strength_theta: theta,
+                    smoother: AmgSmoother::Ssor { omega, sweeps: 1 },
+                    n_threads: options.n_threads,
+                    ..AmgOptions::default()
+                },
+            )?)),
         })
     }
 
@@ -48,6 +60,15 @@ impl CachedPrecond {
             CachedPrecond::Jacobi(p) => p.refresh(a),
             CachedPrecond::Ic(p) => p.refresh(a),
             CachedPrecond::Ssor(p) => p.refresh(a),
+            CachedPrecond::Amg(p) => p.refresh(a),
+        }
+    }
+
+    /// Coarsest-level dimension of an AMG hierarchy (`None` otherwise).
+    fn coarse_dim(&self) -> Option<usize> {
+        match self {
+            CachedPrecond::Amg(p) => Some(p.coarse_dim()),
+            _ => None,
         }
     }
 }
@@ -59,6 +80,7 @@ impl Preconditioner for CachedPrecond {
             CachedPrecond::Jacobi(p) => p.dim(),
             CachedPrecond::Ic(p) => p.dim(),
             CachedPrecond::Ssor(p) => p.dim(),
+            CachedPrecond::Amg(p) => p.dim(),
         }
     }
 
@@ -68,6 +90,7 @@ impl Preconditioner for CachedPrecond {
             CachedPrecond::Jacobi(p) => p.apply(r, z),
             CachedPrecond::Ic(p) => p.apply(r, z),
             CachedPrecond::Ssor(p) => p.apply(r, z),
+            CachedPrecond::Amg(p) => p.apply(r, z),
         }
     }
 }
@@ -194,6 +217,9 @@ pub struct SolveCounters {
     pub precond_rebuilds: usize,
     /// Solves that reused a cached preconditioner unchanged.
     pub precond_reuses: usize,
+    /// Largest coarsest-level dimension any AMG hierarchy reached (0 when
+    /// no AMG preconditioner was built).
+    pub peak_coarse_dim: usize,
 }
 
 /// Assembles and solves the coupled electrothermal system for one model.
@@ -337,14 +363,15 @@ impl<'m> Simulator<'m> {
     ) -> Result<(), NumericsError> {
         let p = cache.precond.as_mut().expect("preconditioner present");
         if p.refresh(a).is_err() {
-            *p = CachedPrecond::build(
-                self.options.preconditioner,
-                self.options.precond_droptol,
-                a,
-            )?;
+            *p = CachedPrecond::build(&self.options, a)?;
         }
+        let coarse_dim = p.coarse_dim();
         cache.mark_rebuilt();
-        self.counters.borrow_mut().precond_rebuilds += 1;
+        let mut c = self.counters.borrow_mut();
+        c.precond_rebuilds += 1;
+        if let Some(nc) = coarse_dim {
+            c.peak_coarse_dim = c.peak_coarse_dim.max(nc);
+        }
         Ok(())
     }
 
@@ -375,13 +402,15 @@ impl<'m> Simulator<'m> {
 
         let mut fresh = match &mut cache.precond {
             slot @ None => {
-                *slot = Some(CachedPrecond::build(
-                    self.options.preconditioner,
-                    self.options.precond_droptol,
-                    a,
-                )?);
+                let built = CachedPrecond::build(&self.options, a)?;
+                let mut c = self.counters.borrow_mut();
+                c.precond_rebuilds += 1;
+                if let Some(nc) = built.coarse_dim() {
+                    c.peak_coarse_dim = c.peak_coarse_dim.max(nc);
+                }
+                drop(c);
+                *slot = Some(built);
                 cache.mark_rebuilt();
-                self.counters.borrow_mut().precond_rebuilds += 1;
                 true
             }
             Some(_) if cache.reuses >= self.options.precond_max_reuses => {
@@ -984,6 +1013,28 @@ mod tests {
         // Energy: wire dominates dissipation (pads are far thicker).
         let fp = sol.field_power.last().unwrap();
         assert!(p_wire > fp, "wire {p_wire} vs field {fp}");
+    }
+
+    #[test]
+    fn amg_reproduces_ic_physics() {
+        // The preconditioner choice may change iteration counts, never the
+        // converged temperatures.
+        let model = bar_model(1e-3);
+        let sim_ic = Simulator::new(&model, SolverOptions::default()).unwrap();
+        let amg_options = SolverOptions {
+            preconditioner: PrecondKind::amg(),
+            ..SolverOptions::default()
+        };
+        let sim_amg = Simulator::new(&model, amg_options).unwrap();
+        let sol_ic = sim_ic.run_transient(10.0, 10, &[10.0]).unwrap();
+        let sol_amg = sim_amg.run_transient(10.0, 10, &[10.0]).unwrap();
+        let (_, t_ic) = &sol_ic.snapshots[0];
+        let (_, t_amg) = &sol_amg.snapshots[0];
+        let diff = vector::max_abs_diff(t_ic, t_amg);
+        assert!(diff < 1e-6, "AMG changed the physics by {diff} K");
+        let c = sim_amg.counters();
+        assert!(c.peak_coarse_dim > 0, "AMG coarse level not recorded");
+        assert_eq!(sim_ic.counters().peak_coarse_dim, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! which `gmres` is the robust choice alongside BiCGStab.
 
 use crate::error::NumericsError;
+use crate::solvers::workspace::GmresWorkspace;
 use crate::solvers::{Preconditioner, SolveReport};
 use crate::sparse::LinOp;
 use crate::vector;
@@ -79,6 +80,28 @@ pub fn gmres<A: LinOp, P: Preconditioner>(
     precond: &P,
     opts: &GmresOptions,
 ) -> Result<SolveReport, NumericsError> {
+    gmres_with(a, b, x, precond, opts, &mut GmresWorkspace::new())
+}
+
+/// [`gmres`] with caller-owned scratch buffers.
+///
+/// Reusing the same [`GmresWorkspace`] across solves makes the iteration
+/// heap-allocation-free after the first call (the Krylov basis, Hessenberg
+/// and rotation buffers are grown once and then recycled) — the same
+/// workspace treatment as [`pcg_with`](crate::solvers::pcg_with) and
+/// [`bicgstab_with`](crate::solvers::bicgstab_with).
+///
+/// # Errors
+///
+/// See [`gmres`].
+pub fn gmres_with<A: LinOp, P: Preconditioner>(
+    a: &A,
+    b: &[f64],
+    x: &mut [f64],
+    precond: &P,
+    opts: &GmresOptions,
+    ws: &mut GmresWorkspace,
+) -> Result<SolveReport, NumericsError> {
     let n = a.dim();
     if b.len() != n {
         return Err(NumericsError::DimensionMismatch {
@@ -104,23 +127,33 @@ pub fn gmres<A: LinOp, P: Preconditioner>(
     let target = (opts.rel_tol * b_norm).max(opts.abs_tol);
 
     let mut total_iters = 0usize;
-    let mut r = vec![0.0; n];
-    let mut w = vec![0.0; n];
-    let mut z = vec![0.0; n];
-    // Krylov basis (m+1 vectors) and Hessenberg in column-major (m+1) x m.
-    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-    let mut hess = vec![0.0; (m + 1) * m];
-    let mut cs = vec![0.0; m];
-    let mut sn = vec![0.0; m];
-    let mut g = vec![0.0; m + 1];
+    ws.ensure(n, m);
+    // Split the workspace into disjoint field borrows; every vector is
+    // sliced to the current dimension (buffers never shrink).
+    let GmresWorkspace {
+        r,
+        w,
+        z,
+        update,
+        basis,
+        hess,
+        cs,
+        sn,
+        g,
+        y,
+    } = ws;
+    let r = &mut r[..n];
+    let w = &mut w[..n];
+    let z = &mut z[..n];
+    let update = &mut update[..n];
 
     for _cycle in 0..opts.max_restarts {
         // r = b − A x
-        a.apply(x, &mut r);
+        a.apply_into(x, r);
         for i in 0..n {
             r[i] = b[i] - r[i];
         }
-        let beta = vector::norm2(&r);
+        let beta = vector::norm2(r);
         if beta <= target {
             return Ok(SolveReport {
                 converged: true,
@@ -128,28 +161,27 @@ pub fn gmres<A: LinOp, P: Preconditioner>(
                 residual: beta,
             });
         }
-        basis.clear();
-        let mut v0 = r.clone();
-        vector::scale(1.0 / beta, &mut v0);
-        basis.push(v0);
-        g.iter_mut().for_each(|v| *v = 0.0);
+        let v0 = &mut basis[0][..n];
+        v0.copy_from_slice(r);
+        vector::scale(1.0 / beta, v0);
+        g[..m + 1].fill(0.0);
         g[0] = beta;
-        hess.iter_mut().for_each(|v| *v = 0.0);
+        hess[..(m + 1) * m].fill(0.0);
 
         let mut k_used = 0usize;
         let mut inner_converged = false;
         for k in 0..m {
             // w = A M⁻¹ v_k  (right preconditioning).
-            precond.apply(&basis[k], &mut z);
-            a.apply(&z, &mut w);
+            precond.apply(&basis[k][..n], z);
+            a.apply_into(z, w);
             total_iters += 1;
             // Modified Gram–Schmidt.
             for j in 0..=k {
-                let h = vector::dot(&w, &basis[j]);
+                let h = vector::dot(w, &basis[j][..n]);
                 hess[j * m + k] = h;
-                vector::axpy(-h, &basis[j], &mut w);
+                vector::axpy(-h, &basis[j][..n], w);
             }
-            let h_next = vector::norm2(&w);
+            let h_next = vector::norm2(w);
             hess[(k + 1) * m + k] = h_next;
             // Apply accumulated Givens rotations to the new column.
             for j in 0..k {
@@ -171,14 +203,13 @@ pub fn gmres<A: LinOp, P: Preconditioner>(
                 inner_converged = true;
                 break;
             }
-            let mut v_next = w.clone();
-            vector::scale(1.0 / h_next, &mut v_next);
-            basis.push(v_next);
+            let v_next = &mut basis[k + 1][..n];
+            v_next.copy_from_slice(w);
+            vector::scale(1.0 / h_next, v_next);
         }
 
         // Back-substitute y from the triangularized Hessenberg, then
         // x += M⁻¹ (V_k y).
-        let mut y = vec![0.0; k_used];
         for i in (0..k_used).rev() {
             let mut sum = g[i];
             for j in (i + 1)..k_used {
@@ -193,21 +224,21 @@ pub fn gmres<A: LinOp, P: Preconditioner>(
             }
             y[i] = sum / diag;
         }
-        let mut update = vec![0.0; n];
-        for (j, yj) in y.iter().enumerate() {
-            vector::axpy(*yj, &basis[j], &mut update);
+        update.fill(0.0);
+        for (j, yj) in y[..k_used].iter().enumerate() {
+            vector::axpy(*yj, &basis[j][..n], update);
         }
-        precond.apply(&update, &mut z);
+        precond.apply(update, z);
         for i in 0..n {
             x[i] += z[i];
         }
 
         if inner_converged {
-            a.apply(x, &mut r);
+            a.apply_into(x, r);
             for i in 0..n {
                 r[i] = b[i] - r[i];
             }
-            let res = vector::norm2(&r);
+            let res = vector::norm2(r);
             if res <= target * 10.0 {
                 return Ok(SolveReport {
                     converged: true,
@@ -218,14 +249,14 @@ pub fn gmres<A: LinOp, P: Preconditioner>(
         }
     }
 
-    a.apply(x, &mut r);
+    a.apply_into(x, r);
     for i in 0..n {
         r[i] = b[i] - r[i];
     }
     Err(NumericsError::NotConverged {
         solver: "gmres",
         iterations: total_iters,
-        residual: vector::norm2(&r),
+        residual: vector::norm2(r),
     })
 }
 
@@ -401,6 +432,32 @@ mod tests {
         };
         let mut x2 = [0.0; 2];
         assert!(gmres(&a, &[1.0, 1.0], &mut x2, &IdentityPrecond::new(2), &opts).is_err());
+    }
+
+    #[test]
+    fn reused_workspace_reproduces_fresh_solve() {
+        let n = 64;
+        let a = convection_diffusion(n, 0.6);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 5 % 13) as f64) - 6.0).collect();
+        let opts = GmresOptions {
+            restart: 15,
+            ..GmresOptions::default()
+        };
+        let mut x_fresh = vec![0.0; n];
+        let rep_fresh =
+            gmres(&a, &b, &mut x_fresh, &IdentityPrecond::new(n), &opts).unwrap();
+        // Solve a different system first to dirty the workspace, then the
+        // same system again: the result must match the fresh solve exactly.
+        let mut ws = GmresWorkspace::new();
+        let b2 = vec![1.0; n];
+        let mut x_other = vec![0.0; n];
+        gmres_with(&a, &b2, &mut x_other, &IdentityPrecond::new(n), &opts, &mut ws).unwrap();
+        let mut x_reused = vec![0.0; n];
+        let rep_reused =
+            gmres_with(&a, &b, &mut x_reused, &IdentityPrecond::new(n), &opts, &mut ws).unwrap();
+        assert!(rep_fresh.converged && rep_reused.converged);
+        assert_eq!(rep_fresh.iterations, rep_reused.iterations);
+        assert_eq!(x_fresh, x_reused);
     }
 
     #[test]

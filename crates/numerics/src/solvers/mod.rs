@@ -8,6 +8,7 @@
 //! (non-symmetric) systems and for cross-checks, [`solve_tridiagonal`] for
 //! the 1D analytic wire chains.
 
+mod amg;
 mod bicgstab;
 mod cg;
 mod gmres;
@@ -16,13 +17,14 @@ mod skyline;
 mod tridiag;
 mod workspace;
 
+pub use amg::{AmgOptions, AmgPrecond, AmgSmoother};
 pub use bicgstab::{bicgstab, bicgstab_with};
 pub use cg::{cg, pcg, pcg_with, CgOptions};
-pub use gmres::{gmres, GmresOptions};
+pub use gmres::{gmres, gmres_with, GmresOptions};
 pub use precond::{IdentityPrecond, IncompleteCholesky, JacobiPrecond, Preconditioner, Ssor};
 pub use skyline::SkylineCholesky;
 pub use tridiag::solve_tridiagonal;
-pub use workspace::KrylovWorkspace;
+pub use workspace::{GmresWorkspace, KrylovWorkspace};
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone, Copy, PartialEq)]

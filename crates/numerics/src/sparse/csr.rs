@@ -146,6 +146,20 @@ impl Csr {
         }
     }
 
+    /// Column indices and mutable values of row `i` — the split borrow lets
+    /// callers scatter new values into a frozen pattern while iterating its
+    /// columns (the AMG Galerkin products refresh whole rows this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> (&[usize], &mut [f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &mut self.values[lo..hi])
+    }
+
     /// Sparse matrix-vector product `y ← A x`.
     ///
     /// # Panics

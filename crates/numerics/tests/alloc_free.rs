@@ -6,7 +6,8 @@
 //! workspace must not touch the heap at all.
 
 use etherm_numerics::solvers::{
-    bicgstab_with, pcg_with, CgOptions, IncompleteCholesky, JacobiPrecond, KrylovWorkspace, Ssor,
+    bicgstab_with, gmres_with, pcg_with, AmgOptions, AmgPrecond, CgOptions, GmresOptions,
+    GmresWorkspace, IncompleteCholesky, JacobiPrecond, KrylovWorkspace, Preconditioner, Ssor,
 };
 use etherm_numerics::sparse::{Coo, Csr};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -129,6 +130,73 @@ fn preconditioner_refresh_is_allocation_free() {
     jac.refresh(&a2).unwrap();
     ssor.refresh(&a2).unwrap();
     assert_eq!(allocations() - before, 0, "refresh allocated");
+}
+
+#[test]
+fn amg_apply_and_refresh_are_allocation_free_after_warmup() {
+    let a = lap3d(8);
+    let n = a.n_rows();
+    let mut amg = AmgPrecond::new(&a, AmgOptions::default()).unwrap();
+    let mut a2 = a.clone();
+    a2.scale(1.25);
+
+    // Warm-up: one V-cycle (the per-level scratch is sized at construction,
+    // so even this first apply must not allocate — included in the counted
+    // region below together with a numeric-only refresh).
+    let r: Vec<f64> = (0..n).map(|i| ((i * 7 % 19) as f64) - 9.0).collect();
+    let mut z = vec![0.0; n];
+
+    let before = allocations();
+    amg.apply(&r, &mut z);
+    amg.refresh(&a2).unwrap();
+    amg.apply(&r, &mut z);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "amg V-cycle or refresh allocated"
+    );
+
+    // And the full PCG hot path with the AMG preconditioner stays clean.
+    let opts = CgOptions::with_tol(1e-10);
+    let mut ws = KrylovWorkspace::new();
+    let b: Vec<f64> = (0..n).map(|i| ((i * 13 % 17) as f64) - 8.0).collect();
+    let mut x = vec![0.0; n];
+    pcg_with(&a2, &b, &mut x, &amg, &opts, &mut ws).unwrap();
+    let before = allocations();
+    x.fill(0.0);
+    let rep = pcg_with(&a2, &b, &mut x, &amg, &opts, &mut ws).unwrap();
+    assert!(rep.converged && rep.iterations > 0);
+    assert_eq!(allocations() - before, 0, "pcg with amg allocated");
+}
+
+#[test]
+fn gmres_is_allocation_free_after_warmup() {
+    // Mildly non-symmetric system (the GMRES use case).
+    let n = 200;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 3.0);
+        if i + 1 < n {
+            coo.push(i, i + 1, -0.6);
+            coo.push(i + 1, i, -1.4);
+        }
+    }
+    let a = Csr::from_coo(&coo);
+    let b: Vec<f64> = (0..n).map(|i| ((i * 3 % 11) as f64) - 5.0).collect();
+    let jac = JacobiPrecond::new(&a).unwrap();
+    let opts = GmresOptions {
+        restart: 25,
+        ..GmresOptions::default()
+    };
+    let mut ws = GmresWorkspace::new();
+    let mut x = vec![0.0; n];
+    gmres_with(&a, &b, &mut x, &jac, &opts, &mut ws).unwrap();
+
+    let before = allocations();
+    x.fill(0.0);
+    let rep = gmres_with(&a, &b, &mut x, &jac, &opts, &mut ws).unwrap();
+    assert!(rep.converged && rep.iterations > 0);
+    assert_eq!(allocations() - before, 0, "gmres allocated on warm path");
 }
 
 #[test]

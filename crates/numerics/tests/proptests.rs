@@ -4,8 +4,8 @@ use etherm_numerics::dense::DenseMatrix;
 use etherm_numerics::interp::{Extrapolate, LinearInterp, PchipInterp};
 use etherm_numerics::quadrature::QuadratureRule;
 use etherm_numerics::solvers::{
-    cg, gmres, pcg, solve_tridiagonal, CgOptions, GmresOptions, IdentityPrecond,
-    IncompleteCholesky, JacobiPrecond,
+    cg, gmres, pcg, solve_tridiagonal, AmgOptions, AmgPrecond, CgOptions, GmresOptions,
+    IdentityPrecond, IncompleteCholesky, JacobiPrecond,
 };
 use etherm_numerics::sparse::{Coo, Csr, LinOp};
 use etherm_numerics::vector;
@@ -257,6 +257,40 @@ proptest! {
             let t = -2.0 + i as f64 * 0.3;
             prop_assert!((f.eval(t) - (a * t + b)).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn amg_galerkin_coarse_operator_is_symmetric_spd_shaped(
+        a in spd_matrix(9),
+        theta in 0.0f64..0.3,
+    ) {
+        // The Galerkin product Pᵀ·A·P of a random SPD matrix must stay
+        // symmetric with a nonnegative diagonal on every coarse level.
+        let csr = dense_to_csr(&a);
+        let opts = AmgOptions {
+            strength_theta: theta,
+            coarse_max: 2,
+            ..AmgOptions::default()
+        };
+        let m = AmgPrecond::new(&csr, opts).unwrap();
+        for l in 1..m.n_levels() {
+            let ac = m.level_matrix(l);
+            let scale = ac.norm_inf().max(1e-30);
+            prop_assert!(ac.is_symmetric(1e-12 * scale), "level {} not symmetric", l);
+            for i in 0..ac.n_rows() {
+                let d = ac.get(i, i);
+                prop_assert!(d.is_finite() && d >= 0.0, "level {} diag {} = {}", l, i, d);
+            }
+        }
+        // And the V-cycle still solves the system as a preconditioner.
+        let n = csr.n_rows();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let mut x = vec![0.0; n];
+        let report = pcg(&csr, &b, &mut x, &m, &CgOptions::default()).unwrap();
+        prop_assert!(report.converged);
+        let mut r = vec![0.0; n];
+        csr.residual(&b, &x, &mut r);
+        prop_assert!(vector::norm2(&r) <= 1e-7 * vector::norm2(&b));
     }
 
     #[test]
