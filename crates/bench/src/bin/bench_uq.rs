@@ -1,0 +1,275 @@
+//! **bench_uq** — wall-time benchmark of a Fig. 7-style UQ campaign:
+//! session-reuse (the compile-once/run-many ensemble engine) against the
+//! historical rebuild-per-sample driver.
+//!
+//! Four configurations evaluate the *same* elongation design (same seed) on
+//! the paper package at the same thread count, all with tight (default)
+//! solver tolerances so their physics must agree to ~1e-7 K:
+//!
+//! 1. `rebuild ic(1)` — the pre-refactor path: `apply_elongations` +
+//!    `Simulator::new(SolverOptions::default())` per sample. This is what
+//!    a UQ campaign cost before this change.
+//! 2. `rebuild amg` — the same per-sample rebuild with the UQ solver
+//!    profile (`SolverOptions::uq()`): isolates the preconditioner effect.
+//! 3. `session exact` — the ensemble engine in exact mode: compiled once,
+//!    one session per worker, `reset()` between samples. Must be
+//!    *bit-identical* to configuration 2 (asserted).
+//! 4. `session warm` — the ensemble engine with warm sessions:
+//!    preconditioners refreshed across samples and thermal CG warm-started
+//!    from the previous sample's trajectory. The headline configuration.
+//!
+//! Gates (full profile): `session warm` ≥ 1.5× faster than `rebuild ic(1)`
+//! and max |ΔQoI| between them ≤ 1.5e-7 K; `session exact` ≡ `rebuild amg`
+//! bitwise.
+//!
+//! Flags: `--samples M` (64) / `--steps N` (50) / `--threads T` (1) /
+//! `--seed S` / `--mesh-xy`, `--mesh-z` / `--quick` (CI smoke: tiny mesh,
+//! 5 steps, 8 samples, speedup reported but not gated) / `--out PATH`.
+
+use etherm_bench::{
+    arg_f64, arg_flag, arg_usize, arg_value, flatten_wire_series, iid_inputs, RunRecord,
+};
+use etherm_core::{
+    run_ensemble, EnsembleOptions, Simulator, SolveCounters, SolverOptions,
+};
+use etherm_package::{
+    build_model, paper_elongation_distribution, BuildOptions, BuiltPackage, PackageGeometry,
+};
+use etherm_uq::{draw_samples, MonteCarloSampler};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// The pre-refactor campaign: fresh `Simulator` per sample, same
+/// contiguous-chunk split as the ensemble engine. Returns sample-ordered
+/// QoIs, merged counters and the wall time.
+fn rebuild_campaign(
+    built: &BuiltPackage,
+    inputs: &[Vec<f64>],
+    t_end: f64,
+    steps: usize,
+    threads: usize,
+    options: &SolverOptions,
+) -> (Vec<Vec<f64>>, SolveCounters, f64) {
+    let n = inputs.len();
+    let chunk = n.div_ceil(threads).max(1);
+    let counters = Mutex::new(SolveCounters::default());
+    let start = Instant::now();
+    let mut outputs: Vec<Option<Vec<f64>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, block) in inputs.chunks(chunk).enumerate() {
+            let counters = &counters;
+            handles.push(scope.spawn(move || {
+                let mut local = built.clone();
+                let mut out = Vec::with_capacity(block.len());
+                for (k, deltas) in block.iter().enumerate() {
+                    local.apply_elongations(deltas).expect("valid deltas");
+                    let sim =
+                        Simulator::new(&local.model, options.clone()).expect("simulator");
+                    let sol = sim.run_transient(t_end, steps, &[]).expect("transient");
+                    counters.lock().unwrap().merge(&sim.counters());
+                    out.push((c * chunk + k, flatten_wire_series(&sol)));
+                }
+                out
+            }));
+        }
+        let results: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("rebuild worker panicked"))
+            .collect();
+        for (i, y) in results.into_iter().flatten() {
+            outputs[i] = Some(y);
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let outputs = outputs
+        .into_iter()
+        .map(|o| o.expect("all samples evaluated"))
+        .collect();
+    (outputs, counters.into_inner().unwrap(), wall)
+}
+
+fn max_abs_diff(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(x, y)| x.iter().zip(y).map(|(p, q)| (p - q).abs()))
+        .fold(0.0, f64::max)
+}
+
+fn main() {
+    let quick = arg_flag("quick");
+    let (default_xy, default_z, default_steps, default_samples) = if quick {
+        (0.9e-3, 0.5e-3, 5, 8)
+    } else {
+        (0.42e-3, 0.22e-3, 50, 64)
+    };
+    let samples = arg_usize("samples", default_samples);
+    let steps = arg_usize("steps", default_steps);
+    let threads = arg_usize("threads", 1);
+    let seed = arg_usize("seed", 2016) as u64;
+    let t_end = steps as f64;
+    let mesh_xy = arg_f64("mesh-xy", default_xy);
+    let mesh_z = arg_f64("mesh-z", default_z);
+
+    let build = BuildOptions {
+        target_spacing_xy: mesh_xy,
+        target_spacing_z: mesh_z,
+        ..BuildOptions::paper_fig7()
+    };
+    let built = build_model(&PackageGeometry::paper(), &build).expect("package builds");
+    let delta = paper_elongation_distribution();
+    let dists = iid_inputs(&delta, 12);
+    let mut gen = MonteCarloSampler::new(seed);
+    let inputs = draw_samples(&mut gen, &dists, samples);
+
+    // Campaign solver profile, applied to all four configurations:
+    //
+    // * Fixed outer iteration count (picard_tol = 0, 6 iterates per step,
+    //   fully converged: the update contracts ~16× per iterate on this
+    //   package). An update-threshold stop lets a 1e-9-level CG difference
+    //   flip one step's Picard count somewhere in 64 × 50 steps, which
+    //   moves that sample by the outer-update scale (~1e-6 K) and makes
+    //   the 1.5e-7 K agreement gate a coin toss. With the outer structure
+    //   pinned, the remaining config-to-config spread is pure inner-solver
+    //   tolerance.
+    // * Inner CG tolerance one decade below default (1e-10): the iterate
+    //   spread between different preconditioner states scales with the
+    //   residual tolerance; 1e-10 keeps the worst case over the whole
+    //   campaign safely under the gate.
+    //
+    // Every configuration pays identically, so the speedups are unaffected.
+    let campaign = |mut o: SolverOptions| {
+        o.linear.tol_rel = 1e-10;
+        o.picard_tol = 0.0;
+        o.picard_max_iter = 6;
+        o
+    };
+    let opts_ic = campaign(SolverOptions::default());
+    let opts_uq = campaign(SolverOptions::uq());
+    let dofs = {
+        let probe = Simulator::new(&built.model, opts_ic.clone()).expect("simulator");
+        probe.layout().n_total()
+    };
+    eprintln!(
+        "bench_uq: {samples}-sample campaign, {dofs} DoFs, {steps} steps over {t_end} s, \
+         {threads} thread(s)"
+    );
+
+    // 1. Rebuild-per-sample with the repo default solver (the old path).
+    let (q_rebuild_ic, c_rebuild_ic, w_rebuild_ic) =
+        rebuild_campaign(&built, &inputs, t_end, steps, threads, &opts_ic);
+    eprintln!("rebuild ic(1):  {w_rebuild_ic:.2} s");
+    // 2. Rebuild-per-sample with the UQ profile (AMG).
+    let (q_rebuild_amg, c_rebuild_amg, w_rebuild_amg) =
+        rebuild_campaign(&built, &inputs, t_end, steps, threads, &opts_uq);
+    eprintln!("rebuild amg:    {w_rebuild_amg:.2} s");
+
+    // 3. + 4. Session reuse through the ensemble engine.
+    let compiled = Arc::new(built.compile(opts_uq.clone()).expect("compiles"));
+    let scenario = built.elongation_scenario(t_end, steps, flatten_wire_series);
+    let start = Instant::now();
+    let exact = run_ensemble(
+        &compiled,
+        &scenario,
+        &inputs,
+        &EnsembleOptions {
+            n_threads: threads,
+            warm_start: false,
+            progress: None,
+        },
+    )
+    .expect("exact ensemble");
+    let w_exact = start.elapsed().as_secs_f64();
+    eprintln!("session exact:  {w_exact:.2} s");
+    let start = Instant::now();
+    let warm = run_ensemble(
+        &compiled,
+        &scenario,
+        &inputs,
+        &EnsembleOptions {
+            n_threads: threads,
+            warm_start: true,
+            progress: None,
+        },
+    )
+    .expect("warm ensemble");
+    let w_warm = start.elapsed().as_secs_f64();
+    eprintln!("session warm:   {w_warm:.2} s");
+
+    // Physics gates.
+    assert_eq!(
+        exact.outputs, q_rebuild_amg,
+        "session exact mode must be bit-identical to rebuild-per-sample at equal options"
+    );
+    let diff_warm_vs_ic = max_abs_diff(&warm.outputs, &q_rebuild_ic);
+    let diff_warm_vs_exact = max_abs_diff(&warm.outputs, &exact.outputs);
+    eprintln!(
+        "max |dQoI|: warm vs rebuild-ic {diff_warm_vs_ic:.3e} K, warm vs exact {diff_warm_vs_exact:.3e} K"
+    );
+    let qoi_gate = if quick { 1e-3 } else { 1.5e-7 };
+    assert!(
+        diff_warm_vs_ic < qoi_gate,
+        "warm session physics diverged from the rebuild reference: {diff_warm_vs_ic} K"
+    );
+
+    let speedup = w_rebuild_ic / w_warm;
+    let speedup_amg = w_rebuild_ic / w_rebuild_amg;
+    let speedup_session = w_rebuild_amg / w_warm;
+    eprintln!(
+        "speedup: session-warm vs rebuild-default {speedup:.2}x \
+         (= amg {speedup_amg:.2}x · session {speedup_session:.2}x)"
+    );
+    if !quick {
+        assert!(
+            speedup >= 1.5,
+            "session-reuse campaign must be >= 1.5x faster than rebuild-per-sample, got {speedup:.2}x"
+        );
+    }
+
+    let runs = [
+        RunRecord::from_counters(
+            "rebuild-per-sample ic(1) (pre-session default path)",
+            &opts_ic,
+            w_rebuild_ic,
+            c_rebuild_ic,
+        ),
+        RunRecord::from_counters(
+            "rebuild-per-sample amg (uq profile)",
+            &opts_uq,
+            w_rebuild_amg,
+            c_rebuild_amg,
+        ),
+        RunRecord::from_counters(
+            "ensemble session-reuse exact (uq profile)",
+            &opts_uq,
+            w_exact,
+            exact.counters,
+        ),
+        RunRecord::from_counters(
+            "ensemble session-reuse warm (uq profile)",
+            &opts_uq,
+            w_warm,
+            warm.counters,
+        ),
+    ];
+    let json = format!(
+        "{{\n  \"bench\": \"uq\",\n  \"package\": \"paper 28-pad / 12-wire\",\n  \
+         \"dofs\": {dofs},\n  \"samples\": {samples},\n  \"steps\": {steps},\n  \
+         \"t_end_s\": {t_end},\n  \"threads\": {threads},\n  \
+         \"mesh_xy_m\": {mesh_xy:e},\n  \"mesh_z_m\": {mesh_z:e},\n  \"runs\": [\n{}\n  ],\n  \
+         \"session_exact_bit_identical_to_rebuild\": true,\n  \
+         \"max_qoi_diff_warm_vs_rebuild_k\": {diff_warm_vs_ic:.3e},\n  \
+         \"max_qoi_diff_warm_vs_exact_k\": {diff_warm_vs_exact:.3e},\n  \
+         \"speedup_amg_vs_ic_rebuild\": {speedup_amg:.3},\n  \
+         \"speedup_warm_session_vs_amg_rebuild\": {speedup_session:.3},\n  \
+         \"speedup_session_vs_rebuild\": {speedup:.3}\n}}\n",
+        runs.iter()
+            .map(|r| r.to_json("    "))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    let out = arg_value("out").unwrap_or_else(|| "BENCH_uq.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("session-reuse vs rebuild-per-sample: {speedup:.2}x -> {out}");
+}

@@ -4,19 +4,31 @@
 //! a sequence of sample sizes, comparing the estimator against the observed
 //! scatter of independent replications. To keep the runtime minutes-scale
 //! this uses the end-time temperature of the hottest wire only and modest
-//! M (`--max-samples` to extend).
+//! M (`--max-samples` to extend). The package is compiled once; every
+//! sample size reuses the same session-backed ensemble engine.
 
 use etherm_bench::{arg_usize, build_paper_package, iid_inputs};
+use etherm_core::{run_ensemble, EnsembleOptions, SolverOptions};
 use etherm_package::paper_elongation_distribution;
 use etherm_report::TextTable;
-use etherm_uq::{run_monte_carlo, McOptions, MonteCarloSampler};
+use etherm_uq::{draw_samples, McOptions, McResult, MonteCarloSampler};
+use std::sync::Arc;
 
 fn main() {
     let max_m = arg_usize("max-samples", 64);
     let steps = arg_usize("steps", 25);
-    let mut built = build_paper_package();
+    let threads = arg_usize("threads", 1);
+    let built = build_paper_package();
     let delta = paper_elongation_distribution();
     let dists = iid_inputs(&delta, 12);
+    let compiled = Arc::new(
+        built
+            .compile(SolverOptions::fast())
+            .expect("package compiles"),
+    );
+    let scenario = built.elongation_scenario(50.0, steps, move |sol| {
+        vec![sol.max_wire_series()[steps]]
+    });
 
     println!("Eq. (6): error_MC = sigma/sqrt(M) on the hottest-wire end temperature\n");
     let mut t = TextTable::new(&["M", "mean [K]", "sigma_MC [K]", "error_MC [K]", "ratio to prev"]);
@@ -29,21 +41,19 @@ fn main() {
     let mut prev_err: Option<f64> = None;
     for &m in &ms {
         let mut gen = MonteCarloSampler::new(7);
-        let result = run_monte_carlo(
-            &mut gen,
-            &dists,
-            m,
-            McOptions::default(),
-            |_, deltas| -> Result<Vec<f64>, String> {
-                built.apply_elongations(deltas).map_err(|e| e.to_string())?;
-                let sim =
-                    etherm_core::Simulator::new(&built.model, etherm_core::SolverOptions::fast())
-                        .map_err(|e| e.to_string())?;
-                let sol = sim.run_transient(50.0, steps, &[]).map_err(|e| e.to_string())?;
-                Ok(vec![sol.max_wire_series()[steps]])
+        let inputs = draw_samples(&mut gen, &dists, m);
+        let ensemble = run_ensemble(
+            &compiled,
+            &scenario,
+            &inputs,
+            &EnsembleOptions {
+                n_threads: threads,
+                warm_start: false,
+                progress: None,
             },
         )
         .expect("mc run");
+        let result = McResult::from_ordered(inputs, ensemble.outputs, McOptions::default());
         let stats = result.output(0);
         let err = stats.mc_error();
         let ratio = prev_err.map_or(String::from("-"), |p| format!("{:.3}", err / p));

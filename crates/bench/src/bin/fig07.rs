@@ -3,31 +3,51 @@
 //!
 //! Monte Carlo over the 12 wires' relative elongations
 //! `δ ~ N(0.17, 0.048)` (paper §IV), `M = 1000` samples by default
-//! (`--samples M` to override; the paper's M = 1000 takes ~45 min on one
-//! core), implicit Euler with 50 steps to 50 s. Also reports σ_MC,
-//! `error_MC = σ_MC/√M` (Eq. 6) and the first crossing of `E + 6σ` with the
-//! critical temperature (paper: t ≈ 26 s).
+//! (`--samples M` to override), implicit Euler with 50 steps to 50 s. Also
+//! reports σ_MC, `error_MC = σ_MC/√M` (Eq. 6) and the first crossing of
+//! `E + 6σ` with the critical temperature (paper: t ≈ 26 s).
+//!
+//! The campaign runs on the compile-once/run-many engine: the package model
+//! is compiled once, every worker thread owns one `Session`, and samples
+//! are merged in index order — so the statistics are bit-identical for any
+//! `--threads`, and (in the default exact mode) bit-identical to the
+//! historical rebuild-per-sample driver with the same seed. `--warm` keeps
+//! sessions warm across samples (faster; QoIs within solver tolerance).
 
-use etherm_bench::{arg_f64, arg_usize, arg_value, build_paper_package, iid_inputs};
+use etherm_bench::{
+    arg_f64, arg_flag, arg_usize, arg_value, build_paper_package, flatten_wire_series, iid_inputs,
+};
 use etherm_bondwire::degradation::first_crossing;
 use etherm_bondwire::T_CRITICAL;
+use etherm_core::{run_ensemble, EnsembleOptions, SolverOptions};
 use etherm_package::paper_elongation_distribution;
 use etherm_report::svg::{SvgChart, SvgOptions};
 use etherm_report::{ChartOptions, CsvWriter, LineChart};
-use etherm_uq::{run_monte_carlo, run_monte_carlo_parallel, McOptions, MonteCarloSampler};
+use etherm_uq::{draw_samples, McOptions, McResult, MonteCarloSampler};
+use std::sync::Arc;
 use std::time::Instant;
+
+fn progress(done: usize, total: usize) {
+    if done.is_multiple_of(25) || done == total {
+        eprintln!("  sample {done}/{total}");
+    }
+}
 
 fn main() {
     let m = arg_usize("samples", 1000);
     let steps = arg_usize("steps", 50);
     let seed = arg_usize("seed", 2016) as u64;
     let threads = arg_usize("threads", 1);
+    let warm = arg_flag("warm");
     let t_end = 50.0;
     let n_times = steps + 1;
     let n_wires = 12;
 
-    eprintln!("fig07: M = {m} samples, {steps} steps, seed {seed}, {threads} thread(s)");
-    let mut built = build_paper_package();
+    eprintln!(
+        "fig07: M = {m} samples, {steps} steps, seed {seed}, {threads} thread(s){}",
+        if warm { ", warm sessions" } else { "" }
+    );
+    let built = build_paper_package();
     eprintln!(
         "package grid: {} nodes, {} wires",
         built.model.grid().n_nodes(),
@@ -37,47 +57,37 @@ fn main() {
     let delta = paper_elongation_distribution();
     let dists = iid_inputs(&delta, n_wires);
     let mut gen = MonteCarloSampler::new(seed);
+    let inputs = draw_samples(&mut gen, &dists, m);
+
     let started = Instant::now();
-    let sample_model = |built: &mut etherm_package::BuiltPackage,
-                        deltas: &[f64]|
-     -> Result<Vec<f64>, String> {
-        built.apply_elongations(deltas).map_err(|e| e.to_string())?;
-        let sim = etherm_core::Simulator::new(&built.model, etherm_core::SolverOptions::fast())
-            .map_err(|e| e.to_string())?;
-        let sol = sim
-            .run_transient(t_end, steps, &[])
-            .map_err(|e| e.to_string())?;
-        let mut out = Vec::with_capacity(n_wires * n_times);
-        for j in 0..n_wires {
-            out.extend_from_slice(sol.wire_series(j));
-        }
-        Ok(out)
-    };
-    let result = if threads > 1 {
-        // One package instance per worker; the design is drawn once, so the
-        // statistics are identical to the serial run with the same seed.
-        run_monte_carlo_parallel(&mut gen, &dists, m, McOptions::default(), threads, || {
-            let mut local = build_paper_package();
-            move |i: usize, deltas: &[f64]| {
-                if i.is_multiple_of(25) {
-                    eprintln!("  sample {i}/{m}");
-                }
-                sample_model(&mut local, deltas)
-            }
-        })
-    } else {
-        run_monte_carlo(&mut gen, &dists, m, McOptions::default(), |i, deltas| {
-            if i % 25 == 0 {
-                eprintln!(
-                    "  sample {i}/{m} ({:.1} s elapsed)",
-                    started.elapsed().as_secs_f64()
-                );
-            }
-            sample_model(&mut built, deltas)
-        })
-    }
+    // Compile once; the ensemble engine reuses one session per worker.
+    let compiled = Arc::new(
+        built
+            .compile(SolverOptions::fast())
+            .expect("package compiles"),
+    );
+    let scenario = built.elongation_scenario(t_end, steps, flatten_wire_series);
+    let ensemble = run_ensemble(
+        &compiled,
+        &scenario,
+        &inputs,
+        &EnsembleOptions {
+            n_threads: threads,
+            warm_start: warm,
+            progress: Some(progress),
+        },
+    )
     .expect("monte carlo run");
+    let result = McResult::from_ordered(inputs, ensemble.outputs, McOptions::default());
     eprintln!("MC finished in {:.1} s", started.elapsed().as_secs_f64());
+    let c = ensemble.counters;
+    eprintln!(
+        "solver: {} CG iterations in {} solves, {} precond rebuilds / {} reuses",
+        c.electrical_iterations + c.thermal_iterations,
+        c.electrical_solves + c.thermal_solves,
+        c.precond_rebuilds,
+        c.precond_reuses
+    );
 
     // Output index (j, i) = j*n_times + i.
     let means = result.means();

@@ -5,41 +5,62 @@
 //! standardized regression coefficients (SRC) between each wire's `δ_j`
 //! and the hottest wire's end temperature — quantifying the paper's
 //! "global sensitivity of the bonding wires' temperatures w.r.t. their
-//! geometric parameters".
+//! geometric parameters". Runs on the session-reuse ensemble engine
+//! (compile once, `--threads N` workers).
 
 use etherm_bench::{arg_usize, build_paper_package, iid_inputs};
+use etherm_core::{run_ensemble, EnsembleOptions, SolverOptions};
 use etherm_package::paper_elongation_distribution;
 use etherm_report::TextTable;
 use etherm_uq::sensitivity::{pearson, standardized_regression_coefficients};
-use etherm_uq::{run_monte_carlo, McOptions, MonteCarloSampler};
+use etherm_uq::{draw_samples, McOptions, McResult, MonteCarloSampler};
+use std::sync::Arc;
+
+fn progress(done: usize, total: usize) {
+    if done.is_multiple_of(10) || done == total {
+        eprintln!("  sample {done}/{total}");
+    }
+}
 
 fn main() {
     let m = arg_usize("samples", 48);
     let steps = arg_usize("steps", 25);
-    let mut built = build_paper_package();
+    let threads = arg_usize("threads", 1);
+    let built = build_paper_package();
     let delta = paper_elongation_distribution();
     let dists = iid_inputs(&delta, 12);
 
-    eprintln!("sensitivity: M = {m} samples");
+    eprintln!("sensitivity: M = {m} samples, {threads} thread(s)");
     let mut gen = MonteCarloSampler::new(31);
-    let result = run_monte_carlo(
-        &mut gen,
-        &dists,
-        m,
-        McOptions { keep_samples: true },
-        |i, deltas| -> Result<Vec<f64>, String> {
-            if i % 10 == 0 {
-                eprintln!("  sample {i}/{m}");
-            }
-            built.apply_elongations(deltas).map_err(|e| e.to_string())?;
-            let sim = etherm_core::Simulator::new(&built.model, etherm_core::SolverOptions::fast())
-                .map_err(|e| e.to_string())?;
-            let sol = sim.run_transient(50.0, steps, &[]).map_err(|e| e.to_string())?;
-            // Outputs: all 12 wire end temperatures.
-            Ok((0..12).map(|j| sol.wire_series(j)[steps]).collect())
+    let inputs = draw_samples(&mut gen, &dists, m);
+    let compiled = Arc::new(
+        built
+            .compile(SolverOptions::fast())
+            .expect("package compiles"),
+    );
+    // Outputs: all 12 wire end temperatures.
+    let scenario = built.elongation_scenario(50.0, steps, move |sol| {
+        (0..12).map(|j| sol.wire_series(j)[steps]).collect()
+    });
+    let ensemble = run_ensemble(
+        &compiled,
+        &scenario,
+        &inputs,
+        &EnsembleOptions {
+            n_threads: threads,
+            warm_start: false,
+            progress: Some(progress),
         },
     )
     .expect("mc run");
+    let result = McResult::from_ordered(
+        inputs,
+        ensemble.outputs,
+        McOptions {
+            keep_samples: true,
+            ..Default::default()
+        },
+    );
 
     // Hottest wire by mean end temperature.
     let means = result.means();

@@ -57,6 +57,29 @@ impl RunRecord {
         }
     }
 
+    /// Builds a record from a timed campaign (many runs on one or more
+    /// sessions) whose per-run solutions were consumed by the QoI
+    /// extraction: all iteration statistics come from the merged
+    /// [`SolveCounters`].
+    pub fn from_counters(
+        config: impl Into<String>,
+        options: &SolverOptions,
+        wall_s: f64,
+        counters: SolveCounters,
+    ) -> Self {
+        RunRecord {
+            config: config.into(),
+            precond: options.preconditioner.describe(),
+            wall_s,
+            picard_iterations: counters.picard_iterations,
+            cg_iterations: counters.electrical_iterations + counters.thermal_iterations,
+            solves: counters.electrical_solves + counters.thermal_solves,
+            precond_rebuilds: counters.precond_rebuilds,
+            precond_reuses: counters.precond_reuses,
+            peak_coarse_dim: counters.peak_coarse_dim,
+        }
+    }
+
     /// Mean CG iterations per solve (the mesh-scaling quality metric).
     pub fn iters_per_solve(&self) -> f64 {
         self.cg_iterations as f64 / self.solves.max(1) as f64
@@ -200,20 +223,43 @@ pub fn run_paper_transient(built: &BuiltPackage, snapshots: &[f64]) -> Transient
     sim.run_transient(50.0, steps, snapshots).expect("transient solve")
 }
 
-/// Evaluates one Monte Carlo sample: applies the elongations and runs the
-/// transient, returning the flattened `wire × time` temperature matrix.
+/// Evaluates one Monte Carlo sample the pre-session way: applies the
+/// elongations to the model and rebuilds the simulator. Kept as the
+/// rebuild-per-sample *baseline* of `bench_uq`; campaign code should use
+/// [`BuiltPackage::elongation_scenario`] with `etherm_core::run_ensemble`
+/// instead.
 ///
 /// # Panics
 ///
 /// Panics on solver failure.
 pub fn mc_sample_outputs(built: &mut BuiltPackage, deltas: &[f64], steps: usize) -> Vec<f64> {
+    mc_sample_outputs_with(built, deltas, steps, SolverOptions::fast())
+}
+
+/// [`mc_sample_outputs`] with explicit solver options.
+///
+/// # Panics
+///
+/// Panics on solver failure.
+pub fn mc_sample_outputs_with(
+    built: &mut BuiltPackage,
+    deltas: &[f64],
+    steps: usize,
+    options: SolverOptions,
+) -> Vec<f64> {
     built
         .apply_elongations(deltas)
         .expect("sampled elongations are < 1");
-    let sim = Simulator::new(&built.model, SolverOptions::fast()).expect("simulator");
+    let sim = Simulator::new(&built.model, options).expect("simulator");
     let sol = sim
         .run_transient(50.0, steps, &[])
         .expect("transient solve");
+    flatten_wire_series(&sol)
+}
+
+/// Flattens a solution into the campaign QoI layout `wire × time` (output
+/// index `j·n_times + i`) shared by `fig07`, `bench_uq` and the tests.
+pub fn flatten_wire_series(sol: &TransientSolution) -> Vec<f64> {
     let mut out = Vec::with_capacity(sol.n_wires() * sol.n_times());
     for j in 0..sol.n_wires() {
         out.extend_from_slice(sol.wire_series(j));

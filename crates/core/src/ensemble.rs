@@ -1,0 +1,375 @@
+//! The ensemble engine: evaluate one compiled model for many parameter
+//! samples across worker threads, each with a long-lived [`Session`].
+//!
+//! This is the execution layer of a UQ campaign (paper §IV): the model is
+//! compiled once, every worker thread owns one session, and the samples are
+//! split into contiguous index chunks — the same deterministic scheme as
+//! `etherm_uq::run_monte_carlo_parallel`, so outputs are merged in sample
+//! order and the result is independent of scheduling. In the default exact
+//! mode each sample starts from a [`Session::reset`], making the outputs
+//! *bit-identical* to a fresh simulator per sample (and therefore identical
+//! for any `n_threads`). Warm mode keeps sessions hot across the samples of
+//! a chunk: preconditioners are refreshed instead of rebuilt and the
+//! thermal CG solves warm-start from the previous sample's trajectory —
+//! faster, with QoIs equal within the inner solver tolerance.
+
+use crate::compiled::CompiledModel;
+use crate::error::CoreError;
+use crate::session::{Session, SolveCounters};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// One evaluation recipe of a UQ campaign: how a parameter sample is
+/// applied to a session and which quantities of interest come back.
+///
+/// Implementations must be [`Sync`]: one instance is shared by all worker
+/// threads.
+pub trait Scenario: Sync {
+    /// Applies one parameter sample to the session (e.g. sets the sampled
+    /// wire lengths). Called before every [`Scenario::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for invalid parameters; the error aborts the
+    /// ensemble run (first error by sample index wins).
+    fn apply(&self, session: &mut Session, sample: &[f64]) -> Result<(), CoreError>;
+
+    /// Runs the simulation on the prepared session and extracts the QoI
+    /// vector. The output length must be identical across samples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver failures.
+    fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError>;
+}
+
+/// Options of [`run_ensemble`].
+#[derive(Debug, Clone, Copy)]
+pub struct EnsembleOptions {
+    /// Worker threads (each owns one [`Session`]); samples are split into
+    /// contiguous chunks of `ceil(n / n_threads)`.
+    pub n_threads: usize,
+    /// Keep sessions warm across the samples of a chunk (see the module
+    /// docs). Off by default: every sample is bit-identical to a fresh
+    /// simulator. Warm workers each hold two guess trajectories (see
+    /// [`Session::set_warm_start`] for the memory cost — roughly
+    /// `2 · steps · Picard-iterates · n_reduced` doubles per worker).
+    pub warm_start: bool,
+    /// Serialized progress callback `(samples_done, total)`: called on the
+    /// coordinating thread as results are merged in sample order, so
+    /// output never interleaves regardless of `n_threads`.
+    pub progress: Option<fn(usize, usize)>,
+}
+
+impl Default for EnsembleOptions {
+    fn default() -> Self {
+        EnsembleOptions {
+            n_threads: 1,
+            warm_start: false,
+            progress: None,
+        }
+    }
+}
+
+/// Results of an ensemble run.
+#[derive(Debug, Clone)]
+pub struct EnsembleResult {
+    /// QoI vector per sample, in sample order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Solve counters merged over all worker sessions (sample-order
+    /// independent: sums and maxima).
+    pub counters: SolveCounters,
+}
+
+/// Evaluates `scenario` for every sample in `samples` and returns the QoIs
+/// in sample order plus the merged solve counters.
+///
+/// # Errors
+///
+/// Returns the error of the failing sample with the smallest index; other
+/// workers finish their current chunk.
+///
+/// # Panics
+///
+/// Panics if `options.n_threads == 0` or a worker thread panics.
+pub fn run_ensemble<S: Scenario>(
+    compiled: &Arc<CompiledModel>,
+    scenario: &S,
+    samples: &[Vec<f64>],
+    options: &EnsembleOptions,
+) -> Result<EnsembleResult, CoreError> {
+    assert!(options.n_threads > 0, "run_ensemble: need ≥ 1 thread");
+    let n = samples.len();
+    if n == 0 {
+        return Ok(EnsembleResult {
+            outputs: Vec::new(),
+            counters: SolveCounters::default(),
+        });
+    }
+    let chunk = n.div_ceil(options.n_threads).max(1);
+
+    type Message = (usize, Result<Vec<f64>, CoreError>);
+    let (tx, rx) = mpsc::channel::<Message>();
+    let (slots, first_error, counters) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, block) in samples.chunks(chunk).enumerate() {
+            let tx = tx.clone();
+            handles.push(scope.spawn(move || {
+                let mut session = Session::new(Arc::clone(compiled));
+                session.set_warm_start(options.warm_start);
+                for (k, sample) in block.iter().enumerate() {
+                    let i = c * chunk + k;
+                    if !options.warm_start {
+                        session.reset();
+                    }
+                    let result = scenario
+                        .apply(&mut session, sample)
+                        .and_then(|()| scenario.evaluate(&mut session));
+                    let failed = result.is_err();
+                    if tx.send((i, result)).is_err() || failed {
+                        break;
+                    }
+                }
+                session.counters()
+            }));
+        }
+        drop(tx);
+
+        // Merge in sample order *while the workers run*: results stream in
+        // as they complete and the serialized progress callback fires as
+        // the ordered frontier advances.
+        let mut slots: Vec<Option<Vec<f64>>> = (0..n).map(|_| None).collect();
+        let mut first_error: Option<(usize, CoreError)> = None;
+        let mut done = 0usize;
+        for (i, result) in rx {
+            match result {
+                Ok(y) => {
+                    slots[i] = Some(y);
+                    while done < n && slots[done].is_some() {
+                        done += 1;
+                        if let Some(progress) = options.progress {
+                            progress(done, n);
+                        }
+                    }
+                }
+                Err(e) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
+                }
+            }
+        }
+        let counters: Vec<SolveCounters> = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(c) => c,
+                // Re-raise the worker's own panic payload, not a new one.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect();
+        (slots, first_error, counters)
+    });
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+
+    let outputs: Vec<Vec<f64>> = slots
+        .into_iter()
+        .map(|s| s.expect("all samples evaluated"))
+        .collect();
+    let mut merged = SolveCounters::default();
+    for c in &counters {
+        merged.merge(c);
+    }
+    Ok(EnsembleResult {
+        outputs,
+        counters: merged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ElectrothermalModel;
+    use crate::options::SolverOptions;
+    use etherm_fit::boundary::ThermalBoundary;
+    use etherm_grid::{Axis, CellPaint, Grid3, MaterialId};
+    use etherm_materials::{library, MaterialTable};
+
+    /// A driven epoxy block with one wire across it.
+    fn wire_model() -> ElectrothermalModel {
+        let grid = Grid3::new(
+            Axis::uniform(0.0, 2e-3, 4).unwrap(),
+            Axis::uniform(0.0, 1e-3, 2).unwrap(),
+            Axis::uniform(0.0, 0.5e-3, 1).unwrap(),
+        );
+        let paint = CellPaint::new(&grid, MaterialId(0));
+        let mut materials = MaterialTable::new();
+        materials.add(library::epoxy_resin());
+        let mut model = ElectrothermalModel::new(grid, paint, materials).unwrap();
+        let wire =
+            etherm_bondwire::BondWire::new("w", 1.5e-3, 25.4e-6, library::copper()).unwrap();
+        model
+            .add_wire(wire, (0.0, 0.5e-3, 0.5e-3), (2e-3, 0.5e-3, 0.5e-3))
+            .unwrap();
+        let a = model.wires()[0].node_a;
+        let b = model.wires()[0].node_b;
+        model.set_electric_potential(&[a], 0.02);
+        model.set_electric_potential(&[b], -0.02);
+        model.set_thermal_boundary(ThermalBoundary::convective(25.0, 300.0));
+        model
+    }
+
+    struct LengthScenario;
+    impl Scenario for LengthScenario {
+        fn apply(&self, session: &mut Session, sample: &[f64]) -> Result<(), CoreError> {
+            session.set_wire_length(0, sample[0])
+        }
+        fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError> {
+            let sol = session.run_transient(2.0, 4, &[])?;
+            Ok(vec![*sol.wire_series(0).last().unwrap()])
+        }
+    }
+
+    fn samples() -> Vec<Vec<f64>> {
+        (0..7).map(|i| vec![1.2e-3 + 1e-4 * i as f64]).collect()
+    }
+
+    #[test]
+    fn deterministic_for_any_thread_count() {
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap(),
+        );
+        let samples = samples();
+        let serial = run_ensemble(
+            &compiled,
+            &LengthScenario,
+            &samples,
+            &EnsembleOptions::default(),
+        )
+        .unwrap();
+        for threads in [2, 3, 5] {
+            let par = run_ensemble(
+                &compiled,
+                &LengthScenario,
+                &samples,
+                &EnsembleOptions {
+                    n_threads: threads,
+                    ..EnsembleOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.outputs, serial.outputs, "threads = {threads}");
+            // Exact mode: every sample is independent, so the merged
+            // counters are identical for any chunking.
+            assert_eq!(par.counters, serial.counters, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn warm_mode_agrees_within_tolerance() {
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap(),
+        );
+        let samples = samples();
+        let exact = run_ensemble(
+            &compiled,
+            &LengthScenario,
+            &samples,
+            &EnsembleOptions::default(),
+        )
+        .unwrap();
+        let warm = run_ensemble(
+            &compiled,
+            &LengthScenario,
+            &samples,
+            &EnsembleOptions {
+                warm_start: true,
+                ..EnsembleOptions::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in exact.outputs.iter().zip(&warm.outputs) {
+            assert!((a[0] - b[0]).abs() < 1e-6, "{} vs {}", a[0], b[0]);
+        }
+        // Warm mode reuses preconditioners across samples.
+        assert!(warm.counters.precond_rebuilds <= exact.counters.precond_rebuilds);
+    }
+
+    #[test]
+    fn progress_streams_in_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static LAST: AtomicUsize = AtomicUsize::new(0);
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        fn progress(done: usize, total: usize) {
+            assert_eq!(total, 7);
+            let prev = LAST.swap(done, Ordering::SeqCst);
+            assert!(done >= prev, "progress went backwards: {prev} -> {done}");
+            CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap(),
+        );
+        run_ensemble(
+            &compiled,
+            &LengthScenario,
+            &samples(),
+            &EnsembleOptions {
+                n_threads: 3,
+                warm_start: false,
+                progress: Some(progress),
+            },
+        )
+        .unwrap();
+        assert_eq!(LAST.load(Ordering::SeqCst), 7);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn first_error_by_sample_index_wins() {
+        struct Failing;
+        impl Scenario for Failing {
+            fn apply(&self, _: &mut Session, sample: &[f64]) -> Result<(), CoreError> {
+                if sample[0] > 1.45e-3 {
+                    return Err(CoreError::InvalidModel(format!("bad {}", sample[0])));
+                }
+                Ok(())
+            }
+            fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError> {
+                let sol = session.run_transient(1.0, 2, &[])?;
+                Ok(vec![*sol.wire_series(0).last().unwrap()])
+            }
+        }
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap(),
+        );
+        // Samples 3.. all fail; the reported error must be sample 3's.
+        let err = run_ensemble(
+            &compiled,
+            &Failing,
+            &samples(),
+            &EnsembleOptions {
+                n_threads: 3,
+                ..EnsembleOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("0.0015"), "{err}");
+    }
+
+    #[test]
+    fn empty_sample_set_is_ok() {
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap(),
+        );
+        let r = run_ensemble(
+            &compiled,
+            &LengthScenario,
+            &[],
+            &EnsembleOptions::default(),
+        )
+        .unwrap();
+        assert!(r.outputs.is_empty());
+        assert_eq!(r.counters, SolveCounters::default());
+    }
+}

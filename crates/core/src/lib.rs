@@ -18,26 +18,38 @@
 //!
 //! * [`ElectrothermalModel`] — geometry + materials + wires + boundary
 //!   conditions,
-//! * [`Simulator`] — assembles and solves; [`Simulator::run_transient`]
-//!   produces a [`TransientSolution`], [`Simulator::solve_stationary`] the
-//!   steady state,
+//! * [`Simulator`] — the one-shot facade: assembles and solves;
+//!   [`Simulator::run_transient`] produces a [`TransientSolution`],
+//!   [`Simulator::solve_stationary`] the steady state,
+//! * [`CompiledModel`] / [`Session`] — the compile-once/run-many split for
+//!   parameter campaigns: compile the invariants once, open one cheap
+//!   session per worker and re-run with new parameters,
+//! * [`ensemble`] — evaluate one compiled model for many parameter samples
+//!   across threads with deterministic sample-order merging,
 //! * [`qoi`] — quantities of interest: per-wire temperatures `T_bw = XᵀT`,
 //!   the hottest-wire envelope of Fig. 7, field slices for Fig. 8.
 
 mod adaptive;
+mod assembly;
+mod compiled;
+pub mod ensemble;
 mod error;
 pub mod export;
 mod layout;
 mod model;
 pub mod options;
 pub mod qoi;
+mod session;
 mod simulator;
 mod solution;
 
 pub use adaptive::AdaptiveOptions;
+pub use compiled::CompiledModel;
+pub use ensemble::{run_ensemble, EnsembleOptions, EnsembleResult, Scenario};
 pub use error::CoreError;
 pub use layout::DofLayout;
 pub use model::{ElectrothermalModel, WireAttachment};
 pub use options::{JouleScheme, PrecondKind, SolverOptions};
-pub use simulator::{Simulator, SolveCounters, StationaryResult, StepResult};
+pub use session::{Session, SolveCounters, StationaryResult, StepResult};
+pub use simulator::Simulator;
 pub use solution::TransientSolution;

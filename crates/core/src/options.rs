@@ -159,6 +159,19 @@ impl SolverOptions {
         }
     }
 
+    /// The UQ-campaign profile: default (tight) tolerances with the AMG
+    /// preconditioner — the configuration of the session-reuse ensemble in
+    /// `bench_uq`. AMG costs more per CG iteration but needs ~8× fewer of
+    /// them on the paper package, and its hierarchy honors the frozen-
+    /// skeleton `refresh` contract, so warm sessions refresh it in place
+    /// across samples instead of re-aggregating.
+    pub fn uq() -> Self {
+        SolverOptions {
+            preconditioner: PrecondKind::amg(),
+            ..SolverOptions::default()
+        }
+    }
+
     /// Fast options for Monte Carlo sweeps: slightly looser tolerances that
     /// keep the sampling error dominant over the solver error.
     pub fn fast() -> Self {

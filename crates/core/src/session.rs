@@ -1,0 +1,1084 @@
+//! The per-run, mutable half of the solver: value-filled matrices, cached
+//! preconditioners, workspaces and warm-start state.
+//!
+//! A [`Session`] is created from a shared [`CompiledModel`] and owns
+//! everything that changes between (or during) runs: the sampled wire
+//! parameters, the value-filled CSR matrices (over the compiled model's
+//! frozen patterns), the lazily-refreshed preconditioners, the Krylov
+//! workspaces and all scratch buffers. Creating a session never re-derives
+//! anything structural — it clones the recorded stamping templates and
+//! allocates buffers, which makes one session per worker thread cheap and
+//! the per-sample cost of a campaign essentially the solve itself.
+//!
+//! Two reuse modes:
+//!
+//! * **exact** (default): call [`Session::reset`] between samples. Cached
+//!   preconditioners are dropped and warm-start state cleared, so every run
+//!   is *bit-identical* to a freshly constructed [`crate::Simulator`] on
+//!   the same model — the mode used by the Fig. 7 reproduction, whose
+//!   statistics must not move.
+//! * **warm** ([`Session::set_warm_start`]): preconditioners are carried
+//!   across samples (refreshed in place by the usual lazy policy) and every
+//!   thermal CG solve is warm-started from the previous sample's solution
+//!   at the same (step, Picard-iterate) position by transplanting its
+//!   update increment. Warm starts and preconditioner state only change
+//!   *iteration counts*; the converged physics agrees with the exact mode
+//!   within the inner solver tolerance.
+
+use crate::assembly::{self, CoeffBufs};
+use crate::compiled::CompiledModel;
+use crate::error::CoreError;
+use crate::options::{JouleScheme, PrecondKind, SolverOptions};
+use crate::solution::TransientSolution;
+use etherm_bondwire::stamp::wire_joule_heat;
+use etherm_fit::CachedStamper;
+use etherm_numerics::solvers::{
+    pcg_with, AmgOptions, AmgPrecond, AmgSmoother, CgOptions, IdentityPrecond,
+    IncompleteCholesky, JacobiPrecond, KrylovWorkspace, Preconditioner, SolveReport, Ssor,
+};
+use etherm_numerics::sparse::{Csr, ParSpmv};
+use etherm_numerics::{vector, NumericsError};
+use std::sync::Arc;
+
+/// A cached preconditioner of the kind selected in
+/// [`SolverOptions::preconditioner`], refreshable in place over the frozen
+/// assembly pattern.
+#[derive(Debug, Clone)]
+pub(crate) enum CachedPrecond {
+    Identity(IdentityPrecond),
+    Jacobi(JacobiPrecond),
+    Ic(IncompleteCholesky),
+    Ssor(Ssor),
+    Amg(Box<AmgPrecond>),
+}
+
+impl CachedPrecond {
+    fn build(options: &SolverOptions, a: &Csr) -> Result<Self, NumericsError> {
+        Ok(match options.preconditioner {
+            PrecondKind::None => CachedPrecond::Identity(IdentityPrecond::new(a.n_rows())),
+            PrecondKind::Jacobi => CachedPrecond::Jacobi(JacobiPrecond::new(a)?),
+            PrecondKind::Ic(level) => CachedPrecond::Ic(IncompleteCholesky::with_fill_drop(
+                a,
+                level,
+                options.precond_droptol,
+            )?),
+            PrecondKind::Ssor(omega) => CachedPrecond::Ssor(Ssor::new(a, omega)?),
+            PrecondKind::Amg { theta, omega } => CachedPrecond::Amg(Box::new(AmgPrecond::new(
+                a,
+                AmgOptions {
+                    strength_theta: theta,
+                    smoother: AmgSmoother::Ssor { omega, sweeps: 1 },
+                    n_threads: options.n_threads,
+                    ..AmgOptions::default()
+                },
+            )?)),
+        })
+    }
+
+    fn refresh(&mut self, a: &Csr) -> Result<(), NumericsError> {
+        match self {
+            CachedPrecond::Identity(_) => Ok(()),
+            CachedPrecond::Jacobi(p) => p.refresh(a),
+            CachedPrecond::Ic(p) => p.refresh(a),
+            CachedPrecond::Ssor(p) => p.refresh(a),
+            CachedPrecond::Amg(p) => p.refresh(a),
+        }
+    }
+
+    /// Coarsest-level dimension of an AMG hierarchy (`None` otherwise).
+    fn coarse_dim(&self) -> Option<usize> {
+        match self {
+            CachedPrecond::Amg(p) => Some(p.coarse_dim()),
+            _ => None,
+        }
+    }
+}
+
+impl Preconditioner for CachedPrecond {
+    fn dim(&self) -> usize {
+        match self {
+            CachedPrecond::Identity(p) => p.dim(),
+            CachedPrecond::Jacobi(p) => p.dim(),
+            CachedPrecond::Ic(p) => p.dim(),
+            CachedPrecond::Ssor(p) => p.dim(),
+            CachedPrecond::Amg(p) => p.dim(),
+        }
+    }
+
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        match self {
+            CachedPrecond::Identity(p) => p.apply(r, z),
+            CachedPrecond::Jacobi(p) => p.apply(r, z),
+            CachedPrecond::Ic(p) => p.apply(r, z),
+            CachedPrecond::Ssor(p) => p.apply(r, z),
+            CachedPrecond::Amg(p) => p.apply(r, z),
+        }
+    }
+}
+
+/// Per-subsystem solver state: the cached preconditioner, the Krylov
+/// workspace, and the bookkeeping driving the lazy refresh policy.
+#[derive(Debug, Clone, Default)]
+struct SubsystemCache {
+    precond: Option<CachedPrecond>,
+    ws: KrylovWorkspace,
+    /// CG iterations of the first solve after the last (re)build — the
+    /// reference for the degradation trigger.
+    baseline_iters: Option<usize>,
+    /// Solves since the last (re)build.
+    reuses: usize,
+}
+
+impl SubsystemCache {
+    fn mark_rebuilt(&mut self) {
+        self.baseline_iters = None;
+        self.reuses = 0;
+    }
+
+    /// Drops the cached preconditioner (exact-mode reset): the next solve
+    /// rebuilds from scratch, exactly like a fresh simulator.
+    fn clear(&mut self) {
+        self.precond = None;
+        self.mark_rebuilt();
+    }
+}
+
+/// Scratch buffers reused across Picard iterates and time steps: the
+/// per-iterate material averaging, heat sources and reduced unknowns run
+/// allocation-free after the first iterate.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Material-coefficient buffers (cell temperatures, σ/λ, edge diagonals).
+    coeff: CoeffBufs,
+    /// Heat sources, full numbering (W per DoF).
+    q: Vec<f64>,
+    /// Reduced unknowns of the current linear solve.
+    x_red: Vec<f64>,
+    /// Joule power per wire (W), refreshed every heat-source evaluation.
+    wire_powers: Vec<f64>,
+    /// Lagged Picard temperature (full numbering).
+    t_star: Vec<f64>,
+    /// Next Picard temperature (full numbering).
+    t_new: Vec<f64>,
+    /// Start state of the previous transient step (for the extrapolated CG
+    /// initial guess of the first thermal solve of a step).
+    t_hist: Vec<f64>,
+    /// Extrapolated CG initial guess `2·t_prev − t_hist`.
+    t_guess: Vec<f64>,
+    /// Step size of the previous transient step (predictor validity check).
+    last_dt: f64,
+}
+
+/// Warm-start state: the reduced thermal solutions of the previous and the
+/// current run, indexed `[step − 1][picard_iterate − 1]`.
+#[derive(Debug, Clone, Default)]
+struct WarmState {
+    enabled: bool,
+    traj_prev: Vec<Vec<Vec<f64>>>,
+    traj_cur: Vec<Vec<Vec<f64>>>,
+}
+
+/// The three independently cached linear subsystems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Subsystem {
+    Electrical,
+    ThermalTransient,
+    ThermalStationary,
+}
+
+impl Subsystem {
+    fn name(self) -> &'static str {
+        match self {
+            Subsystem::Electrical => "electrical",
+            Subsystem::ThermalTransient | Subsystem::ThermalStationary => "thermal",
+        }
+    }
+}
+
+/// Result of one implicit-Euler step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Full temperature vector after the step (K).
+    pub temperature: Vec<f64>,
+    /// Full potential vector at the end of the step (V).
+    pub potential: Vec<f64>,
+    /// Picard iterations used.
+    pub picard_iterations: usize,
+    /// Inner CG iterations used (electrical + thermal).
+    pub linear_iterations: usize,
+    /// Whether the Picard loop met its tolerance.
+    pub converged: bool,
+    /// Joule power per wire (W).
+    pub wire_powers: Vec<f64>,
+    /// Total field Joule power (W).
+    pub field_power: f64,
+}
+
+/// Result of a stationary (steady-state) solve.
+#[derive(Debug, Clone)]
+pub struct StationaryResult {
+    /// Full temperature vector (K).
+    pub temperature: Vec<f64>,
+    /// Full potential vector (V).
+    pub potential: Vec<f64>,
+    /// Picard iterations used.
+    pub picard_iterations: usize,
+    /// Whether the outer iteration converged.
+    pub converged: bool,
+    /// Joule power per wire (W).
+    pub wire_powers: Vec<f64>,
+    /// Total field Joule power (W).
+    pub field_power: f64,
+}
+
+/// Cumulative iteration counters per subsystem.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveCounters {
+    /// CG iterations spent in electrical solves.
+    pub electrical_iterations: usize,
+    /// Number of electrical solves.
+    pub electrical_solves: usize,
+    /// CG iterations spent in thermal solves.
+    pub thermal_iterations: usize,
+    /// Number of thermal solves.
+    pub thermal_solves: usize,
+    /// Outer Picard iterations (all steps and stationary solves).
+    pub picard_iterations: usize,
+    /// Preconditioner (re)builds and in-place refreshes, all subsystems.
+    pub precond_rebuilds: usize,
+    /// Solves that reused a cached preconditioner unchanged.
+    pub precond_reuses: usize,
+    /// Largest coarsest-level dimension any AMG hierarchy reached (0 when
+    /// no AMG preconditioner was built).
+    pub peak_coarse_dim: usize,
+}
+
+impl SolveCounters {
+    /// Accumulates `other` into `self` (sums; `peak_coarse_dim` takes the
+    /// maximum). Used by the ensemble engine to merge per-worker counters.
+    pub fn merge(&mut self, other: &SolveCounters) {
+        self.electrical_iterations += other.electrical_iterations;
+        self.electrical_solves += other.electrical_solves;
+        self.thermal_iterations += other.thermal_iterations;
+        self.thermal_solves += other.thermal_solves;
+        self.picard_iterations += other.picard_iterations;
+        self.precond_rebuilds += other.precond_rebuilds;
+        self.precond_reuses += other.precond_reuses;
+        self.peak_coarse_dim = self.peak_coarse_dim.max(other.peak_coarse_dim);
+    }
+}
+
+/// Per-run solver state over a shared [`CompiledModel`].
+///
+/// All solve entry points take `&mut self`; a session is single-threaded by
+/// construction (spawn one per worker). See the module docs for the
+/// exact-vs-warm reuse contract.
+#[derive(Debug, Clone)]
+pub struct Session {
+    compiled: Arc<CompiledModel>,
+    /// Per-run wire state: starts at the compiled model's nominal wires,
+    /// mutated by [`Session::set_wire_length`] between runs.
+    wires: Vec<crate::model::WireAttachment>,
+    /// Full heat-capacity diagonal: frozen grid part + current wire
+    /// capacities.
+    mass_diag: Vec<f64>,
+    /// Value-filled assemblies over the compiled frozen patterns.
+    elec_stamper: Option<CachedStamper>,
+    therm_stamper: CachedStamper,
+    therm_stationary_stamper: CachedStamper,
+    /// Per-subsystem cached preconditioner + Krylov workspace.
+    elec_solver: SubsystemCache,
+    therm_solver: SubsystemCache,
+    therm_stationary_solver: SubsystemCache,
+    scratch: Scratch,
+    counters: SolveCounters,
+    warm: WarmState,
+}
+
+impl Session {
+    /// Creates a session over the compiled model: clones the recorded
+    /// stamping templates and the nominal wires; no structural work.
+    pub fn new(compiled: Arc<CompiledModel>) -> Self {
+        let wires = compiled.model().wires().to_vec();
+        let mass_diag = compiled.mass_diag_for(&wires);
+        let elec_stamper = compiled.elec_template().cloned();
+        let therm_stamper = compiled.therm_template().clone();
+        let therm_stationary_stamper = compiled.therm_stationary_template().clone();
+        Session {
+            compiled,
+            wires,
+            mass_diag,
+            elec_stamper,
+            therm_stamper,
+            therm_stationary_stamper,
+            elec_solver: SubsystemCache::default(),
+            therm_solver: SubsystemCache::default(),
+            therm_stationary_solver: SubsystemCache::default(),
+            scratch: Scratch::default(),
+            counters: SolveCounters::default(),
+            warm: WarmState::default(),
+        }
+    }
+
+    /// The shared compiled model.
+    pub fn compiled(&self) -> &Arc<CompiledModel> {
+        &self.compiled
+    }
+
+    /// The solver options in use.
+    pub fn options(&self) -> &SolverOptions {
+        self.compiled.options()
+    }
+
+    /// The current per-run wires (sampled lengths).
+    pub fn wires(&self) -> &[crate::model::WireAttachment] {
+        &self.wires
+    }
+
+    /// Snapshot of the cumulative per-system iteration counters.
+    pub fn counters(&self) -> SolveCounters {
+        self.counters
+    }
+
+    /// Clears the cumulative counters (e.g. between benchmark configs).
+    pub fn reset_counters(&mut self) {
+        self.counters = SolveCounters::default();
+    }
+
+    /// Enables or disables warm-starting across runs (default: off). See
+    /// the module docs: warm mode trades bit-reproducibility against a
+    /// rebuild-per-sample reference for fewer CG iterations; the physics
+    /// stays within the inner solver tolerance.
+    ///
+    /// Memory: warm mode records the reduced thermal solution of every
+    /// transient solve and keeps the previous *and* current run's
+    /// trajectories — `2 · n_steps · Picard-iterates · n_reduced` doubles
+    /// per session (≈ 2 × 21 MB on the paper package at 50 steps × 6
+    /// iterates), multiplied by the worker count in an ensemble. Disabling
+    /// warm start frees both trajectories.
+    pub fn set_warm_start(&mut self, enabled: bool) {
+        self.warm.enabled = enabled;
+        if !enabled {
+            self.warm.traj_prev.clear();
+            self.warm.traj_cur.clear();
+        }
+    }
+
+    /// Resets all per-run solver state so the next run is bit-identical to
+    /// a freshly built [`crate::Simulator`] on the same model: drops the
+    /// cached preconditioners (patterns and workspaces are kept — they do
+    /// not influence results, only allocations) and clears the warm-start
+    /// trajectories and step-extrapolation history. Cumulative counters and
+    /// the current wire lengths are kept.
+    pub fn reset(&mut self) {
+        self.elec_solver.clear();
+        self.therm_solver.clear();
+        self.therm_stationary_solver.clear();
+        self.scratch.t_hist.clear();
+        self.scratch.last_dt = 0.0;
+        self.warm.traj_prev.clear();
+        self.warm.traj_cur.clear();
+    }
+
+    /// Forks the session: an independent session sharing the same compiled
+    /// model, with the current solver state (preconditioners, warm
+    /// trajectories, wire lengths) *cloned*. Spawning warm workers from a
+    /// burned-in session skips their cold start.
+    pub fn fork(&self) -> Session {
+        self.clone()
+    }
+
+    /// Replaces the length of wire `j` — the Monte Carlo parameter of the
+    /// paper's campaign. Only the wire's stamped values and its segment
+    /// heat capacities change; all patterns stay frozen.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for an invalid length or index.
+    pub fn set_wire_length(&mut self, j: usize, length: f64) -> Result<(), CoreError> {
+        let att = self
+            .wires
+            .get_mut(j)
+            .ok_or_else(|| CoreError::InvalidModel(format!("no wire {j}")))?;
+        att.wire = att
+            .wire
+            .with_length(length)
+            .map_err(|e| CoreError::InvalidModel(e.to_string()))?;
+        self.compiled.fill_wire_mass(&self.wires, &mut self.mass_diag);
+        Ok(())
+    }
+
+    /// Initial full state: everything at the ambient temperature, wire
+    /// internals interpolated.
+    pub fn initial_temperature(&self) -> Vec<f64> {
+        self.compiled.initial_temperature()
+    }
+
+    /// Performs one implicit-Euler step of size `dt` from the full state
+    /// `t_prev`, warm-starting the electrical solve from `phi_warm`.
+    ///
+    /// # Errors
+    ///
+    /// Returns solver failures; a stalled Picard loop is an error only with
+    /// [`SolverOptions::strict_picard`].
+    pub fn step(
+        &mut self,
+        t_prev: &[f64],
+        dt: f64,
+        phi_warm: &mut [f64],
+        step_index: usize,
+    ) -> Result<StepResult, CoreError> {
+        if !(dt > 0.0 && dt.is_finite()) {
+            return Err(CoreError::InvalidModel(format!("invalid time step {dt}")));
+        }
+        self.coupled_solve(t_prev, Some(dt), phi_warm, step_index)
+    }
+
+    /// Solves the stationary coupled problem (steady state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] if neither a thermal boundary nor
+    /// thermal Dirichlet nodes anchor the temperature (singular system).
+    pub fn solve_stationary(&mut self) -> Result<StationaryResult, CoreError> {
+        let model = self.compiled.model();
+        if !model.thermal_boundary().is_active() && model.thermal_dirichlet().is_empty() {
+            return Err(CoreError::InvalidModel(
+                "stationary solve needs an active thermal boundary or fixed temperatures".into(),
+            ));
+        }
+        let t0 = self.initial_temperature();
+        let mut phi = vec![0.0; self.compiled.layout().n_total()];
+        let r = self.coupled_solve(&t0, None, &mut phi, 0)?;
+        Ok(StationaryResult {
+            temperature: r.temperature,
+            potential: r.potential,
+            picard_iterations: r.picard_iterations,
+            converged: r.converged,
+            wire_powers: r.wire_powers,
+            field_power: r.field_power,
+        })
+    }
+
+    /// Runs the implicit-Euler transient over `[0, t_end]` with `n_steps`
+    /// equal steps (the paper: 50 s, 51 time points → 50 steps), recording
+    /// full-field snapshots at the requested times (matched to the nearest
+    /// step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_steps == 0` or `t_end ≤ 0`.
+    pub fn run_transient(
+        &mut self,
+        t_end: f64,
+        n_steps: usize,
+        snapshot_times: &[f64],
+    ) -> Result<TransientSolution, CoreError> {
+        assert!(n_steps > 0, "need at least one step");
+        assert!(t_end > 0.0, "end time must be positive");
+        let dt = t_end / n_steps as f64;
+        let compiled = Arc::clone(&self.compiled);
+        let layout = compiled.layout();
+        let n_wires = self.wires.len();
+        let n_total = layout.n_total();
+
+        // Map snapshot times to step indices.
+        let snap_indices: Vec<usize> = snapshot_times
+            .iter()
+            .map(|&t| ((t / dt).round() as usize).min(n_steps))
+            .collect();
+
+        // Invalidate the extrapolation history of any previous transient
+        // (the first step of this run must not extrapolate across runs) and
+        // rotate the warm-start trajectory: the previous run becomes this
+        // run's guess source.
+        self.scratch.t_hist.clear();
+        self.scratch.last_dt = 0.0;
+        if self.warm.enabled {
+            self.warm.traj_prev = std::mem::take(&mut self.warm.traj_cur);
+        }
+
+        let mut t_state = self.initial_temperature();
+        let mut phi = vec![0.0; n_total];
+        let mut solution = TransientSolution {
+            times: Vec::with_capacity(n_steps + 1),
+            wire_temperatures: vec![Vec::with_capacity(n_steps + 1); n_wires],
+            wire_powers: vec![Vec::with_capacity(n_steps + 1); n_wires],
+            field_power: Vec::with_capacity(n_steps + 1),
+            picard_iterations: Vec::with_capacity(n_steps),
+            linear_iterations: 0,
+            snapshots: Vec::new(),
+        };
+
+        let record = |sol: &mut TransientSolution,
+                      time: f64,
+                      state: &[f64],
+                      powers: &[f64],
+                      fp: f64| {
+            sol.times.push(time);
+            for j in 0..n_wires {
+                sol.wire_temperatures[j]
+                    .push(layout.topology(j).average_temperature(state));
+                sol.wire_powers[j].push(powers.get(j).copied().unwrap_or(0.0));
+            }
+            sol.field_power.push(fp);
+        };
+
+        record(&mut solution, 0.0, &t_state, &vec![0.0; n_wires], 0.0);
+        if snap_indices.contains(&0) {
+            solution.snapshots.push((0.0, t_state.clone()));
+        }
+
+        for step in 1..=n_steps {
+            let result = self.step(&t_state, dt, &mut phi, step)?;
+            t_state = result.temperature;
+            let time = dt * step as f64;
+            record(&mut solution, time, &t_state, &result.wire_powers, result.field_power);
+            solution.picard_iterations.push(result.picard_iterations);
+            solution.linear_iterations += result.linear_iterations;
+            if snap_indices.contains(&step) {
+                solution.snapshots.push((time, t_state.clone()));
+            }
+        }
+        Ok(solution)
+    }
+
+    /// The coupled Picard loop shared by [`Session::step`] (`dt = Some`)
+    /// and [`Session::solve_stationary`] (`dt = None`).
+    fn coupled_solve(
+        &mut self,
+        t_prev: &[f64],
+        dt: Option<f64>,
+        phi_warm: &mut [f64],
+        step_index: usize,
+    ) -> Result<StepResult, CoreError> {
+        let n_total = self.compiled.layout().n_total();
+        assert_eq!(t_prev.len(), n_total, "state length");
+        let options = self.compiled.options().clone();
+        {
+            let s = &mut self.scratch;
+            s.t_star.clear();
+            s.t_star.extend_from_slice(t_prev);
+        }
+        // Extrapolated thermal guess for the first Picard iterate when this
+        // step continues the previous one with the same step size.
+        let predict = match dt {
+            Some(d) => self.scratch.t_hist.len() == t_prev.len() && self.scratch.last_dt == d,
+            None => false,
+        };
+        if predict {
+            let s = &mut self.scratch;
+            s.t_guess.clear();
+            s.t_guess
+                .extend(t_prev.iter().zip(&s.t_hist).map(|(&a, &b)| 2.0 * a - b));
+        }
+        let mut linear_total = 0usize;
+        let mut field_power = 0.0;
+        let mut converged = false;
+        let mut iterations = 0usize;
+        let mut update = f64::INFINITY;
+
+        let mut elec_solved = false;
+        for k in 1..=options.picard_max_iter {
+            iterations = k;
+            if !elec_solved || options.resolve_electrical_every_picard {
+                linear_total += self.solve_electrical(phi_warm)?;
+                elec_solved = true;
+            }
+            field_power = self.heat_sources(phi_warm);
+            linear_total += self.solve_thermal(t_prev, dt, predict && k == 1, step_index, k)?;
+            update = vector::rel_diff2(&self.scratch.t_new, &self.scratch.t_star, 1e-9);
+            std::mem::swap(&mut self.scratch.t_star, &mut self.scratch.t_new);
+            if update <= options.picard_tol {
+                converged = true;
+                break;
+            }
+        }
+        self.counters.picard_iterations += iterations;
+        if !converged && options.strict_picard {
+            return Err(CoreError::PicardNotConverged {
+                step: step_index,
+                update,
+            });
+        }
+        if let Some(d) = dt {
+            let s = &mut self.scratch;
+            s.t_hist.clear();
+            s.t_hist.extend_from_slice(t_prev);
+            s.last_dt = d;
+        }
+        Ok(StepResult {
+            temperature: self.scratch.t_star.clone(),
+            potential: phi_warm.to_vec(),
+            picard_iterations: iterations,
+            linear_iterations: linear_total,
+            converged,
+            wire_powers: self.scratch.wire_powers.clone(),
+            field_power,
+        })
+    }
+
+    /// Solves the electrical subsystem at the lagged temperature
+    /// `scratch.t_star`. `phi_warm` (full numbering) is used as the initial
+    /// guess and updated in place with the solution. The lagged
+    /// conductivities stay behind in the coefficient buffers for the
+    /// heat-source evaluation.
+    fn solve_electrical(&mut self, phi_warm: &mut [f64]) -> Result<usize, CoreError> {
+        let Session {
+            compiled,
+            wires,
+            elec_stamper,
+            elec_solver,
+            scratch,
+            counters,
+            ..
+        } = self;
+        let model = compiled.model();
+        assembly::fill_sigma(model, &scratch.t_star, &mut scratch.coeff);
+
+        if model.electric_dirichlet().is_empty() {
+            // No drive: the potential is identically zero.
+            phi_warm.fill(0.0);
+            return Ok(0);
+        }
+        let stamper = elec_stamper
+            .as_mut()
+            .expect("electrical template recorded for driven models");
+        assembly::stamp_electrical(
+            model,
+            compiled.layout(),
+            wires,
+            &scratch.t_star,
+            &scratch.coeff,
+            stamper,
+        );
+        let (a, b) = stamper.finish();
+        compiled.elec_map().restrict_into(phi_warm, &mut scratch.x_red);
+        let iterations = solve_reduced(
+            compiled.options(),
+            counters,
+            elec_solver,
+            Subsystem::Electrical,
+            a,
+            b,
+            &mut scratch.x_red,
+        )?;
+        compiled.elec_map().expand_into(&scratch.x_red, phi_warm);
+        Ok(iterations)
+    }
+
+    /// Heat sources (W per DoF) from field Joule heating and wire
+    /// self-heating into `scratch.q` / `scratch.wire_powers`; returns the
+    /// total field Joule power. Uses the conductivities left in the
+    /// coefficient buffers by the last electrical solve and the potential
+    /// in `phi`.
+    fn heat_sources(&mut self, phi: &[f64]) -> f64 {
+        let Session {
+            compiled,
+            wires,
+            scratch,
+            ..
+        } = self;
+        let model = compiled.model();
+        let grid = model.grid();
+        let phi_grid = &phi[..grid.n_nodes()];
+        // Nodal field heat into the grid prefix of q, then extend with zeros
+        // for the wire-internal DoFs.
+        match compiled.options().joule {
+            JouleScheme::CellBased => etherm_fit::joule::joule_heat_cell_based_into(
+                grid,
+                &scratch.coeff.cell_sigma,
+                phi_grid,
+                &mut scratch.q,
+            ),
+            JouleScheme::EdgeBased => etherm_fit::joule::joule_heat_edge_based_into(
+                grid,
+                &scratch.coeff.m_sigma,
+                phi_grid,
+                &mut scratch.q,
+            ),
+        }
+        let field_power: f64 = vector::sum(&scratch.q);
+        scratch.q.resize(compiled.layout().n_total(), 0.0);
+        scratch.wire_powers.clear();
+        for (j, att) in wires.iter().enumerate() {
+            let p = wire_joule_heat(
+                &att.wire,
+                compiled.layout().topology(j),
+                &scratch.t_star,
+                phi,
+                &mut scratch.q,
+            );
+            scratch.wire_powers.push(p);
+        }
+        field_power
+    }
+
+    /// Assembles and solves the thermal system for one Picard iterate at
+    /// the lagged temperature `scratch.t_star`, writing the new temperature
+    /// to `scratch.t_new`.
+    ///
+    /// `dt = None` means stationary (no mass term); `t_prev` is the
+    /// previous time level (ignored when stationary). In warm mode the CG
+    /// initial guess is improved by transplanting the previous run's
+    /// solution increment at the same `(step_index, picard_k)` position.
+    fn solve_thermal(
+        &mut self,
+        t_prev: &[f64],
+        dt: Option<f64>,
+        use_predictor: bool,
+        step_index: usize,
+        picard_k: usize,
+    ) -> Result<usize, CoreError> {
+        let Session {
+            compiled,
+            wires,
+            mass_diag,
+            therm_stamper,
+            therm_stationary_stamper,
+            therm_solver,
+            therm_stationary_solver,
+            scratch,
+            counters,
+            warm,
+            ..
+        } = self;
+        let model = compiled.model();
+        let layout = compiled.layout();
+        let therm_map = compiled.therm_map();
+        assembly::fill_lambda(model, &scratch.t_star, &mut scratch.coeff);
+
+        let (stamper, cache, system) = if dt.is_some() {
+            (therm_stamper, therm_solver, Subsystem::ThermalTransient)
+        } else {
+            (
+                therm_stationary_stamper,
+                therm_stationary_solver,
+                Subsystem::ThermalStationary,
+            )
+        };
+        assembly::stamp_thermal(
+            model,
+            layout,
+            wires,
+            &scratch.t_star,
+            t_prev,
+            dt,
+            mass_diag,
+            &scratch.q,
+            &scratch.coeff,
+            stamper,
+        );
+        let (a, b) = stamper.finish();
+        // CG initial guess: the lagged temperature, or — for the first
+        // Picard iterate of a continuation step — the linear extrapolation
+        // from the previous step. Warm mode improves on both with the
+        // previous run's increment at the same position. A guess only
+        // affects iteration counts, never the converged solution.
+        if use_predictor {
+            therm_map.restrict_into(&scratch.t_guess, &mut scratch.x_red);
+        } else {
+            therm_map.restrict_into(&scratch.t_star, &mut scratch.x_red);
+        }
+        let transient = dt.is_some();
+        if transient && warm.enabled && step_index >= 1 {
+            let prev_sk = warm
+                .traj_prev
+                .get(step_index - 1)
+                .and_then(|v| v.get(picard_k - 1))
+                .filter(|v| v.len() == scratch.x_red.len());
+            if let Some(prev_sk) = prev_sk {
+                if picard_k == 1 {
+                    // x₀ = restrict(t_prev) + (ξ[s][1] − ξ[s−1][last]):
+                    // the previous run's change over the same step, applied
+                    // to this run's state. For step 1 both runs start from
+                    // the identical initial state, so x₀ = ξ[1][1].
+                    let prev_base = if step_index >= 2 {
+                        warm.traj_prev.get(step_index - 2).and_then(|v| v.last())
+                    } else {
+                        None
+                    };
+                    therm_map.restrict_into(t_prev, &mut scratch.x_red);
+                    match prev_base {
+                        Some(pb) if pb.len() == scratch.x_red.len() => {
+                            for i in 0..scratch.x_red.len() {
+                                scratch.x_red[i] += prev_sk[i] - pb[i];
+                            }
+                        }
+                        _ => scratch.x_red.copy_from_slice(prev_sk),
+                    }
+                } else {
+                    // x₀ = x[s][k−1] + (ξ[s][k] − ξ[s][k−1]): transplant the
+                    // previous run's Picard increment onto this iterate.
+                    let prev_base = warm
+                        .traj_prev
+                        .get(step_index - 1)
+                        .and_then(|v| v.get(picard_k - 2))
+                        .filter(|v| v.len() == scratch.x_red.len());
+                    if let Some(pb) = prev_base {
+                        for i in 0..scratch.x_red.len() {
+                            scratch.x_red[i] += prev_sk[i] - pb[i];
+                        }
+                    }
+                }
+            }
+        }
+        let iterations = solve_reduced(
+            compiled.options(),
+            counters,
+            cache,
+            system,
+            a,
+            b,
+            &mut scratch.x_red,
+        )?;
+        if transient && warm.enabled && step_index >= 1 {
+            if warm.traj_cur.len() < step_index {
+                warm.traj_cur.resize(step_index, Vec::new());
+            }
+            warm.traj_cur[step_index - 1].push(scratch.x_red.clone());
+        }
+        scratch.t_new.resize(layout.n_total(), 0.0);
+        therm_map.expand_into(&scratch.x_red, &mut scratch.t_new);
+        Ok(iterations)
+    }
+}
+
+/// Refreshes `cache`'s preconditioner in place from `a`, falling back to a
+/// full rebuild when the refresh fails (pattern change or numeric breakdown
+/// with every shift).
+fn refresh_or_rebuild(
+    options: &SolverOptions,
+    counters: &mut SolveCounters,
+    cache: &mut SubsystemCache,
+    a: &Csr,
+) -> Result<(), NumericsError> {
+    let p = cache.precond.as_mut().expect("preconditioner present");
+    if p.refresh(a).is_err() {
+        *p = CachedPrecond::build(options, a)?;
+    }
+    let coarse_dim = p.coarse_dim();
+    cache.mark_rebuilt();
+    counters.precond_rebuilds += 1;
+    if let Some(nc) = coarse_dim {
+        counters.peak_coarse_dim = counters.peak_coarse_dim.max(nc);
+    }
+    Ok(())
+}
+
+/// Solves one reduced SPD system with the subsystem's cached preconditioner
+/// and workspace.
+///
+/// Lazy-refresh policy: the factorization is reused until either (a) it has
+/// served [`SolverOptions::precond_max_reuses`] solves, or (b) a converged
+/// solve needs more than [`SolverOptions::precond_refresh_factor`] times
+/// the iterations of the first solve after the last (re)build — then it is
+/// refreshed in place over the frozen pattern. A non-converged solve with a
+/// stale factorization triggers an immediate refresh and one retry before
+/// the failure is reported.
+fn solve_reduced(
+    options: &SolverOptions,
+    counters: &mut SolveCounters,
+    cache: &mut SubsystemCache,
+    system: Subsystem,
+    a: &Csr,
+    b: &[f64],
+    x: &mut [f64],
+) -> Result<usize, CoreError> {
+    let opts: CgOptions = options.linear;
+
+    let mut fresh = match &mut cache.precond {
+        slot @ None => {
+            let built = CachedPrecond::build(options, a)?;
+            counters.precond_rebuilds += 1;
+            if let Some(nc) = built.coarse_dim() {
+                counters.peak_coarse_dim = counters.peak_coarse_dim.max(nc);
+            }
+            *slot = Some(built);
+            cache.mark_rebuilt();
+            true
+        }
+        Some(_) if cache.reuses >= options.precond_max_reuses => {
+            refresh_or_rebuild(options, counters, cache, a)?;
+            true
+        }
+        Some(_) => false,
+    };
+    if !fresh {
+        cache.reuses += 1;
+        counters.precond_reuses += 1;
+    }
+
+    let run = |cache: &mut SubsystemCache, x: &mut [f64]| -> Result<SolveReport, NumericsError> {
+        let p = cache.precond.as_ref().expect("preconditioner present");
+        if options.n_threads > 1 {
+            let op = ParSpmv::new(a, options.n_threads);
+            pcg_with(&op, b, x, p, &opts, &mut cache.ws)
+        } else {
+            pcg_with(a, b, x, p, &opts, &mut cache.ws)
+        }
+    };
+
+    let mut report = run(cache, x)?;
+    if !report.converged && !fresh {
+        // A stale factorization can genuinely stall CG; retry once with
+        // current values before declaring failure.
+        refresh_or_rebuild(options, counters, cache, a)?;
+        fresh = true;
+        report = run(cache, x)?;
+    }
+    if !report.converged {
+        return Err(CoreError::LinearSolveFailed {
+            system: system.name(),
+            iterations: report.iterations,
+            residual: report.residual,
+        });
+    }
+
+    if system == Subsystem::Electrical {
+        counters.electrical_iterations += report.iterations;
+        counters.electrical_solves += 1;
+    } else {
+        counters.thermal_iterations += report.iterations;
+        counters.thermal_solves += 1;
+    }
+
+    match cache.baseline_iters {
+        None => cache.baseline_iters = Some(report.iterations.max(1)),
+        Some(base) => {
+            let degraded =
+                report.iterations as f64 > options.precond_refresh_factor * base as f64;
+            if degraded && !fresh {
+                // Refresh eagerly so the *next* solve starts from current
+                // values.
+                refresh_or_rebuild(options, counters, cache, a)?;
+            }
+        }
+    }
+    Ok(report.iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ElectrothermalModel;
+    use etherm_fit::boundary::ThermalBoundary;
+    use etherm_grid::{Axis, CellPaint, Grid3, MaterialId};
+    use etherm_materials::{Material, MaterialTable, TemperatureModel};
+
+    /// A copper bar 1 × 0.1 × 0.1 mm, 4×1×1 cells, driven by ±V on its ends.
+    fn bar_model(v: f64) -> ElectrothermalModel {
+        let grid = Grid3::new(
+            Axis::uniform(0.0, 1e-3, 4).unwrap(),
+            Axis::uniform(0.0, 1e-4, 1).unwrap(),
+            Axis::uniform(0.0, 1e-4, 1).unwrap(),
+        );
+        let paint = CellPaint::new(&grid, MaterialId(0));
+        let mut materials = MaterialTable::new();
+        materials.add(Material::new(
+            "linear copper",
+            TemperatureModel::Constant(5.8e7),
+            TemperatureModel::Constant(398.0),
+            3.45e6,
+        ));
+        let mut model = ElectrothermalModel::new(grid, paint, materials).unwrap();
+        let nodes_at = |model: &ElectrothermalModel, x: f64| -> Vec<usize> {
+            (0..model.grid().n_nodes())
+                .filter(|&n| (model.grid().node_position(n).0 - x).abs() < 1e-12)
+                .collect()
+        };
+        let left = nodes_at(&model, 0.0);
+        let right = nodes_at(&model, 1e-3);
+        model.set_electric_potential(&left, v);
+        model.set_electric_potential(&right, 0.0);
+        model.set_thermal_boundary(ThermalBoundary::convective(1000.0, 300.0));
+        model
+    }
+
+    fn session(v: f64) -> Session {
+        let compiled = CompiledModel::compile(bar_model(v), SolverOptions::default()).unwrap();
+        Session::new(Arc::new(compiled))
+    }
+
+    #[test]
+    fn electrical_bar_solution_is_linear() {
+        // R = L/(σA) = 1e-3/(5.8e7·1e-8) = 1.724 mΩ; with V = 1 mV the
+        // dissipated power is V²/R ≈ 0.58 mW.
+        let mut s = session(1e-3);
+        let t0 = s.initial_temperature();
+        let mut phi = vec![0.0; s.compiled().layout().n_total()];
+        s.scratch.t_star.clear();
+        s.scratch.t_star.extend_from_slice(&t0);
+        s.solve_electrical(&mut phi).unwrap();
+        let grid_n = s.compiled().model().grid().n_nodes();
+        for n in 0..grid_n {
+            let x = s.compiled().model().grid().node_position(n).0;
+            let expect = 1e-3 * (1.0 - x / 1e-3);
+            assert!((phi[n] - expect).abs() < 1e-9, "node {n}");
+        }
+        let fp = s.heat_sources(&phi);
+        let r = 1e-3 / (5.8e7 * 1e-8);
+        let expect_p = 1e-6 / r;
+        assert!((fp - expect_p).abs() < 1e-6 * expect_p, "{fp} vs {expect_p}");
+    }
+
+    #[test]
+    fn session_transient_matches_fresh_session_bitwise() {
+        // Two runs on one session (exact mode, reset between) must equal a
+        // fresh session's runs bit-for-bit.
+        let mut a = session(1e-3);
+        let r1 = a.run_transient(10.0, 10, &[10.0]).unwrap();
+        a.reset();
+        let r2 = a.run_transient(10.0, 10, &[10.0]).unwrap();
+        let mut b = session(1e-3);
+        let r3 = b.run_transient(10.0, 10, &[10.0]).unwrap();
+        assert_eq!(r1.snapshots[0].1, r2.snapshots[0].1);
+        assert_eq!(r1.snapshots[0].1, r3.snapshots[0].1);
+        assert_eq!(r1.wire_temperatures, r3.wire_temperatures);
+    }
+
+    #[test]
+    fn warm_start_stays_within_solver_tolerance() {
+        let mut s = session(1e-3);
+        let exact = s.run_transient(10.0, 10, &[10.0]).unwrap();
+        s.reset();
+        s.set_warm_start(true);
+        let w1 = s.run_transient(10.0, 10, &[10.0]).unwrap();
+        // First warm run has no trajectory yet: identical to exact.
+        assert_eq!(exact.snapshots[0].1, w1.snapshots[0].1);
+        // Second warm run uses the recorded trajectory; within tolerance.
+        let w2 = s.run_transient(10.0, 10, &[10.0]).unwrap();
+        let diff = vector::max_abs_diff(&exact.snapshots[0].1, &w2.snapshots[0].1);
+        assert!(diff < 1e-6, "warm start moved the physics by {diff} K");
+    }
+
+    #[test]
+    fn fork_reproduces_parent_behavior() {
+        let mut s = session(1e-3);
+        let _ = s.run_transient(5.0, 5, &[]).unwrap();
+        let mut f = s.fork();
+        let a = s.run_transient(5.0, 5, &[5.0]).unwrap();
+        let b = f.run_transient(5.0, 5, &[5.0]).unwrap();
+        assert_eq!(a.snapshots[0].1, b.snapshots[0].1);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut s = session(1e-3);
+        let _ = s.run_transient(5.0, 5, &[]).unwrap();
+        let c = s.counters();
+        assert!(c.thermal_solves > 0 && c.picard_iterations > 0);
+        let mut merged = SolveCounters::default();
+        merged.merge(&c);
+        merged.merge(&c);
+        assert_eq!(merged.thermal_solves, 2 * c.thermal_solves);
+        assert_eq!(merged.picard_iterations, 2 * c.picard_iterations);
+        assert_eq!(merged.peak_coarse_dim, c.peak_coarse_dim);
+        s.reset_counters();
+        assert_eq!(s.counters(), SolveCounters::default());
+    }
+}

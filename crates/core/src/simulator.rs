@@ -1,260 +1,40 @@
-//! The coupled solver: assembly, Picard iteration, implicit Euler stepping.
+//! The classic one-model/one-run solver facade.
+//!
+//! [`Simulator`] is a thin wrapper over the compile-once/run-many split of
+//! [`crate::CompiledModel`] + [`crate::Session`]: construction compiles the
+//! model (DoF layout, Dirichlet maps, frozen stamping patterns) and opens
+//! one session; the solve entry points delegate to it. Use it for one-shot
+//! runs; for parameter campaigns compile once and reuse sessions (see
+//! [`crate::ensemble`]).
 
+use crate::compiled::CompiledModel;
 use crate::error::CoreError;
 use crate::layout::DofLayout;
 use crate::model::ElectrothermalModel;
-use crate::options::{JouleScheme, PrecondKind, SolverOptions};
+use crate::options::SolverOptions;
+use crate::session::{Session, SolveCounters, StationaryResult, StepResult};
 use crate::solution::TransientSolution;
-use etherm_bondwire::stamp::{stamp_wire, wire_joule_heat, WirePhysics};
-use etherm_fit::matrices::{
-    cell_property_into, cell_temperatures_into, node_capacitance_diagonal,
-    edge_material_diagonal_into, Property,
-};
-use etherm_fit::{CachedStamper, DofMap};
-use etherm_numerics::solvers::{
-    pcg_with, AmgOptions, AmgPrecond, AmgSmoother, CgOptions, IdentityPrecond,
-    IncompleteCholesky, JacobiPrecond, KrylovWorkspace, Preconditioner, SolveReport, Ssor,
-};
-use etherm_numerics::sparse::{Csr, ParSpmv};
-use etherm_numerics::{vector, NumericsError};
 use std::cell::RefCell;
-
-/// A cached preconditioner of the kind selected in
-/// [`SolverOptions::preconditioner`], refreshable in place over the frozen
-/// assembly pattern.
-#[derive(Debug)]
-enum CachedPrecond {
-    Identity(IdentityPrecond),
-    Jacobi(JacobiPrecond),
-    Ic(IncompleteCholesky),
-    Ssor(Ssor),
-    Amg(Box<AmgPrecond>),
-}
-
-impl CachedPrecond {
-    fn build(options: &SolverOptions, a: &Csr) -> Result<Self, NumericsError> {
-        Ok(match options.preconditioner {
-            PrecondKind::None => CachedPrecond::Identity(IdentityPrecond::new(a.n_rows())),
-            PrecondKind::Jacobi => CachedPrecond::Jacobi(JacobiPrecond::new(a)?),
-            PrecondKind::Ic(level) => CachedPrecond::Ic(IncompleteCholesky::with_fill_drop(
-                a,
-                level,
-                options.precond_droptol,
-            )?),
-            PrecondKind::Ssor(omega) => CachedPrecond::Ssor(Ssor::new(a, omega)?),
-            PrecondKind::Amg { theta, omega } => CachedPrecond::Amg(Box::new(AmgPrecond::new(
-                a,
-                AmgOptions {
-                    strength_theta: theta,
-                    smoother: AmgSmoother::Ssor { omega, sweeps: 1 },
-                    n_threads: options.n_threads,
-                    ..AmgOptions::default()
-                },
-            )?)),
-        })
-    }
-
-    fn refresh(&mut self, a: &Csr) -> Result<(), NumericsError> {
-        match self {
-            CachedPrecond::Identity(_) => Ok(()),
-            CachedPrecond::Jacobi(p) => p.refresh(a),
-            CachedPrecond::Ic(p) => p.refresh(a),
-            CachedPrecond::Ssor(p) => p.refresh(a),
-            CachedPrecond::Amg(p) => p.refresh(a),
-        }
-    }
-
-    /// Coarsest-level dimension of an AMG hierarchy (`None` otherwise).
-    fn coarse_dim(&self) -> Option<usize> {
-        match self {
-            CachedPrecond::Amg(p) => Some(p.coarse_dim()),
-            _ => None,
-        }
-    }
-}
-
-impl Preconditioner for CachedPrecond {
-    fn dim(&self) -> usize {
-        match self {
-            CachedPrecond::Identity(p) => p.dim(),
-            CachedPrecond::Jacobi(p) => p.dim(),
-            CachedPrecond::Ic(p) => p.dim(),
-            CachedPrecond::Ssor(p) => p.dim(),
-            CachedPrecond::Amg(p) => p.dim(),
-        }
-    }
-
-    fn apply(&self, r: &[f64], z: &mut [f64]) {
-        match self {
-            CachedPrecond::Identity(p) => p.apply(r, z),
-            CachedPrecond::Jacobi(p) => p.apply(r, z),
-            CachedPrecond::Ic(p) => p.apply(r, z),
-            CachedPrecond::Ssor(p) => p.apply(r, z),
-            CachedPrecond::Amg(p) => p.apply(r, z),
-        }
-    }
-}
-
-/// Per-subsystem solver state: the cached preconditioner, the Krylov
-/// workspace, and the bookkeeping driving the lazy refresh policy.
-#[derive(Debug, Default)]
-struct SubsystemCache {
-    precond: Option<CachedPrecond>,
-    ws: KrylovWorkspace,
-    /// CG iterations of the first solve after the last (re)build — the
-    /// reference for the degradation trigger.
-    baseline_iters: Option<usize>,
-    /// Solves since the last (re)build.
-    reuses: usize,
-}
-
-impl SubsystemCache {
-    fn mark_rebuilt(&mut self) {
-        self.baseline_iters = None;
-        self.reuses = 0;
-    }
-}
-
-/// Scratch buffers reused across Picard iterates and time steps: the
-/// per-iterate material averaging, heat sources and reduced unknowns run
-/// allocation-free after the first iterate.
-#[derive(Debug, Default)]
-struct Scratch {
-    /// Per-cell mean temperature.
-    cell_t: Vec<f64>,
-    /// Per-cell electrical conductivity at the lagged temperature.
-    cell_sigma: Vec<f64>,
-    /// Edge conductance diagonal `Mσ`.
-    m_sigma: Vec<f64>,
-    /// Per-cell thermal conductivity at the lagged temperature.
-    cell_lambda: Vec<f64>,
-    /// Edge conductance diagonal `Mλ`.
-    m_lambda: Vec<f64>,
-    /// Heat sources, full numbering (W per DoF).
-    q: Vec<f64>,
-    /// Reduced unknowns of the current linear solve.
-    x_red: Vec<f64>,
-    /// Joule power per wire (W), refreshed every heat-source evaluation.
-    wire_powers: Vec<f64>,
-    /// Lagged Picard temperature (full numbering).
-    t_star: Vec<f64>,
-    /// Next Picard temperature (full numbering).
-    t_new: Vec<f64>,
-    /// Start state of the previous transient step (for the extrapolated CG
-    /// initial guess of the first thermal solve of a step).
-    t_hist: Vec<f64>,
-    /// Extrapolated CG initial guess `2·t_prev − t_hist`.
-    t_guess: Vec<f64>,
-    /// Step size of the previous transient step (predictor validity check).
-    last_dt: f64,
-}
-
-/// The three independently cached linear subsystems.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Subsystem {
-    Electrical,
-    ThermalTransient,
-    ThermalStationary,
-}
-
-impl Subsystem {
-    fn name(self) -> &'static str {
-        match self {
-            Subsystem::Electrical => "electrical",
-            Subsystem::ThermalTransient | Subsystem::ThermalStationary => "thermal",
-        }
-    }
-}
-
-/// Result of one implicit-Euler step.
-#[derive(Debug, Clone)]
-pub struct StepResult {
-    /// Full temperature vector after the step (K).
-    pub temperature: Vec<f64>,
-    /// Full potential vector at the end of the step (V).
-    pub potential: Vec<f64>,
-    /// Picard iterations used.
-    pub picard_iterations: usize,
-    /// Inner CG iterations used (electrical + thermal).
-    pub linear_iterations: usize,
-    /// Whether the Picard loop met its tolerance.
-    pub converged: bool,
-    /// Joule power per wire (W).
-    pub wire_powers: Vec<f64>,
-    /// Total field Joule power (W).
-    pub field_power: f64,
-}
-
-/// Result of a stationary (steady-state) solve.
-#[derive(Debug, Clone)]
-pub struct StationaryResult {
-    /// Full temperature vector (K).
-    pub temperature: Vec<f64>,
-    /// Full potential vector (V).
-    pub potential: Vec<f64>,
-    /// Picard iterations used.
-    pub picard_iterations: usize,
-    /// Whether the outer iteration converged.
-    pub converged: bool,
-    /// Joule power per wire (W).
-    pub wire_powers: Vec<f64>,
-    /// Total field Joule power (W).
-    pub field_power: f64,
-}
-
-/// Cumulative iteration counters per subsystem.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SolveCounters {
-    /// CG iterations spent in electrical solves.
-    pub electrical_iterations: usize,
-    /// Number of electrical solves.
-    pub electrical_solves: usize,
-    /// CG iterations spent in thermal solves.
-    pub thermal_iterations: usize,
-    /// Number of thermal solves.
-    pub thermal_solves: usize,
-    /// Preconditioner (re)builds and in-place refreshes, all subsystems.
-    pub precond_rebuilds: usize,
-    /// Solves that reused a cached preconditioner unchanged.
-    pub precond_reuses: usize,
-    /// Largest coarsest-level dimension any AMG hierarchy reached (0 when
-    /// no AMG preconditioner was built).
-    pub peak_coarse_dim: usize,
-}
+use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// Assembles and solves the coupled electrothermal system for one model.
 ///
 /// Construction precomputes everything temperature-independent (DoF layout,
-/// Dirichlet maps, heat-capacity diagonal); the per-step work lags the
-/// temperature-dependent coefficients in a Picard loop, so every inner
-/// system is symmetric positive definite and solved by preconditioned CG.
+/// Dirichlet maps, heat-capacity diagonal, frozen assembly patterns); the
+/// per-step work lags the temperature-dependent coefficients in a Picard
+/// loop, so every inner system is symmetric positive definite and solved by
+/// preconditioned CG.
+///
+/// The lifetime ties the simulator to the model it was built from (the
+/// model is snapshotted at construction; later external mutations are not
+/// observed — exactly as with the previous borrowing implementation, where
+/// they were prevented by the borrow checker).
 #[derive(Debug)]
 pub struct Simulator<'m> {
-    model: &'m ElectrothermalModel,
-    layout: DofLayout,
-    elec_map: DofMap,
-    therm_map: DofMap,
-    /// Heat capacity per DoF (J/K), full numbering.
-    mass_diag: Vec<f64>,
-    options: SolverOptions,
-    /// Pattern-cached assemblies (the stamping sequences are deterministic,
-    /// so the CSR patterns are recorded once and values refilled in place).
-    /// Cumulative per-system iteration counters (diagnostics).
-    counters: RefCell<SolveCounters>,
-    elec_cache: RefCell<CachedStamper>,
-    /// Transient thermal assembly (with mass stamps).
-    therm_cache: RefCell<CachedStamper>,
-    /// Stationary thermal assembly (no mass stamps — different pattern
-    /// sequence, hence its own cache).
-    therm_cache_stationary: RefCell<CachedStamper>,
-    /// Per-subsystem cached preconditioner + Krylov workspace; the patterns
-    /// of the three reduced systems are frozen, so each cache refreshes in
-    /// place and the solves are allocation-free after warm-up.
-    elec_solver: RefCell<SubsystemCache>,
-    therm_solver: RefCell<SubsystemCache>,
-    therm_solver_stationary: RefCell<SubsystemCache>,
-    /// Reusable per-Picard-iterate buffers.
-    scratch: RefCell<Scratch>,
+    compiled: Arc<CompiledModel>,
+    session: RefCell<Session>,
+    _model: PhantomData<&'m ElectrothermalModel>,
 }
 
 impl<'m> Simulator<'m> {
@@ -265,386 +45,40 @@ impl<'m> Simulator<'m> {
     /// Returns [`CoreError::InvalidModel`] for inconsistent constraints
     /// (e.g. out-of-range Dirichlet nodes).
     pub fn new(model: &'m ElectrothermalModel, options: SolverOptions) -> Result<Self, CoreError> {
-        let n_grid = model.grid().n_nodes();
-        let wires: Vec<_> = model
-            .wires()
-            .iter()
-            .map(|w| (&w.wire, w.node_a, w.node_b))
-            .collect();
-        let layout = DofLayout::new(n_grid, &wires);
-        for &(n, _) in model.electric_dirichlet() {
-            if n >= n_grid {
-                return Err(CoreError::InvalidModel(format!(
-                    "electric Dirichlet node {n} out of range"
-                )));
-            }
-        }
-        for &(n, _) in model.thermal_dirichlet() {
-            if n >= n_grid {
-                return Err(CoreError::InvalidModel(format!(
-                    "thermal Dirichlet node {n} out of range"
-                )));
-            }
-        }
-        let elec_map = DofMap::new(layout.n_total(), model.electric_dirichlet());
-        let therm_map = DofMap::new(layout.n_total(), model.thermal_dirichlet());
-
-        let mut mass_diag =
-            node_capacitance_diagonal(model.grid(), model.paint(), model.materials());
-        mass_diag.resize(layout.n_total(), 0.0);
-        if options.wire_heat_capacity {
-            for (j, att) in model.wires().iter().enumerate() {
-                let topo = layout.topology(j);
-                if topo.n_internal() == 0 {
-                    continue;
-                }
-                let seg_capacity = att.wire.heat_capacity() / att.wire.segments() as f64;
-                for i in 0..topo.n_internal() {
-                    mass_diag[topo.internal_offset + i] = seg_capacity;
-                }
-            }
-        }
-
-        let counters = RefCell::new(SolveCounters::default());
-        let elec_cache = RefCell::new(CachedStamper::new(&elec_map));
-        let therm_cache = RefCell::new(CachedStamper::new(&therm_map));
-        let therm_cache_stationary = RefCell::new(CachedStamper::new(&therm_map));
+        let compiled = Arc::new(CompiledModel::compile(model.clone(), options)?);
+        let session = RefCell::new(Session::new(Arc::clone(&compiled)));
         Ok(Simulator {
-            model,
-            layout,
-            elec_map,
-            therm_map,
-            mass_diag,
-            options,
-            counters,
-            elec_cache,
-            therm_cache,
-            therm_cache_stationary,
-            elec_solver: RefCell::new(SubsystemCache::default()),
-            therm_solver: RefCell::new(SubsystemCache::default()),
-            therm_solver_stationary: RefCell::new(SubsystemCache::default()),
-            scratch: RefCell::new(Scratch::default()),
+            compiled,
+            session,
+            _model: PhantomData,
         })
     }
 
     /// The DoF layout (grid + wire internal DoFs).
     pub fn layout(&self) -> &DofLayout {
-        &self.layout
+        self.compiled.layout()
     }
 
     /// The solver options in use.
     pub fn options(&self) -> &SolverOptions {
-        &self.options
+        self.compiled.options()
+    }
+
+    /// The compiled model backing this simulator (shareable with
+    /// [`crate::Session`]s).
+    pub fn compiled(&self) -> &Arc<CompiledModel> {
+        &self.compiled
     }
 
     /// Snapshot of the cumulative per-system iteration counters.
     pub fn counters(&self) -> SolveCounters {
-        *self.counters.borrow()
+        self.session.borrow().counters()
     }
 
     /// Initial full state: everything at the ambient temperature, wire
     /// internals interpolated.
     pub fn initial_temperature(&self) -> Vec<f64> {
-        let mut t = vec![self.model.ambient(); self.layout.n_total()];
-        for &(n, value) in self.model.thermal_dirichlet() {
-            t[n] = value;
-        }
-        self.layout.interpolate_wire_internals(&mut t);
-        t
-    }
-
-    /// Refreshes `cache`'s preconditioner in place from `a`, falling back to
-    /// a full rebuild when the refresh fails (pattern change or numeric
-    /// breakdown with every shift).
-    fn refresh_or_rebuild(
-        &self,
-        cache: &mut SubsystemCache,
-        a: &Csr,
-    ) -> Result<(), NumericsError> {
-        let p = cache.precond.as_mut().expect("preconditioner present");
-        if p.refresh(a).is_err() {
-            *p = CachedPrecond::build(&self.options, a)?;
-        }
-        let coarse_dim = p.coarse_dim();
-        cache.mark_rebuilt();
-        let mut c = self.counters.borrow_mut();
-        c.precond_rebuilds += 1;
-        if let Some(nc) = coarse_dim {
-            c.peak_coarse_dim = c.peak_coarse_dim.max(nc);
-        }
-        Ok(())
-    }
-
-    /// Solves one reduced SPD system with the subsystem's cached
-    /// preconditioner and workspace.
-    ///
-    /// Lazy-refresh policy: the factorization is reused until either (a) it
-    /// has served [`SolverOptions::precond_max_reuses`] solves, or (b) a
-    /// converged solve needs more than [`SolverOptions::precond_refresh_factor`]
-    /// times the iterations of the first solve after the last (re)build —
-    /// then it is refreshed in place over the frozen pattern. A
-    /// non-converged solve with a stale factorization triggers an immediate
-    /// refresh and one retry before the failure is reported.
-    fn solve_reduced(
-        &self,
-        system: Subsystem,
-        a: &Csr,
-        b: &[f64],
-        x: &mut [f64],
-    ) -> Result<usize, CoreError> {
-        let cell = match system {
-            Subsystem::Electrical => &self.elec_solver,
-            Subsystem::ThermalTransient => &self.therm_solver,
-            Subsystem::ThermalStationary => &self.therm_solver_stationary,
-        };
-        let cache = &mut *cell.borrow_mut();
-        let opts: CgOptions = self.options.linear;
-
-        let mut fresh = match &mut cache.precond {
-            slot @ None => {
-                let built = CachedPrecond::build(&self.options, a)?;
-                let mut c = self.counters.borrow_mut();
-                c.precond_rebuilds += 1;
-                if let Some(nc) = built.coarse_dim() {
-                    c.peak_coarse_dim = c.peak_coarse_dim.max(nc);
-                }
-                drop(c);
-                *slot = Some(built);
-                cache.mark_rebuilt();
-                true
-            }
-            Some(_) if cache.reuses >= self.options.precond_max_reuses => {
-                self.refresh_or_rebuild(cache, a)?;
-                true
-            }
-            Some(_) => false,
-        };
-        if !fresh {
-            cache.reuses += 1;
-            self.counters.borrow_mut().precond_reuses += 1;
-        }
-
-        let run = |cache: &mut SubsystemCache, x: &mut [f64]| -> Result<SolveReport, NumericsError> {
-            let p = cache.precond.as_ref().expect("preconditioner present");
-            if self.options.n_threads > 1 {
-                let op = ParSpmv::new(a, self.options.n_threads);
-                pcg_with(&op, b, x, p, &opts, &mut cache.ws)
-            } else {
-                pcg_with(a, b, x, p, &opts, &mut cache.ws)
-            }
-        };
-
-        let mut report = run(cache, x)?;
-        if !report.converged && !fresh {
-            // A stale factorization can genuinely stall CG; retry once with
-            // current values before declaring failure.
-            self.refresh_or_rebuild(cache, a)?;
-            fresh = true;
-            report = run(cache, x)?;
-        }
-        if !report.converged {
-            return Err(CoreError::LinearSolveFailed {
-                system: system.name(),
-                iterations: report.iterations,
-                residual: report.residual,
-            });
-        }
-
-        {
-            let mut c = self.counters.borrow_mut();
-            if system == Subsystem::Electrical {
-                c.electrical_iterations += report.iterations;
-                c.electrical_solves += 1;
-            } else {
-                c.thermal_iterations += report.iterations;
-                c.thermal_solves += 1;
-            }
-        }
-
-        match cache.baseline_iters {
-            None => cache.baseline_iters = Some(report.iterations.max(1)),
-            Some(base) => {
-                let degraded = report.iterations as f64
-                    > self.options.precond_refresh_factor * base as f64;
-                if degraded && !fresh {
-                    // Refresh eagerly so the *next* solve starts from
-                    // current values.
-                    self.refresh_or_rebuild(cache, a)?;
-                }
-            }
-        }
-        Ok(report.iterations)
-    }
-
-    /// Solves the electrical subsystem at the lagged temperature
-    /// `scratch.t_star`. `phi_warm` (full numbering) is used as the initial
-    /// guess and updated in place with the solution — no per-iterate clone.
-    /// The lagged conductivities stay behind in `scratch.cell_sigma` /
-    /// `scratch.m_sigma` for the heat-source evaluation.
-    fn solve_electrical(
-        &self,
-        phi_warm: &mut [f64],
-        s: &mut Scratch,
-    ) -> Result<usize, CoreError> {
-        let grid = self.model.grid();
-        let t_grid = &s.t_star[..grid.n_nodes()];
-        cell_temperatures_into(grid, t_grid, &mut s.cell_t);
-        cell_property_into(
-            grid,
-            self.model.paint(),
-            self.model.materials(),
-            &s.cell_t,
-            Property::Electrical,
-            &mut s.cell_sigma,
-        );
-        edge_material_diagonal_into(grid, &s.cell_sigma, &mut s.m_sigma);
-
-        if self.model.electric_dirichlet().is_empty() {
-            // No drive: the potential is identically zero.
-            phi_warm.fill(0.0);
-            return Ok(0);
-        }
-
-        let mut stamper = self.elec_cache.borrow_mut();
-        stamper.begin();
-        for e in 0..grid.n_edges() {
-            let (a, b) = grid.edge_endpoints(e);
-            stamper.add_conductance(a, b, s.m_sigma[e]);
-        }
-        for (j, att) in self.model.wires().iter().enumerate() {
-            stamp_wire(
-                &att.wire,
-                self.layout.topology(j),
-                &s.t_star,
-                WirePhysics::Electrical,
-                &mut *stamper,
-            );
-        }
-        let (a, b) = stamper.finish();
-        self.elec_map.restrict_into(phi_warm, &mut s.x_red);
-        let iterations = self.solve_reduced(Subsystem::Electrical, a, b, &mut s.x_red)?;
-        self.elec_map.expand_into(&s.x_red, phi_warm);
-        Ok(iterations)
-    }
-
-    /// Heat sources (W per DoF) from field Joule heating and wire
-    /// self-heating into `scratch.q` / `scratch.wire_powers`; returns the
-    /// total field Joule power. Uses the conductivities left in scratch by
-    /// the last electrical solve and the potential in `phi`.
-    fn heat_sources(&self, phi: &[f64], s: &mut Scratch) -> f64 {
-        let grid = self.model.grid();
-        let phi_grid = &phi[..grid.n_nodes()];
-        // Nodal field heat into the grid prefix of q, then extend with zeros
-        // for the wire-internal DoFs.
-        match self.options.joule {
-            JouleScheme::CellBased => etherm_fit::joule::joule_heat_cell_based_into(
-                grid,
-                &s.cell_sigma,
-                phi_grid,
-                &mut s.q,
-            ),
-            JouleScheme::EdgeBased => etherm_fit::joule::joule_heat_edge_based_into(
-                grid,
-                &s.m_sigma,
-                phi_grid,
-                &mut s.q,
-            ),
-        }
-        let field_power: f64 = vector::sum(&s.q);
-        s.q.resize(self.layout.n_total(), 0.0);
-        s.wire_powers.clear();
-        for (j, att) in self.model.wires().iter().enumerate() {
-            let p = wire_joule_heat(
-                &att.wire,
-                self.layout.topology(j),
-                &s.t_star,
-                phi,
-                &mut s.q,
-            );
-            s.wire_powers.push(p);
-        }
-        field_power
-    }
-
-    /// Assembles and solves the thermal system for one Picard iterate at the
-    /// lagged temperature `scratch.t_star`, writing the new temperature to
-    /// `scratch.t_new`.
-    ///
-    /// `dt = None` means stationary (no mass term); `t_prev` is the previous
-    /// time level (ignored when stationary).
-    fn solve_thermal(
-        &self,
-        t_prev: &[f64],
-        dt: Option<f64>,
-        use_predictor: bool,
-        s: &mut Scratch,
-    ) -> Result<usize, CoreError> {
-        let grid = self.model.grid();
-        let t_grid = &s.t_star[..grid.n_nodes()];
-        cell_temperatures_into(grid, t_grid, &mut s.cell_t);
-        cell_property_into(
-            grid,
-            self.model.paint(),
-            self.model.materials(),
-            &s.cell_t,
-            Property::Thermal,
-            &mut s.cell_lambda,
-        );
-        edge_material_diagonal_into(grid, &s.cell_lambda, &mut s.m_lambda);
-
-        let (mut stamper, system) = if dt.is_some() {
-            (self.therm_cache.borrow_mut(), Subsystem::ThermalTransient)
-        } else {
-            (
-                self.therm_cache_stationary.borrow_mut(),
-                Subsystem::ThermalStationary,
-            )
-        };
-        stamper.begin();
-        for e in 0..grid.n_edges() {
-            let (a, b) = grid.edge_endpoints(e);
-            stamper.add_conductance(a, b, s.m_lambda[e]);
-        }
-        for (j, att) in self.model.wires().iter().enumerate() {
-            stamp_wire(
-                &att.wire,
-                self.layout.topology(j),
-                &s.t_star,
-                WirePhysics::Thermal,
-                &mut *stamper,
-            );
-        }
-        self.model
-            .thermal_boundary()
-            .stamp(grid, &s.t_star[..grid.n_nodes()], &mut *stamper);
-        if let Some(dt) = dt {
-            for i in 0..self.layout.n_total() {
-                let m = self.mass_diag[i] / dt;
-                if m != 0.0 {
-                    stamper.add_diag(i, m);
-                    stamper.add_rhs(i, m * t_prev[i]);
-                }
-            }
-        }
-        for (i, &qi) in s.q.iter().enumerate() {
-            if qi != 0.0 {
-                stamper.add_rhs(i, qi);
-            }
-        }
-        let (a, b) = stamper.finish();
-        // CG initial guess: the lagged temperature, or — for the first
-        // Picard iterate of a continuation step — the linear extrapolation
-        // from the previous step (a guess only affects iteration counts,
-        // never the converged solution).
-        if use_predictor {
-            self.therm_map.restrict_into(&s.t_guess, &mut s.x_red);
-        } else {
-            self.therm_map.restrict_into(&s.t_star, &mut s.x_red);
-        }
-        let iterations = self.solve_reduced(system, a, b, &mut s.x_red)?;
-        s.t_new.resize(self.layout.n_total(), 0.0);
-        self.therm_map.expand_into(&s.x_red, &mut s.t_new);
-        Ok(iterations)
+        self.compiled.initial_temperature()
     }
 
     /// Performs one implicit-Euler step of size `dt` from the full state
@@ -661,10 +95,7 @@ impl<'m> Simulator<'m> {
         phi_warm: &mut [f64],
         step_index: usize,
     ) -> Result<StepResult, CoreError> {
-        if !(dt > 0.0 && dt.is_finite()) {
-            return Err(CoreError::InvalidModel(format!("invalid time step {dt}")));
-        }
-        self.coupled_solve(t_prev, Some(dt), phi_warm, step_index)
+        self.session.borrow_mut().step(t_prev, dt, phi_warm, step_index)
     }
 
     /// Solves the stationary coupled problem (steady state).
@@ -674,90 +105,7 @@ impl<'m> Simulator<'m> {
     /// Returns [`CoreError::InvalidModel`] if neither a thermal boundary nor
     /// thermal Dirichlet nodes anchor the temperature (singular system).
     pub fn solve_stationary(&self) -> Result<StationaryResult, CoreError> {
-        if !self.model.thermal_boundary().is_active()
-            && self.model.thermal_dirichlet().is_empty()
-        {
-            return Err(CoreError::InvalidModel(
-                "stationary solve needs an active thermal boundary or fixed temperatures".into(),
-            ));
-        }
-        let t0 = self.initial_temperature();
-        let mut phi = vec![0.0; self.layout.n_total()];
-        let r = self.coupled_solve(&t0, None, &mut phi, 0)?;
-        Ok(StationaryResult {
-            temperature: r.temperature,
-            potential: r.potential,
-            picard_iterations: r.picard_iterations,
-            converged: r.converged,
-            wire_powers: r.wire_powers,
-            field_power: r.field_power,
-        })
-    }
-
-    fn coupled_solve(
-        &self,
-        t_prev: &[f64],
-        dt: Option<f64>,
-        phi_warm: &mut [f64],
-        step_index: usize,
-    ) -> Result<StepResult, CoreError> {
-        assert_eq!(t_prev.len(), self.layout.n_total(), "state length");
-        let s = &mut *self.scratch.borrow_mut();
-        s.t_star.clear();
-        s.t_star.extend_from_slice(t_prev);
-        // Extrapolated thermal guess for the first Picard iterate when this
-        // step continues the previous one with the same step size.
-        let predict = match dt {
-            Some(d) => s.t_hist.len() == t_prev.len() && s.last_dt == d,
-            None => false,
-        };
-        if predict {
-            s.t_guess.clear();
-            s.t_guess
-                .extend(t_prev.iter().zip(&s.t_hist).map(|(&a, &b)| 2.0 * a - b));
-        }
-        let mut linear_total = 0usize;
-        let mut field_power = 0.0;
-        let mut converged = false;
-        let mut iterations = 0usize;
-        let mut update = f64::INFINITY;
-
-        let mut elec_solved = false;
-        for k in 1..=self.options.picard_max_iter {
-            iterations = k;
-            if !elec_solved || self.options.resolve_electrical_every_picard {
-                linear_total += self.solve_electrical(phi_warm, s)?;
-                elec_solved = true;
-            }
-            field_power = self.heat_sources(phi_warm, s);
-            linear_total += self.solve_thermal(t_prev, dt, predict && k == 1, s)?;
-            update = vector::rel_diff2(&s.t_new, &s.t_star, 1e-9);
-            std::mem::swap(&mut s.t_star, &mut s.t_new);
-            if update <= self.options.picard_tol {
-                converged = true;
-                break;
-            }
-        }
-        if !converged && self.options.strict_picard {
-            return Err(CoreError::PicardNotConverged {
-                step: step_index,
-                update,
-            });
-        }
-        if let Some(d) = dt {
-            s.t_hist.clear();
-            s.t_hist.extend_from_slice(t_prev);
-            s.last_dt = d;
-        }
-        Ok(StepResult {
-            temperature: s.t_star.clone(),
-            potential: phi_warm.to_vec(),
-            picard_iterations: iterations,
-            linear_iterations: linear_total,
-            converged,
-            wire_powers: s.wire_powers.clone(),
-            field_power,
-        })
+        self.session.borrow_mut().solve_stationary()
     }
 
     /// Runs the implicit-Euler transient over `[0, t_end]` with `n_steps`
@@ -778,84 +126,21 @@ impl<'m> Simulator<'m> {
         n_steps: usize,
         snapshot_times: &[f64],
     ) -> Result<TransientSolution, CoreError> {
-        assert!(n_steps > 0, "need at least one step");
-        assert!(t_end > 0.0, "end time must be positive");
-        let dt = t_end / n_steps as f64;
-        let n_wires = self.model.wires().len();
-
-        // Map snapshot times to step indices.
-        let snap_indices: Vec<usize> = snapshot_times
-            .iter()
-            .map(|&t| ((t / dt).round() as usize).min(n_steps))
-            .collect();
-
-        // Invalidate the extrapolation history of any previous transient:
-        // the first step of this run must not extrapolate across runs.
-        {
-            let mut s = self.scratch.borrow_mut();
-            s.t_hist.clear();
-            s.last_dt = 0.0;
-        }
-        let mut t_state = self.initial_temperature();
-        let mut phi = vec![0.0; self.layout.n_total()];
-        let mut solution = TransientSolution {
-            times: Vec::with_capacity(n_steps + 1),
-            wire_temperatures: vec![Vec::with_capacity(n_steps + 1); n_wires],
-            wire_powers: vec![Vec::with_capacity(n_steps + 1); n_wires],
-            field_power: Vec::with_capacity(n_steps + 1),
-            picard_iterations: Vec::with_capacity(n_steps),
-            linear_iterations: 0,
-            snapshots: Vec::new(),
-        };
-
-        let record = |sol: &mut TransientSolution,
-                      time: f64,
-                      state: &[f64],
-                      powers: &[f64],
-                      fp: f64,
-                      layout: &DofLayout| {
-            sol.times.push(time);
-            for j in 0..n_wires {
-                sol.wire_temperatures[j].push(layout.topology(j).average_temperature(state));
-                sol.wire_powers[j].push(powers.get(j).copied().unwrap_or(0.0));
-            }
-            sol.field_power.push(fp);
-        };
-
-        record(&mut solution, 0.0, &t_state, &vec![0.0; n_wires], 0.0, &self.layout);
-        if snap_indices.contains(&0) {
-            solution.snapshots.push((0.0, t_state.clone()));
-        }
-
-        for step in 1..=n_steps {
-            let result = self.step(&t_state, dt, &mut phi, step)?;
-            t_state = result.temperature;
-            let time = dt * step as f64;
-            record(
-                &mut solution,
-                time,
-                &t_state,
-                &result.wire_powers,
-                result.field_power,
-                &self.layout,
-            );
-            solution.picard_iterations.push(result.picard_iterations);
-            solution.linear_iterations += result.linear_iterations;
-            if snap_indices.contains(&step) {
-                solution.snapshots.push((time, t_state.clone()));
-            }
-        }
-        Ok(solution)
+        self.session
+            .borrow_mut()
+            .run_transient(t_end, n_steps, snapshot_times)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::PrecondKind;
     use etherm_bondwire::BondWire;
     use etherm_fit::boundary::ThermalBoundary;
     use etherm_grid::{Axis, BoxRegion, CellPaint, Grid3, MaterialId};
     use etherm_materials::{library, Material, MaterialTable, TemperatureModel};
+    use etherm_numerics::vector;
 
     /// A copper bar 1 × 0.1 × 0.1 mm, 4×1×1 cells, driven by ±V on its ends.
     fn bar_model(v: f64) -> ElectrothermalModel {
@@ -894,31 +179,6 @@ mod tests {
     }
 
     #[test]
-    fn electrical_bar_resistance() {
-        // R = L/(σA) = 1e-3/(5.8e7·1e-8) = 1.724 mΩ; with V = 1 mV the
-        // dissipated power is V²/R ≈ 0.58 mW.
-        let model = bar_model(1e-3);
-        let sim = Simulator::new(&model, SolverOptions::default()).unwrap();
-        let t0 = sim.initial_temperature();
-        let mut phi = vec![0.0; sim.layout().n_total()];
-        let s = &mut *sim.scratch.borrow_mut();
-        s.t_star.clear();
-        s.t_star.extend_from_slice(&t0);
-        sim.solve_electrical(&mut phi, s).unwrap();
-        // Potential is linear in x.
-        let grid = model.grid();
-        for n in 0..grid.n_nodes() {
-            let x = grid.node_position(n).0;
-            let expect = 1e-3 * (1.0 - x / 1e-3);
-            assert!((phi[n] - expect).abs() < 1e-9, "node {n}");
-        }
-        let fp = sim.heat_sources(&phi, s);
-        let r = 1e-3 / (5.8e7 * 1e-8);
-        let expect_p = 1e-6 / r;
-        assert!((fp - expect_p).abs() < 1e-6 * expect_p, "{fp} vs {expect_p}");
-    }
-
-    #[test]
     fn stationary_energy_balance() {
         // In steady state, dissipated power equals boundary outflow.
         let model = bar_model(1e-3);
@@ -943,14 +203,10 @@ mod tests {
         let sim = Simulator::new(&model, SolverOptions::default()).unwrap();
         let st = sim.solve_stationary().unwrap();
         let tr = sim.run_transient(50.0, 50, &[]).unwrap();
-        // Grid temperatures at the last step vs stationary.
         let last = tr.times.len() - 1;
         assert!(tr.times[last] == 50.0);
-        // Compare the mean grid temperature (bar equilibrates in ≪ 50 s).
+        // Use a snapshot to compare fields (bar equilibrates in ≪ 50 s).
         let n = model.grid().n_nodes();
-        let mean_tr: f64 = 0.0; // placeholder replaced below
-        let _ = mean_tr;
-        // Use a snapshot to compare fields.
         let tr2 = sim.run_transient(50.0, 50, &[50.0]).unwrap();
         let (_, t_final) = &tr2.snapshots[0];
         let diff = vector::max_abs_diff(&t_final[..n], &st.temperature[..n]);

@@ -170,7 +170,7 @@ fn sor_sweep(a: &Csr, inv_diag: &[f64], b: &[f64], x: &mut [f64], omega: f64, fo
 }
 
 /// Exact dense Cholesky solve of the coarsest level, re-factorable in place.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct DenseCholesky {
     n: usize,
     /// Row-major lower-triangular factor (upper triangle unused).
@@ -240,7 +240,7 @@ impl DenseCholesky {
 }
 
 /// Solver of the last (uncoarsenable) level.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Coarsest {
     /// Exact dense Cholesky — the normal case (`n ≤ coarse_max`).
     Direct(DenseCholesky),
@@ -256,7 +256,7 @@ enum Coarsest {
 
 /// One multigrid level: the operator, the frozen transfer skeletons and the
 /// dense accumulator of the Galerkin product.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Level {
     /// Operator at this level (owned; values refreshed in place).
     a: Csr,
@@ -284,7 +284,7 @@ struct Level {
 }
 
 /// Per-level V-cycle vectors (interior-mutable: `apply` takes `&self`).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct LevelScratch {
     /// Iterate at this level.
     x: Vec<f64>,
@@ -340,7 +340,11 @@ impl LevelScratch {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
+/// The hierarchy is `Clone`: a worker can fork a fully built (symbolic +
+/// numeric) preconditioner from a template and `refresh` it against its own
+/// matrix values, sharing the aggregation/sparsity skeleton construction
+/// cost across sessions of a parameter campaign.
+#[derive(Debug, Clone)]
 pub struct AmgPrecond {
     options: AmgOptions,
     levels: Vec<Level>,

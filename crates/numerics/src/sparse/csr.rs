@@ -22,6 +22,12 @@ impl Csr {
     ///
     /// Entries whose duplicates sum exactly to zero are kept (with value 0)
     /// so that stamping patterns remain stable across reassembly.
+    ///
+    /// Duplicates are summed in *insertion order* (the row bucketing and the
+    /// per-row column sort are both stable), so the result is bit-identical
+    /// to scattering the same triplet sequence into the compressed pattern
+    /// with `values[slot] += v` — the contract the pattern-reusing
+    /// `CachedStamper` relies on for refill ≡ first-assembly equivalence.
     pub fn from_coo(coo: &Coo) -> Self {
         let (rows, cols, vals) = coo.triplets();
         let n_rows = coo.n_rows();
@@ -50,7 +56,8 @@ impl Csr {
         row_ptr.push(0);
         for r in 0..n_rows {
             let seg = &mut sorted[counts[r]..counts[r + 1]];
-            seg.sort_unstable_by_key(|&(c, _)| c);
+            // Stable: equal columns keep insertion order (see doc contract).
+            seg.sort_by_key(|&(c, _)| c);
             let mut i = 0;
             while i < seg.len() {
                 let c = seg[i].0;

@@ -87,6 +87,24 @@ pub struct BuiltPackage {
     pub nominal_lengths: Vec<f64>,
 }
 
+/// The uncertain wire length `L = d / (1 − δ)` of the paper's elongation
+/// model — the single definition shared by the rebuild-per-sample path
+/// ([`BuiltPackage::apply_elongations`]) and the session path
+/// (`ElongationScenario`), so the two can never diverge.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidModel`] if `δ` is NaN or ≥ 1 (infinite
+/// wire).
+pub fn elongation_length(direct_distance: f64, delta: f64) -> Result<f64, CoreError> {
+    if delta.is_nan() || delta >= 1.0 {
+        return Err(CoreError::InvalidModel(format!(
+            "relative elongation δ = {delta} must be < 1"
+        )));
+    }
+    Ok(direct_distance / (1.0 - delta))
+}
+
 impl BuiltPackage {
     /// Applies sampled relative elongations: wire `j` gets length
     /// `L_j = d_j / (1 − δ_j)`.
@@ -106,12 +124,7 @@ impl BuiltPackage {
             "one delta per wire required"
         );
         for (j, &delta) in deltas.iter().enumerate() {
-            if delta.is_nan() || delta >= 1.0 {
-                return Err(CoreError::InvalidModel(format!(
-                    "relative elongation δ = {delta} must be < 1"
-                )));
-            }
-            let length = self.direct_distances[j] / (1.0 - delta);
+            let length = elongation_length(self.direct_distances[j], delta)?;
             self.model.set_wire_length(self.wire_indices[j], length)?;
         }
         Ok(())

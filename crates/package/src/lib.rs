@@ -19,14 +19,19 @@
 //!   decomposition `L = d + Δs + Δh`, including the paper's camera quirk
 //!   (bending elongation observable for only 6 of the 12 wires),
 //! * [`paper`] — the paper-exact elongation distribution
-//!   `δ ~ N(0.17, 0.048)` and Table II parameter set.
+//!   `δ ~ N(0.17, 0.048)` and Table II parameter set,
+//! * [`scenario`] — the elongation sampling as an ensemble
+//!   [`etherm_core::Scenario`]: compile the package once, re-run cheap
+//!   solver sessions per Monte Carlo sample.
 
 pub mod builder;
 pub mod geometry;
 pub mod paper;
+pub mod scenario;
 pub mod xray;
 
-pub use builder::{build_model, BuildOptions, BuiltPackage};
+pub use builder::{build_model, elongation_length, BuildOptions, BuiltPackage};
 pub use geometry::{PackageGeometry, Pad, Side, WirePlan};
 pub use paper::{paper_elongation_distribution, PaperParameters};
+pub use scenario::ElongationScenario;
 pub use xray::{WireMeasurement, XrayMetrology};

@@ -8,6 +8,7 @@
 use crate::dist::Distribution;
 use crate::sampling::SampleGenerator;
 use crate::stats::RunningStats;
+use std::sync::mpsc;
 
 /// Options for [`run_monte_carlo`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -15,6 +16,11 @@ pub struct McOptions {
     /// Keep every per-sample output vector (needed for histograms /
     /// quantiles; costs `M × n_outputs` doubles).
     pub keep_samples: bool,
+    /// Serialized progress callback `(samples_done, total)`. Both drivers
+    /// invoke it on the coordinating thread as results are accumulated in
+    /// sample order, so progress output never interleaves — workers must
+    /// not print from their model closures.
+    pub progress: Option<fn(usize, usize)>,
 }
 
 /// Accumulated results of a Monte Carlo study.
@@ -54,6 +60,74 @@ impl McResult {
     pub fn output(&self, k: usize) -> &RunningStats {
         &self.outputs[k]
     }
+
+    /// Accumulates pre-computed, sample-ordered outputs (e.g. from
+    /// `etherm_core::run_ensemble`) into an [`McResult`]. Statistics are
+    /// pushed in sample order, so the result is bit-identical to
+    /// [`run_monte_carlo`] evaluating the same outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `outputs` differ in length or the output
+    /// length changes between samples.
+    pub fn from_ordered(
+        inputs: Vec<Vec<f64>>,
+        outputs: Vec<Vec<f64>>,
+        options: McOptions,
+    ) -> McResult {
+        assert_eq!(inputs.len(), outputs.len(), "one output vector per sample");
+        let n = outputs.len();
+        let mut stats: Vec<RunningStats> = Vec::new();
+        let mut samples = options.keep_samples.then(|| Vec::with_capacity(n));
+        for y in outputs {
+            if stats.is_empty() {
+                stats = vec![RunningStats::new(); y.len()];
+            }
+            assert_eq!(
+                y.len(),
+                stats.len(),
+                "model output length changed between samples"
+            );
+            for (stat, &v) in stats.iter_mut().zip(&y) {
+                stat.push(v);
+            }
+            if let Some(s) = samples.as_mut() {
+                s.push(y);
+            }
+        }
+        McResult {
+            outputs: stats,
+            n_samples: n,
+            inputs,
+            samples,
+        }
+    }
+}
+
+/// Maps `n` points from `generator` through the `dists` quantiles
+/// (inversion sampling) — the shared design-drawing step of both Monte
+/// Carlo drivers, exposed so campaign engines can draw the same design and
+/// evaluate it elsewhere (e.g. `etherm_core::run_ensemble`).
+///
+/// # Panics
+///
+/// Panics if `dists` is empty.
+pub fn draw_samples(
+    generator: &mut dyn SampleGenerator,
+    dists: &[&dyn Distribution],
+    n: usize,
+) -> Vec<Vec<f64>> {
+    assert!(!dists.is_empty(), "draw_samples: no input distributions");
+    generator
+        .generate(n, dists.len())
+        .into_iter()
+        .map(|u| {
+            u.iter()
+                .zip(dists)
+                .map(|(&ui, dist)| dist.quantile(ui.clamp(1e-15, 1.0 - 1e-15)))
+                .collect()
+        })
+        .collect()
 }
 
 /// Runs a Monte Carlo study: draws `n` points from `generator`, maps each
@@ -101,8 +175,7 @@ where
     F: FnMut(usize, &[f64]) -> Result<Vec<f64>, E>,
 {
     assert!(!dists.is_empty(), "run_monte_carlo: no input distributions");
-    let d = dists.len();
-    let unit_points = generator.generate(n, d);
+    let points = draw_samples(generator, dists, n);
     let mut outputs: Vec<RunningStats> = Vec::new();
     let mut inputs = Vec::with_capacity(n);
     let mut samples = if options.keep_samples {
@@ -111,12 +184,7 @@ where
         None
     };
 
-    for (i, u) in unit_points.into_iter().enumerate() {
-        let x: Vec<f64> = u
-            .iter()
-            .zip(dists)
-            .map(|(&ui, dist)| dist.quantile(ui.clamp(1e-15, 1.0 - 1e-15)))
-            .collect();
+    for (i, x) in points.into_iter().enumerate() {
         let y = model(i, &x)?;
         if outputs.is_empty() {
             outputs = vec![RunningStats::new(); y.len()];
@@ -132,6 +200,9 @@ where
         inputs.push(x);
         if let Some(s) = samples.as_mut() {
             s.push(y);
+        }
+        if let Some(progress) = options.progress {
+            progress(i + 1, n);
         }
     }
 
@@ -149,6 +220,13 @@ where
 /// across `n_threads` OS threads. Each thread gets its own model instance
 /// from `model_factory` — the coupled electrothermal solver is stateful
 /// (cached matrices, warm starts), so sharing one instance is not an option.
+///
+/// Completed samples stream back to the coordinating thread, which pushes
+/// them into the running statistics *in sample index order* (bit-identical
+/// to serial) and frees each vector as soon as it is merged. Without
+/// [`McOptions::keep_samples`] the peak memory is therefore the
+/// out-of-order window (typically a few samples per thread), not all `n`
+/// QoI vectors at once.
 ///
 /// # Errors
 ///
@@ -194,71 +272,100 @@ where
 {
     assert!(!dists.is_empty(), "run_monte_carlo_parallel: no inputs");
     assert!(n_threads > 0, "run_monte_carlo_parallel: need ≥ 1 thread");
-    let d = dists.len();
-    let unit_points = generator.generate(n, d);
-    let inputs: Vec<Vec<f64>> = unit_points
-        .into_iter()
-        .map(|u| {
-            u.iter()
-                .zip(dists)
-                .map(|(&ui, dist)| dist.quantile(ui.clamp(1e-15, 1.0 - 1e-15)))
-                .collect()
-        })
-        .collect();
+    let inputs = draw_samples(generator, dists, n);
 
-    // Evaluate in contiguous index chunks; collect per-chunk results and
-    // merge in sample order so the statistics are bit-identical to serial.
+    // Evaluate in contiguous index chunks and stream each completed sample
+    // back; the coordinator below merges strictly in sample order, so the
+    // statistics are bit-identical to serial for any thread count.
     let chunk = n.div_ceil(n_threads).max(1);
-    // Per-chunk evaluation outcome: (sample index, QoI vector) pairs.
-    type ChunkResult<E> = Result<Vec<(usize, Vec<f64>)>, E>;
-    let results: Vec<ChunkResult<E>> = std::thread::scope(|scope| {
+    let (tx, rx) = mpsc::channel::<(usize, Result<Vec<f64>, E>)>();
+    let merged = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (c, block) in inputs.chunks(chunk).enumerate() {
             let factory = &model_factory;
+            let tx = tx.clone();
             handles.push(scope.spawn(move || {
                 let mut model = factory();
-                let mut out = Vec::with_capacity(block.len());
                 for (k, x) in block.iter().enumerate() {
                     let i = c * chunk + k;
-                    out.push((i, model(i, x)?));
+                    let r = model(i, x);
+                    let failed = r.is_err();
+                    if tx.send((i, r)).is_err() || failed {
+                        // Receiver gone or chunk failed: stop this worker
+                        // (matching the serial driver, which aborts the
+                        // remaining samples of a failing sweep).
+                        break;
+                    }
                 }
-                Ok(out)
             }));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("MC worker thread panicked"))
-            .collect()
-    });
+        drop(tx);
 
-    let mut ordered: Vec<Option<Vec<f64>>> = vec![None; n];
-    for r in results {
-        for (i, y) in r? {
-            ordered[i] = Some(y);
+        // Ordered streaming merge: push into the running statistics as the
+        // in-order frontier advances, dropping each merged vector.
+        let mut pending: std::collections::BTreeMap<usize, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        let mut next = 0usize;
+        let mut outputs: Vec<RunningStats> = Vec::new();
+        let mut samples = options.keep_samples.then(|| Vec::with_capacity(n));
+        let mut first_error: Option<(usize, E)> = None;
+        let push = |outputs: &mut Vec<RunningStats>,
+                        samples: &mut Option<Vec<Vec<f64>>>,
+                        y: Vec<f64>| {
+            if outputs.is_empty() {
+                *outputs = vec![RunningStats::new(); y.len()];
+            }
+            assert_eq!(
+                y.len(),
+                outputs.len(),
+                "model output length changed between samples"
+            );
+            for (stat, &v) in outputs.iter_mut().zip(&y) {
+                stat.push(v);
+            }
+            if let Some(s) = samples.as_mut() {
+                s.push(y);
+            }
+        };
+        for (i, r) in rx {
+            match r {
+                Ok(y) => {
+                    if i == next {
+                        push(&mut outputs, &mut samples, y);
+                        next += 1;
+                        while let Some(y) = pending.remove(&next) {
+                            push(&mut outputs, &mut samples, y);
+                            next += 1;
+                        }
+                        if let Some(progress) = options.progress {
+                            progress(next, n);
+                        }
+                    } else {
+                        pending.insert(i, y);
+                    }
+                }
+                Err(e) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
+                }
+            }
         }
-    }
-    let mut outputs: Vec<RunningStats> = Vec::new();
-    let mut samples = if options.keep_samples {
-        Some(Vec::with_capacity(n))
-    } else {
-        None
-    };
-    for y in ordered.into_iter().map(|y| y.expect("all samples ran")) {
-        if outputs.is_empty() {
-            outputs = vec![RunningStats::new(); y.len()];
+        // Surface a worker's own panic payload before the completeness
+        // check, so a panicking model closure is not masked by the
+        // "all samples evaluated" assertion below.
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
-        assert_eq!(
-            y.len(),
-            outputs.len(),
-            "model output length changed between samples"
-        );
-        for (stat, &v) in outputs.iter_mut().zip(&y) {
-            stat.push(v);
+        if let Some((_, e)) = first_error {
+            return Err(e);
         }
-        if let Some(s) = samples.as_mut() {
-            s.push(y);
-        }
-    }
+        assert_eq!(next, n, "all samples evaluated");
+        Ok((outputs, samples))
+    });
+    let (outputs, samples) = merged?;
 
     Ok(McResult {
         outputs,
@@ -363,7 +470,7 @@ mod tests {
             &mut gen,
             &dists,
             10,
-            McOptions { keep_samples: true },
+            McOptions { keep_samples: true, ..Default::default() },
             |i, v| Ok::<_, std::convert::Infallible>(vec![v[0], i as f64]),
         )
         .unwrap();
@@ -406,6 +513,55 @@ mod tests {
     }
 
     #[test]
+    fn progress_is_ordered_and_serialized() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static LAST_DONE: AtomicUsize = AtomicUsize::new(0);
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        fn progress(done: usize, total: usize) {
+            assert_eq!(total, 40);
+            // The merge frontier is monotone: `done` never decreases.
+            let prev = LAST_DONE.swap(done, Ordering::SeqCst);
+            assert!(done >= prev, "progress went backwards: {prev} -> {done}");
+            CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&u];
+        let mut gen = MonteCarloSampler::new(5);
+        let options = McOptions {
+            progress: Some(progress),
+            ..Default::default()
+        };
+        run_monte_carlo_parallel(&mut gen, &dists, 40, options, 4, || {
+            |_: usize, v: &[f64]| Ok::<_, std::convert::Infallible>(vec![v[0]])
+        })
+        .unwrap();
+        assert_eq!(LAST_DONE.load(Ordering::SeqCst), 40);
+        assert!(CALLS.load(Ordering::SeqCst) > 0);
+    }
+
+    #[test]
+    fn from_ordered_matches_serial_accumulation() {
+        let u = Uniform::new(0.0, 1.0).unwrap();
+        let dists: Vec<&dyn Distribution> = vec![&u, &u];
+        let mut gen = MonteCarloSampler::new(9);
+        let serial = run_monte_carlo(&mut gen, &dists, 200, McOptions::default(), |_, v| {
+            Ok::<_, std::convert::Infallible>(vec![v[0] * v[1], v[0] + v[1]])
+        })
+        .unwrap();
+        let mut gen = MonteCarloSampler::new(9);
+        let inputs = draw_samples(&mut gen, &dists, 200);
+        let outputs: Vec<Vec<f64>> = inputs
+            .iter()
+            .map(|v| vec![v[0] * v[1], v[0] + v[1]])
+            .collect();
+        let rebuilt = McResult::from_ordered(inputs, outputs, McOptions::default());
+        assert_eq!(rebuilt.n_samples, serial.n_samples);
+        assert_eq!(rebuilt.means(), serial.means());
+        assert_eq!(rebuilt.std_devs(), serial.std_devs());
+        assert_eq!(rebuilt.inputs, serial.inputs);
+    }
+
+    #[test]
     fn parallel_propagates_error_and_keeps_samples() {
         let u = Uniform::new(0.0, 1.0).unwrap();
         let dists: Vec<&dyn Distribution> = vec![&u];
@@ -425,7 +581,7 @@ mod tests {
             &mut gen,
             &dists,
             10,
-            McOptions { keep_samples: true },
+            McOptions { keep_samples: true, ..Default::default() },
             3,
             || |i: usize, v: &[f64]| Ok::<_, std::convert::Infallible>(vec![v[0], i as f64]),
         )

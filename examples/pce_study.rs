@@ -16,14 +16,18 @@ use rand::{Rng, SeedableRng};
 
 /// Peak steady temperature of a 25.4 µm copper wire of length `l` carrying
 /// 0.45 A between 300 K pads (the analytic baseline of DESIGN.md A8).
-fn peak_temperature(l: f64) -> Result<f64, Box<dyn std::error::Error>> {
-    let wire = BondWire::new("w", l, 25.4e-6, library::copper())?;
-    let mut fin = FinModel::new(wire, 300.0, 300.0, 300.0, 25.0, 0.45);
+///
+/// The nominal wire is built once; each evaluation only re-parameterizes
+/// its length — the same compile-once/run-many discipline as the field
+/// solver's `Session`, at analytic-model scale.
+fn peak_temperature(nominal: &BondWire, l: f64) -> Result<f64, Box<dyn std::error::Error>> {
+    let mut fin = FinModel::new(nominal.with_length(l)?, 300.0, 300.0, 300.0, 25.0, 0.45);
     let (_, t_max) = fin.solve_self_consistent(1e-10, 200);
     Ok(t_max)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nominal = BondWire::new("w", 1.3e-3, 25.4e-6, library::copper())?;
     let delta = paper_elongation_distribution();
     let (mu, sd) = (delta.mean(), delta.std_dev());
     let d_direct = 1.3e-3; // direct pad–chip distance (m)
@@ -33,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Reference: high-order PCE (converged to quadrature accuracy).
     let reference = fit_projection_1d(
-        |xi| peak_temperature(length_of(mu + sd * xi)).expect("fin solves"),
+        |xi| peak_temperature(&nominal, length_of(mu + sd * xi)).expect("fin solves"),
         9,
         24,
     )?;
@@ -47,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>7} {:>14} {:>14} {:>10}", "degree", "mean [K]", "std [K]", "evals");
     for degree in [1usize, 2, 3, 4, 5] {
         let model = fit_projection_1d(
-            |xi| peak_temperature(length_of(mu + sd * xi)).expect("fin solves"),
+            |xi| peak_temperature(&nominal, length_of(mu + sd * xi)).expect("fin solves"),
             degree,
             degree + 3,
         )?;
@@ -67,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut stats = RunningStats::new();
         for _ in 0..m {
             let xi = normal_quantile(rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12));
-            stats.push(peak_temperature(length_of(mu + sd * xi))?);
+            stats.push(peak_temperature(&nominal, length_of(mu + sd * xi))?);
         }
         println!(
             "{:>7} {:>14.6} {:>14.6} {:>10.2e}",

@@ -3,20 +3,27 @@
 //! standard deviation and the Monte Carlo error (paper Eq. 6) — the
 //! complete Fig. 7 workflow on a model small enough to run in seconds.
 //!
+//! The model is built and compiled *once*; every Monte Carlo sample only
+//! updates the two wire lengths through a reusable solver `Session`
+//! (compile-once / run-many), evaluated by the ensemble engine with one
+//! session per worker thread.
+//!
 //! Run with `cargo run --release --example uncertainty_study -- [samples]`.
 
 use etherm::bondwire::BondWire;
-use etherm::core::{ElectrothermalModel, Simulator, SolverOptions};
+use etherm::core::{run_ensemble, CompiledModel, ElectrothermalModel, EnsembleOptions, SolverOptions};
 use etherm::grid::{BoxRegion, CellPaint, GridBuilder, MaterialId};
 use etherm::materials::{library, MaterialTable};
+use etherm::package::ElongationScenario;
 use etherm::uq::dist::Distribution;
-use etherm::uq::{run_monte_carlo, McOptions, MonteCarloSampler, Normal};
+use etherm::uq::{draw_samples, McOptions, McResult, MonteCarloSampler, Normal};
+use std::sync::Arc;
 
 /// Direct bond-to-bond distances of the two wires (m).
 const D1: f64 = 1.0e-3;
 const D2: f64 = 1.3e-3;
 
-fn build_model(l1: f64, l2: f64) -> Result<ElectrothermalModel, Box<dyn std::error::Error>> {
+fn build_model() -> Result<ElectrothermalModel, Box<dyn std::error::Error>> {
     let mold = BoxRegion::new((0.0, 0.0, 0.0), (3.0e-3, 1.0e-3, 0.3e-3));
     let chip = BoxRegion::new((1.2e-3, 0.2e-3, 0.0), (1.8e-3, 0.8e-3, 0.2e-3));
     let pad_a = BoxRegion::new((0.0, 0.2e-3, 0.0), (0.6e-3, 0.8e-3, 0.15e-3));
@@ -36,8 +43,9 @@ fn build_model(l1: f64, l2: f64) -> Result<ElectrothermalModel, Box<dyn std::err
     materials.add(library::epoxy_resin());
     materials.add(library::copper());
     let mut model = ElectrothermalModel::new(grid, paint, materials)?;
-    let w1 = BondWire::new("w1", l1, 25.4e-6, library::copper())?;
-    let w2 = BondWire::new("w2", l2, 25.4e-6, library::copper())?;
+    // Nominal lengths at the mean elongation; samples override them per run.
+    let w1 = BondWire::new("w1", D1 / (1.0 - 0.17), 25.4e-6, library::copper())?;
+    let w2 = BondWire::new("w2", D2 / (1.0 - 0.17), 25.4e-6, library::copper())?;
     model.add_wire(w1, (1.2e-3, 0.5e-3, 0.2e-3), (0.6e-3, 0.5e-3, 0.15e-3))?;
     model.add_wire(w2, (1.8e-3, 0.5e-3, 0.2e-3), (2.4e-3, 0.5e-3, 0.15e-3))?;
     let left = model.grid().nodes_in_box((0.0, 0.2e-3, 0.0), (0.0, 0.8e-3, 0.15e-3));
@@ -47,6 +55,12 @@ fn build_model(l1: f64, l2: f64) -> Result<ElectrothermalModel, Box<dyn std::err
     model.set_electric_potential(&left, 20e-3);
     model.set_electric_potential(&right, -20e-3);
     Ok(model)
+}
+
+fn progress(done: usize, total: usize) {
+    if done.is_multiple_of(10) || done == total {
+        eprintln!("  sample {done}/{total}");
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,29 +73,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Paper distribution for the relative elongation.
     let delta = Normal::new(0.17, 0.048)?;
     let dists: Vec<&dyn Distribution> = vec![&delta, &delta];
-
     let mut gen = MonteCarloSampler::new(42);
-    let result = run_monte_carlo(
-        &mut gen,
-        &dists,
-        samples,
-        McOptions::default(),
-        |i, deltas| -> Result<Vec<f64>, String> {
-            if i % 10 == 0 {
-                eprintln!("  sample {i}/{samples}");
-            }
-            let l1 = D1 / (1.0 - deltas[0]);
-            let l2 = D2 / (1.0 - deltas[1]);
-            let model = build_model(l1, l2).map_err(|e| e.to_string())?;
-            let sim = Simulator::new(&model, SolverOptions::fast()).map_err(|e| e.to_string())?;
-            let sol = sim.run_transient(30.0, 30, &[]).map_err(|e| e.to_string())?;
-            Ok(vec![
-                *sol.wire_series(0).last().expect("series"),
-                *sol.wire_series(1).last().expect("series"),
-            ])
+    let inputs = draw_samples(&mut gen, &dists, samples);
+
+    // Compile once; the scenario maps each sample δ_j to L_j = d_j/(1−δ_j)
+    // and reads the two end temperatures back.
+    let compiled = Arc::new(CompiledModel::compile(build_model()?, SolverOptions::fast())?);
+    let scenario = ElongationScenario::new(vec![0, 1], vec![D1, D2], 30.0, 30, |sol| {
+        vec![
+            *sol.wire_series(0).last().expect("series"),
+            *sol.wire_series(1).last().expect("series"),
+        ]
+    });
+    let ensemble = run_ensemble(
+        &compiled,
+        &scenario,
+        &inputs,
+        &EnsembleOptions {
+            n_threads: 1,
+            warm_start: false,
+            progress: Some(progress),
         },
-    )
-    .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    )?;
+    let result = McResult::from_ordered(inputs, ensemble.outputs, McOptions::default());
 
     println!("\nuncertainty study: M = {samples} samples, delta ~ N(0.17, 0.048) per wire");
     for (j, stats) in result.outputs.iter().enumerate() {
@@ -99,6 +113,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (larger conductance at fixed voltage) and its bond region runs {:.2} K hotter/cooler.",
         if m0 > m1 { "shorter (w1)" } else { "longer (w2)" },
         (m0 - m1).abs()
+    );
+    let c = ensemble.counters;
+    println!(
+        "solver reuse: {} preconditioner rebuilds for {} solves across the whole campaign.",
+        c.precond_rebuilds,
+        c.electrical_solves + c.thermal_solves
     );
     Ok(())
 }
