@@ -10,23 +10,30 @@
 use crate::T_CRITICAL;
 
 /// Result of assessing a temperature time series against a threshold.
+///
+/// Failure semantics: *reaching* the threshold counts — a series that
+/// touches `threshold` without exceeding it has a `first_crossing` (at the
+/// touch time) and `margin == 0`, consistent with the failure criterion
+/// `T ≥ T_critical` used throughout the reliability engine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FailureAssessment {
     /// Threshold used (K).
     pub threshold: f64,
     /// Peak temperature reached (K).
     pub peak_temperature: f64,
-    /// Time of the peak (s).
+    /// Time of the peak (s); the first occurrence for a tied peak.
     pub peak_time: f64,
-    /// First threshold crossing (linear interpolation between samples), if
-    /// any.
+    /// First time the series reaches the threshold (linear interpolation
+    /// between samples), if it ever does.
     pub first_crossing: Option<f64>,
-    /// Margin `threshold − peak` (negative when the threshold is violated).
+    /// Margin `threshold − peak`: positive when the series passes, zero
+    /// when it exactly touches the threshold, negative when it exceeds it.
     pub margin: f64,
 }
 
 impl FailureAssessment {
-    /// Whether the series stays strictly below the threshold.
+    /// Whether the series stays strictly below the threshold
+    /// (`peak < threshold ⇔ no crossing`).
     pub fn passes(&self) -> bool {
         self.first_crossing.is_none()
     }
@@ -150,6 +157,44 @@ impl ArrheniusDamage {
             None
         }
     }
+
+    /// Time at which the accumulated damage reaches 1 (failure), under the
+    /// same trapezoidal model as [`ArrheniusDamage::accumulate`]: the rate
+    /// is linearly interpolated inside each sampling interval, making the
+    /// cumulative damage piecewise quadratic — the crossing of 1 is solved
+    /// exactly within the violating interval, so the result is consistent
+    /// with `accumulate` on any refinement of the same rate profile.
+    /// Returns `None` if the series ends before the lifetime is consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or fewer than two samples are given.
+    pub fn failure_time(&self, times: &[f64], temps: &[f64]) -> Option<f64> {
+        assert_eq!(times.len(), temps.len(), "failure_time: length mismatch");
+        assert!(times.len() >= 2, "failure_time: need at least 2 samples");
+        let mut damage = 0.0;
+        let mut r_prev = self.rate(temps[0]);
+        for i in 1..times.len() {
+            let dt = times[i] - times[i - 1];
+            let r_cur = self.rate(temps[i]);
+            let increment = 0.5 * (r_prev + r_cur) * dt;
+            if increment > 0.0 && damage + increment >= 1.0 {
+                // Inside the interval: damage(τ) = d₀ + r₀τ + ½(r₁−r₀)τ²/Δt.
+                // Solve aτ² + bτ − c = 0 for the first root; the Citardauq
+                // form 2c/(b + √(b² + 4ac)) is the smaller positive root for
+                // every sign of `a` and is numerically stable.
+                let need = 1.0 - damage;
+                let a = 0.5 * (r_cur - r_prev) / dt;
+                let b = r_prev;
+                let disc = (b * b + 4.0 * a * need).max(0.0);
+                let tau = 2.0 * need / (b + disc.sqrt());
+                return Some(times[i - 1] + tau.clamp(0.0, dt));
+            }
+            damage += increment;
+            r_prev = r_cur;
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +259,136 @@ mod tests {
         let temps = vec![500.0; 11];
         let acc = d.accumulate(&times, &temps);
         assert!((acc - d.rate(500.0) * 1000.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn touching_the_threshold_counts_as_a_crossing() {
+        // [520, 523, 520]: touches exactly, never exceeds. Failure semantics
+        // are T ≥ threshold, so the touch time is the crossing and the
+        // margin is exactly zero.
+        let times = [0.0, 1.0, 2.0];
+        let temps = [520.0, 523.0, 520.0];
+        let a = assess_against_critical(&times, &temps);
+        assert_eq!(a.first_crossing, Some(1.0));
+        assert!(!a.passes());
+        assert_eq!(a.margin, 0.0);
+        assert_eq!(a.peak_temperature, 523.0);
+        assert_eq!(a.peak_time, 1.0);
+    }
+
+    #[test]
+    fn first_of_multiple_crossings_is_returned() {
+        // Crosses in (1, 2), dips below, crosses again in (3, 4): the first
+        // crossing wins and is the interpolated one.
+        let times = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let temps = [500.0, 513.0, 533.0, 510.0, 543.0];
+        let c = first_crossing(&times, &temps, 523.0).unwrap();
+        assert!((c - (1.0 + 10.0 / 20.0)).abs() < 1e-12, "got {c}");
+    }
+
+    #[test]
+    fn failure_time_matches_lifetime_at_constant_temperature() {
+        let d = ArrheniusDamage::default();
+        let life = d.lifetime_at(T_CRITICAL).unwrap();
+        // Series long enough to contain the lifetime.
+        let times = [0.0, 2.0 * life];
+        let temps = [T_CRITICAL, T_CRITICAL];
+        let tf = d.failure_time(&times, &temps).unwrap();
+        assert!((tf - life).abs() < 1e-9 * life, "{tf} vs {life}");
+        // Truncated before the lifetime: no failure.
+        assert!(d.failure_time(&[0.0, 0.5 * life], &temps).is_none());
+    }
+
+    #[test]
+    fn failure_time_iff_accumulated_damage_reaches_one() {
+        let d = ArrheniusDamage::default();
+        let life500 = d.lifetime_at(500.0).unwrap();
+        // Ramp through temperatures; scale times so failure lands inside.
+        let times: Vec<f64> = (0..=50).map(|i| i as f64 * life500 / 25.0).collect();
+        let temps: Vec<f64> = (0..=50).map(|i| 450.0 + 2.0 * i as f64).collect();
+        let total = d.accumulate(&times, &temps);
+        assert!(total > 1.0, "profile must consume the lifetime ({total})");
+        let tf = d.failure_time(&times, &temps).unwrap();
+        // Damage accumulated up to tf is exactly 1 (evaluate by splitting
+        // the series at tf with the interpolated temperature).
+        let k = times.partition_point(|&t| t < tf);
+        let f = (tf - times[k - 1]) / (times[k] - times[k - 1]);
+        let t_interp = temps[k - 1] + f * (temps[k] - temps[k - 1]);
+        let mut cut_times: Vec<f64> = times[..k].to_vec();
+        let mut cut_temps: Vec<f64> = temps[..k].to_vec();
+        cut_times.push(tf);
+        cut_temps.push(t_interp);
+        let damage_at_tf = d.accumulate(&cut_times, &cut_temps);
+        // The interval model is linear-in-rate, not linear-in-temperature,
+        // so re-evaluating at the interpolated temperature is only
+        // approximately the same — tight on this smooth ramp.
+        assert!(
+            (damage_at_tf - 1.0).abs() < 1e-4,
+            "damage at failure time: {damage_at_tf}"
+        );
+        // Before tf the damage is below 1.
+        let damage_before = d.accumulate(&times[..k], &temps[..k]);
+        assert!(damage_before < 1.0);
+    }
+
+    #[test]
+    fn failure_time_invariant_under_refinement_of_linear_rate() {
+        // Choose temperatures so the *rate* is exactly linear in time; the
+        // trapezoidal rule is then exact and both the accumulated damage and
+        // the failure time must be grid-independent to machine precision.
+        let d = ArrheniusDamage::default();
+        let r0 = d.rate(480.0);
+        let r1 = d.rate(560.0);
+        let t_end = 2.5 / (0.5 * (r0 + r1)); // total damage 2.5 → failure inside
+        let temp_of_rate = |r: f64| -> f64 {
+            // Invert r = A·exp(−Ea/(k_B·T)).
+            -d.activation_energy_ev / (K_BOLTZMANN_EV * (r / d.prefactor).ln())
+        };
+        let series = |n: usize| -> (Vec<f64>, Vec<f64>) {
+            let times: Vec<f64> = (0..=n).map(|i| t_end * i as f64 / n as f64).collect();
+            let temps: Vec<f64> = times
+                .iter()
+                .map(|&t| temp_of_rate(r0 + (r1 - r0) * t / t_end))
+                .collect();
+            (times, temps)
+        };
+        let (tc, xc) = series(7);
+        let (tf_coarse, acc_coarse) = (d.failure_time(&tc, &xc).unwrap(), d.accumulate(&tc, &xc));
+        for n in [14, 70, 700] {
+            let (t, x) = series(n);
+            let tf = d.failure_time(&t, &x).unwrap();
+            let acc = d.accumulate(&t, &x);
+            assert!(
+                (tf - tf_coarse).abs() < 1e-9 * tf_coarse,
+                "n={n}: {tf} vs {tf_coarse}"
+            );
+            assert!(
+                (acc - acc_coarse).abs() < 1e-9 * acc_coarse,
+                "n={n}: {acc} vs {acc_coarse}"
+            );
+        }
+    }
+
+    #[test]
+    fn accumulate_converges_under_refinement_of_smooth_profile() {
+        // A smooth (nonlinear-rate) profile: refinement converges at the
+        // trapezoidal O(h²) and the fine-grid values are mutually
+        // consistent.
+        let d = ArrheniusDamage::default();
+        let profile = |t: f64| 450.0 + 60.0 * (t / 1000.0).sin();
+        let acc_n = |n: usize| {
+            let times: Vec<f64> = (0..=n).map(|i| 3000.0 * i as f64 / n as f64).collect();
+            let temps: Vec<f64> = times.iter().map(|&t| profile(t)).collect();
+            d.accumulate(&times, &temps)
+        };
+        let a100 = acc_n(100);
+        let a200 = acc_n(200);
+        let a400 = acc_n(400);
+        // Richardson: error quarters per halving.
+        let e1 = (a200 - a400).abs();
+        let e0 = (a100 - a200).abs();
+        assert!(e1 < 0.35 * e0, "trapezoidal convergence: {e0} -> {e1}");
+        assert!((a100 - a400).abs() < 1e-3 * a400);
     }
 
     #[test]

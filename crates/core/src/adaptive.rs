@@ -9,11 +9,14 @@
 //! (local extrapolation).
 
 use crate::error::CoreError;
+use crate::session::Session;
 use crate::simulator::Simulator;
 use crate::solution::TransientSolution;
 use etherm_numerics::vector;
+use std::sync::Arc;
 
-/// Controls for [`Simulator::run_transient_adaptive`].
+/// Controls for [`Session::run_transient_adaptive`] (and the
+/// [`Simulator::run_transient_adaptive`] facade).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdaptiveOptions {
     /// Target local error per step, in Kelvin (∞-norm over all DoFs).
@@ -40,13 +43,17 @@ impl Default for AdaptiveOptions {
     }
 }
 
-impl<'m> Simulator<'m> {
+impl Session {
     /// Runs the transient over `[0, t_end]` with adaptive step sizes.
     ///
     /// Each accepted step records one entry in the returned solution (the
     /// `times` vector is therefore non-uniform). Snapshot requests are not
-    /// supported here — use the fixed-step [`Simulator::run_transient`] for
+    /// supported here — use the fixed-step [`Session::run_transient`] for
     /// field dumps at exact times.
+    ///
+    /// Living on the session (rather than the [`Simulator`] facade, which
+    /// now merely delegates), the controller is available to ensemble and
+    /// reliability workers that hold long-lived sessions.
     ///
     /// # Errors
     ///
@@ -54,7 +61,7 @@ impl<'m> Simulator<'m> {
     /// `dt_min` (the problem demands smaller steps than allowed) or the
     /// options are inconsistent; solver failures propagate.
     pub fn run_transient_adaptive(
-        &self,
+        &mut self,
         t_end: f64,
         options: &AdaptiveOptions,
     ) -> Result<TransientSolution, CoreError> {
@@ -72,9 +79,15 @@ impl<'m> Simulator<'m> {
                 "inconsistent adaptive time-stepping options".into(),
             ));
         }
-        let n_wires = self.layout().n_wires();
+        // Same run-start invalidation as the fixed-step path: without it, a
+        // reused session whose previous run ended on `dt_init`-sized steps
+        // would extrapolate its first CG guess across runs.
+        self.begin_transient_run();
+        let compiled = Arc::clone(self.compiled());
+        let layout = compiled.layout();
+        let n_wires = layout.n_wires();
         let mut state = self.initial_temperature();
-        let mut phi = vec![0.0; self.layout().n_total()];
+        let mut phi = vec![0.0; layout.n_total()];
         let mut solution = TransientSolution {
             times: vec![0.0],
             wire_temperatures: vec![vec![self.model_ambient()]; n_wires],
@@ -86,7 +99,7 @@ impl<'m> Simulator<'m> {
         };
         for j in 0..n_wires {
             solution.wire_temperatures[j][0] =
-                self.layout().topology(j).average_temperature(&state);
+                layout.topology(j).average_temperature(&state);
         }
 
         let mut t = 0.0;
@@ -113,7 +126,7 @@ impl<'m> Simulator<'m> {
                 solution.times.push(t);
                 for j in 0..n_wires {
                     solution.wire_temperatures[j]
-                        .push(self.layout().topology(j).average_temperature(&state));
+                        .push(layout.topology(j).average_temperature(&state));
                     solution.wire_powers[j].push(h2.wire_powers[j]);
                 }
                 solution.field_power.push(h2.field_power);
@@ -139,6 +152,22 @@ impl<'m> Simulator<'m> {
 
     fn model_ambient(&self) -> f64 {
         self.initial_temperature()[0]
+    }
+}
+
+impl<'m> Simulator<'m> {
+    /// Runs the transient over `[0, t_end]` with adaptive step sizes — a
+    /// thin delegate to [`Session::run_transient_adaptive`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run_transient_adaptive`].
+    pub fn run_transient_adaptive(
+        &self,
+        t_end: f64,
+        options: &AdaptiveOptions,
+    ) -> Result<TransientSolution, CoreError> {
+        self.with_session(|session| session.run_transient_adaptive(t_end, options))
     }
 }
 
@@ -222,6 +251,66 @@ mod tests {
         let dts: Vec<f64> = adaptive.times.windows(2).map(|w| w[1] - w[0]).collect();
         let ratio = dts.last().unwrap() / dts.first().unwrap();
         assert!(ratio > 5.0, "step growth only {ratio}");
+    }
+
+    #[test]
+    fn reused_session_is_bit_identical_to_fresh_session() {
+        // Regression: the adaptive path must invalidate the cross-run
+        // extrapolation history like the fixed-step path does. Trigger: a
+        // fixed-step run leaves (t_hist, last_dt = 0.5) behind; an adaptive
+        // run starting with dt_init = 0.5 on the same session would
+        // otherwise extrapolate its first CG guess from the previous run's
+        // final step.
+        use crate::compiled::CompiledModel;
+        use crate::session::Session;
+        use etherm_grid::{Axis, CellPaint, Grid3, MaterialId};
+        use etherm_materials::library;
+        use std::sync::Arc;
+        // A driven block with one wire, so the run has a temperature
+        // observable that is sensitive to the CG initial guess at the
+        // solver-tolerance level.
+        let grid = Grid3::new(
+            Axis::uniform(0.0, 2e-3, 4).unwrap(),
+            Axis::uniform(0.0, 1e-3, 2).unwrap(),
+            Axis::uniform(0.0, 0.5e-3, 1).unwrap(),
+        );
+        let paint = CellPaint::new(&grid, MaterialId(0));
+        let mut materials = MaterialTable::new();
+        materials.add(library::epoxy_resin());
+        let mut model = ElectrothermalModel::new(grid, paint, materials).unwrap();
+        let wire =
+            etherm_bondwire::BondWire::new("w", 1.5e-3, 25.4e-6, library::copper()).unwrap();
+        model
+            .add_wire(wire, (0.0, 0.5e-3, 0.5e-3), (2e-3, 0.5e-3, 0.5e-3))
+            .unwrap();
+        let (a, b) = (model.wires()[0].node_a, model.wires()[0].node_b);
+        model.set_electric_potential(&[a], 0.02);
+        model.set_electric_potential(&[b], -0.02);
+        model.set_thermal_boundary(ThermalBoundary::convective(25.0, 300.0));
+        // No preconditioner: the only cross-run session state that can
+        // influence results is the extrapolation history this test targets
+        // (a cached preconditioner legitimately persists across runs and
+        // moves results at tolerance level; `reset()` is the documented way
+        // to drop it).
+        let solver = SolverOptions {
+            preconditioner: crate::options::PrecondKind::None,
+            ..SolverOptions::default()
+        };
+        let compiled = Arc::new(CompiledModel::compile(model, solver).unwrap());
+        let opts = AdaptiveOptions {
+            dt_init: 0.5,
+            dt_min: 0.5,
+            dt_max: 0.5,
+            ..Default::default()
+        };
+        let mut reused = Session::new(Arc::clone(&compiled));
+        let _ = reused.run_transient(2.0, 4, &[]).unwrap(); // dt = 0.5
+        let second = reused.run_transient_adaptive(2.0, &opts).unwrap();
+        let mut fresh = Session::new(compiled);
+        let reference = fresh.run_transient_adaptive(2.0, &opts).unwrap();
+        assert_eq!(second.times, reference.times);
+        assert_eq!(second.wire_temperatures, reference.wire_temperatures);
+        assert_eq!(second.linear_iterations, reference.linear_iterations);
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   session per worker and re-run with new parameters,
 //! * [`ensemble`] — evaluate one compiled model for many parameter samples
 //!   across threads with deterministic sample-order merging,
+//! * [`observer`] — in-run step observation with early exit and
+//!   crossing-time bisection, the transient-side workhorse of the
+//!   rare-event reliability engine,
 //! * [`qoi`] — quantities of interest: per-wire temperatures `T_bw = XᵀT`,
 //!   the hottest-wire envelope of Fig. 7, field slices for Fig. 8.
 
@@ -37,6 +40,7 @@ mod error;
 pub mod export;
 mod layout;
 mod model;
+pub mod observer;
 pub mod options;
 pub mod qoi;
 mod session;
@@ -49,6 +53,9 @@ pub use ensemble::{run_ensemble, EnsembleOptions, EnsembleResult, Scenario};
 pub use error::CoreError;
 pub use layout::DofLayout;
 pub use model::{ElectrothermalModel, WireAttachment};
+pub use observer::{
+    ObservedTransient, ObserverAction, StepObserver, StepRecord, ThresholdObserver,
+};
 pub use options::{JouleScheme, PrecondKind, SolverOptions};
 pub use session::{Session, SolveCounters, StationaryResult, StepResult};
 pub use simulator::Simulator;

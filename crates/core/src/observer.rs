@@ -1,0 +1,200 @@
+//! In-run step observation and early exit.
+//!
+//! A reliability analysis asks a yes/no question of every transient — "does
+//! `maxⱼ T_bw,j(t)` reach the critical temperature?" — and the answer is
+//! usually decided long before `t_end`: a failing sample crosses the
+//! threshold during the initial heating ramp, a safe sample settles below it
+//! and can only be declared safe at the end. A [`StepObserver`] is evaluated
+//! by [`crate::Session::run_transient_observed`] after every accepted
+//! implicit-Euler step and may terminate the run the moment the limit state
+//! is decided; with [`ObserverAction::StopAndBisect`] the session
+//! additionally refines the crossing time by time-bisection inside the
+//! violating step (each probe is one implicit-Euler sub-step from the saved
+//! step-start state), so a failed sample costs a fraction of a full
+//! transient.
+//!
+//! Observation is strictly read-only: a run with an observer that never
+//! stops is bit-identical to [`crate::Session::run_transient`].
+
+/// Decision returned by a [`StepObserver`] after each accepted step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObserverAction {
+    /// Keep integrating.
+    Continue,
+    /// Terminate the transient after this step (limit state decided).
+    Stop,
+    /// Terminate and refine the first crossing of
+    /// `maxⱼ T_bw,j = threshold` inside the just-accepted step by time
+    /// bisection: `bisections` implicit-Euler sub-steps from the saved
+    /// step-start state narrow the bracket, then the crossing time is
+    /// linearly interpolated on the final bracket. With `bisections = 0`
+    /// the interpolation uses the full step's endpoints — the same
+    /// estimate as `etherm_bondwire::degradation::first_crossing` on the
+    /// sampled series.
+    StopAndBisect {
+        /// Threshold whose crossing is refined (K).
+        threshold: f64,
+        /// Number of bisection sub-steps (extra coupled solves).
+        bisections: usize,
+    },
+}
+
+/// What an observer sees after an accepted step (or the initial state, with
+/// `step == 0` and `dt == 0`).
+#[derive(Debug)]
+pub struct StepRecord<'a> {
+    /// Step index (0 = initial state, then 1..=n_steps).
+    pub step: usize,
+    /// Time at the end of the step (s).
+    pub time: f64,
+    /// Step size that produced this state (0 for the initial record).
+    pub dt: f64,
+    /// Per-wire representative temperatures `T_bw,j = Xⱼᵀ T` (K), in wire
+    /// order — the paper's QoI layout.
+    pub wire_temperatures: &'a [f64],
+    /// Full state vector (grid + wire-internal DoFs, K).
+    pub temperature: &'a [f64],
+}
+
+impl StepRecord<'_> {
+    /// `maxⱼ T_bw,j` at this step; `-∞` for a model without wires.
+    pub fn max_wire_temperature(&self) -> f64 {
+        self.wire_temperatures
+            .iter()
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+    }
+}
+
+/// In-run hook of [`crate::Session::run_transient_observed`], evaluated
+/// after every accepted step.
+pub trait StepObserver {
+    /// Inspects the accepted step and decides whether to continue.
+    fn observe(&mut self, record: &StepRecord<'_>) -> ObserverAction;
+}
+
+/// Result of an observed transient run.
+#[derive(Debug, Clone)]
+pub struct ObservedTransient {
+    /// The (possibly truncated) solution; its time series end at the last
+    /// accepted step.
+    pub solution: crate::TransientSolution,
+    /// Accepted full steps executed (`n_steps` when the run completed).
+    pub steps_executed: usize,
+    /// Extra implicit-Euler sub-steps spent bisecting the crossing.
+    pub bisection_steps: usize,
+    /// Whether an observer terminated the run before `t_end`.
+    pub stopped_early: bool,
+    /// Refined crossing time (s) when the observer requested
+    /// [`ObserverAction::StopAndBisect`].
+    pub crossing_time: Option<f64>,
+}
+
+/// The limit-state observer of the reliability engine: stops (and bisects)
+/// as soon as `maxⱼ T_bw,j` reaches `threshold`, and tracks the running
+/// peak either way.
+#[derive(Debug, Clone)]
+pub struct ThresholdObserver {
+    threshold: f64,
+    bisections: usize,
+    peak: f64,
+}
+
+impl ThresholdObserver {
+    /// Observer for the given threshold (K) with the default 4 bisection
+    /// refinements (crossing localized to `dt/16` before interpolation).
+    pub fn new(threshold: f64) -> Self {
+        ThresholdObserver {
+            threshold,
+            bisections: 4,
+            peak: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Overrides the number of bisection sub-steps (0 = pure linear
+    /// interpolation on the violating step).
+    pub fn with_bisections(mut self, bisections: usize) -> Self {
+        self.bisections = bisections;
+        self
+    }
+
+    /// The threshold (K).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Running peak of `maxⱼ T_bw,j` over the observed steps — for a run
+    /// that stopped early this is the value at the crossing step (≥ the
+    /// threshold), for a completed run the true response maximum.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+}
+
+impl StepObserver for ThresholdObserver {
+    fn observe(&mut self, record: &StepRecord<'_>) -> ObserverAction {
+        let y = record.max_wire_temperature();
+        if y > self.peak {
+            self.peak = y;
+        }
+        if y >= self.threshold {
+            ObserverAction::StopAndBisect {
+                threshold: self.threshold,
+                bisections: self.bisections,
+            }
+        } else {
+            ObserverAction::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_observer_stops_at_crossing() {
+        let mut obs = ThresholdObserver::new(523.0).with_bisections(2);
+        assert_eq!(obs.threshold(), 523.0);
+        let t = vec![300.0; 4];
+        let rec = StepRecord {
+            step: 1,
+            time: 1.0,
+            dt: 1.0,
+            wire_temperatures: &[400.0, 410.0],
+            temperature: &t,
+        };
+        assert_eq!(obs.observe(&rec), ObserverAction::Continue);
+        assert_eq!(obs.peak(), 410.0);
+        let rec = StepRecord {
+            step: 2,
+            time: 2.0,
+            dt: 1.0,
+            wire_temperatures: &[520.0, 530.0],
+            temperature: &t,
+        };
+        assert_eq!(
+            obs.observe(&rec),
+            ObserverAction::StopAndBisect {
+                threshold: 523.0,
+                bisections: 2
+            }
+        );
+        assert_eq!(obs.peak(), 530.0);
+        assert_eq!(rec.max_wire_temperature(), 530.0);
+    }
+
+    #[test]
+    fn no_wires_never_stops() {
+        let mut obs = ThresholdObserver::new(523.0);
+        let t = vec![600.0; 4];
+        let rec = StepRecord {
+            step: 1,
+            time: 1.0,
+            dt: 1.0,
+            wire_temperatures: &[],
+            temperature: &t,
+        };
+        assert_eq!(obs.observe(&rec), ObserverAction::Continue);
+        assert_eq!(rec.max_wire_temperature(), f64::NEG_INFINITY);
+    }
+}

@@ -28,6 +28,7 @@
 use crate::assembly::{self, CoeffBufs};
 use crate::compiled::CompiledModel;
 use crate::error::CoreError;
+use crate::observer::{ObservedTransient, ObserverAction, StepObserver, StepRecord};
 use crate::options::{JouleScheme, PrecondKind, SolverOptions};
 use crate::solution::TransientSolution;
 use etherm_bondwire::stamp::wire_joule_heat;
@@ -279,6 +280,9 @@ pub struct Session {
     /// Per-run wire state: starts at the compiled model's nominal wires,
     /// mutated by [`Session::set_wire_length`] between runs.
     wires: Vec<crate::model::WireAttachment>,
+    /// Per-run electric drive scale (1.0 = the model's nominal Dirichlet
+    /// potentials). See [`Session::set_drive_scale`].
+    drive_scale: f64,
     /// Full heat-capacity diagonal: frozen grid part + current wire
     /// capacities.
     mass_diag: Vec<f64>,
@@ -307,6 +311,7 @@ impl Session {
         Session {
             compiled,
             wires,
+            drive_scale: 1.0,
             mass_diag,
             elec_stamper,
             therm_stamper,
@@ -408,6 +413,38 @@ impl Session {
         Ok(())
     }
 
+    /// Scales the electric drive: every Dirichlet potential of the
+    /// electrical subsystem becomes `scale ×` its model value. At a frozen
+    /// temperature field the electrical system is linear in Φ, so the
+    /// injected current scales proportionally — this is the load parameter
+    /// of the reliability engine's fusing-current search (the σ(T) feedback
+    /// then moves the operating point like any physical overload would).
+    /// Like [`Session::set_wire_length`] this is a *parameter*, kept across
+    /// [`Session::reset`]; `scale = 1` restores the nominal drive
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for a negative or non-finite
+    /// scale.
+    pub fn set_drive_scale(&mut self, scale: f64) -> Result<(), CoreError> {
+        if !(scale.is_finite() && scale >= 0.0) {
+            return Err(CoreError::InvalidModel(format!(
+                "drive scale must be finite and non-negative, got {scale}"
+            )));
+        }
+        if let Some(stamper) = self.elec_stamper.as_mut() {
+            stamper.set_dirichlet_scale(scale);
+        }
+        self.drive_scale = scale;
+        Ok(())
+    }
+
+    /// The current electric drive scale.
+    pub fn drive_scale(&self) -> f64 {
+        self.drive_scale
+    }
+
     /// Initial full state: everything at the ambient temperature, wire
     /// internals interpolated.
     pub fn initial_temperature(&self) -> Vec<f64> {
@@ -478,6 +515,43 @@ impl Session {
         n_steps: usize,
         snapshot_times: &[f64],
     ) -> Result<TransientSolution, CoreError> {
+        self.run_transient_impl(t_end, n_steps, snapshot_times, None)
+            .map(|observed| observed.solution)
+    }
+
+    /// [`Session::run_transient`] with an in-run [`StepObserver`]: the
+    /// observer is evaluated on the initial state and after every accepted
+    /// step, and may terminate the run ([`ObserverAction::Stop`]) or
+    /// terminate *and* refine the threshold-crossing time by time-bisection
+    /// inside the violating step ([`ObserverAction::StopAndBisect`]). An
+    /// observer that always continues leaves the run bit-identical to
+    /// [`Session::run_transient`] — observation never influences the
+    /// solver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures (including bisection sub-steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_steps == 0` or `t_end ≤ 0`.
+    pub fn run_transient_observed(
+        &mut self,
+        t_end: f64,
+        n_steps: usize,
+        snapshot_times: &[f64],
+        observer: &mut dyn StepObserver,
+    ) -> Result<ObservedTransient, CoreError> {
+        self.run_transient_impl(t_end, n_steps, snapshot_times, Some(observer))
+    }
+
+    fn run_transient_impl(
+        &mut self,
+        t_end: f64,
+        n_steps: usize,
+        snapshot_times: &[f64],
+        mut observer: Option<&mut dyn StepObserver>,
+    ) -> Result<ObservedTransient, CoreError> {
         assert!(n_steps > 0, "need at least one step");
         assert!(t_end > 0.0, "end time must be positive");
         let dt = t_end / n_steps as f64;
@@ -492,15 +566,7 @@ impl Session {
             .map(|&t| ((t / dt).round() as usize).min(n_steps))
             .collect();
 
-        // Invalidate the extrapolation history of any previous transient
-        // (the first step of this run must not extrapolate across runs) and
-        // rotate the warm-start trajectory: the previous run becomes this
-        // run's guess source.
-        self.scratch.t_hist.clear();
-        self.scratch.last_dt = 0.0;
-        if self.warm.enabled {
-            self.warm.traj_prev = std::mem::take(&mut self.warm.traj_cur);
-        }
+        self.begin_transient_run();
 
         let mut t_state = self.initial_temperature();
         let mut phi = vec![0.0; n_total];
@@ -533,18 +599,181 @@ impl Session {
             solution.snapshots.push((0.0, t_state.clone()));
         }
 
+        // Observer bookkeeping (allocated only when observing — the
+        // unobserved path stays byte-for-byte the historical loop).
+        let mut stopped_early = false;
+        let mut crossing_time = None;
+        let mut bisection_steps = 0usize;
+        let mut wire_buf: Vec<f64> = Vec::new();
+        let mut stop = false;
+        if let Some(obs) = observer.as_deref_mut() {
+            wire_buf.clear();
+            for j in 0..n_wires {
+                wire_buf.push(solution.wire_temperatures[j][0]);
+            }
+            let action = obs.observe(&StepRecord {
+                step: 0,
+                time: 0.0,
+                dt: 0.0,
+                wire_temperatures: &wire_buf,
+                temperature: &t_state,
+            });
+            match action {
+                ObserverAction::Continue => {}
+                ObserverAction::Stop => stop = true,
+                ObserverAction::StopAndBisect { .. } => {
+                    // The initial state already violates the limit: the
+                    // crossing is at t = 0, nothing to bisect.
+                    crossing_time = Some(0.0);
+                    stop = true;
+                }
+            }
+            stopped_early = stop;
+        }
+
+        let mut steps_executed = 0usize;
         for step in 1..=n_steps {
+            if stop {
+                break;
+            }
             let result = self.step(&t_state, dt, &mut phi, step)?;
-            t_state = result.temperature;
+            steps_executed = step;
             let time = dt * step as f64;
-            record(&mut solution, time, &t_state, &result.wire_powers, result.field_power);
+            record(
+                &mut solution,
+                time,
+                &result.temperature,
+                &result.wire_powers,
+                result.field_power,
+            );
             solution.picard_iterations.push(result.picard_iterations);
             solution.linear_iterations += result.linear_iterations;
             if snap_indices.contains(&step) {
-                solution.snapshots.push((time, t_state.clone()));
+                solution.snapshots.push((time, result.temperature.clone()));
+            }
+            if let Some(obs) = observer.as_deref_mut() {
+                wire_buf.clear();
+                for j in 0..n_wires {
+                    wire_buf.push(solution.wire_temperatures[j][step]);
+                }
+                let action = obs.observe(&StepRecord {
+                    step,
+                    time,
+                    dt,
+                    wire_temperatures: &wire_buf,
+                    temperature: &result.temperature,
+                });
+                match action {
+                    ObserverAction::Continue => {}
+                    ObserverAction::Stop => {
+                        stopped_early = true;
+                        stop = true;
+                    }
+                    ObserverAction::StopAndBisect {
+                        threshold,
+                        bisections,
+                    } => {
+                        stopped_early = true;
+                        stop = true;
+                        let y_hi = wire_buf
+                            .iter()
+                            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+                        let y_lo = (0..n_wires)
+                            .map(|j| solution.wire_temperatures[j][step - 1])
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        // `t_state` still holds the step-start state here —
+                        // the bracket the bisection re-steps from.
+                        let (t_cross, substeps) = self.bisect_crossing(
+                            &t_state,
+                            time - dt,
+                            dt,
+                            y_lo,
+                            y_hi,
+                            threshold,
+                            bisections,
+                            &mut phi,
+                            step,
+                        )?;
+                        crossing_time = Some(t_cross);
+                        bisection_steps = substeps;
+                    }
+                }
+            }
+            t_state = result.temperature;
+        }
+        Ok(ObservedTransient {
+            solution,
+            steps_executed,
+            bisection_steps,
+            stopped_early,
+            crossing_time,
+        })
+    }
+
+    /// Invalidates the extrapolation history of any previous transient (the
+    /// first step of a run must not extrapolate across runs) and rotates
+    /// the warm-start trajectory: the previous run becomes this run's guess
+    /// source. Every transient entry point calls this first.
+    pub(crate) fn begin_transient_run(&mut self) {
+        self.scratch.t_hist.clear();
+        self.scratch.last_dt = 0.0;
+        if self.warm.enabled {
+            self.warm.traj_prev = std::mem::take(&mut self.warm.traj_cur);
+        }
+    }
+
+    /// `maxⱼ T_bw,j` of a full state vector (`-∞` without wires).
+    fn max_wire_temperature_of(&self, state: &[f64]) -> f64 {
+        let layout = self.compiled.layout();
+        (0..self.wires.len())
+            .map(|j| layout.topology(j).average_temperature(state))
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Refines the first crossing of `maxⱼ T_bw,j = threshold` inside the
+    /// step `[t_start, t_start + dt]` whose start state is `state_prev`
+    /// (below the threshold) and whose end state reached `y_hi ≥ threshold`:
+    /// time-bisection with one implicit-Euler sub-step per probe, then
+    /// linear interpolation on the final bracket. Returns the crossing time
+    /// and the number of sub-step solves spent.
+    #[allow(clippy::too_many_arguments)]
+    fn bisect_crossing(
+        &mut self,
+        state_prev: &[f64],
+        t_start: f64,
+        dt: f64,
+        mut y_lo: f64,
+        mut y_hi: f64,
+        threshold: f64,
+        bisections: usize,
+        phi: &mut [f64],
+        step_index: usize,
+    ) -> Result<(f64, usize), CoreError> {
+        let mut lo = 0.0f64;
+        let mut hi = dt;
+        let mut substeps = 0usize;
+        for _ in 0..bisections {
+            let mid = 0.5 * (lo + hi);
+            if !(mid > lo && mid < hi) {
+                break; // bracket exhausted floating-point resolution
+            }
+            let probe = self.step(state_prev, mid, phi, step_index)?;
+            substeps += 1;
+            let y_mid = self.max_wire_temperature_of(&probe.temperature);
+            if y_mid >= threshold {
+                hi = mid;
+                y_hi = y_mid;
+            } else {
+                lo = mid;
+                y_lo = y_mid;
             }
         }
-        Ok(solution)
+        let fraction = if y_hi > y_lo {
+            ((threshold - y_lo) / (y_hi - y_lo)).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        Ok((t_start + lo + fraction * (hi - lo), substeps))
     }
 
     /// The coupled Picard loop shared by [`Session::step`] (`dt = Some`)
@@ -631,6 +860,7 @@ impl Session {
         let Session {
             compiled,
             wires,
+            drive_scale,
             elec_stamper,
             elec_solver,
             scratch,
@@ -667,7 +897,17 @@ impl Session {
             b,
             &mut scratch.x_red,
         )?;
-        compiled.elec_map().expand_into(&scratch.x_red, phi_warm);
+        // Expansion must insert the *scaled* Dirichlet potentials so the
+        // heat-source evaluation sees the same drive the assembly condensed
+        // against. `1.0 × v` is bitwise `v`, so the unscaled path stays
+        // bit-identical.
+        if *drive_scale == 1.0 {
+            compiled.elec_map().expand_into(&scratch.x_red, phi_warm);
+        } else {
+            compiled
+                .elec_map()
+                .expand_scaled_into(&scratch.x_red, phi_warm, *drive_scale);
+        }
         Ok(iterations)
     }
 
@@ -1024,6 +1264,78 @@ mod tests {
         let r = 1e-3 / (5.8e7 * 1e-8);
         let expect_p = 1e-6 / r;
         assert!((fp - expect_p).abs() < 1e-6 * expect_p, "{fp} vs {expect_p}");
+    }
+
+    #[test]
+    fn drive_scale_scales_linear_electrical_solution() {
+        // Constant-σ bar: the electrical system is exactly linear, so a
+        // half-scale drive halves the potential everywhere; restoring the
+        // scale to 1 reproduces the original solve bit-for-bit.
+        let mut s = session(1e-3);
+        let t0 = s.initial_temperature();
+        s.scratch.t_star.clear();
+        s.scratch.t_star.extend_from_slice(&t0);
+        let n_total = s.compiled().layout().n_total();
+        let solve = |s: &mut Session| {
+            let mut phi = vec![0.0; n_total];
+            s.solve_electrical(&mut phi).unwrap();
+            phi
+        };
+        let phi_full = solve(&mut s);
+        s.set_drive_scale(0.5).unwrap();
+        assert_eq!(s.drive_scale(), 0.5);
+        let phi_half = solve(&mut s);
+        let grid_n = s.compiled().model().grid().n_nodes();
+        for n in 0..grid_n {
+            assert!(
+                (phi_half[n] - 0.5 * phi_full[n]).abs() < 1e-12,
+                "node {n}: {} vs {}",
+                phi_half[n],
+                0.5 * phi_full[n]
+            );
+        }
+        // Quarter power at half drive (P = V²/R).
+        let p_full = {
+            s.set_drive_scale(1.0).unwrap();
+            let phi = solve(&mut s);
+            s.heat_sources(&phi)
+        };
+        s.set_drive_scale(0.5).unwrap();
+        let phi = solve(&mut s);
+        let p_half = s.heat_sources(&phi);
+        assert!((p_half - 0.25 * p_full).abs() < 1e-9 * p_full);
+        // Scale 1 restores the nominal solve bit-for-bit.
+        s.set_drive_scale(1.0).unwrap();
+        assert_eq!(solve(&mut s), phi_full);
+    }
+
+    #[test]
+    fn invalid_drive_scale_rejected() {
+        let mut s = session(1e-3);
+        assert!(s.set_drive_scale(f64::NAN).is_err());
+        assert!(s.set_drive_scale(-1.0).is_err());
+        assert!(s.set_drive_scale(f64::INFINITY).is_err());
+        assert_eq!(s.drive_scale(), 1.0);
+        assert!(s.set_drive_scale(0.0).is_ok());
+    }
+
+    #[test]
+    fn drive_scale_survives_reset() {
+        // Like wire lengths, the drive scale is a parameter, not solver
+        // state: reset() must keep it.
+        let mut s = session(1e-3);
+        s.set_drive_scale(2.0).unwrap();
+        let a = s.run_transient(5.0, 5, &[5.0]).unwrap();
+        s.reset();
+        assert_eq!(s.drive_scale(), 2.0);
+        let b = s.run_transient(5.0, 5, &[5.0]).unwrap();
+        assert_eq!(a.snapshots[0].1, b.snapshots[0].1);
+        // Double drive heats more than nominal.
+        let mut nominal = session(1e-3);
+        let c = nominal.run_transient(5.0, 5, &[5.0]).unwrap();
+        let hot: f64 = a.snapshots[0].1.iter().sum();
+        let cold: f64 = c.snapshots[0].1.iter().sum();
+        assert!(hot > cold + 1.0, "scaled {hot} vs nominal {cold}");
     }
 
     #[test]

@@ -130,6 +130,34 @@ impl<'m> Simulator<'m> {
             .borrow_mut()
             .run_transient(t_end, n_steps, snapshot_times)
     }
+
+    /// Runs the transient with an in-run observer — see
+    /// [`Session::run_transient_observed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures (including bisection sub-steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_steps == 0` or `t_end ≤ 0`.
+    pub fn run_transient_observed(
+        &self,
+        t_end: f64,
+        n_steps: usize,
+        snapshot_times: &[f64],
+        observer: &mut dyn crate::observer::StepObserver,
+    ) -> Result<crate::observer::ObservedTransient, CoreError> {
+        self.session
+            .borrow_mut()
+            .run_transient_observed(t_end, n_steps, snapshot_times, observer)
+    }
+
+    /// Runs `f` on the facade's single session (crate-internal plumbing for
+    /// delegates that live in other modules).
+    pub(crate) fn with_session<R>(&self, f: impl FnOnce(&mut Session) -> R) -> R {
+        f(&mut self.session.borrow_mut())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! Integration tests of the in-run observer/early-exit hook: bit-identity
+//! of observed-but-not-stopped runs, early termination at the decided
+//! limit state, and crossing-time bisection accuracy — the contracts the
+//! rare-event reliability engine builds on.
+
+use etherm_bondwire::degradation::first_crossing;
+use etherm_core::{
+    CompiledModel, ElectrothermalModel, ObserverAction, Session, SolverOptions, StepObserver,
+    StepRecord, ThresholdObserver,
+};
+use etherm_fit::boundary::ThermalBoundary;
+use etherm_grid::{Axis, CellPaint, Grid3, MaterialId};
+use etherm_materials::{library, MaterialTable};
+use std::sync::Arc;
+
+/// A driven epoxy block with one bond wire across it; the wire heats from
+/// 300 K toward ≈330 K within a couple of seconds.
+fn wire_model() -> ElectrothermalModel {
+    let grid = Grid3::new(
+        Axis::uniform(0.0, 2e-3, 4).unwrap(),
+        Axis::uniform(0.0, 1e-3, 2).unwrap(),
+        Axis::uniform(0.0, 0.5e-3, 1).unwrap(),
+    );
+    let paint = CellPaint::new(&grid, MaterialId(0));
+    let mut materials = MaterialTable::new();
+    materials.add(library::epoxy_resin());
+    let mut model = ElectrothermalModel::new(grid, paint, materials).unwrap();
+    let wire = etherm_bondwire::BondWire::new("w", 1.5e-3, 25.4e-6, library::copper()).unwrap();
+    model
+        .add_wire(wire, (0.0, 0.5e-3, 0.5e-3), (2e-3, 0.5e-3, 0.5e-3))
+        .unwrap();
+    let a = model.wires()[0].node_a;
+    let b = model.wires()[0].node_b;
+    model.set_electric_potential(&[a], 0.02);
+    model.set_electric_potential(&[b], -0.02);
+    model.set_thermal_boundary(ThermalBoundary::convective(25.0, 300.0));
+    model
+}
+
+fn session() -> Session {
+    let compiled = CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap();
+    Session::new(Arc::new(compiled))
+}
+
+/// An observer that looks but never interferes.
+struct PassThrough {
+    records_seen: usize,
+}
+
+impl StepObserver for PassThrough {
+    fn observe(&mut self, record: &StepRecord<'_>) -> ObserverAction {
+        assert_eq!(record.wire_temperatures.len(), 1);
+        assert!(record.temperature.len() > 1);
+        self.records_seen += 1;
+        ObserverAction::Continue
+    }
+}
+
+#[test]
+fn non_stopping_observer_is_bit_identical_to_run_transient() {
+    let mut plain = session();
+    let reference = plain.run_transient(2.0, 8, &[2.0]).unwrap();
+
+    let mut observed_session = session();
+    let mut observer = PassThrough { records_seen: 0 };
+    let observed = observed_session
+        .run_transient_observed(2.0, 8, &[2.0], &mut observer)
+        .unwrap();
+    // Full bitwise equality of every recorded series and snapshot.
+    assert_eq!(observed.solution, reference);
+    assert!(!observed.stopped_early);
+    assert_eq!(observed.steps_executed, 8);
+    assert_eq!(observed.bisection_steps, 0);
+    assert_eq!(observed.crossing_time, None);
+    assert_eq!(observer.records_seen, 9); // initial state + 8 steps
+    // Identical solver work too.
+    assert_eq!(plain.counters(), observed_session.counters());
+}
+
+#[test]
+fn early_exit_matches_full_run_crossing_and_saves_steps() {
+    // Full reference run: crossing of 315 K interpolated from the sampled
+    // series (the post-hoc `assess_series` path).
+    let threshold = 315.0;
+    let n_steps = 40;
+    let t_end = 4.0;
+    let dt = t_end / n_steps as f64;
+    let mut full = session();
+    let reference = full.run_transient(t_end, n_steps, &[]).unwrap();
+    let series = reference.max_wire_series();
+    let expected = first_crossing(&reference.times, &series, threshold)
+        .expect("reference run must cross the threshold");
+    assert!(expected > dt, "crossing should not be in the first step");
+
+    // Observed run: terminates at the crossing, bisects it.
+    let mut obs_session = session();
+    let mut observer = ThresholdObserver::new(threshold);
+    let observed = obs_session
+        .run_transient_observed(t_end, n_steps, &[], &mut observer)
+        .unwrap();
+    assert!(observed.stopped_early);
+    assert!(
+        observed.steps_executed < n_steps,
+        "early exit must execute strictly fewer steps ({} vs {n_steps})",
+        observed.steps_executed
+    );
+    assert!(observed.bisection_steps > 0);
+    let crossing = observed.crossing_time.expect("crossing decided");
+    // The bisected crossing and the sampled-series interpolation may differ
+    // by the in-step curvature — both live in the same step, so they agree
+    // within one step size.
+    assert!(
+        (crossing - expected).abs() <= dt,
+        "bisected crossing {crossing} vs interpolated {expected} (dt = {dt})"
+    );
+    // The truncated series agrees bitwise with the reference prefix.
+    let k = observed.solution.times.len();
+    assert_eq!(&reference.times[..k], &observed.solution.times[..]);
+    assert_eq!(
+        &reference.max_wire_series()[..k],
+        &observed.solution.max_wire_series()[..]
+    );
+    // The observer's peak is the crossing step's value: at or above the
+    // threshold.
+    assert!(observer.peak() >= threshold);
+    // Early exit does strictly less solver work than the full run.
+    assert!(
+        obs_session.counters().thermal_solves < full.counters().thermal_solves,
+        "observed {:?} vs full {:?}",
+        obs_session.counters(),
+        full.counters()
+    );
+}
+
+#[test]
+fn threshold_below_initial_state_stops_at_time_zero() {
+    let mut s = session();
+    let mut observer = ThresholdObserver::new(250.0); // below ambient
+    let observed = s
+        .run_transient_observed(2.0, 8, &[], &mut observer)
+        .unwrap();
+    assert!(observed.stopped_early);
+    assert_eq!(observed.steps_executed, 0);
+    assert_eq!(observed.crossing_time, Some(0.0));
+    assert_eq!(observed.bisection_steps, 0);
+}
+
+#[test]
+fn stop_without_bisection_terminates_cleanly() {
+    struct StopAfter {
+        steps: usize,
+    }
+    impl StepObserver for StopAfter {
+        fn observe(&mut self, record: &StepRecord<'_>) -> ObserverAction {
+            if record.step >= self.steps {
+                ObserverAction::Stop
+            } else {
+                ObserverAction::Continue
+            }
+        }
+    }
+    let mut s = session();
+    let observed = s
+        .run_transient_observed(2.0, 8, &[], &mut StopAfter { steps: 3 })
+        .unwrap();
+    assert!(observed.stopped_early);
+    assert_eq!(observed.steps_executed, 3);
+    assert_eq!(observed.solution.times.len(), 4);
+    assert_eq!(observed.crossing_time, None);
+    assert_eq!(observed.bisection_steps, 0);
+}
+
+#[test]
+fn zero_bisections_reduce_to_linear_interpolation() {
+    let threshold = 315.0;
+    let n_steps = 40;
+    let t_end = 4.0;
+    let mut full = session();
+    let reference = full.run_transient(t_end, n_steps, &[]).unwrap();
+    let expected =
+        first_crossing(&reference.times, &reference.max_wire_series(), threshold).unwrap();
+
+    let mut s = session();
+    let mut observer = ThresholdObserver::new(threshold).with_bisections(0);
+    let observed = s
+        .run_transient_observed(t_end, n_steps, &[], &mut observer)
+        .unwrap();
+    assert_eq!(observed.bisection_steps, 0);
+    // With zero bisections the session interpolates the violating step's
+    // endpoints — on the bitwise-identical prefix this is *exactly* the
+    // sampled-series first crossing.
+    let crossing = observed.crossing_time.unwrap();
+    assert!(
+        (crossing - expected).abs() < 1e-12,
+        "{crossing} vs {expected}"
+    );
+}

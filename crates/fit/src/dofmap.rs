@@ -127,6 +127,28 @@ impl DofMap {
         }
     }
 
+    /// [`DofMap::expand_into`] with every fixed (Dirichlet) value multiplied
+    /// by `scale` — the expansion counterpart of a load-scaled assembly (see
+    /// `CachedStamper::set_dirichlet_scale`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn expand_scaled_into(&self, reduced: &[f64], full: &mut [f64], scale: f64) {
+        assert_eq!(
+            reduced.len(),
+            self.n_reduced(),
+            "expand_scaled_into: reduced length"
+        );
+        assert_eq!(full.len(), self.n_full, "expand_scaled_into: full length");
+        for (slot, &v) in full.iter_mut().zip(&self.fixed_values) {
+            *slot = scale * v;
+        }
+        for (r, &i) in self.reduced_to_full.iter().enumerate() {
+            full[i] = reduced[r];
+        }
+    }
+
     /// Restricts a full vector to the free DoFs.
     ///
     /// # Panics
@@ -296,6 +318,11 @@ pub struct CachedStamper {
     /// stored inside long-lived solvers without borrowing).
     reduced_index: Vec<Option<usize>>,
     fixed_values: Vec<f64>,
+    /// Construction-time Dirichlet values; `fixed_values` is always
+    /// `dirichlet_scale ×` this base (see
+    /// [`CachedStamper::set_dirichlet_scale`]).
+    fixed_values_base: Vec<f64>,
+    dirichlet_scale: f64,
     /// Pattern + values once recorded.
     csr: Option<Csr>,
     /// Per emitted triplet: destination slot in `csr.values`.
@@ -311,10 +338,13 @@ impl CachedStamper {
     /// Creates a cache for the given DoF map.
     pub fn new(map: &DofMap) -> Self {
         let n = map.n_reduced();
+        let fixed_values: Vec<f64> = (0..map.n_full()).map(|i| map.fixed_value(i)).collect();
         CachedStamper {
             n_reduced: n,
             reduced_index: (0..map.n_full()).map(|i| map.reduced_index(i)).collect(),
-            fixed_values: (0..map.n_full()).map(|i| map.fixed_value(i)).collect(),
+            fixed_values_base: fixed_values.clone(),
+            fixed_values,
+            dirichlet_scale: 1.0,
             csr: None,
             slots: Vec::new(),
             recording: None,
@@ -322,6 +352,29 @@ impl CachedStamper {
             cursor: 0,
             rhs: vec![0.0; n],
         }
+    }
+
+    /// Rescales every Dirichlet value to `scale ×` its construction-time
+    /// value — load scaling without touching the recorded pattern. The
+    /// condensed right-hand-side contributions of the *next* assembly round
+    /// pick up the new values; a scale of exactly `1.0` restores the base
+    /// values bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite.
+    pub fn set_dirichlet_scale(&mut self, scale: f64) {
+        assert!(scale.is_finite(), "Dirichlet scale must be finite, got {scale}");
+        self.dirichlet_scale = scale;
+        for (v, &b) in self.fixed_values.iter_mut().zip(&self.fixed_values_base) {
+            *v = scale * b;
+        }
+    }
+
+    /// The current Dirichlet scale (1.0 unless
+    /// [`CachedStamper::set_dirichlet_scale`] changed it).
+    pub fn dirichlet_scale(&self) -> f64 {
+        self.dirichlet_scale
     }
 
     /// Starts a new assembly round (zeroing values and RHS).
@@ -522,6 +575,44 @@ mod tests {
         let x = a.to_dense().solve(&b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-14);
         assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn expand_scaled_scales_only_fixed_values() {
+        let map = DofMap::new(4, &[(0, 2.0), (3, -1.0)]);
+        let mut full = vec![0.0; 4];
+        map.expand_scaled_into(&[7.0, 8.0], &mut full, 0.5);
+        assert_eq!(full, vec![1.0, 7.0, 8.0, -0.5]);
+        // Scale 1.0 is bit-identical to the plain expansion.
+        let mut a = vec![0.0; 4];
+        let mut b = vec![0.0; 4];
+        map.expand_into(&[7.0, 8.0], &mut a);
+        map.expand_scaled_into(&[7.0, 8.0], &mut b, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_stamper_dirichlet_scale_rescales_rhs() {
+        // Chain 0-1-2 with ends fixed at ±1; the condensed RHS of the free
+        // middle node is g·(v₀ + v₂) and must track the scale.
+        let map = DofMap::new(3, &[(0, 1.0), (2, -3.0)]);
+        let mut st = CachedStamper::new(&map);
+        let round = |st: &mut CachedStamper| {
+            st.begin();
+            st.add_conductance(0, 1, 2.0);
+            st.add_conductance(1, 2, 2.0);
+            let (_, b) = st.finish();
+            b.to_vec()
+        };
+        let b1 = round(&mut st);
+        assert_eq!(b1, vec![2.0 * 1.0 + 2.0 * -3.0]);
+        st.set_dirichlet_scale(0.5);
+        assert_eq!(st.dirichlet_scale(), 0.5);
+        let b_half = round(&mut st);
+        assert_eq!(b_half, vec![0.5 * (2.0 * 1.0 + 2.0 * -3.0)]);
+        // Restoring scale 1 restores the original RHS bit-for-bit.
+        st.set_dirichlet_scale(1.0);
+        assert_eq!(round(&mut st), b1);
     }
 
     #[test]

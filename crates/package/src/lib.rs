@@ -22,15 +22,20 @@
 //!   `δ ~ N(0.17, 0.048)` and Table II parameter set,
 //! * [`scenario`] — the elongation sampling as an ensemble
 //!   [`etherm_core::Scenario`]: compile the package once, re-run cheap
-//!   solver sessions per Monte Carlo sample.
+//!   solver sessions per Monte Carlo sample,
+//! * [`failure`] — the limit-state scenario of the rare-event reliability
+//!   engine: elongations + drive scale in, early-exited threshold response
+//!   out.
 
 pub mod builder;
+pub mod failure;
 pub mod geometry;
 pub mod paper;
 pub mod scenario;
 pub mod xray;
 
 pub use builder::{build_model, elongation_length, BuildOptions, BuiltPackage};
+pub use failure::FailureScenario;
 pub use geometry::{PackageGeometry, Pad, Side, WirePlan};
 pub use paper::{paper_elongation_distribution, PaperParameters};
 pub use scenario::ElongationScenario;

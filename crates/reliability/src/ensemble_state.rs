@@ -1,0 +1,100 @@
+//! The simulator-backed limit state: standard-normal points in, transient
+//! responses out, batched over the ensemble engine.
+
+use crate::error::ReliabilityError;
+use crate::limit_state::LimitState;
+use etherm_core::{run_ensemble, CompiledModel, EnsembleOptions, Scenario, SolveCounters};
+use etherm_uq::Distribution;
+use std::sync::Arc;
+
+/// A [`LimitState`] over a compiled model: each standard-normal point is
+/// pushed through the per-marginal transforms
+/// (`Distribution::from_std_normal`), the resulting physical samples are
+/// evaluated by [`run_ensemble`] (one warm-capable session per worker,
+/// deterministic sample-order merge), and **output index 0 of the
+/// scenario's QoI vector is the response** — the convention
+/// `etherm_package::FailureScenario` implements with its early-exited peak
+/// temperature.
+///
+/// Because the ensemble merge is sample-ordered and exact-mode sessions are
+/// bit-identical to fresh solvers, estimates built on this state are
+/// bit-deterministic for any `EnsembleOptions::n_threads`.
+pub struct EnsembleLimitState<'a, S: Scenario> {
+    compiled: &'a Arc<CompiledModel>,
+    scenario: &'a S,
+    marginals: Vec<Box<dyn Distribution>>,
+    threshold: f64,
+    options: EnsembleOptions,
+    counters: SolveCounters,
+    batches: usize,
+}
+
+impl<'a, S: Scenario> EnsembleLimitState<'a, S> {
+    /// Binds a compiled model, a scenario and the standard-normal marginal
+    /// transforms (`marginals.len()` = limit-state dimension = scenario
+    /// sample length).
+    pub fn new(
+        compiled: &'a Arc<CompiledModel>,
+        scenario: &'a S,
+        marginals: Vec<Box<dyn Distribution>>,
+        threshold: f64,
+        options: EnsembleOptions,
+    ) -> Self {
+        EnsembleLimitState {
+            compiled,
+            scenario,
+            marginals,
+            threshold,
+            options,
+            counters: SolveCounters::default(),
+            batches: 0,
+        }
+    }
+
+    /// Solve counters merged over every batch evaluated so far — the
+    /// "transient solves actually paid" ledger of the benchmark.
+    pub fn counters(&self) -> SolveCounters {
+        self.counters
+    }
+
+    /// Number of batches evaluated.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+}
+
+impl<S: Scenario> LimitState for EnsembleLimitState<'_, S> {
+    fn dim(&self) -> usize {
+        self.marginals.len()
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn evaluate(&mut self, points: &[Vec<f64>]) -> Result<Vec<f64>, ReliabilityError> {
+        let d = self.marginals.len();
+        let samples: Vec<Vec<f64>> = points
+            .iter()
+            .map(|u| {
+                assert_eq!(u.len(), d, "point dimension mismatch");
+                u.iter()
+                    .zip(&self.marginals)
+                    .map(|(&z, m)| m.from_std_normal(z))
+                    .collect()
+            })
+            .collect();
+        let result = run_ensemble(self.compiled, self.scenario, &samples, &self.options)?;
+        self.counters.merge(&result.counters);
+        self.batches += 1;
+        result
+            .outputs
+            .iter()
+            .map(|qoi| {
+                qoi.first().copied().ok_or_else(|| {
+                    ReliabilityError::Evaluation("scenario returned an empty QoI vector".into())
+                })
+            })
+            .collect()
+    }
+}

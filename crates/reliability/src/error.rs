@@ -1,0 +1,64 @@
+//! Error type of the reliability engine.
+
+use etherm_core::CoreError;
+use std::fmt;
+
+/// Errors from failure-probability estimation or the fusing-current search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReliabilityError {
+    /// Inconsistent estimator or search options.
+    InvalidOptions(String),
+    /// The underlying transient solver failed.
+    Core(CoreError),
+    /// A limit-state evaluation produced unusable output (wrong length,
+    /// non-finite response where one was required).
+    Evaluation(String),
+    /// Subset simulation exhausted its level budget without reaching the
+    /// failure threshold (the event is rarer than `p0^max_levels`).
+    NotConverged(String),
+}
+
+impl fmt::Display for ReliabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReliabilityError::InvalidOptions(msg) => write!(f, "invalid options: {msg}"),
+            ReliabilityError::Core(e) => write!(f, "solver error: {e}"),
+            ReliabilityError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
+            ReliabilityError::NotConverged(msg) => write!(f, "not converged: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ReliabilityError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReliabilityError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ReliabilityError {
+    fn from(e: CoreError) -> Self {
+        ReliabilityError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ReliabilityError::InvalidOptions("p0".into());
+        assert!(e.to_string().contains("p0"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = ReliabilityError::from(CoreError::InvalidModel("m".into()));
+        assert!(e.to_string().contains('m'));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ReliabilityError::Evaluation("len".into());
+        assert!(e.to_string().contains("len"));
+        let e = ReliabilityError::NotConverged("levels".into());
+        assert!(e.to_string().contains("levels"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Fusing-current search: the largest drive the package survives.
+//!
+//! The classical wire-sizing rules (Preece's steady rule of thumb,
+//! Onderdonk's adiabatic limit — `etherm_bondwire::analytic`) bound the
+//! *melting* current of an isolated wire. The field-coupled analogue asked
+//! by the paper is subtler: at which drive level does the hottest wire of
+//! the *package* (with its real pad cooling and mold coupling) first reach
+//! the degradation threshold? [`find_critical_load`] answers it by
+//! bisection on the session's drive scale, reusing one warm session across
+//! the bracketing transients — every failing probe early-exits at its
+//! threshold crossing, so the upper half of the bracket costs a fraction
+//! of a full run.
+
+use crate::error::ReliabilityError;
+use etherm_core::{Session, ThresholdObserver};
+
+/// Controls of [`find_critical_load`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusingSearchOptions {
+    /// Transient horizon (s) a probe must survive.
+    pub t_end: f64,
+    /// Implicit-Euler steps of a probe.
+    pub n_steps: usize,
+    /// Failure threshold on `maxⱼ T_bw,j` (K) — the paper's
+    /// `T_critical = 523 K` for mold degradation.
+    pub threshold: f64,
+    /// Lower end of the drive-scale bracket (expected safe).
+    pub scale_lo: f64,
+    /// Upper end of the drive-scale bracket (expected failing).
+    pub scale_hi: f64,
+    /// Relative bracket-width target: bisection stops when
+    /// `hi − lo ≤ tol_rel·hi`.
+    pub tol_rel: f64,
+    /// Iteration cap of the bisection.
+    pub max_iter: usize,
+}
+
+impl Default for FusingSearchOptions {
+    fn default() -> Self {
+        FusingSearchOptions {
+            t_end: 50.0,
+            n_steps: 50,
+            threshold: 523.0,
+            scale_lo: 1.0,
+            scale_hi: 32.0,
+            tol_rel: 1e-2,
+            max_iter: 40,
+        }
+    }
+}
+
+/// Result of the fusing-current search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalLoad {
+    /// Largest drive scale observed safe (0 when even `scale_lo` fails,
+    /// `scale_hi` when nothing in the bracket fails).
+    pub scale: f64,
+    /// Final `(safe, failing)` bracket; degenerate when the search
+    /// saturated at an end.
+    pub bracket: (f64, f64),
+    /// Transient probes run.
+    pub runs: usize,
+    /// Probes that early-exited at a threshold crossing.
+    pub early_exits: usize,
+    /// Crossing time (s) of the last failing probe, if any — how quickly an
+    /// overload at the failing end of the bracket kills the package.
+    pub failing_crossing_time: Option<f64>,
+}
+
+/// Finds the critical drive scale of the session's model by bisection (see
+/// the module docs). The session's wire lengths (and any other applied
+/// parameters) are honored; warm-start mode is enabled for the duration so
+/// consecutive probes share preconditioners and thermal guesses. On return
+/// the session's drive scale is left at the reported safe `scale` and warm
+/// mode is switched back off; on error the entering drive scale is
+/// restored instead.
+///
+/// # Errors
+///
+/// Returns [`ReliabilityError::InvalidOptions`] for an inconsistent
+/// bracket/tolerance; solver failures propagate.
+pub fn find_critical_load(
+    session: &mut Session,
+    options: &FusingSearchOptions,
+) -> Result<CriticalLoad, ReliabilityError> {
+    let valid = options.t_end > 0.0
+        && options.n_steps > 0
+        && options.threshold.is_finite()
+        && options.scale_lo >= 0.0
+        && options.scale_hi > options.scale_lo
+        && options.scale_hi.is_finite()
+        && options.tol_rel > 0.0
+        && options.max_iter > 0;
+    if !valid {
+        return Err(ReliabilityError::InvalidOptions(format!(
+            "inconsistent fusing search options: {options:?}"
+        )));
+    }
+    let original_scale = session.drive_scale();
+    session.set_warm_start(true);
+    let result = bisect(session, options);
+    session.set_warm_start(false);
+    if result.is_err() {
+        // A solver failure mid-bisection must not leave the caller's
+        // session at the failing probe's overload (the scale was valid
+        // before, so restoring it cannot fail).
+        let _ = session.set_drive_scale(original_scale);
+    }
+    result
+}
+
+fn bisect(
+    session: &mut Session,
+    options: &FusingSearchOptions,
+) -> Result<CriticalLoad, ReliabilityError> {
+    let mut runs = 0usize;
+    let mut early_exits = 0usize;
+    let mut failing_crossing_time = None;
+    let probe = |session: &mut Session,
+                     scale: f64,
+                     runs: &mut usize,
+                     early_exits: &mut usize,
+                     crossing: &mut Option<f64>|
+     -> Result<bool, ReliabilityError> {
+        session.set_drive_scale(scale)?;
+        let mut observer = ThresholdObserver::new(options.threshold);
+        let observed = session.run_transient_observed(
+            options.t_end,
+            options.n_steps,
+            &[],
+            &mut observer,
+        )?;
+        *runs += 1;
+        if observed.stopped_early {
+            *early_exits += 1;
+        }
+        if let Some(t) = observed.crossing_time {
+            *crossing = Some(t);
+        }
+        Ok(observed.crossing_time.is_some())
+    };
+
+    // Bracket ends.
+    if probe(
+        session,
+        options.scale_lo,
+        &mut runs,
+        &mut early_exits,
+        &mut failing_crossing_time,
+    )? {
+        // Already failing at the low end: nothing in the bracket is safe.
+        session.set_drive_scale(0.0)?;
+        return Ok(CriticalLoad {
+            scale: 0.0,
+            bracket: (0.0, options.scale_lo),
+            runs,
+            early_exits,
+            failing_crossing_time,
+        });
+    }
+    if !probe(
+        session,
+        options.scale_hi,
+        &mut runs,
+        &mut early_exits,
+        &mut failing_crossing_time,
+    )? {
+        // Safe everywhere in the bracket.
+        session.set_drive_scale(options.scale_hi)?;
+        return Ok(CriticalLoad {
+            scale: options.scale_hi,
+            bracket: (options.scale_hi, options.scale_hi),
+            runs,
+            early_exits,
+            failing_crossing_time,
+        });
+    }
+
+    let (mut lo, mut hi) = (options.scale_lo, options.scale_hi);
+    for _ in 0..options.max_iter {
+        if hi - lo <= options.tol_rel * hi {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        if probe(
+            session,
+            mid,
+            &mut runs,
+            &mut early_exits,
+            &mut failing_crossing_time,
+        )? {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    session.set_drive_scale(lo)?;
+    Ok(CriticalLoad {
+        scale: lo,
+        bracket: (lo, hi),
+        runs,
+        early_exits,
+        failing_crossing_time,
+    })
+}

@@ -1,0 +1,42 @@
+//! Rare-event reliability engine: failure probabilities for the coupled
+//! electrothermal package under uncertain wire geometry.
+//!
+//! The source paper frames bonding-wire degradation as a threshold
+//! question — does `max_t maxⱼ T_bw,j(t)` reach `T_critical = 523 K`, and
+//! with what probability under the measured elongation scatter (a 6σ
+//! framing, i.e. failure probabilities far below what brute-force Monte
+//! Carlo over full transients can resolve)? This crate answers it with a
+//! dedicated estimator stack over the compile-once/run-many session
+//! machinery of `etherm_core`:
+//!
+//! * [`LimitState`] / [`FailureEstimator`] — the estimator interface in
+//!   standard-normal space (per-marginal isoprobabilistic transforms from
+//!   `etherm_uq::Distribution::from_std_normal`),
+//! * [`SubsetSimulation`] — Au–Beck subset simulation: adaptive threshold
+//!   ladder, modified-Metropolis conditional chains, Au–Beck CoV with
+//!   chain-correlation factors; seeded and bit-deterministic for any
+//!   worker count,
+//! * [`MonteCarloEstimator`] / [`ImportanceSamplingEstimator`] — the
+//!   direct-sampling baselines behind the same trait,
+//! * [`EnsembleLimitState`] — the simulator binding: batches fan out over
+//!   `etherm_core::run_ensemble` worker sessions whose transients
+//!   early-exit the moment the limit state is decided
+//!   (`Session::run_transient_observed` + `ThresholdObserver`),
+//! * [`find_critical_load`] — fusing-current search: bisection on the
+//!   session drive scale for the largest load the package survives,
+//!   cross-checkable against the Preece/Onderdonk rules in
+//!   `etherm_bondwire::analytic`.
+
+mod ensemble_state;
+mod error;
+mod fusing;
+mod limit_state;
+mod montecarlo;
+mod subset;
+
+pub use ensemble_state::EnsembleLimitState;
+pub use error::ReliabilityError;
+pub use fusing::{find_critical_load, CriticalLoad, FusingSearchOptions};
+pub use limit_state::{FailureEstimate, FailureEstimator, LevelStats, LimitState};
+pub use montecarlo::{ImportanceSamplingEstimator, MonteCarloEstimator};
+pub use subset::SubsetSimulation;

@@ -1,0 +1,295 @@
+//! End-to-end tests of the reliability engine over the real coupled
+//! solver: thread-count bit-determinism, estimator cross-agreement, the
+//! early-exit cost advantage, and the fusing-current search with its
+//! analytic sanity bounds.
+
+use etherm_bondwire::analytic::{
+    allowable_current, onderdonk_fusing_current, preece_fusing_current,
+};
+use etherm_core::{
+    run_ensemble, CompiledModel, CoreError, ElectrothermalModel, EnsembleOptions, Scenario,
+    Session, SolverOptions, ThresholdObserver,
+};
+use etherm_fit::boundary::ThermalBoundary;
+use etherm_grid::{Axis, CellPaint, Grid3, MaterialId};
+use etherm_materials::{library, MaterialTable};
+use etherm_reliability::{
+    find_critical_load, EnsembleLimitState, FailureEstimator, FusingSearchOptions,
+    MonteCarloEstimator, SubsetSimulation,
+};
+use etherm_uq::{Distribution, TruncatedNormal};
+use std::sync::Arc;
+
+const WIRE_DIAMETER: f64 = 25.4e-6;
+
+/// A driven epoxy block with one bond wire; wire length is the uncertain
+/// parameter. The drive is a fixed voltage across the wire's attachment
+/// nodes, so a *shorter* wire (lower resistance, `P = V²/R`) runs hotter —
+/// the failure tail sits at short lengths.
+fn wire_model() -> ElectrothermalModel {
+    let grid = Grid3::new(
+        Axis::uniform(0.0, 2e-3, 4).unwrap(),
+        Axis::uniform(0.0, 1e-3, 2).unwrap(),
+        Axis::uniform(0.0, 0.5e-3, 1).unwrap(),
+    );
+    let paint = CellPaint::new(&grid, MaterialId(0));
+    let mut materials = MaterialTable::new();
+    materials.add(library::epoxy_resin());
+    let mut model = ElectrothermalModel::new(grid, paint, materials).unwrap();
+    let wire =
+        etherm_bondwire::BondWire::new("w", 1.5e-3, WIRE_DIAMETER, library::copper()).unwrap();
+    model
+        .add_wire(wire, (0.0, 0.5e-3, 0.5e-3), (2e-3, 0.5e-3, 0.5e-3))
+        .unwrap();
+    let a = model.wires()[0].node_a;
+    let b = model.wires()[0].node_b;
+    model.set_electric_potential(&[a], 0.02);
+    model.set_electric_potential(&[b], -0.02);
+    model.set_thermal_boundary(ThermalBoundary::convective(25.0, 300.0));
+    model
+}
+
+fn compiled() -> Arc<CompiledModel> {
+    Arc::new(CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap())
+}
+
+/// Scenario: sample = [wire length (m)]; QoI 0 = early-exited peak
+/// `max_t T_bw` against `threshold`.
+struct LengthScenario {
+    t_end: f64,
+    n_steps: usize,
+    threshold: f64,
+}
+
+impl Scenario for LengthScenario {
+    fn apply(&self, session: &mut Session, sample: &[f64]) -> Result<(), CoreError> {
+        session.set_wire_length(0, sample[0])
+    }
+    fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError> {
+        let mut observer = ThresholdObserver::new(self.threshold);
+        let observed =
+            session.run_transient_observed(self.t_end, self.n_steps, &[], &mut observer)?;
+        Ok(vec![
+            observer.peak(),
+            (observed.steps_executed + observed.bisection_steps) as f64,
+        ])
+    }
+}
+
+fn length_marginal() -> TruncatedNormal {
+    // ~N(1.5 mm, 0.06 mm) truncated well inside the block span.
+    TruncatedNormal::new(1.5e-3, 0.06e-3, 1.2e-3, 1.9e-3).unwrap()
+}
+
+/// A threshold in the upper response tail of the length scatter, giving a
+/// moderate failure probability the 400-sample MC reference can still see.
+fn scenario(threshold: f64) -> LengthScenario {
+    LengthScenario {
+        t_end: 2.0,
+        n_steps: 4,
+        threshold,
+    }
+}
+
+#[test]
+fn subset_estimate_is_bit_deterministic_for_any_thread_count() {
+    let compiled = compiled();
+    let threshold = find_tail_threshold(&compiled);
+    let scn = scenario(threshold);
+    let estimate = |n_threads: usize| {
+        let mut ls = EnsembleLimitState::new(
+            &compiled,
+            &scn,
+            vec![Box::new(length_marginal()) as Box<dyn Distribution>],
+            threshold,
+            EnsembleOptions {
+                n_threads,
+                ..EnsembleOptions::default()
+            },
+        );
+        SubsetSimulation::new(64, 2016).estimate(&mut ls).unwrap()
+    };
+    let serial = estimate(1);
+    assert!(serial.probability > 0.0 && serial.probability < 1.0);
+    assert!(serial.levels.len() >= 2, "calibration should need a ladder");
+    for n_threads in [2, 3] {
+        let par = estimate(n_threads);
+        // Debug formatting is value-exact for f64 (shortest roundtrip) and
+        // NaN-tolerant, unlike PartialEq on NaN diagnostics fields.
+        assert_eq!(
+            format!("{par:?}"),
+            format!("{serial:?}"),
+            "subset estimate must be bit-identical at {n_threads} threads"
+        );
+    }
+}
+
+/// Calibrates a threshold with P(Y ≥ threshold) in a convenient band by
+/// probing the response at a high quantile of the length scatter.
+fn find_tail_threshold(compiled: &Arc<CompiledModel>) -> f64 {
+    let marginal = length_marginal();
+    // Response at the ~5th percentile length (short = hot) → p ≈ 5 %.
+    let short = marginal.quantile(0.05);
+    let scn = scenario(f64::INFINITY);
+    let r = run_ensemble(
+        compiled,
+        &scn,
+        &[vec![short]],
+        &EnsembleOptions::default(),
+    )
+    .unwrap();
+    r.outputs[0][0]
+}
+
+#[test]
+fn subset_agrees_with_monte_carlo_and_exits_early() {
+    let compiled = compiled();
+    let threshold = find_tail_threshold(&compiled);
+    let scn = scenario(threshold);
+    let marginals = || vec![Box::new(length_marginal()) as Box<dyn Distribution>];
+
+    let mut mc_state = EnsembleLimitState::new(
+        &compiled,
+        &scn,
+        marginals(),
+        threshold,
+        EnsembleOptions::default(),
+    );
+    let mc = MonteCarloEstimator::new(400, 7).estimate(&mut mc_state).unwrap();
+    assert!(mc.probability > 0.0, "threshold calibration failed");
+
+    let mut ss_state = EnsembleLimitState::new(
+        &compiled,
+        &scn,
+        marginals(),
+        threshold,
+        EnsembleOptions::default(),
+    );
+    let ss = SubsetSimulation::new(80, 2016).estimate(&mut ss_state).unwrap();
+    assert!(
+        ss.agrees_with(&mc, 3.0),
+        "subset {} (cov {}) vs MC {} (cov {})",
+        ss.probability,
+        ss.cov,
+        mc.probability,
+        mc.cov
+    );
+    // The engine actually went through the ensemble machinery, batch by
+    // batch. (The early-exit solve-count advantage is gated at paper step
+    // counts in `bench_failure` — at 4 steps the crossing bisection
+    // overhead dominates what an early exit saves.)
+    assert!(ss_state.batches() > 1);
+    assert!(ss_state.counters().thermal_solves > 0);
+}
+
+#[test]
+fn fusing_current_search_brackets_and_cross_checks_with_analytic_rules() {
+    let compiled = compiled();
+    let mut session = Session::new(Arc::clone(&compiled));
+    let options = FusingSearchOptions {
+        t_end: 2.0,
+        n_steps: 4,
+        threshold: 360.0,
+        scale_lo: 0.25,
+        scale_hi: 16.0,
+        tol_rel: 2e-2,
+        max_iter: 30,
+    };
+    let critical = find_critical_load(&mut session, &options).unwrap();
+    assert!(
+        critical.scale > options.scale_lo && critical.scale < options.scale_hi,
+        "critical scale {} not interior to the bracket",
+        critical.scale
+    );
+    assert!(critical.bracket.1 - critical.bracket.0 <= options.tol_rel * critical.bracket.1);
+    assert!(critical.runs >= 4);
+    assert!(critical.early_exits > 0, "failing probes must early-exit");
+    assert!(critical.failing_crossing_time.is_some());
+    // The session is left at the safe scale.
+    assert_eq!(session.drive_scale(), critical.scale);
+
+    // Verify the bracket physically: safe at the returned scale, failing
+    // just above the failing end.
+    let peak_at = |session: &mut Session, scale: f64| -> f64 {
+        session.set_drive_scale(scale).unwrap();
+        session.reset();
+        let sol = session.run_transient(2.0, 4, &[]).unwrap();
+        sol.max_wire_series()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    assert!(peak_at(&mut session, critical.scale) < 360.0);
+    assert!(peak_at(&mut session, critical.bracket.1 * 1.05) >= 360.0);
+
+    // Cross-check against `etherm_bondwire::analytic`. (1) The adiabatic
+    // Onderdonk melt current over the transient horizon is a hard upper
+    // bound: degradation at 360 K must trip long before copper melt.
+    // (2) The steady 1-D fin model with ambient pads and an insulated
+    // mantle is the textbook analogue of this epoxy-embedded wire; the
+    // field-coupled search must land in its neighborhood (the field model
+    // runs hotter because its attachment nodes heat up, so its limit is
+    // lower — but the same order of magnitude).
+    session.set_drive_scale(critical.scale).unwrap();
+    session.reset();
+    let sol = session.run_transient(2.0, 4, &[]).unwrap();
+    let p_wire = *sol.wire_powers[0].last().unwrap();
+    let t_wire = *sol.wire_series(0).last().unwrap();
+    let wire = &compiled.model().wires()[0].wire;
+    let r_wire = wire.resistance(t_wire);
+    let i_critical = (p_wire / r_wire).sqrt();
+    let area = std::f64::consts::PI / 4.0 * WIRE_DIAMETER * WIRE_DIAMETER;
+    let i_onderdonk = onderdonk_fusing_current(area, 2.0, 300.0);
+    assert!(
+        i_critical > 0.0 && i_critical < i_onderdonk,
+        "degradation current {i_critical} A must undercut Onderdonk melt {i_onderdonk} A"
+    );
+    let i_fin = allowable_current(wire, 300.0, 300.0, 0.0, 360.0, 5.0);
+    assert!(
+        i_critical > i_fin / 3.0 && i_critical < i_fin * 3.0,
+        "field-coupled limit {i_critical} A should be the fin model's order ({i_fin} A)"
+    );
+    assert!(
+        i_critical < i_fin,
+        "coupled package (heated pads) must allow less than ambient-pad fin: \
+         {i_critical} vs {i_fin}"
+    );
+    // Preece's steady free-air rule is a diameter-only rule of thumb; just
+    // pin its magnitude so the cross-check stays anchored.
+    let i_preece = preece_fusing_current(WIRE_DIAMETER);
+    assert!(i_preece > 0.2 && i_preece < 0.5);
+}
+
+#[test]
+fn fusing_search_saturates_and_rejects_bad_brackets() {
+    let compiled = compiled();
+    let mut session = Session::new(Arc::clone(&compiled));
+    let base = FusingSearchOptions {
+        t_end: 2.0,
+        n_steps: 4,
+        threshold: 360.0,
+        scale_lo: 0.1,
+        scale_hi: 0.2,
+        tol_rel: 1e-2,
+        max_iter: 20,
+    };
+    // Entire bracket safe.
+    let safe = find_critical_load(&mut session, &base).unwrap();
+    assert_eq!(safe.scale, 0.2);
+    assert_eq!(safe.bracket, (0.2, 0.2));
+    // Entire bracket failing.
+    let all_fail = FusingSearchOptions {
+        scale_lo: 20.0,
+        scale_hi: 40.0,
+        ..base.clone()
+    };
+    let failing = find_critical_load(&mut session, &all_fail).unwrap();
+    assert_eq!(failing.scale, 0.0);
+    assert!(failing.failing_crossing_time.is_some());
+    // Bad options.
+    let bad = FusingSearchOptions {
+        scale_hi: 0.05,
+        ..base
+    };
+    assert!(find_critical_load(&mut session, &bad).is_err());
+}

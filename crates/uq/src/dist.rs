@@ -21,6 +21,25 @@ pub trait Distribution {
 
     /// Standard deviation of the distribution.
     fn std_dev(&self) -> f64;
+
+    /// Isoprobabilistic transform from standard-normal space:
+    /// `x = F⁻¹(Φ(z))`. This is the per-marginal map the rare-event
+    /// reliability engine samples in — subset simulation runs its Markov
+    /// chains on `z` and pushes each state through this transform before
+    /// the model evaluation. The default goes through [`Distribution::cdf`]
+    /// / [`Distribution::quantile`]; distributions with a closed form
+    /// (e.g. [`Normal`]) override it exactly.
+    // Not a constructor: `from` here is the transform's domain, symmetric
+    // with `to_std_normal`.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_std_normal(&self, z: f64) -> f64 {
+        self.quantile(normal_cdf(z).clamp(f64::MIN_POSITIVE, 1.0 - 1e-16))
+    }
+
+    /// Inverse of [`Distribution::from_std_normal`]: `z = Φ⁻¹(F(x))`.
+    fn to_std_normal(&self, x: f64) -> f64 {
+        normal_quantile(self.cdf(x).clamp(f64::MIN_POSITIVE, 1.0 - 1e-16))
+    }
 }
 
 /// Normal distribution `N(µ, σ²)`.
@@ -70,6 +89,15 @@ impl Normal {
 impl Distribution for Normal {
     fn quantile(&self, u: f64) -> f64 {
         self.mu + self.sigma * normal_quantile(u)
+    }
+
+    #[allow(clippy::wrong_self_convention)]
+    fn from_std_normal(&self, z: f64) -> f64 {
+        self.mu + self.sigma * z
+    }
+
+    fn to_std_normal(&self, x: f64) -> f64 {
+        (x - self.mu) / self.sigma
     }
 
     fn pdf(&self, x: f64) -> f64 {
@@ -357,6 +385,41 @@ mod tests {
         assert!(t.std_dev() < 1.0);
         assert!(TruncatedNormal::new(0.0, 1.0, 2.0, 1.0).is_err());
         assert!(TruncatedNormal::new(0.0, 1.0, 50.0, 60.0).is_err());
+    }
+
+    #[test]
+    fn std_normal_transform_roundtrips_and_matches_closed_form() {
+        // Normal: exact affine map.
+        let n = Normal::new(0.17, 0.048).unwrap();
+        assert_eq!(n.from_std_normal(0.0), 0.17);
+        assert_eq!(n.from_std_normal(2.0), 0.17 + 2.0 * 0.048);
+        assert_eq!(n.to_std_normal(0.17 - 0.048), -1.0);
+        // Generic (default) path on the truncated normal and lognormal:
+        // roundtrip and monotonicity.
+        let t = TruncatedNormal::new(0.17, 0.048, 0.0, 0.5).unwrap();
+        let ln = LogNormal::new(0.0, 0.5).unwrap();
+        // Roundtrip in the body of the distribution (deep truncated tails
+        // lose digits to CDF cancellation, by construction).
+        for z in [-2.0, -0.3, 0.0, 1.0, 2.0] {
+            let x = t.from_std_normal(z);
+            assert!((0.0..=0.5).contains(&x));
+            assert!((t.to_std_normal(x) - z).abs() < 1e-6, "z = {z}");
+            let y = ln.from_std_normal(z);
+            assert!((ln.to_std_normal(y) - z).abs() < 1e-6, "z = {z}");
+        }
+        // Tails stay inside the support and monotone.
+        for z in [-6.0, -4.0, 4.0, 6.0] {
+            let x = t.from_std_normal(z);
+            assert!((0.0..=0.5).contains(&x), "z = {z} -> {x}");
+        }
+        assert!(t.from_std_normal(-6.0) < t.from_std_normal(-4.0));
+        assert!(t.from_std_normal(4.0) < t.from_std_normal(6.0));
+        // Median maps to the median.
+        assert!((t.from_std_normal(0.0) - t.quantile(0.5)).abs() < 1e-12);
+        // Deep tails stay finite (the engine may wander past ±8).
+        assert!(t.from_std_normal(-40.0).is_finite());
+        assert!(t.from_std_normal(40.0).is_finite());
+        assert!(ln.from_std_normal(-40.0) >= 0.0);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | [`core`] | coupled transient field–circuit solver and quantities of interest |
 //! | [`uq`] | distributions, (quasi-)Monte Carlo, polynomial chaos, Sobol' indices, variance reduction |
 //! | [`package`] | the paper's 28-pad/12-wire chip package + synthetic X-ray metrology |
+//! | [`reliability`] | rare-event failure probabilities: subset simulation, importance sampling, fusing-current search |
 //! | [`report`] | ASCII + SVG charts/tables/heat maps and CSV export |
 
 pub use etherm_bondwire as bondwire;
@@ -25,5 +26,6 @@ pub use etherm_grid as grid;
 pub use etherm_materials as materials;
 pub use etherm_numerics as numerics;
 pub use etherm_package as package;
+pub use etherm_reliability as reliability;
 pub use etherm_report as report;
 pub use etherm_uq as uq;
