@@ -5,6 +5,8 @@
 //! argument parser (no CLI dependencies) and the package/Monte Carlo
 //! plumbing every experiment shares.
 
+#![forbid(unsafe_code)]
+
 use etherm_core::{Simulator, SolveCounters, SolverOptions, TransientSolution};
 use etherm_package::{build_model, BuildOptions, BuiltPackage, PackageGeometry};
 use etherm_uq::dist::Distribution;

@@ -17,6 +17,8 @@
 //!   (`T_crit = 523 K`), threshold-crossing detection and an Arrhenius
 //!   damage-accumulation extension.
 
+#![forbid(unsafe_code)]
+
 pub mod analytic;
 pub mod degradation;
 pub mod stamp;

@@ -32,6 +32,8 @@
 //! * [`qoi`] — quantities of interest: per-wire temperatures `T_bw = XᵀT`,
 //!   the hottest-wire envelope of Fig. 7, field slices for Fig. 8.
 
+#![forbid(unsafe_code)]
+
 mod adaptive;
 mod assembly;
 mod compiled;

@@ -20,6 +20,8 @@
 //!   "straightforward"): displacement currents via `Mε`, implicit-Euler
 //!   charge-relaxation transients, and the stationary limit.
 
+#![forbid(unsafe_code)]
+
 pub mod boundary;
 pub mod dofmap;
 pub mod eqs;

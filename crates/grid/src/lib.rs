@@ -20,6 +20,8 @@
 //! * [`builder::GridBuilder`] — mesh generation from "key planes" (material
 //!   interfaces) plus a target spacing.
 
+#![forbid(unsafe_code)]
+
 pub mod axis;
 pub mod builder;
 pub mod grid;

@@ -1,0 +1,7 @@
+//! Failing fixture workspace for the `forbid-unsafe` rule: no unsafe
+//! anywhere in the crate, but the root does not declare
+//! `#![forbid(unsafe_code)]`. Expected finding: this file, line 1.
+
+pub fn answer() -> u32 {
+    42
+}

@@ -1,0 +1,8 @@
+//! Passing fixture workspace for the `forbid-unsafe` rule: an unsafe-free
+//! crate whose root declares the attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

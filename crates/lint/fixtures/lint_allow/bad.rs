@@ -1,0 +1,11 @@
+//! Failing fixture for the `lint-allow` meta rule. Expected findings:
+//! `lint-allow` at lines 5 and 8, plus the `wall-clock` findings the
+//! malformed annotations fail to suppress at lines 5, 9 and 10.
+
+use std::time::Instant; // lint:allow(wall-clock):
+
+// A typo in the rule name must not silently waive anything.
+// lint:allow(wallclock): the rule name is misspelled here
+pub fn stamp() -> Instant {
+    Instant::now()
+}

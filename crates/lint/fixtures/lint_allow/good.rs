@@ -1,0 +1,12 @@
+//! Passing fixture for the `lint-allow` meta rule: a well-formed escape
+//! hatch names a known rule, justifies itself after a colon, and sits on
+//! the offending line or the line directly above it. Expected: zero
+//! findings, three recorded suppressions.
+
+use std::time::Instant; // lint:allow(wall-clock): build-log stamp only, never read by physics
+
+// lint:allow(wall-clock): coarse progress display in an interactive shell
+pub fn progress_stamp() -> Instant {
+    // lint:allow(wall-clock): coarse progress display in an interactive shell
+    Instant::now()
+}

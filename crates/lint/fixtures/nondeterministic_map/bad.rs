@@ -1,0 +1,18 @@
+//! Failing fixture for the `nondeterministic-map` rule. Expected findings:
+//! lines 4, 6, 7, 14 and 15 (kept stable — the fixture test asserts them).
+
+use std::collections::HashMap;
+
+pub fn histogram(values: &[u64]) -> HashMap<u64, usize> {
+    let mut out = HashMap::new();
+    for v in values {
+        *out.entry(*v).or_insert(0) += 1;
+    }
+    out
+}
+
+pub fn uses_entry_api(m: &mut HashMap<u64, u64>) {
+    if let std::collections::hash_map::Entry::Vacant(e) = m.entry(7) {
+        e.insert(0);
+    }
+}

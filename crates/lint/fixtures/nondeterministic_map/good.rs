@@ -1,0 +1,34 @@
+//! Passing fixture for the `nondeterministic-map` rule: ordered
+//! collections in shipped code, hash collections only where justified or
+//! in test modules.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn count_words(words: &[&str]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for w in words {
+        *counts.entry(w.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn distinct(values: &[u64]) -> BTreeSet<u64> {
+    values.iter().copied().collect()
+}
+
+// lint:allow(nondeterministic-map): membership queries only, never iterated
+pub fn seen_before(history: &std::collections::HashSet<u64>, v: u64) -> bool {
+    history.contains(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_use_hash_maps() {
+        let mut m = HashMap::new();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! Failing fixture for the `safety-comment` rule. Expected findings:
+//! lines 7, 12 and 21 (kept stable — the fixture test asserts them).
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // A comment that is not a justification does not count.
+    // This dereference is probably fine.
+    unsafe { *p }
+}
+
+// SAFETY: stale justification separated by a blank line — does not attach.
+
+unsafe fn detached(p: *const u8) -> u8 {
+    *p
+}
+
+struct Wrapper(*mut u8);
+
+// An ordinary doc line, not a SAFETY justification.
+impl Wrapper {
+    pub fn get(&self) -> u8 {
+        unsafe { *self.0 }
+    }
+}

@@ -1,0 +1,34 @@
+//! Passing fixture for the `safety-comment` rule: every `unsafe` carries a
+//! justification, either on the same line or in the comment block directly
+//! above (attributes in between are fine).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+struct Forwarder;
+
+// SAFETY: a pure pass-through to `System`, which upholds the GlobalAlloc
+// contract; no behavior is added.
+unsafe impl GlobalAlloc for Forwarder {
+    // SAFETY: delegates to `System.alloc` under the caller's obligations.
+    #[inline]
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        System.alloc(layout)
+    }
+
+    // SAFETY: delegates to `System.dealloc`; the caller guarantees `ptr`
+    // came from this allocator with this layout.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+pub fn first_byte(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    unsafe { *v.as_ptr() } // SAFETY: the assert above proves index 0 is in bounds.
+}
+
+/// Mentions of unsafe in prose, "unsafe in strings", and `unsafe_code` in
+/// attributes must not require justifications.
+pub fn prose() -> &'static str {
+    "unsafe"
+}

@@ -1,0 +1,16 @@
+//! Failing fixture for the `unseeded-rng` rule. Expected findings:
+//! lines 5, 10 and 15 (kept stable — the fixture test asserts them).
+
+pub fn roll() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}
+
+pub fn fresh_generator() -> rand::rngs::StdRng {
+    rand::rngs::StdRng::from_entropy()
+}
+
+pub fn convenience() -> u8 {
+    // The one-shot convenience draws OS entropy too.
+    rand::random::<u8>()
+}

@@ -1,0 +1,16 @@
+//! Passing fixture for the `unseeded-rng` rule: every generator is
+//! constructed from an explicit seed, so any run can be replayed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn substream(seed: u64, level: u64, chain: u64) -> StdRng {
+    // Keyed substreams: deterministic for any worker count.
+    StdRng::seed_from_u64(seed ^ (level << 32) ^ chain)
+}
+
+pub fn sample_mean(seed: u64, n: usize) -> f64 {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n.max(1) as f64
+}

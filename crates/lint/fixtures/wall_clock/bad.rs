@@ -1,0 +1,22 @@
+//! Failing fixture for the `wall-clock` rule. Expected findings:
+//! lines 4, 7 and 18 (kept stable — the fixture test asserts them).
+
+use std::time::Instant;
+
+pub fn timed_solve(budget_s: f64) -> usize {
+    let start = Instant::now();
+    let mut iterations = 0;
+    // Wall-clock-shaped iteration counts are exactly the nondeterminism
+    // this rule exists to keep out of physics.
+    while start.elapsed().as_secs_f64() < budget_s {
+        iterations += 1;
+    }
+    iterations
+}
+
+pub fn stamp() -> u64 {
+    match std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,19 @@
+//! Passing fixture for the `wall-clock` rule: durations flow in as data;
+//! nothing reads the clock. ("Instantaneous" in prose and `Instant` inside
+//! strings must not fire either.)
+
+use std::time::Duration;
+
+/// Instantaneous rate given an externally measured elapsed time.
+pub fn rate(events: u64, elapsed: Duration) -> f64 {
+    events as f64 / elapsed.as_secs_f64().max(f64::EPSILON)
+}
+
+pub fn describe() -> &'static str {
+    "timing uses Instant::now only inside crates/bench"
+}
+
+// lint:allow(wall-clock): timestamp is written to a log header and never
+pub fn log_stamp(now_unix_s: u64) -> String {
+    format!("started at {now_unix_s}")
+}

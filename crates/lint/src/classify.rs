@@ -1,0 +1,192 @@
+//! Workspace traversal and file classification.
+//!
+//! The linter's rules have different scopes (shipped library code versus
+//! tests versus the benchmark harness), so every scanned file carries a
+//! [`FileKind`]. Classification is purely path-based and documented in the
+//! README's "Correctness tooling" section; the rules additionally exempt
+//! inline `#[cfg(test)]` regions inside library files.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What kind of code a file holds, from the rules' point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Shipped library code: `src/` trees of every crate except
+    /// `crates/bench`. All rules apply.
+    Library,
+    /// Test code: any `tests/` or `benches/` directory. Determinism rules
+    /// (maps, RNG seeding, wall-clock) do not apply; `SAFETY:` comments are
+    /// still required.
+    Test,
+    /// Example binaries (`examples/`): wall-clock and map rules apply
+    /// (examples document recommended usage); RNG seeding applies too.
+    Example,
+    /// The measurement harness `crates/bench`: the one place wall-clock
+    /// reads and unseeded conveniences are legitimate. Only the `SAFETY:`
+    /// rule applies.
+    BenchCrate,
+}
+
+/// A classified workspace source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+    /// Name of the owning crate directory (`numerics`, `bench`, …;
+    /// the workspace-root facade crate is `etherm`).
+    pub crate_name: String,
+    pub kind: FileKind,
+}
+
+/// Directories under the workspace root that hold first-party Rust code.
+/// `vendor/` (offline stand-ins for third-party crates) and `target/` are
+/// deliberately outside the linter's jurisdiction.
+const ROOT_DIRS: [&str; 4] = ["src", "crates", "tests", "examples"];
+
+/// Collects every first-party `.rs` file under `root`, classified and
+/// sorted by relative path (deterministic diagnostic order).
+pub fn collect_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for dir in ROOT_DIRS {
+        let abs = root.join(dir);
+        if abs.is_dir() {
+            walk(root, &abs, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // `target/` can appear nested during offline builds; `fixtures/`
+            // holds the linter's own deliberately-failing corpus.
+            if name == "target" || name == "fixtures" || name == ".git" {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(classify(rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Classifies one workspace-relative path.
+pub fn classify(rel_path: String, abs_path: PathBuf) -> SourceFile {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        "etherm".to_string()
+    };
+    let kind = if crate_name == "bench" {
+        FileKind::BenchCrate
+    } else if parts.contains(&"tests") || parts.contains(&"benches") {
+        FileKind::Test
+    } else if parts.contains(&"examples") {
+        FileKind::Example
+    } else {
+        FileKind::Library
+    };
+    SourceFile {
+        rel_path,
+        abs_path,
+        crate_name,
+        kind,
+    }
+}
+
+/// Whether this file is a library crate root (`src/lib.rs`) — the place the
+/// `forbid-unsafe` rule inspects.
+pub fn is_crate_root(file: &SourceFile) -> bool {
+    file.rel_path == "src/lib.rs" || file.rel_path.ends_with("/src/lib.rs")
+}
+
+/// Finds the enclosing cargo workspace root: the nearest ancestor of
+/// `start` whose `Cargo.toml` declares a `[workspace]` table.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn class_of(p: &str) -> (String, FileKind) {
+        let f = classify(p.to_string(), PathBuf::from(p));
+        (f.crate_name, f.kind)
+    }
+
+    #[test]
+    fn classification_matrix() {
+        assert_eq!(
+            class_of("crates/numerics/src/sparse/csr.rs"),
+            ("numerics".into(), FileKind::Library)
+        );
+        assert_eq!(
+            class_of("crates/numerics/tests/alloc_free.rs"),
+            ("numerics".into(), FileKind::Test)
+        );
+        assert_eq!(
+            class_of("crates/bench/src/bin/bench_uq.rs"),
+            ("bench".into(), FileKind::BenchCrate)
+        );
+        assert_eq!(
+            class_of("crates/bench/benches/uq_kernels.rs"),
+            ("bench".into(), FileKind::BenchCrate)
+        );
+        assert_eq!(class_of("src/lib.rs"), ("etherm".into(), FileKind::Library));
+        assert_eq!(
+            class_of("tests/paper_pipeline.rs"),
+            ("etherm".into(), FileKind::Test)
+        );
+        assert_eq!(
+            class_of("examples/pce_study.rs"),
+            ("etherm".into(), FileKind::Example)
+        );
+    }
+
+    #[test]
+    fn crate_root_detection() {
+        let lib = classify(
+            "crates/uq/src/lib.rs".into(),
+            PathBuf::from("crates/uq/src/lib.rs"),
+        );
+        let not = classify(
+            "crates/uq/src/pce.rs".into(),
+            PathBuf::from("crates/uq/src/pce.rs"),
+        );
+        let root = classify("src/lib.rs".into(), PathBuf::from("src/lib.rs"));
+        assert!(is_crate_root(&lib));
+        assert!(!is_crate_root(&not));
+        assert!(is_crate_root(&root));
+    }
+}

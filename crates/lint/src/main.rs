@@ -1,0 +1,71 @@
+//! Command-line front end: `cargo run -p etherm_lint [-- ROOT]`.
+//!
+//! Exit codes: 0 — workspace clean; 1 — findings (printed as
+//! `file:line: [rule] message`); 2 — usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match parse_root(&args) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("etherm-lint: {msg}");
+            eprintln!("usage: etherm_lint [WORKSPACE_ROOT]");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match etherm_lint::lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("etherm-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    if !report.suppressions.is_empty() {
+        println!(
+            "etherm-lint: {} lint:allow escape(s) in effect:",
+            report.suppressions.len()
+        );
+        for s in &report.suppressions {
+            println!("  {}:{}: [{}] allowed: {}", s.path, s.line, s.rule, s.reason);
+        }
+    }
+    println!(
+        "etherm-lint: {} file(s) scanned, {} finding(s)",
+        report.files_scanned,
+        report.diagnostics.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    match args {
+        [] => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            etherm_lint::classify::find_workspace_root(&cwd)
+                .ok_or_else(|| "no enclosing cargo workspace found; pass a root path".to_string())
+        }
+        [root] => {
+            let path = PathBuf::from(root);
+            if path.is_dir() {
+                Ok(path)
+            } else {
+                Err(format!("not a directory: {root}"))
+            }
+        }
+        _ => Err("expected at most one argument".to_string()),
+    }
+}

@@ -1,0 +1,88 @@
+//! `forbid-unsafe`: crates without `unsafe` must say so in the type system.
+//!
+//! A crate whose `src/` tree contains no `unsafe` should declare
+//! `#![forbid(unsafe_code)]` at its root, turning "happens to have no
+//! unsafe today" into "cannot gain unsafe without a reviewed attribute
+//! change". This is the only workspace-level rule: it aggregates the
+//! per-file facts collected by [`check_file`](super::check_file) across
+//! each crate's `src/` tree and fires on the crate root (`src/lib.rs`).
+
+use super::FORBID_UNSAFE;
+use crate::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Per-crate facts the rule needs, keyed by crate directory name.
+#[derive(Debug, Default)]
+pub struct CrateFacts {
+    /// Relative path of the crate root (`…/src/lib.rs`), if seen.
+    pub root_path: Option<String>,
+    /// Whether the root declares `#![forbid(unsafe_code)]`.
+    pub root_forbids: bool,
+    /// Whether any file in the crate's `src/` tree contains `unsafe` code
+    /// (including inline `#[cfg(test)]` modules — those compile into the
+    /// same crate, so the attribute governs them too).
+    pub any_unsafe: bool,
+}
+
+/// Emits one diagnostic per unsafe-free crate whose root lacks the
+/// attribute.
+pub fn finalize(crates: &BTreeMap<String, CrateFacts>, out: &mut Vec<Diagnostic>) {
+    for (name, facts) in crates {
+        let Some(root) = &facts.root_path else {
+            continue;
+        };
+        if !facts.any_unsafe && !facts.root_forbids {
+            out.push(Diagnostic {
+                path: root.clone(),
+                line: 1,
+                rule: FORBID_UNSAFE,
+                message: format!(
+                    "crate `{name}` contains no unsafe code but its root does not declare \
+                     `#![forbid(unsafe_code)]`"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(root: &str, forbids: bool, any_unsafe: bool) -> CrateFacts {
+        CrateFacts {
+            root_path: Some(root.to_string()),
+            root_forbids: forbids,
+            any_unsafe,
+        }
+    }
+
+    #[test]
+    fn fires_only_on_unsafe_free_crates_without_the_attribute() {
+        let mut crates = BTreeMap::new();
+        crates.insert("clean".into(), facts("crates/clean/src/lib.rs", true, false));
+        crates.insert("missing".into(), facts("crates/missing/src/lib.rs", false, false));
+        crates.insert("unsafe_user".into(), facts("crates/unsafe_user/src/lib.rs", false, true));
+        let mut out = Vec::new();
+        finalize(&crates, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path, "crates/missing/src/lib.rs");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn crates_without_a_lib_root_are_skipped() {
+        let mut crates = BTreeMap::new();
+        crates.insert(
+            "bin_only".into(),
+            CrateFacts {
+                root_path: None,
+                root_forbids: false,
+                any_unsafe: false,
+            },
+        );
+        let mut out = Vec::new();
+        finalize(&crates, &mut out);
+        assert!(out.is_empty());
+    }
+}

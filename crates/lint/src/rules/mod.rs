@@ -1,0 +1,175 @@
+//! The rule set and the per-file checking pipeline.
+//!
+//! Each rule lives in its own module and emits candidate findings; this
+//! module applies the escape-hatch annotations and turns surviving
+//! candidates into [`Diagnostic`]s. The annotation syntax is a comment on
+//! the offending line or the line directly above it, naming the rule and
+//! giving a non-empty justification — for example
+//! `// lint:allow(nondeterministic-map): iteration order is sorted below`.
+//! Reason-less or unknown-rule annotations are themselves findings (the
+//! `lint-allow` meta rule), so the escape hatch cannot silently rot.
+
+pub mod forbid_unsafe;
+pub mod nondeterministic_map;
+pub mod safety_comment;
+pub mod unseeded_rng;
+pub mod wall_clock;
+
+use crate::classify::FileKind;
+use crate::scan::{cfg_test_regions, scan, Line};
+use crate::{Diagnostic, Suppression};
+
+/// Rule identifiers, as used in diagnostics and `lint:allow` annotations.
+pub const SAFETY_COMMENT: &str = "safety-comment";
+pub const NONDETERMINISTIC_MAP: &str = "nondeterministic-map";
+pub const WALL_CLOCK: &str = "wall-clock";
+pub const UNSEEDED_RNG: &str = "unseeded-rng";
+pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+/// Meta rule: malformed `lint:allow` annotations.
+pub const LINT_ALLOW: &str = "lint-allow";
+
+/// The rules a `lint:allow` annotation may name.
+pub const ALLOWABLE_RULES: [&str; 5] = [
+    SAFETY_COMMENT,
+    NONDETERMINISTIC_MAP,
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    FORBID_UNSAFE,
+];
+
+/// A rule finding before escape-hatch filtering. `line_idx` is 0-based.
+#[derive(Debug)]
+pub(crate) struct Candidate {
+    pub line_idx: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+/// A parsed `lint:allow` annotation.
+#[derive(Debug, Clone)]
+struct Allow {
+    rule: String,
+    reason: String,
+}
+
+/// Per-file check result, plus the facts the workspace-level
+/// `forbid-unsafe` rule aggregates across files.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub diagnostics: Vec<Diagnostic>,
+    pub suppressions: Vec<Suppression>,
+    /// Whether any code line contains the `unsafe` keyword.
+    pub has_unsafe: bool,
+    /// Whether the file declares `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+}
+
+/// Runs every per-file rule over one source file.
+pub fn check_file(rel_path: &str, source: &str, kind: FileKind) -> FileReport {
+    let lines = scan(source);
+    let in_test = cfg_test_regions(&lines);
+    let allows = parse_allows(&lines);
+
+    let mut cands = Vec::new();
+    safety_comment::check(&lines, &mut cands);
+    nondeterministic_map::check(kind, &lines, &in_test, &mut cands);
+    wall_clock::check(kind, &lines, &mut cands);
+    unseeded_rng::check(kind, &lines, &in_test, &mut cands);
+    check_allow_annotations(&allows, &mut cands);
+
+    let mut report = FileReport {
+        has_unsafe: lines
+            .iter()
+            .any(|l| crate::scan::has_token(&l.code, "unsafe")),
+        has_forbid_unsafe: lines.iter().any(|l| {
+            let squashed: String = l.code.chars().filter(|c| !c.is_whitespace()).collect();
+            squashed.contains("#![forbid(unsafe_code)]")
+        }),
+        ..FileReport::default()
+    };
+
+    for cand in cands {
+        match matching_allow(&allows, cand.line_idx, cand.rule) {
+            Some(allow) => report.suppressions.push(Suppression {
+                path: rel_path.to_string(),
+                line: cand.line_idx + 1,
+                rule: cand.rule.to_string(),
+                reason: allow.reason.clone(),
+            }),
+            None => report.diagnostics.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: cand.line_idx + 1,
+                rule: cand.rule,
+                message: cand.message,
+            }),
+        }
+    }
+    report
+}
+
+/// Parses at most one `lint:allow` annotation per line of comments.
+fn parse_allows(lines: &[Line]) -> Vec<Option<Allow>> {
+    lines
+        .iter()
+        .map(|l| {
+            let c = &l.comment;
+            let start = c.find("lint:allow(")?;
+            let rest = &c[start + "lint:allow(".len()..];
+            let close = rest.find(')')?;
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            let reason = after.strip_prefix(':').unwrap_or("").trim().to_string();
+            Some(Allow { rule, reason })
+        })
+        .collect()
+}
+
+/// A candidate at `line_idx` is suppressed by a well-formed annotation for
+/// its rule on the same line or the line directly above.
+fn matching_allow<'a>(
+    allows: &'a [Option<Allow>],
+    line_idx: usize,
+    rule: &str,
+) -> Option<&'a Allow> {
+    let well_formed = |a: &&Allow| a.rule == rule && !a.reason.is_empty();
+    if let Some(a) = allows[line_idx].as_ref().filter(well_formed) {
+        return Some(a);
+    }
+    if line_idx > 0 {
+        if let Some(a) = allows[line_idx - 1].as_ref().filter(well_formed) {
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// The `lint-allow` meta rule: every annotation must name a known rule and
+/// carry a non-empty reason after a `:`.
+fn check_allow_annotations(allows: &[Option<Allow>], cands: &mut Vec<Candidate>) {
+    for (idx, allow) in allows.iter().enumerate() {
+        let Some(allow) = allow else { continue };
+        if !ALLOWABLE_RULES.contains(&allow.rule.as_str()) {
+            cands.push(Candidate {
+                line_idx: idx,
+                rule: LINT_ALLOW,
+                message: format!(
+                    "`lint:allow({})` names an unknown rule; known rules: {}",
+                    allow.rule,
+                    ALLOWABLE_RULES.join(", ")
+                ),
+            });
+        } else if allow.reason.is_empty() {
+            cands.push(Candidate {
+                line_idx: idx,
+                rule: LINT_ALLOW,
+                message: format!(
+                    "`lint:allow({})` must carry a justification after a colon",
+                    allow.rule
+                ),
+            });
+        }
+        // Well-formed annotations on lines the rule never fires on are
+        // tolerated: comments drift in refactors, and an unused allowance
+        // is harmless.
+    }
+}

@@ -1,0 +1,94 @@
+//! `nondeterministic-map`: no default-hasher maps in shipped code.
+//!
+//! `std::collections::HashMap`/`HashSet` seed their hasher per process, so
+//! iteration order differs run to run — exactly the class of latent
+//! nondeterminism the workspace's bit-identity guarantees (ensemble runs,
+//! subset simulation across worker counts) cannot tolerate and runtime
+//! tests cannot see within one process. Shipped library and example code
+//! must use `BTreeMap`/`BTreeSet`, sort before iterating, or carry an
+//! explicit justification, e.g.
+//! `// lint:allow(nondeterministic-map): consumed via point lookups only`.
+//! Test code and `crates/bench` are exempt.
+
+use super::{Candidate, NONDETERMINISTIC_MAP};
+use crate::classify::FileKind;
+use crate::scan::{has_token, Line};
+
+const TOKENS: [&str; 4] = ["HashMap", "HashSet", "hash_map", "hash_set"];
+
+pub(crate) fn check(
+    kind: FileKind,
+    lines: &[Line],
+    in_test: &[bool],
+    cands: &mut Vec<Candidate>,
+) {
+    if !matches!(kind, FileKind::Library | FileKind::Example) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        if let Some(tok) = TOKENS.iter().find(|t| has_token(&line.code, t)) {
+            cands.push(Candidate {
+                line_idx: idx,
+                rule: NONDETERMINISTIC_MAP,
+                message: format!(
+                    "`{tok}` has a randomized per-process hasher (nondeterministic iteration \
+                     order); use `BTreeMap`/`BTreeSet` or justify with a lint:allow annotation"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{cfg_test_regions, scan};
+
+    fn run(kind: FileKind, src: &str) -> Vec<usize> {
+        let lines = scan(src);
+        let in_test = cfg_test_regions(&lines);
+        let mut cands = Vec::new();
+        check(kind, &lines, &in_test, &mut cands);
+        cands.iter().map(|c| c.line_idx + 1).collect()
+    }
+
+    #[test]
+    fn flags_hash_collections_in_library_code() {
+        let src = "use std::collections::HashMap;\nuse std::collections::HashSet;";
+        assert_eq!(run(FileKind::Library, src), vec![1, 2]);
+    }
+
+    #[test]
+    fn flags_hash_map_module_paths() {
+        let src = "use std::collections::hash_map::Entry;";
+        assert_eq!(run(FileKind::Library, src), vec![1]);
+    }
+
+    #[test]
+    fn btree_collections_pass() {
+        let src = "use std::collections::{BTreeMap, BTreeSet};";
+        assert!(run(FileKind::Library, src).is_empty());
+    }
+
+    #[test]
+    fn test_code_and_bench_are_exempt() {
+        let src = "use std::collections::HashMap;";
+        assert!(run(FileKind::Test, src).is_empty());
+        assert!(run(FileKind::BenchCrate, src).is_empty());
+    }
+
+    #[test]
+    fn inline_cfg_test_modules_are_exempt() {
+        let src = "\
+pub fn lib() {}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+}";
+        assert!(run(FileKind::Library, src).is_empty());
+    }
+}

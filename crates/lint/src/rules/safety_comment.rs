@@ -1,0 +1,97 @@
+//! `safety-comment`: every `unsafe` occurrence must be justified.
+//!
+//! An `unsafe` block, function, or impl asserts an obligation the compiler
+//! cannot check; this rule demands the obligation be written down. The
+//! justification is a comment containing `SAFETY:` either on the `unsafe`
+//! line itself or in the contiguous comment block directly above it
+//! (attribute lines such as `#[inline]` may sit between the comment and the
+//! item). The rule applies to every file kind — test code asserts the same
+//! obligations production code does.
+
+use super::{Candidate, SAFETY_COMMENT};
+use crate::scan::{has_token, Line};
+
+pub(crate) fn check(lines: &[Line], cands: &mut Vec<Candidate>) {
+    for idx in 0..lines.len() {
+        if !has_token(&lines[idx].code, "unsafe") {
+            continue;
+        }
+        if justified(lines, idx) {
+            continue;
+        }
+        cands.push(Candidate {
+            line_idx: idx,
+            rule: SAFETY_COMMENT,
+            message: "`unsafe` without a `// SAFETY:` justification on this line or in the \
+                      comment block directly above"
+                .to_string(),
+        });
+    }
+}
+
+fn justified(lines: &[Line], idx: usize) -> bool {
+    if lines[idx].comment.contains("SAFETY:") {
+        return true;
+    }
+    // Walk the contiguous run of comment-only and attribute lines above.
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let line = &lines[j];
+        if line.is_attribute() {
+            continue;
+        }
+        if line.code_is_blank() && !line.comment.trim().is_empty() {
+            if line.comment.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        break;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(src: &str) -> Vec<usize> {
+        let mut cands = Vec::new();
+        check(&scan(src), &mut cands);
+        cands.iter().map(|c| c.line_idx + 1).collect()
+    }
+
+    #[test]
+    fn flags_bare_unsafe() {
+        assert_eq!(run("fn f() { unsafe { g() } }"), vec![1]);
+    }
+
+    #[test]
+    fn same_line_comment_suffices() {
+        assert!(run("unsafe { g() } // SAFETY: g has no preconditions").is_empty());
+    }
+
+    #[test]
+    fn comment_block_above_suffices_across_attributes() {
+        let src = "\
+// SAFETY: the pointer is valid for the borrow's lifetime because the
+// caller holds the owning Vec alive.
+#[inline]
+unsafe fn deref(p: *const u8) -> u8 { *p }";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn blank_line_breaks_the_association() {
+        let src = "// SAFETY: stale justification\n\nunsafe fn f() {}";
+        assert_eq!(run(src), vec![3]);
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_ignored() {
+        assert!(run("let s = \"unsafe\"; // unsafe in prose").is_empty());
+        assert!(run("#![forbid(unsafe_code)]").is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! `unseeded-rng`: no entropy-seeded random number generators in shipped
+//! code.
+//!
+//! Every stochastic result in this workspace — Monte Carlo estimates,
+//! subset-simulation chains, synthetic metrology — is reproducible because
+//! every RNG is constructed from an explicit seed (the vendored `rand`
+//! deliberately ships no `thread_rng`). This rule keeps it that way if the
+//! workspace ever moves to upstream `rand`: constructions that pull OS
+//! entropy (`thread_rng`, `from_entropy`, `OsRng`, `getrandom`,
+//! `rand::random`) are banned outside tests and `crates/bench`.
+
+use super::{Candidate, UNSEEDED_RNG};
+use crate::classify::FileKind;
+use crate::scan::{has_token, Line};
+
+const TOKENS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "getrandom"];
+
+pub(crate) fn check(
+    kind: FileKind,
+    lines: &[Line],
+    in_test: &[bool],
+    cands: &mut Vec<Candidate>,
+) {
+    if !matches!(kind, FileKind::Library | FileKind::Example) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let hit = TOKENS
+            .iter()
+            .find(|t| has_token(&line.code, t))
+            .copied()
+            .or_else(|| {
+                line.code
+                    .contains("rand::random")
+                    .then_some("rand::random")
+            });
+        if let Some(tok) = hit {
+            cands.push(Candidate {
+                line_idx: idx,
+                rule: UNSEEDED_RNG,
+                message: format!(
+                    "`{tok}` draws OS entropy, breaking run-to-run reproducibility; construct \
+                     RNGs from an explicit seed (e.g. `StdRng::seed_from_u64`)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{cfg_test_regions, scan};
+
+    fn run(kind: FileKind, src: &str) -> Vec<usize> {
+        let lines = scan(src);
+        let in_test = cfg_test_regions(&lines);
+        let mut cands = Vec::new();
+        check(kind, &lines, &in_test, &mut cands);
+        cands.iter().map(|c| c.line_idx + 1).collect()
+    }
+
+    #[test]
+    fn flags_entropy_constructions() {
+        let src = "let mut a = rand::thread_rng();\nlet b = StdRng::from_entropy();\nlet c: u8 = rand::random();";
+        assert_eq!(run(FileKind::Library, src), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn seeded_constructions_pass() {
+        let src = "let mut rng = StdRng::seed_from_u64(42);";
+        assert!(run(FileKind::Library, src).is_empty());
+    }
+
+    #[test]
+    fn tests_and_bench_are_exempt() {
+        let src = "let mut a = rand::thread_rng();";
+        assert!(run(FileKind::Test, src).is_empty());
+        assert!(run(FileKind::BenchCrate, src).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! `wall-clock`: wall-clock reads stay inside `crates/bench`.
+//!
+//! `Instant::now()` and `SystemTime` are the canonical way nondeterminism
+//! leaks into a numerical code base: a timeout that shapes an iteration
+//! count, a timestamp that seeds an RNG, an adaptive heuristic keyed to
+//! elapsed time. Physics must depend only on inputs, so outside the
+//! measurement harness (`crates/bench`, whose whole purpose is timing) any
+//! use of the wall clock must be justified, e.g.
+//! `// lint:allow(wall-clock): log timestamp only, never read back`.
+
+use super::{Candidate, WALL_CLOCK};
+use crate::classify::FileKind;
+use crate::scan::{has_token, Line};
+
+const TOKENS: [&str; 2] = ["Instant", "SystemTime"];
+
+pub(crate) fn check(kind: FileKind, lines: &[Line], cands: &mut Vec<Candidate>) {
+    if kind == FileKind::BenchCrate {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if let Some(tok) = TOKENS.iter().find(|t| has_token(&line.code, t)) {
+            cands.push(Candidate {
+                line_idx: idx,
+                rule: WALL_CLOCK,
+                message: format!(
+                    "`{tok}` outside crates/bench: wall-clock time must never feed physics; \
+                     move timing into the bench harness or justify with a lint:allow annotation"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(kind: FileKind, src: &str) -> Vec<usize> {
+        let mut cands = Vec::new();
+        check(kind, &scan(src), &mut cands);
+        cands.iter().map(|c| c.line_idx + 1).collect()
+    }
+
+    #[test]
+    fn flags_instant_and_system_time() {
+        let src = "use std::time::Instant;\nlet t = SystemTime::now();";
+        assert_eq!(run(FileKind::Library, src), vec![1, 2]);
+        assert_eq!(run(FileKind::Test, src), vec![1, 2]);
+    }
+
+    #[test]
+    fn bench_crate_is_exempt() {
+        assert!(run(FileKind::BenchCrate, "let t = Instant::now();").is_empty());
+    }
+
+    #[test]
+    fn prose_and_prefixed_identifiers_pass() {
+        // "Instantaneous" in a doc comment and `Instant` inside a string
+        // must not fire.
+        let src = "/// Instantaneous damage rate.\nlet s = \"Instant::now\"; let d = duration;";
+        assert!(run(FileKind::Library, src).is_empty());
+    }
+}

@@ -1,0 +1,473 @@
+//! Lexical pre-pass: split Rust source into per-line *code* and *comment*
+//! channels without a full parser.
+//!
+//! The linter's rules are token-level, so the only lexical structure they
+//! need is "which bytes are code, which are comments, and which are literal
+//! contents". This module provides exactly that via a small character-level
+//! state machine that understands:
+//!
+//! * line comments (`//`, `///`, `//!`),
+//! * nested block comments (`/* /* */ */`),
+//! * string literals with escapes (`"…\"…"`), byte strings (`b"…"`),
+//! * raw strings with up to 255 hashes (`r#"…"#`, `br##"…"##`),
+//! * character/byte literals (`'x'`, `'\n'`, `b'x'`) versus lifetimes
+//!   (`'static`, `'a`).
+//!
+//! Comment text is preserved per line (rules need it for `SAFETY:`
+//! justifications and `lint:allow` annotations); string/char literal
+//! *contents* are blanked out of the code channel so a token such as
+//! `"a HashMap in a string"` can never trigger a rule. Column positions are
+//! preserved: every stripped character is replaced by a space.
+
+/// One physical source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments and literal contents replaced by spaces.
+    pub code: String,
+    /// Concatenated text of all comments that appear on this line (without
+    /// the `//` / `/*` markers).
+    pub comment: String,
+}
+
+impl Line {
+    /// Whether the code channel contains nothing but whitespace.
+    pub fn code_is_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// Whether the trimmed code channel is an attribute line (`#[…]` or
+    /// `#![…]`). Attribute arguments may spill onto following lines; the
+    /// rules that skip attributes treat any `#[`-prefixed line as one.
+    pub fn is_attribute(&self) -> bool {
+        let t = self.code.trim_start();
+        t.starts_with("#[") || t.starts_with("#![")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    /// `in_escape` flag.
+    Str(bool),
+    /// Number of `#` marks that close the raw string.
+    RawStr(u8),
+    /// `in_escape` flag.
+    CharLit(bool),
+}
+
+/// Splits `source` into per-line code/comment channels.
+pub fn scan(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            // Line comments end at the newline; everything else carries over.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            // An unterminated char literal cannot span lines (`'a` was a
+            // lifetime misclassified only if our heuristic failed; recover).
+            if matches!(state, State::CharLit(_)) {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str(false);
+                    cur.code.push(' ');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+                    // Possible raw/byte string prefix: r", r#", b", br#", b'.
+                    match raw_prefix(&chars, i) {
+                        Some((hashes, len)) => {
+                            state = State::RawStr(hashes);
+                            for _ in 0..len {
+                                cur.code.push(' ');
+                            }
+                            i += len;
+                        }
+                        None => {
+                            if c == 'b' && next == Some('"') {
+                                state = State::Str(false);
+                                cur.code.push_str("  ");
+                                i += 2;
+                            } else if c == 'b' && next == Some('\'') {
+                                state = State::CharLit(false);
+                                cur.code.push_str("  ");
+                                i += 2;
+                            } else {
+                                cur.code.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                } else if c == '\'' {
+                    if is_char_literal(&chars, i) {
+                        state = State::CharLit(false);
+                        cur.code.push(' ');
+                        i += 1;
+                    } else {
+                        // A lifetime (`'a`, `'static`) — plain code.
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str(in_escape) => {
+                cur.code.push(' ');
+                state = if in_escape {
+                    State::Str(false)
+                } else if c == '\\' {
+                    State::Str(true)
+                } else if c == '"' {
+                    State::Code
+                } else {
+                    State::Str(false)
+                };
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        cur.code.push(' ');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit(in_escape) => {
+                cur.code.push(' ');
+                state = if in_escape {
+                    State::CharLit(false)
+                } else if c == '\\' {
+                    State::CharLit(true)
+                } else if c == '\'' {
+                    State::Code
+                } else {
+                    State::CharLit(false)
+                };
+                i += 1;
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// Whether the character before `i` continues an identifier (in which case
+/// an `r`/`b` at `i` is the tail of a name, not a literal prefix).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Detects a raw-string prefix starting at `i` (`r"`, `r#…#"`, `br#…#"`).
+/// Returns `(hash_count, prefix_len_chars)` including the opening quote.
+fn raw_prefix(chars: &[char], i: usize) -> Option<(u8, usize)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u8;
+    while chars.get(j) == Some(&'#') {
+        hashes = hashes.checked_add(1)?;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - i + 1))
+    } else {
+        None
+    }
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#` characters, closing a
+/// raw string literal.
+fn closes_raw(chars: &[char], i: usize, hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a character literal from a lifetime at a `'` in code
+/// position: `'x'` / `'\n'` / `'λ'` are literals, `'a` / `'static` are
+/// lifetimes. A `'` followed by an escape is always a literal; otherwise it
+/// is a literal iff the character after next is the closing `'`.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items (typically inline
+/// `mod tests { … }` blocks). Returns one flag per line; flagged lines are
+/// exempt from the determinism rules, which only govern shipped library
+/// code.
+///
+/// The tracker is brace-based: after a line whose code contains
+/// `#[cfg(test)]`, every line up to and including the matching close brace
+/// of the next `{` is marked. This covers the attribute line itself, the
+/// item header, and the body.
+pub fn cfg_test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut flags = vec![false; lines.len()];
+    let mut pending = false;
+    let mut depth: i64 = 0;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if depth > 0 {
+            flags[idx] = true;
+            depth += brace_delta(code);
+            if depth <= 0 {
+                depth = 0;
+            }
+            continue;
+        }
+        if pending {
+            flags[idx] = true;
+            let delta_open = code.chars().filter(|&c| c == '{').count() as i64;
+            if delta_open > 0 {
+                depth = brace_delta(code);
+                pending = false;
+                if depth <= 0 {
+                    depth = 0;
+                }
+            } else if code.trim_end().ends_with(';') {
+                // `#[cfg(test)] use …;` — single-item scope, region ends.
+                pending = false;
+            }
+            continue;
+        }
+        if squash_ws(code).contains("#[cfg(test)]") {
+            flags[idx] = true;
+            // The attribute and item may share a line; start counting here.
+            let delta = brace_delta(code);
+            if delta > 0 {
+                depth = delta;
+            } else {
+                pending = true;
+            }
+        }
+    }
+    flags
+}
+
+fn brace_delta(code: &str) -> i64 {
+    let mut d = 0i64;
+    for c in code.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Removes all whitespace (attribute tokens may be spaced: `# [cfg(test)]`
+/// never occurs in practice, but `#[cfg( test )]` does under some
+/// formatters).
+fn squash_ws(s: &str) -> String {
+    s.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Whether `code` contains `token` as a standalone word: the characters on
+/// both sides (if any) must not be identifier characters. This is the only
+/// matching primitive the rules use — `unsafe_code` never matches `unsafe`,
+/// `Instantaneous` never matches `Instant`.
+pub fn has_token(code: &str, token: &str) -> bool {
+    find_token(code, token).is_some()
+}
+
+/// Byte offset of the first standalone occurrence of `token` in `code`.
+pub fn find_token(code: &str, token: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || code[..at]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        let after = code[at + token.len()..].chars().next();
+        let after_ok = after.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + token.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_stripped_and_preserved() {
+        let lines = scan("let x = 1; // a HashMap here\nlet y = 2;");
+        assert!(!has_token(&lines[0].code, "HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(has_token(&lines[1].code, "y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = scan("a /* outer /* inner */ still comment */ b\nc");
+        assert!(has_token(&lines[0].code, "a"));
+        assert!(has_token(&lines[0].code, "b"));
+        assert!(!has_token(&lines[0].code, "inner"));
+        assert!(lines[0].comment.contains("still comment"));
+        assert!(has_token(&lines[1].code, "c"));
+    }
+
+    #[test]
+    fn multi_line_block_comment_spans() {
+        let lines = scan("code1 /* x\nstill in comment unsafe\n*/ code2");
+        assert!(!has_token(&lines[1].code, "unsafe"));
+        assert!(lines[1].comment.contains("unsafe"));
+        assert!(has_token(&lines[2].code, "code2"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = scan(r#"let s = "an unsafe HashMap"; let t = 1;"#);
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(!has_token(&lines[0].code, "HashMap"));
+        assert!(has_token(&lines[0].code, "t"));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lines = scan(r#"let s = "a\"unsafe"; let u = 2;"#);
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(has_token(&lines[0].code, "u"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lines = scan("let s = r#\"has \"quotes\" and unsafe\"#; let v = 3;");
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(has_token(&lines[0].code, "v"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let lines = scan("let a = b\"unsafe\"; let b2 = br#\"HashMap\"#; done");
+        assert!(!has_token(&lines[0].code, "unsafe"));
+        assert!(!has_token(&lines[0].code, "HashMap"));
+        assert!(has_token(&lines[0].code, "done"));
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        let lines = scan("let c = 'x'; fn f<'a>(v: &'a str) -> &'static str { v }");
+        assert!(has_token(&lines[0].code, "'a"));
+        assert!(has_token(&lines[0].code, "'static"));
+        // A quote char literal must not swallow the rest of the line.
+        let lines = scan("let q = '\"'; let unsafe_free = 1; let w = '\\'';");
+        assert!(has_token(&lines[0].code, "unsafe_free"));
+        assert!(has_token(&lines[0].code, "w"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let lines = scan("let var = 1; let s = format!(\"{var}\");");
+        assert!(has_token(&lines[0].code, "var"));
+        assert!(has_token(&lines[0].code, "s"));
+    }
+
+    #[test]
+    fn token_boundaries() {
+        assert!(has_token("unsafe fn f()", "unsafe"));
+        assert!(!has_token("#![forbid(unsafe_code)]", "unsafe"));
+        assert!(!has_token("Instantaneous", "Instant"));
+        assert!(has_token("std::time::Instant::now()", "Instant"));
+        assert!(!has_token("my_unsafe", "unsafe"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "\
+pub fn lib_code() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn t() { lib_code(); }
+}
+
+pub fn more_lib() {}
+";
+        let lines = scan(src);
+        let flags = cfg_test_regions(&lines);
+        assert!(!flags[0], "library line flagged as test");
+        assert!(flags[2], "attribute line not flagged");
+        assert!(flags[3] && flags[4] && flags[6], "body not flagged");
+        assert!(flags[7], "closing brace not flagged");
+        assert!(!flags[9], "trailing library code flagged");
+    }
+
+    #[test]
+    fn cfg_test_on_single_use_item() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\npub fn lib() {}";
+        let flags = cfg_test_regions(&scan(src));
+        assert!(flags[0] && flags[1]);
+        assert!(!flags[2]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Exit-code and output contract of the `etherm_lint` binary:
+//! 0 — clean; 1 — findings, printed as `file:line: [rule] message`;
+//! 2 — usage or I/O errors.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn run_lint(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_etherm_lint"))
+        .arg(root)
+        .output()
+        .expect("failed to spawn etherm_lint")
+}
+
+/// A scratch directory that cleans up after itself.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "etherm_lint_cli_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("src")).unwrap();
+        Scratch(dir)
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, content).unwrap();
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let ws = Scratch::new("clean");
+    ws.write(
+        "src/lib.rs",
+        "#![forbid(unsafe_code)]\n\npub fn f() -> u32 { 1 }\n",
+    );
+    let out = run_lint(&ws.0);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn findings_exit_one_with_file_line_diagnostics() {
+    let ws = Scratch::new("dirty");
+    ws.write(
+        "src/lib.rs",
+        "use std::collections::HashMap;\n\npub fn f() -> HashMap<u32, u32> { HashMap::new() }\n",
+    );
+    let out = run_lint(&ws.0);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("src/lib.rs:1: [nondeterministic-map]"),
+        "missing file:line diagnostic in:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("src/lib.rs:1: [forbid-unsafe]"),
+        "workspace-level rule missing in:\n{stdout}"
+    );
+    // Diagnostics are sorted by (path, line, rule) — deterministic output.
+    let diag_lines: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.contains(": ["))
+        .collect();
+    let mut sorted = diag_lines.clone();
+    sorted.sort();
+    assert_eq!(diag_lines, sorted, "diagnostics not sorted:\n{stdout}");
+}
+
+#[test]
+fn suppressions_are_reported_transparently() {
+    let ws = Scratch::new("allowed");
+    ws.write(
+        "src/lib.rs",
+        "#![forbid(unsafe_code)]\n\n\
+         // lint:allow(nondeterministic-map): lookups only, never iterated\n\
+         pub type Cache = std::collections::HashMap<u64, u64>;\n",
+    );
+    let out = run_lint(&ws.0);
+    assert_eq!(out.status.code(), Some(0), "escapes are not findings: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 lint:allow escape(s) in effect"),
+        "escape not reported:\n{stdout}"
+    );
+    assert!(stdout.contains("lookups only"), "reason not echoed:\n{stdout}");
+}
+
+#[test]
+fn missing_directory_exits_two() {
+    let out = run_lint(Path::new("/nonexistent/etherm/workspace"));
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn extra_arguments_exit_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_etherm_lint"))
+        .args(["a", "b"])
+        .output()
+        .expect("failed to spawn etherm_lint");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn real_workspace_passes_via_the_binary() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap();
+    let out = run_lint(root);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace not clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}

@@ -1,0 +1,143 @@
+//! Fixture-corpus contract: every rule accepts its good fixture and
+//! rejects its bad fixture at exactly the documented lines.
+
+use etherm_lint::classify::FileKind;
+use etherm_lint::{lint_source, lint_workspace};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn read(rel: &str) -> String {
+    let path = fixture_dir().join(rel);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()))
+}
+
+/// Lines at which `rule` fires when linting the fixture as library code.
+fn findings(rel: &str, rule: &str) -> Vec<usize> {
+    let report = lint_source(rel, &read(rel), FileKind::Library);
+    report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+fn assert_clean(rel: &str, rule: &str) {
+    let lines = findings(rel, rule);
+    assert!(
+        lines.is_empty(),
+        "{rel}: expected no `{rule}` findings, got lines {lines:?}"
+    );
+}
+
+#[test]
+fn safety_comment_good_and_bad() {
+    assert_clean("safety_comment/good.rs", "safety-comment");
+    assert_eq!(findings("safety_comment/bad.rs", "safety-comment"), [7, 12, 21]);
+}
+
+#[test]
+fn nondeterministic_map_good_and_bad() {
+    assert_clean("nondeterministic_map/good.rs", "nondeterministic-map");
+    assert_eq!(
+        findings("nondeterministic_map/bad.rs", "nondeterministic-map"),
+        [4, 6, 7, 14, 15]
+    );
+}
+
+#[test]
+fn nondeterministic_map_good_records_its_escape() {
+    let report = lint_source(
+        "nondeterministic_map/good.rs",
+        &read("nondeterministic_map/good.rs"),
+        FileKind::Library,
+    );
+    assert_eq!(report.suppressions.len(), 1);
+    let s = &report.suppressions[0];
+    assert_eq!(s.rule, "nondeterministic-map");
+    assert!(s.reason.contains("membership"), "reason preserved: {s:?}");
+}
+
+#[test]
+fn wall_clock_good_and_bad() {
+    assert_clean("wall_clock/good.rs", "wall-clock");
+    assert_eq!(findings("wall_clock/bad.rs", "wall-clock"), [4, 7, 18]);
+    // The bench harness is the sanctioned home for timing.
+    let report = lint_source(
+        "wall_clock/bad.rs",
+        &read("wall_clock/bad.rs"),
+        FileKind::BenchCrate,
+    );
+    assert!(report.diagnostics.is_empty(), "bench crate must be exempt");
+}
+
+#[test]
+fn unseeded_rng_good_and_bad() {
+    assert_clean("unseeded_rng/good.rs", "unseeded-rng");
+    assert_eq!(findings("unseeded_rng/bad.rs", "unseeded-rng"), [5, 10, 15]);
+    // Tests may use entropy-seeded conveniences.
+    let report = lint_source(
+        "unseeded_rng/bad.rs",
+        &read("unseeded_rng/bad.rs"),
+        FileKind::Test,
+    );
+    assert!(
+        report.diagnostics.iter().all(|d| d.rule != "unseeded-rng"),
+        "test code must be exempt"
+    );
+}
+
+#[test]
+fn lint_allow_good_suppresses_and_reports() {
+    let report = lint_source(
+        "lint_allow/good.rs",
+        &read("lint_allow/good.rs"),
+        FileKind::Library,
+    );
+    assert!(
+        report.diagnostics.is_empty(),
+        "well-formed allows must suppress: {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressions.len(), 3, "{:?}", report.suppressions);
+    assert!(report.suppressions.iter().all(|s| s.rule == "wall-clock"));
+}
+
+#[test]
+fn lint_allow_bad_flags_malformed_annotations() {
+    assert_eq!(findings("lint_allow/bad.rs", "lint-allow"), [5, 8]);
+    // Malformed annotations must not waive the underlying findings.
+    assert_eq!(findings("lint_allow/bad.rs", "wall-clock"), [5, 9, 10]);
+}
+
+#[test]
+fn forbid_unsafe_good_and_bad_workspaces() {
+    let good = lint_workspace(&fixture_dir().join("forbid_unsafe/good_ws")).unwrap();
+    assert!(good.is_clean(), "{:?}", good.diagnostics);
+    assert_eq!(good.files_scanned, 1);
+
+    let bad = lint_workspace(&fixture_dir().join("forbid_unsafe/bad_ws")).unwrap();
+    assert_eq!(bad.diagnostics.len(), 1, "{:?}", bad.diagnostics);
+    let d = &bad.diagnostics[0];
+    assert_eq!(d.rule, "forbid-unsafe");
+    assert_eq!(d.path, "src/lib.rs");
+    assert_eq!(d.line, 1);
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule_message() {
+    let report = lint_source(
+        "wall_clock/bad.rs",
+        &read("wall_clock/bad.rs"),
+        FileKind::Library,
+    );
+    let rendered = report.diagnostics[0].to_string();
+    assert!(
+        rendered.starts_with("wall_clock/bad.rs:4: [wall-clock]"),
+        "diagnostic format drifted: {rendered}"
+    );
+}

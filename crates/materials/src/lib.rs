@@ -13,6 +13,8 @@
 //!   resin, silicon and air, matching the paper's Table I at 300 K,
 //! * [`MaterialTable`] — an indexed collection used by the FIT assembly.
 
+#![forbid(unsafe_code)]
+
 pub mod library;
 mod material;
 mod model;

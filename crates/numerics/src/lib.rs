@@ -38,6 +38,8 @@
 //! assert!(report.converged);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dense;
 pub mod error;
 pub mod fixedpoint;

@@ -19,22 +19,35 @@ thread_local! {
     static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
 }
 
+// SAFETY: a pure pass-through to `System`, which upholds the `GlobalAlloc`
+// contract; the only added behavior is bumping a thread-local counter,
+// which neither allocates nor unwinds, so every contract obligation
+// (validity of returned pointers, layout handling) is inherited unchanged.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: delegates to `System.alloc` with the caller's layout; the
+    // caller guarantees `layout` has non-zero size, as required by both.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.with(|c| c.set(c.get() + 1));
         System.alloc(layout)
     }
 
+    // SAFETY: delegates to `System.alloc_zeroed` under the same caller
+    // obligations as `alloc`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOC_COUNT.with(|c| c.set(c.get() + 1));
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: delegates to `System.realloc`; the caller guarantees `ptr`
+    // was allocated by this allocator with `layout` (and this allocator is
+    // `System` plus counting), and that `new_size` is non-zero.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOC_COUNT.with(|c| c.set(c.get() + 1));
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: delegates to `System.dealloc`; the caller guarantees `ptr`
+    // came from this allocator with this `layout`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

@@ -27,6 +27,8 @@
 //!   engine: elongations + drive scale in, early-exited threshold response
 //!   out.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod failure;
 pub mod geometry;

@@ -27,6 +27,8 @@
 //!   cross-checkable against the Preece/Onderdonk rules in
 //!   `etherm_bondwire::analytic`.
 
+#![forbid(unsafe_code)]
+
 mod ensemble_state;
 mod error;
 mod fusing;

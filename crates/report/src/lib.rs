@@ -7,6 +7,8 @@
 //! are deliberately plain ASCII so they survive CI logs and diffs, with
 //! [`svg`] as an optional vector output for the same data.
 
+#![forbid(unsafe_code)]
+
 mod chart;
 mod csv;
 mod heatmap;

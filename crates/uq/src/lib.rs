@@ -25,6 +25,8 @@
 //! * [`variance_reduction`] — antithetic variates, control variates and
 //!   stratified sampling on top of the same unit-hypercube designs.
 
+#![forbid(unsafe_code)]
+
 pub mod dist;
 pub mod error;
 pub mod montecarlo;

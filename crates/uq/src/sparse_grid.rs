@@ -17,7 +17,7 @@
 
 use crate::UqError;
 use etherm_numerics::quadrature::QuadratureRule;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A sparse quadrature rule: points in `ℝᵈ` with (possibly negative)
 /// combination weights, normalized so that constants integrate exactly.
@@ -64,9 +64,13 @@ impl SparseGrid {
             .collect::<Result<_, _>>()?;
 
         // Smolyak sum over multi-levels ℓ ∈ [1, level]^d with the sparse
-        // constraint |ℓ|₁ ≤ q, q = level + d − 1.
+        // constraint |ℓ|₁ ≤ q, q = level + d − 1. A BTreeMap (not a
+        // HashMap) keyed by coordinate bit patterns makes the merged node
+        // enumeration order a pure function of the grid parameters — the
+        // default hasher would randomize it per process, silently breaking
+        // every bit-identity guarantee downstream of a sparse-grid sweep.
         let q = level + dim - 1;
-        let mut merged: HashMap<Vec<u64>, (Vec<f64>, f64)> = HashMap::new();
+        let mut merged: BTreeMap<Vec<u64>, (Vec<f64>, f64)> = BTreeMap::new();
         let mut ml = vec![1usize; dim];
         loop {
             let l1: usize = ml.iter().sum();
@@ -147,7 +151,7 @@ fn tensor_accumulate(
     rules: &[QuadratureRule],
     ml: &[usize],
     coeff: f64,
-    merged: &mut HashMap<Vec<u64>, (Vec<f64>, f64)>,
+    merged: &mut BTreeMap<Vec<u64>, (Vec<f64>, f64)>,
 ) {
     let dim = ml.len();
     let mut idx = vec![0usize; dim];
@@ -163,10 +167,10 @@ fn tensor_accumulate(
             key.push(x.to_bits());
         }
         match merged.entry(key) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
                 e.get_mut().1 += weight;
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert((point, weight));
             }
         }
@@ -293,6 +297,38 @@ mod tests {
     fn invalid_arguments_rejected() {
         assert!(SparseGrid::gauss_hermite(0, 2).is_err());
         assert!(SparseGrid::gauss_hermite(2, 0).is_err());
+    }
+
+    #[test]
+    fn node_enumeration_order_is_deterministic() {
+        // Two independent constructions must enumerate nodes identically —
+        // order included, because ensemble engines assign samples (and RNG
+        // substreams) by node index. With the BTreeMap merge the order is
+        // the ascending lexicographic order of the coordinate bit-pattern
+        // keys, a pure function of the grid parameters; the previous
+        // HashMap merge only looked deterministic within one process
+        // (std's RandomState is seeded once per thread) and differed
+        // across processes.
+        for (dim, level) in [(1, 4), (3, 3), (5, 3), (12, 2)] {
+            let a = SparseGrid::gauss_hermite(dim, level).unwrap();
+            let b = SparseGrid::gauss_hermite(dim, level).unwrap();
+            assert_eq!(a.points(), b.points(), "d={dim} ℓ={level}: point order");
+            assert_eq!(
+                a.weights().iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                b.weights().iter().map(|w| w.to_bits()).collect::<Vec<_>>(),
+                "d={dim} ℓ={level}: weight order"
+            );
+            // Cross-process determinism: the enumeration equals the
+            // canonical sorted-key order, independent of any hasher state.
+            let keys: Vec<Vec<u64>> = a
+                .points()
+                .iter()
+                .map(|p| p.iter().map(|x| x.to_bits()).collect())
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted, "d={dim} ℓ={level}: not in canonical order");
+        }
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! | [`reliability`] | rare-event failure probabilities: subset simulation, importance sampling, fusing-current search |
 //! | [`report`] | ASCII + SVG charts/tables/heat maps and CSV export |
 
+#![forbid(unsafe_code)]
+
 pub use etherm_bondwire as bondwire;
 pub use etherm_core as core;
 pub use etherm_fit as fit;
