@@ -162,6 +162,7 @@ fn main() {
         cov: cov_mc,
         n_evaluations: n_mc,
         levels: vec![],
+        quarantined: 0,
     };
     eprintln!(
         "mc reference:   {wall_mc:.1} s, threshold {threshold:.3} K, p = {p_mc:.3e} (cov {cov_mc:.2})"

@@ -176,6 +176,7 @@ fn main() {
             n_threads: threads,
             warm_start: false,
             progress: None,
+            ..EnsembleOptions::default()
         },
     )
     .expect("exact ensemble");
@@ -190,6 +191,7 @@ fn main() {
             n_threads: threads,
             warm_start: true,
             progress: None,
+            ..EnsembleOptions::default()
         },
     )
     .expect("warm ensemble");

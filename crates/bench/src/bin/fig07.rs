@@ -75,6 +75,7 @@ fn main() {
             n_threads: threads,
             warm_start: warm,
             progress: Some(progress),
+            ..EnsembleOptions::default()
         },
     )
     .expect("monte carlo run");

@@ -50,6 +50,7 @@ fn main() {
             n_threads: threads,
             warm_start: false,
             progress: Some(progress),
+            ..EnsembleOptions::default()
         },
     )
     .expect("mc run");

@@ -16,6 +16,7 @@
 use crate::compiled::CompiledModel;
 use crate::error::CoreError;
 use crate::session::{Session, SolveCounters};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -41,6 +42,44 @@ pub trait Scenario: Sync {
     ///
     /// Propagates solver failures.
     fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError>;
+
+    /// [`Scenario::apply`] with the sample's global index — override to
+    /// make per-sample-index decisions (e.g. a fault campaign installing a
+    /// different [`etherm_numerics::solvers::FaultPlan`] per sample). The
+    /// default forwards to [`Scenario::apply`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Scenario::apply`].
+    fn apply_indexed(
+        &self,
+        session: &mut Session,
+        sample: &[f64],
+        index: usize,
+    ) -> Result<(), CoreError> {
+        let _ = index;
+        self.apply(session, sample)
+    }
+}
+
+/// What [`run_ensemble`] does when a sample fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Abort the run on the first failure: the lowest-index error is
+    /// reported (wrapped in [`CoreError::EnsembleFailed`]) and the other
+    /// workers stop at their next sample boundary.
+    #[default]
+    Abort,
+    /// Quarantine failed samples and keep going: their errors are collected
+    /// in [`EnsembleResult::failures`], their output slot stays empty, and
+    /// the remaining samples are evaluated normally (bit-identical to a run
+    /// without the bad samples, for any thread count). More than
+    /// `max_failures` failures abort the run like [`FailurePolicy::Abort`]
+    /// — the backstop against a systematically broken campaign.
+    Quarantine {
+        /// Failure tolerance: exceeding it aborts the run.
+        max_failures: usize,
+    },
 }
 
 /// Options of [`run_ensemble`].
@@ -59,6 +98,8 @@ pub struct EnsembleOptions {
     /// coordinating thread as results are merged in sample order, so
     /// output never interleaves regardless of `n_threads`.
     pub progress: Option<fn(usize, usize)>,
+    /// What to do when a sample fails (default: abort the run).
+    pub failure_policy: FailurePolicy,
 }
 
 impl Default for EnsembleOptions {
@@ -67,18 +108,32 @@ impl Default for EnsembleOptions {
             n_threads: 1,
             warm_start: false,
             progress: None,
+            failure_policy: FailurePolicy::default(),
         }
     }
+}
+
+/// One quarantined sample of an ensemble run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleFailure {
+    /// Global sample index.
+    pub sample: usize,
+    /// The error that quarantined it.
+    pub error: CoreError,
 }
 
 /// Results of an ensemble run.
 #[derive(Debug, Clone)]
 pub struct EnsembleResult {
-    /// QoI vector per sample, in sample order.
+    /// QoI vector per sample, in sample order. Quarantined samples hold an
+    /// empty vector (see [`EnsembleResult::failures`]).
     pub outputs: Vec<Vec<f64>>,
     /// Solve counters merged over all worker sessions (sample-order
     /// independent: sums and maxima).
     pub counters: SolveCounters,
+    /// Quarantined samples in sample order (empty under
+    /// [`FailurePolicy::Abort`], which errors instead).
+    pub failures: Vec<SampleFailure>,
 }
 
 /// Evaluates `scenario` for every sample in `samples` and returns the QoIs
@@ -86,8 +141,15 @@ pub struct EnsembleResult {
 ///
 /// # Errors
 ///
-/// Returns the error of the failing sample with the smallest index; other
-/// workers finish their current chunk.
+/// Under [`FailurePolicy::Abort`] (the default), any sample failure aborts
+/// the run with [`CoreError::EnsembleFailed`] wrapping the error of the
+/// failing sample with the smallest index; other workers stop at their next
+/// sample boundary and the abandoned count is reported in the error. Under
+/// [`FailurePolicy::Quarantine`] failures up to `max_failures` are
+/// collected in [`EnsembleResult::failures`] instead — the failing worker
+/// resets its session (clearing any NaN contamination) and continues with
+/// its next sample, so the surviving outputs are bit-identical to a run
+/// without the bad samples, for any thread count.
 ///
 /// # Panics
 ///
@@ -104,29 +166,54 @@ pub fn run_ensemble<S: Scenario>(
         return Ok(EnsembleResult {
             outputs: Vec::new(),
             counters: SolveCounters::default(),
+            failures: Vec::new(),
         });
     }
     let chunk = n.div_ceil(options.n_threads).max(1);
+    let max_failures = match options.failure_policy {
+        FailurePolicy::Abort => 0,
+        FailurePolicy::Quarantine { max_failures } => max_failures,
+    };
+    // Cooperative cancellation: raised by a failing worker (abort policy)
+    // or by the coordinator (quarantine overflow); workers check it at each
+    // sample boundary. Never raised while a quarantine run stays within its
+    // failure tolerance, so such runs attempt every sample — the property
+    // that makes their outcome independent of the thread count.
+    let cancel = AtomicBool::new(false);
 
     type Message = (usize, Result<Vec<f64>, CoreError>);
     let (tx, rx) = mpsc::channel::<Message>();
-    let (slots, first_error, counters) = std::thread::scope(|scope| {
+    let (slots, failures, counters) = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (c, block) in samples.chunks(chunk).enumerate() {
             let tx = tx.clone();
+            let cancel = &cancel;
             handles.push(scope.spawn(move || {
                 let mut session = Session::new(Arc::clone(compiled));
                 session.set_warm_start(options.warm_start);
                 for (k, sample) in block.iter().enumerate() {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = c * chunk + k;
                     if !options.warm_start {
                         session.reset();
                     }
                     let result = scenario
-                        .apply(&mut session, sample)
+                        .apply_indexed(&mut session, sample, i)
                         .and_then(|()| scenario.evaluate(&mut session));
                     let failed = result.is_err();
-                    if tx.send((i, result)).is_err() || failed {
+                    if failed {
+                        if max_failures == 0 {
+                            cancel.store(true, Ordering::Relaxed);
+                        } else {
+                            // Quarantine: scrub any solver-state
+                            // contamination (NaN-poisoned guesses, degraded
+                            // preconditioners) before the next sample.
+                            session.reset();
+                        }
+                    }
+                    if tx.send((i, result)).is_err() || (failed && max_failures == 0) {
                         break;
                     }
                 }
@@ -137,25 +224,30 @@ pub fn run_ensemble<S: Scenario>(
 
         // Merge in sample order *while the workers run*: results stream in
         // as they complete and the serialized progress callback fires as
-        // the ordered frontier advances.
+        // the ordered frontier advances. Failed samples count as processed
+        // (their slot is an empty vector) so the frontier never stalls.
         let mut slots: Vec<Option<Vec<f64>>> = (0..n).map(|_| None).collect();
-        let mut first_error: Option<(usize, CoreError)> = None;
+        let mut failures: Vec<SampleFailure> = Vec::new();
         let mut done = 0usize;
         for (i, result) in rx {
-            match result {
-                Ok(y) => {
-                    slots[i] = Some(y);
-                    while done < n && slots[done].is_some() {
-                        done += 1;
-                        if let Some(progress) = options.progress {
-                            progress(done, n);
-                        }
-                    }
-                }
+            let y = match result {
+                Ok(y) => y,
                 Err(e) => {
-                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
-                        first_error = Some((i, e));
+                    failures.push(SampleFailure {
+                        sample: i,
+                        error: e,
+                    });
+                    if failures.len() > max_failures {
+                        cancel.store(true, Ordering::Relaxed);
                     }
+                    Vec::new()
+                }
+            };
+            slots[i] = Some(y);
+            while done < n && slots[done].is_some() {
+                done += 1;
+                if let Some(progress) = options.progress {
+                    progress(done, n);
                 }
             }
         }
@@ -167,15 +259,31 @@ pub fn run_ensemble<S: Scenario>(
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect();
-        (slots, first_error, counters)
+        (slots, failures, counters)
     });
-    if let Some((_, e)) = first_error {
-        return Err(e);
+
+    let mut failures = failures;
+    failures.sort_by_key(|f| f.sample);
+    if failures.len() > max_failures {
+        let abandoned = slots.iter().filter(|s| s.is_none()).count();
+        let n_failures = failures.len();
+        // Sorted: the lowest-index failure leads.
+        let Some(first) = failures.into_iter().next() else {
+            return Err(CoreError::InvalidModel(
+                "ensemble failure accounting out of sync".into(),
+            ));
+        };
+        return Err(CoreError::EnsembleFailed {
+            sample: first.sample,
+            failures: n_failures,
+            abandoned,
+            source: Box::new(first.error),
+        });
     }
 
     let outputs: Vec<Vec<f64>> = slots
         .into_iter()
-        .map(|s| s.expect("all samples evaluated"))
+        .map(Option::unwrap_or_default)
         .collect();
     let mut merged = SolveCounters::default();
     for c in &counters {
@@ -184,6 +292,7 @@ pub fn run_ensemble<S: Scenario>(
     Ok(EnsembleResult {
         outputs,
         counters: merged,
+        failures,
     })
 }
 
@@ -318,6 +427,7 @@ mod tests {
                 n_threads: 3,
                 warm_start: false,
                 progress: Some(progress),
+                failure_policy: FailurePolicy::Abort,
             },
         )
         .unwrap();
@@ -355,6 +465,131 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("0.0015"), "{err}");
+    }
+
+    /// Fails on a fixed set of sample indices via `apply_indexed`.
+    struct FailAt(&'static [usize]);
+    impl Scenario for FailAt {
+        fn apply(&self, session: &mut Session, sample: &[f64]) -> Result<(), CoreError> {
+            session.set_wire_length(0, sample[0])
+        }
+        fn apply_indexed(
+            &self,
+            session: &mut Session,
+            sample: &[f64],
+            index: usize,
+        ) -> Result<(), CoreError> {
+            if self.0.contains(&index) {
+                return Err(CoreError::InvalidModel(format!("planned failure {index}")));
+            }
+            self.apply(session, sample)
+        }
+        fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError> {
+            let sol = session.run_transient(2.0, 4, &[])?;
+            Ok(vec![*sol.wire_series(0).last().unwrap()])
+        }
+    }
+
+    #[test]
+    fn quarantine_keeps_surviving_samples_bit_identical() {
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap(),
+        );
+        let samples = samples();
+        let clean = run_ensemble(
+            &compiled,
+            &LengthScenario,
+            &samples,
+            &EnsembleOptions::default(),
+        )
+        .unwrap();
+        let failing = FailAt(&[1, 4]);
+        let mut reference: Option<EnsembleResult> = None;
+        for threads in [1, 2, 4] {
+            let r = run_ensemble(
+                &compiled,
+                &failing,
+                &samples,
+                &EnsembleOptions {
+                    n_threads: threads,
+                    failure_policy: FailurePolicy::Quarantine { max_failures: 2 },
+                    ..EnsembleOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(r.failures.len(), 2);
+            assert_eq!(
+                r.failures.iter().map(|f| f.sample).collect::<Vec<_>>(),
+                vec![1, 4]
+            );
+            for (i, out) in r.outputs.iter().enumerate() {
+                if i == 1 || i == 4 {
+                    assert!(out.is_empty(), "quarantined sample {i} has output");
+                } else {
+                    assert_eq!(out, &clean.outputs[i], "sample {i} moved");
+                }
+            }
+            if let Some(reference) = &reference {
+                assert_eq!(r.outputs, reference.outputs, "threads = {threads}");
+                assert_eq!(r.counters, reference.counters, "threads = {threads}");
+            } else {
+                reference = Some(r);
+            }
+        }
+    }
+
+    #[test]
+    fn quarantine_overflow_aborts_with_context() {
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap(),
+        );
+        let err = run_ensemble(
+            &compiled,
+            &FailAt(&[1, 3, 5]),
+            &samples(),
+            &EnsembleOptions {
+                failure_policy: FailurePolicy::Quarantine { max_failures: 1 },
+                ..EnsembleOptions::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            CoreError::EnsembleFailed {
+                sample, failures, ..
+            } => {
+                assert_eq!(sample, 1);
+                assert!(failures >= 2);
+            }
+            other => panic!("expected EnsembleFailed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn abort_reports_abandoned_samples() {
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), SolverOptions::default()).unwrap(),
+        );
+        // Serial run failing at sample 2: samples 3.. are never attempted.
+        let err = run_ensemble(
+            &compiled,
+            &FailAt(&[2]),
+            &samples(),
+            &EnsembleOptions::default(),
+        )
+        .unwrap_err();
+        match err {
+            CoreError::EnsembleFailed {
+                sample,
+                failures,
+                abandoned,
+                ..
+            } => {
+                assert_eq!(sample, 2);
+                assert_eq!(failures, 1);
+                assert_eq!(abandoned, 4);
+            }
+            other => panic!("expected EnsembleFailed, got {other}"),
+        }
     }
 
     #[test]

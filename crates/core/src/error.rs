@@ -26,6 +26,45 @@ pub enum CoreError {
     },
     /// The model is inconsistent (bad wire attachment, missing material...).
     InvalidModel(String),
+    /// A subsystem solve produced or received non-finite values (NaN/Inf)
+    /// and the recovery ladder could not repair it.
+    NonFinite {
+        /// Which subsystem was contaminated ("electrical" or "thermal").
+        system: &'static str,
+        /// What quantity went non-finite (propagated from the solver guard).
+        detail: &'static str,
+    },
+    /// The run exhausted its total linear-iteration budget
+    /// ([`crate::RecoveryPolicy::linear_iteration_budget`]).
+    BudgetExhausted {
+        /// The configured budget.
+        budget: usize,
+        /// Iterations spent when the budget tripped.
+        spent: usize,
+    },
+    /// A transient step failed after all recovery escalations; wraps the
+    /// final underlying error with step/time context.
+    StepFailed {
+        /// Time step index (0-based).
+        step: usize,
+        /// Physical time at the *start* of the failed step, in seconds.
+        time: f64,
+        /// The error that ended the escalation ladder.
+        source: Box<CoreError>,
+    },
+    /// An ensemble run aborted: one sample failed under
+    /// [`crate::FailurePolicy::Abort`], or quarantine overflowed
+    /// `max_failures`.
+    EnsembleFailed {
+        /// Lowest-index failed sample.
+        sample: usize,
+        /// Total failed samples observed before the abort.
+        failures: usize,
+        /// Samples never attempted because of the abort.
+        abandoned: usize,
+        /// The error of the lowest-index failed sample.
+        source: Box<CoreError>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +84,26 @@ impl fmt::Display for CoreError {
                 "picard iteration of step {step} stalled (relative update {update:.3e})"
             ),
             CoreError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            CoreError::NonFinite { system, detail } => {
+                write!(f, "{system} solve produced a non-finite {detail}")
+            }
+            CoreError::BudgetExhausted { budget, spent } => write!(
+                f,
+                "linear iteration budget exhausted ({spent} of {budget} iterations spent)"
+            ),
+            CoreError::StepFailed { step, time, source } => write!(
+                f,
+                "step {step} (t = {time:.6e} s) failed after recovery: {source}"
+            ),
+            CoreError::EnsembleFailed {
+                sample,
+                failures,
+                abandoned,
+                source,
+            } => write!(
+                f,
+                "ensemble aborted at sample {sample} ({failures} failed, {abandoned} abandoned): {source}"
+            ),
         }
     }
 }
@@ -53,6 +112,9 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Numerics(e) => Some(e),
+            CoreError::StepFailed { source, .. } | CoreError::EnsembleFailed { source, .. } => {
+                Some(source.as_ref())
+            }
             _ => None,
         }
     }
@@ -87,5 +149,40 @@ mod tests {
         let e = CoreError::InvalidModel("no wires".into());
         assert!(e.to_string().contains("no wires"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn resilience_variants_display_and_chain() {
+        let e = CoreError::NonFinite {
+            system: "thermal",
+            detail: "residual",
+        };
+        assert!(e.to_string().contains("non-finite"));
+        let e = CoreError::BudgetExhausted {
+            budget: 100,
+            spent: 120,
+        };
+        assert!(e.to_string().contains("budget"));
+        let inner = CoreError::NonFinite {
+            system: "electrical",
+            detail: "residual",
+        };
+        let e = CoreError::StepFailed {
+            step: 4,
+            time: 2.5e-4,
+            source: Box::new(inner.clone()),
+        };
+        assert!(e.to_string().contains("step 4"));
+        assert!(e.to_string().contains("non-finite"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::EnsembleFailed {
+            sample: 7,
+            failures: 2,
+            abandoned: 3,
+            source: Box::new(inner),
+        };
+        assert!(e.to_string().contains("sample 7"));
+        assert!(e.to_string().contains("abandoned"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

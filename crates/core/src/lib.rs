@@ -51,14 +51,17 @@ mod solution;
 
 pub use adaptive::AdaptiveOptions;
 pub use compiled::CompiledModel;
-pub use ensemble::{run_ensemble, EnsembleOptions, EnsembleResult, Scenario};
+pub use ensemble::{
+    run_ensemble, EnsembleOptions, EnsembleResult, FailurePolicy, SampleFailure, Scenario,
+};
 pub use error::CoreError;
+pub use etherm_numerics::solvers::{Fault, FaultKind, FaultPlan};
 pub use layout::DofLayout;
 pub use model::{ElectrothermalModel, WireAttachment};
 pub use observer::{
     ObservedTransient, ObserverAction, StepObserver, StepRecord, ThresholdObserver,
 };
-pub use options::{JouleScheme, PrecondKind, SolverOptions};
-pub use session::{Session, SolveCounters, StationaryResult, StepResult};
+pub use options::{JouleScheme, PrecondKind, RecoveryPolicy, SolverOptions};
+pub use session::{RecoveryLedger, Session, SolveCounters, StationaryResult, StepResult};
 pub use simulator::Simulator;
 pub use solution::TransientSolution;

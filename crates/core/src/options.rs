@@ -76,6 +76,77 @@ impl Default for PrecondKind {
     }
 }
 
+/// Escalation ladder applied when an inner linear solve fails (iteration
+/// cap, SPD breakdown, non-finite contamination).
+///
+/// The rungs fire in order, each bounded, each recorded in the run's
+/// [`crate::RecoveryLedger`]:
+///
+/// 1. plain retry from the saved pre-solve state (`max_retries` times) —
+///    catches transient contamination without touching the preconditioner,
+///    so a successful retry is bit-identical to an undisturbed solve;
+/// 2. forced preconditioner refresh (in place, frozen pattern);
+/// 3. preconditioner downgrade (`Amg` → `Ic(1)` → `Jacobi`), sticky for the
+///    rest of the session until the cache is cleared;
+/// 4. at the step level, halve `dt` and redo the step as two sub-steps
+///    (`max_dt_halvings` levels of recursion).
+///
+/// `RecoveryPolicy::disabled()` reproduces the historical fail-fast
+/// behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Plain same-configuration retries per solve before escalating.
+    pub max_retries: usize,
+    /// Whether a failing solve may force a preconditioner refresh even when
+    /// the factorization is fresh.
+    pub forced_refresh: bool,
+    /// Whether the ladder may downgrade the preconditioner kind.
+    pub precond_fallback: bool,
+    /// Maximum levels of `dt`-halving recursion per transient step
+    /// (`2` means a step may shrink to `dt/4` sub-steps).
+    pub max_dt_halvings: usize,
+    /// Total Krylov-iteration budget for one run (`run_transient` /
+    /// stationary solve), summed over all solves *including* recovery
+    /// attempts. `0` disables the budget. Exceeding it aborts the run with
+    /// [`crate::CoreError::BudgetExhausted`] — the backstop that keeps a
+    /// pathological sample from burning a whole campaign's CPU.
+    pub linear_iteration_budget: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 1,
+            forced_refresh: true,
+            precond_fallback: true,
+            max_dt_halvings: 2,
+            linear_iteration_budget: 0,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// No escalation at all: the first hard failure propagates, reproducing
+    /// the historical fail-fast behavior.
+    pub fn disabled() -> Self {
+        RecoveryPolicy {
+            max_retries: 0,
+            forced_refresh: false,
+            precond_fallback: false,
+            max_dt_halvings: 0,
+            linear_iteration_budget: 0,
+        }
+    }
+
+    /// Whether every rung of the ladder is off.
+    pub fn is_disabled(&self) -> bool {
+        self.max_retries == 0
+            && !self.forced_refresh
+            && !self.precond_fallback
+            && self.max_dt_halvings == 0
+    }
+}
+
 /// Options of the coupled transient solver.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
@@ -123,6 +194,8 @@ pub struct SolverOptions {
     /// paper package, `0.01` halves the triangular-sweep cost at unchanged
     /// CG iteration counts. `0.0` keeps the full structural pattern.
     pub precond_droptol: f64,
+    /// Escalation ladder applied when an inner solve fails.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for SolverOptions {
@@ -144,6 +217,7 @@ impl Default for SolverOptions {
             precond_refresh_factor: 1.5,
             precond_max_reuses: 64,
             precond_droptol: 0.01,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -223,6 +297,18 @@ mod tests {
             PrecondKind::amg().describe(),
             "amg(theta=0.08,omega=1)"
         );
+    }
+
+    #[test]
+    fn recovery_defaults_and_disabled() {
+        let r = RecoveryPolicy::default();
+        assert_eq!(r.max_retries, 1);
+        assert!(r.forced_refresh && r.precond_fallback);
+        assert_eq!(r.max_dt_halvings, 2);
+        assert_eq!(r.linear_iteration_budget, 0);
+        assert!(!r.is_disabled());
+        assert!(RecoveryPolicy::disabled().is_disabled());
+        assert_eq!(SolverOptions::default().recovery, RecoveryPolicy::default());
     }
 
     #[test]

@@ -29,13 +29,14 @@ use crate::assembly::{self, CoeffBufs};
 use crate::compiled::CompiledModel;
 use crate::error::CoreError;
 use crate::observer::{ObservedTransient, ObserverAction, StepObserver, StepRecord};
-use crate::options::{JouleScheme, PrecondKind, SolverOptions};
+use crate::options::{JouleScheme, PrecondKind, RecoveryPolicy, SolverOptions};
 use crate::solution::TransientSolution;
 use etherm_bondwire::stamp::wire_joule_heat;
 use etherm_fit::CachedStamper;
 use etherm_numerics::solvers::{
-    pcg_with, AmgOptions, AmgPrecond, AmgSmoother, CgOptions, IdentityPrecond,
-    IncompleteCholesky, JacobiPrecond, KrylovWorkspace, Preconditioner, SolveReport, Ssor,
+    pcg_with, AmgOptions, AmgPrecond, AmgSmoother, CgOptions, FaultInjector, FaultPlan,
+    FaultyLinOp, IdentityPrecond, IncompleteCholesky, JacobiPrecond, KrylovWorkspace,
+    Preconditioner, SolveReport, Ssor,
 };
 use etherm_numerics::sparse::{Csr, ParSpmv};
 use etherm_numerics::{vector, NumericsError};
@@ -54,8 +55,10 @@ pub(crate) enum CachedPrecond {
 }
 
 impl CachedPrecond {
-    fn build(options: &SolverOptions, a: &Csr) -> Result<Self, NumericsError> {
-        Ok(match options.preconditioner {
+    /// Builds a preconditioner of an explicit kind — the recovery ladder's
+    /// downgrade rung builds a *different* kind than the configured one.
+    fn build_kind(kind: PrecondKind, options: &SolverOptions, a: &Csr) -> Result<Self, NumericsError> {
+        Ok(match kind {
             PrecondKind::None => CachedPrecond::Identity(IdentityPrecond::new(a.n_rows())),
             PrecondKind::Jacobi => CachedPrecond::Jacobi(JacobiPrecond::new(a)?),
             PrecondKind::Ic(level) => CachedPrecond::Ic(IncompleteCholesky::with_fill_drop(
@@ -128,6 +131,13 @@ struct SubsystemCache {
     baseline_iters: Option<usize>,
     /// Solves since the last (re)build.
     reuses: usize,
+    /// How many times the recovery ladder has downgraded this subsystem's
+    /// preconditioner kind (`0` = the configured kind). Sticky until
+    /// [`SubsystemCache::clear`].
+    fallback_level: usize,
+    /// The CG initial guess saved at solve entry: retry rungs restart from
+    /// it so a failed attempt cannot leak NaN contamination into the next.
+    guess_backup: Vec<f64>,
 }
 
 impl SubsystemCache {
@@ -137,11 +147,37 @@ impl SubsystemCache {
     }
 
     /// Drops the cached preconditioner (exact-mode reset): the next solve
-    /// rebuilds from scratch, exactly like a fresh simulator.
+    /// rebuilds from scratch, exactly like a fresh simulator. Also forgets
+    /// any recovery downgrade of the preconditioner kind.
     fn clear(&mut self) {
         self.precond = None;
+        self.fallback_level = 0;
+        self.guess_backup.clear();
         self.mark_rebuilt();
     }
+}
+
+/// The downgrade ladder of the recovery policy: each kind's next cheaper,
+/// more robust fallback (`None` = bottom of the ladder).
+fn next_fallback(kind: PrecondKind) -> Option<PrecondKind> {
+    match kind {
+        PrecondKind::Amg { .. } => Some(PrecondKind::Ic(1)),
+        PrecondKind::Ic(_) | PrecondKind::Ssor(_) => Some(PrecondKind::Jacobi),
+        PrecondKind::Jacobi | PrecondKind::None => None,
+    }
+}
+
+/// The preconditioner kind after `fallback_level` downgrades of the
+/// configured kind.
+fn effective_kind(options: &SolverOptions, fallback_level: usize) -> PrecondKind {
+    let mut kind = options.preconditioner;
+    for _ in 0..fallback_level {
+        match next_fallback(kind) {
+            Some(next) => kind = next,
+            None => break,
+        }
+    }
+    kind
 }
 
 /// Scratch buffers reused across Picard iterates and time steps: the
@@ -232,6 +268,43 @@ pub struct StationaryResult {
     pub field_power: f64,
 }
 
+/// What the recovery ladder did during a run: every escalation is counted,
+/// so a campaign can tell *degraded-but-recovered* samples from clean ones.
+/// All-zero means no rung ever fired — the solve path was identical to a
+/// session with recovery disabled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryLedger {
+    /// Plain same-configuration solve retries.
+    pub solve_retries: usize,
+    /// Preconditioner refreshes forced by a failing solve.
+    pub forced_refreshes: usize,
+    /// Preconditioner-kind downgrades (`Amg` → `Ic(1)` → `Jacobi`).
+    pub precond_fallbacks: usize,
+    /// Transient steps redone as two half-size sub-steps.
+    pub dt_halvings: usize,
+    /// Solves that failed at least once but succeeded after escalation.
+    pub recovered_solves: usize,
+    /// Steps that failed at least once but succeeded after `dt`-halving.
+    pub recovered_steps: usize,
+}
+
+impl RecoveryLedger {
+    /// Accumulates `other` into `self` (sums all rung counts).
+    pub fn merge(&mut self, other: &RecoveryLedger) {
+        self.solve_retries += other.solve_retries;
+        self.forced_refreshes += other.forced_refreshes;
+        self.precond_fallbacks += other.precond_fallbacks;
+        self.dt_halvings += other.dt_halvings;
+        self.recovered_solves += other.recovered_solves;
+        self.recovered_steps += other.recovered_steps;
+    }
+
+    /// Whether any rung fired.
+    pub fn any(&self) -> bool {
+        *self != RecoveryLedger::default()
+    }
+}
+
 /// Cumulative iteration counters per subsystem.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveCounters {
@@ -252,6 +325,8 @@ pub struct SolveCounters {
     /// Largest coarsest-level dimension any AMG hierarchy reached (0 when
     /// no AMG preconditioner was built).
     pub peak_coarse_dim: usize,
+    /// What the recovery ladder did (all-zero on clean runs).
+    pub recovery: RecoveryLedger,
 }
 
 impl SolveCounters {
@@ -266,6 +341,7 @@ impl SolveCounters {
         self.precond_rebuilds += other.precond_rebuilds;
         self.precond_reuses += other.precond_reuses;
         self.peak_coarse_dim = self.peak_coarse_dim.max(other.peak_coarse_dim);
+        self.recovery.merge(&other.recovery);
     }
 }
 
@@ -297,6 +373,12 @@ pub struct Session {
     scratch: Scratch,
     counters: SolveCounters,
     warm: WarmState,
+    /// Deterministic fault injection for resilience testing
+    /// ([`Session::set_fault_plan`]); `None` on the production path.
+    fault: Option<FaultInjector>,
+    /// Krylov iterations spent in the current run, charged against
+    /// [`RecoveryPolicy::linear_iteration_budget`].
+    budget_spent: usize,
 }
 
 impl Session {
@@ -322,6 +404,8 @@ impl Session {
             scratch: Scratch::default(),
             counters: SolveCounters::default(),
             warm: WarmState::default(),
+            fault: None,
+            budget_spent: 0,
         }
     }
 
@@ -367,6 +451,23 @@ impl Session {
             self.warm.traj_prev.clear();
             self.warm.traj_cur.clear();
         }
+    }
+
+    /// Installs (or removes, with `None`) a deterministic fault plan: the
+    /// selected solves of subsequent runs see a [`FaultyLinOp`]-wrapped
+    /// operator that injects the planned breakdowns, NaN/Inf contamination
+    /// or iteration-cap stalls. The plan is a *parameter* like the wire
+    /// lengths — it survives [`Session::reset`] — and an empty plan is
+    /// normalized to `None`, keeping the production path zero-cost.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan
+            .filter(|p| !p.is_empty())
+            .map(FaultInjector::new);
+    }
+
+    /// The number of planned faults injected so far (0 without a plan).
+    pub fn faults_fired(&self) -> usize {
+        self.fault.as_ref().map_or(0, |f| f.fired())
     }
 
     /// Resets all per-run solver state so the next run is bit-identical to
@@ -486,6 +587,7 @@ impl Session {
         }
         let t0 = self.initial_temperature();
         let mut phi = vec![0.0; self.compiled.layout().n_total()];
+        self.begin_recovery_run();
         let r = self.coupled_solve(&t0, None, &mut phi, 0)?;
         Ok(StationaryResult {
             temperature: r.temperature,
@@ -632,11 +734,18 @@ impl Session {
         }
 
         let mut steps_executed = 0usize;
+        let max_halvings = self.compiled.options().recovery.max_dt_halvings;
         for step in 1..=n_steps {
             if stop {
                 break;
             }
-            let result = self.step(&t_state, dt, &mut phi, step)?;
+            let result = self
+                .step_recovering(&t_state, dt, &mut phi, step, max_halvings)
+                .map_err(|e| CoreError::StepFailed {
+                    step,
+                    time: dt * (step - 1) as f64,
+                    source: Box::new(e),
+                })?;
             steps_executed = step;
             let time = dt * step as f64;
             record(
@@ -719,6 +828,70 @@ impl Session {
         self.scratch.last_dt = 0.0;
         if self.warm.enabled {
             self.warm.traj_prev = std::mem::take(&mut self.warm.traj_cur);
+        }
+        self.begin_recovery_run();
+    }
+
+    /// Resets the per-run recovery state: the iteration budget restarts and
+    /// the fault plan rewinds to its first solve.
+    fn begin_recovery_run(&mut self) {
+        self.budget_spent = 0;
+        if let Some(f) = &self.fault {
+            f.begin_run();
+        }
+    }
+
+    /// [`Session::step`] behind the `dt`-halving rung of the recovery
+    /// ladder: a retryable step failure (the solve-level rungs are already
+    /// exhausted at this point) is redone as two implicit-Euler sub-steps of
+    /// `dt/2` from the saved step-start state, recursively up to
+    /// `halvings_left` levels. The electrical warm-start vector is restored
+    /// before re-stepping so NaN contamination from the failed attempt
+    /// cannot leak into the recovery path; the step-extrapolation predictor
+    /// self-disables on the next full step because the recorded `last_dt` no
+    /// longer matches.
+    fn step_recovering(
+        &mut self,
+        t_prev: &[f64],
+        dt: f64,
+        phi_warm: &mut [f64],
+        step_index: usize,
+        halvings_left: usize,
+    ) -> Result<StepResult, CoreError> {
+        let phi_backup = if halvings_left > 0 {
+            Some(phi_warm.to_vec())
+        } else {
+            None
+        };
+        match self.step(t_prev, dt, phi_warm, step_index) {
+            Ok(r) => Ok(r),
+            Err(e) if phi_backup.is_some() && step_error_is_retryable(&e) => {
+                if let Some(phi0) = &phi_backup {
+                    phi_warm.copy_from_slice(phi0);
+                }
+                self.counters.recovery.dt_halvings += 1;
+                let half = 0.5 * dt;
+                let first =
+                    self.step_recovering(t_prev, half, phi_warm, step_index, halvings_left - 1)?;
+                let second = self.step_recovering(
+                    &first.temperature,
+                    half,
+                    phi_warm,
+                    step_index,
+                    halvings_left - 1,
+                )?;
+                self.counters.recovery.recovered_steps += 1;
+                Ok(StepResult {
+                    temperature: second.temperature,
+                    potential: second.potential,
+                    picard_iterations: first.picard_iterations + second.picard_iterations,
+                    linear_iterations: first.linear_iterations + second.linear_iterations,
+                    converged: first.converged && second.converged,
+                    wire_powers: second.wire_powers,
+                    field_power: second.field_power,
+                })
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -865,6 +1038,8 @@ impl Session {
             elec_solver,
             scratch,
             counters,
+            fault,
+            budget_spent,
             ..
         } = self;
         let model = compiled.model();
@@ -875,9 +1050,13 @@ impl Session {
             phi_warm.fill(0.0);
             return Ok(0);
         }
-        let stamper = elec_stamper
-            .as_mut()
-            .expect("electrical template recorded for driven models");
+        let Some(stamper) = elec_stamper.as_mut() else {
+            // CompiledModel records the template whenever Dirichlet drives
+            // exist, so this indicates a corrupted model.
+            return Err(CoreError::InvalidModel(
+                "electrical template missing for a driven model".into(),
+            ));
+        };
         assembly::stamp_electrical(
             model,
             compiled.layout(),
@@ -896,6 +1075,8 @@ impl Session {
             a,
             b,
             &mut scratch.x_red,
+            fault.as_ref(),
+            budget_spent,
         )?;
         // Expansion must insert the *scaled* Dirichlet potentials so the
         // heat-source evaluation sees the same drive the assembly condensed
@@ -985,6 +1166,8 @@ impl Session {
             scratch,
             counters,
             warm,
+            fault,
+            budget_spent,
             ..
         } = self;
         let model = compiled.model();
@@ -1075,6 +1258,8 @@ impl Session {
             a,
             b,
             &mut scratch.x_red,
+            fault.as_ref(),
+            budget_spent,
         )?;
         if transient && warm.enabled && step_index >= 1 {
             if warm.traj_cur.len() < step_index {
@@ -1088,26 +1273,82 @@ impl Session {
     }
 }
 
-/// Refreshes `cache`'s preconditioner in place from `a`, falling back to a
-/// full rebuild when the refresh fails (pattern change or numeric breakdown
-/// with every shift).
+/// Whether a step-level error may be repaired by redoing the step with a
+/// smaller `dt`. Structural errors and the budget backstop are final.
+fn step_error_is_retryable(e: &CoreError) -> bool {
+    match e {
+        CoreError::LinearSolveFailed { .. }
+        | CoreError::NonFinite { .. }
+        | CoreError::PicardNotConverged { .. } => true,
+        CoreError::Numerics(ne) => numerics_error_is_retryable(ne),
+        _ => false,
+    }
+}
+
+/// Whether a solver error is transient enough for the solve-level rungs
+/// (retry / refresh / downgrade) to be worth attempting.
+fn numerics_error_is_retryable(e: &NumericsError) -> bool {
+    matches!(
+        e,
+        NumericsError::Breakdown { .. }
+            | NumericsError::NonFinite { .. }
+            | NumericsError::NotConverged { .. }
+    )
+}
+
+/// Errors [`CoreError::BudgetExhausted`] once the run's spent Krylov
+/// iterations reach the policy's budget (`0` = unlimited).
+fn check_budget(recovery: &RecoveryPolicy, spent: usize) -> Result<(), CoreError> {
+    if recovery.linear_iteration_budget > 0 && spent >= recovery.linear_iteration_budget {
+        return Err(CoreError::BudgetExhausted {
+            budget: recovery.linear_iteration_budget,
+            spent,
+        });
+    }
+    Ok(())
+}
+
+/// Refreshes `cache`'s preconditioner in place from `a` — or (re)builds it
+/// at the cache's current fallback kind when it is missing, when the
+/// in-place refresh fails (pattern change or numeric breakdown with every
+/// shift), or when a planned `RefreshFail` fault vetoes the refresh.
 fn refresh_or_rebuild(
     options: &SolverOptions,
     counters: &mut SolveCounters,
     cache: &mut SubsystemCache,
     a: &Csr,
+    fault: Option<&FaultInjector>,
 ) -> Result<(), NumericsError> {
-    let p = cache.precond.as_mut().expect("preconditioner present");
-    if p.refresh(a).is_err() {
-        *p = CachedPrecond::build(options, a)?;
+    let kind = effective_kind(options, cache.fallback_level);
+    match cache.precond.as_mut() {
+        Some(p) => {
+            let refresh_vetoed = fault.is_some_and(|f| f.refresh_fault());
+            if refresh_vetoed || p.refresh(a).is_err() {
+                *p = CachedPrecond::build_kind(kind, options, a)?;
+            }
+        }
+        None => cache.precond = Some(CachedPrecond::build_kind(kind, options, a)?),
     }
-    let coarse_dim = p.coarse_dim();
+    let coarse_dim = cache.precond.as_ref().and_then(|p| p.coarse_dim());
     cache.mark_rebuilt();
     counters.precond_rebuilds += 1;
     if let Some(nc) = coarse_dim {
         counters.peak_coarse_dim = counters.peak_coarse_dim.max(nc);
     }
     Ok(())
+}
+
+/// One escalation rung of the solve-level recovery ladder.
+#[derive(Debug, Clone, Copy)]
+enum Rung {
+    /// Retry from the saved guess with the same configuration — repairs
+    /// one-shot contamination bit-identically (nothing but the transient
+    /// corruption differed).
+    Retry,
+    /// Force an in-place preconditioner refresh (or rebuild) first.
+    Refresh,
+    /// Downgrade the preconditioner kind one ladder level first.
+    Fallback,
 }
 
 /// Solves one reduced SPD system with the subsystem's cached preconditioner
@@ -1117,9 +1358,17 @@ fn refresh_or_rebuild(
 /// served [`SolverOptions::precond_max_reuses`] solves, or (b) a converged
 /// solve needs more than [`SolverOptions::precond_refresh_factor`] times
 /// the iterations of the first solve after the last (re)build — then it is
-/// refreshed in place over the frozen pattern. A non-converged solve with a
-/// stale factorization triggers an immediate refresh and one retry before
-/// the failure is reported.
+/// refreshed in place over the frozen pattern.
+///
+/// Failure handling follows [`RecoveryPolicy`]: retryable failures
+/// (iteration cap, SPD breakdown, non-finite contamination) walk the
+/// escalation ladder — plain retries, a forced refresh (always granted when
+/// the factorization was stale, the historical safety net), then sticky
+/// preconditioner downgrades — each restarting from the saved initial
+/// guess. Every rung is recorded in the counters'
+/// [`RecoveryLedger`]; structural errors and the iteration budget abort
+/// immediately.
+#[allow(clippy::too_many_arguments)]
 fn solve_reduced(
     options: &SolverOptions,
     counters: &mut SolveCounters,
@@ -1128,57 +1377,134 @@ fn solve_reduced(
     a: &Csr,
     b: &[f64],
     x: &mut [f64],
+    fault: Option<&FaultInjector>,
+    budget_spent: &mut usize,
 ) -> Result<usize, CoreError> {
     let opts: CgOptions = options.linear;
+    let recovery = options.recovery;
+    check_budget(&recovery, *budget_spent)?;
 
-    let mut fresh = match &mut cache.precond {
-        slot @ None => {
-            let built = CachedPrecond::build(options, a)?;
-            counters.precond_rebuilds += 1;
-            if let Some(nc) = built.coarse_dim() {
-                counters.peak_coarse_dim = counters.peak_coarse_dim.max(nc);
-            }
-            *slot = Some(built);
-            cache.mark_rebuilt();
-            true
-        }
-        Some(_) if cache.reuses >= options.precond_max_reuses => {
-            refresh_or_rebuild(options, counters, cache, a)?;
-            true
-        }
-        Some(_) => false,
+    let mut fresh = if cache.precond.is_none() || cache.reuses >= options.precond_max_reuses {
+        refresh_or_rebuild(options, counters, cache, a, fault)?;
+        true
+    } else {
+        false
     };
     if !fresh {
         cache.reuses += 1;
         counters.precond_reuses += 1;
     }
 
-    let run = |cache: &mut SubsystemCache, x: &mut [f64]| -> Result<SolveReport, NumericsError> {
-        let p = cache.precond.as_ref().expect("preconditioner present");
-        if options.n_threads > 1 {
+    // Failed attempts may leave `x` contaminated (NaN poison); every rung
+    // restarts from the guess saved here.
+    cache.guess_backup.clear();
+    cache.guess_backup.extend_from_slice(x);
+
+    // Zero-cost clean path: the operator is wrapped only when the plan
+    // targets this very solve.
+    let faulty = fault.filter(|f| f.begin_solve());
+
+    let run = |cache: &mut SubsystemCache, x: &mut [f64]| -> Result<SolveReport, CoreError> {
+        let Some(p) = cache.precond.as_ref() else {
+            // Unreachable: built or refreshed above and never cleared here.
+            return Err(CoreError::InvalidModel(
+                "preconditioner missing after build".into(),
+            ));
+        };
+        let report = if let Some(inj) = faulty {
+            inj.begin_attempt();
+            if options.n_threads > 1 {
+                let op = ParSpmv::new(a, options.n_threads);
+                let fop = FaultyLinOp::new(&op, inj);
+                pcg_with(&fop, b, x, p, &opts, &mut cache.ws)
+            } else {
+                let fop = FaultyLinOp::new(a, inj);
+                pcg_with(&fop, b, x, p, &opts, &mut cache.ws)
+            }
+        } else if options.n_threads > 1 {
             let op = ParSpmv::new(a, options.n_threads);
             pcg_with(&op, b, x, p, &opts, &mut cache.ws)
         } else {
             pcg_with(a, b, x, p, &opts, &mut cache.ws)
-        }
+        };
+        report.map_err(CoreError::from)
     };
 
-    let mut report = run(cache, x)?;
-    if !report.converged && !fresh {
-        // A stale factorization can genuinely stall CG; retry once with
-        // current values before declaring failure.
-        refresh_or_rebuild(options, counters, cache, a)?;
-        fresh = true;
-        report = run(cache, x)?;
+    // Static escalation plan: retries, then a refresh (always granted when
+    // the factorization was stale — the historical stale-retry safety net),
+    // then one rung per remaining downgrade level.
+    let mut rungs: Vec<Rung> = Vec::new();
+    for _ in 0..recovery.max_retries {
+        rungs.push(Rung::Retry);
     }
-    if !report.converged {
-        return Err(CoreError::LinearSolveFailed {
-            system: system.name(),
-            iterations: report.iterations,
-            residual: report.residual,
-        });
+    if recovery.forced_refresh || !fresh {
+        rungs.push(Rung::Refresh);
+    }
+    if recovery.precond_fallback {
+        let mut kind = effective_kind(options, cache.fallback_level);
+        while let Some(next) = next_fallback(kind) {
+            rungs.push(Rung::Fallback);
+            kind = next;
+        }
     }
 
+    let mut rungs = rungs.into_iter();
+    let mut escalated = false;
+    let mut outcome = run(cache, x);
+    let report = loop {
+        let failure = match outcome {
+            Ok(r) if r.converged => break r,
+            Ok(r) => {
+                *budget_spent += r.iterations;
+                CoreError::LinearSolveFailed {
+                    system: system.name(),
+                    iterations: r.iterations,
+                    residual: r.residual,
+                }
+            }
+            Err(CoreError::Numerics(e)) if numerics_error_is_retryable(&e) => {
+                CoreError::Numerics(e)
+            }
+            Err(e) => return Err(e),
+        };
+        let Some(rung) = rungs.next() else {
+            // Ladder exhausted: enrich the final error with subsystem
+            // context.
+            return Err(match failure {
+                CoreError::Numerics(NumericsError::NonFinite { detail, .. }) => {
+                    CoreError::NonFinite {
+                        system: system.name(),
+                        detail,
+                    }
+                }
+                e => e,
+            });
+        };
+        check_budget(&recovery, *budget_spent)?;
+        x.copy_from_slice(&cache.guess_backup);
+        escalated = true;
+        match rung {
+            Rung::Retry => counters.recovery.solve_retries += 1,
+            Rung::Refresh => {
+                refresh_or_rebuild(options, counters, cache, a, fault)?;
+                fresh = true;
+                counters.recovery.forced_refreshes += 1;
+            }
+            Rung::Fallback => {
+                cache.fallback_level += 1;
+                cache.precond = None;
+                refresh_or_rebuild(options, counters, cache, a, fault)?;
+                fresh = true;
+                counters.recovery.precond_fallbacks += 1;
+            }
+        }
+        outcome = run(cache, x);
+    };
+
+    *budget_spent += report.iterations;
+    if escalated {
+        counters.recovery.recovered_solves += 1;
+    }
     if system == Subsystem::Electrical {
         counters.electrical_iterations += report.iterations;
         counters.electrical_solves += 1;
@@ -1195,7 +1521,7 @@ fn solve_reduced(
             if degraded && !fresh {
                 // Refresh eagerly so the *next* solve starts from current
                 // values.
-                refresh_or_rebuild(options, counters, cache, a)?;
+                refresh_or_rebuild(options, counters, cache, a, fault)?;
             }
         }
     }

@@ -10,6 +10,7 @@
 //! `lint-allow` meta rule), so the escape hatch cannot silently rot.
 
 pub mod forbid_unsafe;
+pub mod no_panic_unwrap;
 pub mod nondeterministic_map;
 pub mod safety_comment;
 pub mod unseeded_rng;
@@ -25,16 +26,18 @@ pub const NONDETERMINISTIC_MAP: &str = "nondeterministic-map";
 pub const WALL_CLOCK: &str = "wall-clock";
 pub const UNSEEDED_RNG: &str = "unseeded-rng";
 pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+pub const NO_PANIC_UNWRAP: &str = "no-panic-unwrap";
 /// Meta rule: malformed `lint:allow` annotations.
 pub const LINT_ALLOW: &str = "lint-allow";
 
 /// The rules a `lint:allow` annotation may name.
-pub const ALLOWABLE_RULES: [&str; 5] = [
+pub const ALLOWABLE_RULES: [&str; 6] = [
     SAFETY_COMMENT,
     NONDETERMINISTIC_MAP,
     WALL_CLOCK,
     UNSEEDED_RNG,
     FORBID_UNSAFE,
+    NO_PANIC_UNWRAP,
 ];
 
 /// A rule finding before escape-hatch filtering. `line_idx` is 0-based.
@@ -75,6 +78,7 @@ pub fn check_file(rel_path: &str, source: &str, kind: FileKind) -> FileReport {
     nondeterministic_map::check(kind, &lines, &in_test, &mut cands);
     wall_clock::check(kind, &lines, &mut cands);
     unseeded_rng::check(kind, &lines, &in_test, &mut cands);
+    no_panic_unwrap::check(kind, rel_path, &lines, &in_test, &mut cands);
     check_allow_annotations(&allows, &mut cands);
 
     let mut report = FileReport {

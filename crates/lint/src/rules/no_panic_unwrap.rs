@@ -1,0 +1,113 @@
+//! `no-panic-unwrap`: no `unwrap()` / `expect()` in resilience-critical
+//! library code.
+//!
+//! The recovery ladder turns solver failures into structured errors
+//! (`CoreError::StepFailed`, `EnsembleFailed`, …) precisely so a poisoned
+//! sample cannot take down a campaign — a panic in the session, the
+//! ensemble engine or the iterative solvers would bypass the whole
+//! escalation path and kill every worker thread with it. Inside that
+//! perimeter (`crates/core/src/session.rs`, `crates/core/src/ensemble.rs`
+//! and the solver modules under `crates/numerics/src/solvers/`) every
+//! fallible operation must return an error, or justify the panic with e.g.
+//! `// lint:allow(no-panic-unwrap): invariant upheld by the builder above`.
+//! Test code (and `unwrap_or`-style non-panicking combinators) are exempt.
+
+use super::{Candidate, NO_PANIC_UNWRAP};
+use crate::classify::FileKind;
+use crate::scan::{has_token, Line};
+
+const TOKENS: [&str; 2] = ["unwrap", "expect"];
+
+/// The resilience perimeter, as workspace-relative path prefixes/paths.
+fn in_perimeter(rel_path: &str) -> bool {
+    rel_path == "crates/core/src/session.rs"
+        || rel_path == "crates/core/src/ensemble.rs"
+        || rel_path.starts_with("crates/numerics/src/solvers/")
+}
+
+pub(crate) fn check(
+    kind: FileKind,
+    rel_path: &str,
+    lines: &[Line],
+    in_test: &[bool],
+    cands: &mut Vec<Candidate>,
+) {
+    if kind != FileKind::Library || !in_perimeter(rel_path) {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        if let Some(tok) = TOKENS.iter().find(|t| has_token(&line.code, t)) {
+            cands.push(Candidate {
+                line_idx: idx,
+                rule: NO_PANIC_UNWRAP,
+                message: format!(
+                    "`{tok}` in the solver-resilience perimeter: a panic here bypasses the \
+                     recovery ladder and kills the whole ensemble; return a structured error \
+                     (`CoreError`/`NumericsError`) or justify with a lint:allow annotation"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{cfg_test_regions, scan};
+
+    fn run(kind: FileKind, rel_path: &str, src: &str) -> Vec<usize> {
+        let lines = scan(src);
+        let in_test = cfg_test_regions(&lines);
+        let mut cands = Vec::new();
+        check(kind, rel_path, &lines, &in_test, &mut cands);
+        cands.iter().map(|c| c.line_idx + 1).collect()
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_in_perimeter() {
+        let src = "let x = m.get(&k).unwrap();\nlet y = v.first().expect(\"non-empty\");";
+        assert_eq!(
+            run(FileKind::Library, "crates/core/src/session.rs", src),
+            vec![1, 2]
+        );
+        assert_eq!(
+            run(FileKind::Library, "crates/core/src/ensemble.rs", src),
+            vec![1, 2]
+        );
+        assert_eq!(
+            run(FileKind::Library, "crates/numerics/src/solvers/amg.rs", src),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn outside_perimeter_passes() {
+        let src = "let x = m.get(&k).unwrap();";
+        assert!(run(FileKind::Library, "crates/core/src/options.rs", src).is_empty());
+        assert!(run(FileKind::Library, "crates/numerics/src/sparse/csr.rs", src).is_empty());
+        assert!(run(FileKind::Test, "crates/core/tests/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_panicking_combinators_pass() {
+        let src = "let x = o.unwrap_or(0);\nlet y = o.unwrap_or_else(|| 1);\n\
+                   let z = o.unwrap_or_default();";
+        assert!(run(FileKind::Library, "crates/core/src/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { lib();\n        \
+                   x.unwrap(); }\n}";
+        assert!(run(FileKind::Library, "crates/core/src/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_pass() {
+        let src = "// unwrap() would panic here\nlet s = \"expect\";";
+        assert!(run(FileKind::Library, "crates/core/src/session.rs", src).is_empty());
+    }
+}

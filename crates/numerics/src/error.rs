@@ -39,6 +39,17 @@ pub enum NumericsError {
         /// Description of the breakdown.
         detail: &'static str,
     },
+    /// A solver detected a non-finite (NaN/Inf) value in its input or
+    /// iteration state and stopped instead of iterating on garbage. Unlike
+    /// [`NumericsError::Breakdown`] (a structural property of the operator,
+    /// e.g. loss of positive definiteness), a non-finite value usually means
+    /// contaminated data — the caller may retry from a clean state.
+    NonFinite {
+        /// Solver name.
+        solver: &'static str,
+        /// Which quantity became non-finite.
+        detail: &'static str,
+    },
     /// An argument was invalid (NaN input, empty system, zero step, ...).
     InvalidArgument(String),
 }
@@ -67,6 +78,9 @@ impl fmt::Display for NumericsError {
             ),
             NumericsError::Breakdown { solver, detail } => {
                 write!(f, "{solver} breakdown: {detail}")
+            }
+            NumericsError::NonFinite { solver, detail } => {
+                write!(f, "{solver} encountered a non-finite {detail}")
             }
             NumericsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -111,6 +125,13 @@ mod tests {
 
         let e = NumericsError::InvalidArgument("empty".into());
         assert!(e.to_string().contains("empty"));
+
+        let e = NumericsError::NonFinite {
+            solver: "pcg",
+            detail: "residual",
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(e.to_string().contains("residual"));
     }
 
     #[test]

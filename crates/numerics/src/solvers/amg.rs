@@ -573,15 +573,17 @@ impl AmgPrecond {
             }
         }
         {
-            // b_{l+1} ← R·res
-            let (sl, rest) = s[l..].split_first_mut().expect("level scratch present");
-            level.r.spmv_threaded(&sl.res, &mut rest[0].b, nt);
+            // b_{l+1} ← R·res (scratch holds one slot per level plus the
+            // coarsest, so the split leaves l+1 on the right).
+            let (this, deeper) = s.split_at_mut(l + 1);
+            level.r.spmv_threaded(&this[l].res, &mut deeper[0].b, nt);
         }
         self.cycle(l + 1, s);
         {
-            let (sl, rest) = s[l..].split_first_mut().expect("level scratch present");
+            let (this, deeper) = s.split_at_mut(l + 1);
+            let sl = &mut this[l];
             // x ← x + P·x_{l+1}
-            level.p.spmv_threaded(&rest[0].x, &mut sl.tmp, nt);
+            level.p.spmv_threaded(&deeper[0].x, &mut sl.tmp, nt);
             for (xi, ti) in sl.x.iter_mut().zip(&sl.tmp) {
                 *xi += ti;
             }
@@ -735,9 +737,16 @@ impl Level {
         for i in 0..n {
             let (fcols, _) = filtered.row(i);
             for &j in fcols {
-                f_to_p[k] = p
-                    .slot(i, agg[j] as usize)
-                    .expect("frozen P pattern covers the filtered row");
+                // The frozen P pattern covers every filtered row by
+                // construction; a miss means the aggregation above is
+                // inconsistent, which the caller degrades on like any
+                // other setup failure.
+                f_to_p[k] = p.slot(i, agg[j] as usize).ok_or(
+                    NumericsError::FactorizationFailed {
+                        kind: "amg",
+                        index: i,
+                    },
+                )?;
                 k += 1;
             }
         }

@@ -67,6 +67,12 @@ pub fn bicgstab_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
     }
 
     let norm_b = vector::norm2(b);
+    if !norm_b.is_finite() {
+        return Err(NumericsError::NonFinite {
+            solver: "bicgstab",
+            detail: "right-hand side",
+        });
+    }
     let target = (options.tol_rel * norm_b).max(options.tol_abs);
     let max_iter = if options.max_iter == 0 {
         10 * n + 100
@@ -81,6 +87,12 @@ pub fn bicgstab_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         r[i] = b[i] - r[i];
     }
     let mut res_norm = vector::norm2(r);
+    if !res_norm.is_finite() {
+        return Err(NumericsError::NonFinite {
+            solver: "bicgstab",
+            detail: "initial residual",
+        });
+    }
     if res_norm <= target {
         return Ok(SolveReport {
             converged: true,
@@ -105,6 +117,12 @@ pub fn bicgstab_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
 
     for iter in 1..=max_iter {
         let rho_new = vector::dot(r0, r);
+        if !rho_new.is_finite() {
+            return Err(NumericsError::NonFinite {
+                solver: "bicgstab",
+                detail: "r0ᵀr",
+            });
+        }
         if rho_new.abs() < f64::MIN_POSITIVE * 1e10 {
             return Err(NumericsError::Breakdown {
                 solver: "bicgstab",
@@ -165,9 +183,9 @@ pub fn bicgstab_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         }
         res_norm = vector::norm2(r);
         if !res_norm.is_finite() {
-            return Err(NumericsError::Breakdown {
+            return Err(NumericsError::NonFinite {
                 solver: "bicgstab",
-                detail: "residual became non-finite",
+                detail: "residual",
             });
         }
         if res_norm <= target {

@@ -130,6 +130,12 @@ pub fn pcg_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
     }
 
     let norm_b = vector::norm2(b);
+    if !norm_b.is_finite() {
+        return Err(NumericsError::NonFinite {
+            solver: "pcg",
+            detail: "right-hand side",
+        });
+    }
     let target = (options.tol_rel * norm_b).max(options.tol_abs);
 
     ws.ensure(n);
@@ -139,6 +145,12 @@ pub fn pcg_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         r[i] = b[i] - r[i];
     }
     let mut res_norm = vector::norm2(r);
+    if !res_norm.is_finite() {
+        return Err(NumericsError::NonFinite {
+            solver: "pcg",
+            detail: "initial residual",
+        });
+    }
     if res_norm <= target {
         return Ok(SolveReport {
             converged: true,
@@ -158,7 +170,13 @@ pub fn pcg_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
     for iter in 1..=max_iter {
         a.apply_into(p, ap);
         let pap = vector::dot(p, ap);
-        if pap <= 0.0 || !pap.is_finite() {
+        if !pap.is_finite() {
+            return Err(NumericsError::NonFinite {
+                solver: "pcg",
+                detail: "pᵀAp",
+            });
+        }
+        if pap <= 0.0 {
             return Err(NumericsError::Breakdown {
                 solver: "pcg",
                 detail: "pᵀAp not positive: operator is not SPD",
@@ -168,9 +186,9 @@ pub fn pcg_with<A: LinOp + ?Sized, P: Preconditioner + ?Sized>(
         vector::axpy(alpha, p, x);
         res_norm = vector::axpy_norm2(-alpha, ap, r);
         if !res_norm.is_finite() {
-            return Err(NumericsError::Breakdown {
+            return Err(NumericsError::NonFinite {
                 solver: "pcg",
-                detail: "residual became non-finite",
+                detail: "residual",
             });
         }
         if res_norm <= target {
@@ -298,6 +316,17 @@ mod tests {
         let mut x = vec![0.0; 2];
         let e = cg(&a, &[1.0, 1.0], &mut x, &CgOptions::default());
         assert!(matches!(e, Err(NumericsError::Breakdown { .. })));
+    }
+
+    #[test]
+    fn non_finite_input_is_detected() {
+        let a = lap1d(4);
+        let mut x = vec![0.0; 4];
+        let e = cg(&a, &[1.0, f64::NAN, 1.0, 1.0], &mut x, &CgOptions::default());
+        assert!(matches!(e, Err(NumericsError::NonFinite { .. })), "{e:?}");
+        let mut x = vec![0.0, f64::INFINITY, 0.0, 0.0];
+        let e = cg(&a, &[1.0; 4], &mut x, &CgOptions::default());
+        assert!(matches!(e, Err(NumericsError::NonFinite { .. })), "{e:?}");
     }
 
     #[test]

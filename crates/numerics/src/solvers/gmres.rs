@@ -124,6 +124,12 @@ pub fn gmres_with<A: LinOp, P: Preconditioner>(
     }
     let m = opts.restart.min(n.max(1));
     let b_norm = vector::norm2(b);
+    if !b_norm.is_finite() {
+        return Err(NumericsError::NonFinite {
+            solver: "gmres",
+            detail: "right-hand side",
+        });
+    }
     let target = (opts.rel_tol * b_norm).max(opts.abs_tol);
 
     let mut total_iters = 0usize;
@@ -154,6 +160,12 @@ pub fn gmres_with<A: LinOp, P: Preconditioner>(
             r[i] = b[i] - r[i];
         }
         let beta = vector::norm2(r);
+        if !beta.is_finite() {
+            return Err(NumericsError::NonFinite {
+                solver: "gmres",
+                detail: "residual",
+            });
+        }
         if beta <= target {
             return Ok(SolveReport {
                 converged: true,
@@ -182,6 +194,12 @@ pub fn gmres_with<A: LinOp, P: Preconditioner>(
                 vector::axpy(-h, &basis[j][..n], w);
             }
             let h_next = vector::norm2(w);
+            if !h_next.is_finite() {
+                return Err(NumericsError::NonFinite {
+                    solver: "gmres",
+                    detail: "Krylov basis vector",
+                });
+            }
             hess[(k + 1) * m + k] = h_next;
             // Apply accumulated Givens rotations to the new column.
             for j in 0..k {

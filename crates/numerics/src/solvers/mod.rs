@@ -11,6 +11,7 @@
 mod amg;
 mod bicgstab;
 mod cg;
+pub mod fault;
 mod gmres;
 mod precond;
 mod skyline;
@@ -20,6 +21,7 @@ mod workspace;
 pub use amg::{AmgOptions, AmgPrecond, AmgSmoother};
 pub use bicgstab::{bicgstab, bicgstab_with};
 pub use cg::{cg, pcg, pcg_with, CgOptions};
+pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan, FaultyLinOp};
 pub use gmres::{gmres, gmres_with, GmresOptions};
 pub use precond::{IdentityPrecond, IncompleteCholesky, JacobiPrecond, Preconditioner, Ssor};
 pub use skyline::SkylineCholesky;

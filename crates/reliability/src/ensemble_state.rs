@@ -27,6 +27,7 @@ pub struct EnsembleLimitState<'a, S: Scenario> {
     options: EnsembleOptions,
     counters: SolveCounters,
     batches: usize,
+    quarantined: usize,
 }
 
 impl<'a, S: Scenario> EnsembleLimitState<'a, S> {
@@ -48,6 +49,7 @@ impl<'a, S: Scenario> EnsembleLimitState<'a, S> {
             options,
             counters: SolveCounters::default(),
             batches: 0,
+            quarantined: 0,
         }
     }
 
@@ -60,6 +62,13 @@ impl<'a, S: Scenario> EnsembleLimitState<'a, S> {
     /// Number of batches evaluated.
     pub fn batches(&self) -> usize {
         self.batches
+    }
+
+    /// Samples quarantined so far: evaluations whose session failed under
+    /// `FailurePolicy::Quarantine` and came back with an empty QoI vector.
+    /// Each is reported to the estimator as a `NaN` response ("not failed").
+    pub fn quarantined(&self) -> usize {
+        self.quarantined
     }
 }
 
@@ -87,14 +96,19 @@ impl<S: Scenario> LimitState for EnsembleLimitState<'_, S> {
         let result = run_ensemble(self.compiled, self.scenario, &samples, &self.options)?;
         self.counters.merge(&result.counters);
         self.batches += 1;
-        result
+        // An empty QoI vector is a quarantined sample (its session failed
+        // under `FailurePolicy::Quarantine`): report it as a `NaN` response,
+        // which every estimator counts as "not failed".
+        Ok(result
             .outputs
             .iter()
-            .map(|qoi| {
-                qoi.first().copied().ok_or_else(|| {
-                    ReliabilityError::Evaluation("scenario returned an empty QoI vector".into())
-                })
+            .map(|qoi| match qoi.first() {
+                Some(&y) => y,
+                None => {
+                    self.quarantined += 1;
+                    f64::NAN
+                }
             })
-            .collect()
+            .collect())
     }
 }

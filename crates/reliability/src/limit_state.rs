@@ -57,6 +57,10 @@ pub struct LevelStats {
     pub n_chains: usize,
     /// Samples of this level.
     pub n_samples: usize,
+    /// `NaN` responses in this level's sample population — quarantined
+    /// samples of an ensemble-backed limit state running under
+    /// `FailurePolicy::Quarantine`. They count as "not failed".
+    pub quarantined: usize,
 }
 
 /// A failure-probability estimate with its accuracy and cost.
@@ -72,6 +76,11 @@ pub struct FailureEstimate {
     pub n_evaluations: usize,
     /// Threshold ladder and per-level diagnostics.
     pub levels: Vec<LevelStats>,
+    /// Total `NaN` responses over every evaluation of the run (quarantined
+    /// samples, counted as "not failed"). A non-zero count means the
+    /// estimate is biased low by at most `quarantined / n_evaluations` and
+    /// the campaign should be inspected.
+    pub quarantined: usize,
 }
 
 impl FailureEstimate {
@@ -194,6 +203,7 @@ mod tests {
             cov: 0.2,
             n_evaluations: 1000,
             levels: vec![],
+            quarantined: 0,
         };
         assert!((e.std_error() - 2e-4).abs() < 1e-18);
         // (1 - 1e-3)/(1e-3·0.04) ≈ 24 975.
@@ -213,6 +223,7 @@ mod tests {
             cov: f64::INFINITY,
             n_evaluations: 10,
             levels: vec![],
+            quarantined: 0,
         };
         assert_eq!(zero.equivalent_mc_evaluations(), f64::INFINITY);
     }

@@ -50,12 +50,14 @@ impl FailureEstimator for MonteCarloEstimator {
         let threshold = limit_state.threshold();
         let mut draw = StdNormal::new(self.seed);
         let mut failures = 0usize;
+        let mut quarantined = 0usize;
         let mut remaining = self.n;
         while remaining > 0 {
             let m = remaining.min(self.batch);
             let points: Vec<Vec<f64>> = (0..m).map(|_| draw.point(d)).collect();
             let ys = checked_evaluate(limit_state, &points)?;
             failures += ys.iter().filter(|&&y| y >= threshold).count();
+            quarantined += ys.iter().filter(|y| y.is_nan()).count();
             remaining -= m;
         }
         let p = failures as f64 / self.n as f64;
@@ -75,7 +77,9 @@ impl FailureEstimator for MonteCarloEstimator {
                 gamma: 0.0,
                 n_chains: 0,
                 n_samples: self.n,
+                quarantined,
             }],
+            quarantined,
         })
     }
 }
@@ -139,6 +143,7 @@ impl FailureEstimator for ImportanceSamplingEstimator {
         let mut m2 = 0.0f64;
         let mut count = 0usize;
         let mut failures = 0usize;
+        let mut quarantined = 0usize;
         let mut remaining = self.n;
         while remaining > 0 {
             let m = remaining.min(self.batch);
@@ -150,6 +155,7 @@ impl FailureEstimator for ImportanceSamplingEstimator {
                 })
                 .collect();
             let ys = checked_evaluate(limit_state, &points)?;
+            quarantined += ys.iter().filter(|y| y.is_nan()).count();
             for (u, &y) in points.iter().zip(&ys) {
                 let failed = y >= threshold;
                 failures += failed as usize;
@@ -184,7 +190,9 @@ impl FailureEstimator for ImportanceSamplingEstimator {
                 gamma: 0.0,
                 n_chains: 0,
                 n_samples: self.n,
+                quarantined,
             }],
+            quarantined,
         })
     }
 }
@@ -203,4 +211,76 @@ pub(crate) fn checked_evaluate(
         )));
     }
     Ok(ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `Y(u) = u₀`, except every `stride`-th evaluation is quarantined
+    /// (`NaN`).
+    struct SpottyState {
+        stride: usize,
+        evaluated: usize,
+    }
+
+    impl LimitState for SpottyState {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn threshold(&self) -> f64 {
+            1.0
+        }
+        fn evaluate(&mut self, points: &[Vec<f64>]) -> Result<Vec<f64>, ReliabilityError> {
+            Ok(points
+                .iter()
+                .map(|u| {
+                    let k = self.evaluated;
+                    self.evaluated += 1;
+                    if k.is_multiple_of(self.stride) {
+                        f64::NAN
+                    } else {
+                        u[0]
+                    }
+                })
+                .collect())
+        }
+    }
+
+    #[test]
+    fn monte_carlo_counts_quarantined_responses() {
+        let mut ls = SpottyState {
+            stride: 10,
+            evaluated: 0,
+        };
+        let est = MonteCarloEstimator::new(500, 3).estimate(&mut ls).unwrap();
+        assert_eq!(est.quarantined, 50);
+        assert_eq!(est.levels[0].quarantined, 50);
+        assert_eq!(est.n_evaluations, 500);
+        // NaN responses count as "not failed": p stays a valid probability.
+        assert!(est.probability >= 0.0 && est.probability <= 1.0);
+    }
+
+    #[test]
+    fn importance_sampling_counts_quarantined_responses() {
+        let mut ls = SpottyState {
+            stride: 25,
+            evaluated: 0,
+        };
+        let est = ImportanceSamplingEstimator::new(500, 3, vec![1.0])
+            .estimate(&mut ls)
+            .unwrap();
+        assert_eq!(est.quarantined, 20);
+        assert_eq!(est.levels[0].quarantined, 20);
+    }
+
+    #[test]
+    fn clean_runs_report_zero_quarantined() {
+        let mut ls = SpottyState {
+            stride: usize::MAX,
+            evaluated: 1, // never hits k % stride == 0
+        };
+        let est = MonteCarloEstimator::new(100, 3).estimate(&mut ls).unwrap();
+        assert_eq!(est.quarantined, 0);
+    }
 }

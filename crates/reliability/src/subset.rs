@@ -171,6 +171,10 @@ impl FailureEstimator for SubsetSimulation {
         let points: Vec<Vec<f64>> = (0..n).map(|_| draw.point(d)).collect();
         let ys = checked_evaluate(limit_state, &points)?;
         let mut n_evaluations = n;
+        // NaN responses over all evaluations — quarantined samples of an
+        // ensemble-backed limit state; `≥` comparisons count them as "not
+        // failed" everywhere below.
+        let mut total_quarantined = ys.iter().filter(|y| y.is_nan()).count();
         // Current population, as chains (level 0 = one "chain" per sample:
         // independent draws carry no serial correlation, γ = 0).
         let mut chains: Vec<Chain> = points
@@ -188,6 +192,7 @@ impl FailureEstimator for SubsetSimulation {
 
         for level in 0..=self.max_levels {
             let flat_ys: Vec<f64> = chains.iter().flat_map(|c| c.ys.iter().copied()).collect();
+            let level_quarantined = flat_ys.iter().filter(|y| y.is_nan()).count();
             let order = order_desc(&flat_ys);
             let n_fail = flat_ys.iter().filter(|&&y| y >= threshold).count();
             let b_candidate = flat_ys[order[nc - 1]];
@@ -216,12 +221,14 @@ impl FailureEstimator for SubsetSimulation {
                     gamma,
                     n_chains: if direct { 0 } else { chains.len() },
                     n_samples: n,
+                    quarantined: level_quarantined,
                 });
                 return Ok(FailureEstimate {
                     probability,
                     cov: cov_sq.sqrt(),
                     n_evaluations,
                     levels,
+                    quarantined: total_quarantined,
                 });
             }
             if level == self.max_levels {
@@ -298,6 +305,7 @@ impl FailureEstimator for SubsetSimulation {
                     n_evaluations += batch.len();
                     checked_evaluate(limit_state, &batch)?
                 };
+                total_quarantined += ys_cand.iter().filter(|y| y.is_nan()).count();
                 let mut bi = 0usize;
                 for (c, chain) in new_chains.iter_mut().enumerate() {
                     if step >= target_len(c) {
@@ -332,6 +340,7 @@ impl FailureEstimator for SubsetSimulation {
                 gamma,
                 n_chains: nc,
                 n_samples: n,
+                quarantined: level_quarantined,
             });
             probability *= p_cond;
             chains = new_chains;

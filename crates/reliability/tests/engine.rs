@@ -7,8 +7,8 @@ use etherm_bondwire::analytic::{
     allowable_current, onderdonk_fusing_current, preece_fusing_current,
 };
 use etherm_core::{
-    run_ensemble, CompiledModel, CoreError, ElectrothermalModel, EnsembleOptions, Scenario,
-    Session, SolverOptions, ThresholdObserver,
+    run_ensemble, CompiledModel, CoreError, ElectrothermalModel, EnsembleOptions, FailurePolicy,
+    Scenario, Session, SolverOptions, ThresholdObserver,
 };
 use etherm_fit::boundary::ThermalBoundary;
 use etherm_grid::{Axis, CellPaint, Grid3, MaterialId};
@@ -122,6 +122,67 @@ fn subset_estimate_is_bit_deterministic_for_any_thread_count() {
             "subset estimate must be bit-identical at {n_threads} threads"
         );
     }
+}
+
+/// A length scenario whose samples below `cutoff` fail outright — the
+/// stand-in for a solver breakdown the recovery ladder cannot absorb.
+struct BrittleLengthScenario {
+    inner: LengthScenario,
+    cutoff: f64,
+}
+
+impl Scenario for BrittleLengthScenario {
+    fn apply(&self, session: &mut Session, sample: &[f64]) -> Result<(), CoreError> {
+        if sample[0] < self.cutoff {
+            return Err(CoreError::InvalidModel("injected sample failure".into()));
+        }
+        self.inner.apply(session, sample)
+    }
+    fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError> {
+        self.inner.evaluate(session)
+    }
+}
+
+#[test]
+fn quarantined_samples_surface_through_the_estimate() {
+    let compiled = compiled();
+    let threshold = find_tail_threshold(&compiled);
+    let marginal = length_marginal();
+    // Fail everything below the ~10th percentile length: the campaign keeps
+    // going under quarantine and the estimate must carry the count.
+    let scn = BrittleLengthScenario {
+        inner: scenario(threshold),
+        cutoff: marginal.quantile(0.10),
+    };
+    let estimate = |n_threads: usize| {
+        let mut ls = EnsembleLimitState::new(
+            &compiled,
+            &scn,
+            vec![Box::new(length_marginal()) as Box<dyn Distribution>],
+            threshold,
+            EnsembleOptions {
+                n_threads,
+                failure_policy: FailurePolicy::Quarantine { max_failures: 200 },
+                ..EnsembleOptions::default()
+            },
+        );
+        let est = MonteCarloEstimator::new(200, 7).estimate(&mut ls).unwrap();
+        assert_eq!(ls.quarantined(), est.quarantined);
+        est
+    };
+    let serial = estimate(1);
+    assert!(
+        serial.quarantined > 0 && serial.quarantined < 200,
+        "cutoff at the 10th percentile must quarantine some but not all of \
+         200 samples, got {}",
+        serial.quarantined
+    );
+    assert_eq!(serial.levels[0].quarantined, serial.quarantined);
+    assert!(serial.probability.is_finite());
+    // Quarantine never cancels within tolerance, so the outcome is
+    // thread-count independent.
+    let par = estimate(3);
+    assert_eq!(format!("{par:?}"), format!("{serial:?}"));
 }
 
 /// Calibrates a threshold with P(Y ≥ threshold) in a convenient band by

@@ -93,6 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             n_threads: 1,
             warm_start: false,
             progress: Some(progress),
+            ..EnsembleOptions::default()
         },
     )?;
     let result = McResult::from_ordered(inputs, ensemble.outputs, McOptions::default());
