@@ -16,21 +16,32 @@
 //!    *bit-identical* to configuration 2 (asserted).
 //! 4. `session warm` — the ensemble engine with warm sessions:
 //!    preconditioners refreshed across samples and thermal CG warm-started
-//!    from the previous sample's trajectory. The headline configuration.
+//!    from the previous sample's trajectory. The headline configuration
+//!    before batching.
+//! 5. (`--batched`) `ensemble batched` — the multi-RHS fast path:
+//!    samples grouped into panels of `--batch-width`, each group advanced
+//!    in lock-step with one fused block-Krylov thermal solve per Picard
+//!    iterate over a group-shared preconditioner
+//!    (`etherm_core::BatchSession`).
 //!
 //! Gates (full profile): `session warm` ≥ 1.5× faster than `rebuild ic(1)`
 //! and max |ΔQoI| between them ≤ 1.5e-7 K; `session exact` ≡ `rebuild amg`
-//! bitwise.
+//! bitwise; with `--batched`, batched ≥ 1.8× faster than `session warm`,
+//! max |ΔQoI| batched vs warm ≤ 1.5e-7 K, batched outputs bit-identical
+//! across 1/2/4 worker threads, and the k = 1 block solver bit-identical
+//! to the scalar PCG.
 //!
 //! Flags: `--samples M` (64) / `--steps N` (50) / `--threads T` (1) /
-//! `--seed S` / `--mesh-xy`, `--mesh-z` / `--quick` (CI smoke: tiny mesh,
-//! 5 steps, 8 samples, speedup reported but not gated) / `--out PATH`.
+//! `--seed S` / `--mesh-xy`, `--mesh-z` / `--batched` / `--batch-width K`
+//! (16, quick: 4) / `--quick` (CI smoke: tiny mesh, 5 steps, 8 samples,
+//! speedups reported but not gated) / `--out PATH`.
 
 use etherm_bench::{
     arg_f64, arg_flag, arg_usize, arg_value, flatten_wire_series, iid_inputs, RunRecord,
 };
 use etherm_core::{
-    run_ensemble, EnsembleOptions, Simulator, SolveCounters, SolverOptions,
+    run_ensemble, run_ensemble_batched, EnsembleOptions, Simulator, SolveCounters,
+    SolverOptions,
 };
 use etherm_package::{
     build_model, paper_elongation_distribution, BuildOptions, BuiltPackage, PackageGeometry,
@@ -96,6 +107,48 @@ fn max_abs_diff(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// In-process witness for the `k = 1` contract of the block solver: on a
+/// small SPD system, `block_pcg_with` with a one-column panel must
+/// reproduce the scalar `pcg_with` bit for bit (same iterations, same
+/// residual bits, same solution bits).
+fn block_k1_matches_scalar_bitwise() -> bool {
+    use etherm_numerics::solvers::{
+        block_pcg_with, pcg_with, BlockKrylovWorkspace, CgOptions, JacobiPrecond,
+        KrylovWorkspace,
+    };
+    use etherm_numerics::{Coo, Csr, MultiVec};
+    let n = 64;
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        coo.push(i, i, 2.5 + (i as f64).sqrt());
+        if i + 1 < n {
+            coo.push(i, i + 1, -1.0);
+            coo.push(i + 1, i, -1.0);
+        }
+    }
+    let a = Csr::from_coo(&coo);
+    let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 13) as f64).sin() + 0.2).collect();
+    let precond = JacobiPrecond::new(&a).expect("jacobi");
+    let options = CgOptions::default();
+    let mut x_scalar = vec![0.0; n];
+    let mut ws = KrylovWorkspace::new();
+    let scalar = pcg_with(&a, &b, &mut x_scalar, &precond, &options, &mut ws).expect("pcg");
+    let mut b_panel = MultiVec::zeros(n, 1);
+    b_panel.copy_col_from(0, &b);
+    let mut x_panel = MultiVec::zeros(n, 1);
+    let mut bws = BlockKrylovWorkspace::new();
+    let mut reports = Vec::new();
+    block_pcg_with(&a, &b_panel, &mut x_panel, &precond, &options, &mut bws, &mut reports)
+        .expect("block pcg");
+    reports[0].iterations == scalar.iterations
+        && reports[0].residual.to_bits() == scalar.residual.to_bits()
+        && x_panel
+            .col_vec(0)
+            .iter()
+            .zip(&x_scalar)
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
 fn main() {
     let quick = arg_flag("quick");
     let (default_xy, default_z, default_steps, default_samples) = if quick {
@@ -106,6 +159,8 @@ fn main() {
     let samples = arg_usize("samples", default_samples);
     let steps = arg_usize("steps", default_steps);
     let threads = arg_usize("threads", 1);
+    let batched_flag = arg_flag("batched");
+    let batch_width = arg_usize("batch-width", if quick { 4 } else { 16 });
     let seed = arg_usize("seed", 2016) as u64;
     let t_end = steps as f64;
     let mesh_xy = arg_f64("mesh-xy", default_xy);
@@ -198,6 +253,49 @@ fn main() {
     let w_warm = start.elapsed().as_secs_f64();
     eprintln!("session warm:   {w_warm:.2} s");
 
+    // 5. The batched block-Krylov fast path (opt-in).
+    let batched = batched_flag.then(|| {
+        let opts_batched = SolverOptions {
+            batch_width,
+            ..opts_uq.clone()
+        };
+        let compiled_b = Arc::new(built.compile(opts_batched).expect("compiles"));
+        let scenario_b = built.elongation_scenario(t_end, steps, flatten_wire_series);
+        let start = Instant::now();
+        let result = run_ensemble_batched(
+            &compiled_b,
+            &scenario_b,
+            &inputs,
+            &EnsembleOptions {
+                n_threads: threads,
+                ..EnsembleOptions::default()
+            },
+        )
+        .expect("batched ensemble");
+        let wall = start.elapsed().as_secs_f64();
+        eprintln!("batched w{batch_width}:     {wall:.2} s");
+        // Worker-count bit-identity: groups are formed globally, so the
+        // first two groups of the campaign are reproducible standalone —
+        // re-run just those with 2 and 4 workers and compare bitwise.
+        let subset = &inputs[..inputs.len().min(2 * batch_width)];
+        let mut threads_identical = true;
+        for t in [2usize, 4] {
+            let sub = run_ensemble_batched(
+                &compiled_b,
+                &scenario_b,
+                subset,
+                &EnsembleOptions {
+                    n_threads: t,
+                    ..EnsembleOptions::default()
+                },
+            )
+            .expect("batched subset ensemble");
+            threads_identical &=
+                sub.outputs.as_slice() == &result.outputs[..subset.len()];
+        }
+        (result, wall, threads_identical)
+    });
+
     // Physics gates.
     assert_eq!(
         exact.outputs, q_rebuild_amg,
@@ -228,7 +326,49 @@ fn main() {
         );
     }
 
-    let runs = [
+    // Batched gates: throughput over the warm baseline, physics agreement,
+    // worker-count bit-identity, and the k = 1 scalar-equivalence witness.
+    let mut batched_extra = String::new();
+    if let Some((result, w_batched, threads_identical)) = &batched {
+        let k1_identical = block_k1_matches_scalar_bitwise();
+        let diff_batched_vs_warm = max_abs_diff(&result.outputs, &warm.outputs);
+        let diff_batched_vs_exact = max_abs_diff(&result.outputs, &exact.outputs);
+        let speedup_batched = w_warm / w_batched;
+        eprintln!(
+            "batched: {speedup_batched:.2}x vs warm, max |dQoI| vs warm \
+             {diff_batched_vs_warm:.3e} K, threads-identical {threads_identical}, \
+             k=1 scalar-identical {k1_identical}"
+        );
+        assert!(
+            k1_identical,
+            "k = 1 block solve must be bit-identical to the scalar PCG"
+        );
+        assert!(
+            threads_identical,
+            "batched outputs must be bit-identical across 1/2/4 worker threads"
+        );
+        assert!(
+            diff_batched_vs_warm < qoi_gate,
+            "batched physics diverged from the warm reference: {diff_batched_vs_warm} K"
+        );
+        if !quick {
+            assert!(
+                speedup_batched >= 1.8,
+                "batched campaign must be >= 1.8x faster than warm session reuse, \
+                 got {speedup_batched:.2}x"
+            );
+        }
+        batched_extra = format!(
+            ",\n  \"batch_width\": {batch_width},\n  \
+             \"max_qoi_diff_batched_vs_warm_k\": {diff_batched_vs_warm:.3e},\n  \
+             \"max_qoi_diff_batched_vs_exact_k\": {diff_batched_vs_exact:.3e},\n  \
+             \"speedup_batched_vs_warm_session\": {speedup_batched:.3},\n  \
+             \"batched_bit_identical_across_1_2_4_threads\": {threads_identical},\n  \
+             \"block_k1_bit_identical_to_scalar\": {k1_identical}"
+        );
+    }
+
+    let mut runs = vec![
         RunRecord::from_counters(
             "rebuild-per-sample ic(1) (pre-session default path)",
             &opts_ic,
@@ -254,6 +394,14 @@ fn main() {
             warm.counters,
         ),
     ];
+    if let Some((result, w_batched, _)) = &batched {
+        runs.push(RunRecord::from_counters(
+            format!("ensemble batched block-krylov (uq profile, width {batch_width})"),
+            &opts_uq,
+            *w_batched,
+            result.counters,
+        ));
+    }
     let json = format!(
         "{{\n  \"bench\": \"uq\",\n  \"package\": \"paper 28-pad / 12-wire\",\n  \
          \"dofs\": {dofs},\n  \"samples\": {samples},\n  \"steps\": {steps},\n  \
@@ -264,7 +412,7 @@ fn main() {
          \"max_qoi_diff_warm_vs_exact_k\": {diff_warm_vs_exact:.3e},\n  \
          \"speedup_amg_vs_ic_rebuild\": {speedup_amg:.3},\n  \
          \"speedup_warm_session_vs_amg_rebuild\": {speedup_session:.3},\n  \
-         \"speedup_session_vs_rebuild\": {speedup:.3}\n}}\n",
+         \"speedup_session_vs_rebuild\": {speedup:.3}{batched_extra}\n}}\n",
         runs.iter()
             .map(|r| r.to_json("    "))
             .collect::<Vec<_>>()

@@ -13,9 +13,11 @@
 //! thermal CG solves warm-start from the previous sample's trajectory —
 //! faster, with QoIs equal within the inner solver tolerance.
 
+use crate::batch::BatchSession;
 use crate::compiled::CompiledModel;
 use crate::error::CoreError;
 use crate::session::{Session, SolveCounters};
+use crate::solution::TransientSolution;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -60,6 +62,26 @@ pub trait Scenario: Sync {
         let _ = index;
         self.apply(session, sample)
     }
+}
+
+/// A [`Scenario`] whose evaluation is the standard transient run — the
+/// shape the batched fast path can drive in lock-step across a panel of
+/// samples.
+///
+/// [`run_ensemble_batched`] cannot treat [`Scenario::evaluate`] as a black
+/// box (it must own the time loop to fuse the per-step thermal solves), so
+/// batchable scenarios expose the transient parameters and the QoI
+/// extraction separately. [`Scenario::apply`] is inherited unchanged.
+pub trait BatchScenario: Scenario {
+    /// End time of the transient (s).
+    fn t_end(&self) -> f64;
+
+    /// Number of implicit-Euler steps.
+    fn n_steps(&self) -> usize;
+
+    /// Extracts the QoI vector from one sample's solution. Must match what
+    /// [`Scenario::evaluate`] returns for the same run.
+    fn qoi(&self, solution: &TransientSolution) -> Vec<f64>;
 }
 
 /// What [`run_ensemble`] does when a sample fails.
@@ -296,6 +318,179 @@ pub fn run_ensemble<S: Scenario>(
     })
 }
 
+/// [`run_ensemble`] through the batched fast path: samples are grouped
+/// into panels of [`crate::SolverOptions::batch_width`] **globally in
+/// sample order**, each worker drives whole groups through a
+/// [`BatchSession`], and every group advances all its members per matrix
+/// traversal (see [`crate::BatchSession`]).
+///
+/// Grouping is independent of `options.n_threads` and nothing crosses
+/// group boundaries, so the outputs are bit-identical for any worker
+/// count. `options.warm_start` is ignored: every group starts from reset
+/// sessions (cross-sample reuse inside a group happens through the shared
+/// preconditioner instead). A `batch_width` of 0 or 1 falls back to the
+/// scalar [`run_ensemble`] in exact mode.
+///
+/// # Errors
+///
+/// Like [`run_ensemble`], with group granularity: a failing sample fails
+/// its whole group, and under [`FailurePolicy::Quarantine`] all members of
+/// the failing group are quarantined together.
+///
+/// # Panics
+///
+/// Panics if `options.n_threads == 0` or a worker thread panics.
+pub fn run_ensemble_batched<S: BatchScenario>(
+    compiled: &Arc<CompiledModel>,
+    scenario: &S,
+    samples: &[Vec<f64>],
+    options: &EnsembleOptions,
+) -> Result<EnsembleResult, CoreError> {
+    assert!(options.n_threads > 0, "run_ensemble_batched: need ≥ 1 thread");
+    let width = compiled.options().batch_width;
+    if width <= 1 {
+        return run_ensemble(compiled, scenario, samples, options);
+    }
+    let n = samples.len();
+    if n == 0 {
+        return Ok(EnsembleResult {
+            outputs: Vec::new(),
+            counters: SolveCounters::default(),
+            failures: Vec::new(),
+        });
+    }
+    // Global group formation: group g holds samples [g·width, ...), for any
+    // thread count. Workers take contiguous runs of whole groups.
+    let groups: Vec<&[Vec<f64>]> = samples.chunks(width).collect();
+    let n_groups = groups.len();
+    let gchunk = n_groups.div_ceil(options.n_threads).max(1);
+    let max_failures = match options.failure_policy {
+        FailurePolicy::Abort => 0,
+        FailurePolicy::Quarantine { max_failures } => max_failures,
+    };
+    let cancel = AtomicBool::new(false);
+
+    type Message = (usize, Result<Vec<Vec<f64>>, CoreError>);
+    let (tx, rx) = mpsc::channel::<Message>();
+    let (slots, failures, counters) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (c, block) in groups.chunks(gchunk).enumerate() {
+            let tx = tx.clone();
+            let cancel = &cancel;
+            handles.push(scope.spawn(move || {
+                let mut batch = BatchSession::new(compiled, width);
+                for (gk, group) in block.iter().enumerate() {
+                    if cancel.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let g = c * gchunk + gk;
+                    batch.reset();
+                    let k = group.len();
+                    let result: Result<Vec<Vec<f64>>, CoreError> = (|| {
+                        for (j, sample) in group.iter().enumerate() {
+                            scenario.apply_indexed(
+                                &mut batch.sessions_mut()[j],
+                                sample,
+                                g * width + j,
+                            )?;
+                        }
+                        let sols =
+                            batch.run_transient(k, scenario.t_end(), scenario.n_steps())?;
+                        Ok(sols.iter().map(|s| scenario.qoi(s)).collect())
+                    })();
+                    let failed = result.is_err();
+                    if failed {
+                        if max_failures == 0 {
+                            cancel.store(true, Ordering::Relaxed);
+                        } else {
+                            // Quarantine: scrub the whole group's state.
+                            batch.reset();
+                        }
+                    }
+                    if tx.send((g, result)).is_err() || (failed && max_failures == 0) {
+                        break;
+                    }
+                }
+                batch.counters()
+            }));
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<Vec<f64>>> = (0..n).map(|_| None).collect();
+        let mut failures: Vec<SampleFailure> = Vec::new();
+        let mut done = 0usize;
+        for (g, result) in rx {
+            let base = g * width;
+            let k = groups[g].len();
+            match result {
+                Ok(ys) => {
+                    for (j, y) in ys.into_iter().enumerate() {
+                        slots[base + j] = Some(y);
+                    }
+                }
+                Err(e) => {
+                    for j in 0..k {
+                        failures.push(SampleFailure {
+                            sample: base + j,
+                            error: e.clone(),
+                        });
+                        slots[base + j] = Some(Vec::new());
+                    }
+                    if failures.len() > max_failures {
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            while done < n && slots[done].is_some() {
+                done += 1;
+                if let Some(progress) = options.progress {
+                    progress(done, n);
+                }
+            }
+        }
+        let counters: Vec<SolveCounters> = handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(c) => c,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect();
+        (slots, failures, counters)
+    });
+
+    let mut failures = failures;
+    failures.sort_by_key(|f| f.sample);
+    if failures.len() > max_failures {
+        let abandoned = slots.iter().filter(|s| s.is_none()).count();
+        let n_failures = failures.len();
+        let Some(first) = failures.into_iter().next() else {
+            return Err(CoreError::InvalidModel(
+                "ensemble failure accounting out of sync".into(),
+            ));
+        };
+        return Err(CoreError::EnsembleFailed {
+            sample: first.sample,
+            failures: n_failures,
+            abandoned,
+            source: Box::new(first.error),
+        });
+    }
+
+    let outputs: Vec<Vec<f64>> = slots
+        .into_iter()
+        .map(Option::unwrap_or_default)
+        .collect();
+    let mut merged = SolveCounters::default();
+    for c in &counters {
+        merged.merge(c);
+    }
+    Ok(EnsembleResult {
+        outputs,
+        counters: merged,
+        failures,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +532,17 @@ mod tests {
         fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError> {
             let sol = session.run_transient(2.0, 4, &[])?;
             Ok(vec![*sol.wire_series(0).last().unwrap()])
+        }
+    }
+    impl BatchScenario for LengthScenario {
+        fn t_end(&self) -> f64 {
+            2.0
+        }
+        fn n_steps(&self) -> usize {
+            4
+        }
+        fn qoi(&self, solution: &TransientSolution) -> Vec<f64> {
+            vec![*solution.wire_series(0).last().unwrap()]
         }
     }
 
@@ -489,6 +695,17 @@ mod tests {
             Ok(vec![*sol.wire_series(0).last().unwrap()])
         }
     }
+    impl BatchScenario for FailAt {
+        fn t_end(&self) -> f64 {
+            2.0
+        }
+        fn n_steps(&self) -> usize {
+            4
+        }
+        fn qoi(&self, solution: &TransientSolution) -> Vec<f64> {
+            vec![*solution.wire_series(0).last().unwrap()]
+        }
+    }
 
     #[test]
     fn quarantine_keeps_surviving_samples_bit_identical() {
@@ -590,6 +807,133 @@ mod tests {
             }
             other => panic!("expected EnsembleFailed, got {other}"),
         }
+    }
+
+    /// The campaign-style options used by the batched tests: pinned outer
+    /// iteration structure so scalar and lock-step Picard loops do the same
+    /// number of iterates per step.
+    fn pinned_options(batch_width: usize) -> SolverOptions {
+        SolverOptions {
+            picard_tol: 0.0,
+            picard_max_iter: 4,
+            batch_width,
+            ..SolverOptions::default()
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_exact_within_tolerance() {
+        let exact_compiled = Arc::new(
+            CompiledModel::compile(wire_model(), pinned_options(0)).unwrap(),
+        );
+        let samples = samples();
+        let exact = run_ensemble(
+            &exact_compiled,
+            &LengthScenario,
+            &samples,
+            &EnsembleOptions::default(),
+        )
+        .unwrap();
+        let batched_compiled = Arc::new(
+            CompiledModel::compile(wire_model(), pinned_options(3)).unwrap(),
+        );
+        let batched = run_ensemble_batched(
+            &batched_compiled,
+            &LengthScenario,
+            &samples,
+            &EnsembleOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(batched.outputs.len(), exact.outputs.len());
+        for (i, (a, b)) in exact.outputs.iter().zip(&batched.outputs).enumerate() {
+            assert!(
+                (a[0] - b[0]).abs() < 1e-6,
+                "sample {i}: scalar {} vs batched {}",
+                a[0],
+                b[0]
+            );
+        }
+        // The fused path solves all k thermal systems of a group per block
+        // solve, so it performs the same number of thermal solves.
+        assert_eq!(
+            batched.counters.thermal_solves,
+            exact.counters.thermal_solves
+        );
+    }
+
+    #[test]
+    fn batched_is_bit_identical_for_any_thread_count() {
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), pinned_options(2)).unwrap(),
+        );
+        let samples = samples();
+        let serial = run_ensemble_batched(
+            &compiled,
+            &LengthScenario,
+            &samples,
+            &EnsembleOptions::default(),
+        )
+        .unwrap();
+        for threads in [2, 3, 4] {
+            let par = run_ensemble_batched(
+                &compiled,
+                &LengthScenario,
+                &samples,
+                &EnsembleOptions {
+                    n_threads: threads,
+                    ..EnsembleOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.outputs, serial.outputs, "threads = {threads}");
+            assert_eq!(par.counters, serial.counters, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batched_width_one_falls_back_to_scalar_exact() {
+        let scalar = Arc::new(
+            CompiledModel::compile(wire_model(), pinned_options(0)).unwrap(),
+        );
+        let batched = Arc::new(
+            CompiledModel::compile(wire_model(), pinned_options(1)).unwrap(),
+        );
+        let samples = samples();
+        let a = run_ensemble(&scalar, &LengthScenario, &samples, &EnsembleOptions::default())
+            .unwrap();
+        let b = run_ensemble_batched(
+            &batched,
+            &LengthScenario,
+            &samples,
+            &EnsembleOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(a.outputs, b.outputs);
+    }
+
+    #[test]
+    fn batched_quarantines_whole_groups() {
+        let compiled = Arc::new(
+            CompiledModel::compile(wire_model(), pinned_options(2)).unwrap(),
+        );
+        // Sample 2 fails at apply: its group {2, 3} is quarantined.
+        let failing = FailAt(&[2]);
+        let r = run_ensemble_batched(
+            &compiled,
+            &failing,
+            &samples(),
+            &EnsembleOptions {
+                failure_policy: FailurePolicy::Quarantine { max_failures: 2 },
+                ..EnsembleOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            r.failures.iter().map(|f| f.sample).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert!(r.outputs[2].is_empty() && r.outputs[3].is_empty());
+        assert!(!r.outputs[0].is_empty() && !r.outputs[4].is_empty());
     }
 
     #[test]

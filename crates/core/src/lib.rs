@@ -36,6 +36,7 @@
 
 mod adaptive;
 mod assembly;
+mod batch;
 mod compiled;
 pub mod ensemble;
 mod error;
@@ -50,9 +51,11 @@ mod simulator;
 mod solution;
 
 pub use adaptive::AdaptiveOptions;
+pub use batch::BatchSession;
 pub use compiled::CompiledModel;
 pub use ensemble::{
-    run_ensemble, EnsembleOptions, EnsembleResult, FailurePolicy, SampleFailure, Scenario,
+    run_ensemble, run_ensemble_batched, BatchScenario, EnsembleOptions, EnsembleResult,
+    FailurePolicy, SampleFailure, Scenario,
 };
 pub use error::CoreError;
 pub use etherm_numerics::solvers::{Fault, FaultKind, FaultPlan};

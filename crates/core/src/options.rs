@@ -196,6 +196,13 @@ pub struct SolverOptions {
     pub precond_droptol: f64,
     /// Escalation ladder applied when an inner solve fails.
     pub recovery: RecoveryPolicy,
+    /// Panel width of the batched ensemble fast path: a batched campaign
+    /// groups this many same-model samples per worker and advances all of
+    /// them through one fused multi-RHS thermal solve per Picard iterate
+    /// (`crate::BatchSession`). `0` or `1` disables batching — the scalar
+    /// per-sample path stays the default, and exact-mode campaigns are
+    /// unaffected either way. Typical sweet spot: 8–32.
+    pub batch_width: usize,
 }
 
 impl Default for SolverOptions {
@@ -218,6 +225,7 @@ impl Default for SolverOptions {
             precond_max_reuses: 64,
             precond_droptol: 0.01,
             recovery: RecoveryPolicy::default(),
+            batch_width: 0,
         }
     }
 }
@@ -278,6 +286,7 @@ mod tests {
         assert_eq!(o.n_threads, 1);
         assert!(o.precond_refresh_factor > 1.0);
         assert!(o.precond_max_reuses > 0);
+        assert_eq!(o.batch_width, 0, "batching must be opt-in");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use etherm_numerics::solvers::{
     Preconditioner, SolveReport, Ssor,
 };
 use etherm_numerics::sparse::{Csr, ParSpmv};
-use etherm_numerics::{vector, NumericsError};
+use etherm_numerics::{vector, MultiVec, NumericsError};
 use std::sync::Arc;
 
 /// A cached preconditioner of the kind selected in
@@ -57,7 +57,11 @@ pub(crate) enum CachedPrecond {
 impl CachedPrecond {
     /// Builds a preconditioner of an explicit kind — the recovery ladder's
     /// downgrade rung builds a *different* kind than the configured one.
-    fn build_kind(kind: PrecondKind, options: &SolverOptions, a: &Csr) -> Result<Self, NumericsError> {
+    pub(crate) fn build_kind(
+        kind: PrecondKind,
+        options: &SolverOptions,
+        a: &Csr,
+    ) -> Result<Self, NumericsError> {
         Ok(match kind {
             PrecondKind::None => CachedPrecond::Identity(IdentityPrecond::new(a.n_rows())),
             PrecondKind::Jacobi => CachedPrecond::Jacobi(JacobiPrecond::new(a)?),
@@ -79,7 +83,7 @@ impl CachedPrecond {
         })
     }
 
-    fn refresh(&mut self, a: &Csr) -> Result<(), NumericsError> {
+    pub(crate) fn refresh(&mut self, a: &Csr) -> Result<(), NumericsError> {
         match self {
             CachedPrecond::Identity(_) => Ok(()),
             CachedPrecond::Jacobi(p) => p.refresh(a),
@@ -90,7 +94,7 @@ impl CachedPrecond {
     }
 
     /// Coarsest-level dimension of an AMG hierarchy (`None` otherwise).
-    fn coarse_dim(&self) -> Option<usize> {
+    pub(crate) fn coarse_dim(&self) -> Option<usize> {
         match self {
             CachedPrecond::Amg(p) => Some(p.coarse_dim()),
             _ => None,
@@ -116,6 +120,18 @@ impl Preconditioner for CachedPrecond {
             CachedPrecond::Ic(p) => p.apply(r, z),
             CachedPrecond::Ssor(p) => p.apply(r, z),
             CachedPrecond::Amg(p) => p.apply(r, z),
+        }
+    }
+
+    // Dispatch to each kind's fused panel kernel — the default would loop
+    // the scalar `apply` and lose the one-traversal-per-panel batching.
+    fn apply_block(&self, r: &MultiVec, z: &mut MultiVec) {
+        match self {
+            CachedPrecond::Identity(p) => p.apply_block(r, z),
+            CachedPrecond::Jacobi(p) => p.apply_block(r, z),
+            CachedPrecond::Ic(p) => p.apply_block(r, z),
+            CachedPrecond::Ssor(p) => p.apply_block(r, z),
+            CachedPrecond::Amg(p) => p.apply_block(r, z),
         }
     }
 }
@@ -961,23 +977,7 @@ impl Session {
         let n_total = self.compiled.layout().n_total();
         assert_eq!(t_prev.len(), n_total, "state length");
         let options = self.compiled.options().clone();
-        {
-            let s = &mut self.scratch;
-            s.t_star.clear();
-            s.t_star.extend_from_slice(t_prev);
-        }
-        // Extrapolated thermal guess for the first Picard iterate when this
-        // step continues the previous one with the same step size.
-        let predict = match dt {
-            Some(d) => self.scratch.t_hist.len() == t_prev.len() && self.scratch.last_dt == d,
-            None => false,
-        };
-        if predict {
-            let s = &mut self.scratch;
-            s.t_guess.clear();
-            s.t_guess
-                .extend(t_prev.iter().zip(&s.t_hist).map(|(&a, &b)| 2.0 * a - b));
-        }
+        let predict = self.begin_coupled(t_prev, dt);
         let mut linear_total = 0usize;
         let mut field_power = 0.0;
         let mut converged = false;
@@ -993,26 +993,20 @@ impl Session {
             }
             field_power = self.heat_sources(phi_warm);
             linear_total += self.solve_thermal(t_prev, dt, predict && k == 1, step_index, k)?;
-            update = vector::rel_diff2(&self.scratch.t_new, &self.scratch.t_star, 1e-9);
-            std::mem::swap(&mut self.scratch.t_star, &mut self.scratch.t_new);
+            update = self.picard_update_and_swap();
             if update <= options.picard_tol {
                 converged = true;
                 break;
             }
         }
-        self.counters.picard_iterations += iterations;
+        self.note_picard(iterations);
         if !converged && options.strict_picard {
             return Err(CoreError::PicardNotConverged {
                 step: step_index,
                 update,
             });
         }
-        if let Some(d) = dt {
-            let s = &mut self.scratch;
-            s.t_hist.clear();
-            s.t_hist.extend_from_slice(t_prev);
-            s.last_dt = d;
-        }
+        self.record_step_history(t_prev, dt);
         Ok(StepResult {
             temperature: self.scratch.t_star.clone(),
             potential: phi_warm.to_vec(),
@@ -1029,7 +1023,7 @@ impl Session {
     /// guess and updated in place with the solution. The lagged
     /// conductivities stay behind in the coefficient buffers for the
     /// heat-source evaluation.
-    fn solve_electrical(&mut self, phi_warm: &mut [f64]) -> Result<usize, CoreError> {
+    pub(crate) fn solve_electrical(&mut self, phi_warm: &mut [f64]) -> Result<usize, CoreError> {
         let Session {
             compiled,
             wires,
@@ -1097,7 +1091,7 @@ impl Session {
     /// total field Joule power. Uses the conductivities left in the
     /// coefficient buffers by the last electrical solve and the potential
     /// in `phi`.
-    fn heat_sources(&mut self, phi: &[f64]) -> f64 {
+    pub(crate) fn heat_sources(&mut self, phi: &[f64]) -> f64 {
         let Session {
             compiled,
             wires,
@@ -1155,19 +1149,70 @@ impl Session {
         step_index: usize,
         picard_k: usize,
     ) -> Result<usize, CoreError> {
+        self.assemble_thermal(t_prev, dt, use_predictor, step_index, picard_k)?;
         let Session {
             compiled,
-            wires,
-            mass_diag,
             therm_stamper,
             therm_stationary_stamper,
             therm_solver,
             therm_stationary_solver,
             scratch,
             counters,
-            warm,
             fault,
             budget_spent,
+            ..
+        } = self;
+        let (stamper, cache, system) = if dt.is_some() {
+            (&*therm_stamper, therm_solver, Subsystem::ThermalTransient)
+        } else {
+            (
+                &*therm_stationary_stamper,
+                therm_stationary_solver,
+                Subsystem::ThermalStationary,
+            )
+        };
+        let Some((a, b)) = stamper.assembled() else {
+            return Err(CoreError::InvalidModel(
+                "thermal system not assembled".into(),
+            ));
+        };
+        let iterations = solve_reduced(
+            compiled.options(),
+            counters,
+            cache,
+            system,
+            a,
+            b,
+            &mut scratch.x_red,
+            fault.as_ref(),
+            budget_spent,
+        )?;
+        self.accept_thermal(dt, step_index);
+        Ok(iterations)
+    }
+
+    /// The assembly-and-guess half of [`Session::solve_thermal`]: stamps the
+    /// thermal system for one Picard iterate at the lagged temperature
+    /// `scratch.t_star` and leaves the CG initial guess in `scratch.x_red`.
+    /// The assembled system is readable afterwards through
+    /// [`Session::thermal_assembled`]; the batched ensemble path gathers one
+    /// such system per panel column before a single block solve.
+    pub(crate) fn assemble_thermal(
+        &mut self,
+        t_prev: &[f64],
+        dt: Option<f64>,
+        use_predictor: bool,
+        step_index: usize,
+        picard_k: usize,
+    ) -> Result<(), CoreError> {
+        let Session {
+            compiled,
+            wires,
+            mass_diag,
+            therm_stamper,
+            therm_stationary_stamper,
+            scratch,
+            warm,
             ..
         } = self;
         let model = compiled.model();
@@ -1175,14 +1220,10 @@ impl Session {
         let therm_map = compiled.therm_map();
         assembly::fill_lambda(model, &scratch.t_star, &mut scratch.coeff);
 
-        let (stamper, cache, system) = if dt.is_some() {
-            (therm_stamper, therm_solver, Subsystem::ThermalTransient)
+        let stamper = if dt.is_some() {
+            therm_stamper
         } else {
-            (
-                therm_stationary_stamper,
-                therm_stationary_solver,
-                Subsystem::ThermalStationary,
-            )
+            therm_stationary_stamper
         };
         assembly::stamp_thermal(
             model,
@@ -1196,7 +1237,9 @@ impl Session {
             &scratch.coeff,
             stamper,
         );
-        let (a, b) = stamper.finish();
+        // Compile the pattern on the first round and validate the stamping
+        // sequence; the returned borrows are re-read via `assembled()`.
+        let _ = stamper.finish();
         // CG initial guess: the lagged temperature, or — for the first
         // Picard iterate of a continuation step — the linear extrapolation
         // from the previous step. Warm mode improves on both with the
@@ -1250,26 +1293,199 @@ impl Session {
                 }
             }
         }
-        let iterations = solve_reduced(
-            compiled.options(),
-            counters,
-            cache,
-            system,
-            a,
-            b,
-            &mut scratch.x_red,
-            fault.as_ref(),
-            budget_spent,
-        )?;
-        if transient && warm.enabled && step_index >= 1 {
+        Ok(())
+    }
+
+    /// The acceptance half of [`Session::solve_thermal`]: records the warm
+    /// trajectory entry for the reduced solution in `scratch.x_red` and
+    /// expands it to the full-numbering `scratch.t_new`.
+    pub(crate) fn accept_thermal(&mut self, dt: Option<f64>, step_index: usize) {
+        let Session {
+            compiled,
+            scratch,
+            warm,
+            ..
+        } = self;
+        if dt.is_some() && warm.enabled && step_index >= 1 {
             if warm.traj_cur.len() < step_index {
                 warm.traj_cur.resize(step_index, Vec::new());
             }
             warm.traj_cur[step_index - 1].push(scratch.x_red.clone());
         }
-        scratch.t_new.resize(layout.n_total(), 0.0);
-        therm_map.expand_into(&scratch.x_red, &mut scratch.t_new);
-        Ok(iterations)
+        scratch.t_new.resize(compiled.layout().n_total(), 0.0);
+        compiled.therm_map().expand_into(&scratch.x_red, &mut scratch.t_new);
+    }
+
+    /// Seeds the Picard state for one coupled solve: `t_star ← t_prev` and,
+    /// for a continuation step with an unchanged `dt`, the extrapolated
+    /// first-iterate thermal guess `t_guess ← 2·t_prev − t_hist`. Returns
+    /// whether the predictor is valid.
+    pub(crate) fn begin_coupled(&mut self, t_prev: &[f64], dt: Option<f64>) -> bool {
+        {
+            let s = &mut self.scratch;
+            s.t_star.clear();
+            s.t_star.extend_from_slice(t_prev);
+        }
+        let predict = match dt {
+            Some(d) => self.scratch.t_hist.len() == t_prev.len() && self.scratch.last_dt == d,
+            None => false,
+        };
+        if predict {
+            let s = &mut self.scratch;
+            s.t_guess.clear();
+            s.t_guess
+                .extend(t_prev.iter().zip(&s.t_hist).map(|(&a, &b)| 2.0 * a - b));
+        }
+        predict
+    }
+
+    /// Completes one Picard iterate: the relative update between the new
+    /// and lagged temperature, then `t_star ↔ t_new` so `t_star` holds the
+    /// accepted iterate.
+    pub(crate) fn picard_update_and_swap(&mut self) -> f64 {
+        let update = vector::rel_diff2(&self.scratch.t_new, &self.scratch.t_star, 1e-9);
+        std::mem::swap(&mut self.scratch.t_star, &mut self.scratch.t_new);
+        update
+    }
+
+    /// Charges `iterations` outer Picard iterations to the counters.
+    pub(crate) fn note_picard(&mut self, iterations: usize) {
+        self.counters.picard_iterations += iterations;
+    }
+
+    /// Records the step-start state and step size that validate the next
+    /// step's extrapolated thermal guess (transient only).
+    pub(crate) fn record_step_history(&mut self, t_prev: &[f64], dt: Option<f64>) {
+        if let Some(d) = dt {
+            let s = &mut self.scratch;
+            s.t_hist.clear();
+            s.t_hist.extend_from_slice(t_prev);
+            s.last_dt = d;
+        }
+    }
+
+    /// The transient thermal system assembled by the last
+    /// [`Session::assemble_thermal`] round (`None` before the first).
+    pub(crate) fn thermal_assembled(&self) -> Option<(&Csr, &[f64])> {
+        self.therm_stamper.assembled()
+    }
+
+    /// The assembly half of [`Session::solve_electrical`]: conductivity
+    /// averaging, stamping over the cached template, and the reduced CG
+    /// initial guess (the restriction of `phi_warm` into `scratch.x_red`).
+    /// Returns `false` when the model is undriven — the potential is then
+    /// identically zero, `phi_warm` has been zeroed, and no solve is needed.
+    pub(crate) fn assemble_electrical(
+        &mut self,
+        phi_warm: &mut [f64],
+    ) -> Result<bool, CoreError> {
+        let Session {
+            compiled,
+            wires,
+            elec_stamper,
+            scratch,
+            ..
+        } = self;
+        let model = compiled.model();
+        assembly::fill_sigma(model, &scratch.t_star, &mut scratch.coeff);
+        if model.electric_dirichlet().is_empty() {
+            phi_warm.fill(0.0);
+            return Ok(false);
+        }
+        let Some(stamper) = elec_stamper.as_mut() else {
+            return Err(CoreError::InvalidModel(
+                "electrical template missing for a driven model".into(),
+            ));
+        };
+        assembly::stamp_electrical(
+            model,
+            compiled.layout(),
+            wires,
+            &scratch.t_star,
+            &scratch.coeff,
+            stamper,
+        );
+        let _ = stamper.finish();
+        compiled.elec_map().restrict_into(phi_warm, &mut scratch.x_red);
+        Ok(true)
+    }
+
+    /// The electrical system assembled by the last
+    /// [`Session::assemble_electrical`] round (`None` before the first, or
+    /// for an undriven model).
+    pub(crate) fn electrical_assembled(&self) -> Option<(&Csr, &[f64])> {
+        self.elec_stamper.as_ref().and_then(|s| s.assembled())
+    }
+
+    /// The expansion half of [`Session::solve_electrical`]: scatters the
+    /// block-solved reduced potential in `scratch.x_red` back into the full
+    /// `phi_warm` (with the scaled Dirichlet drive) and charges the column's
+    /// iterations to the counters and the recovery budget, mirroring what
+    /// `solve_reduced` records on the scalar path.
+    pub(crate) fn finish_electrical(&mut self, phi_warm: &mut [f64], iterations: usize) {
+        let Session {
+            compiled,
+            drive_scale,
+            scratch,
+            counters,
+            budget_spent,
+            ..
+        } = self;
+        if *drive_scale == 1.0 {
+            compiled.elec_map().expand_into(&scratch.x_red, phi_warm);
+        } else {
+            compiled
+                .elec_map()
+                .expand_scaled_into(&scratch.x_red, phi_warm, *drive_scale);
+        }
+        counters.electrical_iterations += iterations;
+        counters.electrical_solves += 1;
+        *budget_spent += iterations;
+    }
+
+    /// The reduced unknown vector of the current linear solve (the thermal
+    /// CG initial guess after [`Session::assemble_thermal`]).
+    pub(crate) fn x_red(&self) -> &[f64] {
+        &self.scratch.x_red
+    }
+
+    /// Mutable access to the reduced unknowns: the batched path scatters
+    /// its panel column back here before [`Session::accept_thermal`].
+    pub(crate) fn x_red_mut(&mut self) -> &mut [f64] {
+        &mut self.scratch.x_red
+    }
+
+    /// The lagged Picard temperature (after the final swap of a step this
+    /// is the accepted step temperature).
+    pub(crate) fn t_star(&self) -> &[f64] {
+        &self.scratch.t_star
+    }
+
+    /// Joule power per wire from the last [`Session::heat_sources`] call.
+    pub(crate) fn wire_powers_scratch(&self) -> &[f64] {
+        &self.scratch.wire_powers
+    }
+
+    /// Charges one block-solved thermal column to the counters and the
+    /// recovery iteration budget, mirroring what `solve_reduced` records on
+    /// the scalar path.
+    pub(crate) fn note_block_thermal_solve(&mut self, iterations: usize) {
+        self.counters.thermal_iterations += iterations;
+        self.counters.thermal_solves += 1;
+        self.budget_spent += iterations;
+    }
+
+    /// Records one (re)build or reuse of the group-shared batched
+    /// preconditioner (charged to the group's first session).
+    pub(crate) fn note_shared_precond(&mut self, rebuilt: bool, coarse_dim: Option<usize>) {
+        if rebuilt {
+            self.counters.precond_rebuilds += 1;
+        } else {
+            self.counters.precond_reuses += 1;
+        }
+        if let Some(cd) = coarse_dim {
+            self.counters.peak_coarse_dim = self.counters.peak_coarse_dim.max(cd);
+        }
     }
 }
 

@@ -484,6 +484,15 @@ impl CachedStamper {
         );
         (self.csr.as_ref().expect("assembled"), &self.rhs)
     }
+
+    /// The matrix and RHS of the most recently finished round, or `None`
+    /// before the first [`CachedStamper::finish`]. Unlike `finish` this
+    /// never compiles or mutates — it is a pure read, usable while other
+    /// sessions' stampers are borrowed (the batched ensemble path gathers
+    /// one assembled system per panel column through this accessor).
+    pub fn assembled(&self) -> Option<(&Csr, &[f64])> {
+        self.csr.as_ref().map(|a| (a, self.rhs.as_slice()))
+    }
 }
 
 #[cfg(test)]

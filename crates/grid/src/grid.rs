@@ -81,12 +81,77 @@ pub struct Grid3 {
     x: Axis,
     y: Axis,
     z: Axis,
+    tables: EntityTables,
+}
+
+/// Precomputed per-entity lookup tables.
+///
+/// The assembly loops visit every edge on every Picard iterate; deriving the
+/// lattice coordinates from the linear index each time ([`Grid3::edge_decompose`]
+/// is three divide/modulo chains) dominates those loops. The tables are filled
+/// once at construction with exactly the decompose-based expressions, so the
+/// table-backed accessors return bit-identical values.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct EntityTables {
+    /// `(tail, head)` node pair per edge.
+    endpoints: Vec<(u32, u32)>,
+    /// `(dual area Ã, primal length ℓ)` per edge.
+    geom: Vec<(f64, f64)>,
+    /// CSR-style offsets into `touch_cell` / `touch_w` per edge.
+    touch_off: Vec<u32>,
+    /// Cells touching each edge, concatenated.
+    touch_cell: Vec<u32>,
+    /// Quarter cross-section weight of each touching cell.
+    touch_w: Vec<f64>,
+    /// The eight corner nodes per cell.
+    cell_nodes: Vec<[u32; 8]>,
 }
 
 impl Grid3 {
     /// Creates a grid from three axes.
     pub fn new(x: Axis, y: Axis, z: Axis) -> Self {
-        Grid3 { x, y, z }
+        let mut g = Grid3 {
+            x,
+            y,
+            z,
+            tables: EntityTables::default(),
+        };
+        g.tables = g.build_tables();
+        g
+    }
+
+    /// Fills the per-entity lookup tables from the decompose-based
+    /// definitions (same expressions, evaluated once).
+    fn build_tables(&self) -> EntityTables {
+        let n_edges = self.n_edges();
+        let n_cells = self.n_cells();
+        let mut t = EntityTables {
+            endpoints: Vec::with_capacity(n_edges),
+            geom: Vec::with_capacity(n_edges),
+            touch_off: Vec::with_capacity(n_edges + 1),
+            touch_cell: Vec::with_capacity(4 * n_edges),
+            touch_w: Vec::with_capacity(4 * n_edges),
+            cell_nodes: Vec::with_capacity(n_cells),
+        };
+        t.touch_off.push(0);
+        for e in 0..n_edges {
+            t.endpoints.push({
+                let (a, b) = self.edge_endpoints_computed(e);
+                (a as u32, b as u32)
+            });
+            t.geom
+                .push((self.dual_area_computed(e), self.edge_length_computed(e)));
+            self.for_each_cell_touching_edge_computed(e, |c, w| {
+                t.touch_cell.push(c as u32);
+                t.touch_w.push(w);
+            });
+            t.touch_off.push(t.touch_cell.len() as u32);
+        }
+        for c in 0..n_cells {
+            let nodes = self.cell_nodes_computed(c);
+            t.cell_nodes.push(nodes.map(|n| n as u32));
+        }
+        t
     }
 
     /// The x axis.
@@ -268,7 +333,14 @@ impl Grid3 {
 
     /// The two endpoint nodes `(tail, head)` of edge `e`; the edge points
     /// from `tail` to `head` in the positive axis direction.
+    #[inline]
     pub fn edge_endpoints(&self, e: usize) -> (usize, usize) {
+        let (a, b) = self.tables.endpoints[e];
+        (a as usize, b as usize)
+    }
+
+    /// Decompose-based definition of [`Grid3::edge_endpoints`] (table fill).
+    fn edge_endpoints_computed(&self, e: usize) -> (usize, usize) {
         let (dir, i, j, k) = self.edge_decompose(e);
         let a = self.node_index(i, j, k);
         let b = match dir {
@@ -280,7 +352,13 @@ impl Grid3 {
     }
 
     /// Length `ℓ` of primary edge `e`.
+    #[inline]
     pub fn edge_length(&self, e: usize) -> f64 {
+        self.tables.geom[e].1
+    }
+
+    /// Decompose-based definition of [`Grid3::edge_length`] (table fill).
+    fn edge_length_computed(&self, e: usize) -> f64 {
         let (dir, i, j, k) = self.edge_decompose(e);
         match dir {
             Direction::X => self.x.spacing(i),
@@ -290,7 +368,13 @@ impl Grid3 {
     }
 
     /// Area `Ã` of the dual facet crossed by primary edge `e`.
+    #[inline]
     pub fn dual_area(&self, e: usize) -> f64 {
+        self.tables.geom[e].0
+    }
+
+    /// Decompose-based definition of [`Grid3::dual_area`] (table fill).
+    fn dual_area_computed(&self, e: usize) -> f64 {
         let (dir, i, j, k) = self.edge_decompose(e);
         match dir {
             Direction::X => self.y.dual_spacing(j) * self.z.dual_spacing(k),
@@ -336,7 +420,13 @@ impl Grid3 {
     }
 
     /// The eight corner nodes of cell `c`, ordered `(i,j,k)`-lexicographic.
+    #[inline]
     pub fn cell_nodes(&self, c: usize) -> [usize; 8] {
+        self.tables.cell_nodes[c].map(|n| n as usize)
+    }
+
+    /// Decompose-based definition of [`Grid3::cell_nodes`] (table fill).
+    fn cell_nodes_computed(&self, c: usize) -> [usize; 8] {
         let (i, j, k) = self.cell_coords_of(c);
         [
             self.node_index(i, j, k),
@@ -424,7 +514,21 @@ impl Grid3 {
     /// Calls `visit(cell, weight)` for every cell touching edge `e` —
     /// allocation-free variant of [`Grid3::cells_touching_edge`] for the
     /// per-Picard-iterate material averaging.
+    #[inline]
     pub fn for_each_cell_touching_edge(&self, e: usize, mut visit: impl FnMut(usize, f64)) {
+        let lo = self.tables.touch_off[e] as usize;
+        let hi = self.tables.touch_off[e + 1] as usize;
+        for (c, w) in self.tables.touch_cell[lo..hi]
+            .iter()
+            .zip(&self.tables.touch_w[lo..hi])
+        {
+            visit(*c as usize, *w);
+        }
+    }
+
+    /// Decompose-based definition of [`Grid3::for_each_cell_touching_edge`]
+    /// (table fill).
+    fn for_each_cell_touching_edge_computed(&self, e: usize, mut visit: impl FnMut(usize, f64)) {
         let (dir, i, j, k) = self.edge_decompose(e);
         let (cx, cy, cz) = self.cell_dims();
         match dir {
@@ -517,11 +621,11 @@ impl Grid3 {
     ///
     /// Panics if `factor == 0`.
     pub fn refine(&self, factor: usize) -> Grid3 {
-        Grid3 {
-            x: self.x.refine(factor),
-            y: self.y.refine(factor),
-            z: self.z.refine(factor),
-        }
+        Grid3::new(
+            self.x.refine(factor),
+            self.y.refine(factor),
+            self.z.refine(factor),
+        )
     }
 
     /// Nodes within the closed axis-aligned box `[lo, hi]` (inclusive,

@@ -7,6 +7,8 @@
 //! * [`vector`] — BLAS-1 style operations on `&[f64]` slices,
 //! * [`dense`] — small dense matrices with LU and Cholesky factorizations,
 //! * [`sparse`] — COO assembly and CSR storage with matrix-vector kernels,
+//! * [`multivec`] — column-major `n × k` panels and fused multi-RHS kernels
+//!   for the batched (block) Krylov path,
 //! * [`solvers`] — CG/PCG (Jacobi, IC(0), SSOR preconditioners), BiCGStab,
 //!   and a Thomas tridiagonal solver,
 //! * [`fixedpoint`] — a damped fixed-point (Picard) driver used by the
@@ -44,10 +46,12 @@ pub mod dense;
 pub mod error;
 pub mod fixedpoint;
 pub mod interp;
+pub mod multivec;
 pub mod quadrature;
 pub mod solvers;
 pub mod sparse;
 pub mod vector;
 
 pub use error::NumericsError;
-pub use sparse::{Coo, Csr, LinOp, ParSpmv};
+pub use multivec::MultiVec;
+pub use sparse::{BlockLinOp, Coo, Csr, CsrBatch, LinOp, ParSpmv};

@@ -66,6 +66,7 @@
 //! results are bit-identical to serial.
 
 use crate::error::NumericsError;
+use crate::multivec::MultiVec;
 use crate::solvers::Preconditioner;
 use crate::sparse::{Coo, Csr};
 use std::cell::RefCell;
@@ -157,6 +158,59 @@ fn sor_sweep(a: &Csr, inv_diag: &[f64], b: &[f64], x: &mut [f64], omega: f64, fo
             }
         }
         x[i] = (1.0 - omega) * x[i] + omega * s * inv_diag[i];
+    };
+    if forward {
+        for i in 0..n {
+            update(x, i);
+        }
+    } else {
+        for i in (0..n).rev() {
+            update(x, i);
+        }
+    }
+}
+
+/// Fused multi-column variant of [`sor_sweep`] over row-interleaved panels:
+/// each row's indices are read once for the whole panel and every operand
+/// row is one contiguous `k`-slice. `scratch` provides a `k`-wide
+/// accumulator row (any panel of the same shape; its prior contents are
+/// irrelevant and it is left dirty). The scalar per-column update
+/// expression is preserved exactly — column `j` is bit-identical to
+/// `sor_sweep(a, inv_diag, b.col(j), x.col(j), omega, forward)`.
+fn sor_sweep_block(
+    a: &Csr,
+    inv_diag: &[f64],
+    b: &MultiVec,
+    x: &mut MultiVec,
+    scratch: &mut MultiVec,
+    omega: f64,
+    forward: bool,
+) {
+    let n = x.n_rows();
+    let k = x.n_cols();
+    if k == 0 {
+        return;
+    }
+    debug_assert_eq!(b.n_rows(), n);
+    debug_assert_eq!(b.n_cols(), k);
+    debug_assert!(scratch.n_rows() >= 1 && scratch.n_cols() == k);
+    let srow = scratch.row_mut(0);
+    let mut update = |x: &mut MultiVec, i: usize| {
+        let (cols, vals) = a.row(i);
+        srow.copy_from_slice(b.row(i));
+        let xs = x.as_slice();
+        for (&j, &v) in cols.iter().zip(vals) {
+            if j != i {
+                let xj = &xs[j * k..j * k + k];
+                for (sv, xv) in srow.iter_mut().zip(xj) {
+                    *sv -= v * xv;
+                }
+            }
+        }
+        let d = inv_diag[i];
+        for (xv, &sv) in x.row_mut(i).iter_mut().zip(srow.iter()) {
+            *xv = (1.0 - omega) * *xv + omega * sv * d;
+        }
     };
     if forward {
         for i in 0..n {
@@ -307,6 +361,34 @@ impl LevelScratch {
     }
 }
 
+/// Per-level V-cycle panels for [`AmgPrecond::apply_block`] (lazily grown to
+/// the panel width actually used; allocation-free once warmed up at a fixed
+/// `k`).
+#[derive(Debug, Clone, Default)]
+struct BlockLevelScratch {
+    /// Iterate panel at this level.
+    x: MultiVec,
+    /// Right-hand-side panel at this level.
+    b: MultiVec,
+    /// Residual / Jacobi spmm scratch panel.
+    res: MultiVec,
+    /// Prolongated-correction scratch panel.
+    tmp: MultiVec,
+    /// Contiguous single-column staging buffer (dense coarse solves).
+    col: Vec<f64>,
+}
+
+impl BlockLevelScratch {
+    fn ensure(&mut self, n: usize, k: usize) {
+        for panel in [&mut self.x, &mut self.b, &mut self.res, &mut self.tmp] {
+            panel.ensure(n, k);
+        }
+        if self.col.len() < n {
+            self.col.resize(n, 0.0);
+        }
+    }
+}
+
 /// Smoothed-aggregation AMG V-cycle preconditioner.
 ///
 /// Build once with [`AmgPrecond::new`], then follow the drifting values of
@@ -353,6 +435,9 @@ pub struct AmgPrecond {
     coarse: Coarsest,
     /// V-cycle vectors, one entry per level plus the coarsest.
     scratch: RefCell<Vec<LevelScratch>>,
+    /// V-cycle panels for the batched apply, grown lazily on first
+    /// [`AmgPrecond::apply_block`] call.
+    block_scratch: RefCell<Vec<BlockLevelScratch>>,
 }
 
 impl AmgPrecond {
@@ -430,6 +515,7 @@ impl AmgPrecond {
             coarse_a: current,
             coarse,
             scratch: RefCell::new(scratch),
+            block_scratch: RefCell::new(Vec::new()),
         })
     }
 
@@ -590,6 +676,62 @@ impl AmgPrecond {
             level.smooth(&self.options, nt, &sl.b, &mut sl.x, &mut sl.res, false);
         }
     }
+
+    /// Batched V-cycle on level `l`: the exact mirror of
+    /// [`AmgPrecond::cycle`] over `n × k` panels. Every smoother sweep, grid
+    /// transfer and residual uses the fused multi-RHS kernels, whose columns
+    /// are bit-identical to the scalar ones — so column `j` of the batched
+    /// cycle reproduces the scalar cycle on `r.col(j)` bit for bit.
+    fn cycle_block(&self, l: usize, s: &mut [BlockLevelScratch]) {
+        if l == self.levels.len() {
+            let sl = &mut s[l];
+            match &self.coarse {
+                Coarsest::Direct(f) => {
+                    // Stage each interleaved column through the contiguous
+                    // buffer: gather, solve in place, scatter back.
+                    for j in 0..sl.b.n_cols() {
+                        sl.b.copy_col_into(j, &mut sl.col);
+                        f.solve_in_place(&mut sl.col);
+                        sl.x.copy_col_from(j, &sl.col);
+                    }
+                }
+                Coarsest::SymmetricGs { inv_diag } => {
+                    sl.x.fill(0.0);
+                    let (b, x, sc) = (&sl.b, &mut sl.x, &mut sl.res);
+                    sor_sweep_block(&self.coarse_a, inv_diag, b, x, sc, 1.0, true);
+                    sor_sweep_block(&self.coarse_a, inv_diag, b, x, sc, 1.0, false);
+                }
+            }
+            return;
+        }
+        let level = &self.levels[l];
+        let nt = self.threads_for(level.a.n_rows());
+        {
+            let sl = &mut s[l];
+            sl.x.fill(0.0);
+            level.smooth_block(&self.options, nt, &sl.b, &mut sl.x, &mut sl.res, true);
+            // res ← b − A·x
+            level.a.spmm_threaded(&sl.x, &mut sl.res, nt);
+            for (ri, bi) in sl.res.as_mut_slice().iter_mut().zip(sl.b.as_slice()) {
+                *ri = bi - *ri;
+            }
+        }
+        {
+            let (this, deeper) = s.split_at_mut(l + 1);
+            level.r.spmm_threaded(&this[l].res, &mut deeper[0].b, nt);
+        }
+        self.cycle_block(l + 1, s);
+        {
+            let (this, deeper) = s.split_at_mut(l + 1);
+            let sl = &mut this[l];
+            // x ← x + P·x_{l+1}
+            level.p.spmm_threaded(&deeper[0].x, &mut sl.tmp, nt);
+            for (xi, ti) in sl.x.as_mut_slice().iter_mut().zip(sl.tmp.as_slice()) {
+                *xi += ti;
+            }
+            level.smooth_block(&self.options, nt, &sl.b, &mut sl.x, &mut sl.res, false);
+        }
+    }
 }
 
 impl Preconditioner for AmgPrecond {
@@ -602,6 +744,26 @@ impl Preconditioner for AmgPrecond {
         s[0].b.copy_from_slice(r);
         self.cycle(0, s);
         z.copy_from_slice(&s[0].x);
+    }
+
+    fn apply_block(&self, r: &MultiVec, z: &mut MultiVec) {
+        assert_eq!(r.n_cols(), z.n_cols(), "apply_block: panel widths");
+        let k = r.n_cols();
+        let s = &mut *self.block_scratch.borrow_mut();
+        if s.len() < self.levels.len() + 1 {
+            s.resize_with(self.levels.len() + 1, BlockLevelScratch::default);
+        }
+        for (l, sl) in s.iter_mut().enumerate() {
+            let n_l = if l == self.levels.len() {
+                self.coarse_a.n_rows()
+            } else {
+                self.levels[l].a.n_rows()
+            };
+            sl.ensure(n_l, k);
+        }
+        s[0].b.copy_panel_from(r);
+        self.cycle_block(0, s);
+        z.copy_panel_from(&s[0].x);
     }
 }
 
@@ -936,6 +1098,45 @@ impl Level {
             }
         }
     }
+
+    /// Batched mirror of [`Level::smooth`] over `n × k` panels; each column
+    /// runs the scalar sweep's floating-point sequence exactly.
+    fn smooth_block(
+        &self,
+        options: &AmgOptions,
+        n_threads: usize,
+        b: &MultiVec,
+        x: &mut MultiVec,
+        spmm: &mut MultiVec,
+        forward: bool,
+    ) {
+        let k = x.n_cols();
+        if k == 0 {
+            return;
+        }
+        match options.smoother {
+            AmgSmoother::Jacobi { omega, sweeps } => {
+                for _ in 0..sweeps {
+                    self.a.spmm_threaded(x, spmm, n_threads);
+                    for ((xrow, (brow, srow)), &d) in x
+                        .as_mut_slice()
+                        .chunks_exact_mut(k)
+                        .zip(b.as_slice().chunks_exact(k).zip(spmm.as_slice().chunks_exact(k)))
+                        .zip(&self.inv_diag)
+                    {
+                        for (xv, (bv, sv)) in xrow.iter_mut().zip(brow.iter().zip(srow)) {
+                            *xv += omega * d * (bv - sv);
+                        }
+                    }
+                }
+            }
+            AmgSmoother::Ssor { omega, sweeps } => {
+                for _ in 0..sweeps {
+                    sor_sweep_block(&self.a, &self.inv_diag, b, x, spmm, omega, forward);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1133,6 +1334,44 @@ mod tests {
         serial.apply(&r, &mut z1);
         threaded.apply(&r, &mut z2);
         assert_eq!(z1, z2);
+    }
+
+    #[test]
+    fn apply_block_is_bit_identical_to_scalar_apply() {
+        // Both smoothers, both coarsest solvers (Direct via the default
+        // hierarchy, threaded kernels via n_threads = 4), narrow and wide
+        // interleaved panels including an odd width.
+        let a = lap3d(11, 0.1);
+        let n = a.n_rows();
+        for opts in [
+            AmgOptions::default(),
+            AmgOptions {
+                n_threads: 4,
+                smoother: AmgSmoother::Jacobi {
+                    omega: 0.7,
+                    sweeps: 1,
+                },
+                ..AmgOptions::default()
+            },
+        ] {
+            let m = AmgPrecond::new(&a, opts).unwrap();
+            for k in [1usize, 3, 33] {
+                let mut r = MultiVec::zeros(n, k);
+                for j in 0..k {
+                    for i in 0..n {
+                        r.set(i, j, (((i * 17 + j * 5) % 23) as f64) - 11.0);
+                    }
+                }
+                let mut z = MultiVec::zeros(n, k);
+                z.fill(f64::NAN);
+                m.apply_block(&r, &mut z);
+                for j in 0..k {
+                    let mut z_ref = vec![0.0; n];
+                    m.apply(&r.col_vec(j), &mut z_ref);
+                    assert_eq!(z.col_vec(j), z_ref, "k = {k}, column {j}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl CgOptions {
         }
     }
 
-    fn cap(&self, n: usize) -> usize {
+    pub(super) fn cap(&self, n: usize) -> usize {
         if self.max_iter == 0 {
             10 * n + 100
         } else {

@@ -10,6 +10,7 @@
 
 mod amg;
 mod bicgstab;
+mod block_cg;
 mod cg;
 pub mod fault;
 mod gmres;
@@ -20,13 +21,14 @@ mod workspace;
 
 pub use amg::{AmgOptions, AmgPrecond, AmgSmoother};
 pub use bicgstab::{bicgstab, bicgstab_with};
+pub use block_cg::block_pcg_with;
 pub use cg::{cg, pcg, pcg_with, CgOptions};
 pub use fault::{Fault, FaultInjector, FaultKind, FaultPlan, FaultyLinOp};
 pub use gmres::{gmres, gmres_with, GmresOptions};
 pub use precond::{IdentityPrecond, IncompleteCholesky, JacobiPrecond, Preconditioner, Ssor};
 pub use skyline::SkylineCholesky;
 pub use tridiag::solve_tridiagonal;
-pub use workspace::{GmresWorkspace, KrylovWorkspace};
+pub use workspace::{BlockKrylovWorkspace, GmresWorkspace, KrylovWorkspace};
 
 /// Outcome of an iterative solve.
 #[derive(Debug, Clone, Copy, PartialEq)]

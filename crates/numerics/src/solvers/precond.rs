@@ -8,6 +8,7 @@
 //! follow the drifting values without a single heap allocation.
 
 use crate::error::NumericsError;
+use crate::multivec::MultiVec;
 use crate::sparse::Csr;
 
 /// Application of an (approximate) inverse: `z ← M⁻¹ r`.
@@ -21,6 +22,32 @@ pub trait Preconditioner {
     ///
     /// Implementations may panic if slice lengths differ from [`Preconditioner::dim`].
     fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Applies the preconditioner to every column: `z.col(j) ← M⁻¹ r.col(j)`.
+    ///
+    /// The default loops [`Preconditioner::apply`] over the columns, staging
+    /// each one through freshly allocated contiguous buffers (the panel is
+    /// row-interleaved). Preconditioners whose application is a sparse row
+    /// traversal ([`IncompleteCholesky`], [`Ssor`], the AMG V-cycle)
+    /// override it with a fused interleaved kernel that reads each row's
+    /// indices once for the whole panel — and stays allocation-free.
+    /// Overrides must keep each column bit-identical to the scalar
+    /// [`Preconditioner::apply`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the panel shapes differ from each other
+    /// or from [`Preconditioner::dim`].
+    fn apply_block(&self, r: &MultiVec, z: &mut MultiVec) {
+        assert_eq!(r.n_cols(), z.n_cols(), "apply_block: panel widths");
+        let mut rc = vec![0.0; r.n_rows()];
+        let mut zc = vec![0.0; z.n_rows()];
+        for j in 0..r.n_cols() {
+            r.copy_col_into(j, &mut rc);
+            self.apply(&rc, &mut zc);
+            z.copy_col_from(j, &zc);
+        }
+    }
 }
 
 /// The identity preconditioner (plain CG).
@@ -43,6 +70,11 @@ impl Preconditioner for IdentityPrecond {
 
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         z.copy_from_slice(r);
+    }
+
+    fn apply_block(&self, r: &MultiVec, z: &mut MultiVec) {
+        assert_eq!(r.n_cols(), z.n_cols(), "apply_block: panel widths");
+        z.copy_panel_from(r);
     }
 }
 
@@ -105,6 +137,26 @@ impl Preconditioner for JacobiPrecond {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
         for i in 0..r.len() {
             z[i] = r[i] * self.inv_diag[i];
+        }
+    }
+
+    fn apply_block(&self, r: &MultiVec, z: &mut MultiVec) {
+        assert_eq!(r.n_cols(), z.n_cols(), "apply_block: panel widths");
+        // One diagonal load scales a contiguous k-wide row; each column runs
+        // the scalar multiply sequence exactly (bit-identical per column).
+        let k = r.n_cols();
+        if k == 0 {
+            return;
+        }
+        for ((zrow, rrow), &d) in z
+            .as_mut_slice()
+            .chunks_exact_mut(k)
+            .zip(r.as_slice().chunks_exact(k))
+            .zip(&self.inv_diag)
+        {
+            for (zv, rv) in zrow.iter_mut().zip(rrow) {
+                *zv = rv * d;
+            }
         }
     }
 }
@@ -487,6 +539,68 @@ impl Preconditioner for IncompleteCholesky {
             }
         }
     }
+
+    fn apply_block(&self, r: &MultiVec, z: &mut MultiVec) {
+        // Fused triangular sweeps over the interleaved panel: the factor's
+        // indices are loaded once for the whole panel and every touched row
+        // is a contiguous k-slice. Each column runs exactly the scalar
+        // operation sequence, so results are bit-identical per column.
+        let n = self.n;
+        debug_assert_eq!(r.n_rows(), n);
+        debug_assert_eq!(z.n_rows(), n);
+        assert_eq!(r.n_cols(), z.n_cols(), "apply_block: panel widths");
+        let k = r.n_cols();
+        if k == 0 {
+            return;
+        }
+        let rs = r.as_slice();
+        let zs = z.as_mut_slice();
+        // Forward solve L w = r per column (w stored in z); the diagonal is
+        // the last entry of every row, so the strictly-lower part is
+        // `lo..hi-1`.
+        let mut lo = self.row_ptr[0];
+        for i in 0..n {
+            let hi = self.row_ptr[i + 1];
+            let (done, rest) = zs.split_at_mut(i * k);
+            let zrow = &mut rest[..k];
+            zrow.copy_from_slice(&rs[i * k..(i + 1) * k]);
+            for (&c, &v) in self.col_idx[lo..hi - 1]
+                .iter()
+                .zip(&self.values[lo..hi - 1])
+            {
+                let c = c as usize;
+                let zc = &done[c * k..c * k + k];
+                for (zv, pv) in zrow.iter_mut().zip(zc) {
+                    *zv -= v * pv;
+                }
+            }
+            let d = self.inv_diag[i];
+            for zv in zrow.iter_mut() {
+                *zv *= d;
+            }
+            lo = hi;
+        }
+        // Backward solve Lᵀ z = w per column, scattering updates row-wise.
+        for i in (0..n).rev() {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            let d = self.inv_diag[i];
+            let (below, rest) = zs.split_at_mut(i * k);
+            let zrow = &mut rest[..k];
+            for zv in zrow.iter_mut() {
+                *zv *= d;
+            }
+            for (&c, &v) in self.col_idx[lo..hi - 1]
+                .iter()
+                .zip(&self.values[lo..hi - 1])
+            {
+                let c = c as usize;
+                let zc = &mut below[c * k..c * k + k];
+                for (pv, zv) in zc.iter_mut().zip(zrow.iter()) {
+                    *pv -= v * zv;
+                }
+            }
+        }
+    }
 }
 
 /// Symmetric successive over-relaxation preconditioner.
@@ -605,6 +719,74 @@ impl Preconditioner for Ssor {
         let scale = (2.0 - w) / w;
         for zi in z.iter_mut() {
             *zi *= scale;
+        }
+    }
+
+    fn apply_block(&self, r: &MultiVec, z: &mut MultiVec) {
+        // Fused sweeps over the owned matrix and the interleaved panel: each
+        // row's indices are loaded once for the whole panel, with the scalar
+        // per-column operation order preserved exactly (bit-identical
+        // results).
+        let n = self.a.n_rows();
+        debug_assert_eq!(r.n_rows(), n);
+        debug_assert_eq!(z.n_rows(), n);
+        assert_eq!(r.n_cols(), z.n_cols(), "apply_block: panel widths");
+        let w = self.omega;
+        let k = r.n_cols();
+        if k == 0 {
+            return;
+        }
+        let rs = r.as_slice();
+        let zs = z.as_mut_slice();
+        // Forward sweep: t = (D/ω + L)⁻¹ r, stored in z.
+        for i in 0..n {
+            let (cols, vals) = self.a.row(i);
+            let (done, rest) = zs.split_at_mut(i * k);
+            let zrow = &mut rest[..k];
+            zrow.copy_from_slice(&rs[i * k..(i + 1) * k]);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j >= i {
+                    break;
+                }
+                let zj = &done[j * k..j * k + k];
+                for (zv, pv) in zrow.iter_mut().zip(zj) {
+                    *zv -= v * pv;
+                }
+            }
+            let d = self.inv_diag[i];
+            for zv in zrow.iter_mut() {
+                *zv = *zv * d * w;
+            }
+        }
+        // Scale: u = D t.
+        for (zrow, &d) in zs.chunks_exact_mut(k).zip(&self.inv_diag) {
+            for zv in zrow.iter_mut() {
+                *zv /= d;
+            }
+        }
+        // Backward sweep: z = (D/ω + U)⁻¹ u.
+        for i in (0..n).rev() {
+            let (cols, vals) = self.a.row(i);
+            let (head, above) = zs.split_at_mut((i + 1) * k);
+            let zrow = &mut head[i * k..];
+            for (&j, &v) in cols.iter().zip(vals).rev() {
+                if j <= i {
+                    break;
+                }
+                let off = (j - i - 1) * k;
+                let zj = &above[off..off + k];
+                for (zv, pv) in zrow.iter_mut().zip(zj) {
+                    *zv -= v * pv;
+                }
+            }
+            let d = self.inv_diag[i];
+            for zv in zrow.iter_mut() {
+                *zv = *zv * d * w;
+            }
+        }
+        let scale = (2.0 - w) / w;
+        for zv in zs.iter_mut() {
+            *zv *= scale;
         }
     }
 }
@@ -815,6 +997,35 @@ mod tests {
         let d12 = crate::vector::dot(&r1, &z2);
         let d21 = crate::vector::dot(&r2, &z1);
         assert!((d12 - d21).abs() < 1e-10 * d12.abs().max(1.0), "{d12} {d21}");
+    }
+
+    #[test]
+    fn apply_block_is_bit_identical_to_scalar_apply() {
+        let a = lap2d(8);
+        let n = a.n_rows();
+        let jacobi = JacobiPrecond::new(&a).unwrap();
+        let ic = IncompleteCholesky::with_fill(&a, 1).unwrap();
+        let ssor = Ssor::new(&a, 1.3).unwrap();
+        let ident = IdentityPrecond::new(n);
+        let ps: [&dyn Preconditioner; 4] = [&jacobi, &ic, &ssor, &ident];
+        for k in [1usize, 2, 32, 33] {
+            let mut r = MultiVec::zeros(n, k);
+            for j in 0..k {
+                for i in 0..n {
+                    r.set(i, j, (((i * 7 + j * 13) % 23) as f64).cos());
+                }
+            }
+            for (pi, p) in ps.iter().enumerate() {
+                let mut z = MultiVec::zeros(n, k);
+                z.fill(f64::NAN);
+                p.apply_block(&r, &mut z);
+                for j in 0..k {
+                    let mut z_ref = vec![0.0; n];
+                    p.apply(&r.col_vec(j), &mut z_ref);
+                    assert_eq!(z.col_vec(j), z_ref, "precond {pi}, k = {k}, col {j}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Reusable scratch buffers for the Krylov solvers.
 
+use crate::multivec::MultiVec;
+
 /// Scratch vectors for [`pcg`](crate::solvers::pcg) /
 /// [`bicgstab`](crate::solvers::bicgstab), reusable across solves.
 ///
@@ -66,6 +68,85 @@ impl KrylovWorkspace {
             if buf.len() < n {
                 buf.resize(n, 0.0);
             }
+        }
+    }
+}
+
+/// Scratch panels for [`block_pcg_with`](crate::solvers::block_pcg_with),
+/// reusable across solves.
+///
+/// The block solver advances an `n × k` panel of right-hand sides per
+/// iteration, so its scratch state is four [`MultiVec`] panels plus per-column
+/// convergence bookkeeping. Panels grow on demand and never shrink
+/// ([`MultiVec::ensure`]): reusing the workspace across same-shaped solves —
+/// the batched ensemble hot path — is heap-allocation-free after warm-up,
+/// matching the scalar [`KrylovWorkspace`] contract.
+#[derive(Debug, Clone, Default)]
+pub struct BlockKrylovWorkspace {
+    /// Residual panel `R`.
+    pub(super) r: MultiVec,
+    /// Preconditioned residual panel `Z`.
+    pub(super) z: MultiVec,
+    /// Search direction panel `P`.
+    pub(super) p: MultiVec,
+    /// Operator product panel `A·P`.
+    pub(super) ap: MultiVec,
+    /// Per-column `rᵀz` inner products.
+    pub(super) rz: Vec<f64>,
+    /// Per-column convergence targets.
+    pub(super) target: Vec<f64>,
+    /// Per-column residual norms.
+    pub(super) res: Vec<f64>,
+    /// Per-column active masks (`false` once converged and deflated).
+    pub(super) active: Vec<bool>,
+    /// Per-column `pᵀAp` inner products (also reused for `bᵀb` / `rᵀz`).
+    pub(super) pap: Vec<f64>,
+    /// Per-column step lengths `α`.
+    pub(super) alpha: Vec<f64>,
+    /// Per-column update coefficients (`−α`, then `β`).
+    pub(super) coef: Vec<f64>,
+    /// Lane accumulators for the fused four-lane dot/norm reductions
+    /// (four lanes plus a tail lane, `5·k` entries).
+    pub(super) lanes: Vec<f64>,
+}
+
+impl BlockKrylovWorkspace {
+    /// An empty workspace; panels are allocated lazily on first use.
+    pub fn new() -> Self {
+        BlockKrylovWorkspace::default()
+    }
+
+    /// A workspace pre-sized for `n × k` panel solves (the block solver runs
+    /// allocation-free from the very first call).
+    pub fn with_shape(n: usize, k: usize) -> Self {
+        let mut ws = BlockKrylovWorkspace::default();
+        ws.ensure(n, k);
+        ws
+    }
+
+    /// Grows (never shrinks) every panel to `n × k` and the per-column
+    /// bookkeeping to width `k`.
+    pub(super) fn ensure(&mut self, n: usize, k: usize) {
+        for panel in [&mut self.r, &mut self.z, &mut self.p, &mut self.ap] {
+            panel.ensure(n, k);
+        }
+        for buf in [
+            &mut self.rz,
+            &mut self.target,
+            &mut self.res,
+            &mut self.pap,
+            &mut self.alpha,
+            &mut self.coef,
+        ] {
+            if buf.len() < k {
+                buf.resize(k, 0.0);
+            }
+        }
+        if self.active.len() < k {
+            self.active.resize(k, false);
+        }
+        if self.lanes.len() < 5 * k {
+            self.lanes.resize(5 * k, 0.0);
         }
     }
 }
@@ -163,6 +244,21 @@ mod tests {
         let ws2 = GmresWorkspace::with_dims(8, 3);
         assert_eq!(ws2.g.len(), 4);
         assert_eq!(ws2.y.len(), 3);
+    }
+
+    #[test]
+    fn block_workspace_grows_and_never_shrinks() {
+        let mut ws = BlockKrylovWorkspace::new();
+        ws.ensure(10, 4);
+        assert_eq!(ws.r.n_rows(), 10);
+        assert_eq!(ws.r.n_cols(), 4);
+        assert_eq!(ws.rz.len(), 4);
+        assert_eq!(ws.active.len(), 4);
+        ws.ensure(3, 2);
+        assert_eq!(ws.rz.len(), 4, "bookkeeping never shrinks");
+        let ws2 = BlockKrylovWorkspace::with_shape(5, 3);
+        assert_eq!(ws2.ap.n_rows(), 5);
+        assert_eq!(ws2.target.len(), 3);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use super::{Coo, LinOp};
 use crate::dense::DenseMatrix;
+use crate::multivec::MultiVec;
 
 /// A sparse matrix in compressed sparse row (CSR) format.
 ///
@@ -240,6 +241,394 @@ impl Csr {
         });
     }
 
+    /// Fused multi-RHS product `Y ← A X` over row-interleaved panels.
+    ///
+    /// Each CSR row is read **once** for the whole panel: entry `(i, j)`
+    /// loads the contiguous `k`-wide operand row `x.row(j)` and advances all
+    /// `k` columns of `y.row(i)` — the memory-bandwidth fusion that makes
+    /// batched Krylov pay off. The per-column floating-point operation order
+    /// is exactly that of [`Csr::spmv`] (row by row, stored entries in
+    /// order, one accumulator), so column `j` of the result is bit-identical
+    /// to `spmv(x.col(j))` regardless of the panel width or packing order.
+    ///
+    /// Allocation-free for any `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row/width mismatch between `x`, `y` and the matrix.
+    pub fn spmm_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n_rows(), self.n_cols, "spmm: x rows");
+        assert_eq!(y.n_rows(), self.n_rows, "spmm: y rows");
+        assert_eq!(x.n_cols(), y.n_cols(), "spmm: panel widths");
+        let k = x.n_cols();
+        if k == 0 {
+            return;
+        }
+        self.spmm_rows(0, x.as_slice(), y.as_mut_slice(), k);
+    }
+
+    /// Computes rows `[first_row, first_row + band)` of `A·X`; `y_band` is
+    /// the interleaved storage of those rows (`band·k` entries).
+    fn spmm_rows(&self, first_row: usize, x: &[f64], y_band: &mut [f64], k: usize) {
+        debug_assert_eq!(y_band.len() % k, 0);
+        let band = y_band.len() / k;
+        let mut lo = self.row_ptr[first_row];
+        for (local, yrow) in y_band.chunks_exact_mut(k).enumerate() {
+            let hi = self.row_ptr[first_row + local + 1];
+            yrow.fill(0.0);
+            for (&c, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                let xrow = &x[c * k..c * k + k];
+                for (yv, xv) in yrow.iter_mut().zip(xrow) {
+                    *yv += v * xv;
+                }
+            }
+            lo = hi;
+        }
+        debug_assert_eq!(lo, self.row_ptr[first_row + band]);
+    }
+
+    /// Row-partitioned threaded multi-RHS product `Y ← A X`.
+    ///
+    /// The rows are split into the same contiguous, nnz-balanced bands as
+    /// [`Csr::spmv_threaded`]; each thread owns a disjoint band of the
+    /// interleaved panel, so the result is bit-identical to the serial
+    /// [`Csr::spmm_into`] for any thread count. `n_threads <= 1` falls back
+    /// to the serial kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on row/width mismatch between `x`, `y` and the matrix.
+    pub fn spmm_threaded(&self, x: &MultiVec, y: &mut MultiVec, n_threads: usize) {
+        assert_eq!(x.n_rows(), self.n_cols, "spmm: x rows");
+        assert_eq!(y.n_rows(), self.n_rows, "spmm: y rows");
+        assert_eq!(x.n_cols(), y.n_cols(), "spmm: panel widths");
+        let nt = n_threads.min(self.n_rows);
+        let k = x.n_cols();
+        if k == 0 {
+            return;
+        }
+        if nt <= 1 {
+            self.spmm_into(x, y);
+            return;
+        }
+        let bounds = self.row_bands(nt);
+        let xs = x.as_slice();
+        std::thread::scope(|scope| {
+            let mut rest = y.as_mut_slice();
+            for w in bounds.windows(2) {
+                let (band, tail) = rest.split_at_mut((w[1] - w[0]) * k);
+                rest = tail;
+                if !band.is_empty() {
+                    let first_row = w[0];
+                    scope.spawn(move || self.spmm_rows(first_row, xs, band, k));
+                }
+            }
+        });
+    }
+
+    /// The contiguous, nnz-balanced row bands used by the threaded kernels:
+    /// band `t` is `rows[bounds[t]..bounds[t + 1]]`, chosen so each band
+    /// carries roughly `nnz / nt` stored entries (identical partition math
+    /// to [`Csr::spmv_threaded`]).
+    fn row_bands(&self, nt: usize) -> Vec<usize> {
+        let nnz = self.nnz();
+        let mut bounds = Vec::with_capacity(nt + 1);
+        bounds.push(0usize);
+        let mut row = 0usize;
+        for t in 0..nt {
+            let target = nnz * (t + 1) / nt;
+            let end = if t + 1 == nt {
+                self.n_rows
+            } else {
+                self.row_ptr[row..].partition_point(|&p| p < target) + row
+            };
+            let end = end.clamp(row, self.n_rows);
+            bounds.push(end);
+            row = end;
+        }
+        bounds
+    }
+
+    /// Packs the values of `k` same-pattern matrices into one interleaved
+    /// buffer: `buf[t·k + c] = mats[c].values()[t]`. This is the value
+    /// layout of [`Csr::spmm_packed_into`] / [`CsrBatch`](super::CsrBatch):
+    /// stored entry `t` of the whole batch is one contiguous `k`-wide row,
+    /// so the distinct-matrices product runs at the fused shared-matrix
+    /// kernel's stride instead of gathering from `k` separate value arrays.
+    ///
+    /// `buf` is grown on demand and never shrunk (only the first `nnz·k`
+    /// entries are written): a caller-cached buffer makes repacking across
+    /// same-shaped solves heap-allocation-free after warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats` is empty or (debug only) the patterns differ.
+    pub fn pack_batch_values(mats: &[&Csr], buf: &mut Vec<f64>) {
+        let first = *mats.first().expect("pack_batch_values: empty batch");
+        debug_assert!(
+            mats.iter().all(|m| m.same_pattern(first)),
+            "pack_batch_values: sparsity patterns differ"
+        );
+        let k = mats.len();
+        let need = first.nnz() * k;
+        if buf.len() < need {
+            buf.resize(need, 0.0);
+        }
+        // Entry-outer order: each write row is contiguous and every matrix's
+        // value array is read as one sequential stream.
+        for (t, row) in buf[..need].chunks_exact_mut(k).enumerate() {
+            for (pv, m) in row.iter_mut().zip(mats) {
+                *pv = m.values[t];
+            }
+        }
+    }
+
+    /// Batched same-pattern product over pre-packed values:
+    /// `y.col(c) ← A_c · x.col(c)` where `A_c` shares this matrix's pattern
+    /// and has values `packed[t·k + c]` (see [`Csr::pack_batch_values`]).
+    ///
+    /// This matrix provides only the pattern; its own values are ignored.
+    /// Each stored entry loads one contiguous value row and one contiguous
+    /// operand row, so the whole batch advances at unit stride. Column `c`
+    /// sees exactly the floating-point operation order of `A_c.spmv`, so the
+    /// result is bit-identical per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension/width mismatch or if `packed.len() != nnz·k`.
+    pub fn spmm_packed_into(&self, packed: &[f64], x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n_rows(), self.n_cols, "spmm_packed: x rows");
+        assert_eq!(y.n_rows(), self.n_rows, "spmm_packed: y rows");
+        assert_eq!(x.n_cols(), y.n_cols(), "spmm_packed: panel widths");
+        let k = x.n_cols();
+        if k == 0 {
+            return;
+        }
+        assert_eq!(packed.len(), self.nnz() * k, "spmm_packed: values length");
+        self.spmm_packed_rows(0, packed, x.as_slice(), y.as_mut_slice(), k);
+    }
+
+    /// Band kernel of [`Csr::spmm_packed_into`]: rows
+    /// `[first_row, first_row + band)` of the interleaved output.
+    fn spmm_packed_rows(
+        &self,
+        first_row: usize,
+        packed: &[f64],
+        x: &[f64],
+        y_band: &mut [f64],
+        k: usize,
+    ) {
+        debug_assert_eq!(y_band.len() % k, 0);
+        let mut lo = self.row_ptr[first_row];
+        for (local, yrow) in y_band.chunks_exact_mut(k).enumerate() {
+            let hi = self.row_ptr[first_row + local + 1];
+            yrow.fill(0.0);
+            for t in lo..hi {
+                let c = self.col_idx[t];
+                let vrow = &packed[t * k..t * k + k];
+                let xrow = &x[c * k..c * k + k];
+                for ((yv, vv), xv) in yrow.iter_mut().zip(vrow).zip(xrow) {
+                    *yv += vv * xv;
+                }
+            }
+            lo = hi;
+        }
+    }
+
+    /// Fused variant of [`Csr::spmm_packed_into`] that also emits the
+    /// per-column dots `out[c] = Σᵢ x[i,c]·y[i,c]` of the operand against
+    /// the freshly computed product (the block CG's `pᵀAp`).
+    ///
+    /// The traversal produces output rows in order `i = 0..n`, so the dot
+    /// accumulates with exactly the four-lane order of the standalone
+    /// reduction (lane `i mod 4` for the first `4·⌊n/4⌋` rows, then the
+    /// tail lane, left-associated lane sum): the fusion saves one full read
+    /// of both panels per Krylov iteration without changing a single bit.
+    /// `lanes` is scratch of length `≥ 5k`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Csr::spmm_packed_into`]; additionally panics if `lanes` or
+    /// `out` are undersized.
+    pub fn spmm_packed_dot_into(
+        &self,
+        packed: &[f64],
+        x: &MultiVec,
+        y: &mut MultiVec,
+        lanes: &mut [f64],
+        out: &mut [f64],
+    ) {
+        assert_eq!(x.n_rows(), self.n_cols, "spmm_packed: x rows");
+        assert_eq!(y.n_rows(), self.n_rows, "spmm_packed: y rows");
+        assert_eq!(x.n_cols(), y.n_cols(), "spmm_packed: panel widths");
+        let k = x.n_cols();
+        if k == 0 {
+            return;
+        }
+        assert_eq!(packed.len(), self.nnz() * k, "spmm_packed: values length");
+        assert!(out.len() >= k, "spmm_packed_dot: out length");
+        let lanes = &mut lanes[..5 * k];
+        lanes.fill(0.0);
+        let n = self.n_rows;
+        let full = 4 * (n / 4);
+        let xs = x.as_slice();
+        let ys = y.as_mut_slice();
+        let mut lo = self.row_ptr[0];
+        for (i, yrow) in ys.chunks_exact_mut(k).enumerate() {
+            let hi = self.row_ptr[i + 1];
+            yrow.fill(0.0);
+            for t in lo..hi {
+                let c = self.col_idx[t];
+                let vrow = &packed[t * k..t * k + k];
+                let xrow = &xs[c * k..c * k + k];
+                for ((yv, vv), xv) in yrow.iter_mut().zip(vrow).zip(xrow) {
+                    *yv += vv * xv;
+                }
+            }
+            lo = hi;
+            let l = if i < full { i % 4 } else { 4 };
+            let lane = &mut lanes[l * k..(l + 1) * k];
+            let xrow = &xs[i * k..(i + 1) * k];
+            for ((lv, xv), yv) in lane.iter_mut().zip(xrow).zip(yrow.iter()) {
+                *lv += xv * yv;
+            }
+        }
+        for (c, o) in out[..k].iter_mut().enumerate() {
+            *o = lanes[c] + lanes[k + c] + lanes[2 * k + c] + lanes[3 * k + c] + lanes[4 * k + c];
+        }
+    }
+
+    /// Row-partitioned threaded variant of [`Csr::spmm_packed_into`],
+    /// bit-identical to the serial kernel for any thread count (disjoint
+    /// row bands, no reductions).
+    ///
+    /// # Panics
+    ///
+    /// See [`Csr::spmm_packed_into`].
+    pub fn spmm_packed_threaded(
+        &self,
+        packed: &[f64],
+        x: &MultiVec,
+        y: &mut MultiVec,
+        n_threads: usize,
+    ) {
+        assert_eq!(x.n_rows(), self.n_cols, "spmm_packed: x rows");
+        assert_eq!(y.n_rows(), self.n_rows, "spmm_packed: y rows");
+        assert_eq!(x.n_cols(), y.n_cols(), "spmm_packed: panel widths");
+        let nt = n_threads.min(self.n_rows);
+        let k = x.n_cols();
+        if k == 0 {
+            return;
+        }
+        assert_eq!(packed.len(), self.nnz() * k, "spmm_packed: values length");
+        if nt <= 1 {
+            self.spmm_packed_rows(0, packed, x.as_slice(), y.as_mut_slice(), k);
+            return;
+        }
+        let bounds = self.row_bands(nt);
+        let xs = x.as_slice();
+        std::thread::scope(|scope| {
+            let mut rest = y.as_mut_slice();
+            for w in bounds.windows(2) {
+                let (band, tail) = rest.split_at_mut((w[1] - w[0]) * k);
+                rest = tail;
+                if !band.is_empty() {
+                    let first_row = w[0];
+                    scope.spawn(move || self.spmm_packed_rows(first_row, packed, xs, band, k));
+                }
+            }
+        });
+    }
+
+    /// Batched same-pattern product: `y.col(j) ← mats[j] · x.col(j)`,
+    /// reading each matrix's value array in place (no packing step).
+    ///
+    /// All matrices must share one frozen sparsity pattern (the ensemble
+    /// case: one value-filled matrix per sample over the shared assembly
+    /// skeleton). The row structure is traversed once for the whole batch;
+    /// each column sees exactly the floating-point operation order of
+    /// `mats[j].spmv(x.col(j))`, so the result is bit-identical per column.
+    /// The repeated-solve hot path packs the values once per solve instead
+    /// ([`Csr::pack_batch_values`] + [`Csr::spmm_packed_into`]) and runs
+    /// measurably faster; this zero-setup variant serves one-shot products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats` is empty, the panel widths differ from `mats.len()`,
+    /// dimensions mismatch, or (debug only) the patterns differ.
+    pub fn spmm_batch_into(mats: &[&Csr], x: &MultiVec, y: &mut MultiVec) {
+        let first = *mats.first().expect("spmm_batch: empty batch");
+        assert_eq!(mats.len(), x.n_cols(), "spmm_batch: x width");
+        assert_eq!(mats.len(), y.n_cols(), "spmm_batch: y width");
+        assert_eq!(x.n_rows(), first.n_cols, "spmm_batch: x rows");
+        assert_eq!(y.n_rows(), first.n_rows, "spmm_batch: y rows");
+        debug_assert!(
+            mats.iter().all(|m| m.same_pattern(first)),
+            "spmm_batch: sparsity patterns differ"
+        );
+        Self::spmm_batch_rows(mats, 0, x.as_slice(), y.as_mut_slice());
+    }
+
+    /// Band kernel of [`Csr::spmm_batch_into`]: rows
+    /// `[first_row, first_row + band)` of the interleaved output, one matrix
+    /// per panel column.
+    fn spmm_batch_rows(mats: &[&Csr], first_row: usize, x: &[f64], y_band: &mut [f64]) {
+        let pattern = mats[0];
+        let k = mats.len();
+        debug_assert_eq!(y_band.len() % k, 0);
+        let mut lo = pattern.row_ptr[first_row];
+        for (local, yrow) in y_band.chunks_exact_mut(k).enumerate() {
+            let hi = pattern.row_ptr[first_row + local + 1];
+            yrow.fill(0.0);
+            for t in lo..hi {
+                let c = pattern.col_idx[t];
+                let xrow = &x[c * k..c * k + k];
+                for ((yv, m), xv) in yrow.iter_mut().zip(mats).zip(xrow) {
+                    *yv += m.values[t] * xv;
+                }
+            }
+            lo = hi;
+        }
+    }
+
+    /// Row-partitioned threaded variant of [`Csr::spmm_batch_into`],
+    /// bit-identical to the serial kernel for any thread count (disjoint
+    /// row bands, no reductions).
+    ///
+    /// # Panics
+    ///
+    /// See [`Csr::spmm_batch_into`].
+    pub fn spmm_batch_threaded(mats: &[&Csr], x: &MultiVec, y: &mut MultiVec, n_threads: usize) {
+        let first = *mats.first().expect("spmm_batch: empty batch");
+        let nt = n_threads.min(first.n_rows);
+        if nt <= 1 {
+            Self::spmm_batch_into(mats, x, y);
+            return;
+        }
+        assert_eq!(mats.len(), x.n_cols(), "spmm_batch: x width");
+        assert_eq!(mats.len(), y.n_cols(), "spmm_batch: y width");
+        assert_eq!(x.n_rows(), first.n_cols, "spmm_batch: x rows");
+        assert_eq!(y.n_rows(), first.n_rows, "spmm_batch: y rows");
+        debug_assert!(
+            mats.iter().all(|m| m.same_pattern(first)),
+            "spmm_batch: sparsity patterns differ"
+        );
+        let k = mats.len();
+        let bounds = first.row_bands(nt);
+        let xs = x.as_slice();
+        std::thread::scope(|scope| {
+            let mut rest = y.as_mut_slice();
+            for w in bounds.windows(2) {
+                let (band, tail) = rest.split_at_mut((w[1] - w[0]) * k);
+                rest = tail;
+                if !band.is_empty() {
+                    let first_row = w[0];
+                    scope.spawn(move || Self::spmm_batch_rows(mats, first_row, xs, band));
+                }
+            }
+        });
+    }
+
     /// Allocating variant of [`Csr::spmv`].
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.n_rows];
@@ -451,6 +840,10 @@ impl LinOp for Csr {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.spmv(x, y);
     }
+
+    fn apply_block_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        self.spmm_into(x, y);
+    }
 }
 
 #[cfg(test)]
@@ -620,6 +1013,130 @@ mod tests {
             let mut y = vec![f64::NAN; n];
             a.spmv_threaded(&x, &mut y, nt);
             assert_eq!(y, y_serial, "n_threads = {nt}");
+        }
+    }
+
+    /// Irregular asymmetric-pattern matrix shared by the spmm tests.
+    fn irregular(n: usize) -> Csr {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            coo.push(i, i, 3.0 + (i as f64).sqrt());
+            for d in [1usize, 7, 31] {
+                if i + d < n {
+                    coo.push(i, i + d, -1.0 / (1.0 + d as f64 + i as f64).sqrt());
+                    coo.push(i + d, i, -0.5 / (2.0 + d as f64 * i as f64).sqrt());
+                }
+            }
+        }
+        Csr::from_coo(&coo)
+    }
+
+    fn panel(n: usize, k: usize, seed: usize) -> MultiVec {
+        let mut x = MultiVec::zeros(n, k);
+        for j in 0..k {
+            for i in 0..n {
+                x.set(i, j, (((i * 13 + j * 29 + seed) % 37) as f64).sin());
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn spmm_into_matches_spmv_per_column_bitwise() {
+        let n = 103;
+        let a = irregular(n);
+        for k in [1usize, 2, 8, 31, 32, 33, 40] {
+            let x = panel(n, k, 5);
+            let mut y = MultiVec::zeros(n, k);
+            a.spmm_into(&x, &mut y);
+            for j in 0..k {
+                let mut y_ref = vec![0.0; n];
+                a.spmv(&x.col_vec(j), &mut y_ref);
+                assert_eq!(y.col_vec(j), y_ref, "k = {k}, column {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_threaded_is_bit_identical_to_serial() {
+        let n = 103;
+        let a = irregular(n);
+        for k in [1usize, 3, 32, 35] {
+            let x = panel(n, k, 11);
+            let mut y_serial = MultiVec::zeros(n, k);
+            a.spmm_into(&x, &mut y_serial);
+            for nt in [1usize, 2, 3, 4, 8, 64, 200] {
+                let mut y = MultiVec::zeros(n, k);
+                y.fill(f64::NAN);
+                a.spmm_threaded(&x, &mut y, nt);
+                assert_eq!(y, y_serial, "k = {k}, n_threads = {nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_batch_matches_per_matrix_spmv_bitwise() {
+        let n = 103;
+        let base = irregular(n);
+        // Same pattern, per-sample values: scaled copies of the base matrix.
+        let mats_owned: Vec<Csr> = (0..35)
+            .map(|j| {
+                let mut m = base.clone();
+                m.scale(1.0 + 0.01 * j as f64);
+                m
+            })
+            .collect();
+        for k in [1usize, 8, 32, 35] {
+            let mats: Vec<&Csr> = mats_owned[..k].iter().collect();
+            let x = panel(n, k, 23);
+            let mut y = MultiVec::zeros(n, k);
+            Csr::spmm_batch_into(&mats, &x, &mut y);
+            for j in 0..k {
+                let mut y_ref = vec![0.0; n];
+                mats[j].spmv(&x.col_vec(j), &mut y_ref);
+                assert_eq!(y.col_vec(j), y_ref, "k = {k}, column {j}");
+            }
+            for nt in [2usize, 3, 8, 200] {
+                let mut y_t = MultiVec::zeros(n, k);
+                y_t.fill(f64::NAN);
+                Csr::spmm_batch_threaded(&mats, &x, &mut y_t, nt);
+                assert_eq!(y_t, y, "k = {k}, n_threads = {nt}");
+            }
+            let mut packed = Vec::new();
+            Csr::pack_batch_values(&mats, &mut packed);
+            let mut y_p = MultiVec::zeros(n, k);
+            y_p.fill(f64::NAN);
+            mats[0].spmm_packed_into(&packed, &x, &mut y_p);
+            assert_eq!(y_p, y, "packed kernel, k = {k}");
+            for nt in [2usize, 3, 8, 200] {
+                let mut y_pt = MultiVec::zeros(n, k);
+                y_pt.fill(f64::NAN);
+                mats[0].spmm_packed_threaded(&packed, &x, &mut y_pt, nt);
+                assert_eq!(y_pt, y, "packed threaded, k = {k}, n_threads = {nt}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_handles_rectangular_operators() {
+        // 3×2 matrix applied to a 2×4 panel: the AMG restriction/prolongation
+        // case (rectangular level transfer operators on panels).
+        let mut coo = Coo::new(3, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 2.0);
+        coo.push(2, 0, 3.0);
+        coo.push(2, 1, 4.0);
+        let a = Csr::from_coo(&coo);
+        let mut x = MultiVec::zeros(2, 4);
+        for j in 0..4 {
+            x.set(0, j, 1.0 + j as f64);
+            x.set(1, j, -1.0);
+        }
+        let mut y = MultiVec::zeros(3, 4);
+        a.spmm_threaded(&x, &mut y, 2);
+        for j in 0..4 {
+            let xj = 1.0 + j as f64;
+            assert_eq!(y.col_vec(j), &[xj, -2.0, 3.0 * xj - 4.0]);
         }
     }
 

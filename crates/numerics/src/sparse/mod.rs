@@ -13,6 +13,8 @@ mod csr;
 pub use coo::Coo;
 pub use csr::Csr;
 
+use crate::multivec::{dot_columns, MultiVec};
+
 /// An abstract linear operator `y = A x` on ℝⁿ.
 ///
 /// Implemented by [`Csr`] and by composite operators in higher layers. All
@@ -38,6 +40,226 @@ pub trait LinOp {
     #[inline]
     fn apply_into(&self, x: &[f64], y: &mut [f64]) {
         self.apply(x, y);
+    }
+
+    /// Computes `y.col(j) ← A x.col(j)` for every column of the panel.
+    ///
+    /// The default loops [`LinOp::apply_into`] over the columns, staging
+    /// each one through freshly allocated contiguous buffers (the panel is
+    /// row-interleaved); operators with a fused multi-RHS kernel override it
+    /// ([`Csr`] uses [`Csr::spmm_into`], [`ParSpmv`] uses
+    /// [`Csr::spmm_threaded`]) so one matrix traversal advances all `k`
+    /// right-hand sides — and stays allocation-free. Overrides must keep
+    /// each column bit-identical to the scalar [`LinOp::apply_into`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the panel row counts differ from
+    /// [`LinOp::dim`] or the panel widths differ from each other.
+    fn apply_block_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n_cols(), y.n_cols(), "apply_block: panel widths");
+        let mut xc = vec![0.0; x.n_rows()];
+        let mut yc = vec![0.0; y.n_rows()];
+        for j in 0..x.n_cols() {
+            x.copy_col_into(j, &mut xc);
+            self.apply_into(&xc, &mut yc);
+            y.copy_col_from(j, &yc);
+        }
+    }
+}
+
+/// An abstract block operator on `n × k` panels: `Y = op(X)` column-wise.
+///
+/// The block Krylov solvers are written against this trait. Every [`LinOp`]
+/// is a `BlockLinOp` through a blanket impl (applying the same operator to
+/// each column); operators that apply a *different* matrix per column — the
+/// ensemble case, [`CsrBatch`] — implement it directly.
+pub trait BlockLinOp {
+    /// Dimension `n` of the (square) operator. (Named distinctly from
+    /// [`LinOp::dim`] so the blanket impl never makes `dim()` calls
+    /// ambiguous when both traits are in scope.)
+    fn block_dim(&self) -> usize;
+
+    /// Computes `y.col(j) ← A_j x.col(j)` for every column of the panel.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on shape mismatch.
+    fn apply_block_into(&self, x: &MultiVec, y: &mut MultiVec);
+
+    /// Computes `y ← op(x)` *and* the per-column dots
+    /// `out[c] = Σᵢ x[i,c]·y[i,c]` (the block CG's `pᵀAp`) in one step.
+    ///
+    /// The default performs the apply followed by a separate fused dot pass.
+    /// Operators whose traversal emits output rows in order (the serial
+    /// [`CsrBatch`] kernel) override it to accumulate the dot inside the
+    /// traversal — saving one full read of both panels per Krylov iteration
+    /// — while keeping the exact four-lane reduction order, so the result
+    /// is always bit-identical to the default. `lanes` is scratch of length
+    /// `≥ 5k`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on shape mismatch or undersized scratch.
+    fn apply_block_dot_into(
+        &self,
+        x: &MultiVec,
+        y: &mut MultiVec,
+        lanes: &mut [f64],
+        out: &mut [f64],
+    ) {
+        self.apply_block_into(x, y);
+        dot_columns(
+            x.as_slice(),
+            y.as_slice(),
+            x.n_rows(),
+            x.n_cols(),
+            lanes,
+            out,
+        );
+    }
+}
+
+impl<T: LinOp + ?Sized> BlockLinOp for T {
+    fn block_dim(&self) -> usize {
+        LinOp::dim(self)
+    }
+
+    fn apply_block_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        LinOp::apply_block_into(self, x, y);
+    }
+}
+
+/// A [`BlockLinOp`] over `k` same-pattern CSR matrices: column `j` of the
+/// panel is advanced by matrix `j` of the batch.
+///
+/// This is the ensemble fast path — `k` value-filled matrices over one
+/// frozen assembly pattern share every row traversal. The per-matrix values
+/// are held *packed*: stored entry `t` of the whole batch is the contiguous
+/// row `vals[t·k .. (t+1)·k]` ([`Csr::pack_batch_values`]), so the apply
+/// ([`Csr::spmm_packed_into`] / [`Csr::spmm_packed_threaded`]) advances at
+/// unit stride instead of gathering from `k` separate value arrays. Each
+/// column's floating-point operation order is exactly `mats[j].spmv`, so
+/// results are bit-identical to `k` independent scalar solves.
+///
+/// [`CsrBatch::new`] packs into an owned buffer (one allocation);
+/// [`CsrBatch::from_packed`] borrows a caller-cached buffer so repeated
+/// solves stay heap-allocation-free after warm-up.
+#[derive(Debug, Clone)]
+pub struct CsrBatch<'a> {
+    pattern: &'a Csr,
+    vals: std::borrow::Cow<'a, [f64]>,
+    k: usize,
+    n_threads: usize,
+}
+
+impl<'a> CsrBatch<'a> {
+    /// Packs `mats` (one per panel column) into an owned interleaved value
+    /// buffer; `n_threads <= 1` runs the serial kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mats` is empty, any matrix is non-square, or the sparsity
+    /// patterns differ (validated once here so the per-apply kernels only
+    /// need debug assertions).
+    pub fn new(mats: Vec<&'a Csr>, n_threads: usize) -> Self {
+        let first = *mats.first().expect("CsrBatch: empty batch");
+        assert_eq!(first.n_rows(), first.n_cols(), "CsrBatch: square matrices");
+        assert!(
+            mats.iter().all(|m| m.same_pattern(first)),
+            "CsrBatch: sparsity patterns differ"
+        );
+        let mut buf = Vec::new();
+        Csr::pack_batch_values(&mats, &mut buf);
+        buf.truncate(first.nnz() * mats.len());
+        CsrBatch {
+            pattern: first,
+            vals: std::borrow::Cow::Owned(buf),
+            k: mats.len(),
+            n_threads,
+        }
+    }
+
+    /// Wraps a caller-packed value buffer (layout of
+    /// [`Csr::pack_batch_values`]; `pattern`'s own values are ignored). The
+    /// panel width is `vals.len() / pattern.nnz()`. This is the
+    /// allocation-free constructor for hot loops that cache the packing
+    /// buffer across solves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is non-square or `vals.len()` is zero or not a
+    /// multiple of `pattern.nnz()`.
+    pub fn from_packed(pattern: &'a Csr, vals: &'a [f64], n_threads: usize) -> Self {
+        assert_eq!(
+            pattern.n_rows(),
+            pattern.n_cols(),
+            "CsrBatch: square matrices"
+        );
+        let nnz = pattern.nnz();
+        assert!(
+            !vals.is_empty() && nnz > 0 && vals.len().is_multiple_of(nnz),
+            "CsrBatch: packed length {} is not a positive multiple of nnz {}",
+            vals.len(),
+            nnz
+        );
+        CsrBatch {
+            pattern,
+            vals: std::borrow::Cow::Borrowed(vals),
+            k: vals.len() / nnz,
+            n_threads,
+        }
+    }
+
+    /// The panel width `k` (number of matrices).
+    pub fn width(&self) -> usize {
+        self.k
+    }
+
+    /// The configured thread count.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+}
+
+impl BlockLinOp for CsrBatch<'_> {
+    fn block_dim(&self) -> usize {
+        self.pattern.n_rows()
+    }
+
+    fn apply_block_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        if self.n_threads > 1 {
+            self.pattern
+                .spmm_packed_threaded(&self.vals, x, y, self.n_threads);
+        } else {
+            self.pattern.spmm_packed_into(&self.vals, x, y);
+        }
+    }
+
+    fn apply_block_dot_into(
+        &self,
+        x: &MultiVec,
+        y: &mut MultiVec,
+        lanes: &mut [f64],
+        out: &mut [f64],
+    ) {
+        if self.n_threads > 1 {
+            // The banded threaded kernel writes rows out of order across
+            // bands; keep the dot as a separate (order-fixed) pass.
+            self.pattern
+                .spmm_packed_threaded(&self.vals, x, y, self.n_threads);
+            dot_columns(
+                x.as_slice(),
+                y.as_slice(),
+                x.n_rows(),
+                x.n_cols(),
+                lanes,
+                out,
+            );
+        } else {
+            self.pattern
+                .spmm_packed_dot_into(&self.vals, x, y, lanes, out);
+        }
     }
 }
 
@@ -72,11 +294,15 @@ impl<'a> ParSpmv<'a> {
 
 impl LinOp for ParSpmv<'_> {
     fn dim(&self) -> usize {
-        self.a.dim()
+        LinOp::dim(self.a)
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.a.spmv_threaded(x, y, self.n_threads);
+    }
+
+    fn apply_block_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        self.a.spmm_threaded(x, y, self.n_threads);
     }
 }
 

@@ -183,6 +183,94 @@ fn amg_apply_and_refresh_are_allocation_free_after_warmup() {
 }
 
 #[test]
+fn block_path_is_allocation_free_after_warmup() {
+    // The PR-8 contract: the whole multi-RHS chain — fused SpMM panels,
+    // batched preconditioner application (including the AMG V-cycle), and
+    // the interleaved block PCG — never touches the heap once the panel
+    // workspace is sized.
+    use etherm_numerics::solvers::{block_pcg_with, BlockKrylovWorkspace, SolveReport};
+    use etherm_numerics::sparse::CsrBatch;
+    use etherm_numerics::MultiVec;
+
+    let a = lap3d(8);
+    let n = a.n_rows();
+    let k = 8;
+
+    // k same-pattern matrices with distinct values (the ensemble shape).
+    let mats_owned: Vec<Csr> = (0..k)
+        .map(|j| {
+            let mut m = a.clone();
+            m.scale(1.0 + 0.05 * j as f64);
+            m
+        })
+        .collect();
+    let mats: Vec<&Csr> = mats_owned.iter().collect();
+
+    let mut b = MultiVec::zeros(n, k);
+    for j in 0..k {
+        for i in 0..n {
+            b.set(i, j, ((i * 13 % 17) as f64) - 8.0 + j as f64);
+        }
+    }
+    let mut x = MultiVec::zeros(n, k);
+    let mut y = MultiVec::zeros(n, k);
+
+    // Preconditioners and the batched operator are built outside the
+    // counted region (construction may allocate; apply must not).
+    let jac = JacobiPrecond::new(&mats_owned[0]).unwrap();
+    let ic = IncompleteCholesky::with_fill(&mats_owned[0], 1).unwrap();
+    let ssor = Ssor::new(&mats_owned[0], 1.2).unwrap();
+    let amg = AmgPrecond::new(&mats_owned[0], AmgOptions::default()).unwrap();
+    let op = CsrBatch::new(mats.clone(), 1);
+    // The session hot loop re-packs per solve into a cached buffer and
+    // borrows it; warm it once here so the counted re-pack is steady-state.
+    let mut packed = Vec::new();
+    Csr::pack_batch_values(&mats, &mut packed);
+
+    let opts = CgOptions::with_tol(1e-10);
+    let mut ws = BlockKrylovWorkspace::new();
+    let mut reports: Vec<SolveReport> = Vec::new();
+
+    // Warm-up sizes the panel workspace (and, for AMG, the per-level
+    // block scratch) and the reports vector.
+    block_pcg_with(&op, &b, &mut x, &amg, &opts, &mut ws, &mut reports).unwrap();
+
+    // Fused SpMM (shared-matrix and batched), the per-solve value re-pack
+    // into the warm cached buffer, and the borrowing operator constructor.
+    let before = allocations();
+    a.spmm_into(&b, &mut y);
+    Csr::spmm_batch_into(&mats, &b, &mut y);
+    Csr::pack_batch_values(&mats, &mut packed);
+    let op_packed = CsrBatch::from_packed(&mats_owned[0], &packed, 1);
+    assert_eq!(op_packed.width(), k);
+    assert_eq!(allocations() - before, 0, "fused spmm or value re-pack allocated");
+
+    // Batched preconditioner application, all four kinds.
+    let before = allocations();
+    jac.apply_block(&b, &mut y);
+    ic.apply_block(&b, &mut y);
+    ssor.apply_block(&b, &mut y);
+    amg.apply_block(&b, &mut y);
+    assert_eq!(
+        allocations() - before,
+        0,
+        "batched preconditioner apply allocated"
+    );
+
+    // The full block PCG hot path on the warmed workspace.
+    let before = allocations();
+    let mut solved = 0;
+    for _ in 0..3 {
+        x.fill(0.0);
+        block_pcg_with(&op, &b, &mut x, &amg, &opts, &mut ws, &mut reports).unwrap();
+        assert!(reports.iter().all(|r| r.converged));
+        solved += reports.iter().map(|r| r.iterations).sum::<usize>();
+    }
+    assert!(solved > 0);
+    assert_eq!(allocations() - before, 0, "block pcg allocated on warm path");
+}
+
+#[test]
 fn gmres_is_allocation_free_after_warmup() {
     // Mildly non-symmetric system (the GMRES use case).
     let n = 200;

@@ -4,11 +4,12 @@ use etherm_numerics::dense::DenseMatrix;
 use etherm_numerics::interp::{Extrapolate, LinearInterp, PchipInterp};
 use etherm_numerics::quadrature::QuadratureRule;
 use etherm_numerics::solvers::{
-    cg, gmres, pcg, solve_tridiagonal, AmgOptions, AmgPrecond, CgOptions, GmresOptions,
-    IdentityPrecond, IncompleteCholesky, JacobiPrecond,
+    block_pcg_with, cg, gmres, pcg, pcg_with, solve_tridiagonal, AmgOptions, AmgPrecond,
+    BlockKrylovWorkspace, CgOptions, GmresOptions, IdentityPrecond, IncompleteCholesky,
+    JacobiPrecond, KrylovWorkspace, SolveReport,
 };
-use etherm_numerics::sparse::{Coo, Csr, LinOp};
-use etherm_numerics::vector;
+use etherm_numerics::sparse::{BlockLinOp, Coo, Csr, CsrBatch, LinOp};
+use etherm_numerics::{vector, MultiVec};
 use proptest::prelude::*;
 
 /// Strategy: a random SPD matrix built as `B Bᵀ + n·I` from a random square B.
@@ -291,6 +292,153 @@ proptest! {
         let mut r = vec![0.0; n];
         csr.residual(&b, &x, &mut r);
         prop_assert!(vector::norm2(&r) <= 1e-7 * vector::norm2(&b));
+    }
+
+    #[test]
+    fn block_pcg_k1_is_bit_identical_to_scalar_pcg(
+        a in spd_matrix(10),
+        bvec in proptest::collection::vec(-10.0f64..10.0, 10),
+    ) {
+        // The k=1 degenerate panel must reproduce the scalar solver bit for
+        // bit — same iterates, same residuals, same solution words — for
+        // arbitrary SPD systems, not just the hand-picked unit-test one.
+        let csr = dense_to_csr(&a);
+        let n = csr.n_rows();
+        let jac = JacobiPrecond::new(&csr).unwrap();
+        let opts = CgOptions::with_tol(1e-12);
+
+        let mut x_scalar = vec![0.0; n];
+        let mut ws = KrylovWorkspace::new();
+        let rep = pcg_with(&csr, &bvec, &mut x_scalar, &jac, &opts, &mut ws).unwrap();
+
+        let mut b_panel = MultiVec::zeros(n, 1);
+        b_panel.copy_col_from(0, &bvec);
+        let mut x_panel = MultiVec::zeros(n, 1);
+        let mut bws = BlockKrylovWorkspace::new();
+        let mut reports: Vec<SolveReport> = Vec::new();
+        let op = CsrBatch::new(vec![&csr], 1);
+        block_pcg_with(&op, &b_panel, &mut x_panel, &jac, &opts, &mut bws, &mut reports).unwrap();
+
+        prop_assert_eq!(reports[0].converged, rep.converged);
+        prop_assert_eq!(reports[0].iterations, rep.iterations);
+        prop_assert_eq!(reports[0].residual.to_bits(), rep.residual.to_bits());
+        let x_col = x_panel.col_vec(0);
+        for i in 0..n {
+            prop_assert_eq!(x_col[i].to_bits(), x_scalar[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn spmm_threaded_is_bit_identical_to_serial_for_any_width(
+        entries in proptest::collection::vec((0usize..24, 0usize..24, -10.0f64..10.0), 1..200),
+        k in 1usize..40,
+        n_threads in 1usize..8,
+    ) {
+        // The banded threading must stay bitwise equal to the serial kernel
+        // for every (k, n_threads) pair because each row's accumulation runs
+        // in the identical nnz order on the same contiguous interleaved rows.
+        let mut coo = Coo::new(24, 24);
+        for &(i, j, v) in &entries {
+            coo.push(i, j, v);
+        }
+        let a = Csr::from_coo(&coo);
+        let mut x = MultiVec::zeros(24, k);
+        for c in 0..k {
+            for i in 0..24 {
+                x.set(i, c, ((i * 7 + c * 13) % 29) as f64 - 14.0);
+            }
+        }
+        let mut y_serial = MultiVec::zeros(24, k);
+        let mut y_threaded = MultiVec::zeros(24, k);
+        a.spmm_into(&x, &mut y_serial);
+        a.spmm_threaded(&x, &mut y_threaded, n_threads);
+        for (s, t) in y_serial.as_slice().iter().zip(y_threaded.as_slice()) {
+            prop_assert_eq!(s.to_bits(), t.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_spmm_dot_is_bit_identical_to_separate_passes(
+        entries in proptest::collection::vec((0usize..24, 0usize..24, -10.0f64..10.0), 1..200),
+        k in 1usize..20,
+    ) {
+        // The serial packed kernel that folds the per-column pᵀAp dots into
+        // the matrix traversal must agree bitwise with apply-then-dot: it
+        // claims the identical four-lane reduction order, so any deviation
+        // is a bug, not rounding.
+        let mut coo = Coo::new(24, 24);
+        for &(i, j, v) in &entries {
+            coo.push(i, j, v);
+        }
+        let a = Csr::from_coo(&coo);
+        let mats: Vec<&Csr> = vec![&a; k];
+        let mut packed = Vec::new();
+        Csr::pack_batch_values(&mats, &mut packed);
+        let op = CsrBatch::from_packed(&a, &packed[..a.nnz() * k], 1);
+        let mut x = MultiVec::zeros(24, k);
+        for c in 0..k {
+            for i in 0..24 {
+                x.set(i, c, ((i * 11 + c * 5) % 31) as f64 - 15.0);
+            }
+        }
+        let mut y_sep = MultiVec::zeros(24, k);
+        let mut y_fused = MultiVec::zeros(24, k);
+        let mut lanes = vec![0.0; 5 * k];
+        let mut dots_fused = vec![0.0; k];
+        op.apply_block_into(&x, &mut y_sep);
+        op.apply_block_dot_into(&x, &mut y_fused, &mut lanes, &mut dots_fused);
+        for (s, f) in y_sep.as_slice().iter().zip(y_fused.as_slice()) {
+            prop_assert_eq!(s.to_bits(), f.to_bits());
+        }
+        // Reference dots in the documented lane order: the scalar
+        // vector::dot of each column pair.
+        for c in 0..k {
+            let reference = vector::dot(&x.col_vec(c), &y_sep.col_vec(c));
+            prop_assert_eq!(dots_fused[c].to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn block_pcg_columns_are_independent_of_panel_packing(
+        a in spd_matrix(9),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 27),
+        perm_seed in 0usize..6,
+    ) {
+        // Per-column convergence masks mean a column's iterates never read a
+        // peer column: permuting the packing order must permute the outputs
+        // bitwise, nothing more.
+        let csr = dense_to_csr(&a);
+        let n = csr.n_rows();
+        let k = 3;
+        let jac = JacobiPrecond::new(&csr).unwrap();
+        let opts = CgOptions::with_tol(1e-12);
+        // One of the six permutations of three columns.
+        let perms = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perm = perms[perm_seed];
+
+        let solve = |order: &[usize]| {
+            let mut b = MultiVec::zeros(n, k);
+            for (slot, &col) in order.iter().enumerate() {
+                b.copy_col_from(slot, &rhs[col * n..(col + 1) * n]);
+            }
+            let mut x = MultiVec::zeros(n, k);
+            let mut ws = BlockKrylovWorkspace::new();
+            let mut reports: Vec<SolveReport> = Vec::new();
+            let op = CsrBatch::new(vec![&csr; k], 1);
+            block_pcg_with(&op, &b, &mut x, &jac, &opts, &mut ws, &mut reports).unwrap();
+            (x, reports)
+        };
+
+        let (x_id, rep_id) = solve(&[0, 1, 2]);
+        let (x_pm, rep_pm) = solve(&perm);
+        for (slot, &col) in perm.iter().enumerate() {
+            prop_assert_eq!(rep_pm[slot].iterations, rep_id[col].iterations);
+            prop_assert_eq!(rep_pm[slot].residual.to_bits(), rep_id[col].residual.to_bits());
+            let (xs, xc) = (x_pm.col_vec(slot), x_id.col_vec(col));
+            for i in 0..n {
+                prop_assert_eq!(xs[i].to_bits(), xc[i].to_bits());
+            }
+        }
     }
 
     #[test]

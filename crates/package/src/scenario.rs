@@ -9,7 +9,7 @@
 
 use crate::builder::BuiltPackage;
 use etherm_core::{
-    CompiledModel, CoreError, Scenario, Session, SolverOptions, TransientSolution,
+    BatchScenario, CompiledModel, CoreError, Scenario, Session, SolverOptions, TransientSolution,
 };
 
 impl BuiltPackage {
@@ -116,6 +116,23 @@ where
     fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError> {
         let sol = session.run_transient(self.t_end, self.n_steps, &[])?;
         Ok((self.qoi)(&sol))
+    }
+}
+
+impl<F> BatchScenario for ElongationScenario<F>
+where
+    F: Fn(&TransientSolution) -> Vec<f64> + Sync,
+{
+    fn t_end(&self) -> f64 {
+        self.t_end
+    }
+
+    fn n_steps(&self) -> usize {
+        self.n_steps
+    }
+
+    fn qoi(&self, solution: &TransientSolution) -> Vec<f64> {
+        (self.qoi)(solution)
     }
 }
 

@@ -13,6 +13,7 @@
 
 use crate::error::ReliabilityError;
 use etherm_core::{Session, ThresholdObserver};
+use etherm_uq::Distribution;
 
 /// Controls of [`find_critical_load`].
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +108,68 @@ pub fn find_critical_load(
         let _ = session.set_drive_scale(original_scale);
     }
     result
+}
+
+/// One probe of [`find_critical_load_sampled`]: the realized degradation
+/// threshold and the critical load found under it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledCriticalLoad {
+    /// Realized threshold (K), `F⁻¹(u)` of the threshold distribution.
+    pub threshold: f64,
+    /// Critical-load search result at that threshold.
+    pub load: CriticalLoad,
+}
+
+/// Per-sample fusing-current search under a *random* degradation
+/// threshold: the mold's critical temperature is itself scattered (cure
+/// state, filler content), so the fusing current is a random variable. For
+/// each probe point `u ∈ (0, 1)` the threshold is realized by inversion,
+/// `T_crit = F⁻¹(u)`, and the warm-session bisection of
+/// [`find_critical_load`] runs at that threshold — one session carries its
+/// preconditioners and thermal guesses across the whole sweep, so sample
+/// `i+1` starts from the bracket-end state of sample `i`.
+///
+/// The probe points are caller-supplied (iid uniforms, Latin Hypercube,
+/// or Halton from `etherm_uq::sampling`), which keeps the sweep
+/// bit-deterministic for a fixed design. Results are returned in probe
+/// order.
+///
+/// # Errors
+///
+/// Returns [`ReliabilityError::InvalidOptions`] when a probe point lies
+/// outside `(0, 1)` or its realized threshold is not finite, and
+/// propagates any [`find_critical_load`] failure (the session's drive
+/// scale is restored by the inner search on error).
+pub fn find_critical_load_sampled(
+    session: &mut Session,
+    options: &FusingSearchOptions,
+    threshold: &dyn Distribution,
+    probes_u: &[f64],
+) -> Result<Vec<SampledCriticalLoad>, ReliabilityError> {
+    let mut out = Vec::with_capacity(probes_u.len());
+    for &u in probes_u {
+        if !(u > 0.0 && u < 1.0) {
+            return Err(ReliabilityError::InvalidOptions(format!(
+                "threshold probe point {u} outside (0, 1)"
+            )));
+        }
+        let t_crit = threshold.quantile(u);
+        if !t_crit.is_finite() {
+            return Err(ReliabilityError::InvalidOptions(format!(
+                "threshold quantile({u}) = {t_crit} is not finite"
+            )));
+        }
+        let sample_options = FusingSearchOptions {
+            threshold: t_crit,
+            ..options.clone()
+        };
+        let load = find_critical_load(session, &sample_options)?;
+        out.push(SampledCriticalLoad {
+            threshold: t_crit,
+            load,
+        });
+    }
+    Ok(out)
 }
 
 fn bisect(

@@ -25,7 +25,9 @@
 //! * [`find_critical_load`] — fusing-current search: bisection on the
 //!   session drive scale for the largest load the package survives,
 //!   cross-checkable against the Preece/Onderdonk rules in
-//!   `etherm_bondwire::analytic`.
+//!   `etherm_bondwire::analytic`; [`find_critical_load_sampled`] sweeps it
+//!   over a `Distribution`-valued degradation threshold for the fusing
+//!   current as a random variable.
 
 #![forbid(unsafe_code)]
 
@@ -38,7 +40,10 @@ mod subset;
 
 pub use ensemble_state::EnsembleLimitState;
 pub use error::ReliabilityError;
-pub use fusing::{find_critical_load, CriticalLoad, FusingSearchOptions};
+pub use fusing::{
+    find_critical_load, find_critical_load_sampled, CriticalLoad, FusingSearchOptions,
+    SampledCriticalLoad,
+};
 pub use limit_state::{FailureEstimate, FailureEstimator, LevelStats, LimitState};
 pub use montecarlo::{ImportanceSamplingEstimator, MonteCarloEstimator};
 pub use subset::SubsetSimulation;

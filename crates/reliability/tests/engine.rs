@@ -14,8 +14,8 @@ use etherm_fit::boundary::ThermalBoundary;
 use etherm_grid::{Axis, CellPaint, Grid3, MaterialId};
 use etherm_materials::{library, MaterialTable};
 use etherm_reliability::{
-    find_critical_load, EnsembleLimitState, FailureEstimator, FusingSearchOptions,
-    MonteCarloEstimator, SubsetSimulation,
+    find_critical_load, find_critical_load_sampled, EnsembleLimitState, FailureEstimator,
+    FusingSearchOptions, MonteCarloEstimator, SubsetSimulation,
 };
 use etherm_uq::{Distribution, TruncatedNormal};
 use std::sync::Arc;
@@ -319,6 +319,60 @@ fn fusing_current_search_brackets_and_cross_checks_with_analytic_rules() {
     // pin its magnitude so the cross-check stays anchored.
     let i_preece = preece_fusing_current(WIRE_DIAMETER);
     assert!(i_preece > 0.2 && i_preece < 0.5);
+}
+
+#[test]
+fn sampled_fusing_search_tracks_the_threshold_distribution() {
+    let compiled = compiled();
+    let mut session = Session::new(Arc::clone(&compiled));
+    let options = FusingSearchOptions {
+        t_end: 2.0,
+        n_steps: 4,
+        threshold: f64::NAN, // overridden per sample — must never be read
+        scale_lo: 0.25,
+        scale_hi: 16.0,
+        tol_rel: 2e-2,
+        max_iter: 30,
+    };
+    // Mold degradation threshold scattered around 360 K.
+    let t_crit = TruncatedNormal::new(360.0, 8.0, 340.0, 380.0).unwrap();
+    let probes = [0.1, 0.5, 0.9];
+    let sampled =
+        find_critical_load_sampled(&mut session, &options, &t_crit, &probes).unwrap();
+    assert_eq!(sampled.len(), 3);
+    // Realized thresholds are the distribution's quantiles, in probe order.
+    for (s, &u) in sampled.iter().zip(&probes) {
+        assert_eq!(s.threshold, t_crit.quantile(u));
+        assert!(
+            s.load.scale > options.scale_lo && s.load.scale < options.scale_hi,
+            "critical scale {} not interior to the bracket",
+            s.load.scale
+        );
+    }
+    // A hotter allowed threshold can only raise the surviving load: the
+    // safe scales must be monotone along the sorted probe points.
+    assert!(sampled[0].load.scale <= sampled[1].load.scale);
+    assert!(sampled[1].load.scale <= sampled[2].load.scale);
+    assert!(sampled[0].load.scale < sampled[2].load.scale);
+
+    // The median probe reproduces the fixed-threshold search bitwise on a
+    // fresh session (the sweep itself shares one warm session, which only
+    // shapes iteration counts, not the bisection decisions).
+    let mut fresh = Session::new(Arc::clone(&compiled));
+    let fixed = find_critical_load(
+        &mut fresh,
+        &FusingSearchOptions {
+            threshold: t_crit.quantile(0.5),
+            ..options.clone()
+        },
+    )
+    .unwrap();
+    assert_eq!(sampled[1].load.scale, fixed.scale);
+    assert_eq!(sampled[1].load.bracket, fixed.bracket);
+
+    // Probe points outside (0, 1) are rejected.
+    assert!(find_critical_load_sampled(&mut session, &options, &t_crit, &[0.0]).is_err());
+    assert!(find_critical_load_sampled(&mut session, &options, &t_crit, &[1.0]).is_err());
 }
 
 #[test]

@@ -59,10 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         HeatMap::new(slice.nx, slice.ny, slice.values.clone())?.render()
     );
 
-    // Export the full 3D field for ParaView.
+    // Export the full 3D field for ParaView, into the gitignored bench
+    // output directory rather than the repo root.
     let mut vtk = VtkExporter::new(built.model.grid(), "etherm paper package, t = 50 s");
     vtk.add_field("temperature", state)?;
-    let out = std::path::Path::new("paper_package_t50.vtk");
+    std::fs::create_dir_all("bench_out")?;
+    let out = std::path::Path::new("bench_out/paper_package_t50.vtk");
     vtk.write_to(out)?;
     println!("wrote {} (open in ParaView/VisIt)", out.display());
     Ok(())
