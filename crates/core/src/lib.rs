@@ -26,6 +26,9 @@
 //!   session per worker and re-run with new parameters,
 //! * [`ensemble`] — evaluate one compiled model for many parameter samples
 //!   across threads with deterministic sample-order merging,
+//! * [`QoiEvaluator`] / [`FullSolve`] — the batch QoI-evaluation seam the
+//!   surrogate fast path plugs into: callers ask for QoI vectors and need
+//!   not know whether a full transient or a surrogate answered,
 //! * [`observer`] — in-run step observation with early exit and
 //!   crossing-time bisection, the transient-side workhorse of the
 //!   rare-event reliability engine,
@@ -40,6 +43,7 @@ mod batch;
 mod compiled;
 pub mod ensemble;
 mod error;
+mod evaluator;
 pub mod export;
 mod layout;
 mod model;
@@ -58,6 +62,7 @@ pub use ensemble::{
     FailurePolicy, SampleFailure, Scenario,
 };
 pub use error::CoreError;
+pub use evaluator::{FullSolve, QoiEvaluator};
 pub use etherm_numerics::solvers::{Fault, FaultKind, FaultPlan};
 pub use layout::DofLayout;
 pub use model::{ElectrothermalModel, WireAttachment};

@@ -5,10 +5,14 @@
 //! (`CoreError::StepFailed`, `EnsembleFailed`, …) precisely so a poisoned
 //! sample cannot take down a campaign — a panic in the session, the
 //! ensemble engine or the iterative solvers would bypass the whole
-//! escalation path and kill every worker thread with it. Inside that
-//! perimeter (`crates/core/src/session.rs`, `crates/core/src/ensemble.rs`
-//! and the solver modules under `crates/numerics/src/solvers/`) every
-//! fallible operation must return an error, or justify the panic with e.g.
+//! escalation path and kill every worker thread with it. The surrogate
+//! serving tier sits on the same path: `SurrogateWithFallback` runs inside
+//! reliability campaigns, so a panic while screening or refitting would
+//! equally kill the campaign mid-flight. Inside that perimeter
+//! (`crates/core/src/session.rs`, `crates/core/src/ensemble.rs`, the
+//! solver modules under `crates/numerics/src/solvers/`,
+//! `crates/uq/src/surrogate.rs` and `crates/reliability/src/surrogate.rs`)
+//! every fallible operation must return an error, or justify the panic with e.g.
 //! `// lint:allow(no-panic-unwrap): invariant upheld by the builder above`.
 //! Test code (and `unwrap_or`-style non-panicking combinators) are exempt.
 
@@ -23,6 +27,8 @@ fn in_perimeter(rel_path: &str) -> bool {
     rel_path == "crates/core/src/session.rs"
         || rel_path == "crates/core/src/ensemble.rs"
         || rel_path.starts_with("crates/numerics/src/solvers/")
+        || rel_path == "crates/uq/src/surrogate.rs"
+        || rel_path == "crates/reliability/src/surrogate.rs"
 }
 
 pub(crate) fn check(
@@ -79,6 +85,14 @@ mod tests {
         );
         assert_eq!(
             run(FileKind::Library, "crates/numerics/src/solvers/amg.rs", src),
+            vec![1, 2]
+        );
+        assert_eq!(
+            run(FileKind::Library, "crates/uq/src/surrogate.rs", src),
+            vec![1, 2]
+        );
+        assert_eq!(
+            run(FileKind::Library, "crates/reliability/src/surrogate.rs", src),
             vec![1, 2]
         );
     }

@@ -73,6 +73,18 @@ impl FailureScenario {
         self
     }
 
+    /// Lowers the early-exit threshold to `exit` (K): the transient stops at
+    /// the earlier of `exit` and the failure threshold, reporting its
+    /// peak-so-far. This is the intermediate-threshold hook of
+    /// `SubsetSimulation::intermediate_exit` — the reported peak is exact
+    /// below the exit and a lower bound `≥ exit` once it crossed, exactly
+    /// the `LimitState::evaluate_truncated` contract of
+    /// `etherm_reliability`.
+    pub fn with_exit_threshold(mut self, exit: f64) -> Self {
+        self.threshold = self.threshold.min(exit);
+        self
+    }
+
     /// The failure threshold (K).
     pub fn threshold(&self) -> f64 {
         self.threshold
@@ -189,6 +201,39 @@ mod tests {
         assert_eq!(scenario.n_wires(), 12);
         assert_eq!(scenario.current_scale(), 1.0);
         assert_eq!(scenario.threshold(), 1e6);
+    }
+
+    #[test]
+    fn exit_threshold_truncates_honestly() {
+        let built = coarse_package();
+        let compiled = Arc::new(built.compile(SolverOptions::fast()).unwrap());
+        let samples = vec![vec![0.17; 12]];
+        // Full run (threshold far away): the exact peak.
+        let full = built.failure_scenario(20.0, 20, 1e6);
+        let r = run_ensemble(&compiled, &full, &samples, &EnsembleOptions::default()).unwrap();
+        let exact_peak = r.outputs[0][FailureScenario::QOI_PEAK];
+        let full_solves = r.outputs[0][FailureScenario::QOI_SOLVES];
+
+        // Intermediate exit crossed during the heating ramp: the report is a
+        // lower bound in [exit, exact] and the run stops early.
+        let exit = 340.0;
+        assert!(exact_peak > exit);
+        let truncated = built.failure_scenario(20.0, 20, 1e6).with_exit_threshold(exit);
+        assert_eq!(truncated.threshold(), exit);
+        let r =
+            run_ensemble(&compiled, &truncated, &samples, &EnsembleOptions::default()).unwrap();
+        let y = r.outputs[0][FailureScenario::QOI_PEAK];
+        assert!(y >= exit && y <= exact_peak, "{exit} ≤ {y} ≤ {exact_peak}");
+        assert!(r.outputs[0][FailureScenario::QOI_SOLVES] < full_solves);
+
+        // Exit above the peak: no truncation, bit-identical response.
+        let untouched = built.failure_scenario(20.0, 20, 1e6).with_exit_threshold(exact_peak + 50.0);
+        let r =
+            run_ensemble(&compiled, &untouched, &samples, &EnsembleOptions::default()).unwrap();
+        assert_eq!(
+            r.outputs[0][FailureScenario::QOI_PEAK].to_bits(),
+            exact_peak.to_bits()
+        );
     }
 
     #[test]

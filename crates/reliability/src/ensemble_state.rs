@@ -28,6 +28,8 @@ pub struct EnsembleLimitState<'a, S: Scenario> {
     counters: SolveCounters,
     batches: usize,
     quarantined: usize,
+    exit_factory: Option<Box<dyn Fn(f64) -> S + Sync + 'a>>,
+    truncated_batches: usize,
 }
 
 impl<'a, S: Scenario> EnsembleLimitState<'a, S> {
@@ -50,7 +52,30 @@ impl<'a, S: Scenario> EnsembleLimitState<'a, S> {
             counters: SolveCounters::default(),
             batches: 0,
             quarantined: 0,
+            exit_factory: None,
+            truncated_batches: 0,
         }
+    }
+
+    /// Enables intermediate-threshold early exit: `factory(exit)` must
+    /// build a scenario identical to the bound one except that each
+    /// transient may stop at the earlier crossing of `exit`, reporting its
+    /// peak-so-far (`≥ exit`, `≤` the true peak). With a factory installed,
+    /// [`LimitState::evaluate_truncated`] builds a per-call scenario instead
+    /// of forwarding to the untruncated path — e.g.
+    /// `|e| built.failure_scenario(..).with_exit_threshold(e)` for
+    /// `etherm_package::FailureScenario`.
+    pub fn with_intermediate_exit<F>(mut self, factory: F) -> Self
+    where
+        F: Fn(f64) -> S + Sync + 'a,
+    {
+        self.exit_factory = Some(Box::new(factory));
+        self
+    }
+
+    /// Batches evaluated through the truncated (intermediate-exit) path.
+    pub fn truncated_batches(&self) -> usize {
+        self.truncated_batches
     }
 
     /// Solve counters merged over every batch evaluated so far — the
@@ -82,6 +107,33 @@ impl<S: Scenario> LimitState for EnsembleLimitState<'_, S> {
     }
 
     fn evaluate(&mut self, points: &[Vec<f64>]) -> Result<Vec<f64>, ReliabilityError> {
+        let scenario = self.scenario;
+        self.evaluate_with(scenario, points)
+    }
+
+    fn evaluate_truncated(
+        &mut self,
+        points: &[Vec<f64>],
+        exit: f64,
+    ) -> Result<Vec<f64>, ReliabilityError> {
+        let scenario = match &self.exit_factory {
+            Some(factory) => factory(exit),
+            None => {
+                let scenario = self.scenario;
+                return self.evaluate_with(scenario, points);
+            }
+        };
+        self.truncated_batches += 1;
+        self.evaluate_with(&scenario, points)
+    }
+}
+
+impl<S: Scenario> EnsembleLimitState<'_, S> {
+    fn evaluate_with(
+        &mut self,
+        scenario: &S,
+        points: &[Vec<f64>],
+    ) -> Result<Vec<f64>, ReliabilityError> {
         let d = self.marginals.len();
         let samples: Vec<Vec<f64>> = points
             .iter()
@@ -93,7 +145,7 @@ impl<S: Scenario> LimitState for EnsembleLimitState<'_, S> {
                     .collect()
             })
             .collect();
-        let result = run_ensemble(self.compiled, self.scenario, &samples, &self.options)?;
+        let result = run_ensemble(self.compiled, scenario, &samples, &self.options)?;
         self.counters.merge(&result.counters);
         self.batches += 1;
         // An empty QoI vector is a quarantined sample (its session failed

@@ -1,6 +1,7 @@
 //! Error type of the reliability engine.
 
 use etherm_core::CoreError;
+use etherm_uq::UqError;
 use std::fmt;
 
 /// Errors from failure-probability estimation or the fusing-current search.
@@ -16,6 +17,8 @@ pub enum ReliabilityError {
     /// Subset simulation exhausted its level budget without reaching the
     /// failure threshold (the event is rarer than `p0^max_levels`).
     NotConverged(String),
+    /// A surrogate fit or refit failed (degenerate design, bad options).
+    Surrogate(UqError),
 }
 
 impl fmt::Display for ReliabilityError {
@@ -25,6 +28,7 @@ impl fmt::Display for ReliabilityError {
             ReliabilityError::Core(e) => write!(f, "solver error: {e}"),
             ReliabilityError::Evaluation(msg) => write!(f, "evaluation error: {msg}"),
             ReliabilityError::NotConverged(msg) => write!(f, "not converged: {msg}"),
+            ReliabilityError::Surrogate(e) => write!(f, "surrogate error: {e}"),
         }
     }
 }
@@ -33,6 +37,7 @@ impl std::error::Error for ReliabilityError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ReliabilityError::Core(e) => Some(e),
+            ReliabilityError::Surrogate(e) => Some(e),
             _ => None,
         }
     }
@@ -41,6 +46,12 @@ impl std::error::Error for ReliabilityError {
 impl From<CoreError> for ReliabilityError {
     fn from(e: CoreError) -> Self {
         ReliabilityError::Core(e)
+    }
+}
+
+impl From<UqError> for ReliabilityError {
+    fn from(e: UqError) -> Self {
+        ReliabilityError::Surrogate(e)
     }
 }
 
@@ -60,5 +71,8 @@ mod tests {
         assert!(e.to_string().contains("len"));
         let e = ReliabilityError::NotConverged("levels".into());
         assert!(e.to_string().contains("levels"));
+        let e = ReliabilityError::from(UqError::DegenerateDesign("rank".into()));
+        assert!(e.to_string().contains("surrogate"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -27,7 +27,20 @@
 //!   cross-checkable against the Preece/Onderdonk rules in
 //!   `etherm_bondwire::analytic`; [`find_critical_load_sampled`] sweeps it
 //!   over a `Distribution`-valued degradation threshold for the fusing
-//!   current as a random variable.
+//!   current as a random variable,
+//! * [`train_surrogates`] / [`SurrogateWithFallback`] / [`QoiLimitState`]
+//!   — the error-controlled surrogate fast path: per-QoI PCE surrogates
+//!   fitted through the batched ensemble engine serve microsecond answers
+//!   whenever their cross-validated error estimate is within tolerance,
+//!   fall back to full transients otherwise (logging the points for
+//!   active-learning refinement), and plug into any estimator through the
+//!   [`LimitState`] adapter — full solves are reserved for near-threshold
+//!   samples,
+//! * [`LimitState::evaluate_truncated`] + `SubsetSimulation::intermediate_exit`
+//!   — intermediate-threshold early exit: conditional-level transients may
+//!   stop at a predicted next threshold, with ambiguous responses re-run
+//!   exactly, so the ladder is unchanged bit-for-bit at a fraction of the
+//!   step count.
 
 #![forbid(unsafe_code)]
 
@@ -37,6 +50,7 @@ mod fusing;
 mod limit_state;
 mod montecarlo;
 mod subset;
+mod surrogate;
 
 pub use ensemble_state::EnsembleLimitState;
 pub use error::ReliabilityError;
@@ -47,3 +61,7 @@ pub use fusing::{
 pub use limit_state::{FailureEstimate, FailureEstimator, LevelStats, LimitState};
 pub use montecarlo::{ImportanceSamplingEstimator, MonteCarloEstimator};
 pub use subset::SubsetSimulation;
+pub use surrogate::{
+    train_surrogates, QoiLimitState, SurrogateTrainingPlan, SurrogateWithFallback,
+    TrainedSurrogate,
+};

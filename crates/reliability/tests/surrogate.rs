@@ -1,0 +1,304 @@
+//! End-to-end tests of the surrogate fast path against the real coupled
+//! solver: training through the batched ensemble engine, error-controlled
+//! serving with full-solver fallback, and bit-determinism across worker
+//! thread counts — plus a property test of the serving rule over an
+//! analytic evaluator.
+
+use etherm_core::{
+    run_ensemble, CompiledModel, CoreError, ElectrothermalModel, EnsembleOptions, FullSolve,
+    QoiEvaluator, Scenario, Session, SolveCounters, SolverOptions, TransientSolution,
+};
+use etherm_fit::boundary::ThermalBoundary;
+use etherm_grid::{Axis, CellPaint, Grid3, MaterialId};
+use etherm_materials::{library, MaterialTable};
+use etherm_reliability::{train_surrogates, SurrogateTrainingPlan, SurrogateWithFallback};
+use etherm_uq::{Distribution, Normal, Surrogate, SurrogateOptions};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Mean and scatter of the uncertain wire lengths (m).
+const MU: f64 = 1.5e-3;
+const SIGMA: f64 = 1.0e-4;
+
+/// A driven epoxy block with two copper wires across it — the smallest
+/// model with a 2-dimensional germ.
+fn two_wire_model() -> ElectrothermalModel {
+    let grid = Grid3::new(
+        Axis::uniform(0.0, 2e-3, 4).unwrap(),
+        Axis::uniform(0.0, 1e-3, 2).unwrap(),
+        Axis::uniform(0.0, 0.5e-3, 1).unwrap(),
+    );
+    let paint = CellPaint::new(&grid, MaterialId(0));
+    let mut materials = MaterialTable::new();
+    materials.add(library::epoxy_resin());
+    let mut model = ElectrothermalModel::new(grid, paint, materials).unwrap();
+    for (name, y) in [("w0", 0.0), ("w1", 1e-3)] {
+        let wire = etherm_bondwire::BondWire::new(name, MU, 25.4e-6, library::copper()).unwrap();
+        model
+            .add_wire(wire, (0.0, y, 0.5e-3), (2e-3, y, 0.5e-3))
+            .unwrap();
+    }
+    for w in 0..2 {
+        let a = model.wires()[w].node_a;
+        let b = model.wires()[w].node_b;
+        model.set_electric_potential(&[a], 0.02);
+        model.set_electric_potential(&[b], -0.02);
+    }
+    model.set_thermal_boundary(ThermalBoundary::convective(25.0, 300.0));
+    model
+}
+
+/// Sample = the two wire lengths; QoIs = the two end-of-transient wire
+/// temperatures.
+#[derive(Debug, Clone)]
+struct LengthScenario;
+
+impl Scenario for LengthScenario {
+    fn apply(&self, session: &mut Session, sample: &[f64]) -> Result<(), CoreError> {
+        session.set_wire_length(0, sample[0])?;
+        session.set_wire_length(1, sample[1])
+    }
+    fn evaluate(&self, session: &mut Session) -> Result<Vec<f64>, CoreError> {
+        let sol = session.run_transient(2.0, 4, &[])?;
+        Ok(qoi(&sol))
+    }
+}
+
+impl etherm_core::BatchScenario for LengthScenario {
+    fn t_end(&self) -> f64 {
+        2.0
+    }
+    fn n_steps(&self) -> usize {
+        4
+    }
+    fn qoi(&self, solution: &TransientSolution) -> Vec<f64> {
+        qoi(solution)
+    }
+}
+
+fn qoi(sol: &TransientSolution) -> Vec<f64> {
+    vec![
+        *sol.wire_series(0).last().unwrap(),
+        *sol.wire_series(1).last().unwrap(),
+    ]
+}
+
+fn marginals() -> Vec<Box<dyn Distribution>> {
+    vec![
+        Box::new(Normal::new(MU, SIGMA).unwrap()),
+        Box::new(Normal::new(MU, SIGMA).unwrap()),
+    ]
+}
+
+fn options(n_threads: usize) -> EnsembleOptions {
+    EnsembleOptions {
+        n_threads,
+        ..EnsembleOptions::default()
+    }
+}
+
+#[test]
+fn training_is_deterministic_for_any_thread_count() {
+    let compiled = Arc::new(CompiledModel::compile(two_wire_model(), SolverOptions::fast()).unwrap());
+    let plan = SurrogateTrainingPlan::new(40, 7);
+    let fingerprint = |n_threads: usize| {
+        let t = train_surrogates(&compiled, &LengthScenario, &marginals(), &plan, &options(n_threads))
+            .expect("train");
+        assert_eq!(t.surrogates.len(), 2, "one surrogate per QoI");
+        assert_eq!(t.quarantined, 0);
+        assert!(t.counters.thermal_solves > 0, "training paid no solves");
+        t.surrogates
+            .iter()
+            .map(|s| format!("{:?} {:?}", s.model().coefficients(), s.cv_error()))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let reference = fingerprint(1);
+    assert_eq!(reference, fingerprint(2));
+    assert_eq!(reference, fingerprint(4));
+}
+
+#[test]
+fn served_answers_stay_within_tolerance_of_full_solves() {
+    let compiled = Arc::new(CompiledModel::compile(two_wire_model(), SolverOptions::fast()).unwrap());
+    let trained = train_surrogates(
+        &compiled,
+        &LengthScenario,
+        &marginals(),
+        &SurrogateTrainingPlan::new(40, 7),
+        &options(1),
+    )
+    .expect("train");
+    let cv = trained
+        .surrogates
+        .iter()
+        .map(Surrogate::cv_error)
+        .fold(0.0f64, f64::max);
+    assert!(cv > 0.0, "the solver response is not exactly polynomial");
+    let tolerance = 4.0 * cv;
+
+    // In-design batch (germ within the training hull) plus one extreme
+    // point whose inflated error estimate must force a full solve.
+    let b0 = trained.surrogates[0].design_bounds()[0];
+    let mut batch: Vec<Vec<f64>> = (0..12)
+        .map(|i| {
+            let z0 = -1.5 + 0.25 * i as f64;
+            let z1 = 1.5 - 0.25 * i as f64;
+            vec![MU + SIGMA * z0, MU + SIGMA * z1]
+        })
+        .collect();
+    batch.push(vec![MU + SIGMA * 4.0 * b0, MU]);
+    assert!(
+        trained.surrogates[0].error_estimate(&[4.0 * b0, 0.0]) > tolerance,
+        "the far point must be outside serving range"
+    );
+
+    let reference = run_ensemble(&compiled, &LengthScenario, &batch, &options(1)).expect("ref");
+
+    let full = FullSolve::new(&compiled, &LengthScenario, 2, options(1));
+    let mut sf =
+        SurrogateWithFallback::new(full, trained.surrogates.clone(), marginals(), tolerance)
+            .expect("wrap");
+    let out = sf.evaluate(&batch).expect("evaluate");
+
+    assert!(sf.served() > 0, "nothing was served");
+    assert!(sf.full_solves() >= 1, "the far point must fall back");
+    assert_eq!(sf.served() + sf.full_solves(), batch.len());
+    assert!(sf.max_served_error() <= tolerance);
+    let mut worst = 0.0f64;
+    for (qoi, reference) in out.iter().zip(&reference.outputs) {
+        for (a, b) in qoi.iter().zip(reference) {
+            worst = worst.max((a - b).abs());
+        }
+    }
+    assert!(
+        worst <= tolerance,
+        "served answer drifted {worst} > tolerance {tolerance}"
+    );
+    assert_eq!(sf.pending_refinement(), sf.full_solves());
+}
+
+#[test]
+fn serving_pipeline_is_bit_deterministic_across_threads() {
+    let compiled = Arc::new(CompiledModel::compile(two_wire_model(), SolverOptions::fast()).unwrap());
+    let run = |n_threads: usize| {
+        let trained = train_surrogates(
+            &compiled,
+            &LengthScenario,
+            &marginals(),
+            &SurrogateTrainingPlan::new(40, 7),
+            &options(n_threads),
+        )
+        .expect("train");
+        let tolerance = 4.0 * trained
+            .surrogates
+            .iter()
+            .map(Surrogate::cv_error)
+            .fold(0.0f64, f64::max);
+        let full = FullSolve::new(&compiled, &LengthScenario, 2, options(n_threads));
+        let mut sf =
+            SurrogateWithFallback::new(full, trained.surrogates, marginals(), tolerance)
+                .expect("wrap");
+        let batch: Vec<Vec<f64>> = (0..12)
+            .map(|i| {
+                let z = -2.5 + 0.45 * i as f64;
+                vec![MU + SIGMA * z, MU - SIGMA * z]
+            })
+            .collect();
+        let out = sf.evaluate(&batch).expect("evaluate");
+        format!("{out:?} served={} solves={}", sf.served(), sf.full_solves())
+    };
+    let reference = run(1);
+    assert_eq!(reference, run(2));
+    assert_eq!(reference, run(4));
+}
+
+/// Analytic stand-in for the solver, exact and instantaneous — the
+/// reference the property test compares served answers against.
+struct Analytic {
+    cubic: f64,
+    evaluated: usize,
+}
+
+impl Analytic {
+    fn truth(&self, x: &[f64]) -> Vec<f64> {
+        vec![x[0] + x[1] * x[1] + self.cubic * x[0].powi(3)]
+    }
+}
+
+impl QoiEvaluator for Analytic {
+    fn dim(&self) -> usize {
+        2
+    }
+    fn evaluate(&mut self, samples: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, CoreError> {
+        self.evaluated += samples.len();
+        Ok(samples.iter().map(|x| self.truth(x)).collect())
+    }
+    fn full_solves(&self) -> usize {
+        self.evaluated
+    }
+    fn served(&self) -> usize {
+        0
+    }
+    fn counters(&self) -> SolveCounters {
+        SolveCounters::default()
+    }
+}
+
+fn std_marginals() -> Vec<Box<dyn Distribution>> {
+    vec![
+        Box::new(Normal::new(0.0, 1.0).unwrap()),
+        Box::new(Normal::new(0.0, 1.0).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The serving rule: whatever the (possibly misspecified) surrogate,
+    /// every answer of the fallback tier is either an exact full solve or
+    /// a served prediction whose certified error estimate — and hence the
+    /// bookkept `max_served_error` — is within tolerance.
+    #[test]
+    fn every_answer_is_exact_or_certified_within_tolerance(
+        cubic in -0.2f64..0.2,
+        flat in proptest::collection::vec(-2.0f64..2.0, 2 * 30),
+        queries in proptest::collection::vec(-3.5f64..3.5, 2 * 16),
+        tolerance in 0.05f64..1.0,
+    ) {
+        let xi: Vec<Vec<f64>> = flat.chunks(2).map(|p| p.to_vec()).collect();
+        let oracle = Analytic { cubic, evaluated: 0 };
+        let y: Vec<f64> = xi.iter().map(|p| oracle.truth(p)[0]).collect();
+        let surrogate = match Surrogate::fit(&xi, &y, 2, SurrogateOptions::default()) {
+            Ok(s) => s,
+            // A randomly collinear design is legitimately rejected.
+            Err(_) => return Ok(()),
+        };
+        let mut sf = SurrogateWithFallback::new(
+            Analytic { cubic, evaluated: 0 },
+            vec![surrogate],
+            std_marginals(),
+            tolerance,
+        )
+        .expect("wrap");
+        let batch: Vec<Vec<f64>> = queries.chunks(2).map(|p| p.to_vec()).collect();
+        let out = sf.evaluate(&batch).expect("evaluate");
+        prop_assert_eq!(out.len(), batch.len());
+        prop_assert_eq!(sf.served() + sf.full_solves(), batch.len());
+        prop_assert!(sf.max_served_error() <= tolerance);
+        let oracle = Analytic { cubic, evaluated: 0 };
+        for (x, qoi) in batch.iter().zip(&out) {
+            // Standard-normal marginals make germ == physical sample, so
+            // the serving decision is directly reproducible: a certified
+            // point is answered with the prediction bit-for-bit, anything
+            // else with the exact oracle.
+            let (pred, estimate) = sf.surrogates()[0].predict_with_error(x);
+            if estimate <= tolerance && pred.is_finite() {
+                prop_assert!((qoi[0] - pred).abs() <= estimate);
+                prop_assert_eq!(qoi[0].to_bits(), pred.to_bits());
+            } else {
+                prop_assert_eq!(qoi[0].to_bits(), oracle.truth(x)[0].to_bits());
+            }
+        }
+    }
+}

@@ -9,6 +9,10 @@ pub enum UqError {
     InvalidArgument(String),
     /// An underlying linear-algebra routine failed.
     Numerics(etherm_numerics::NumericsError),
+    /// A regression design matrix is (numerically) rank deficient: the
+    /// samples do not determine the requested basis. Strict surrogate fits
+    /// report this instead of silently ridging the normal equations.
+    DegenerateDesign(String),
 }
 
 impl fmt::Display for UqError {
@@ -16,6 +20,7 @@ impl fmt::Display for UqError {
         match self {
             UqError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             UqError::Numerics(e) => write!(f, "numerics failure: {e}"),
+            UqError::DegenerateDesign(msg) => write!(f, "degenerate design: {msg}"),
         }
     }
 }
@@ -24,7 +29,7 @@ impl std::error::Error for UqError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             UqError::Numerics(e) => Some(e),
-            UqError::InvalidArgument(_) => None,
+            UqError::InvalidArgument(_) | UqError::DegenerateDesign(_) => None,
         }
     }
 }
@@ -47,6 +52,9 @@ mod tests {
         let e = UqError::from(inner);
         assert!(e.to_string().contains("numerics"));
         assert!(std::error::Error::source(&e).is_some());
+        let e = UqError::DegenerateDesign("rank 3 < 5 basis terms".into());
+        assert!(e.to_string().contains("degenerate design"));
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

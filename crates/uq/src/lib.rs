@@ -22,6 +22,9 @@
 //!   Saltelli variance-based Sobol' indices,
 //! * [`pce`] — Wiener–Hermite polynomial chaos expansions (projection and
 //!   regression) with analytic moments and Sobol' indices,
+//! * [`surrogate`] — [`Surrogate`]: strict (un-ridged) PCE regression with a
+//!   cross-validated error model and deterministic refit, the basis of the
+//!   error-controlled fast-serving tier,
 //! * [`variance_reduction`] — antithetic variates, control variates and
 //!   stratified sampling on top of the same unit-hypercube designs.
 
@@ -37,18 +40,20 @@ pub mod sobol;
 pub mod sparse_grid;
 pub mod special;
 pub mod stats;
+pub mod surrogate;
 pub mod variance_reduction;
 
 pub use dist::{Distribution, LogNormal, Normal, TruncatedNormal, Uniform};
 pub use error::UqError;
 pub use montecarlo::{draw_samples, run_monte_carlo, run_monte_carlo_parallel, McOptions, McResult};
 pub use pce::{
-    fit_projection_1d, fit_regression, fit_sparse_projection, fit_tensor_projection,
-    MultiIndexSet, PceModel,
+    fit_projection_1d, fit_regression, fit_regression_strict, fit_sparse_projection,
+    fit_tensor_projection, MultiIndexSet, PceModel,
 };
 pub use sampling::{Halton, LatinHypercube, MonteCarloSampler, SampleGenerator};
 pub use sensitivity::{sobol_saltelli, SobolIndices};
 pub use sobol::Sobol;
 pub use sparse_grid::SparseGrid;
 pub use stats::{fit_normal, Histogram, RunningStats};
+pub use surrogate::{Surrogate, SurrogateOptions};
 pub use variance_reduction::{antithetic, control_variate, stratified, VrEstimate};

@@ -415,9 +415,126 @@ pub fn fit_regression(
     dim: usize,
     degree: usize,
 ) -> Result<PceModel, UqError> {
+    let basis = regression_basis(xi, y, dim, degree, "fit_regression")?;
+    let m = basis.len();
+    let (mut ata, aty) = assemble_normal_equations(xi, y, &basis);
+    // Regularize with a mild ridge before factorizing.
+    let trace: f64 = (0..m).map(|j| ata[j * m + j]).sum();
+    let lambda = 1e-12 * trace / m as f64;
+    for j in 0..m {
+        ata[j * m + j] += lambda;
+    }
+    let rows: Vec<&[f64]> = (0..m).map(|j| &ata[j * m..(j + 1) * m]).collect();
+    let gram = DenseMatrix::from_rows(&rows)
+        .map_err(|e| UqError::InvalidArgument(format!("normal-equation assembly failed: {e}")))?;
+    let chol = gram.cholesky().map_err(|e| {
+        UqError::InvalidArgument(format!("normal equations not positive definite: {e}"))
+    })?;
+    let coeffs = chol.solve(&aty);
+    PceModel::from_coefficients(basis, coeffs)
+}
+
+/// Fits a PCE of total degree `p` by **strict** least-squares regression:
+/// no ridge term is added, and a rank-deficient design is reported as
+/// [`UqError::DegenerateDesign`] instead of being silently smoothed over.
+///
+/// The normal equations are equilibrated to unit diagonal and factorized by
+/// a Cholesky with an explicit pivot tolerance, so designs whose samples do
+/// not determine every basis term (too few *distinct* points, a germ
+/// direction that is never excited, duplicated rows) fail loudly. This is
+/// the fit behind [`crate::surrogate::Surrogate`], whose cross-validated
+/// error model assumes an un-ridged least-squares solution.
+///
+/// # Errors
+///
+/// [`UqError::InvalidArgument`] on shape mismatches (as for
+/// [`fit_regression`]); [`UqError::DegenerateDesign`] when the design is
+/// numerically rank deficient.
+pub fn fit_regression_strict(
+    xi: &[Vec<f64>],
+    y: &[f64],
+    dim: usize,
+    degree: usize,
+) -> Result<PceModel, UqError> {
+    let basis = regression_basis(xi, y, dim, degree, "fit_regression_strict")?;
+    let m = basis.len();
+    let n = xi.len();
+    let (mut ata, mut aty) = assemble_normal_equations(xi, y, &basis);
+
+    // Equilibrate to unit diagonal so a single pivot tolerance covers all
+    // basis-term scales.
+    let mut scale = vec![0.0; m];
+    for (j, sj) in scale.iter_mut().enumerate() {
+        let d = ata[j * m + j];
+        if !d.is_finite() || d <= 0.0 {
+            return Err(UqError::DegenerateDesign(format!(
+                "basis term {j} has no energy on the design ({n} samples, diagonal {d:.3e})"
+            )));
+        }
+        *sj = d.sqrt();
+    }
+    for j in 0..m {
+        for k in 0..m {
+            ata[j * m + k] /= scale[j] * scale[k];
+        }
+        aty[j] /= scale[j];
+    }
+
+    // In-place lower Cholesky with a rank tolerance on the scaled pivots.
+    const RANK_TOL: f64 = 1e-8;
+    let mut l = vec![0.0; m * m];
+    for j in 0..m {
+        for i in j..m {
+            let mut s = ata[i * m + j];
+            for k in 0..j {
+                s -= l[i * m + k] * l[j * m + k];
+            }
+            if i == j {
+                if s.is_nan() || s <= RANK_TOL {
+                    return Err(UqError::DegenerateDesign(format!(
+                        "design is numerically rank deficient at basis term {j} \
+                         (scaled pivot {s:.3e} ≤ {RANK_TOL:.0e}; {n} samples, {m} terms)"
+                    )));
+                }
+                l[i * m + j] = s.sqrt();
+            } else {
+                l[i * m + j] = s / l[j * m + j];
+            }
+        }
+    }
+
+    // Forward/backward substitution, then undo the equilibration.
+    let mut c = aty;
+    for i in 0..m {
+        let mut s = c[i];
+        for k in 0..i {
+            s -= l[i * m + k] * c[k];
+        }
+        c[i] = s / l[i * m + i];
+    }
+    for i in (0..m).rev() {
+        let mut s = c[i];
+        for k in i + 1..m {
+            s -= l[k * m + i] * c[k];
+        }
+        c[i] = s / l[i * m + i];
+    }
+    for (cj, sj) in c.iter_mut().zip(&scale) {
+        *cj /= sj;
+    }
+    PceModel::from_coefficients(basis, c)
+}
+
+fn regression_basis(
+    xi: &[Vec<f64>],
+    y: &[f64],
+    dim: usize,
+    degree: usize,
+    caller: &str,
+) -> Result<MultiIndexSet, UqError> {
     if xi.len() != y.len() {
         return Err(UqError::InvalidArgument(format!(
-            "fit_regression: {} samples but {} responses",
+            "{caller}: {} samples but {} responses",
             xi.len(),
             y.len()
         )));
@@ -427,17 +544,26 @@ pub fn fit_regression(
     let n = xi.len();
     if n < m {
         return Err(UqError::InvalidArgument(format!(
-            "fit_regression: need at least {m} samples for {m} basis terms (got {n})"
+            "{caller}: need at least {m} samples for {m} basis terms (got {n})"
         )));
     }
     if let Some(bad) = xi.iter().find(|row| row.len() != dim) {
         return Err(UqError::InvalidArgument(format!(
-            "fit_regression: sample of dimension {} (expected {dim})",
+            "{caller}: sample of dimension {} (expected {dim})",
             bad.len()
         )));
     }
+    Ok(basis)
+}
 
-    // Accumulate AᵀA (m×m) and Aᵀy (m) row by row; A itself is never stored.
+/// Accumulates `AᵀA` (m×m, symmetric, both triangles filled) and `Aᵀy` (m)
+/// row by row; the design matrix `A` itself is never stored.
+fn assemble_normal_equations(
+    xi: &[Vec<f64>],
+    y: &[f64],
+    basis: &MultiIndexSet,
+) -> (Vec<f64>, Vec<f64>) {
+    let m = basis.len();
     let mut ata = vec![0.0; m * m];
     let mut aty = vec![0.0; m];
     let mut row = vec![0.0; m];
@@ -452,23 +578,12 @@ pub fn fit_regression(
             }
         }
     }
-    // Symmetrize and regularize.
-    let trace: f64 = (0..m).map(|j| ata[j * m + j]).sum();
-    let lambda = 1e-12 * trace / m as f64;
     for j in 0..m {
-        ata[j * m + j] += lambda;
         for k in 0..j {
             ata[j * m + k] = ata[k * m + j];
         }
     }
-    let rows: Vec<&[f64]> = (0..m).map(|j| &ata[j * m..(j + 1) * m]).collect();
-    let gram = DenseMatrix::from_rows(&rows)
-        .map_err(|e| UqError::InvalidArgument(format!("normal-equation assembly failed: {e}")))?;
-    let chol = gram.cholesky().map_err(|e| {
-        UqError::InvalidArgument(format!("normal equations not positive definite: {e}"))
-    })?;
-    let coeffs = chol.solve(&aty);
-    PceModel::from_coefficients(basis, coeffs)
+    (ata, aty)
 }
 
 #[cfg(test)]

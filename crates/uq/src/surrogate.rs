@@ -1,0 +1,377 @@
+//! Error-controlled PCE surrogate: a strict regression fit plus a
+//! cross-validated error model, the building block of the microsecond
+//! QoI-serving tier.
+//!
+//! A [`Surrogate`] wraps one scalar QoI: it is fitted from germ samples
+//! `ξ ~ N(0, I)` and observed responses by [`crate::pce::fit_regression_strict`]
+//! on a deterministic training split, and calibrates an error model from the
+//! held-out residuals:
+//!
+//! ```text
+//! err(ξ) = safety · max_heldout |y − ŷ| · max(1, max_j |ξ_j| / b_j)^(p+1)
+//! ```
+//!
+//! where `b_j` is the largest `|ξ_j|` seen in the design and `p` the PCE
+//! degree. Inside the training hull the estimate is the (safety-inflated)
+//! worst held-out residual; outside it grows at the rate of the first
+//! untracked polynomial order, so extrapolation is flagged rather than
+//! silently served. By construction every held-out residual is bounded by
+//! the estimate at its own sample (`safety ≥ 1`, inflation `≥ 1`), which is
+//! the property the consumer tier relies on when it serves a prediction
+//! whose `err(ξ)` is within tolerance and falls back to the full solver
+//! otherwise.
+//!
+//! The surrogate retains its training data so fallback points can be folded
+//! back in with [`Surrogate::refit_with`] (active-learning refinement): the
+//! model, split and error calibration are rebuilt deterministically from the
+//! extended design.
+
+use crate::error::UqError;
+use crate::pce::{fit_regression_strict, PceModel};
+
+/// Minimum design half-width used by the inflation factor, so a germ
+/// direction with a pathologically narrow design does not blow up the
+/// estimate through a division by ~0.
+const MIN_DESIGN_BOUND: f64 = 1e-6;
+
+/// Knobs for [`Surrogate::fit`].
+#[derive(Debug, Clone)]
+pub struct SurrogateOptions {
+    /// Total degree of the PCE basis.
+    pub degree: usize,
+    /// Every `holdout_every`-th sample is held out of the regression and
+    /// used to calibrate the error model (must be ≥ 2; 5 holds out 20 %).
+    pub holdout_every: usize,
+    /// Multiplier on the worst held-out residual (must be ≥ 1).
+    pub safety: f64,
+}
+
+impl Default for SurrogateOptions {
+    fn default() -> Self {
+        SurrogateOptions {
+            degree: 2,
+            holdout_every: 5,
+            safety: 2.0,
+        }
+    }
+}
+
+/// A fitted per-QoI surrogate with a cross-validated error model.
+#[derive(Debug, Clone)]
+pub struct Surrogate {
+    model: PceModel,
+    /// `safety × max |held-out residual|` — the error estimate inside the
+    /// training hull.
+    cv_error: f64,
+    /// Per-dimension design bounds `b_j = max_i |ξ_i[j]|`.
+    design_bounds: Vec<f64>,
+    options: SurrogateOptions,
+    xi: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+impl Surrogate {
+    /// Fits a surrogate from germ samples `xi` (standard-normal space) and
+    /// responses `y`, splitting off every `holdout_every`-th sample for
+    /// error calibration. The split is deterministic, so identical inputs
+    /// produce a bit-identical surrogate.
+    ///
+    /// # Errors
+    ///
+    /// [`UqError::InvalidArgument`] on shape/option problems (including too
+    /// few samples for the basis plus at least one held-out point, or
+    /// non-finite responses); [`UqError::DegenerateDesign`] when the
+    /// training design is numerically rank deficient.
+    pub fn fit(
+        xi: &[Vec<f64>],
+        y: &[f64],
+        dim: usize,
+        options: SurrogateOptions,
+    ) -> Result<Self, UqError> {
+        Self::fit_owned(xi.to_vec(), y.to_vec(), dim, options)
+    }
+
+    fn fit_owned(
+        xi: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        dim: usize,
+        options: SurrogateOptions,
+    ) -> Result<Self, UqError> {
+        if options.holdout_every < 2 {
+            return Err(UqError::InvalidArgument(format!(
+                "Surrogate::fit: holdout_every must be ≥ 2 (got {})",
+                options.holdout_every
+            )));
+        }
+        if !options.safety.is_finite() || options.safety < 1.0 {
+            return Err(UqError::InvalidArgument(format!(
+                "Surrogate::fit: safety must be ≥ 1 (got {})",
+                options.safety
+            )));
+        }
+        if xi.len() != y.len() {
+            return Err(UqError::InvalidArgument(format!(
+                "Surrogate::fit: {} samples but {} responses",
+                xi.len(),
+                y.len()
+            )));
+        }
+        if xi.len() < options.holdout_every {
+            return Err(UqError::InvalidArgument(format!(
+                "Surrogate::fit: need at least holdout_every = {} samples for a \
+                 non-empty held-out set (got {})",
+                options.holdout_every,
+                xi.len()
+            )));
+        }
+        if let Some(bad) = y.iter().find(|v| !v.is_finite()) {
+            return Err(UqError::InvalidArgument(format!(
+                "Surrogate::fit: non-finite response {bad}"
+            )));
+        }
+
+        let mut train_xi = Vec::with_capacity(xi.len());
+        let mut train_y = Vec::with_capacity(y.len());
+        let mut held = Vec::new();
+        for (i, (sample, &yi)) in xi.iter().zip(&y).enumerate() {
+            if (i + 1) % options.holdout_every == 0 {
+                held.push((sample.clone(), yi));
+            } else {
+                train_xi.push(sample.clone());
+                train_y.push(yi);
+            }
+        }
+        let model = fit_regression_strict(&train_xi, &train_y, dim, options.degree)?;
+
+        let mut worst = 0.0f64;
+        for (sample, yi) in &held {
+            worst = worst.max((yi - model.eval(sample)).abs());
+        }
+        let cv_error = options.safety * worst;
+
+        let mut design_bounds = vec![MIN_DESIGN_BOUND; dim];
+        for sample in &xi {
+            for (b, &v) in design_bounds.iter_mut().zip(sample) {
+                *b = b.max(v.abs());
+            }
+        }
+
+        Ok(Surrogate {
+            model,
+            cv_error,
+            design_bounds,
+            options,
+            xi,
+            y,
+        })
+    }
+
+    /// Evaluates the surrogate at germ point `xi`.
+    pub fn predict(&self, xi: &[f64]) -> f64 {
+        self.model.eval(xi)
+    }
+
+    /// The error estimate at germ point `xi`: the cross-validated bound
+    /// inflated by `max(1, max_j |ξ_j|/b_j)^(degree+1)` outside the training
+    /// design.
+    pub fn error_estimate(&self, xi: &[f64]) -> f64 {
+        self.cv_error * self.inflation(xi)
+    }
+
+    /// Prediction and error estimate in one call.
+    pub fn predict_with_error(&self, xi: &[f64]) -> (f64, f64) {
+        (self.predict(xi), self.error_estimate(xi))
+    }
+
+    fn inflation(&self, xi: &[f64]) -> f64 {
+        let mut rho = 1.0f64;
+        for (&v, &b) in xi.iter().zip(&self.design_bounds) {
+            rho = rho.max(v.abs() / b);
+        }
+        rho.powi(self.options.degree as i32 + 1)
+    }
+
+    /// Folds additional (germ, response) pairs into the design and refits
+    /// model, split and error calibration from scratch — the active-learning
+    /// refinement step. On error the surrogate is left unchanged.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Surrogate::fit`] on the extended design.
+    pub fn refit_with(&mut self, xi_extra: &[Vec<f64>], y_extra: &[f64]) -> Result<(), UqError> {
+        if xi_extra.len() != y_extra.len() {
+            return Err(UqError::InvalidArgument(format!(
+                "Surrogate::refit_with: {} samples but {} responses",
+                xi_extra.len(),
+                y_extra.len()
+            )));
+        }
+        let mut xi = self.xi.clone();
+        let mut y = self.y.clone();
+        xi.extend(xi_extra.iter().cloned());
+        y.extend_from_slice(y_extra);
+        let dim = self.design_bounds.len();
+        let refit = Self::fit_owned(xi, y, dim, self.options.clone())?;
+        *self = refit;
+        Ok(())
+    }
+
+    /// The fitted PCE (moments, Sobol' indices, coefficients).
+    pub fn model(&self) -> &PceModel {
+        &self.model
+    }
+
+    /// `safety × max |held-out residual|` — the error estimate inside the
+    /// training design.
+    pub fn cv_error(&self) -> f64 {
+        self.cv_error
+    }
+
+    /// Per-dimension design bounds `b_j = max_i |ξ_i[j]|`.
+    pub fn design_bounds(&self) -> &[f64] {
+        &self.design_bounds
+    }
+
+    /// Germ dimension.
+    pub fn dim(&self) -> usize {
+        self.design_bounds.len()
+    }
+
+    /// Number of samples in the current design (training + held out).
+    pub fn n_samples(&self) -> usize {
+        self.xi.len()
+    }
+
+    /// The fit options this surrogate was built with.
+    pub fn options(&self) -> &SurrogateOptions {
+        &self.options
+    }
+
+    /// The retained design: germ samples and responses, in insertion order.
+    pub fn design(&self) -> (&[Vec<f64>], &[f64]) {
+        (&self.xi, &self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A degree-2 polynomial in 2 germ dimensions, exactly representable.
+    fn truth(xi: &[f64]) -> f64 {
+        1.5 + 0.7 * xi[0] - 1.2 * xi[1] + 0.3 * xi[0] * xi[1] + 0.9 * xi[0] * xi[0]
+    }
+
+    /// Small deterministic low-discrepancy-ish design on [-2, 2]^2.
+    fn design(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let a = ((i * 7 + 3) % 17) as f64 / 16.0;
+                let b = ((i * 5 + 1) % 13) as f64 / 12.0;
+                vec![4.0 * a - 2.0, 4.0 * b - 2.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_polynomial_and_reports_tiny_cv_error() {
+        let xi = design(24);
+        let y: Vec<f64> = xi.iter().map(|p| truth(p)).collect();
+        let s = Surrogate::fit(&xi, &y, 2, SurrogateOptions::default()).expect("fit");
+        assert!(s.cv_error() < 1e-9, "cv_error = {}", s.cv_error());
+        for p in &design(9) {
+            assert!((s.predict(p) - truth(p)).abs() < 1e-9);
+        }
+        assert_eq!(s.dim(), 2);
+        assert_eq!(s.n_samples(), 24);
+    }
+
+    #[test]
+    fn heldout_residuals_bounded_by_error_estimate() {
+        // Truth has a cubic term the degree-2 basis cannot represent, so
+        // held-out residuals are nonzero; the calibrated estimate must bound
+        // every one of them by construction.
+        let xi = design(30);
+        let y: Vec<f64> = xi.iter().map(|p| truth(p) + 0.05 * p[0].powi(3)).collect();
+        let opts = SurrogateOptions::default();
+        let k = opts.holdout_every;
+        let s = Surrogate::fit(&xi, &y, 2, opts).expect("fit");
+        assert!(s.cv_error() > 0.0);
+        let mut checked = 0;
+        for (i, (p, &yi)) in xi.iter().zip(&y).enumerate() {
+            if (i + 1) % k == 0 {
+                let (pred, err) = s.predict_with_error(p);
+                assert!((pred - yi).abs() <= err, "held-out residual above estimate");
+                checked += 1;
+            }
+        }
+        assert_eq!(checked, 30 / k);
+    }
+
+    #[test]
+    fn inflation_grows_outside_design_bounds() {
+        let xi = design(24);
+        let y: Vec<f64> = xi.iter().map(|p| truth(p) + 0.05 * p[0].powi(3)).collect();
+        let s = Surrogate::fit(&xi, &y, 2, SurrogateOptions::default()).expect("fit");
+        let inside = s.error_estimate(&[0.0, 0.0]);
+        let outside = s.error_estimate(&[6.0, 0.0]);
+        assert_eq!(inside, s.cv_error());
+        assert!(outside > 3.0 * inside, "inside {inside}, outside {outside}");
+    }
+
+    #[test]
+    fn degenerate_design_is_structured_error() {
+        // Every sample identical: rank-1 design for a 6-term basis.
+        let xi = vec![vec![0.5, -0.25]; 40];
+        let y = vec![1.0; 40];
+        match Surrogate::fit(&xi, &y, 2, SurrogateOptions::default()) {
+            Err(UqError::DegenerateDesign(msg)) => {
+                assert!(msg.contains("rank deficient") || msg.contains("no energy"));
+            }
+            other => panic!("expected DegenerateDesign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refit_extends_design_deterministically() {
+        let xi = design(24);
+        let y: Vec<f64> = xi.iter().map(|p| truth(p)).collect();
+        let mut s = Surrogate::fit(&xi, &y, 2, SurrogateOptions::default()).expect("fit");
+        let extra = design(32);
+        let extra = &extra[24..];
+        let ye: Vec<f64> = extra.iter().map(|p| truth(p)).collect();
+        s.refit_with(extra, &ye).expect("refit");
+        assert_eq!(s.n_samples(), 32);
+
+        // A one-shot fit over the concatenated design is bit-identical.
+        let mut all = xi.clone();
+        all.extend(extra.iter().cloned());
+        let mut all_y = y.clone();
+        all_y.extend_from_slice(&ye);
+        let direct = Surrogate::fit(&all, &all_y, 2, SurrogateOptions::default()).expect("fit");
+        assert_eq!(
+            format!("{:?}", s.model().coefficients()),
+            format!("{:?}", direct.model().coefficients())
+        );
+        assert_eq!(s.cv_error().to_bits(), direct.cv_error().to_bits());
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let xi = design(24);
+        let y = vec![0.0; 24];
+        let bad = SurrogateOptions {
+            holdout_every: 1,
+            ..SurrogateOptions::default()
+        };
+        assert!(Surrogate::fit(&xi, &y, 2, bad).is_err());
+        let bad = SurrogateOptions {
+            safety: 0.5,
+            ..SurrogateOptions::default()
+        };
+        assert!(Surrogate::fit(&xi, &y, 2, bad).is_err());
+        let nan_y: Vec<f64> = (0..24).map(|i| if i == 7 { f64::NAN } else { 0.0 }).collect();
+        assert!(Surrogate::fit(&xi, &nan_y, 2, SurrogateOptions::default()).is_err());
+        assert!(Surrogate::fit(&xi[..3], &y[..3], 2, SurrogateOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the surrogate error model: the cross-validated
+//! estimate must bound the true error on every held-out seeded sample, and
+//! rank-deficient designs must surface as structured errors, never panics.
+
+use etherm_uq::{Surrogate, SurrogateOptions, UqError};
+use proptest::prelude::*;
+
+/// Degree-3 truth in two germ dimensions; the degree-2 fit cannot represent
+/// the cubic terms, so residuals (and hence the error model) are exercised.
+fn truth(c: &[f64; 6], xi: &[f64]) -> f64 {
+    c[0] + c[1] * xi[0]
+        + c[2] * xi[1]
+        + c[3] * xi[0] * xi[1]
+        + c[4] * xi[0].powi(3)
+        + c[5] * xi[1].powi(3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cv_estimate_bounds_true_error_on_heldout_samples(
+        coeffs in proptest::collection::vec(-2.0f64..2.0, 6),
+        flat in proptest::collection::vec(-2.5f64..2.5, 2 * 36),
+        holdout_every in 3usize..7,
+    ) {
+        let c: [f64; 6] = [coeffs[0], coeffs[1], coeffs[2], coeffs[3], coeffs[4], coeffs[5]];
+        let xi: Vec<Vec<f64>> = flat.chunks(2).map(|p| p.to_vec()).collect();
+        let y: Vec<f64> = xi.iter().map(|p| truth(&c, p)).collect();
+        let opts = SurrogateOptions { degree: 2, holdout_every, safety: 1.0 };
+        let s = match Surrogate::fit(&xi, &y, 2, opts) {
+            Ok(s) => s,
+            // A randomly collinear draw is legitimately rejected; the
+            // property under test only concerns successful fits.
+            Err(UqError::DegenerateDesign(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected fit error: {e}"))),
+        };
+        for (i, (p, &yi)) in xi.iter().zip(&y).enumerate() {
+            if (i + 1) % holdout_every == 0 {
+                let (pred, err) = s.predict_with_error(p);
+                prop_assert!(
+                    (pred - yi).abs() <= err,
+                    "held-out residual {} above estimate {} at sample {i}",
+                    (pred - yi).abs(),
+                    err
+                );
+            }
+        }
+        // Larger safety factors only widen the estimate.
+        let wide = Surrogate::fit(
+            &xi,
+            &y,
+            2,
+            SurrogateOptions { degree: 2, holdout_every, safety: 3.0 },
+        );
+        if let Ok(wide) = wide {
+            prop_assert!(wide.cv_error() >= s.cv_error());
+        }
+    }
+
+    #[test]
+    fn rank_deficient_designs_return_structured_error(
+        x0 in -2.0f64..2.0,
+        x1 in -2.0f64..2.0,
+        n in 10usize..40,
+    ) {
+        // All samples identical: rank-1 design for the 6-term degree-2 basis.
+        let xi = vec![vec![x0, x1]; n];
+        let y = vec![1.0; n];
+        match Surrogate::fit(&xi, &y, 2, SurrogateOptions::default()) {
+            Err(UqError::DegenerateDesign(_)) => {}
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected DegenerateDesign, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_germ_direction_is_degenerate(
+        fixed in -1.0f64..1.0,
+        vary in proptest::collection::vec(-2.0f64..2.0, 24),
+    ) {
+        // Dimension 1 never moves: its linear/quadratic basis columns are
+        // collinear with the constant column.
+        let xi: Vec<Vec<f64>> = vary.iter().map(|&v| vec![v, fixed]).collect();
+        let y: Vec<f64> = vary.iter().map(|&v| 1.0 + v).collect();
+        match Surrogate::fit(&xi, &y, 2, SurrogateOptions::default()) {
+            Err(UqError::DegenerateDesign(_)) => {}
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "expected DegenerateDesign, got {other:?}"
+                )))
+            }
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Polynomial chaos study of a single bonding wire: propagate the paper's
 //! elongation uncertainty `δ ~ N(0.17, 0.048)` through the analytic fin
 //! model with a 1D Wiener–Hermite expansion and compare against plain
-//! Monte Carlo — exponential vs `1/√M` convergence on the same problem.
+//! Monte Carlo — exponential vs `1/√M` convergence on the same problem —
+//! then fit an error-controlled [`Surrogate`] on the same QoI and check
+//! its cross-validated error estimate against the true error.
 //!
 //! Run with `cargo run --release --example pce_study`.
 
@@ -10,7 +12,7 @@ use etherm::bondwire::BondWire;
 use etherm::materials::library;
 use etherm::package::paper_elongation_distribution;
 use etherm::uq::special::normal_quantile;
-use etherm::uq::{fit_projection_1d, Distribution, RunningStats};
+use etherm::uq::{fit_projection_1d, Distribution, RunningStats, Surrogate, SurrogateOptions};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -81,6 +83,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             (stats.mean() - reference.mean()).abs()
         );
     }
+
+    // Surrogate fast path: a regression-fitted chaos with a held-out error
+    // model. Serving decisions use `err(ξ)` only — the truth is evaluated
+    // here purely to audit the estimate.
+    let mut rng = StdRng::seed_from_u64(2);
+    let design: Vec<Vec<f64>> = (0..48)
+        .map(|_| vec![normal_quantile(rng.gen::<f64>().clamp(1e-12, 1.0 - 1e-12))])
+        .collect();
+    let mut responses = Vec::with_capacity(design.len());
+    for p in &design {
+        responses.push(peak_temperature(&nominal, length_of(mu + sd * p[0]))?);
+    }
+    let opts = SurrogateOptions {
+        degree: 3,
+        ..SurrogateOptions::default()
+    };
+    let surrogate = Surrogate::fit(&design, &responses, 1, opts)?;
+    println!(
+        "\nsurrogate fast path: degree 3 fit on {} solves, cv error = {:.2e} K",
+        surrogate.n_samples(),
+        surrogate.cv_error()
+    );
+    println!(
+        "{:>7} {:>14} {:>14} {:>14} {:>8}",
+        "xi", "pred [K]", "err est [K]", "true err [K]", "served?"
+    );
+    let tolerance = 1.5 * surrogate.cv_error();
+    for z in [-2.5, -1.0, 0.0, 1.0, 2.5, 4.0] {
+        let (pred, err) = surrogate.predict_with_error(&[z]);
+        let truth = peak_temperature(&nominal, length_of(mu + sd * z))?;
+        println!(
+            "{:>7.1} {:>14.4} {:>14.2e} {:>14.2e} {:>8}",
+            z,
+            pred,
+            err,
+            (pred - truth).abs(),
+            if err <= tolerance { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "inside the design the estimate tracks the held-out residuals; at ξ = 4\n\
+         (outside every training sample) it inflates like the first untracked\n\
+         order and the serving tier would fall back to the full model instead."
+    );
 
     println!("\nA degree-3 chaos (6 solves) already matches the reference to ~µK, while");
     println!("MC still wanders by ~0.1 K after 1024 solves — the 'other methods' the");

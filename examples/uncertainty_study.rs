@@ -3,20 +3,26 @@
 //! standard deviation and the Monte Carlo error (paper Eq. 6) — the
 //! complete Fig. 7 workflow on a model small enough to run in seconds.
 //!
-//! The model is built and compiled *once*; every Monte Carlo sample only
-//! updates the two wire lengths through a reusable solver `Session`
-//! (compile-once / run-many), evaluated by the ensemble engine with one
-//! session per worker thread.
+//! The model is built and compiled *once*; a small batched training
+//! campaign fits one error-controlled PCE surrogate per QoI
+//! (`train_surrogates`), and the Monte Carlo sweep then runs through the
+//! serving tier (`SurrogateWithFallback`): samples whose certified error
+//! estimate is within tolerance are answered in microseconds, the rest
+//! fall back to full transient solves through reusable solver `Session`s
+//! — and are logged for active-learning refinement.
 //!
 //! Run with `cargo run --release --example uncertainty_study -- [samples]`.
 
 use etherm::bondwire::BondWire;
-use etherm::core::{run_ensemble, CompiledModel, ElectrothermalModel, EnsembleOptions, SolverOptions};
+use etherm::core::{
+    CompiledModel, ElectrothermalModel, EnsembleOptions, FullSolve, QoiEvaluator, SolverOptions,
+};
 use etherm::grid::{BoxRegion, CellPaint, GridBuilder, MaterialId};
 use etherm::materials::{library, MaterialTable};
 use etherm::package::ElongationScenario;
 use etherm::uq::dist::Distribution;
 use etherm::uq::{draw_samples, McOptions, McResult, MonteCarloSampler, Normal};
+use etherm::reliability::{train_surrogates, SurrogateTrainingPlan, SurrogateWithFallback};
 use std::sync::Arc;
 
 /// Direct bond-to-bond distances of the two wires (m).
@@ -57,12 +63,6 @@ fn build_model() -> Result<ElectrothermalModel, Box<dyn std::error::Error>> {
     Ok(model)
 }
 
-fn progress(done: usize, total: usize) {
-    if done.is_multiple_of(10) || done == total {
-        eprintln!("  sample {done}/{total}");
-    }
-}
-
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples: usize = std::env::args()
         .nth(1)
@@ -85,18 +85,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *sol.wire_series(1).last().expect("series"),
         ]
     });
-    let ensemble = run_ensemble(
-        &compiled,
-        &scenario,
-        &inputs,
-        &EnsembleOptions {
-            n_threads: 1,
-            warm_start: false,
-            progress: Some(progress),
-            ..EnsembleOptions::default()
-        },
-    )?;
-    let result = McResult::from_ordered(inputs, ensemble.outputs, McOptions::default());
+    let options = EnsembleOptions::default();
+
+    // Training campaign: a small seeded design through the batched engine,
+    // one error-controlled surrogate per QoI.
+    let marginals: Vec<Box<dyn Distribution>> = vec![
+        Box::new(Normal::new(0.17, 0.048)?),
+        Box::new(Normal::new(0.17, 0.048)?),
+    ];
+    let plan = SurrogateTrainingPlan::new(40, 7);
+    let trained = train_surrogates(&compiled, &scenario, &marginals, &plan, &options)?;
+    let cv = trained
+        .surrogates
+        .iter()
+        .map(|s| s.cv_error())
+        .fold(0.0f64, f64::max);
+    let tolerance = (5.0 * cv).max(0.01);
+    println!(
+        "training: {} batched solves, worst cv error {:.2e} K -> serving tolerance {:.2e} K",
+        plan.n_train, cv, tolerance
+    );
+
+    // Monte Carlo sweep through the serving tier: certified samples are
+    // answered by the surrogates, the rest fall back to full transients.
+    let full = FullSolve::new(&compiled, &scenario, 2, options);
+    let mut evaluator = SurrogateWithFallback::new(full, trained.surrogates, marginals, tolerance)?;
+    let outputs = evaluator.evaluate(&inputs)?;
+    let result = McResult::from_ordered(inputs, outputs, McOptions::default());
 
     println!("\nuncertainty study: M = {samples} samples, delta ~ N(0.17, 0.048) per wire");
     for (j, stats) in result.outputs.iter().enumerate() {
@@ -115,7 +130,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if m0 > m1 { "shorter (w1)" } else { "longer (w2)" },
         (m0 - m1).abs()
     );
-    let c = ensemble.counters;
+    println!(
+        "surrogate fast path: {} served / {} full solves (max served error estimate {:.2e} K,\n\
+         certified <= tolerance); {} fallback points logged for refinement.",
+        evaluator.served(),
+        evaluator.full_solves(),
+        evaluator.max_served_error(),
+        evaluator.pending_refinement()
+    );
+    let c = evaluator.counters();
     println!(
         "solver reuse: {} preconditioner rebuilds for {} solves across the whole campaign.",
         c.precond_rebuilds,
