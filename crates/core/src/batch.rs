@@ -136,6 +136,22 @@ impl BatchSession {
         merged
     }
 
+    /// The recovery-ladder ledger merged over the member sessions — the
+    /// panel-level health signal (equivalent to `counters().recovery`).
+    pub fn recovery_ledger(&self) -> crate::session::RecoveryLedger {
+        self.counters().recovery
+    }
+
+    /// Applies one per-request-class Krylov iteration budget to every
+    /// member session (see [`Session::set_iteration_budget`]). The block
+    /// thermal solves stay unguarded (module docs); the per-member
+    /// electrical solves enforce it.
+    pub fn set_iteration_budget(&mut self, budget: Option<usize>) {
+        for s in &mut self.sessions {
+            s.set_iteration_budget(budget);
+        }
+    }
+
     /// Runs the coupled transient for the first `k` members in lock-step
     /// and returns one [`TransientSolution`] per member (no snapshots).
     ///

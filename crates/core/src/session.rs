@@ -395,6 +395,12 @@ pub struct Session {
     /// Krylov iterations spent in the current run, charged against
     /// [`RecoveryPolicy::linear_iteration_budget`].
     budget_spent: usize,
+    /// Per-session override of the compiled options'
+    /// [`RecoveryPolicy::linear_iteration_budget`]
+    /// ([`Session::set_iteration_budget`]): a serving front end assigns
+    /// budgets per request class without recompiling the shared model.
+    /// `None` defers to the compiled options; `Some(0)` means unlimited.
+    budget_override: Option<usize>,
 }
 
 impl Session {
@@ -422,6 +428,7 @@ impl Session {
             warm: WarmState::default(),
             fault: None,
             budget_spent: 0,
+            budget_override: None,
         }
     }
 
@@ -448,6 +455,34 @@ impl Session {
     /// Clears the cumulative counters (e.g. between benchmark configs).
     pub fn reset_counters(&mut self) {
         self.counters = SolveCounters::default();
+    }
+
+    /// Snapshot of the cumulative recovery-ladder ledger — the health
+    /// signal a serving front end sheds load on. Equivalent to
+    /// `counters().recovery`, published directly so monitoring code does
+    /// not depend on the full counter layout.
+    pub fn recovery_ledger(&self) -> RecoveryLedger {
+        self.counters.recovery
+    }
+
+    /// Overrides the compiled options'
+    /// [`RecoveryPolicy::linear_iteration_budget`] for this session only:
+    /// subsequent runs abort with [`CoreError::BudgetExhausted`] once their
+    /// spent Krylov iterations reach `budget`. `Some(0)` disables the cap;
+    /// `None` restores the compiled options' budget. The override is a
+    /// session *parameter* like the wire lengths — it survives
+    /// [`Session::reset`] — so a pool can assign budgets per request class
+    /// over one shared [`CompiledModel`].
+    pub fn set_iteration_budget(&mut self, budget: Option<usize>) {
+        self.budget_override = budget;
+    }
+
+    /// The effective per-run Krylov iteration budget (`0` = unlimited):
+    /// the [`Session::set_iteration_budget`] override when set, otherwise
+    /// the compiled options' budget.
+    pub fn iteration_budget(&self) -> usize {
+        self.budget_override
+            .unwrap_or(self.compiled.options().recovery.linear_iteration_budget)
     }
 
     /// Enables or disables warm-starting across runs (default: off). See
@@ -1034,6 +1069,7 @@ impl Session {
             counters,
             fault,
             budget_spent,
+            budget_override,
             ..
         } = self;
         let model = compiled.model();
@@ -1071,6 +1107,7 @@ impl Session {
             &mut scratch.x_red,
             fault.as_ref(),
             budget_spent,
+            *budget_override,
         )?;
         // Expansion must insert the *scaled* Dirichlet potentials so the
         // heat-source evaluation sees the same drive the assembly condensed
@@ -1160,6 +1197,7 @@ impl Session {
             counters,
             fault,
             budget_spent,
+            budget_override,
             ..
         } = self;
         let (stamper, cache, system) = if dt.is_some() {
@@ -1186,6 +1224,7 @@ impl Session {
             &mut scratch.x_red,
             fault.as_ref(),
             budget_spent,
+            *budget_override,
         )?;
         self.accept_thermal(dt, step_index);
         Ok(iterations)
@@ -1595,9 +1634,13 @@ fn solve_reduced(
     x: &mut [f64],
     fault: Option<&FaultInjector>,
     budget_spent: &mut usize,
+    budget_override: Option<usize>,
 ) -> Result<usize, CoreError> {
     let opts: CgOptions = options.linear;
-    let recovery = options.recovery;
+    let mut recovery = options.recovery;
+    if let Some(budget) = budget_override {
+        recovery.linear_iteration_budget = budget;
+    }
     check_budget(&recovery, *budget_spent)?;
 
     let mut fresh = if cache.precond.is_none() || cache.reuses >= options.precond_max_reuses {

@@ -8,10 +8,14 @@
 //! escalation path and kill every worker thread with it. The surrogate
 //! serving tier sits on the same path: `SurrogateWithFallback` runs inside
 //! reliability campaigns, so a panic while screening or refitting would
-//! equally kill the campaign mid-flight. Inside that perimeter
-//! (`crates/core/src/session.rs`, `crates/core/src/ensemble.rs`, the
-//! solver modules under `crates/numerics/src/solvers/`,
-//! `crates/uq/src/surrogate.rs` and `crates/reliability/src/surrogate.rs`)
+//! equally kill the campaign mid-flight. The serving daemon extends the
+//! perimeter once more: `crates/serve` hosts jobs for many tenants on
+//! long-lived worker threads, so a panic in the scheduler, registry or
+//! connection plumbing takes down every in-flight job at once. Inside
+//! that perimeter (`crates/core/src/session.rs`,
+//! `crates/core/src/ensemble.rs`, the solver modules under
+//! `crates/numerics/src/solvers/`, `crates/uq/src/surrogate.rs`,
+//! `crates/reliability/src/surrogate.rs` and all of `crates/serve/src/`)
 //! every fallible operation must return an error, or justify the panic with e.g.
 //! `// lint:allow(no-panic-unwrap): invariant upheld by the builder above`.
 //! Test code (and `unwrap_or`-style non-panicking combinators) are exempt.
@@ -29,6 +33,7 @@ fn in_perimeter(rel_path: &str) -> bool {
         || rel_path.starts_with("crates/numerics/src/solvers/")
         || rel_path == "crates/uq/src/surrogate.rs"
         || rel_path == "crates/reliability/src/surrogate.rs"
+        || rel_path.starts_with("crates/serve/src/")
 }
 
 pub(crate) fn check(
@@ -93,6 +98,16 @@ mod tests {
         );
         assert_eq!(
             run(FileKind::Library, "crates/reliability/src/surrogate.rs", src),
+            vec![1, 2]
+        );
+        // The multi-tenant serving daemon: every module is in the perimeter,
+        // including the `etherm-served` binary.
+        assert_eq!(
+            run(FileKind::Library, "crates/serve/src/engine.rs", src),
+            vec![1, 2]
+        );
+        assert_eq!(
+            run(FileKind::Library, "crates/serve/src/bin/etherm-served.rs", src),
             vec![1, 2]
         );
     }

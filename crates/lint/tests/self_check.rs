@@ -37,12 +37,26 @@ fn workspace_is_clean_under_etherm_lint() {
             .join("\n")
     );
     // The acceptance bar for this analyzer was "fix everything it flags,
-    // allowlist nothing": keep it that way. If a future change genuinely
-    // needs an escape hatch, justify it there and raise this bound
-    // consciously in the same commit.
+    // allowlist nothing". One deliberate exception now exists: the serving
+    // daemon's `SystemClock` is the single place wall time may enter the
+    // process (uptime/latency metadata only, never physics or scheduling
+    // decisions — see the `Clock` trait), and it carries exactly two
+    // justified `wall-clock` suppressions. Anything beyond those two is a
+    // regression; if a future change genuinely needs another escape hatch,
+    // justify it there and widen this list consciously in the same commit.
+    let unexpected: Vec<_> = report
+        .suppressions
+        .iter()
+        .filter(|s| !(s.path == "crates/serve/src/clock.rs" && s.rule == "wall-clock"))
+        .collect();
     assert!(
-        report.suppressions.is_empty(),
-        "unexpected lint:allow escapes in the workspace: {:?}",
-        report.suppressions
+        unexpected.is_empty(),
+        "unexpected lint:allow escapes in the workspace: {unexpected:?}"
+    );
+    let clock_allows = report.suppressions.len() - unexpected.len();
+    assert!(
+        clock_allows <= 2,
+        "SystemClock grew extra wall-clock suppressions ({clock_allows}); \
+         keep wall time confined to the two reads in `Clock`'s system impl"
     );
 }

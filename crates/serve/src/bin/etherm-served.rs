@@ -1,0 +1,49 @@
+//! `etherm-served`: the NDJSON-over-TCP serving daemon.
+//!
+//! ```text
+//! etherm-served [--addr HOST:PORT] [--workers N] [--queue N] [--registry N]
+//! ```
+//!
+//! Prints `LISTENING <addr>` once bound (port 0 picks an ephemeral port —
+//! the CI smoke job scrapes this line), then serves until a `shutdown`
+//! frame arrives.
+
+use etherm_serve::daemon::serve_blocking;
+use etherm_serve::{Engine, ServeConfig, SystemClock};
+use std::sync::Arc;
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "etherm-served [--addr HOST:PORT] [--workers N] [--queue N] [--registry N]\n\
+             NDJSON-over-TCP serving daemon; prints LISTENING <addr> once bound."
+        );
+        return;
+    }
+    let addr = args
+        .iter()
+        .position(|a| a == "--addr")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let config = ServeConfig {
+        workers: parse_flag(&args, "--workers", ServeConfig::default().workers),
+        queue_capacity: parse_flag(&args, "--queue", ServeConfig::default().queue_capacity),
+        registry_capacity: parse_flag(&args, "--registry", ServeConfig::default().registry_capacity),
+        ..ServeConfig::default()
+    };
+    let engine = Engine::with_clock(config, Arc::new(SystemClock::new()));
+    if let Err(e) = serve_blocking(&addr, engine) {
+        eprintln!("etherm-served: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,157 @@
+//! The TCP front end: newline-delimited JSON frames over a plain socket.
+//!
+//! Each accepted connection gets a reader thread parsing one [`Request`]
+//! per line; job frames are forwarded from the engine's per-job channel
+//! onto the shared connection writer, so frames for concurrent jobs on
+//! one connection interleave but each individual frame stays intact (one
+//! line each, writes serialized by a mutex).
+//!
+//! Unparseable input never kills the connection: it's answered with a
+//! structured `error` frame (id 0, kind `invalid`).
+
+use crate::engine::{Engine, RequestOutcome};
+use crate::protocol::Request;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A running NDJSON-over-TCP server around an [`Engine`].
+pub struct Daemon {
+    engine: Arc<Engine>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Binds `addr` (use port 0 for an ephemeral port) over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] from the bind.
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Daemon {
+            engine,
+            listener,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Accepts and serves connections until a `shutdown` request arrives.
+    /// Each connection is served on its own thread. A watchdog thread
+    /// self-connects once the engine's shutdown flag flips, so the blocked
+    /// `accept` always wakes up — callers never need to nudge the port.
+    pub fn run(self) {
+        let done = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let engine = Arc::clone(&self.engine);
+            let done = Arc::clone(&done);
+            let addr = self.local_addr;
+            std::thread::spawn(move || {
+                while !(engine.is_shutting_down() || done.load(Ordering::SeqCst)) {
+                    std::thread::park_timeout(std::time::Duration::from_millis(50));
+                }
+                let _ = TcpStream::connect(addr);
+            })
+        };
+        let mut conn_threads = Vec::new();
+        loop {
+            let (stream, _) = match self.listener.accept() {
+                Ok(pair) => pair,
+                Err(_) => break,
+            };
+            if self.engine.is_shutting_down() {
+                break;
+            }
+            let engine = Arc::clone(&self.engine);
+            conn_threads.push(std::thread::spawn(move || serve_connection(stream, &engine)));
+        }
+        done.store(true, Ordering::SeqCst);
+        let _ = watchdog.join();
+        for t in conn_threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, engine: &Arc<Engine>) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(_) => return,
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut forwarders = Vec::new();
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::from_line(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                write_frame(&writer, &Engine::protocol_error_response(&e).to_line());
+                continue;
+            }
+        };
+        let shutdown = matches!(request, Request::Shutdown);
+        match engine.handle_request(request) {
+            RequestOutcome::One(response) => write_frame(&writer, &response.to_line()),
+            RequestOutcome::Stream(rx) => {
+                // Forward the job's frames without blocking the read loop,
+                // so one connection can run concurrent jobs.
+                let writer = Arc::clone(&writer);
+                forwarders.push(std::thread::spawn(move || {
+                    while let Ok(frame) = rx.recv() {
+                        write_frame(&writer, &frame.to_line());
+                    }
+                }));
+            }
+            RequestOutcome::None => {}
+            RequestOutcome::Shutdown => {}
+        }
+        if shutdown {
+            break;
+        }
+    }
+    for t in forwarders {
+        let _ = t.join();
+    }
+    let _ = lock_or_recover(&writer).flush();
+}
+
+fn write_frame(writer: &Arc<Mutex<TcpStream>>, line: &str) {
+    let mut guard = lock_or_recover(writer);
+    let _ = guard.write_all(line.as_bytes());
+    let _ = guard.write_all(b"\n");
+    let _ = guard.flush();
+}
+
+/// Runs a daemon to completion on the current thread, printing
+/// `LISTENING <addr>` to stdout first so scripts can scrape the ephemeral
+/// port. Used by the `etherm-served` binary and the CI smoke job.
+pub fn serve_blocking(addr: &str, engine: Arc<Engine>) -> std::io::Result<()> {
+    let daemon = Daemon::bind(addr, engine)?;
+    let bound = daemon.local_addr();
+    // Stdout, not a log file: the contract with the CI scripted session.
+    println!("LISTENING {bound}");
+    let _ = std::io::stdout().flush();
+    daemon.run();
+    Ok(())
+}

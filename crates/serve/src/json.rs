@@ -1,0 +1,495 @@
+//! A minimal, dependency-free JSON value with a panic-free parser.
+//!
+//! The serve protocol is newline-delimited JSON over untrusted sockets, so
+//! the parser must turn *any* byte sequence — truncated frames, garbage,
+//! deeply nested bombs — into a structured [`JsonError`], never a panic
+//! (the whole crate sits inside the `no-panic-unwrap` lint perimeter).
+//! Objects keep their members as an ordered `Vec<(String, Value)>`: field
+//! order is preserved on re-serialization and no hash map (with its
+//! nondeterministic iteration order) ever touches the wire format.
+
+use std::fmt;
+
+/// Maximum nesting depth accepted by the parser — far above anything the
+/// protocol emits, low enough that a `[[[[…` bomb cannot blow the stack.
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All JSON numbers are kept as `f64` (the protocol's integers stay
+    /// exact well below 2^53).
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Ordered members; duplicate keys keep the *first* occurrence on
+    /// lookup (the parser does not reject duplicates).
+    Object(Vec<(String, Value)>),
+}
+
+/// A structured parse failure: byte offset plus a short description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Value {
+    /// Member lookup on an object (first occurrence wins); `None` for
+    /// non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) if x.is_finite() => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional parts and
+    /// anything above 2^53, where `f64` stops being exact).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x)
+                if x.is_finite() && *x >= 0.0 && x.fract() == 0.0 && *x <= 9.007_199_254_740_992e15 =>
+            {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON (no whitespace). Non-finite numbers
+    /// (which the protocol never produces but `f64` admits) serialize as
+    /// `null`, keeping the output always valid JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(x) => {
+                if x.is_finite() {
+                    // Integers print without a trailing `.0`; everything
+                    // else uses Rust's shortest round-trip formatting.
+                    if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+                        let _ = fmt::Write::write_fmt(out, format_args!("{}", *x as i64));
+                    } else {
+                        let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Convenience constructors used by the protocol serializers.
+impl Value {
+    pub fn str(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+
+    pub fn num(x: f64) -> Value {
+        Value::Number(x)
+    }
+
+    pub fn uint(x: u64) -> Value {
+        Value::Number(x as f64)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// [`JsonError`] with the byte offset of the first problem. Never panics,
+/// for any input.
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.parse_value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, JsonError> {
+        self.pos += 1; // '{'
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected string key in object"));
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            members.push((key, value));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Object(members));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.parse_hex4()?;
+                            if (0xd800..0xdc00).contains(&cp) {
+                                // High surrogate: require the low half.
+                                if !(self.eat(b'\\') && self.eat(b'u')) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                match char::from_u32(c) {
+                                    Some(c) => out.push(c),
+                                    None => return Err(self.err("invalid surrogate pair")),
+                                }
+                            } else {
+                                match char::from_u32(cp) {
+                                    Some(c) => out.push(c),
+                                    None => return Err(self.err("invalid unicode escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("invalid escape character")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b. The input
+                    // is a &str, so sequences are valid; walk continuation
+                    // bytes.
+                    let start = self.pos - 1;
+                    while self
+                        .peek()
+                        .is_some_and(|n| (n & 0xc0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    if let Ok(s) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(s);
+                    } else {
+                        return Err(self.err("invalid utf-8 sequence"));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let mut cp: u32 = 0;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err("truncated \\u escape"));
+            };
+            let digit = match b {
+                b'0'..=b'9' => u32::from(b - b'0'),
+                b'a'..=b'f' => u32::from(b - b'a') + 10,
+                b'A'..=b'F' => u32::from(b - b'A') + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            cp = cp * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(cp)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        let _ = self.eat(b'-');
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.err("invalid number"));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.eat(b'.') {
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Number(x)),
+            Ok(_) => Err(self.err("number overflows f64")),
+            Err(_) => Err(self.err("invalid number")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        for src in ["null", "true", "false", "0", "-1", "3.5", "\"hi\""] {
+            let v = parse(src).unwrap();
+            assert_eq!(parse(&v.to_json()).unwrap(), v, "{src}");
+        }
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":null}],"c":"x\ny"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x\ny"));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[Value]>::len),
+            Some(3)
+        );
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage_with_offsets() {
+        for src in ["", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"\\q\"", "{]"] {
+            assert!(parse(src).is_err(), "{src:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_depth_bombs() {
+        let bomb = "[".repeat(100_000);
+        assert!(parse(&bomb).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn integers_print_without_fraction() {
+        assert_eq!(Value::uint(42).to_json(), "42");
+        assert_eq!(Value::num(2.5).to_json(), "2.5");
+    }
+}

@@ -1,0 +1,231 @@
+//! The compiled-model registry: an LRU of `Arc<CompiledModel>` keyed by
+//! content hash, with single-flight compilation.
+//!
+//! Compiling a model is the expensive step (mesh + DoF layout + frozen
+//! stamping templates — seconds for the paper package); a burst of
+//! requests for the same spec must pay it once. The first requester marks
+//! the hash in flight and compiles *outside* the lock; everyone else waits
+//! on the condvar and picks up the shared `Arc` (or the compile error).
+//! Eviction is strict LRU above `capacity`; an evicted model's sessions
+//! drain naturally because jobs hold their own `Arc`.
+
+use crate::spec::ModelSpec;
+use etherm_core::{CompiledModel, CoreError};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Recovers from a poisoned mutex instead of panicking: registry state is
+/// a cache, safe to read after a payload thread panicked elsewhere.
+fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    hash: u64,
+    model: Arc<CompiledModel>,
+    /// Monotone counter value at last use — larger = more recent.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    /// Hashes currently being compiled by some thread.
+    in_flight: Vec<u64>,
+    /// Terminal compile failures, consumed by one waiter each so a later
+    /// request retries (transient failures must not brick a hash forever).
+    failed: BTreeMap<u64, String>,
+    use_counter: u64,
+    compiles: u64,
+    hits: u64,
+}
+
+/// The registry. Cheap to share: all state behind one mutex; compilation
+/// runs outside it.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+impl ModelRegistry {
+    /// A registry holding at most `capacity` compiled models (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        ModelRegistry {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Returns the compiled model for `spec`, compiling at most once per
+    /// hash across all concurrent callers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's [`CoreError`] (each waiter of a failed
+    /// compile receives the error; the next fresh request retries).
+    pub fn get_or_compile(&self, spec: &ModelSpec) -> Result<Arc<CompiledModel>, CoreError> {
+        let hash = spec.content_hash();
+        let mut inner = lock_or_recover(&self.inner);
+        loop {
+            if let Some(idx) = inner.entries.iter().position(|e| e.hash == hash) {
+                inner.use_counter += 1;
+                inner.hits += 1;
+                let stamp = inner.use_counter;
+                if let Some(entry) = inner.entries.get_mut(idx) {
+                    entry.last_used = stamp;
+                    return Ok(Arc::clone(&entry.model));
+                }
+            }
+            if let Some(message) = inner.failed.remove(&hash) {
+                return Err(CoreError::InvalidModel(message));
+            }
+            if inner.in_flight.contains(&hash) {
+                inner = match self.cv.wait(inner) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                continue;
+            }
+            // This thread compiles.
+            inner.in_flight.push(hash);
+            drop(inner);
+            let built = spec.build();
+            inner = lock_or_recover(&self.inner);
+            inner.in_flight.retain(|&h| h != hash);
+            match built {
+                Ok(model) => {
+                    let model = Arc::new(model);
+                    inner.compiles += 1;
+                    inner.use_counter += 1;
+                    let stamp = inner.use_counter;
+                    inner.entries.push(Entry {
+                        hash,
+                        model: Arc::clone(&model),
+                        last_used: stamp,
+                    });
+                    self.evict(&mut inner);
+                    self.cv.notify_all();
+                    return Ok(model);
+                }
+                Err(e) => {
+                    inner.failed.insert(hash, e.to_string());
+                    self.cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn evict(&self, inner: &mut Inner) {
+        while inner.entries.len() > self.capacity {
+            if let Some((idx, _)) = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+            {
+                inner.entries.remove(idx);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Whether `hash` is currently cached (test/monitoring hook).
+    pub fn contains(&self, hash: u64) -> bool {
+        lock_or_recover(&self.inner)
+            .entries
+            .iter()
+            .any(|e| e.hash == hash)
+    }
+
+    /// Models compiled since construction.
+    pub fn compiles(&self) -> u64 {
+        lock_or_recover(&self.inner).compiles
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        lock_or_recover(&self.inner).hits
+    }
+
+    /// Currently cached model count.
+    pub fn len(&self) -> usize {
+        lock_or_recover(&self.inner).entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SolverProfile, SpecKind};
+
+    fn block(nx: u32) -> ModelSpec {
+        ModelSpec {
+            kind: SpecKind::Block {
+                nx,
+                ny: 2,
+                nz: 1,
+                wire_um: 1500,
+            },
+            profile: SolverProfile::Default,
+        }
+    }
+
+    #[test]
+    fn caches_and_counts_hits() {
+        let reg = ModelRegistry::new(4);
+        let a = reg.get_or_compile(&block(4)).unwrap();
+        let b = reg.get_or_compile(&block(4)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(reg.compiles(), 1);
+        assert_eq!(reg.hits(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let reg = ModelRegistry::new(2);
+        let h3 = block(3).content_hash();
+        let h4 = block(4).content_hash();
+        let h5 = block(5).content_hash();
+        reg.get_or_compile(&block(3)).unwrap();
+        reg.get_or_compile(&block(4)).unwrap();
+        // Touch 3 so 4 becomes the LRU victim.
+        reg.get_or_compile(&block(3)).unwrap();
+        reg.get_or_compile(&block(5)).unwrap();
+        assert!(reg.contains(h3));
+        assert!(!reg.contains(h4));
+        assert!(reg.contains(h5));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn single_flight_under_contention() {
+        let reg = Arc::new(ModelRegistry::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let reg = Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                reg.get_or_compile(&block(6)).map(|m| Arc::as_ptr(&m) as usize)
+            }));
+        }
+        let ptrs: Vec<usize> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        assert_eq!(reg.compiles(), 1, "one compile for 8 concurrent requests");
+        assert!(ptrs.windows(2).all(|w| w[0] == w[1]), "all share one Arc");
+    }
+}

@@ -1,0 +1,314 @@
+//! Integration tests of the serving engine: scheduler determinism across
+//! worker counts, per-class budget admission, queue-overflow shedding,
+//! cancellation, and surrogate routing for QoI requests.
+//!
+//! All timeouts are `Duration` bounds on channel receives — no wall-clock
+//! reads (the `wall-clock` lint covers test files too).
+
+use etherm_serve::{
+    ClassBudgets, Engine, ErrorKind, JobParams, ManualClock, ModelSpec, RequestClass, Response,
+    ServeConfig, ServeHandle,
+};
+use etherm_uq::{Surrogate, SurrogateOptions, Uniform};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn engine_with(workers: usize, config: ServeConfig) -> (Arc<Engine>, ServeHandle) {
+    let engine = Engine::with_clock(ServeConfig { workers, ..config }, ManualClock::new());
+    let handle = ServeHandle::new(Arc::clone(&engine));
+    (engine, handle)
+}
+
+fn small_params() -> JobParams {
+    JobParams {
+        t_end: 0.5,
+        n_steps: 4,
+        n_samples: 3,
+        ..JobParams::default()
+    }
+}
+
+fn terminal(ticket: &etherm_serve::JobTicket) -> Response {
+    let mut last = None;
+    while let Some(frame) = ticket.next_timeout(WAIT) {
+        let done = matches!(
+            frame,
+            Response::Result { .. }
+                | Response::Error { .. }
+                | Response::Shed { .. }
+                | Response::Cancelled { .. }
+        );
+        last = Some(frame);
+        if done {
+            break;
+        }
+    }
+    last.expect("job produced a terminal frame within the timeout")
+}
+
+/// The same batch of jobs — every request class, varied seeds — must
+/// produce bit-identical QoI vectors whether the engine runs 1, 4 or 8
+/// workers. This is the core serving contract: scheduling is invisible.
+#[test]
+fn results_bit_identical_across_worker_counts() {
+    let mut per_worker_count: Vec<BTreeMap<u64, Vec<u64>>> = Vec::new();
+    for &workers in &[1usize, 4, 8] {
+        let (engine, handle) = engine_with(workers, ServeConfig::default());
+        let jobs: Vec<(RequestClass, JobParams, u64)> = vec![
+            (RequestClass::WireSizing, small_params(), 7),
+            (RequestClass::WireSizing, small_params(), 8),
+            (RequestClass::Campaign, small_params(), 9),
+            (
+                RequestClass::Fusing,
+                JobParams {
+                    threshold: 301.0,
+                    ..small_params()
+                },
+                10,
+            ),
+            (
+                RequestClass::Qoi,
+                JobParams {
+                    samples: vec![vec![0.02], vec![-0.03], vec![0.0]],
+                    ..small_params()
+                },
+                11,
+            ),
+            (RequestClass::WireSizing, small_params(), 12),
+        ];
+        let tickets: Vec<_> = jobs
+            .into_iter()
+            .map(|(class, params, seed)| handle.submit(class, ModelSpec::block_small(), params, seed))
+            .collect();
+        let mut results = BTreeMap::new();
+        for ticket in &tickets {
+            match terminal(ticket) {
+                Response::Result { id, qoi, .. } => {
+                    results.insert(id, qoi.iter().map(|x| x.to_bits()).collect::<Vec<u64>>());
+                }
+                other => panic!("expected result frame, got {other:?}"),
+            }
+        }
+        engine.shutdown_and_join();
+        per_worker_count.push(results);
+    }
+    // ServeHandle assigns ids 1..=6 in submit order for every engine, so
+    // the maps line up key-for-key.
+    assert_eq!(per_worker_count[0], per_worker_count[1], "1 vs 4 workers");
+    assert_eq!(per_worker_count[0], per_worker_count[2], "1 vs 8 workers");
+}
+
+/// A request class with an exhausted iteration budget fails with a
+/// structured `budget-exhausted` error while a concurrently running
+/// well-behaved class completes normally.
+#[test]
+fn budget_exhaustion_is_structured_and_isolated() {
+    let config = ServeConfig {
+        budgets: ClassBudgets {
+            wire_sizing: 1, // one Krylov iteration: guaranteed exhaustion
+            ..ClassBudgets::default()
+        },
+        ..ServeConfig::default()
+    };
+    let (engine, handle) = engine_with(2, config);
+    let starved = handle.submit(
+        RequestClass::WireSizing,
+        ModelSpec::block_small(),
+        small_params(),
+        1,
+    );
+    let healthy = handle.submit(
+        RequestClass::Campaign,
+        ModelSpec::block_small(),
+        small_params(),
+        2,
+    );
+    match terminal(&starved) {
+        Response::Error { kind, message, .. } => {
+            assert_eq!(kind, ErrorKind::BudgetExhausted);
+            assert!(message.contains("budget"), "message: {message}");
+        }
+        other => panic!("expected budget error, got {other:?}"),
+    }
+    match terminal(&healthy) {
+        Response::Result { qoi, .. } => assert_eq!(qoi.len(), 3, "campaign returns mean/max/min"),
+        other => panic!("expected result, got {other:?}"),
+    }
+    engine.shutdown_and_join();
+}
+
+/// Overflowing the bounded queue sheds jobs with a structured frame; the
+/// admitted jobs still complete, and the health frame accounts for the
+/// sheds.
+#[test]
+fn queue_overflow_sheds_structurally() {
+    let config = ServeConfig {
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    };
+    let (engine, handle) = engine_with(1, config);
+    let tickets: Vec<_> = (0..8)
+        .map(|seed| {
+            handle.submit(
+                RequestClass::Campaign,
+                ModelSpec::block_small(),
+                small_params(),
+                seed,
+            )
+        })
+        .collect();
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    for ticket in &tickets {
+        match terminal(ticket) {
+            Response::Result { .. } => completed += 1,
+            Response::Shed { reason, .. } => {
+                shed += 1;
+                assert!(reason.contains("queue"), "reason: {reason}");
+            }
+            other => panic!("unexpected terminal frame {other:?}"),
+        }
+    }
+    assert_eq!(completed + shed, 8);
+    assert!(completed >= 1, "admitted jobs complete");
+    assert!(shed >= 1, "a burst past the queue bound must shed");
+    match handle.health() {
+        Response::Health { shed_total, .. } => assert_eq!(shed_total, shed),
+        other => panic!("expected health frame, got {other:?}"),
+    }
+    engine.shutdown_and_join();
+}
+
+/// Cancellation produces a `cancelled` terminal frame, and duplicate ids
+/// are refused with a structured error.
+#[test]
+fn cancel_and_duplicate_ids() {
+    let (engine, handle) = engine_with(1, ServeConfig::default());
+    // A long campaign so cancel lands mid-run (or while queued).
+    let long = JobParams {
+        n_samples: 500,
+        ..small_params()
+    };
+    let victim = handle.submit_with_id(
+        42,
+        RequestClass::Campaign,
+        ModelSpec::block_small(),
+        long,
+        3,
+    );
+    // Wait for admission, then for the duplicate check, then cancel.
+    match victim.next_timeout(WAIT) {
+        Some(Response::Accepted { id }) => assert_eq!(id, 42),
+        other => panic!("expected accepted frame, got {other:?}"),
+    }
+    let dup = handle.submit_with_id(
+        42,
+        RequestClass::WireSizing,
+        ModelSpec::block_small(),
+        small_params(),
+        4,
+    );
+    match terminal(&dup) {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Invalid),
+        other => panic!("duplicate id must be refused, got {other:?}"),
+    }
+    assert!(handle.cancel(42));
+    match terminal(&victim) {
+        Response::Cancelled { id } => assert_eq!(id, 42),
+        other => panic!("expected cancelled frame, got {other:?}"),
+    }
+    engine.shutdown_and_join();
+}
+
+/// With a surrogate registered at a generous tolerance, `qoi` requests are
+/// answered by the surrogate tier; without one they fall back to full
+/// solves. Registration must not disturb other classes.
+#[test]
+fn qoi_routes_through_registered_surrogate() {
+    let (engine, handle) = engine_with(2, ServeConfig::default());
+    let spec = ModelSpec::block_small();
+    let qoi_params = JobParams {
+        samples: vec![vec![0.01], vec![-0.02]],
+        ..small_params()
+    };
+    // Before registration: full solves.
+    let full = handle.submit(RequestClass::Qoi, spec, qoi_params.clone(), 5);
+    match terminal(&full) {
+        Response::Result {
+            served_by,
+            full_solves,
+            ..
+        } => {
+            assert_eq!(served_by, "full");
+            assert_eq!(full_solves, 2);
+        }
+        other => panic!("expected result, got {other:?}"),
+    }
+    // Train a 1-D surrogate on synthetic data and register it with a huge
+    // tolerance so every sample is served.
+    let xi: Vec<Vec<f64>> = (0..12).map(|i| vec![-2.0 + i as f64 / 3.0]).collect();
+    let y: Vec<f64> = xi.iter().map(|p| 300.0 + p[0]).collect();
+    let surrogate = Surrogate::fit(&xi, &y, 1, SurrogateOptions::default()).expect("fit");
+    engine
+        .register_surrogate(
+            &spec,
+            vec![surrogate],
+            vec![Box::new(Uniform::new(-0.05, 0.05).expect("marginal"))],
+            1.0e9,
+            0.5,
+            4,
+        )
+        .expect("register surrogate");
+    let served = handle.submit(RequestClass::Qoi, spec, qoi_params, 6);
+    match terminal(&served) {
+        Response::Result {
+            served_by, served, ..
+        } => {
+            assert_eq!(served_by, "surrogate");
+            assert_eq!(served, 2, "both samples screened and served");
+        }
+        other => panic!("expected surrogate result, got {other:?}"),
+    }
+    engine.shutdown_and_join();
+}
+
+/// Registry statistics surface in health: one compile, then cache hits
+/// for every further job on the same spec.
+#[test]
+fn health_reports_registry_and_pool() {
+    let (engine, handle) = engine_with(2, ServeConfig::default());
+    for seed in 0..3 {
+        let t = handle.submit(
+            RequestClass::WireSizing,
+            ModelSpec::block_small(),
+            small_params(),
+            seed,
+        );
+        match terminal(&t) {
+            Response::Result { .. } => {}
+            other => panic!("expected result, got {other:?}"),
+        }
+    }
+    match handle.health() {
+        Response::Health {
+            registry_compiles,
+            registry_hits,
+            models,
+            queue_depth,
+            ..
+        } => {
+            assert_eq!(registry_compiles, 1, "one spec, one compile");
+            assert_eq!(registry_hits, 2, "two warm jobs hit the cache");
+            assert_eq!(queue_depth, 0);
+            assert_eq!(models.len(), 1);
+            assert_eq!(models[0].jobs_done, 3);
+            assert!(!models[0].degraded);
+            assert!(models[0].idle_sessions >= 1);
+        }
+        other => panic!("expected health frame, got {other:?}"),
+    }
+    engine.shutdown_and_join();
+}

@@ -1,0 +1,158 @@
+//! Property tests of the NDJSON wire protocol: structured frames round-trip
+//! exactly, and arbitrary garbage — malformed JSON, hostile nesting, wrong
+//! types — is answered with a structured [`ProtocolError`], never a panic.
+
+use etherm_serve::{
+    JobParams, ModelSpec, ProtocolError, Request, RequestClass, Response, SolverProfile, SpecKind,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn class_of(tag: u32) -> RequestClass {
+    match tag % 4 {
+        0 => RequestClass::WireSizing,
+        1 => RequestClass::Fusing,
+        2 => RequestClass::Campaign,
+        _ => RequestClass::Qoi,
+    }
+}
+
+fn profile_of(tag: u32) -> SolverProfile {
+    match tag % 3 {
+        0 => SolverProfile::Default,
+        1 => SolverProfile::Uq,
+        _ => SolverProfile::Fast,
+    }
+}
+
+fn spec_of(tag: u32, a: u32, b: u32, c: u32, d: u32) -> ModelSpec {
+    let kind = if tag.is_multiple_of(2) {
+        SpecKind::Block {
+            nx: 1 + a % 16,
+            ny: 1 + b % 16,
+            nz: 1 + c % 8,
+            wire_um: 100 + d % 4900,
+        }
+    } else {
+        SpecKind::Paper {
+            xy_um: 200 + a % 1800,
+            z_um: 100 + b % 900,
+        }
+    };
+    ModelSpec {
+        kind,
+        profile: profile_of(tag / 2),
+    }
+}
+
+/// Printable-ASCII string from a byte vector.
+fn ascii(bytes: Vec<u8>) -> String {
+    bytes.into_iter().map(|b| (32 + b % 95) as char).collect()
+}
+
+proptest! {
+    /// Every structured request survives serialize → parse unchanged.
+    #[test]
+    fn request_round_trips(
+        // Integers ride in JSON numbers, so the protocol bounds them to
+        // f64-exact range: < 2^53.
+        id in 1u64..(1u64 << 53),
+        seed in 0u64..(1u64 << 53),
+        tags in (0u32..1000, 0u32..1000, 0u32..1000, 0u32..1000, 0u32..1000),
+        t_end in 1.0e-3f64..10.0,
+        n_steps in 1usize..1000,
+        n_samples in 1usize..100,
+        threshold in 1.0f64..2000.0,
+        spread in 0.0f64..0.9,
+        samples in vec(vec(-0.5f64..0.5, 1..4), 0..4),
+    ) {
+        let (t0, t1, t2, t3, t4) = tags;
+        let model = spec_of(t0, t1, t2, t3, t4);
+        let params = JobParams {
+            t_end,
+            n_steps,
+            n_samples,
+            threshold,
+            spread,
+            samples,
+        };
+        let requests = vec![
+            Request::Hello { version: seed % 1000 },
+            Request::Submit { id, class: class_of(t0), model, params, seed },
+            Request::Cancel { id },
+            Request::Health,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            let parsed = match Request::from_line(&line) {
+                Ok(parsed) => parsed,
+                Err(e) => return Err(TestCaseError::fail(format!(
+                    "round trip failed for {line}: {}", e.message
+                ))),
+            };
+            prop_assert_eq!(parsed, request);
+        }
+    }
+
+    /// Arbitrary printable input never panics the parser: it parses or
+    /// returns a structured error with a message.
+    #[test]
+    fn garbage_never_panics(bytes in vec(0u8..255, 0..120)) {
+        let line = ascii(bytes);
+        match Request::from_line(&line) {
+            Ok(_) => {}
+            Err(ProtocolError { message, .. }) => prop_assert!(!message.is_empty()),
+        }
+        match Response::from_line(&line) {
+            Ok(_) => {}
+            Err(ProtocolError { message, .. }) => prop_assert!(!message.is_empty()),
+        }
+    }
+
+    /// Arbitrary (possibly invalid UTF-8-adjacent) unicode garbage is also
+    /// handled structurally.
+    #[test]
+    fn unicode_garbage_never_panics(points in vec(0u32..0x11_0000, 0..60)) {
+        let line: String = points
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect();
+        match Request::from_line(&line) {
+            Ok(_) => {}
+            Err(ProtocolError { message, .. }) => prop_assert!(!message.is_empty()),
+        }
+    }
+
+    /// JSON-shaped garbage (balanced but semantically wrong) is a
+    /// structured error, never a panic: mutate a valid submit line by
+    /// splicing garbage into a random position.
+    #[test]
+    fn mutated_frames_never_panic(
+        cut in 0usize..200,
+        splice in vec(0u8..255, 0..12),
+    ) {
+        let valid = Request::Submit {
+            id: 3,
+            class: RequestClass::WireSizing,
+            model: ModelSpec::block_small(),
+            params: JobParams::default(),
+            seed: 1,
+        }
+        .to_line();
+        let at = cut.min(valid.len());
+        // Split at a char boundary (ASCII output, so every byte is one).
+        let mutated = format!("{}{}{}", &valid[..at], ascii(splice), &valid[at..]);
+        match Request::from_line(&mutated) {
+            Ok(_) => {}
+            Err(ProtocolError { message, .. }) => prop_assert!(!message.is_empty()),
+        }
+    }
+
+    /// Deep nesting is rejected with an error, not a stack overflow.
+    #[test]
+    fn nesting_bombs_rejected(depth in 65usize..300) {
+        let line = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        prop_assert!(Request::from_line(&line).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end test of the TCP front end: a real socket on an ephemeral
+//! port, NDJSON frames both ways, graceful shutdown. Read deadlines are
+//! `Duration`-based socket timeouts — no wall-clock reads in test code.
+
+use etherm_serve::daemon::Daemon;
+use etherm_serve::{Engine, ManualClock, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Client {
+            reader,
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write newline");
+        self.writer.flush().expect("flush");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read frame");
+        assert!(n > 0, "connection closed while expecting a frame");
+        line.trim_end().to_string()
+    }
+
+    /// Reads frames until one whose "type" is in `terminals`, returning it.
+    fn recv_until(&mut self, terminals: &[&str]) -> String {
+        loop {
+            let line = self.recv();
+            if terminals.iter().any(|t| line.contains(&format!("\"type\":\"{t}\""))) {
+                return line;
+            }
+        }
+    }
+}
+
+#[test]
+fn tcp_session_round_trip() {
+    let engine = Engine::with_clock(
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        ManualClock::new(),
+    );
+    let daemon = Daemon::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let addr = daemon.local_addr();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = Client::connect(addr);
+
+    // Version handshake.
+    client.send("{\"type\":\"hello\", \"version\": 1}");
+    let hello = client.recv();
+    assert!(hello.contains("\"ok\":true"), "hello: {hello}");
+
+    // Garbage is answered with a structured error, connection stays up.
+    client.send("this is not json");
+    let err = client.recv();
+    assert!(err.contains("\"type\":\"error\""), "garbage: {err}");
+    assert!(err.contains("\"kind\":\"invalid\""), "garbage: {err}");
+
+    // Submit a small wire-sizing job and drive it to its result.
+    client.send(
+        "{\"type\":\"submit\", \"id\": 1, \"class\": \"wire_sizing\", \
+         \"model\": {\"kind\": \"block\", \"nx\": 4, \"ny\": 2, \"nz\": 1, \
+         \"wire_um\": 1500, \"profile\": \"default\"}, \
+         \"params\": {\"t_end\": 0.5, \"n_steps\": 4}, \"seed\": 7}",
+    );
+    let accepted = client.recv();
+    assert!(accepted.contains("\"type\":\"accepted\""), "{accepted}");
+    let result = client.recv_until(&["result", "error", "shed", "cancelled"]);
+    assert!(result.contains("\"type\":\"result\""), "terminal: {result}");
+    assert!(result.contains("\"qoi\":["), "terminal: {result}");
+
+    // Health over the wire.
+    client.send("{\"type\":\"health\"}");
+    let health = client.recv_until(&["health"]);
+    assert!(health.contains("\"registry_compiles\":1"), "{health}");
+
+    // Shutdown ends the server loop.
+    client.send("{\"type\":\"shutdown\"}");
+    server.join().expect("server thread joins");
+    assert!(engine.is_shutting_down());
+}
+
+#[test]
+fn tcp_version_mismatch_flagged() {
+    let engine = Engine::with_clock(ServeConfig::default(), ManualClock::new());
+    let daemon = Daemon::bind("127.0.0.1:0", Arc::clone(&engine)).expect("bind");
+    let addr = daemon.local_addr();
+    let server = std::thread::spawn(move || daemon.run());
+
+    let mut client = Client::connect(addr);
+    client.send("{\"type\":\"hello\", \"version\": 999}");
+    let hello = client.recv();
+    assert!(hello.contains("\"ok\":false"), "hello: {hello}");
+
+    client.send("{\"type\":\"shutdown\"}");
+    server.join().expect("server thread joins");
+}

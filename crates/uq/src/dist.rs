@@ -6,7 +6,13 @@ use std::f64::consts::PI;
 /// A univariate distribution defined through its quantile function, so that
 /// any uniform design (iid Monte Carlo, Latin Hypercube, Halton) transforms
 /// into it by inversion sampling.
-pub trait Distribution {
+///
+/// `Send + Sync` is a supertrait so `Box<dyn Distribution>` marginals can
+/// cross thread boundaries — ensemble workers and the serving front end
+/// both hold trained surrogates (which own their marginals) behind shared
+/// state. Implementations are plain parameter structs, so the bound costs
+/// nothing.
+pub trait Distribution: Send + Sync {
     /// Quantile (inverse CDF) at `u ∈ (0, 1)`.
     fn quantile(&self, u: f64) -> f64;
 

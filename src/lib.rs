@@ -18,6 +18,7 @@
 //! | [`package`] | the paper's 28-pad/12-wire chip package + synthetic X-ray metrology |
 //! | [`reliability`] | rare-event failure probabilities: subset simulation, importance sampling, fusing-current search |
 //! | [`report`] | ASCII + SVG charts/tables/heat maps and CSV export |
+//! | [`serve`] | multi-tenant serving: compiled-model registry, session pool, NDJSON-over-TCP daemon |
 
 #![forbid(unsafe_code)]
 
@@ -30,4 +31,5 @@ pub use etherm_numerics as numerics;
 pub use etherm_package as package;
 pub use etherm_reliability as reliability;
 pub use etherm_report as report;
+pub use etherm_serve as serve;
 pub use etherm_uq as uq;
